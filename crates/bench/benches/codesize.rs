@@ -1,0 +1,23 @@
+//! Bench E5 — compactness of the portable deployment format.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use splitc::experiments::codesize;
+
+fn bench_codesize(c: &mut Criterion) {
+    let result = codesize::run().expect("codesize experiment runs");
+    println!("\n{}", result.render());
+
+    let mut group = c.benchmark_group("codesize");
+    group.sample_size(10);
+    group.bench_function("full_suite_all_targets", |b| {
+        b.iter(|| {
+            let r = codesize::run().expect("codesize experiment runs");
+            assert!(r.total_native_bytes() > r.bytecode_bytes);
+            r.rows.len()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_codesize);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! Bench E4 — heterogeneous deployment and accelerator-offload crossover.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use splitc::experiments::hetero;
+use splitc_bench::BENCH_N;
+
+fn bench_hetero(c: &mut Criterion) {
+    let sizes = [BENCH_N / 8, BENCH_N, BENCH_N * 8, BENCH_N * 32];
+    let result = hetero::run("saxpy_f32", &sizes).expect("hetero experiment runs");
+    println!("\n{}", result.render());
+
+    let mut group = c.benchmark_group("hetero");
+    group.sample_size(10);
+    group.bench_function("saxpy_size_sweep", |b| {
+        b.iter(|| {
+            let r = hetero::run("saxpy_f32", &sizes).expect("hetero experiment runs");
+            assert!(r.offload_crossover().is_some());
+            r.rows.len()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_hetero);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Bench E6 — Kahn-process-network pipelining on heterogeneous platforms.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use splitc::experiments::kpn;
+use splitc::splitc_runtime::Platform;
+use splitc_bench::BENCH_N;
+
+fn bench_kpn(c: &mut Criterion) {
+    let platform = Platform::cell_blade(2);
+    let result = kpn::run(&platform, BENCH_N, 16).expect("kpn experiment runs");
+    println!("\n{}", result.render());
+
+    let mut group = c.benchmark_group("kpn");
+    group.sample_size(10);
+    group.bench_function("image_pipeline_cell_blade", |b| {
+        b.iter(|| {
+            let r = kpn::run(&platform, BENCH_N, 16).expect("kpn experiment runs");
+            assert!(r.pipeline_speedup() >= 1.0);
+            r.mappings.len()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_kpn);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Bench E3 — split register allocation (spill reduction vs online allocators).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use splitc::experiments::regalloc;
+use splitc_bench::BENCH_N;
+
+fn bench_regalloc(c: &mut Criterion) {
+    let result = regalloc::run(BENCH_N).expect("regalloc experiment runs");
+    println!("\n{}", result.render());
+
+    let mut group = c.benchmark_group("regalloc");
+    group.sample_size(10);
+    group.bench_function("three_allocators", |b| {
+        b.iter(|| {
+            let r = regalloc::run(BENCH_N).expect("regalloc experiment runs");
+            assert!(r.best_reduction() > 0.0);
+            r.rows.len()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_regalloc);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Bench E2 — the split compilation flow of Figure 1 (offline vs online work).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use splitc::experiments::splitflow::{self, Strategy};
+use splitc_bench::BENCH_N;
+
+fn bench_splitflow(c: &mut Criterion) {
+    let flow = splitflow::run(BENCH_N, &[]).expect("splitflow experiment runs");
+    println!("\n{}", flow.render());
+
+    let mut group = c.benchmark_group("splitflow");
+    group.sample_size(10);
+    group.bench_function("four_strategies", |b| {
+        b.iter(|| {
+            let f = splitflow::run(BENCH_N, &[]).expect("splitflow experiment runs");
+            assert!(f.mean_speedup(Strategy::Split, Strategy::JitGreedy) > 1.0);
+            f.rows.len()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_splitflow);
+criterion_main!(benches);

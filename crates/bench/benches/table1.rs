@@ -1,0 +1,28 @@
+//! Bench E1 — regenerate the paper's Table 1 (split automatic vectorization).
+//!
+//! The interesting output is the rendered table (printed once at start-up);
+//! Criterion's timings measure the cost of the full offline+online+simulate
+//! pipeline for all six kernels on the three Table 1 machines.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use splitc::experiments::table1;
+use splitc_bench::BENCH_N;
+
+fn bench_table1(c: &mut Criterion) {
+    let table = table1::run(BENCH_N).expect("table1 experiment runs");
+    println!("\n{}", table.render());
+
+    let mut group = c.benchmark_group("table1");
+    group.sample_size(10);
+    group.bench_function("six_kernels_three_targets", |b| {
+        b.iter(|| {
+            let t = table1::run(BENCH_N).expect("table1 experiment runs");
+            assert!(t.cell("max_u8", "x86-sse").unwrap().speedup() > 2.0);
+            t.rows.len()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

@@ -1,0 +1,85 @@
+//! Regenerate the paper-style tables of the DAC 2010 reproduction.
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run --release -p splitc-bench --bin report -- [all|table1|splitflow|regalloc|hetero|codesize|kpn] [n]
+//! ```
+//!
+//! `n` is the number of elements per kernel invocation (default 4096, as in
+//! the experiment index of `DESIGN.md`).
+
+use splitc::experiments::{codesize, hetero, kpn, regalloc, splitflow, table1};
+use splitc::splitc_runtime::Platform;
+use std::process::ExitCode;
+
+fn print_table1(n: usize) -> Result<(), Box<dyn std::error::Error>> {
+    println!("{}", table1::run(n)?.render());
+    Ok(())
+}
+
+fn print_splitflow(n: usize) -> Result<(), Box<dyn std::error::Error>> {
+    println!("{}", splitflow::run(n, &[])?.render());
+    Ok(())
+}
+
+fn print_regalloc(n: usize) -> Result<(), Box<dyn std::error::Error>> {
+    println!("{}", regalloc::run(n)?.render());
+    Ok(())
+}
+
+fn print_hetero(n: usize) -> Result<(), Box<dyn std::error::Error>> {
+    let sizes = [n / 64, n / 16, n / 4, n, n * 4, n * 16];
+    println!("{}", hetero::run("saxpy_f32", &sizes)?.render());
+    Ok(())
+}
+
+fn print_codesize() -> Result<(), Box<dyn std::error::Error>> {
+    println!("{}", codesize::run()?.render());
+    Ok(())
+}
+
+fn print_kpn(n: usize) -> Result<(), Box<dyn std::error::Error>> {
+    let platform = Platform::cell_blade(3);
+    println!("{}", kpn::run(&platform, n, 32)?.render());
+    let phone = Platform::phone();
+    println!("{}", kpn::run(&phone, n, 32)?.render());
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let what = args.first().map(String::as_str).unwrap_or("all");
+    let n: usize = args
+        .get(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(splitc::splitc_workloads::DEFAULT_N);
+
+    let result = match what {
+        "table1" => print_table1(n),
+        "splitflow" => print_splitflow(n),
+        "regalloc" => print_regalloc(n),
+        "hetero" => print_hetero(n),
+        "codesize" => print_codesize(),
+        "kpn" => print_kpn(n),
+        "all" => print_table1(n)
+            .and_then(|()| print_splitflow(n))
+            .and_then(|()| print_regalloc(n))
+            .and_then(|()| print_hetero(n))
+            .and_then(|()| print_codesize())
+            .and_then(|()| print_kpn(n)),
+        other => {
+            eprintln!(
+                "unknown report `{other}`; expected one of: all, table1, splitflow, regalloc, hetero, codesize, kpn"
+            );
+            return ExitCode::from(2);
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("report failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

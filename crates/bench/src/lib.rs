@@ -1,0 +1,18 @@
+//! # splitc-bench — benchmark harness for the DAC 2010 reproduction
+//!
+//! This crate hosts:
+//!
+//! * one Criterion benchmark per paper artifact (`benches/table1.rs`,
+//!   `benches/splitflow.rs`, `benches/regalloc.rs`, `benches/hetero.rs`,
+//!   `benches/codesize.rs`, `benches/kpn.rs`), each driving the corresponding
+//!   experiment from [`splitc::experiments`] and asserting its headline shape;
+//! * the `report` binary, which regenerates the paper-style tables at full
+//!   problem sizes (`cargo run -p splitc-bench --bin report -- all`).
+//!
+//! The measured quantity inside each experiment is *simulated cycles* on the
+//! virtual targets, which is deterministic; Criterion's wall-clock numbers
+//! only track the cost of running the reproduction pipeline itself.
+
+/// Default element count for quick benchmark runs (the report binary uses the
+/// paper-scale default of 4096 from `splitc_workloads::DEFAULT_N`).
+pub const BENCH_N: usize = 512;

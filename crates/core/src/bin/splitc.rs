@@ -1,0 +1,272 @@
+//! `splitc` — command-line driver for the split-compilation toolchain.
+//!
+//! ```text
+//! splitc build <kernels.mc> -o <module.svbc> [--no-vectorize] [--strip]
+//! splitc dis <module.svbc>
+//! splitc targets
+//! splitc run <module.svbc|kernels.mc> --kernel <fn> --target <name> [--arg i:<int>|f:<float>]...
+//! splitc bench <catalogue-kernel> [--n <elems>] [--target <name>]
+//! ```
+//!
+//! * `build` runs the offline step (front end + optimizer) and writes the
+//!   compact deployment format.
+//! * `dis` prints the textual listing of a deployed module, including its
+//!   annotations.
+//! * `run` performs the online step for one target and executes a kernel whose
+//!   parameters are all scalars (integers or floats).
+//! * `bench` prepares one of the workload-catalogue kernels (which take
+//!   pointer arguments) with generated data and reports simulated cycles on
+//!   the chosen target, or on all Table 1 targets when none is given.
+
+use splitc::{offline_compile, prepare, run_on_target, Workspace};
+use splitc::splitc_jit::JitOptions;
+use splitc::splitc_opt::{optimize_module, OptOptions};
+use splitc::splitc_targets::{MachineValue, TargetDesc};
+use splitc::splitc_vbc::{decode_module, encode_module, Module};
+use std::process::ExitCode;
+
+fn usage() -> &'static str {
+    "usage:\n  splitc build <kernels.mc> -o <module.svbc> [--no-vectorize] [--strip]\n  splitc dis <module.svbc>\n  splitc targets\n  splitc run <module.svbc|kernels.mc> --kernel <fn> --target <name> [--arg i:<int>|f:<float>]...\n  splitc bench <kernel> [--n <elems>] [--target <name>]"
+}
+
+/// Parse one `--arg` value of the form `i:<integer>` or `f:<float>`.
+fn parse_arg(text: &str) -> Result<MachineValue, String> {
+    match text.split_once(':') {
+        Some(("i", v)) => v
+            .parse::<i64>()
+            .map(MachineValue::Int)
+            .map_err(|e| format!("bad integer argument `{v}`: {e}")),
+        Some(("f", v)) => v
+            .parse::<f64>()
+            .map(MachineValue::Float)
+            .map_err(|e| format!("bad float argument `{v}`: {e}")),
+        _ => Err(format!("argument `{text}` must look like i:<int> or f:<float>")),
+    }
+}
+
+/// Extract the value following `flag`, removing both from `args`.
+fn take_flag(args: &mut Vec<String>, flag: &str) -> Option<String> {
+    let pos = args.iter().position(|a| a == flag)?;
+    if pos + 1 >= args.len() {
+        return None;
+    }
+    let value = args.remove(pos + 1);
+    args.remove(pos);
+    Some(value)
+}
+
+/// Remove a boolean switch from `args`, reporting whether it was present.
+fn take_switch(args: &mut Vec<String>, flag: &str) -> bool {
+    if let Some(pos) = args.iter().position(|a| a == flag) {
+        args.remove(pos);
+        true
+    } else {
+        false
+    }
+}
+
+/// Load a module from either a compact `.svbc` file or mini-C source.
+fn load_module(path: &str) -> Result<Module, String> {
+    let bytes = std::fs::read(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    if bytes.starts_with(splitc::splitc_vbc::MAGIC) {
+        decode_module(&bytes).map_err(|e| format!("cannot decode {path}: {e}"))
+    } else {
+        let source = String::from_utf8(bytes).map_err(|_| format!("{path} is not UTF-8 source"))?;
+        let (module, _) = offline_compile(&source, path, &OptOptions::full())
+            .map_err(|e| format!("cannot compile {path}: {e}"))?;
+        Ok(module)
+    }
+}
+
+fn cmd_build(mut args: Vec<String>) -> Result<(), String> {
+    let output = take_flag(&mut args, "-o").ok_or("build requires -o <module.svbc>")?;
+    let no_vectorize = take_switch(&mut args, "--no-vectorize");
+    let strip = take_switch(&mut args, "--strip");
+    let input = args.first().ok_or("build requires an input file")?;
+    let source = std::fs::read_to_string(input).map_err(|e| format!("cannot read {input}: {e}"))?;
+    let opts = if no_vectorize {
+        OptOptions { vectorize: false, ..OptOptions::full() }
+    } else {
+        OptOptions::full()
+    };
+    let (mut module, report) =
+        offline_compile(&source, input, &opts).map_err(|e| format!("offline step failed: {e}"))?;
+    if strip {
+        module.strip_annotations();
+    }
+    let wire = encode_module(&module);
+    std::fs::write(&output, &wire).map_err(|e| format!("cannot write {output}: {e}"))?;
+    println!(
+        "{}: {} functions, {} vectorized loops, {} bytes -> {}",
+        input,
+        module.functions().len(),
+        report.total_vectorized(),
+        wire.len(),
+        output
+    );
+    Ok(())
+}
+
+fn cmd_dis(args: Vec<String>) -> Result<(), String> {
+    let input = args.first().ok_or("dis requires an input file")?;
+    let module = load_module(input)?;
+    print!("{module}");
+    Ok(())
+}
+
+fn cmd_targets() {
+    for t in TargetDesc::presets() {
+        println!("{t}");
+    }
+}
+
+fn cmd_run(mut args: Vec<String>) -> Result<(), String> {
+    let kernel = take_flag(&mut args, "--kernel").ok_or("run requires --kernel <fn>")?;
+    let target_name = take_flag(&mut args, "--target").unwrap_or_else(|| "x86-sse".to_owned());
+    let target = TargetDesc::preset(&target_name)
+        .ok_or_else(|| format!("unknown target `{target_name}` (see `splitc targets`)"))?;
+    let mut call_args = Vec::new();
+    while let Some(a) = take_flag(&mut args, "--arg") {
+        call_args.push(parse_arg(&a)?);
+    }
+    let input = args.first().ok_or("run requires an input file")?;
+    let module = load_module(input)?;
+    let mut ws = Workspace::new(1 << 20);
+    let run = run_on_target(&module, &target, &JitOptions::split(), &kernel, &call_args, ws.bytes_mut())
+        .map_err(|e| format!("execution failed: {e}"))?;
+    match run.result {
+        Some(MachineValue::Int(v)) => println!("result: {v}"),
+        Some(MachineValue::Float(v)) => println!("result: {v}"),
+        None => println!("result: (void)"),
+    }
+    println!(
+        "cycles: {}  instructions: {}  spill ops: {}  online work: {}",
+        run.stats.cycles,
+        run.stats.instructions,
+        run.spill_ops(),
+        run.jit.total_work()
+    );
+    Ok(())
+}
+
+fn cmd_bench(mut args: Vec<String>) -> Result<(), String> {
+    let n: usize = take_flag(&mut args, "--n")
+        .map(|s| s.parse().map_err(|e| format!("bad --n value: {e}")))
+        .transpose()?
+        .unwrap_or(splitc::splitc_workloads::DEFAULT_N);
+    let target_filter = take_flag(&mut args, "--target");
+    let kernel_name = args.first().ok_or("bench requires a catalogue kernel name")?;
+    let kernel = splitc::splitc_workloads::kernel(kernel_name)
+        .ok_or_else(|| format!("`{kernel_name}` is not in the workload catalogue"))?;
+    let mut module = splitc::splitc_workloads::module_for(&[kernel], kernel_name)
+        .map_err(|e| format!("cannot compile the kernel: {e}"))?;
+    optimize_module(&mut module, &OptOptions::full());
+
+    let targets: Vec<TargetDesc> = match target_filter {
+        Some(name) => vec![TargetDesc::preset(&name).ok_or_else(|| format!("unknown target `{name}`"))?],
+        None => TargetDesc::table1_targets(),
+    };
+    for target in targets {
+        let mut ws = Workspace::new((16 * n + (1 << 12)).max(1 << 14));
+        let prepared = prepare(kernel_name, n, 1, &mut ws);
+        let run = run_on_target(&module, &target, &JitOptions::split(), kernel_name, &prepared.args, ws.bytes_mut())
+            .map_err(|e| format!("{}: {e}", target.name))?;
+        println!(
+            "{:<12} n={n}  cycles={}  instructions={}  simd={}",
+            target.name, run.stats.cycles, run.stats.instructions, run.jit.used_simd
+        );
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        eprintln!("{}", usage());
+        return ExitCode::from(2);
+    }
+    let command = args.remove(0);
+    let result = match command.as_str() {
+        "build" => cmd_build(args),
+        "dis" => cmd_dis(args),
+        "targets" => {
+            cmd_targets();
+            Ok(())
+        }
+        "run" => cmd_run(args),
+        "bench" => cmd_bench(args),
+        "--help" | "-h" | "help" => {
+            println!("{}", usage());
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`\n{}", usage())),
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scalar_arguments_parse() {
+        assert_eq!(parse_arg("i:42").unwrap(), MachineValue::Int(42));
+        assert_eq!(parse_arg("f:2.5").unwrap(), MachineValue::Float(2.5));
+        assert!(parse_arg("x:1").is_err());
+        assert!(parse_arg("i:notanumber").is_err());
+        assert!(parse_arg("42").is_err());
+    }
+
+    #[test]
+    fn flags_and_switches_are_extracted() {
+        let mut args: Vec<String> = ["a.mc", "-o", "out.svbc", "--strip"]
+            .iter()
+            .map(|s| (*s).to_owned())
+            .collect();
+        assert_eq!(take_flag(&mut args, "-o").as_deref(), Some("out.svbc"));
+        assert!(take_switch(&mut args, "--strip"));
+        assert!(!take_switch(&mut args, "--strip"));
+        assert_eq!(args, vec!["a.mc".to_owned()]);
+        assert_eq!(take_flag(&mut args, "--missing"), None);
+    }
+
+    #[test]
+    fn build_dis_run_round_trip_through_files() {
+        let dir = std::env::temp_dir().join(format!("splitc-cli-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let src_path = dir.join("k.mc");
+        let out_path = dir.join("k.svbc");
+        std::fs::write(&src_path, "fn triple(x: i32) -> i32 { return 3 * x; }").unwrap();
+
+        cmd_build(vec![
+            src_path.to_str().unwrap().to_owned(),
+            "-o".into(),
+            out_path.to_str().unwrap().to_owned(),
+        ])
+        .expect("build succeeds");
+        assert!(out_path.exists());
+
+        // Loading the compact file gives back the same module as recompiling.
+        let module = load_module(out_path.to_str().unwrap()).expect("loads");
+        assert!(module.function("triple").is_some());
+
+        cmd_run(vec![
+            out_path.to_str().unwrap().to_owned(),
+            "--kernel".into(),
+            "triple".into(),
+            "--target".into(),
+            "powerpc".into(),
+            "--arg".into(),
+            "i:14".into(),
+        ])
+        .expect("run succeeds");
+
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

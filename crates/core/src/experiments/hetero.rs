@@ -1,0 +1,235 @@
+//! Experiment E4 — heterogeneity scenarios of Section 3.
+//!
+//! The same vectorized bytecode is deployed, unmodified, to very different
+//! machines: the x86 workstation it was developed on, an ARM+Neon phone core,
+//! and a Cell-style blade where the host PPE can either run the kernel itself
+//! or offload it to an SPU accelerator (paying DMA transfers both ways). The
+//! experiment sweeps the problem size to expose the offload-profitability
+//! crossover and demonstrates performance portability from one binary.
+
+use crate::harness::prepare;
+use crate::report::TextTable;
+use crate::session::{PipelineError, Workspace};
+use splitc_opt::{optimize_module, OptOptions};
+use splitc_runtime::{Executor, Platform};
+use splitc_workloads::{kernel, module_for};
+
+/// One execution configuration of the experiment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HeteroConfig {
+    /// The x86 workstation (SIMD host).
+    Workstation,
+    /// The phone's ARM core with Neon.
+    PhoneArm,
+    /// The Cell host core (PPE), no offload.
+    CellHost,
+    /// Offloaded to one Cell SPU, including DMA transfers.
+    CellSpuOffload,
+}
+
+impl HeteroConfig {
+    /// All configurations, in reporting order.
+    pub const ALL: [HeteroConfig; 4] = [
+        HeteroConfig::Workstation,
+        HeteroConfig::PhoneArm,
+        HeteroConfig::CellHost,
+        HeteroConfig::CellSpuOffload,
+    ];
+
+    /// Short label used in the report.
+    pub fn label(self) -> &'static str {
+        match self {
+            HeteroConfig::Workstation => "x86 workstation",
+            HeteroConfig::PhoneArm => "phone arm+neon",
+            HeteroConfig::CellHost => "cell ppe (host)",
+            HeteroConfig::CellSpuOffload => "cell spu (offload)",
+        }
+    }
+}
+
+/// Scaled execution time of one configuration at one problem size.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HeteroCell {
+    /// Configuration measured.
+    pub config: HeteroConfig,
+    /// Compute time in scaled cycles.
+    pub compute: f64,
+    /// Data transfer overhead in scaled cycles (offload only).
+    pub transfer: f64,
+}
+
+impl HeteroCell {
+    /// Total time as seen by the application.
+    pub fn total(&self) -> f64 {
+        self.compute + self.transfer
+    }
+}
+
+/// Measurements for one problem size.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HeteroRow {
+    /// Elements processed.
+    pub n: usize,
+    /// One cell per configuration.
+    pub cells: Vec<HeteroCell>,
+}
+
+impl HeteroRow {
+    /// The cell for `config`.
+    pub fn cell(&self, config: HeteroConfig) -> Option<&HeteroCell> {
+        self.cells.iter().find(|c| c.config == config)
+    }
+}
+
+/// The complete experiment result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Hetero {
+    /// Kernel used for the sweep.
+    pub kernel: String,
+    /// One row per problem size.
+    pub rows: Vec<HeteroRow>,
+}
+
+impl Hetero {
+    /// The smallest problem size at which offloading to the SPU beats running
+    /// on the Cell host core, if any size in the sweep does.
+    pub fn offload_crossover(&self) -> Option<usize> {
+        self.rows
+            .iter()
+            .find(|r| {
+                let host = r.cell(HeteroConfig::CellHost).map(HeteroCell::total);
+                let spu = r.cell(HeteroConfig::CellSpuOffload).map(HeteroCell::total);
+                matches!((host, spu), (Some(h), Some(s)) if s < h)
+            })
+            .map(|r| r.n)
+    }
+
+    /// Render the sweep and the crossover summary.
+    pub fn render(&self) -> String {
+        let mut header = vec!["n".to_owned()];
+        for c in HeteroConfig::ALL {
+            header.push(c.label().to_owned());
+        }
+        let refs: Vec<&str> = header.iter().map(String::as_str).collect();
+        let mut table = TextTable::new(&refs);
+        for row in &self.rows {
+            let mut cells = vec![row.n.to_string()];
+            for c in HeteroConfig::ALL {
+                let cell = row.cell(c).expect("every configuration measured");
+                cells.push(format!("{:.0}", cell.total()));
+            }
+            table.row(cells);
+        }
+        let crossover = match self.offload_crossover() {
+            Some(n) => format!("SPU offload beats the Cell host from n = {n} elements on"),
+            None => "SPU offload never beats the Cell host in this sweep".to_owned(),
+        };
+        format!(
+            "Heterogeneous deployment of `{}` (scaled cycles, lower is better)\n{}\n{}\n",
+            self.kernel,
+            table.render(),
+            crossover
+        )
+    }
+}
+
+/// Run the heterogeneity experiment for `kernel_name` over the given sizes.
+///
+/// # Errors
+///
+/// Returns a [`PipelineError`] if compilation or execution fails, or if the
+/// kernel is not in the workload catalogue.
+pub fn run(kernel_name: &str, sizes: &[usize]) -> Result<Hetero, PipelineError> {
+    let k = kernel(kernel_name).ok_or_else(|| {
+        PipelineError::Runtime(splitc_runtime::RuntimeError::UnknownKernel(kernel_name.to_owned()))
+    })?;
+    let mut module = module_for(&[k.clone()], kernel_name).map_err(PipelineError::Frontend)?;
+    optimize_module(&mut module, &OptOptions::full());
+
+    let workstation = Platform::workstation();
+    let phone = Platform::phone();
+    let cell = Platform::cell_blade(1);
+    let mut exec = Executor::deploy(module);
+
+    let mut rows = Vec::new();
+    for &n in sizes {
+        let mut cells = Vec::new();
+        for config in HeteroConfig::ALL {
+            let mut ws = Workspace::new((16 * n + (1 << 12)).max(1 << 14));
+            let prepared = prepare(kernel_name, n, 0x4e7 + n as u64, &mut ws);
+            let (core, dma) = match config {
+                HeteroConfig::Workstation => (workstation.host(), None),
+                HeteroConfig::PhoneArm => (phone.core("arm").expect("phone has an arm core"), None),
+                HeteroConfig::CellHost => (cell.host(), None),
+                HeteroConfig::CellSpuOffload => {
+                    (cell.core("spu0").expect("blade has an spu"), Some(&cell.dma))
+                }
+            };
+            let cell_result = match dma {
+                None => {
+                    let outcome = exec.run(core, kernel_name, &prepared.args, ws.bytes_mut())?;
+                    HeteroCell {
+                        config,
+                        compute: outcome.scaled_cycles,
+                        transfer: 0.0,
+                    }
+                }
+                Some(dma) => {
+                    let bytes_out = prepared.output.map(|(_, len)| len).unwrap_or(8);
+                    let (outcome, cost) = exec.run_offloaded(
+                        core,
+                        kernel_name,
+                        &prepared.args,
+                        ws.bytes_mut(),
+                        dma,
+                        prepared.input_bytes,
+                        bytes_out,
+                    )?;
+                    HeteroCell {
+                        config,
+                        compute: outcome.scaled_cycles,
+                        transfer: cost.dma_cycles as f64,
+                    }
+                }
+            };
+            cells.push(cell_result);
+        }
+        rows.push(HeteroRow { n, cells });
+    }
+    Ok(Hetero {
+        kernel: kernel_name.to_owned(),
+        rows,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn offload_pays_off_only_for_large_problems() {
+        let result = run("saxpy_f32", &[64, 4096, 32768]).expect("experiment runs");
+        assert_eq!(result.rows.len(), 3);
+        let small = &result.rows[0];
+        let large = &result.rows[2];
+        // For tiny problems the DMA overhead dominates.
+        assert!(
+            small.cell(HeteroConfig::CellSpuOffload).unwrap().total()
+                > small.cell(HeteroConfig::CellHost).unwrap().total(),
+            "offloading 64 elements should not pay off"
+        );
+        // For large problems the SIMD accelerator wins despite the transfers.
+        assert!(
+            large.cell(HeteroConfig::CellSpuOffload).unwrap().total()
+                < large.cell(HeteroConfig::CellHost).unwrap().total(),
+            "offloading 32k elements should pay off"
+        );
+        assert!(result.offload_crossover().is_some());
+        assert!(result.render().contains("SPU offload"));
+    }
+
+    #[test]
+    fn unknown_kernel_is_an_error() {
+        assert!(run("not_a_kernel", &[16]).is_err());
+    }
+}

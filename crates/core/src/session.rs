@@ -1,0 +1,319 @@
+//! High-level pipeline API: offline compile, deploy, run, measure.
+
+use splitc_jit::{compile_module, JitOptions, JitStats};
+use splitc_minic::CompileError;
+use splitc_opt::{optimize_module, OptOptions, OptReport};
+use splitc_targets::{MachineValue, SimError, SimStats, Simulator, TargetDesc};
+use splitc_vbc::Module;
+use std::error::Error;
+use std::fmt;
+
+/// Any error that can occur along the offline/online pipeline.
+#[derive(Debug)]
+pub enum PipelineError {
+    /// Front-end (mini-C) error.
+    Frontend(CompileError),
+    /// Online compilation error.
+    Jit(splitc_jit::JitError),
+    /// Simulated execution error.
+    Sim(SimError),
+    /// Runtime-layer error.
+    Runtime(splitc_runtime::RuntimeError),
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineError::Frontend(e) => write!(f, "front-end error: {e}"),
+            PipelineError::Jit(e) => write!(f, "online compilation error: {e}"),
+            PipelineError::Sim(e) => write!(f, "simulation error: {e}"),
+            PipelineError::Runtime(e) => write!(f, "runtime error: {e}"),
+        }
+    }
+}
+
+impl Error for PipelineError {}
+
+impl From<CompileError> for PipelineError {
+    fn from(e: CompileError) -> Self {
+        PipelineError::Frontend(e)
+    }
+}
+impl From<splitc_jit::JitError> for PipelineError {
+    fn from(e: splitc_jit::JitError) -> Self {
+        PipelineError::Jit(e)
+    }
+}
+impl From<SimError> for PipelineError {
+    fn from(e: SimError) -> Self {
+        PipelineError::Sim(e)
+    }
+}
+impl From<splitc_runtime::RuntimeError> for PipelineError {
+    fn from(e: splitc_runtime::RuntimeError) -> Self {
+        PipelineError::Runtime(e)
+    }
+}
+
+/// The offline step: parse, type-check, lower and optimize mini-C source.
+///
+/// # Errors
+///
+/// Returns a [`PipelineError::Frontend`] on any source error.
+pub fn offline_compile(
+    source: &str,
+    module_name: &str,
+    opts: &OptOptions,
+) -> Result<(Module, OptReport), PipelineError> {
+    let mut module = splitc_minic::compile_source(source, module_name)?;
+    let report = optimize_module(&mut module, opts);
+    Ok((module, report))
+}
+
+/// Run the offline optimizer over an already-lowered module.
+pub fn offline_optimize(module: &mut Module, opts: &OptOptions) -> OptReport {
+    optimize_module(module, opts)
+}
+
+/// Measurement of one kernel execution on one simulated target.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunMeasurement {
+    /// The kernel's return value, if any.
+    pub result: Option<MachineValue>,
+    /// Raw simulator statistics (cycles, instructions, memory traffic, spills).
+    pub stats: SimStats,
+    /// Online compilation statistics for the module on this target.
+    pub jit: JitStats,
+}
+
+impl RunMeasurement {
+    /// Dynamic spill traffic (stores plus reloads) observed during execution.
+    pub fn spill_ops(&self) -> u64 {
+        self.stats.spill_stores + self.stats.spill_reloads
+    }
+}
+
+/// The online step plus execution: JIT-compile `module` for `target`, run
+/// `kernel` with `args` against `mem`, and return the measurements.
+///
+/// # Errors
+///
+/// Returns a [`PipelineError`] if online compilation or execution fails.
+pub fn run_on_target(
+    module: &Module,
+    target: &TargetDesc,
+    jit_options: &JitOptions,
+    kernel: &str,
+    args: &[MachineValue],
+    mem: &mut [u8],
+) -> Result<RunMeasurement, PipelineError> {
+    let (program, jit) = compile_module(module, target, jit_options)?;
+    let mut sim = Simulator::new(&program, target);
+    let result = sim.run(kernel, args, mem)?;
+    Ok(RunMeasurement {
+        result,
+        stats: sim.stats(),
+        jit,
+    })
+}
+
+/// A linear scratch memory for setting up kernel inputs and reading outputs.
+///
+/// Thin wrapper around a byte vector with a bump allocator, matching the flat
+/// address space of both the reference interpreter and the target simulators.
+///
+/// # Examples
+///
+/// ```
+/// use splitc::Workspace;
+///
+/// let mut ws = Workspace::new(1 << 12);
+/// let a = ws.alloc(16);
+/// ws.write_f32s(a, &[1.0, 2.0, 3.0, 4.0]);
+/// assert_eq!(ws.read_f32s(a, 4), vec![1.0, 2.0, 3.0, 4.0]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Workspace {
+    bytes: Vec<u8>,
+    next: u64,
+}
+
+impl Workspace {
+    /// Create a workspace of `size` bytes.
+    pub fn new(size: usize) -> Self {
+        Workspace {
+            bytes: vec![0; size],
+            next: 64,
+        }
+    }
+
+    /// Bump-allocate `size` bytes, 16-byte aligned.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the workspace is exhausted.
+    pub fn alloc(&mut self, size: u64) -> u64 {
+        let base = self.next;
+        let aligned = size.div_ceil(16) * 16;
+        assert!(
+            base + aligned <= self.bytes.len() as u64,
+            "workspace exhausted: requested {size} bytes at offset {base}"
+        );
+        self.next += aligned;
+        base
+    }
+
+    /// The raw bytes (to pass to a simulator).
+    pub fn bytes_mut(&mut self) -> &mut [u8] {
+        &mut self.bytes
+    }
+
+    /// The raw bytes, read-only.
+    pub fn bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Write a slice of `f32` values at `addr`.
+    pub fn write_f32s(&mut self, addr: u64, data: &[f32]) {
+        for (i, v) in data.iter().enumerate() {
+            let at = addr as usize + 4 * i;
+            self.bytes[at..at + 4].copy_from_slice(&v.to_le_bytes());
+        }
+    }
+
+    /// Read `n` `f32` values from `addr`.
+    pub fn read_f32s(&self, addr: u64, n: usize) -> Vec<f32> {
+        (0..n)
+            .map(|i| {
+                let at = addr as usize + 4 * i;
+                let mut b = [0u8; 4];
+                b.copy_from_slice(&self.bytes[at..at + 4]);
+                f32::from_le_bytes(b)
+            })
+            .collect()
+    }
+
+    /// Write a slice of bytes at `addr`.
+    pub fn write_u8s(&mut self, addr: u64, data: &[u8]) {
+        self.bytes[addr as usize..addr as usize + data.len()].copy_from_slice(data);
+    }
+
+    /// Read `n` bytes from `addr`.
+    pub fn read_u8s(&self, addr: u64, n: usize) -> Vec<u8> {
+        self.bytes[addr as usize..addr as usize + n].to_vec()
+    }
+
+    /// Write a slice of `u16` values at `addr`.
+    pub fn write_u16s(&mut self, addr: u64, data: &[u16]) {
+        for (i, v) in data.iter().enumerate() {
+            let at = addr as usize + 2 * i;
+            self.bytes[at..at + 2].copy_from_slice(&v.to_le_bytes());
+        }
+    }
+
+    /// Read `n` `u16` values from `addr`.
+    pub fn read_u16s(&self, addr: u64, n: usize) -> Vec<u16> {
+        (0..n)
+            .map(|i| {
+                let at = addr as usize + 2 * i;
+                u16::from_le_bytes([self.bytes[at], self.bytes[at + 1]])
+            })
+            .collect()
+    }
+
+    /// Write a slice of `i16` values at `addr`.
+    pub fn write_i16s(&mut self, addr: u64, data: &[i16]) {
+        for (i, v) in data.iter().enumerate() {
+            let at = addr as usize + 2 * i;
+            self.bytes[at..at + 2].copy_from_slice(&v.to_le_bytes());
+        }
+    }
+
+    /// Write a slice of `i32` values at `addr`.
+    pub fn write_i32s(&mut self, addr: u64, data: &[i32]) {
+        for (i, v) in data.iter().enumerate() {
+            let at = addr as usize + 4 * i;
+            self.bytes[at..at + 4].copy_from_slice(&v.to_le_bytes());
+        }
+    }
+
+    /// Read `n` `i32` values from `addr`.
+    pub fn read_i32s(&self, addr: u64, n: usize) -> Vec<i32> {
+        (0..n)
+            .map(|i| {
+                let at = addr as usize + 4 * i;
+                let mut b = [0u8; 4];
+                b.copy_from_slice(&self.bytes[at..at + 4]);
+                i32::from_le_bytes(b)
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use splitc_workloads::SAXPY_F32;
+
+    #[test]
+    fn offline_then_online_round_trip() {
+        let (module, report) =
+            offline_compile(SAXPY_F32, "k", &OptOptions::full()).expect("offline compiles");
+        assert_eq!(report.total_vectorized(), 1);
+
+        let mut ws = Workspace::new(1 << 14);
+        let n = 40usize;
+        let x = ws.alloc(4 * n as u64);
+        let y = ws.alloc(4 * n as u64);
+        ws.write_f32s(x, &vec![1.0; n]);
+        ws.write_f32s(y, &vec![2.0; n]);
+        let target = TargetDesc::x86_sse();
+        let run = run_on_target(
+            &module,
+            &target,
+            &JitOptions::split(),
+            "saxpy_f32",
+            &[
+                MachineValue::Int(n as i64),
+                MachineValue::Float(3.0),
+                MachineValue::Int(x as i64),
+                MachineValue::Int(y as i64),
+            ],
+            ws.bytes_mut(),
+        )
+        .expect("runs");
+        assert!(run.stats.cycles > 0);
+        assert!(run.jit.used_simd);
+        assert_eq!(ws.read_f32s(y, n), vec![5.0f32; n]);
+    }
+
+    #[test]
+    fn workspace_round_trips_each_type() {
+        let mut ws = Workspace::new(1024);
+        let a = ws.alloc(32);
+        let b = ws.alloc(32);
+        assert_ne!(a, b);
+        ws.write_u8s(a, &[1, 2, 3]);
+        assert_eq!(ws.read_u8s(a, 3), vec![1, 2, 3]);
+        ws.write_u16s(a, &[500, 60_000]);
+        assert_eq!(ws.read_u16s(a, 2), vec![500, 60_000]);
+        ws.write_i32s(b, &[-5, 7]);
+        assert_eq!(ws.read_i32s(b, 2), vec![-5, 7]);
+        ws.write_i16s(b, &[-3]);
+        assert_eq!(ws.bytes()[b as usize], 253);
+    }
+
+    #[test]
+    #[should_panic(expected = "workspace exhausted")]
+    fn workspace_overflow_panics() {
+        let mut ws = Workspace::new(128);
+        let _ = ws.alloc(1024);
+    }
+
+    #[test]
+    fn pipeline_errors_are_reported() {
+        let err = offline_compile("fn broken(", "k", &OptOptions::none()).unwrap_err();
+        assert!(matches!(err, PipelineError::Frontend(_)));
+        assert!(err.to_string().contains("front-end"));
+    }
+}

@@ -1,0 +1,661 @@
+//! Instruction selection: portable bytecode to virtual machine code.
+//!
+//! Lowering is deliberately cheap — this is the *online* step of split
+//! compilation and it runs on the device. In particular:
+//!
+//! * the portable lane-count builtin (`vec.width`) is folded to a constant
+//!   chosen for the target;
+//! * on SIMD targets, the portable vector builtins map one-to-one onto vector
+//!   machine instructions;
+//! * on scalar-only targets, the builtins are *scalarized*: each portable
+//!   vector value becomes a bundle of scalar lane registers and each vector
+//!   operation becomes an unrolled sequence of scalar operations — exactly the
+//!   fallback the paper describes for the UltraSparc and PowerPC JITs.
+
+use crate::compile::JitError;
+use splitc_targets::{AluOp, CmpPred, FpuOp, MInst, PReg, RedOp, RegClass, TargetDesc, Width};
+use splitc_vbc::{
+    BinOp, CmpOp, Function, Inst, ReduceOp, ScalarType, Type, UnOp, VReg,
+    DEFAULT_VECTOR_WIDTH_BYTES,
+};
+use std::collections::HashMap;
+
+/// Machine code with unbounded virtual register indices, before assignment.
+#[derive(Debug, Clone)]
+pub(crate) struct VirtualFunc {
+    /// Function name.
+    pub name: String,
+    /// Virtual registers holding the parameters, in order.
+    pub params: Vec<PReg>,
+    /// One instruction vector per basic block (indices match the bytecode).
+    pub blocks: Vec<Vec<MInst>>,
+    /// Map from bytecode registers to their machine register (scalars only).
+    pub vbc_map: HashMap<VReg, PReg>,
+    /// Machine instructions emitted (lowering work measure).
+    pub emitted: u64,
+}
+
+fn class_index(c: RegClass) -> usize {
+    match c {
+        RegClass::Int => 0,
+        RegClass::Float => 1,
+        RegClass::Vec => 2,
+    }
+}
+
+fn scalar_class(ty: ScalarType) -> RegClass {
+    if ty.is_float() {
+        RegClass::Float
+    } else {
+        RegClass::Int
+    }
+}
+
+fn width_of(ty: ScalarType) -> Width {
+    Width::from_bytes(ty.size_bytes())
+}
+
+struct Lowerer<'a> {
+    func: &'a Function,
+    target: &'a TargetDesc,
+    use_simd: bool,
+    map: HashMap<VReg, PReg>,
+    lanes: HashMap<VReg, Vec<PReg>>,
+    next: [u32; 3],
+    blocks: Vec<Vec<MInst>>,
+    current: usize,
+    emitted: u64,
+}
+
+impl<'a> Lowerer<'a> {
+    fn fresh(&mut self, class: RegClass) -> Result<PReg, JitError> {
+        let idx = self.next[class_index(class)];
+        self.next[class_index(class)] += 1;
+        if idx > u32::from(u16::MAX) {
+            return Err(JitError::Internal(format!(
+                "function {} exhausts the virtual register space",
+                self.func.name
+            )));
+        }
+        Ok(PReg {
+            class,
+            index: idx as u16,
+        })
+    }
+
+    fn scalar_reg(&mut self, r: VReg) -> Result<PReg, JitError> {
+        if let Some(p) = self.map.get(&r) {
+            return Ok(*p);
+        }
+        let class = match self.func.vreg_type(r) {
+            Type::Scalar(s) => scalar_class(s),
+            Type::Vector(_) => {
+                return Err(JitError::Internal(format!(
+                    "vector register {r} used in a scalar position in {}",
+                    self.func.name
+                )));
+            }
+        };
+        let p = self.fresh(class)?;
+        self.map.insert(r, p);
+        Ok(p)
+    }
+
+    /// Number of lanes the target (or the scalarizer) uses for `elem`.
+    fn lane_count(&self, elem: ScalarType) -> u64 {
+        let bytes = if self.use_simd {
+            self.target.vector_bytes()
+        } else {
+            DEFAULT_VECTOR_WIDTH_BYTES
+        };
+        elem.lanes_for_width(bytes)
+    }
+
+    /// The scalar lane registers standing in for vector register `r`.
+    fn lane_regs(&mut self, r: VReg, elem: ScalarType) -> Result<Vec<PReg>, JitError> {
+        if let Some(l) = self.lanes.get(&r) {
+            return Ok(l.clone());
+        }
+        let n = self.lane_count(elem) as usize;
+        let class = scalar_class(elem);
+        let mut regs = Vec::with_capacity(n);
+        for _ in 0..n {
+            regs.push(self.fresh(class)?);
+        }
+        self.lanes.insert(r, regs.clone());
+        Ok(regs)
+    }
+
+    fn vec_reg(&mut self, r: VReg) -> Result<PReg, JitError> {
+        if let Some(p) = self.map.get(&r) {
+            return Ok(*p);
+        }
+        let p = self.fresh(RegClass::Vec)?;
+        self.map.insert(r, p);
+        Ok(p)
+    }
+
+    fn emit(&mut self, inst: MInst) {
+        self.emitted += 1;
+        self.blocks[self.current].push(inst);
+    }
+
+    fn alu_of(op: BinOp) -> AluOp {
+        match op {
+            BinOp::Add => AluOp::Add,
+            BinOp::Sub => AluOp::Sub,
+            BinOp::Mul => AluOp::Mul,
+            BinOp::Div => AluOp::Div,
+            BinOp::Rem => AluOp::Rem,
+            BinOp::And => AluOp::And,
+            BinOp::Or => AluOp::Or,
+            BinOp::Xor => AluOp::Xor,
+            BinOp::Shl => AluOp::Shl,
+            BinOp::Shr => AluOp::Shr,
+            BinOp::Min => AluOp::Min,
+            BinOp::Max => AluOp::Max,
+        }
+    }
+
+    fn fpu_of(op: BinOp) -> Result<FpuOp, JitError> {
+        Ok(match op {
+            BinOp::Add => FpuOp::Add,
+            BinOp::Sub => FpuOp::Sub,
+            BinOp::Mul => FpuOp::Mul,
+            BinOp::Div => FpuOp::Div,
+            BinOp::Min => FpuOp::Min,
+            BinOp::Max => FpuOp::Max,
+            other => {
+                return Err(JitError::Internal(format!(
+                    "operator {other} has no floating-point machine form"
+                )));
+            }
+        })
+    }
+
+    fn pred_of(op: CmpOp) -> CmpPred {
+        match op {
+            CmpOp::Eq => CmpPred::Eq,
+            CmpOp::Ne => CmpPred::Ne,
+            CmpOp::Lt => CmpPred::Lt,
+            CmpOp::Le => CmpPred::Le,
+            CmpOp::Gt => CmpPred::Gt,
+            CmpOp::Ge => CmpPred::Ge,
+        }
+    }
+
+    fn red_of(op: ReduceOp) -> RedOp {
+        match op {
+            ReduceOp::Add => RedOp::Add,
+            ReduceOp::Min => RedOp::Min,
+            ReduceOp::Max => RedOp::Max,
+        }
+    }
+
+    fn scalar_bin(&mut self, op: BinOp, ty: ScalarType, dst: PReg, lhs: PReg, rhs: PReg) -> Result<(), JitError> {
+        if ty.is_float() {
+            self.emit(MInst::FloatOp {
+                op: Self::fpu_of(op)?,
+                double: ty == ScalarType::F64,
+                dst,
+                lhs,
+                rhs,
+            });
+        } else {
+            self.emit(MInst::IntOp {
+                op: Self::alu_of(op),
+                width: width_of(ty),
+                signed: ty.is_signed(),
+                dst,
+                lhs,
+                rhs,
+            });
+        }
+        Ok(())
+    }
+
+    fn lower_inst(&mut self, inst: &Inst) -> Result<(), JitError> {
+        match inst {
+            Inst::Const { dst, ty, imm } => {
+                let d = self.scalar_reg(*dst)?;
+                if ty.is_float() {
+                    self.emit(MInst::FImm { dst: d, value: imm.as_f64() });
+                } else {
+                    self.emit(MInst::Imm {
+                        dst: d,
+                        value: splitc_vbc::normalize_int(*ty, imm.as_i64()),
+                    });
+                }
+            }
+            Inst::Move { dst, src, .. } => {
+                let d = self.scalar_reg(*dst)?;
+                let s = self.scalar_reg(*src)?;
+                self.emit(MInst::Mov { dst: d, src: s });
+            }
+            Inst::Bin { op, ty, dst, lhs, rhs } => {
+                let d = self.scalar_reg(*dst)?;
+                let l = self.scalar_reg(*lhs)?;
+                let r = self.scalar_reg(*rhs)?;
+                self.scalar_bin(*op, *ty, d, l, r)?;
+            }
+            Inst::Un { op, ty, dst, src } => {
+                let d = self.scalar_reg(*dst)?;
+                let s = self.scalar_reg(*src)?;
+                match (op, ty.is_float()) {
+                    (UnOp::Neg, true) => self.emit(MInst::FloatNeg {
+                        double: *ty == ScalarType::F64,
+                        dst: d,
+                        src: s,
+                    }),
+                    (UnOp::Neg, false) => self.emit(MInst::IntNeg {
+                        width: width_of(*ty),
+                        dst: d,
+                        src: s,
+                    }),
+                    (UnOp::Not, _) => self.emit(MInst::IntNot {
+                        width: width_of(*ty),
+                        dst: d,
+                        src: s,
+                    }),
+                }
+            }
+            Inst::Cmp { op, ty, dst, lhs, rhs } => {
+                let d = self.scalar_reg(*dst)?;
+                let l = self.scalar_reg(*lhs)?;
+                let r = self.scalar_reg(*rhs)?;
+                if ty.is_float() {
+                    self.emit(MInst::FloatCmp {
+                        pred: Self::pred_of(*op),
+                        double: *ty == ScalarType::F64,
+                        dst: d,
+                        lhs: l,
+                        rhs: r,
+                    });
+                } else {
+                    self.emit(MInst::IntCmp {
+                        pred: Self::pred_of(*op),
+                        width: width_of(*ty),
+                        signed: ty.is_signed(),
+                        dst: d,
+                        lhs: l,
+                        rhs: r,
+                    });
+                }
+            }
+            Inst::Select { dst, cond, if_true, if_false, .. } => {
+                let d = self.scalar_reg(*dst)?;
+                let c = self.scalar_reg(*cond)?;
+                let t = self.scalar_reg(*if_true)?;
+                let e = self.scalar_reg(*if_false)?;
+                self.emit(MInst::Select {
+                    dst: d,
+                    cond: c,
+                    if_true: t,
+                    if_false: e,
+                });
+            }
+            Inst::Cast { dst, to, src, from } => {
+                let d = self.scalar_reg(*dst)?;
+                let s = self.scalar_reg(*src)?;
+                match (from.is_float(), to.is_float()) {
+                    (false, false) => self.emit(MInst::IntResize {
+                        width: width_of(*to),
+                        signed: to.is_signed(),
+                        dst: d,
+                        src: s,
+                    }),
+                    (false, true) => self.emit(MInst::IntToFloat {
+                        signed: from.is_signed(),
+                        double: *to == ScalarType::F64,
+                        dst: d,
+                        src: s,
+                    }),
+                    (true, false) => self.emit(MInst::FloatToInt {
+                        width: width_of(*to),
+                        signed: to.is_signed(),
+                        dst: d,
+                        src: s,
+                    }),
+                    (true, true) => self.emit(MInst::FloatCvt {
+                        to_double: *to == ScalarType::F64,
+                        dst: d,
+                        src: s,
+                    }),
+                }
+            }
+            Inst::Load { dst, ty, addr, offset } => {
+                let d = self.scalar_reg(*dst)?;
+                let a = self.scalar_reg(*addr)?;
+                self.emit(MInst::Load {
+                    width: width_of(*ty),
+                    float: ty.is_float(),
+                    signed: ty.is_signed(),
+                    dst: d,
+                    base: a,
+                    offset: *offset,
+                });
+            }
+            Inst::Store { ty, addr, offset, value } => {
+                let a = self.scalar_reg(*addr)?;
+                let v = self.scalar_reg(*value)?;
+                self.emit(MInst::Store {
+                    width: width_of(*ty),
+                    float: ty.is_float(),
+                    base: a,
+                    offset: *offset,
+                    src: v,
+                });
+            }
+            Inst::Call { dst, callee, args } => {
+                let ret = match dst {
+                    Some(d) => Some(self.scalar_reg(*d)?),
+                    None => None,
+                };
+                let mut margs = Vec::with_capacity(args.len());
+                for a in args {
+                    margs.push(self.scalar_reg(*a)?);
+                }
+                self.emit(MInst::Call {
+                    callee: callee.clone(),
+                    args: margs,
+                    ret,
+                });
+            }
+            Inst::VecWidth { dst, elem } => {
+                // This is where the online compiler resolves the portable lane
+                // count: a plain constant for this target.
+                let d = self.scalar_reg(*dst)?;
+                self.emit(MInst::Imm {
+                    dst: d,
+                    value: self.lane_count(*elem) as i64,
+                });
+            }
+            Inst::VecSplat { dst, elem, src } => {
+                let s = self.scalar_reg(*src)?;
+                if self.use_simd {
+                    let d = self.vec_reg(*dst)?;
+                    if elem.is_float() {
+                        self.emit(MInst::VecSplatFloat {
+                            elem: width_of(*elem),
+                            dst: d,
+                            src: s,
+                        });
+                    } else {
+                        self.emit(MInst::VecSplatInt {
+                            elem: width_of(*elem),
+                            dst: d,
+                            src: s,
+                        });
+                    }
+                } else {
+                    let lanes = self.lane_regs(*dst, *elem)?;
+                    for lane in lanes {
+                        self.emit(MInst::Mov { dst: lane, src: s });
+                    }
+                }
+            }
+            Inst::VecLoad { dst, elem, addr, offset } => {
+                let a = self.scalar_reg(*addr)?;
+                if self.use_simd {
+                    let d = self.vec_reg(*dst)?;
+                    self.emit(MInst::VecLoad {
+                        dst: d,
+                        base: a,
+                        offset: *offset,
+                    });
+                } else {
+                    let lanes = self.lane_regs(*dst, *elem)?;
+                    for (i, lane) in lanes.into_iter().enumerate() {
+                        self.emit(MInst::Load {
+                            width: width_of(*elem),
+                            float: elem.is_float(),
+                            signed: elem.is_signed(),
+                            dst: lane,
+                            base: a,
+                            offset: *offset + (i as i64) * elem.size_bytes() as i64,
+                        });
+                    }
+                }
+            }
+            Inst::VecStore { elem, addr, offset, value } => {
+                let a = self.scalar_reg(*addr)?;
+                if self.use_simd {
+                    let v = self.vec_reg(*value)?;
+                    self.emit(MInst::VecStore {
+                        base: a,
+                        offset: *offset,
+                        src: v,
+                    });
+                } else {
+                    let lanes = self.lane_regs(*value, *elem)?;
+                    for (i, lane) in lanes.into_iter().enumerate() {
+                        self.emit(MInst::Store {
+                            width: width_of(*elem),
+                            float: elem.is_float(),
+                            base: a,
+                            offset: *offset + (i as i64) * elem.size_bytes() as i64,
+                            src: lane,
+                        });
+                    }
+                }
+            }
+            Inst::VecBin { op, elem, dst, lhs, rhs } => {
+                if self.use_simd {
+                    let d = self.vec_reg(*dst)?;
+                    let l = self.vec_reg(*lhs)?;
+                    let r = self.vec_reg(*rhs)?;
+                    if elem.is_float() {
+                        self.emit(MInst::VecFloatOp {
+                            op: Self::fpu_of(*op)?,
+                            elem: width_of(*elem),
+                            dst: d,
+                            lhs: l,
+                            rhs: r,
+                        });
+                    } else {
+                        self.emit(MInst::VecIntOp {
+                            op: Self::alu_of(*op),
+                            elem: width_of(*elem),
+                            signed: elem.is_signed(),
+                            dst: d,
+                            lhs: l,
+                            rhs: r,
+                        });
+                    }
+                } else {
+                    let l = self.lane_regs(*lhs, *elem)?;
+                    let r = self.lane_regs(*rhs, *elem)?;
+                    let d = self.lane_regs(*dst, *elem)?;
+                    for i in 0..d.len() {
+                        self.scalar_bin(*op, *elem, d[i], l[i], r[i])?;
+                    }
+                }
+            }
+            Inst::VecReduce { op, elem, dst, src } => {
+                let d = self.scalar_reg(*dst)?;
+                if self.use_simd {
+                    let s = self.vec_reg(*src)?;
+                    if elem.is_float() {
+                        self.emit(MInst::VecReduceFloat {
+                            op: Self::red_of(*op),
+                            elem: width_of(*elem),
+                            dst: d,
+                            src: s,
+                        });
+                    } else {
+                        self.emit(MInst::VecReduceInt {
+                            op: Self::red_of(*op),
+                            elem: width_of(*elem),
+                            signed: elem.is_signed(),
+                            dst: d,
+                            src: s,
+                        });
+                    }
+                } else {
+                    let lanes = self.lane_regs(*src, *elem)?;
+                    self.emit(MInst::Mov { dst: d, src: lanes[0] });
+                    for lane in &lanes[1..] {
+                        self.scalar_bin(op.as_bin_op(), *elem, d, d, *lane)?;
+                    }
+                }
+            }
+            Inst::Jump { target } => self.emit(MInst::Jump { target: target.0 }),
+            Inst::Branch { cond, then_bb, else_bb } => {
+                let c = self.scalar_reg(*cond)?;
+                self.emit(MInst::BranchNz {
+                    cond: c,
+                    then_target: then_bb.0,
+                    else_target: else_bb.0,
+                });
+            }
+            Inst::Ret { value } => {
+                let v = match value {
+                    Some(r) => Some(self.scalar_reg(*r)?),
+                    None => None,
+                };
+                self.emit(MInst::Ret { value: v });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Lower one bytecode function to virtual machine code for `target`.
+///
+/// `use_simd` selects between direct SIMD mapping and scalarization of the
+/// portable vector builtins; it must only be `true` when the target has a
+/// vector unit.
+pub(crate) fn lower_function(
+    func: &Function,
+    target: &TargetDesc,
+    use_simd: bool,
+) -> Result<VirtualFunc, JitError> {
+    let mut low = Lowerer {
+        func,
+        target,
+        use_simd,
+        map: HashMap::new(),
+        lanes: HashMap::new(),
+        next: [0, 0, 0],
+        blocks: vec![Vec::new(); func.blocks.len()],
+        current: 0,
+        emitted: 0,
+    };
+    // Parameters first, so they occupy the first virtual registers.
+    let mut params = Vec::with_capacity(func.params.len());
+    for (reg, ty) in &func.params {
+        if ty.is_vector() {
+            return Err(JitError::Internal(format!(
+                "function {} has a vector-typed parameter",
+                func.name
+            )));
+        }
+        params.push(low.scalar_reg(*reg)?);
+    }
+    for block in &func.blocks {
+        low.current = block.id.index();
+        for inst in &block.insts {
+            low.lower_inst(inst)?;
+        }
+    }
+    Ok(VirtualFunc {
+        name: func.name.clone(),
+        params,
+        blocks: low.blocks,
+        vbc_map: low.map,
+        emitted: low.emitted,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use splitc_minic::compile_source;
+    use splitc_opt::{optimize_module, OptOptions};
+
+    fn saxpy_module(vectorized: bool) -> splitc_vbc::Module {
+        let mut m = compile_source(
+            "fn saxpy(n: i32, a: f32, x: *f32, y: *f32) {
+                for (let i: i32 = 0; i < n; i = i + 1) { y[i] = a * x[i] + y[i]; }
+            }",
+            "k",
+        )
+        .unwrap();
+        if vectorized {
+            optimize_module(&mut m, &OptOptions::full());
+        }
+        m
+    }
+
+    #[test]
+    fn scalar_code_lowers_one_to_one_blocks() {
+        let m = saxpy_module(false);
+        let f = m.function("saxpy").unwrap();
+        let target = TargetDesc::x86_sse();
+        let vf = lower_function(f, &target, true).unwrap();
+        assert_eq!(vf.blocks.len(), f.blocks.len());
+        assert_eq!(vf.params.len(), 4);
+        assert!(vf.emitted as usize >= f.num_insts());
+        // No vector machine instructions in scalar bytecode.
+        assert!(vf.blocks.iter().flatten().all(|i| !i.is_vector()));
+    }
+
+    #[test]
+    fn simd_target_maps_builtins_to_vector_instructions() {
+        let m = saxpy_module(true);
+        let f = m.function("saxpy").unwrap();
+        let target = TargetDesc::x86_sse();
+        let vf = lower_function(f, &target, true).unwrap();
+        assert!(vf.blocks.iter().flatten().any(|i| i.is_vector()));
+        // The portable lane count folded to 4 (16 bytes / f32).
+        assert!(vf
+            .blocks
+            .iter()
+            .flatten()
+            .any(|i| matches!(i, MInst::Imm { value: 4, .. })));
+    }
+
+    #[test]
+    fn scalar_only_target_scalarizes_with_unrolled_lanes() {
+        let m = saxpy_module(true);
+        let f = m.function("saxpy").unwrap();
+        let target = TargetDesc::ultrasparc();
+        let vf = lower_function(f, &target, false).unwrap();
+        // No vector machine instructions may appear...
+        assert!(vf.blocks.iter().flatten().all(|i| !i.is_vector()));
+        // ...but the vector body is unrolled: more machine instructions than
+        // the SIMD lowering of the same bytecode.
+        let simd = lower_function(f, &TargetDesc::x86_sse(), true).unwrap();
+        assert!(vf.emitted > simd.emitted);
+        // The scalarization factor still shows up as the lane-count constant.
+        assert!(vf
+            .blocks
+            .iter()
+            .flatten()
+            .any(|i| matches!(i, MInst::Imm { value: 4, .. })));
+    }
+
+    #[test]
+    fn u8_kernels_scalarize_to_sixteen_lanes() {
+        let mut m = compile_source(
+            "fn max_u8(n: i32, x: *u8) -> u8 {
+                let mx: u8 = 0;
+                for (let i: i32 = 0; i < n; i = i + 1) { mx = max(mx, x[i]); }
+                return mx;
+            }",
+            "k",
+        )
+        .unwrap();
+        optimize_module(&mut m, &OptOptions::full());
+        let f = m.function("max_u8").unwrap();
+        let vf = lower_function(f, &TargetDesc::powerpc(), false).unwrap();
+        // 16 u8 lanes -> at least 16 scalar loads in the unrolled vector body.
+        let loads = vf
+            .blocks
+            .iter()
+            .flatten()
+            .filter(|i| matches!(i, MInst::Load { width: Width::W8, .. }))
+            .count();
+        assert!(loads >= 17, "16 unrolled lanes plus the scalar epilogue, got {loads}");
+    }
+}

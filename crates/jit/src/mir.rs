@@ -1,0 +1,244 @@
+//! Helpers over the virtual machine code used inside the online compiler.
+//!
+//! The lowering phase produces machine instructions whose register indices are
+//! *virtual* (unbounded); the register assignment phase then rewrites them to
+//! the target's physical registers. This module provides the def/use/rewrite
+//! introspection both phases need.
+
+use splitc_targets::{MInst, PReg};
+
+/// The registers read by a machine instruction, in operand order.
+pub fn uses(inst: &MInst) -> Vec<PReg> {
+    match inst {
+        MInst::Imm { .. } | MInst::FImm { .. } | MInst::Jump { .. } | MInst::Reload { .. } => vec![],
+        MInst::Mov { src, .. }
+        | MInst::IntNeg { src, .. }
+        | MInst::IntNot { src, .. }
+        | MInst::FloatNeg { src, .. }
+        | MInst::IntToFloat { src, .. }
+        | MInst::FloatToInt { src, .. }
+        | MInst::FloatCvt { src, .. }
+        | MInst::IntResize { src, .. }
+        | MInst::VecSplatInt { src, .. }
+        | MInst::VecSplatFloat { src, .. }
+        | MInst::VecReduceInt { src, .. }
+        | MInst::VecReduceFloat { src, .. }
+        | MInst::Spill { src, .. } => vec![*src],
+        MInst::IntOp { lhs, rhs, .. }
+        | MInst::FloatOp { lhs, rhs, .. }
+        | MInst::IntCmp { lhs, rhs, .. }
+        | MInst::FloatCmp { lhs, rhs, .. }
+        | MInst::VecIntOp { lhs, rhs, .. }
+        | MInst::VecFloatOp { lhs, rhs, .. } => vec![*lhs, *rhs],
+        MInst::Select {
+            cond,
+            if_true,
+            if_false,
+            ..
+        } => vec![*cond, *if_true, *if_false],
+        MInst::Load { base, .. } | MInst::VecLoad { base, .. } => vec![*base],
+        MInst::Store { base, src, .. } | MInst::VecStore { base, src, .. } => vec![*base, *src],
+        MInst::BranchNz { cond, .. } => vec![*cond],
+        MInst::Call { args, .. } => args.clone(),
+        MInst::Ret { value } => value.iter().copied().collect(),
+    }
+}
+
+/// The register defined by a machine instruction, if any.
+pub fn def(inst: &MInst) -> Option<PReg> {
+    match inst {
+        MInst::Imm { dst, .. }
+        | MInst::FImm { dst, .. }
+        | MInst::Mov { dst, .. }
+        | MInst::IntOp { dst, .. }
+        | MInst::FloatOp { dst, .. }
+        | MInst::IntNeg { dst, .. }
+        | MInst::IntNot { dst, .. }
+        | MInst::FloatNeg { dst, .. }
+        | MInst::IntCmp { dst, .. }
+        | MInst::FloatCmp { dst, .. }
+        | MInst::Select { dst, .. }
+        | MInst::IntToFloat { dst, .. }
+        | MInst::FloatToInt { dst, .. }
+        | MInst::FloatCvt { dst, .. }
+        | MInst::IntResize { dst, .. }
+        | MInst::Load { dst, .. }
+        | MInst::VecLoad { dst, .. }
+        | MInst::VecSplatInt { dst, .. }
+        | MInst::VecSplatFloat { dst, .. }
+        | MInst::VecIntOp { dst, .. }
+        | MInst::VecFloatOp { dst, .. }
+        | MInst::VecReduceInt { dst, .. }
+        | MInst::VecReduceFloat { dst, .. }
+        | MInst::Reload { dst, .. } => Some(*dst),
+        MInst::Call { ret, .. } => *ret,
+        MInst::Spill { .. }
+        | MInst::Store { .. }
+        | MInst::VecStore { .. }
+        | MInst::Jump { .. }
+        | MInst::BranchNz { .. }
+        | MInst::Ret { .. } => None,
+    }
+}
+
+/// Rewrite the *use* operands of `inst` with `f` (the definition is untouched).
+pub fn rewrite_uses(inst: &mut MInst, mut f: impl FnMut(PReg) -> PReg) {
+    match inst {
+        MInst::Imm { .. } | MInst::FImm { .. } | MInst::Jump { .. } | MInst::Reload { .. } => {}
+        MInst::Mov { src, .. }
+        | MInst::IntNeg { src, .. }
+        | MInst::IntNot { src, .. }
+        | MInst::FloatNeg { src, .. }
+        | MInst::IntToFloat { src, .. }
+        | MInst::FloatToInt { src, .. }
+        | MInst::FloatCvt { src, .. }
+        | MInst::IntResize { src, .. }
+        | MInst::VecSplatInt { src, .. }
+        | MInst::VecSplatFloat { src, .. }
+        | MInst::VecReduceInt { src, .. }
+        | MInst::VecReduceFloat { src, .. }
+        | MInst::Spill { src, .. } => *src = f(*src),
+        MInst::IntOp { lhs, rhs, .. }
+        | MInst::FloatOp { lhs, rhs, .. }
+        | MInst::IntCmp { lhs, rhs, .. }
+        | MInst::FloatCmp { lhs, rhs, .. }
+        | MInst::VecIntOp { lhs, rhs, .. }
+        | MInst::VecFloatOp { lhs, rhs, .. } => {
+            *lhs = f(*lhs);
+            *rhs = f(*rhs);
+        }
+        MInst::Select {
+            cond,
+            if_true,
+            if_false,
+            ..
+        } => {
+            *cond = f(*cond);
+            *if_true = f(*if_true);
+            *if_false = f(*if_false);
+        }
+        MInst::Load { base, .. } | MInst::VecLoad { base, .. } => *base = f(*base),
+        MInst::Store { base, src, .. } | MInst::VecStore { base, src, .. } => {
+            *base = f(*base);
+            *src = f(*src);
+        }
+        MInst::BranchNz { cond, .. } => *cond = f(*cond),
+        MInst::Call { args, .. } => {
+            for a in args {
+                *a = f(*a);
+            }
+        }
+        MInst::Ret { value } => {
+            if let Some(v) = value {
+                *v = f(*v);
+            }
+        }
+    }
+}
+
+/// Rewrite the *definition* operand of `inst` with `f`, if it has one.
+pub fn rewrite_def(inst: &mut MInst, mut f: impl FnMut(PReg) -> PReg) {
+    match inst {
+        MInst::Imm { dst, .. }
+        | MInst::FImm { dst, .. }
+        | MInst::Mov { dst, .. }
+        | MInst::IntOp { dst, .. }
+        | MInst::FloatOp { dst, .. }
+        | MInst::IntNeg { dst, .. }
+        | MInst::IntNot { dst, .. }
+        | MInst::FloatNeg { dst, .. }
+        | MInst::IntCmp { dst, .. }
+        | MInst::FloatCmp { dst, .. }
+        | MInst::Select { dst, .. }
+        | MInst::IntToFloat { dst, .. }
+        | MInst::FloatToInt { dst, .. }
+        | MInst::FloatCvt { dst, .. }
+        | MInst::IntResize { dst, .. }
+        | MInst::Load { dst, .. }
+        | MInst::VecLoad { dst, .. }
+        | MInst::VecSplatInt { dst, .. }
+        | MInst::VecSplatFloat { dst, .. }
+        | MInst::VecIntOp { dst, .. }
+        | MInst::VecFloatOp { dst, .. }
+        | MInst::VecReduceInt { dst, .. }
+        | MInst::VecReduceFloat { dst, .. }
+        | MInst::Reload { dst, .. } => *dst = f(*dst),
+        MInst::Call { ret, .. } => {
+            if let Some(r) = ret {
+                *r = f(*r);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Control-flow successors of a terminator.
+pub fn successors(inst: &MInst) -> Vec<u32> {
+    match inst {
+        MInst::Jump { target } => vec![*target],
+        MInst::BranchNz {
+            then_target,
+            else_target,
+            ..
+        } => vec![*then_target, *else_target],
+        _ => vec![],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use splitc_targets::{AluOp, Width};
+
+    #[test]
+    fn def_use_and_rewrite_cover_alu() {
+        let mut i = MInst::IntOp {
+            op: AluOp::Add,
+            width: Width::W32,
+            signed: true,
+            dst: PReg::int(0),
+            lhs: PReg::int(1),
+            rhs: PReg::int(2),
+        };
+        assert_eq!(def(&i), Some(PReg::int(0)));
+        assert_eq!(uses(&i), vec![PReg::int(1), PReg::int(2)]);
+        rewrite_uses(&mut i, |r| PReg::int(r.index + 10));
+        rewrite_def(&mut i, |_| PReg::int(5));
+        assert_eq!(def(&i), Some(PReg::int(5)));
+        assert_eq!(uses(&i), vec![PReg::int(11), PReg::int(12)]);
+    }
+
+    #[test]
+    fn stores_and_branches_have_no_defs() {
+        let s = MInst::Store {
+            width: Width::W32,
+            float: true,
+            base: PReg::int(0),
+            offset: 0,
+            src: PReg::float(1),
+        };
+        assert_eq!(def(&s), None);
+        assert_eq!(uses(&s), vec![PReg::int(0), PReg::float(1)]);
+        let b = MInst::BranchNz {
+            cond: PReg::int(3),
+            then_target: 1,
+            else_target: 2,
+        };
+        assert_eq!(successors(&b), vec![1, 2]);
+        assert_eq!(uses(&b), vec![PReg::int(3)]);
+        assert_eq!(successors(&MInst::Ret { value: None }), Vec::<u32>::new());
+    }
+
+    #[test]
+    fn calls_use_args_and_define_ret() {
+        let mut c = MInst::Call {
+            callee: "g".into(),
+            args: vec![PReg::int(1), PReg::float(0)],
+            ret: Some(PReg::float(2)),
+        };
+        assert_eq!(def(&c), Some(PReg::float(2)));
+        assert_eq!(uses(&c).len(), 2);
+        rewrite_uses(&mut c, |r| PReg { class: r.class, index: r.index + 1 });
+        assert_eq!(uses(&c), vec![PReg::int(2), PReg::float(1)]);
+    }
+}

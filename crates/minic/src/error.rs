@@ -1,0 +1,85 @@
+//! Front-end error type shared by the lexer, parser and lowering.
+
+use crate::token::Span;
+use std::error::Error;
+use std::fmt;
+
+/// An error produced while compiling mini-C source to bytecode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompileError {
+    /// Which front-end stage detected the problem.
+    pub stage: Stage,
+    /// Source position, when known.
+    pub span: Option<Span>,
+    /// Human-readable description.
+    pub message: String,
+}
+
+/// The front-end stage that produced a [`CompileError`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Stage {
+    /// Tokenization.
+    Lex,
+    /// Parsing.
+    Parse,
+    /// Type checking and lowering.
+    Lower,
+}
+
+impl CompileError {
+    /// Create a lexer error at `span`.
+    pub fn lex(span: Span, message: impl Into<String>) -> Self {
+        CompileError {
+            stage: Stage::Lex,
+            span: Some(span),
+            message: message.into(),
+        }
+    }
+
+    /// Create a parser error at `span`.
+    pub fn parse(span: Span, message: impl Into<String>) -> Self {
+        CompileError {
+            stage: Stage::Parse,
+            span: Some(span),
+            message: message.into(),
+        }
+    }
+
+    /// Create a lowering/type error (no precise source position).
+    pub fn lower(message: impl Into<String>) -> Self {
+        CompileError {
+            stage: Stage::Lower,
+            span: None,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let stage = match self.stage {
+            Stage::Lex => "lex",
+            Stage::Parse => "parse",
+            Stage::Lower => "lower",
+        };
+        match self.span {
+            Some(span) => write!(f, "{stage} error at {span}: {}", self.message),
+            None => write!(f, "{stage} error: {}", self.message),
+        }
+    }
+}
+
+impl Error for CompileError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn errors_render_with_and_without_spans() {
+        let e = CompileError::parse(Span::new(2, 5), "expected `;`");
+        assert_eq!(e.to_string(), "parse error at 2:5: expected `;`");
+        let e = CompileError::lower("type mismatch");
+        assert_eq!(e.to_string(), "lower error: type mismatch");
+    }
+}

@@ -1,0 +1,289 @@
+//! Hand-written lexer for the mini-C kernel language.
+
+use crate::error::CompileError;
+use crate::token::{Span, Token, TokenKind};
+
+/// Tokenize `source` into a vector of tokens ending with [`TokenKind::Eof`].
+///
+/// # Errors
+///
+/// Returns a [`CompileError`] on unknown characters or malformed numeric
+/// literals.
+///
+/// # Examples
+///
+/// ```
+/// use splitc_minic::lex;
+/// let tokens = lex("fn f() { return; }").unwrap();
+/// assert!(tokens.len() > 5);
+/// ```
+pub fn lex(source: &str) -> Result<Vec<Token>, CompileError> {
+    Lexer::new(source).run()
+}
+
+struct Lexer<'a> {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    col: u32,
+    source: &'a str,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(source: &'a str) -> Self {
+        Lexer {
+            chars: source.chars().collect(),
+            pos: 0,
+            line: 1,
+            col: 1,
+            source,
+        }
+    }
+
+    fn span(&self) -> Span {
+        Span::new(self.line, self.col)
+    }
+
+    fn peek(&self) -> Option<char> {
+        self.chars.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<char> {
+        self.chars.get(self.pos + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.peek()?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn skip_trivia(&mut self) {
+        loop {
+            match self.peek() {
+                Some(c) if c.is_whitespace() => {
+                    self.bump();
+                }
+                Some('/') if self.peek2() == Some('/') => {
+                    while let Some(c) = self.peek() {
+                        if c == '\n' {
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                _ => break,
+            }
+        }
+    }
+
+    fn run(mut self) -> Result<Vec<Token>, CompileError> {
+        let mut tokens = Vec::new();
+        loop {
+            self.skip_trivia();
+            let span = self.span();
+            let Some(c) = self.peek() else {
+                tokens.push(Token {
+                    kind: TokenKind::Eof,
+                    span,
+                });
+                return Ok(tokens);
+            };
+            let kind = if c.is_ascii_digit() {
+                self.number(span)?
+            } else if c.is_ascii_alphabetic() || c == '_' {
+                self.ident()
+            } else {
+                self.symbol(span)?
+            };
+            tokens.push(Token { kind, span });
+        }
+    }
+
+    fn number(&mut self, span: Span) -> Result<TokenKind, CompileError> {
+        let start = self.pos;
+        let mut is_float = false;
+        while let Some(c) = self.peek() {
+            if c.is_ascii_digit() || c == '_' {
+                self.bump();
+            } else if c == '.' && !is_float && self.peek2().is_some_and(|d| d.is_ascii_digit()) {
+                is_float = true;
+                self.bump();
+            } else if (c == 'e' || c == 'E')
+                && self
+                    .peek2()
+                    .is_some_and(|d| d.is_ascii_digit() || d == '-' || d == '+')
+            {
+                is_float = true;
+                self.bump();
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        let text: String = self.chars[start..self.pos].iter().filter(|c| **c != '_').collect();
+        if is_float {
+            text.parse::<f64>()
+                .map(TokenKind::Float)
+                .map_err(|_| CompileError::lex(span, format!("malformed float literal `{text}`")))
+        } else {
+            text.parse::<i64>()
+                .map(TokenKind::Int)
+                .map_err(|_| CompileError::lex(span, format!("malformed integer literal `{text}`")))
+        }
+    }
+
+    fn ident(&mut self) -> TokenKind {
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            if c.is_ascii_alphanumeric() || c == '_' {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        let text: String = self.chars[start..self.pos].iter().collect();
+        match text.as_str() {
+            "fn" => TokenKind::KwFn,
+            "let" => TokenKind::KwLet,
+            "if" => TokenKind::KwIf,
+            "else" => TokenKind::KwElse,
+            "while" => TokenKind::KwWhile,
+            "for" => TokenKind::KwFor,
+            "return" => TokenKind::KwReturn,
+            "as" => TokenKind::KwAs,
+            _ => TokenKind::Ident(text),
+        }
+    }
+
+    fn symbol(&mut self, span: Span) -> Result<TokenKind, CompileError> {
+        let c = self.bump().expect("symbol called with a character available");
+        let two = |l: &mut Self, next: char, yes: TokenKind, no: TokenKind| {
+            if l.peek() == Some(next) {
+                l.bump();
+                yes
+            } else {
+                no
+            }
+        };
+        Ok(match c {
+            '(' => TokenKind::LParen,
+            ')' => TokenKind::RParen,
+            '{' => TokenKind::LBrace,
+            '}' => TokenKind::RBrace,
+            '[' => TokenKind::LBracket,
+            ']' => TokenKind::RBracket,
+            ',' => TokenKind::Comma,
+            ';' => TokenKind::Semi,
+            ':' => TokenKind::Colon,
+            '*' => TokenKind::Star,
+            '+' => TokenKind::Plus,
+            '/' => TokenKind::Slash,
+            '%' => TokenKind::Percent,
+            '^' => TokenKind::Caret,
+            '~' => TokenKind::Tilde,
+            '-' => two(self, '>', TokenKind::Arrow, TokenKind::Minus),
+            '&' => two(self, '&', TokenKind::AndAnd, TokenKind::Amp),
+            '|' => two(self, '|', TokenKind::OrOr, TokenKind::Pipe),
+            '!' => two(self, '=', TokenKind::NotEq, TokenKind::Bang),
+            '=' => two(self, '=', TokenKind::EqEq, TokenKind::Assign),
+            '<' => {
+                if self.peek() == Some('<') {
+                    self.bump();
+                    TokenKind::Shl
+                } else {
+                    two(self, '=', TokenKind::Le, TokenKind::Lt)
+                }
+            }
+            '>' => {
+                if self.peek() == Some('>') {
+                    self.bump();
+                    TokenKind::Shr
+                } else {
+                    two(self, '=', TokenKind::Ge, TokenKind::Gt)
+                }
+            }
+            other => {
+                let _ = self.source;
+                return Err(CompileError::lex(span, format!("unexpected character `{other}`")));
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_keywords_idents_and_symbols() {
+        let k = kinds("fn add(a: i32) -> i32 { return a + 1; }");
+        assert_eq!(k[0], TokenKind::KwFn);
+        assert_eq!(k[1], TokenKind::Ident("add".into()));
+        assert!(k.contains(&TokenKind::Arrow));
+        assert!(k.contains(&TokenKind::KwReturn));
+        assert_eq!(*k.last().unwrap(), TokenKind::Eof);
+    }
+
+    #[test]
+    fn lexes_numbers() {
+        assert_eq!(kinds("42")[0], TokenKind::Int(42));
+        assert_eq!(kinds("1_000")[0], TokenKind::Int(1000));
+        assert_eq!(kinds("2.5")[0], TokenKind::Float(2.5));
+        assert_eq!(kinds("1e3")[0], TokenKind::Float(1000.0));
+        assert_eq!(kinds("2.5e-1")[0], TokenKind::Float(0.25));
+    }
+
+    #[test]
+    fn distinguishes_compound_operators() {
+        assert_eq!(
+            kinds("a <= b << c < d")
+                .into_iter()
+                .filter(|k| !matches!(k, TokenKind::Ident(_) | TokenKind::Eof))
+                .collect::<Vec<_>>(),
+            vec![TokenKind::Le, TokenKind::Shl, TokenKind::Lt]
+        );
+        assert_eq!(
+            kinds("a && b & c || d | e")
+                .into_iter()
+                .filter(|k| !matches!(k, TokenKind::Ident(_) | TokenKind::Eof))
+                .collect::<Vec<_>>(),
+            vec![TokenKind::AndAnd, TokenKind::Amp, TokenKind::OrOr, TokenKind::Pipe]
+        );
+        assert_eq!(
+            kinds("a == b = c != d ! e")
+                .into_iter()
+                .filter(|k| !matches!(k, TokenKind::Ident(_) | TokenKind::Eof))
+                .collect::<Vec<_>>(),
+            vec![TokenKind::EqEq, TokenKind::Assign, TokenKind::NotEq, TokenKind::Bang]
+        );
+    }
+
+    #[test]
+    fn skips_comments_and_tracks_positions() {
+        let toks = lex("// a comment\n  x").unwrap();
+        assert_eq!(toks[0].kind, TokenKind::Ident("x".into()));
+        assert_eq!(toks[0].span, Span::new(2, 3));
+    }
+
+    #[test]
+    fn reports_unknown_characters() {
+        let err = lex("let x = $;").unwrap_err();
+        assert!(err.to_string().contains("unexpected character"));
+    }
+
+    #[test]
+    fn integer_overflow_is_an_error() {
+        assert!(lex("99999999999999999999").is_err());
+    }
+}

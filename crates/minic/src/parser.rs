@@ -1,0 +1,616 @@
+//! Recursive-descent parser for the mini-C kernel language.
+
+use crate::ast::{
+    BinaryOp, BlockStmt, Expr, FuncDecl, LValue, MiniType, Param, Program, Stmt, UnaryOp,
+};
+use crate::error::CompileError;
+use crate::lexer::lex;
+use crate::token::{Span, Token, TokenKind};
+use splitc_vbc::ScalarType;
+
+/// Parse a whole mini-C source file into a [`Program`].
+///
+/// # Errors
+///
+/// Returns the first lexical or syntactic error found.
+///
+/// # Examples
+///
+/// ```
+/// use splitc_minic::parse;
+/// let program = parse("fn id(x: i32) -> i32 { return x; }").unwrap();
+/// assert_eq!(program.functions.len(), 1);
+/// assert_eq!(program.functions[0].name, "id");
+/// ```
+pub fn parse(source: &str) -> Result<Program, CompileError> {
+    let tokens = lex(source)?;
+    Parser { tokens, pos: 0 }.program()
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &TokenKind {
+        &self.tokens[self.pos].kind
+    }
+
+    fn span(&self) -> Span {
+        self.tokens[self.pos].span
+    }
+
+    fn advance(&mut self) -> TokenKind {
+        let t = self.tokens[self.pos].kind.clone();
+        if self.pos + 1 < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, kind: &TokenKind) -> bool {
+        if self.peek() == kind {
+            self.advance();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, kind: &TokenKind) -> Result<(), CompileError> {
+        if self.eat(kind) {
+            Ok(())
+        } else {
+            Err(CompileError::parse(
+                self.span(),
+                format!("expected {kind}, found {}", self.peek()),
+            ))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, CompileError> {
+        match self.peek().clone() {
+            TokenKind::Ident(name) => {
+                self.advance();
+                Ok(name)
+            }
+            other => Err(CompileError::parse(
+                self.span(),
+                format!("expected identifier, found {other}"),
+            )),
+        }
+    }
+
+    fn program(&mut self) -> Result<Program, CompileError> {
+        let mut functions = Vec::new();
+        while self.peek() != &TokenKind::Eof {
+            functions.push(self.func_decl()?);
+        }
+        Ok(Program { functions })
+    }
+
+    fn func_decl(&mut self) -> Result<FuncDecl, CompileError> {
+        self.expect(&TokenKind::KwFn)?;
+        let name = self.ident()?;
+        self.expect(&TokenKind::LParen)?;
+        let mut params = Vec::new();
+        if self.peek() != &TokenKind::RParen {
+            loop {
+                let pname = self.ident()?;
+                self.expect(&TokenKind::Colon)?;
+                let ty = self.ty()?;
+                params.push(Param { name: pname, ty });
+                if !self.eat(&TokenKind::Comma) {
+                    break;
+                }
+            }
+        }
+        self.expect(&TokenKind::RParen)?;
+        let ret = if self.eat(&TokenKind::Arrow) {
+            Some(self.ty()?)
+        } else {
+            None
+        };
+        let body = self.block()?;
+        Ok(FuncDecl {
+            name,
+            params,
+            ret,
+            body,
+        })
+    }
+
+    fn ty(&mut self) -> Result<MiniType, CompileError> {
+        let ptr = self.eat(&TokenKind::Star);
+        let span = self.span();
+        let name = self.ident()?;
+        let scalar = ScalarType::from_mnemonic(&name)
+            .ok_or_else(|| CompileError::parse(span, format!("unknown type `{name}`")))?;
+        Ok(if ptr {
+            MiniType::Ptr(scalar)
+        } else {
+            MiniType::Scalar(scalar)
+        })
+    }
+
+    fn block(&mut self) -> Result<BlockStmt, CompileError> {
+        self.expect(&TokenKind::LBrace)?;
+        let mut stmts = Vec::new();
+        while self.peek() != &TokenKind::RBrace {
+            if self.peek() == &TokenKind::Eof {
+                return Err(CompileError::parse(self.span(), "unterminated block"));
+            }
+            stmts.push(self.stmt()?);
+        }
+        self.expect(&TokenKind::RBrace)?;
+        Ok(BlockStmt { stmts })
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, CompileError> {
+        match self.peek() {
+            TokenKind::KwLet => {
+                let s = self.let_stmt()?;
+                self.expect(&TokenKind::Semi)?;
+                Ok(s)
+            }
+            TokenKind::KwIf => self.if_stmt(),
+            TokenKind::KwWhile => {
+                self.advance();
+                self.expect(&TokenKind::LParen)?;
+                let cond = self.expr()?;
+                self.expect(&TokenKind::RParen)?;
+                let body = self.block()?;
+                Ok(Stmt::While { cond, body })
+            }
+            TokenKind::KwFor => self.for_stmt(),
+            TokenKind::KwReturn => {
+                self.advance();
+                let value = if self.peek() == &TokenKind::Semi {
+                    None
+                } else {
+                    Some(self.expr()?)
+                };
+                self.expect(&TokenKind::Semi)?;
+                Ok(Stmt::Return { value })
+            }
+            _ => {
+                let s = self.simple_stmt()?;
+                self.expect(&TokenKind::Semi)?;
+                Ok(s)
+            }
+        }
+    }
+
+    fn let_stmt(&mut self) -> Result<Stmt, CompileError> {
+        self.expect(&TokenKind::KwLet)?;
+        let name = self.ident()?;
+        self.expect(&TokenKind::Colon)?;
+        let ty = self.ty()?;
+        self.expect(&TokenKind::Assign)?;
+        let init = self.expr()?;
+        Ok(Stmt::Let { name, ty, init })
+    }
+
+    fn if_stmt(&mut self) -> Result<Stmt, CompileError> {
+        self.expect(&TokenKind::KwIf)?;
+        self.expect(&TokenKind::LParen)?;
+        let cond = self.expr()?;
+        self.expect(&TokenKind::RParen)?;
+        let then_blk = self.block()?;
+        let else_blk = if self.eat(&TokenKind::KwElse) {
+            if self.peek() == &TokenKind::KwIf {
+                let nested = self.if_stmt()?;
+                Some(BlockStmt { stmts: vec![nested] })
+            } else {
+                Some(self.block()?)
+            }
+        } else {
+            None
+        };
+        Ok(Stmt::If {
+            cond,
+            then_blk,
+            else_blk,
+        })
+    }
+
+    fn for_stmt(&mut self) -> Result<Stmt, CompileError> {
+        self.expect(&TokenKind::KwFor)?;
+        self.expect(&TokenKind::LParen)?;
+        let init = if self.peek() == &TokenKind::KwLet {
+            self.let_stmt()?
+        } else {
+            self.simple_stmt()?
+        };
+        self.expect(&TokenKind::Semi)?;
+        let cond = self.expr()?;
+        self.expect(&TokenKind::Semi)?;
+        let step = self.simple_stmt()?;
+        self.expect(&TokenKind::RParen)?;
+        let body = self.block()?;
+        Ok(Stmt::For {
+            init: Box::new(init),
+            cond,
+            step: Box::new(step),
+            body,
+        })
+    }
+
+    /// An assignment or expression statement, without the trailing `;`.
+    fn simple_stmt(&mut self) -> Result<Stmt, CompileError> {
+        let span = self.span();
+        let expr = self.expr()?;
+        if self.eat(&TokenKind::Assign) {
+            let target = match expr {
+                Expr::Var(name) => LValue::Var(name),
+                Expr::Index { ptr, index } => LValue::Index { ptr, index: *index },
+                _ => {
+                    return Err(CompileError::parse(
+                        span,
+                        "left-hand side of assignment must be a variable or an indexed pointer",
+                    ));
+                }
+            };
+            let value = self.expr()?;
+            Ok(Stmt::Assign { target, value })
+        } else {
+            Ok(Stmt::Expr { expr })
+        }
+    }
+
+    fn expr(&mut self) -> Result<Expr, CompileError> {
+        self.logical_or()
+    }
+
+    fn logical_or(&mut self) -> Result<Expr, CompileError> {
+        let mut lhs = self.logical_and()?;
+        while self.eat(&TokenKind::OrOr) {
+            let rhs = self.logical_and()?;
+            lhs = Expr::Binary {
+                op: BinaryOp::LogOr,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn logical_and(&mut self) -> Result<Expr, CompileError> {
+        let mut lhs = self.bit_or()?;
+        while self.eat(&TokenKind::AndAnd) {
+            let rhs = self.bit_or()?;
+            lhs = Expr::Binary {
+                op: BinaryOp::LogAnd,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn bit_or(&mut self) -> Result<Expr, CompileError> {
+        let mut lhs = self.bit_xor()?;
+        while self.eat(&TokenKind::Pipe) {
+            let rhs = self.bit_xor()?;
+            lhs = Expr::Binary {
+                op: BinaryOp::BitOr,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn bit_xor(&mut self) -> Result<Expr, CompileError> {
+        let mut lhs = self.bit_and()?;
+        while self.eat(&TokenKind::Caret) {
+            let rhs = self.bit_and()?;
+            lhs = Expr::Binary {
+                op: BinaryOp::BitXor,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn bit_and(&mut self) -> Result<Expr, CompileError> {
+        let mut lhs = self.equality()?;
+        while self.eat(&TokenKind::Amp) {
+            let rhs = self.equality()?;
+            lhs = Expr::Binary {
+                op: BinaryOp::BitAnd,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn equality(&mut self) -> Result<Expr, CompileError> {
+        let mut lhs = self.relational()?;
+        loop {
+            let op = if self.eat(&TokenKind::EqEq) {
+                BinaryOp::Eq
+            } else if self.eat(&TokenKind::NotEq) {
+                BinaryOp::Ne
+            } else {
+                break;
+            };
+            let rhs = self.relational()?;
+            lhs = Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn relational(&mut self) -> Result<Expr, CompileError> {
+        let mut lhs = self.shift()?;
+        loop {
+            let op = if self.eat(&TokenKind::Lt) {
+                BinaryOp::Lt
+            } else if self.eat(&TokenKind::Le) {
+                BinaryOp::Le
+            } else if self.eat(&TokenKind::Gt) {
+                BinaryOp::Gt
+            } else if self.eat(&TokenKind::Ge) {
+                BinaryOp::Ge
+            } else {
+                break;
+            };
+            let rhs = self.shift()?;
+            lhs = Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn shift(&mut self) -> Result<Expr, CompileError> {
+        let mut lhs = self.additive()?;
+        loop {
+            let op = if self.eat(&TokenKind::Shl) {
+                BinaryOp::Shl
+            } else if self.eat(&TokenKind::Shr) {
+                BinaryOp::Shr
+            } else {
+                break;
+            };
+            let rhs = self.additive()?;
+            lhs = Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn additive(&mut self) -> Result<Expr, CompileError> {
+        let mut lhs = self.multiplicative()?;
+        loop {
+            let op = if self.eat(&TokenKind::Plus) {
+                BinaryOp::Add
+            } else if self.eat(&TokenKind::Minus) {
+                BinaryOp::Sub
+            } else {
+                break;
+            };
+            let rhs = self.multiplicative()?;
+            lhs = Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn multiplicative(&mut self) -> Result<Expr, CompileError> {
+        let mut lhs = self.unary()?;
+        loop {
+            let op = if self.eat(&TokenKind::Star) {
+                BinaryOp::Mul
+            } else if self.eat(&TokenKind::Slash) {
+                BinaryOp::Div
+            } else if self.eat(&TokenKind::Percent) {
+                BinaryOp::Rem
+            } else {
+                break;
+            };
+            let rhs = self.unary()?;
+            lhs = Expr::Binary {
+                op,
+                lhs: Box::new(lhs),
+                rhs: Box::new(rhs),
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn unary(&mut self) -> Result<Expr, CompileError> {
+        let op = if self.eat(&TokenKind::Minus) {
+            Some(UnaryOp::Neg)
+        } else if self.eat(&TokenKind::Bang) {
+            Some(UnaryOp::LogNot)
+        } else if self.eat(&TokenKind::Tilde) {
+            Some(UnaryOp::BitNot)
+        } else {
+            None
+        };
+        if let Some(op) = op {
+            let expr = self.unary()?;
+            return Ok(Expr::Unary {
+                op,
+                expr: Box::new(expr),
+            });
+        }
+        self.postfix()
+    }
+
+    fn postfix(&mut self) -> Result<Expr, CompileError> {
+        let mut expr = self.primary()?;
+        loop {
+            if self.eat(&TokenKind::KwAs) {
+                let ty = self.ty()?;
+                expr = Expr::Cast {
+                    expr: Box::new(expr),
+                    ty,
+                };
+            } else {
+                break;
+            }
+        }
+        Ok(expr)
+    }
+
+    fn primary(&mut self) -> Result<Expr, CompileError> {
+        let span = self.span();
+        match self.advance() {
+            TokenKind::Int(v) => Ok(Expr::IntLit(v)),
+            TokenKind::Float(v) => Ok(Expr::FloatLit(v)),
+            TokenKind::LParen => {
+                let e = self.expr()?;
+                self.expect(&TokenKind::RParen)?;
+                Ok(e)
+            }
+            TokenKind::Ident(name) => {
+                if self.eat(&TokenKind::LParen) {
+                    let mut args = Vec::new();
+                    if self.peek() != &TokenKind::RParen {
+                        loop {
+                            args.push(self.expr()?);
+                            if !self.eat(&TokenKind::Comma) {
+                                break;
+                            }
+                        }
+                    }
+                    self.expect(&TokenKind::RParen)?;
+                    Ok(Expr::Call { name, args })
+                } else if self.eat(&TokenKind::LBracket) {
+                    let index = self.expr()?;
+                    self.expect(&TokenKind::RBracket)?;
+                    Ok(Expr::Index {
+                        ptr: name,
+                        index: Box::new(index),
+                    })
+                } else {
+                    Ok(Expr::Var(name))
+                }
+            }
+            other => Err(CompileError::parse(
+                span,
+                format!("expected an expression, found {other}"),
+            )),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_saxpy() {
+        let src = r#"
+            fn saxpy(n: i32, a: f32, x: *f32, y: *f32) {
+                for (let i: i32 = 0; i < n; i = i + 1) {
+                    y[i] = a * x[i] + y[i];
+                }
+            }
+        "#;
+        let p = parse(src).unwrap();
+        assert_eq!(p.functions.len(), 1);
+        let f = &p.functions[0];
+        assert_eq!(f.params.len(), 4);
+        assert_eq!(f.params[2].ty, MiniType::Ptr(ScalarType::F32));
+        assert!(f.ret.is_none());
+        assert!(matches!(f.body.stmts[0], Stmt::For { .. }));
+    }
+
+    #[test]
+    fn parses_if_else_chain_and_calls() {
+        let src = r#"
+            fn classify(x: i32) -> i32 {
+                if (x < 0) { return 0 - 1; }
+                else if (x == 0) { return 0; }
+                else { return helper(x, 2); }
+            }
+            fn helper(a: i32, b: i32) -> i32 { return a * b; }
+        "#;
+        let p = parse(src).unwrap();
+        assert_eq!(p.functions.len(), 2);
+        let f = p.function("classify").unwrap();
+        assert!(matches!(f.body.stmts[0], Stmt::If { .. }));
+    }
+
+    #[test]
+    fn precedence_mul_binds_tighter_than_add() {
+        let p = parse("fn f(a: i32, b: i32, c: i32) -> i32 { return a + b * c; }").unwrap();
+        let Stmt::Return { value: Some(e) } = &p.functions[0].body.stmts[0] else {
+            panic!("expected return");
+        };
+        let Expr::Binary { op: BinaryOp::Add, rhs, .. } = e else {
+            panic!("expected top-level add, got {e:?}");
+        };
+        assert!(matches!(**rhs, Expr::Binary { op: BinaryOp::Mul, .. }));
+    }
+
+    #[test]
+    fn precedence_comparison_below_shift_and_cast_postfix() {
+        let p = parse("fn f(a: i32) -> i32 { return (a << 1) < 8; }").unwrap();
+        let Stmt::Return { value: Some(e) } = &p.functions[0].body.stmts[0] else {
+            panic!("expected return");
+        };
+        assert!(matches!(e, Expr::Binary { op: BinaryOp::Lt, .. }));
+
+        let p = parse("fn g(a: i32) -> f32 { return a as f32 * 2.0; }").unwrap();
+        let Stmt::Return { value: Some(e) } = &p.functions[0].body.stmts[0] else {
+            panic!("expected return");
+        };
+        let Expr::Binary { op: BinaryOp::Mul, lhs, .. } = e else {
+            panic!("expected mul at top level");
+        };
+        assert!(matches!(**lhs, Expr::Cast { .. }));
+    }
+
+    #[test]
+    fn index_assignment_and_while() {
+        let src = "fn fill(p: *u8, n: i32) { let i: i32 = 0; while (i < n) { p[i] = 7; i = i + 1; } }";
+        let p = parse(src).unwrap();
+        let f = &p.functions[0];
+        assert!(matches!(f.body.stmts[1], Stmt::While { .. }));
+    }
+
+    #[test]
+    fn unary_operators_nest() {
+        let p = parse("fn f(a: i32) -> i32 { return -~!a; }").unwrap();
+        let Stmt::Return { value: Some(e) } = &p.functions[0].body.stmts[0] else {
+            panic!("expected return");
+        };
+        assert!(matches!(e, Expr::Unary { op: UnaryOp::Neg, .. }));
+    }
+
+    #[test]
+    fn error_messages_carry_positions() {
+        let err = parse("fn f( { }").unwrap_err();
+        assert!(err.to_string().contains("parse error at 1:"));
+        let err = parse("fn f() { let x: nosuch = 1; }").unwrap_err();
+        assert!(err.to_string().contains("unknown type"));
+        let err = parse("fn f() { 1 + ; }").unwrap_err();
+        assert!(err.to_string().contains("expected an expression"));
+        let err = parse("fn f() { 1 + 2 = 3; }").unwrap_err();
+        assert!(err.to_string().contains("left-hand side"));
+    }
+
+    #[test]
+    fn unterminated_block_is_an_error() {
+        assert!(parse("fn f() { let x: i32 = 1;").is_err());
+    }
+}

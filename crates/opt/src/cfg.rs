@@ -1,0 +1,114 @@
+//! Control-flow-graph utilities shared by the offline analyses.
+
+use splitc_vbc::{BlockId, Function};
+
+/// Reverse post-order of the reachable blocks of `f`, starting at the entry.
+///
+/// Blocks that are unreachable from the entry are not included.
+pub fn reverse_postorder(f: &Function) -> Vec<BlockId> {
+    let mut visited = vec![false; f.blocks.len()];
+    let mut post = Vec::with_capacity(f.blocks.len());
+    // Iterative DFS with an explicit stack of (block, next-successor-index).
+    let mut stack: Vec<(BlockId, usize)> = vec![(f.entry, 0)];
+    visited[f.entry.index()] = true;
+    while let Some((b, i)) = stack.pop() {
+        let succs = f.block(b).successors();
+        if i < succs.len() {
+            stack.push((b, i + 1));
+            let s = succs[i];
+            if !visited[s.index()] {
+                visited[s.index()] = true;
+                stack.push((s, 0));
+            }
+        } else {
+            post.push(b);
+        }
+    }
+    post.reverse();
+    post
+}
+
+/// The set of blocks reachable from the entry, as a boolean mask indexed by
+/// [`BlockId::index`].
+pub fn reachable(f: &Function) -> Vec<bool> {
+    let mut mask = vec![false; f.blocks.len()];
+    for b in reverse_postorder(f) {
+        mask[b.index()] = true;
+    }
+    mask
+}
+
+/// Predecessor lists restricted to reachable blocks.
+pub fn predecessors(f: &Function) -> Vec<Vec<BlockId>> {
+    let reach = reachable(f);
+    let mut preds = vec![Vec::new(); f.blocks.len()];
+    for b in &f.blocks {
+        if !reach[b.id.index()] {
+            continue;
+        }
+        for s in b.successors() {
+            preds[s.index()].push(b.id);
+        }
+    }
+    preds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use splitc_vbc::{CmpOp, FunctionBuilder, ScalarType, Type};
+
+    /// entry -> header -> {body -> header, exit}
+    fn loop_function() -> Function {
+        let mut b = FunctionBuilder::new("loop", &[Type::Scalar(ScalarType::I32)], None);
+        let n = b.param(0);
+        let i = b.const_int(ScalarType::I32, 0);
+        let header = b.new_block();
+        let body = b.new_block();
+        let exit = b.new_block();
+        b.jump(header);
+        b.switch_to(header);
+        let c = b.cmp(CmpOp::Lt, ScalarType::I32, i, n);
+        b.branch(c, body, exit);
+        b.switch_to(body);
+        b.jump(header);
+        b.switch_to(exit);
+        b.ret(None);
+        b.finish()
+    }
+
+    #[test]
+    fn rpo_starts_at_entry_and_covers_reachable_blocks() {
+        let f = loop_function();
+        let rpo = reverse_postorder(&f);
+        assert_eq!(rpo[0], f.entry);
+        assert_eq!(rpo.len(), 4);
+        // The header must come before both the body and the exit.
+        let pos = |id: BlockId| rpo.iter().position(|b| *b == id).unwrap();
+        assert!(pos(BlockId(1)) < pos(BlockId(2)));
+        assert!(pos(BlockId(1)) < pos(BlockId(3)));
+    }
+
+    #[test]
+    fn unreachable_blocks_are_excluded() {
+        let mut f = loop_function();
+        // Add a block that nothing jumps to.
+        let dead = f.new_block();
+        f.block_mut(dead).insts.push(splitc_vbc::Inst::Ret { value: None });
+        let rpo = reverse_postorder(&f);
+        assert!(!rpo.contains(&dead));
+        assert!(!reachable(&f)[dead.index()]);
+    }
+
+    #[test]
+    fn predecessors_match_successors() {
+        let f = loop_function();
+        let preds = predecessors(&f);
+        // header (bb1) has the entry and the body as predecessors.
+        assert_eq!(preds[1].len(), 2);
+        assert!(preds[1].contains(&f.entry));
+        assert!(preds[1].contains(&BlockId(2)));
+        // exit (bb3) has only the header.
+        assert_eq!(preds[3], vec![BlockId(1)]);
+    }
+}

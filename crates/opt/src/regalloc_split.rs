@@ -1,0 +1,187 @@
+//! Offline half of split register allocation.
+//!
+//! Following the split register allocation the paper highlights in Section 4
+//! (Diouf et al.), the offline compiler performs the *allocation* decision —
+//! which values deserve registers — and encodes it as a compact, portable
+//! annotation ([`SpillOrder`]). The online compiler, which knows the actual
+//! number of physical registers, then performs *assignment* in linear time by
+//! keeping the highest-ranked values and spilling the rest (see
+//! `splitc_jit::regassign`).
+
+use crate::defuse::DefUse;
+use crate::liveness::Liveness;
+use crate::loops::LoopForest;
+use splitc_vbc::{Function, Module, SpillOrder, VReg};
+
+/// Per-register profitability data computed offline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegProfile {
+    /// The register.
+    pub reg: VReg,
+    /// Loop-depth-weighted count of uses plus definitions (an estimate of
+    /// dynamic accesses: an access at loop depth `d` counts as `10^d`).
+    pub accesses: f64,
+    /// Number of basic blocks across which the value is live.
+    pub span_blocks: usize,
+    /// `accesses / span` — the keep-profitability score used for ranking.
+    pub score: f64,
+}
+
+/// Compute offline spill-ordering information for one function.
+///
+/// Registers are ranked by how profitable they are to keep in a physical
+/// register: frequently-accessed, short-lived values first. The ranking is
+/// *portable*: it does not depend on the number of physical registers of any
+/// particular target, which is only known to the online compiler.
+pub fn compute_spill_order(f: &Function) -> SpillOrder {
+    profiles(f)
+        .into_iter()
+        .map(|p| p.reg.0)
+        .collect::<Vec<_>>()
+        .pipe(|keep_order| SpillOrder {
+            keep_order,
+            max_pressure: Liveness::compute(f).max_pressure(f),
+        })
+}
+
+// A tiny local `pipe` helper keeps `compute_spill_order` readable without
+// pulling in an external crate.
+trait Pipe: Sized {
+    fn pipe<R>(self, f: impl FnOnce(Self) -> R) -> R {
+        f(self)
+    }
+}
+impl<T> Pipe for T {}
+
+/// The per-register profiles, sorted from most to least profitable to keep.
+///
+/// Only values whose live range crosses a basic-block boundary are profiled:
+/// block-local temporaries are handled by the online scratch allocator and do
+/// not need a portable ranking, which keeps the annotation compact (the paper
+/// insists on "compact, portable annotations").
+pub fn profiles(f: &Function) -> Vec<RegProfile> {
+    let du = DefUse::compute(f);
+    let live = Liveness::compute(f);
+    let forest = LoopForest::compute(f);
+    // An access executed inside a loop is worth an order of magnitude more per
+    // nesting level (the classic static spill-cost estimate).
+    let depth_weight = |block: splitc_vbc::BlockId| -> f64 {
+        let depth = forest
+            .loops
+            .iter()
+            .filter(|l| l.contains(block))
+            .count()
+            .min(3);
+        10f64.powi(depth as i32)
+    };
+    let mut out: Vec<RegProfile> = (0..f.num_vregs())
+        .map(|i| {
+            let reg = VReg(i as u32);
+            let accesses: f64 = du
+                .uses(reg)
+                .iter()
+                .chain(du.defs(reg).iter())
+                .map(|pos| depth_weight(pos.block))
+                .sum();
+            let span_blocks = (0..f.blocks.len())
+                .filter(|b| {
+                    let id = splitc_vbc::BlockId(*b as u32);
+                    live.live_in(id).contains(&reg) || live.live_out(id).contains(&reg)
+                })
+                .count();
+            RegProfile {
+                reg,
+                accesses,
+                span_blocks: span_blocks.max(1),
+                score: accesses / span_blocks.max(1) as f64,
+            }
+        })
+        .filter(|p| {
+            p.accesses > 0.0
+                && (live.crosses_blocks(p.reg) || f.params.iter().any(|(r, _)| *r == p.reg))
+        })
+        .collect();
+    out.sort_by(|a, b| {
+        b.score
+            .partial_cmp(&a.score)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.reg.0.cmp(&b.reg.0))
+    });
+    out
+}
+
+/// Attach a [`SpillOrder`] annotation to every function of `m`.
+///
+/// Returns the number of functions annotated.
+pub fn annotate_spill_orders(m: &mut Module) -> usize {
+    let mut n = 0;
+    for f in m.functions_mut() {
+        let order = compute_spill_order(f);
+        f.annotations.set_spill_order(&order);
+        n += 1;
+    }
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use splitc_minic::compile_source;
+
+    fn pressure_kernel() -> Function {
+        let m = compile_source(
+            r#"
+            fn poly8(n: i32, x: *f32, y: *f32) {
+                let c0: f32 = 1.0; let c1: f32 = 2.0; let c2: f32 = 3.0; let c3: f32 = 4.0;
+                let c4: f32 = 5.0; let c5: f32 = 6.0; let c6: f32 = 7.0; let c7: f32 = 8.0;
+                for (let i: i32 = 0; i < n; i = i + 1) {
+                    let v: f32 = x[i];
+                    y[i] = ((((((v * c7 + c6) * v + c5) * v + c4) * v + c3) * v + c2) * v + c1) * v + c0;
+                }
+            }
+            "#,
+            "t",
+        )
+        .unwrap();
+        m.function("poly8").unwrap().clone()
+    }
+
+    #[test]
+    fn every_live_register_is_ranked_exactly_once() {
+        let f = pressure_kernel();
+        let order = compute_spill_order(&f);
+        let mut seen = std::collections::BTreeSet::new();
+        for r in &order.keep_order {
+            assert!(seen.insert(*r), "register {r} ranked twice");
+            assert!((*r as usize) < f.num_vregs());
+        }
+        assert!(order.max_pressure >= 10, "the polynomial kernel is register-hungry");
+    }
+
+    #[test]
+    fn hot_loop_values_rank_above_cold_constants() {
+        let f = pressure_kernel();
+        let profs = profiles(&f);
+        // The induction variable and the loop bound live across blocks but are
+        // accessed often; single-use temporaries still rank high because their
+        // span is one block. Every profile must have a positive score.
+        assert!(profs.iter().all(|p| p.score > 0.0));
+        // Scores are sorted non-increasingly.
+        for w in profs.windows(2) {
+            assert!(w[0].score >= w[1].score);
+        }
+    }
+
+    #[test]
+    fn annotation_round_trips_through_the_module() {
+        let mut m = compile_source(
+            "fn f(a: i32, b: i32) -> i32 { return a * b + a - b; }",
+            "t",
+        )
+        .unwrap();
+        assert_eq!(annotate_spill_orders(&mut m), 1);
+        let stored = m.function("f").unwrap().annotations.spill_order().unwrap();
+        assert_eq!(stored, compute_spill_order(m.function("f").unwrap()));
+        assert!(!stored.keep_order.is_empty());
+    }
+}

@@ -1,0 +1,259 @@
+//! Deploy-and-run helper: JIT compilation per core type plus simulation.
+//!
+//! The executor is the piece of the runtime that makes "write once, run on any
+//! core" concrete: it holds one bytecode module, lazily JIT-compiles it for
+//! every distinct core type it is asked to run on (caching the result, like a
+//! real virtual machine would), and executes kernels on the core's simulator.
+
+use crate::offload::OffloadCost;
+use crate::platform::Core;
+use splitc_jit::{compile_module, JitOptions, JitStats};
+use splitc_targets::{MProgram, MachineValue, SimStats, Simulator};
+use splitc_vbc::Module;
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// An error raised while deploying or running a kernel.
+#[derive(Debug)]
+pub enum RuntimeError {
+    /// Online compilation failed.
+    Jit(splitc_jit::JitError),
+    /// Simulated execution failed.
+    Sim(splitc_targets::SimError),
+    /// The requested kernel does not exist in the module.
+    UnknownKernel(String),
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::Jit(e) => write!(f, "online compilation failed: {e}"),
+            RuntimeError::Sim(e) => write!(f, "simulated execution failed: {e}"),
+            RuntimeError::UnknownKernel(k) => write!(f, "unknown kernel {k}"),
+        }
+    }
+}
+
+impl Error for RuntimeError {}
+
+impl From<splitc_jit::JitError> for RuntimeError {
+    fn from(e: splitc_jit::JitError) -> Self {
+        RuntimeError::Jit(e)
+    }
+}
+
+impl From<splitc_targets::SimError> for RuntimeError {
+    fn from(e: splitc_targets::SimError) -> Self {
+        RuntimeError::Sim(e)
+    }
+}
+
+/// Result of running one kernel on one core.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunOutcome {
+    /// The kernel's return value, if any.
+    pub result: Option<MachineValue>,
+    /// Raw simulator statistics.
+    pub stats: SimStats,
+    /// Cycles scaled by the core's clock factor, comparable across cores.
+    pub scaled_cycles: f64,
+}
+
+/// A deployed module: bytecode plus a per-core-type cache of compiled code.
+#[derive(Debug)]
+pub struct Executor {
+    module: Module,
+    options: JitOptions,
+    cache: HashMap<String, (MProgram, JitStats)>,
+}
+
+impl Executor {
+    /// Deploy `module` with the given online-compilation options.
+    pub fn new(module: Module, options: JitOptions) -> Self {
+        Executor {
+            module,
+            options,
+            cache: HashMap::new(),
+        }
+    }
+
+    /// Deploy with the default split-compilation options.
+    pub fn deploy(module: Module) -> Self {
+        Executor::new(module, JitOptions::split())
+    }
+
+    /// The deployed bytecode module.
+    pub fn module(&self) -> &Module {
+        &self.module
+    }
+
+    /// Compile (or fetch from cache) the machine code for `core`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`RuntimeError::Jit`] if online compilation fails.
+    pub fn program_for(&mut self, core: &Core) -> Result<&(MProgram, JitStats), RuntimeError> {
+        if !self.cache.contains_key(&core.target.name) {
+            let compiled = compile_module(&self.module, &core.target, &self.options)?;
+            self.cache.insert(core.target.name.clone(), compiled);
+        }
+        Ok(&self.cache[&core.target.name])
+    }
+
+    /// JIT statistics for `core` (compiling on demand).
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`RuntimeError::Jit`] if online compilation fails.
+    pub fn jit_stats(&mut self, core: &Core) -> Result<JitStats, RuntimeError> {
+        Ok(self.program_for(core)?.1)
+    }
+
+    /// Run `kernel` with `args` against `mem` on `core`.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the kernel is unknown, cannot be compiled for the core, or
+    /// traps during simulation.
+    pub fn run(
+        &mut self,
+        core: &Core,
+        kernel: &str,
+        args: &[MachineValue],
+        mem: &mut [u8],
+    ) -> Result<RunOutcome, RuntimeError> {
+        if self.module.function(kernel).is_none() {
+            return Err(RuntimeError::UnknownKernel(kernel.to_owned()));
+        }
+        let clock = core.target.clock_scale;
+        let (program, _) = self.program_for(core)?;
+        let program = program.clone();
+        let mut sim = Simulator::new(&program, &core.target);
+        let result = sim.run(kernel, args, mem)?;
+        let stats = sim.stats();
+        Ok(RunOutcome {
+            result,
+            stats,
+            scaled_cycles: stats.cycles as f64 * clock,
+        })
+    }
+
+    /// Run `kernel` on an accelerator core, accounting for shipping
+    /// `bytes_in` of input and `bytes_out` of output over `dma`.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Executor::run`].
+    pub fn run_offloaded(
+        &mut self,
+        core: &Core,
+        kernel: &str,
+        args: &[MachineValue],
+        mem: &mut [u8],
+        dma: &crate::offload::DmaModel,
+        bytes_in: u64,
+        bytes_out: u64,
+    ) -> Result<(RunOutcome, OffloadCost), RuntimeError> {
+        let outcome = self.run(core, kernel, args, mem)?;
+        let cost = OffloadCost {
+            compute_cycles: outcome.scaled_cycles as u64,
+            dma_cycles: dma.round_trip_cycles(bytes_in, bytes_out),
+        };
+        Ok((outcome, cost))
+    }
+
+    /// Number of distinct core types compiled so far.
+    pub fn compiled_variants(&self) -> usize {
+        self.cache.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::platform::Platform;
+    use splitc_minic::compile_source;
+    use splitc_opt::{optimize_module, OptOptions};
+
+    fn deployed() -> Executor {
+        let mut m = compile_source(
+            "fn dscal(n: i32, a: f32, x: *f32) {
+                for (let i: i32 = 0; i < n; i = i + 1) { x[i] = a * x[i]; }
+            }",
+            "k",
+        )
+        .unwrap();
+        optimize_module(&mut m, &OptOptions::full());
+        Executor::deploy(m)
+    }
+
+    #[test]
+    fn one_bytecode_runs_on_every_core_of_a_platform() {
+        let mut exec = deployed();
+        let platform = Platform::cell_blade(2);
+        let n = 40usize;
+        for core in &platform.cores {
+            let mut mem = vec![0u8; 4096];
+            for i in 0..n {
+                mem[256 + 4 * i..260 + 4 * i].copy_from_slice(&(i as f32).to_le_bytes());
+            }
+            let out = exec
+                .run(
+                    core,
+                    "dscal",
+                    &[
+                        MachineValue::Int(n as i64),
+                        MachineValue::Float(2.0),
+                        MachineValue::Int(256),
+                    ],
+                    &mut mem,
+                )
+                .unwrap();
+            assert!(out.stats.cycles > 0);
+            for i in 0..n {
+                let mut b = [0u8; 4];
+                b.copy_from_slice(&mem[256 + 4 * i..260 + 4 * i]);
+                assert_eq!(f32::from_le_bytes(b), i as f32 * 2.0, "core {}", core.name);
+            }
+        }
+        // Two distinct core types (PPE and SPU) were compiled, not three.
+        assert_eq!(exec.compiled_variants(), 2);
+    }
+
+    #[test]
+    fn unknown_kernels_are_rejected() {
+        let mut exec = deployed();
+        let platform = Platform::workstation();
+        let mut mem = vec![0u8; 64];
+        let err = exec.run(platform.host(), "nope", &[], &mut mem).unwrap_err();
+        assert!(matches!(err, RuntimeError::UnknownKernel(_)));
+        assert!(err.to_string().contains("nope"));
+    }
+
+    #[test]
+    fn offload_accounts_for_dma() {
+        let mut exec = deployed();
+        let platform = Platform::cell_blade(1);
+        let spu = platform.core("spu0").unwrap().clone();
+        let n = 64usize;
+        let mut mem = vec![0u8; 4096];
+        let (_, cost) = exec
+            .run_offloaded(
+                &spu,
+                "dscal",
+                &[
+                    MachineValue::Int(n as i64),
+                    MachineValue::Float(0.5),
+                    MachineValue::Int(256),
+                ],
+                &mut mem,
+                &platform.dma,
+                (n * 4) as u64,
+                (n * 4) as u64,
+            )
+            .unwrap();
+        assert!(cost.dma_cycles > 0);
+        assert!(cost.total() > cost.compute_cycles);
+    }
+}

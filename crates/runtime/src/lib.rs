@@ -1,0 +1,62 @@
+//! # splitc-runtime — the heterogeneous multicore runtime
+//!
+//! The deployment side of processor virtualization (Cohen & Rohou, DAC 2010,
+//! Section 3): one portable bytecode module, many very different cores.
+//!
+//! * [`Platform`] / [`Core`] describe heterogeneous systems (workstation,
+//!   phone SoC with a DSP, Cell-style blade with SIMD accelerators).
+//! * [`Executor`] deploys a bytecode module and lazily JIT-compiles it for
+//!   every core type it runs on, caching the result.
+//! * [`choose_core`] and [`list_schedule`] map kernels and task graphs onto
+//!   cores, guided by the kernel-trait annotations the offline compiler left
+//!   in the bytecode.
+//! * [`DmaModel`] accounts for the cost of shipping data to accelerators
+//!   (the offload-profitability crossover of experiment E4).
+//! * [`Network`] is a Kahn-process-network substrate for portable,
+//!   deterministic concurrency (Section 4).
+//!
+//! # Example
+//!
+//! ```
+//! use splitc_minic::compile_source;
+//! use splitc_opt::{optimize_module, OptOptions};
+//! use splitc_runtime::{choose_core, Executor, Platform};
+//! use splitc_targets::MachineValue;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut module = compile_source(
+//!     "fn dscal(n: i32, a: f32, x: *f32) {
+//!          for (let i: i32 = 0; i < n; i = i + 1) { x[i] = a * x[i]; }
+//!      }",
+//!     "kernels",
+//! )?;
+//! optimize_module(&mut module, &OptOptions::full());
+//!
+//! let platform = Platform::phone();
+//! let traits = module.function("dscal").unwrap().annotations.kernel_traits().unwrap();
+//! let core = choose_core(&traits, &platform);
+//! assert_eq!(core.name, "arm"); // the vector-capable core, not the DSP
+//!
+//! let mut exec = Executor::deploy(module);
+//! let mut mem = vec![0u8; 1024];
+//! mem[256..260].copy_from_slice(&4.0f32.to_le_bytes());
+//! exec.run(core, "dscal", &[MachineValue::Int(1), MachineValue::Float(0.25), MachineValue::Int(256)], &mut mem)?;
+//! assert_eq!(&mem[256..260], &1.0f32.to_le_bytes());
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod executor;
+mod kpn;
+mod offload;
+mod platform;
+mod scheduler;
+
+pub use executor::{Executor, RunOutcome, RuntimeError};
+pub use kpn::{pipeline, ChannelId, KpnReport, Network, Process, ProcessId};
+pub use offload::{DmaModel, OffloadCost};
+pub use platform::{Core, Platform};
+pub use scheduler::{affinity, choose_core, list_schedule, Placement, Schedule, TaskEstimate};

@@ -1,0 +1,424 @@
+//! Target descriptions and cost models.
+//!
+//! Each [`TargetDesc`] stands in for one of the machines of the paper's
+//! evaluation (x86 with SSE, UltraSparc, PowerPC) or for the heterogeneous
+//! platforms of Section 3 (ARM with Neon, the Cell PPE/SPU pair, a DSP).
+//! The descriptions drive both the online compiler (how many registers, is
+//! there a SIMD unit and how wide) and the cycle simulator (per-operation
+//! costs). Absolute cycle counts are synthetic; what matters for the
+//! reproduction is the *relative* behaviour between targets and between
+//! scalar and vectorized code.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Description of a SIMD unit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VectorUnit {
+    /// Width of one vector register in bytes (16 for SSE/AltiVec/Neon-era units).
+    pub bytes: u16,
+    /// Number of architectural vector registers.
+    pub regs: u16,
+}
+
+/// Per-operation cycle costs of a target.
+///
+/// The numbers are coarse "effective latency" figures for an in-order core,
+/// not a microarchitectural model: each executed machine instruction charges
+/// its cost, plus branch and memory penalties.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CostModel {
+    /// Simple integer ALU operation.
+    pub int_op: u64,
+    /// Integer multiply.
+    pub int_mul: u64,
+    /// Integer divide / remainder.
+    pub int_div: u64,
+    /// Floating-point add/subtract/compare/min/max.
+    pub fp_add: u64,
+    /// Floating-point multiply.
+    pub fp_mul: u64,
+    /// Floating-point divide.
+    pub fp_div: u64,
+    /// Scalar load (cache-hit latency).
+    pub load: u64,
+    /// Scalar store.
+    pub store: u64,
+    /// Register move / immediate materialization.
+    pub mov: u64,
+    /// Conversion between integer and floating point.
+    pub convert: u64,
+    /// Taken branch (includes the jump at the bottom of loops).
+    pub branch_taken: u64,
+    /// Not-taken branch.
+    pub branch_not_taken: u64,
+    /// SIMD arithmetic operation (whole vector).
+    pub vec_op: u64,
+    /// SIMD load (whole vector).
+    pub vec_load: u64,
+    /// SIMD store (whole vector).
+    pub vec_store: u64,
+    /// Horizontal reduction of one vector register.
+    pub vec_reduce: u64,
+    /// Call/return overhead (both sides combined).
+    pub call: u64,
+    /// Spill store to the stack.
+    pub spill_store: u64,
+    /// Reload from the stack.
+    pub spill_load: u64,
+}
+
+impl Default for CostModel {
+    fn default() -> Self {
+        CostModel {
+            int_op: 1,
+            int_mul: 3,
+            int_div: 20,
+            fp_add: 3,
+            fp_mul: 4,
+            fp_div: 16,
+            load: 3,
+            store: 1,
+            mov: 1,
+            convert: 2,
+            branch_taken: 2,
+            branch_not_taken: 1,
+            vec_op: 4,
+            vec_load: 4,
+            vec_store: 2,
+            vec_reduce: 6,
+            call: 10,
+            spill_store: 3,
+            spill_load: 4,
+        }
+    }
+}
+
+/// A virtual target: register files, optional SIMD unit and cost model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TargetDesc {
+    /// Human-readable target name (e.g. `"x86-sse"`).
+    pub name: String,
+    /// Number of allocatable integer registers.
+    pub int_regs: u16,
+    /// Number of allocatable floating-point registers.
+    pub float_regs: u16,
+    /// SIMD unit, if the core has one the JIT is allowed to use.
+    pub vector: Option<VectorUnit>,
+    /// Per-operation costs.
+    pub cost: CostModel,
+    /// Relative clock-speed factor applied when converting cycles to time in
+    /// the heterogeneous runtime (1.0 = the x86 reference clock).
+    pub clock_scale: f64,
+}
+
+impl TargetDesc {
+    /// `true` if the JIT may emit SIMD instructions for this target.
+    pub fn has_simd(&self) -> bool {
+        self.vector.is_some()
+    }
+
+    /// Width in bytes of the vector registers the JIT may use (0 without SIMD).
+    pub fn vector_bytes(&self) -> u64 {
+        self.vector.map(|v| u64::from(v.bytes)).unwrap_or(0)
+    }
+
+    /// The x86 workstation/desktop class machine of Table 1: 128-bit SSE,
+    /// few architectural registers, low memory latency, good branch handling.
+    pub fn x86_sse() -> Self {
+        TargetDesc {
+            name: "x86-sse".into(),
+            int_regs: 6,
+            float_regs: 8,
+            vector: Some(VectorUnit { bytes: 16, regs: 8 }),
+            cost: CostModel::default(),
+            clock_scale: 1.0,
+        }
+    }
+
+    /// The UltraSparc class machine of Table 1: no SIMD unit used by the JIT,
+    /// plenty of registers but long memory latency and expensive branches.
+    pub fn ultrasparc() -> Self {
+        TargetDesc {
+            name: "ultrasparc".into(),
+            int_regs: 12,
+            float_regs: 16,
+            vector: None,
+            cost: CostModel {
+                int_op: 1,
+                int_mul: 4,
+                int_div: 36,
+                fp_add: 4,
+                fp_mul: 4,
+                fp_div: 22,
+                load: 6,
+                store: 3,
+                mov: 1,
+                convert: 3,
+                branch_taken: 3,
+                branch_not_taken: 1,
+                // No SIMD unit: the vector costs are irrelevant (the JIT
+                // scalarizes) but kept finite for robustness.
+                vec_op: 16,
+                vec_load: 24,
+                vec_store: 12,
+                vec_reduce: 24,
+                call: 14,
+                spill_store: 4,
+                spill_load: 6,
+            },
+            clock_scale: 2.4,
+        }
+    }
+
+    /// The PowerPC class machine of Table 1: the JIT ignores AltiVec, but the
+    /// core has many registers, short pipelines and cheap branches, so
+    /// scalarized (unrolled) loops run slightly faster than the scalar code.
+    pub fn powerpc() -> Self {
+        TargetDesc {
+            name: "powerpc".into(),
+            int_regs: 26,
+            float_regs: 26,
+            vector: None,
+            cost: CostModel {
+                int_op: 1,
+                int_mul: 3,
+                int_div: 19,
+                fp_add: 3,
+                fp_mul: 3,
+                fp_div: 18,
+                load: 4,
+                store: 2,
+                mov: 1,
+                convert: 2,
+                branch_taken: 1,
+                branch_not_taken: 1,
+                vec_op: 12,
+                vec_load: 16,
+                vec_store: 8,
+                vec_reduce: 16,
+                call: 12,
+                spill_store: 3,
+                spill_load: 4,
+            },
+            clock_scale: 1.8,
+        }
+    }
+
+    /// An ARM application core with a Neon SIMD unit (the phone-class device
+    /// of Section 3).
+    pub fn arm_neon() -> Self {
+        TargetDesc {
+            name: "arm-neon".into(),
+            int_regs: 12,
+            float_regs: 16,
+            vector: Some(VectorUnit { bytes: 16, regs: 16 }),
+            cost: CostModel {
+                int_op: 1,
+                int_mul: 3,
+                int_div: 28,
+                fp_add: 4,
+                fp_mul: 4,
+                fp_div: 24,
+                load: 4,
+                store: 2,
+                mov: 1,
+                convert: 2,
+                branch_taken: 2,
+                branch_not_taken: 1,
+                vec_op: 5,
+                vec_load: 5,
+                vec_store: 3,
+                vec_reduce: 8,
+                call: 12,
+                spill_store: 3,
+                spill_load: 4,
+            },
+            clock_scale: 2.0,
+        }
+    }
+
+    /// The Cell host core (PPE): in-order, two-way, no SIMD use by the JIT,
+    /// long memory latency — good at control code, poor at numerics.
+    pub fn cell_ppe() -> Self {
+        TargetDesc {
+            name: "cell-ppe".into(),
+            int_regs: 26,
+            float_regs: 26,
+            vector: None,
+            cost: CostModel {
+                int_op: 1,
+                int_mul: 4,
+                int_div: 30,
+                fp_add: 5,
+                fp_mul: 5,
+                fp_div: 30,
+                load: 6,
+                store: 3,
+                mov: 1,
+                convert: 3,
+                branch_taken: 4,
+                branch_not_taken: 1,
+                vec_op: 14,
+                vec_load: 18,
+                vec_store: 10,
+                vec_reduce: 20,
+                call: 16,
+                spill_store: 4,
+                spill_load: 6,
+            },
+            clock_scale: 1.0,
+        }
+    }
+
+    /// A Cell synergistic processing unit (SPU): a wide SIMD engine with a
+    /// large unified register file and a fast local store, but relatively slow
+    /// scalar control code. Reached through DMA offload in the runtime.
+    pub fn cell_spu() -> Self {
+        TargetDesc {
+            name: "cell-spu".into(),
+            int_regs: 48,
+            float_regs: 48,
+            vector: Some(VectorUnit { bytes: 16, regs: 48 }),
+            cost: CostModel {
+                int_op: 2,
+                int_mul: 4,
+                int_div: 40,
+                fp_add: 3,
+                fp_mul: 3,
+                fp_div: 20,
+                load: 2, // local store
+                store: 1,
+                mov: 1,
+                convert: 3,
+                branch_taken: 6, // no branch prediction
+                branch_not_taken: 1,
+                vec_op: 2,
+                vec_load: 2,
+                vec_store: 1,
+                vec_reduce: 8,
+                call: 20,
+                spill_store: 2,
+                spill_load: 2,
+            },
+            clock_scale: 1.0,
+        }
+    }
+
+    /// A small fixed-point DSP: cheap multiply-accumulate, very expensive
+    /// floating point (software emulation), tiny register file.
+    pub fn dsp() -> Self {
+        TargetDesc {
+            name: "dsp".into(),
+            int_regs: 8,
+            float_regs: 4,
+            vector: None,
+            cost: CostModel {
+                int_op: 1,
+                int_mul: 1,
+                int_div: 40,
+                fp_add: 30,
+                fp_mul: 40,
+                fp_div: 120,
+                load: 2,
+                store: 1,
+                mov: 1,
+                convert: 12,
+                branch_taken: 3,
+                branch_not_taken: 1,
+                vec_op: 30,
+                vec_load: 30,
+                vec_store: 20,
+                vec_reduce: 40,
+                call: 10,
+                spill_store: 2,
+                spill_load: 2,
+            },
+            clock_scale: 3.0,
+        }
+    }
+
+    /// All preset targets, keyed by name.
+    pub fn presets() -> Vec<TargetDesc> {
+        vec![
+            TargetDesc::x86_sse(),
+            TargetDesc::ultrasparc(),
+            TargetDesc::powerpc(),
+            TargetDesc::arm_neon(),
+            TargetDesc::cell_ppe(),
+            TargetDesc::cell_spu(),
+            TargetDesc::dsp(),
+        ]
+    }
+
+    /// Look up a preset by name.
+    pub fn preset(name: &str) -> Option<TargetDesc> {
+        TargetDesc::presets().into_iter().find(|t| t.name == name)
+    }
+
+    /// The three machines of Table 1, in the paper's column order.
+    pub fn table1_targets() -> Vec<TargetDesc> {
+        vec![TargetDesc::x86_sse(), TargetDesc::ultrasparc(), TargetDesc::powerpc()]
+    }
+}
+
+impl fmt::Display for TargetDesc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.vector {
+            Some(v) => write!(
+                f,
+                "{} ({} int / {} fp regs, {}-byte SIMD)",
+                self.name, self.int_regs, self.float_regs, v.bytes
+            ),
+            None => write!(f, "{} ({} int / {} fp regs, no SIMD)", self.name, self.int_regs, self.float_regs),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_have_distinct_names_and_sane_register_files() {
+        let presets = TargetDesc::presets();
+        let names: std::collections::BTreeSet<_> = presets.iter().map(|t| t.name.clone()).collect();
+        assert_eq!(names.len(), presets.len());
+        for t in &presets {
+            assert!(t.int_regs >= 4, "{} needs at least 4 integer registers", t.name);
+            assert!(t.float_regs >= 4);
+            assert!(t.clock_scale > 0.0);
+            if let Some(v) = t.vector {
+                assert!(v.bytes >= 8 && v.bytes.is_power_of_two());
+            }
+        }
+    }
+
+    #[test]
+    fn table1_targets_match_the_paper_columns() {
+        let t = TargetDesc::table1_targets();
+        assert_eq!(t.len(), 3);
+        assert!(t[0].has_simd(), "x86 recognizes the vector builtins");
+        assert!(!t[1].has_simd(), "the UltraSparc JIT scalarizes");
+        assert!(!t[2].has_simd(), "the PowerPC JIT ignores vectorization");
+        assert_eq!(t[0].vector_bytes(), 16);
+        assert_eq!(t[1].vector_bytes(), 0);
+    }
+
+    #[test]
+    fn preset_lookup_and_display() {
+        assert!(TargetDesc::preset("x86-sse").is_some());
+        assert!(TargetDesc::preset("vax").is_none());
+        let shown = TargetDesc::x86_sse().to_string();
+        assert!(shown.contains("x86-sse") && shown.contains("SIMD"));
+        let shown = TargetDesc::powerpc().to_string();
+        assert!(shown.contains("no SIMD"));
+    }
+
+    #[test]
+    fn dsp_punishes_floating_point() {
+        let dsp = TargetDesc::dsp();
+        assert!(dsp.cost.fp_add > 10 * dsp.cost.int_op);
+        assert!(dsp.cost.int_mul <= 2, "the DSP has a hardware MAC");
+    }
+}

@@ -1,0 +1,70 @@
+//! # splitc-targets — virtual ISAs, cost models and cycle simulators
+//!
+//! This crate stands in for the hardware of the DAC 2010 paper's evaluation.
+//! The paper measured real x86 (SSE), UltraSparc and PowerPC machines plus the
+//! heterogeneous platforms of Section 3 (ARM+Neon phones, Cell PPE/SPU, DSPs);
+//! none of that hardware is available to this reproduction, so each machine is
+//! modeled as a [`TargetDesc`] — register files, an optional SIMD unit and a
+//! per-operation [`CostModel`] — together with a [`Simulator`] that executes
+//! the virtual machine code ([`MProgram`]) emitted by the online compiler and
+//! reports deterministic cycle counts ([`SimStats`]).
+//!
+//! Absolute cycle numbers are synthetic; the experiments only rely on the
+//! *relative* behaviour (scalar vs. vectorized code, one target vs. another),
+//! which is what the paper's Table 1 reports as speedups.
+//!
+//! # Example
+//!
+//! ```
+//! use splitc_targets::{
+//!     AluOp, MBlock, MFunction, MInst, MProgram, MachineValue, PReg, Simulator, TargetDesc,
+//!     Width,
+//! };
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! // A one-block function: return 2 * argument.
+//! let f = MFunction {
+//!     name: "double".into(),
+//!     params: vec![PReg::int(0)],
+//!     blocks: vec![MBlock {
+//!         insts: vec![
+//!             MInst::Imm { dst: PReg::int(1), value: 2 },
+//!             MInst::IntOp {
+//!                 op: AluOp::Mul, width: Width::W32, signed: true,
+//!                 dst: PReg::int(0), lhs: PReg::int(0), rhs: PReg::int(1),
+//!             },
+//!             MInst::Ret { value: Some(PReg::int(0)) },
+//!         ],
+//!     }],
+//!     num_slots: 0,
+//! };
+//! let program = MProgram { name: "demo".into(), functions: vec![f] };
+//!
+//! // The same code costs different cycles on different machines.
+//! let mut mem = vec![0u8; 32];
+//! let mut cycles = Vec::new();
+//! for target in [TargetDesc::x86_sse(), TargetDesc::ultrasparc()] {
+//!     let mut sim = Simulator::new(&program, &target);
+//!     let out = sim.run("double", &[MachineValue::Int(21)], &mut mem)?;
+//!     assert_eq!(out, Some(MachineValue::Int(42)));
+//!     cycles.push(sim.stats().cycles);
+//! }
+//! assert_ne!(cycles[0], cycles[1]);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+
+mod desc;
+mod mcode;
+mod simulator;
+
+pub use desc::{CostModel, TargetDesc, VectorUnit};
+pub use mcode::{
+    AluOp, CmpPred, FpuOp, MBlock, MFunction, MInst, MProgram, PReg, RedOp, RegClass, Width,
+};
+pub use simulator::{
+    MachineValue, SimError, SimStats, Simulator, DEFAULT_SIM_FUEL, MAX_CALL_DEPTH,
+};

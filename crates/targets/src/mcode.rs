@@ -1,0 +1,683 @@
+//! Machine-code representation shared by all virtual targets.
+//!
+//! The virtual ISA is a generic load/store architecture with three register
+//! classes (integer, floating point, vector). Whether the vector instructions
+//! are available — and how wide the vector registers are — is a property of
+//! the [`TargetDesc`](crate::TargetDesc); the online compiler only emits what
+//! the target supports.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Register class of a physical register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum RegClass {
+    /// General-purpose integer register (holds 64 bits).
+    Int,
+    /// Floating-point register (holds one f64).
+    Float,
+    /// SIMD vector register.
+    Vec,
+}
+
+/// A physical register of the virtual ISA.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct PReg {
+    /// The register class.
+    pub class: RegClass,
+    /// Index within the class (0-based).
+    pub index: u16,
+}
+
+impl PReg {
+    /// An integer register.
+    pub fn int(index: u16) -> Self {
+        PReg { class: RegClass::Int, index }
+    }
+    /// A floating-point register.
+    pub fn float(index: u16) -> Self {
+        PReg { class: RegClass::Float, index }
+    }
+    /// A vector register.
+    pub fn vec(index: u16) -> Self {
+        PReg { class: RegClass::Vec, index }
+    }
+}
+
+impl fmt::Display for PReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.class {
+            RegClass::Int => write!(f, "r{}", self.index),
+            RegClass::Float => write!(f, "f{}", self.index),
+            RegClass::Vec => write!(f, "v{}", self.index),
+        }
+    }
+}
+
+/// Operand width in bytes for integer operations and memory accesses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Width {
+    /// 8 bits.
+    W8,
+    /// 16 bits.
+    W16,
+    /// 32 bits.
+    W32,
+    /// 64 bits.
+    W64,
+}
+
+impl Width {
+    /// Size in bytes.
+    pub fn bytes(self) -> u64 {
+        match self {
+            Width::W8 => 1,
+            Width::W16 => 2,
+            Width::W32 => 4,
+            Width::W64 => 8,
+        }
+    }
+
+    /// The width holding `bytes` bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bytes` is not 1, 2, 4 or 8.
+    pub fn from_bytes(bytes: u64) -> Width {
+        match bytes {
+            1 => Width::W8,
+            2 => Width::W16,
+            4 => Width::W32,
+            8 => Width::W64,
+            other => panic!("no machine width of {other} bytes"),
+        }
+    }
+}
+
+/// Integer ALU operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AluOp {
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Division.
+    Div,
+    /// Remainder.
+    Rem,
+    /// Bitwise and.
+    And,
+    /// Bitwise or.
+    Or,
+    /// Bitwise xor.
+    Xor,
+    /// Shift left.
+    Shl,
+    /// Shift right (arithmetic when signed).
+    Shr,
+    /// Minimum.
+    Min,
+    /// Maximum.
+    Max,
+}
+
+/// Floating-point operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum FpuOp {
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Division.
+    Div,
+    /// Minimum.
+    Min,
+    /// Maximum.
+    Max,
+}
+
+/// Comparison predicates (shared by integer and floating-point compares).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CmpPred {
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+    /// Less than.
+    Lt,
+    /// Less than or equal.
+    Le,
+    /// Greater than.
+    Gt,
+    /// Greater than or equal.
+    Ge,
+}
+
+/// Horizontal reduction operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum RedOp {
+    /// Sum of lanes.
+    Add,
+    /// Minimum of lanes.
+    Min,
+    /// Maximum of lanes.
+    Max,
+}
+
+/// One machine instruction of the virtual ISA.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum MInst {
+    /// `dst = value` (integer register).
+    Imm {
+        /// Destination integer register.
+        dst: PReg,
+        /// The immediate.
+        value: i64,
+    },
+    /// `dst = value` (floating-point register).
+    FImm {
+        /// Destination floating-point register.
+        dst: PReg,
+        /// The immediate.
+        value: f64,
+    },
+    /// Register-to-register move within one class.
+    Mov {
+        /// Destination register.
+        dst: PReg,
+        /// Source register.
+        src: PReg,
+    },
+    /// Integer ALU operation.
+    IntOp {
+        /// Operation.
+        op: AluOp,
+        /// Operand width.
+        width: Width,
+        /// Signed semantics for division, shifts, min/max.
+        signed: bool,
+        /// Destination.
+        dst: PReg,
+        /// Left operand.
+        lhs: PReg,
+        /// Right operand.
+        rhs: PReg,
+    },
+    /// Floating-point operation.
+    FloatOp {
+        /// Operation.
+        op: FpuOp,
+        /// `true` for f64, `false` for f32 precision.
+        double: bool,
+        /// Destination.
+        dst: PReg,
+        /// Left operand.
+        lhs: PReg,
+        /// Right operand.
+        rhs: PReg,
+    },
+    /// Integer negate.
+    IntNeg {
+        /// Operand width.
+        width: Width,
+        /// Destination.
+        dst: PReg,
+        /// Source.
+        src: PReg,
+    },
+    /// Integer bitwise not.
+    IntNot {
+        /// Operand width.
+        width: Width,
+        /// Destination.
+        dst: PReg,
+        /// Source.
+        src: PReg,
+    },
+    /// Floating-point negate.
+    FloatNeg {
+        /// `true` for f64 precision.
+        double: bool,
+        /// Destination.
+        dst: PReg,
+        /// Source.
+        src: PReg,
+    },
+    /// Integer comparison; `dst` (integer) receives 0 or 1.
+    IntCmp {
+        /// Predicate.
+        pred: CmpPred,
+        /// Operand width.
+        width: Width,
+        /// Signed comparison.
+        signed: bool,
+        /// Destination integer register.
+        dst: PReg,
+        /// Left operand.
+        lhs: PReg,
+        /// Right operand.
+        rhs: PReg,
+    },
+    /// Floating-point comparison; `dst` (integer) receives 0 or 1.
+    FloatCmp {
+        /// Predicate.
+        pred: CmpPred,
+        /// `true` for f64 precision.
+        double: bool,
+        /// Destination integer register.
+        dst: PReg,
+        /// Left operand.
+        lhs: PReg,
+        /// Right operand.
+        rhs: PReg,
+    },
+    /// Conditional select within one register class.
+    Select {
+        /// Destination register.
+        dst: PReg,
+        /// Integer condition register (non-zero selects `if_true`).
+        cond: PReg,
+        /// Value when the condition is non-zero.
+        if_true: PReg,
+        /// Value when the condition is zero.
+        if_false: PReg,
+    },
+    /// Integer to floating-point conversion.
+    IntToFloat {
+        /// Treat the source as signed.
+        signed: bool,
+        /// Produce f64 (`true`) or f32 (`false`) precision.
+        double: bool,
+        /// Destination floating-point register.
+        dst: PReg,
+        /// Source integer register.
+        src: PReg,
+    },
+    /// Floating-point to integer conversion (truncation).
+    FloatToInt {
+        /// Destination width.
+        width: Width,
+        /// Signed destination.
+        signed: bool,
+        /// Destination integer register.
+        dst: PReg,
+        /// Source floating-point register.
+        src: PReg,
+    },
+    /// Floating-point precision change.
+    FloatCvt {
+        /// Convert to f64 (`true`) or round to f32 (`false`).
+        to_double: bool,
+        /// Destination floating-point register.
+        dst: PReg,
+        /// Source floating-point register.
+        src: PReg,
+    },
+    /// Re-normalize an integer register to a narrower width.
+    IntResize {
+        /// Target width.
+        width: Width,
+        /// Sign-extend (`true`) or zero-extend.
+        signed: bool,
+        /// Destination integer register.
+        dst: PReg,
+        /// Source integer register.
+        src: PReg,
+    },
+    /// Scalar load from memory.
+    Load {
+        /// Access width.
+        width: Width,
+        /// Load into a floating-point register.
+        float: bool,
+        /// Sign-extend integer loads.
+        signed: bool,
+        /// Destination register.
+        dst: PReg,
+        /// Base address register (integer).
+        base: PReg,
+        /// Byte displacement.
+        offset: i64,
+    },
+    /// Scalar store to memory.
+    Store {
+        /// Access width.
+        width: Width,
+        /// Store from a floating-point register.
+        float: bool,
+        /// Base address register (integer).
+        base: PReg,
+        /// Byte displacement.
+        offset: i64,
+        /// Source register.
+        src: PReg,
+    },
+    /// Vector load of one full vector register.
+    VecLoad {
+        /// Destination vector register.
+        dst: PReg,
+        /// Base address register (integer).
+        base: PReg,
+        /// Byte displacement.
+        offset: i64,
+    },
+    /// Vector store of one full vector register.
+    VecStore {
+        /// Base address register (integer).
+        base: PReg,
+        /// Byte displacement.
+        offset: i64,
+        /// Source vector register.
+        src: PReg,
+    },
+    /// Broadcast an integer scalar into every lane.
+    VecSplatInt {
+        /// Lane width.
+        elem: Width,
+        /// Destination vector register.
+        dst: PReg,
+        /// Source integer register.
+        src: PReg,
+    },
+    /// Broadcast a floating-point scalar into every lane.
+    VecSplatFloat {
+        /// Lane width (`W32` or `W64`).
+        elem: Width,
+        /// Destination vector register.
+        dst: PReg,
+        /// Source floating-point register.
+        src: PReg,
+    },
+    /// Element-wise integer vector operation.
+    VecIntOp {
+        /// Operation.
+        op: AluOp,
+        /// Lane width.
+        elem: Width,
+        /// Signed lane semantics.
+        signed: bool,
+        /// Destination vector register.
+        dst: PReg,
+        /// Left operand.
+        lhs: PReg,
+        /// Right operand.
+        rhs: PReg,
+    },
+    /// Element-wise floating-point vector operation.
+    VecFloatOp {
+        /// Operation.
+        op: FpuOp,
+        /// Lane width (`W32` or `W64`).
+        elem: Width,
+        /// Destination vector register.
+        dst: PReg,
+        /// Left operand.
+        lhs: PReg,
+        /// Right operand.
+        rhs: PReg,
+    },
+    /// Horizontal integer reduction into an integer register.
+    VecReduceInt {
+        /// Reduction operator.
+        op: RedOp,
+        /// Lane width.
+        elem: Width,
+        /// Signed lane semantics.
+        signed: bool,
+        /// Destination integer register.
+        dst: PReg,
+        /// Source vector register.
+        src: PReg,
+    },
+    /// Horizontal floating-point reduction into a floating-point register.
+    VecReduceFloat {
+        /// Reduction operator.
+        op: RedOp,
+        /// Lane width (`W32` or `W64`).
+        elem: Width,
+        /// Destination floating-point register.
+        dst: PReg,
+        /// Source vector register.
+        src: PReg,
+    },
+    /// Spill a register to a stack slot.
+    Spill {
+        /// Stack slot index.
+        slot: u32,
+        /// Source register.
+        src: PReg,
+    },
+    /// Reload a register from a stack slot.
+    Reload {
+        /// Stack slot index.
+        slot: u32,
+        /// Destination register.
+        dst: PReg,
+    },
+    /// Unconditional jump to a block.
+    Jump {
+        /// Target block index.
+        target: u32,
+    },
+    /// Branch on a non-zero integer condition.
+    BranchNz {
+        /// Condition register (integer).
+        cond: PReg,
+        /// Target when non-zero.
+        then_target: u32,
+        /// Target when zero.
+        else_target: u32,
+    },
+    /// Direct call with a virtual calling convention (the simulator copies the
+    /// argument registers into the callee's parameter registers).
+    Call {
+        /// Callee function name.
+        callee: String,
+        /// Argument registers, in order.
+        args: Vec<PReg>,
+        /// Register receiving the return value, if any.
+        ret: Option<PReg>,
+    },
+    /// Return from the function.
+    Ret {
+        /// Returned register, if any.
+        value: Option<PReg>,
+    },
+}
+
+impl MInst {
+    /// `true` if this instruction ends a basic block.
+    pub fn is_terminator(&self) -> bool {
+        matches!(self, MInst::Jump { .. } | MInst::BranchNz { .. } | MInst::Ret { .. })
+    }
+
+    /// `true` for vector instructions (only valid on SIMD-capable targets).
+    pub fn is_vector(&self) -> bool {
+        matches!(
+            self,
+            MInst::VecLoad { .. }
+                | MInst::VecStore { .. }
+                | MInst::VecSplatInt { .. }
+                | MInst::VecSplatFloat { .. }
+                | MInst::VecIntOp { .. }
+                | MInst::VecFloatOp { .. }
+                | MInst::VecReduceInt { .. }
+                | MInst::VecReduceFloat { .. }
+        )
+    }
+
+    /// `true` for spill/reload traffic inserted by the register allocator.
+    pub fn is_spill(&self) -> bool {
+        matches!(self, MInst::Spill { .. } | MInst::Reload { .. })
+    }
+
+    /// Estimated encoded size in bytes, used by the code-size experiment (E5).
+    ///
+    /// The estimate models a 32-bit RISC-style encoding with extension words
+    /// for large immediates and displacements, plus a prefix byte for vector
+    /// operations (as on SSE/AltiVec).
+    pub fn estimated_bytes(&self) -> u64 {
+        let imm_extra = |v: i64| if (-128..=127).contains(&v) { 0 } else { 4 };
+        match self {
+            MInst::Imm { value, .. } => 4 + imm_extra(*value),
+            MInst::FImm { .. } => 8,
+            MInst::Load { offset, .. } | MInst::Store { offset, .. } => 4 + imm_extra(*offset),
+            MInst::VecLoad { offset, .. } | MInst::VecStore { offset, .. } => 5 + imm_extra(*offset),
+            MInst::Call { args, .. } => 4 + args.len() as u64,
+            i if i.is_vector() => 5,
+            _ => 4,
+        }
+    }
+}
+
+/// A basic block of machine code.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct MBlock {
+    /// Instructions; the last one must be a terminator.
+    pub insts: Vec<MInst>,
+}
+
+/// A compiled machine function.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MFunction {
+    /// Function name (matches the bytecode function it was compiled from).
+    pub name: String,
+    /// Registers in which the function expects its arguments.
+    pub params: Vec<PReg>,
+    /// Basic blocks; block 0 is the entry.
+    pub blocks: Vec<MBlock>,
+    /// Number of stack slots used for spills.
+    pub num_slots: u32,
+}
+
+impl MFunction {
+    /// Total instruction count.
+    pub fn num_insts(&self) -> usize {
+        self.blocks.iter().map(|b| b.insts.len()).sum()
+    }
+
+    /// Number of spill/reload instructions (static count).
+    pub fn num_spill_insts(&self) -> usize {
+        self.blocks
+            .iter()
+            .flat_map(|b| b.insts.iter())
+            .filter(|i| i.is_spill())
+            .count()
+    }
+
+    /// Estimated code size in bytes (see [`MInst::estimated_bytes`]).
+    pub fn estimated_code_bytes(&self) -> u64 {
+        self.blocks
+            .iter()
+            .flat_map(|b| b.insts.iter())
+            .map(MInst::estimated_bytes)
+            .sum()
+    }
+}
+
+/// A fully compiled program for one target.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct MProgram {
+    /// Name of the originating module.
+    pub name: String,
+    /// Compiled functions.
+    pub functions: Vec<MFunction>,
+}
+
+impl MProgram {
+    /// Look up a function by name.
+    pub fn function(&self, name: &str) -> Option<&MFunction> {
+        self.functions.iter().find(|f| f.name == name)
+    }
+
+    /// Estimated total code size in bytes.
+    pub fn estimated_code_bytes(&self) -> u64 {
+        self.functions.iter().map(MFunction::estimated_code_bytes).sum()
+    }
+
+    /// Total instruction count across all functions.
+    pub fn num_insts(&self) -> usize {
+        self.functions.iter().map(MFunction::num_insts).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn widths_and_pregs() {
+        assert_eq!(Width::W8.bytes(), 1);
+        assert_eq!(Width::from_bytes(4), Width::W32);
+        assert_eq!(PReg::int(3).to_string(), "r3");
+        assert_eq!(PReg::float(2).to_string(), "f2");
+        assert_eq!(PReg::vec(1).to_string(), "v1");
+    }
+
+    #[test]
+    #[should_panic(expected = "no machine width")]
+    fn bad_width_panics() {
+        let _ = Width::from_bytes(3);
+    }
+
+    #[test]
+    fn classification_of_instructions() {
+        let j = MInst::Jump { target: 2 };
+        assert!(j.is_terminator());
+        let v = MInst::VecIntOp {
+            op: AluOp::Add,
+            elem: Width::W8,
+            signed: false,
+            dst: PReg::vec(0),
+            lhs: PReg::vec(1),
+            rhs: PReg::vec(2),
+        };
+        assert!(v.is_vector() && !v.is_terminator());
+        let s = MInst::Spill { slot: 0, src: PReg::int(1) };
+        assert!(s.is_spill());
+    }
+
+    #[test]
+    fn code_size_estimates_scale_with_program_size() {
+        let small = MFunction {
+            name: "f".into(),
+            params: vec![],
+            blocks: vec![MBlock {
+                insts: vec![MInst::Ret { value: None }],
+            }],
+            num_slots: 0,
+        };
+        let big = MFunction {
+            name: "g".into(),
+            params: vec![],
+            blocks: vec![MBlock {
+                insts: vec![
+                    MInst::Imm { dst: PReg::int(0), value: 1_000_000 },
+                    MInst::Load {
+                        width: Width::W32,
+                        float: false,
+                        signed: true,
+                        dst: PReg::int(1),
+                        base: PReg::int(0),
+                        offset: 4096,
+                    },
+                    MInst::Ret { value: None },
+                ],
+            }],
+            num_slots: 0,
+        };
+        assert!(big.estimated_code_bytes() > small.estimated_code_bytes());
+        let program = MProgram {
+            name: "m".into(),
+            functions: vec![small, big],
+        };
+        assert_eq!(program.functions.len(), 2);
+        assert!(program.function("g").is_some());
+        assert!(program.estimated_code_bytes() > 8);
+        assert_eq!(program.num_insts(), 4);
+    }
+}

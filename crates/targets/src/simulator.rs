@@ -1,0 +1,1171 @@
+//! Cycle-cost simulator for the virtual ISA.
+//!
+//! The simulator stands in for the real x86/UltraSparc/PowerPC/ARM/Cell
+//! hardware of the paper: it executes machine code produced by the online
+//! compiler against a flat byte memory and charges each instruction the cost
+//! given by the target's [`CostModel`](crate::CostModel). Functional results
+//! must match the bytecode reference interpreter (this is checked by the
+//! cross-crate differential tests); cycle counts are what the experiments
+//! report.
+
+use crate::desc::TargetDesc;
+use crate::mcode::{AluOp, CmpPred, FpuOp, MFunction, MInst, MProgram, PReg, RedOp, RegClass, Width};
+use std::error::Error;
+use std::fmt;
+
+/// Default instruction budget before a run is aborted as runaway.
+pub const DEFAULT_SIM_FUEL: u64 = 1_000_000_000;
+
+/// Maximum call depth.
+pub const MAX_CALL_DEPTH: usize = 256;
+
+/// A scalar value passed to or returned from a simulated function.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum MachineValue {
+    /// Integer (or pointer) value.
+    Int(i64),
+    /// Floating-point value.
+    Float(f64),
+}
+
+impl MachineValue {
+    /// The integer payload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is a float.
+    pub fn as_int(self) -> i64 {
+        match self {
+            MachineValue::Int(v) => v,
+            MachineValue::Float(v) => panic!("expected integer, found float {v}"),
+        }
+    }
+
+    /// The floating-point payload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is an integer.
+    pub fn as_float(self) -> f64 {
+        match self {
+            MachineValue::Float(v) => v,
+            MachineValue::Int(v) => panic!("expected float, found integer {v}"),
+        }
+    }
+}
+
+/// An error raised during simulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The entry function does not exist.
+    UnknownFunction(String),
+    /// Wrong number of arguments for the entry function.
+    BadArgumentCount {
+        /// Expected parameter count.
+        expected: usize,
+        /// Supplied argument count.
+        found: usize,
+    },
+    /// A register index exceeds the target's register file.
+    BadRegister {
+        /// The offending register.
+        reg: String,
+        /// The function being executed.
+        function: String,
+    },
+    /// A vector instruction was executed on a target without a SIMD unit.
+    NoVectorUnit {
+        /// The function being executed.
+        function: String,
+    },
+    /// Runtime fault (out-of-bounds access, division by zero, bad slot, ...).
+    Trap(String),
+    /// The instruction budget was exhausted.
+    OutOfFuel,
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::UnknownFunction(n) => write!(f, "unknown function {n}"),
+            SimError::BadArgumentCount { expected, found } => {
+                write!(f, "expected {expected} arguments, found {found}")
+            }
+            SimError::BadRegister { reg, function } => {
+                write!(f, "register {reg} out of range in {function}")
+            }
+            SimError::NoVectorUnit { function } => {
+                write!(f, "vector instruction on a scalar-only target in {function}")
+            }
+            SimError::Trap(msg) => write!(f, "trap: {msg}"),
+            SimError::OutOfFuel => write!(f, "instruction budget exhausted"),
+        }
+    }
+}
+
+impl Error for SimError {}
+
+/// Execution statistics of one simulated run.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SimStats {
+    /// Total cost-model cycles.
+    pub cycles: u64,
+    /// Machine instructions executed.
+    pub instructions: u64,
+    /// Scalar and vector loads executed.
+    pub loads: u64,
+    /// Scalar and vector stores executed.
+    pub stores: u64,
+    /// Spill stores executed.
+    pub spill_stores: u64,
+    /// Spill reloads executed.
+    pub spill_reloads: u64,
+    /// Branches executed (conditional and unconditional).
+    pub branches: u64,
+    /// Vector instructions executed.
+    pub vector_ops: u64,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum SlotValue {
+    Empty,
+    Int(i64),
+    Float(f64),
+    Vec(Vec<u8>),
+}
+
+struct Frame {
+    int: Vec<i64>,
+    float: Vec<f64>,
+    vec: Vec<Vec<u8>>,
+    slots: Vec<SlotValue>,
+}
+
+fn normalize(width: Width, signed: bool, v: i64) -> i64 {
+    match (width, signed) {
+        (Width::W8, true) => v as i8 as i64,
+        (Width::W8, false) => i64::from(v as u8),
+        (Width::W16, true) => v as i16 as i64,
+        (Width::W16, false) => i64::from(v as u16),
+        (Width::W32, true) => v as i32 as i64,
+        (Width::W32, false) => i64::from(v as u32),
+        (Width::W64, _) => v,
+    }
+}
+
+fn alu(op: AluOp, width: Width, signed: bool, a: i64, b: i64) -> Result<i64, SimError> {
+    let r = match op {
+        AluOp::Add => a.wrapping_add(b),
+        AluOp::Sub => a.wrapping_sub(b),
+        AluOp::Mul => a.wrapping_mul(b),
+        AluOp::Div => {
+            if b == 0 {
+                return Err(SimError::Trap("integer division by zero".into()));
+            }
+            if signed {
+                a.wrapping_div(b)
+            } else {
+                ((a as u64) / (b as u64)) as i64
+            }
+        }
+        AluOp::Rem => {
+            if b == 0 {
+                return Err(SimError::Trap("integer remainder by zero".into()));
+            }
+            if signed {
+                a.wrapping_rem(b)
+            } else {
+                ((a as u64) % (b as u64)) as i64
+            }
+        }
+        AluOp::And => a & b,
+        AluOp::Or => a | b,
+        AluOp::Xor => a ^ b,
+        AluOp::Shl => a.wrapping_shl(b as u32),
+        AluOp::Shr => {
+            if signed {
+                a.wrapping_shr(b as u32)
+            } else {
+                ((a as u64).wrapping_shr(b as u32)) as i64
+            }
+        }
+        AluOp::Min => {
+            if signed {
+                a.min(b)
+            } else {
+                ((a as u64).min(b as u64)) as i64
+            }
+        }
+        AluOp::Max => {
+            if signed {
+                a.max(b)
+            } else {
+                ((a as u64).max(b as u64)) as i64
+            }
+        }
+    };
+    Ok(normalize(width, signed, r))
+}
+
+fn fpu(op: FpuOp, double: bool, a: f64, b: f64) -> f64 {
+    let r = match op {
+        FpuOp::Add => a + b,
+        FpuOp::Sub => a - b,
+        FpuOp::Mul => a * b,
+        FpuOp::Div => a / b,
+        FpuOp::Min => a.min(b),
+        FpuOp::Max => a.max(b),
+    };
+    if double {
+        r
+    } else {
+        f64::from(r as f32)
+    }
+}
+
+fn compare<T: PartialOrd>(pred: CmpPred, a: T, b: T) -> i64 {
+    let r = match pred {
+        CmpPred::Eq => a == b,
+        CmpPred::Ne => a != b,
+        CmpPred::Lt => a < b,
+        CmpPred::Le => a <= b,
+        CmpPred::Gt => a > b,
+        CmpPred::Ge => a >= b,
+    };
+    i64::from(r)
+}
+
+/// The cycle-cost simulator for one target.
+///
+/// # Examples
+///
+/// ```
+/// use splitc_targets::{
+///     MachineValue, MBlock, MFunction, MInst, MProgram, PReg, Simulator, TargetDesc, Width,
+///     AluOp,
+/// };
+///
+/// // fn add1(r0) { r1 = 1; r0 = r0 + r1; return r0 }
+/// let f = MFunction {
+///     name: "add1".into(),
+///     params: vec![PReg::int(0)],
+///     blocks: vec![MBlock {
+///         insts: vec![
+///             MInst::Imm { dst: PReg::int(1), value: 1 },
+///             MInst::IntOp {
+///                 op: AluOp::Add, width: Width::W32, signed: true,
+///                 dst: PReg::int(0), lhs: PReg::int(0), rhs: PReg::int(1),
+///             },
+///             MInst::Ret { value: Some(PReg::int(0)) },
+///         ],
+///     }],
+///     num_slots: 0,
+/// };
+/// let program = MProgram { name: "demo".into(), functions: vec![f] };
+/// let target = TargetDesc::x86_sse();
+/// let mut sim = Simulator::new(&program, &target);
+/// let mut mem = vec![0u8; 64];
+/// let out = sim.run("add1", &[MachineValue::Int(41)], &mut mem).unwrap();
+/// assert_eq!(out, Some(MachineValue::Int(42)));
+/// assert!(sim.stats().cycles > 0);
+/// ```
+#[derive(Debug)]
+pub struct Simulator<'p> {
+    program: &'p MProgram,
+    target: &'p TargetDesc,
+    fuel: u64,
+    stats: SimStats,
+}
+
+impl<'p> Simulator<'p> {
+    /// Create a simulator for `program` on `target`.
+    pub fn new(program: &'p MProgram, target: &'p TargetDesc) -> Self {
+        Simulator {
+            program,
+            target,
+            fuel: DEFAULT_SIM_FUEL,
+            stats: SimStats::default(),
+        }
+    }
+
+    /// Override the instruction budget.
+    pub fn with_fuel(mut self, fuel: u64) -> Self {
+        self.fuel = fuel;
+        self
+    }
+
+    /// Statistics from the most recent [`Simulator::run`].
+    pub fn stats(&self) -> SimStats {
+        self.stats
+    }
+
+    /// Execute `func` with `args` against `mem`.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SimError`] on unknown functions, register-file violations,
+    /// vector use on scalar-only targets, runtime traps or fuel exhaustion.
+    pub fn run(
+        &mut self,
+        func: &str,
+        args: &[MachineValue],
+        mem: &mut [u8],
+    ) -> Result<Option<MachineValue>, SimError> {
+        self.stats = SimStats::default();
+        let mut fuel = self.fuel;
+        self.call(func, args, mem, &mut fuel, 0)
+    }
+
+    fn lanes(&self, elem: Width) -> usize {
+        (self.target.vector_bytes() / elem.bytes()) as usize
+    }
+
+    fn new_frame(&self, f: &MFunction) -> Frame {
+        Frame {
+            int: vec![0; usize::from(self.target.int_regs)],
+            float: vec![0.0; usize::from(self.target.float_regs)],
+            vec: vec![
+                vec![0u8; self.target.vector_bytes() as usize];
+                self.target.vector.map(|v| usize::from(v.regs)).unwrap_or(0)
+            ],
+            slots: vec![SlotValue::Empty; f.num_slots as usize],
+        }
+    }
+
+    fn check_reg(&self, frame: &Frame, r: PReg, fname: &str) -> Result<(), SimError> {
+        let ok = match r.class {
+            RegClass::Int => usize::from(r.index) < frame.int.len(),
+            RegClass::Float => usize::from(r.index) < frame.float.len(),
+            RegClass::Vec => usize::from(r.index) < frame.vec.len(),
+        };
+        if ok {
+            Ok(())
+        } else {
+            Err(SimError::BadRegister {
+                reg: r.to_string(),
+                function: fname.to_owned(),
+            })
+        }
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn call(
+        &mut self,
+        name: &str,
+        args: &[MachineValue],
+        mem: &mut [u8],
+        fuel: &mut u64,
+        depth: usize,
+    ) -> Result<Option<MachineValue>, SimError> {
+        if depth > MAX_CALL_DEPTH {
+            return Err(SimError::Trap("call depth exceeded".into()));
+        }
+        let f = self
+            .program
+            .function(name)
+            .ok_or_else(|| SimError::UnknownFunction(name.to_owned()))?;
+        if f.params.len() != args.len() {
+            return Err(SimError::BadArgumentCount {
+                expected: f.params.len(),
+                found: args.len(),
+            });
+        }
+        let mut frame = self.new_frame(f);
+        for (preg, value) in f.params.iter().zip(args) {
+            self.check_reg(&frame, *preg, &f.name)?;
+            match (preg.class, value) {
+                (RegClass::Int, MachineValue::Int(v)) => frame.int[usize::from(preg.index)] = *v,
+                (RegClass::Float, MachineValue::Float(v)) => {
+                    frame.float[usize::from(preg.index)] = *v;
+                }
+                (RegClass::Int, MachineValue::Float(v)) => {
+                    frame.int[usize::from(preg.index)] = *v as i64;
+                }
+                (RegClass::Float, MachineValue::Int(v)) => {
+                    frame.float[usize::from(preg.index)] = *v as f64;
+                }
+                (RegClass::Vec, _) => {
+                    return Err(SimError::Trap("vector registers cannot be parameters".into()));
+                }
+            }
+        }
+
+        let cost = &self.target.cost;
+        let mut block = 0usize;
+        let mut index = 0usize;
+        loop {
+            if *fuel == 0 {
+                return Err(SimError::OutOfFuel);
+            }
+            *fuel -= 1;
+            let inst = f
+                .blocks
+                .get(block)
+                .and_then(|b| b.insts.get(index))
+                .ok_or_else(|| SimError::Trap(format!("fell off the end of block {block} in {name}")))?
+                .clone();
+            index += 1;
+            self.stats.instructions += 1;
+
+            macro_rules! geti {
+                ($r:expr) => {{
+                    self.check_reg(&frame, $r, &f.name)?;
+                    frame.int[usize::from($r.index)]
+                }};
+            }
+            macro_rules! getf {
+                ($r:expr) => {{
+                    self.check_reg(&frame, $r, &f.name)?;
+                    frame.float[usize::from($r.index)]
+                }};
+            }
+
+            match inst {
+                MInst::Imm { dst, value } => {
+                    self.check_reg(&frame, dst, &f.name)?;
+                    frame.int[usize::from(dst.index)] = value;
+                    self.stats.cycles += cost.mov;
+                }
+                MInst::FImm { dst, value } => {
+                    self.check_reg(&frame, dst, &f.name)?;
+                    frame.float[usize::from(dst.index)] = value;
+                    self.stats.cycles += cost.mov;
+                }
+                MInst::Mov { dst, src } => {
+                    self.check_reg(&frame, dst, &f.name)?;
+                    self.check_reg(&frame, src, &f.name)?;
+                    match dst.class {
+                        RegClass::Int => frame.int[usize::from(dst.index)] = frame.int[usize::from(src.index)],
+                        RegClass::Float => {
+                            frame.float[usize::from(dst.index)] = frame.float[usize::from(src.index)];
+                        }
+                        RegClass::Vec => {
+                            let v = frame.vec[usize::from(src.index)].clone();
+                            frame.vec[usize::from(dst.index)] = v;
+                        }
+                    }
+                    self.stats.cycles += cost.mov;
+                }
+                MInst::IntOp { op, width, signed, dst, lhs, rhs } => {
+                    let a = geti!(lhs);
+                    let b = geti!(rhs);
+                    self.check_reg(&frame, dst, &f.name)?;
+                    frame.int[usize::from(dst.index)] = alu(op, width, signed, a, b)?;
+                    self.stats.cycles += match op {
+                        AluOp::Mul => cost.int_mul,
+                        AluOp::Div | AluOp::Rem => cost.int_div,
+                        _ => cost.int_op,
+                    };
+                }
+                MInst::FloatOp { op, double, dst, lhs, rhs } => {
+                    let a = getf!(lhs);
+                    let b = getf!(rhs);
+                    self.check_reg(&frame, dst, &f.name)?;
+                    frame.float[usize::from(dst.index)] = fpu(op, double, a, b);
+                    self.stats.cycles += match op {
+                        FpuOp::Mul => cost.fp_mul,
+                        FpuOp::Div => cost.fp_div,
+                        _ => cost.fp_add,
+                    };
+                }
+                MInst::IntNeg { width, dst, src } => {
+                    let v = geti!(src);
+                    self.check_reg(&frame, dst, &f.name)?;
+                    frame.int[usize::from(dst.index)] = normalize(width, true, v.wrapping_neg());
+                    self.stats.cycles += cost.int_op;
+                }
+                MInst::IntNot { width, dst, src } => {
+                    let v = geti!(src);
+                    self.check_reg(&frame, dst, &f.name)?;
+                    frame.int[usize::from(dst.index)] = normalize(width, false, !v);
+                    self.stats.cycles += cost.int_op;
+                }
+                MInst::FloatNeg { double, dst, src } => {
+                    let v = getf!(src);
+                    self.check_reg(&frame, dst, &f.name)?;
+                    frame.float[usize::from(dst.index)] = if double { -v } else { f64::from(-(v as f32)) };
+                    self.stats.cycles += cost.fp_add;
+                }
+                MInst::IntCmp { pred, width, signed, dst, lhs, rhs } => {
+                    let a = normalize(width, signed, geti!(lhs));
+                    let b = normalize(width, signed, geti!(rhs));
+                    self.check_reg(&frame, dst, &f.name)?;
+                    frame.int[usize::from(dst.index)] = if signed {
+                        compare(pred, a, b)
+                    } else {
+                        compare(pred, a as u64, b as u64)
+                    };
+                    self.stats.cycles += cost.int_op;
+                }
+                MInst::FloatCmp { pred, double, dst, lhs, rhs } => {
+                    let a = getf!(lhs);
+                    let b = getf!(rhs);
+                    let (a, b) = if double { (a, b) } else { (f64::from(a as f32), f64::from(b as f32)) };
+                    self.check_reg(&frame, dst, &f.name)?;
+                    frame.int[usize::from(dst.index)] = if a.partial_cmp(&b).is_none() {
+                        i64::from(pred == CmpPred::Ne)
+                    } else {
+                        compare(pred, a, b)
+                    };
+                    self.stats.cycles += cost.fp_add;
+                }
+                MInst::Select { dst, cond, if_true, if_false } => {
+                    let c = geti!(cond) != 0;
+                    self.check_reg(&frame, dst, &f.name)?;
+                    self.check_reg(&frame, if_true, &f.name)?;
+                    self.check_reg(&frame, if_false, &f.name)?;
+                    let chosen = if c { if_true } else { if_false };
+                    match dst.class {
+                        RegClass::Int => {
+                            frame.int[usize::from(dst.index)] = frame.int[usize::from(chosen.index)];
+                        }
+                        RegClass::Float => {
+                            frame.float[usize::from(dst.index)] = frame.float[usize::from(chosen.index)];
+                        }
+                        RegClass::Vec => {
+                            let v = frame.vec[usize::from(chosen.index)].clone();
+                            frame.vec[usize::from(dst.index)] = v;
+                        }
+                    }
+                    self.stats.cycles += cost.mov;
+                }
+                MInst::IntToFloat { signed, double, dst, src } => {
+                    let v = geti!(src);
+                    self.check_reg(&frame, dst, &f.name)?;
+                    let x = if signed { v as f64 } else { v as u64 as f64 };
+                    frame.float[usize::from(dst.index)] = if double { x } else { f64::from(x as f32) };
+                    self.stats.cycles += cost.convert;
+                }
+                MInst::FloatToInt { width, signed, dst, src } => {
+                    let v = getf!(src);
+                    self.check_reg(&frame, dst, &f.name)?;
+                    frame.int[usize::from(dst.index)] = normalize(width, signed, v as i64);
+                    self.stats.cycles += cost.convert;
+                }
+                MInst::FloatCvt { to_double, dst, src } => {
+                    let v = getf!(src);
+                    self.check_reg(&frame, dst, &f.name)?;
+                    frame.float[usize::from(dst.index)] = if to_double { v } else { f64::from(v as f32) };
+                    self.stats.cycles += cost.convert;
+                }
+                MInst::IntResize { width, signed, dst, src } => {
+                    let v = geti!(src);
+                    self.check_reg(&frame, dst, &f.name)?;
+                    frame.int[usize::from(dst.index)] = normalize(width, signed, v);
+                    self.stats.cycles += cost.int_op;
+                }
+                MInst::Load { width, float, signed, dst, base, offset } => {
+                    let addr = geti!(base).wrapping_add(offset);
+                    let raw = read_mem(mem, addr, width.bytes())?;
+                    self.check_reg(&frame, dst, &f.name)?;
+                    if float {
+                        let x = match width {
+                            Width::W32 => f64::from(f32::from_bits(raw as u32)),
+                            _ => f64::from_bits(raw),
+                        };
+                        frame.float[usize::from(dst.index)] = x;
+                    } else {
+                        frame.int[usize::from(dst.index)] = normalize(width, signed, raw as i64);
+                    }
+                    self.stats.cycles += cost.load;
+                    self.stats.loads += 1;
+                }
+                MInst::Store { width, float, base, offset, src } => {
+                    let addr = geti!(base).wrapping_add(offset);
+                    let raw = if float {
+                        let v = getf!(src);
+                        match width {
+                            Width::W32 => u64::from((v as f32).to_bits()),
+                            _ => v.to_bits(),
+                        }
+                    } else {
+                        geti!(src) as u64
+                    };
+                    write_mem(mem, addr, width.bytes(), raw)?;
+                    self.stats.cycles += cost.store;
+                    self.stats.stores += 1;
+                }
+                MInst::VecLoad { dst, base, offset } => {
+                    self.require_simd(&f.name)?;
+                    let addr = geti!(base).wrapping_add(offset);
+                    let width = self.target.vector_bytes();
+                    check_range(mem, addr, width)?;
+                    self.check_reg(&frame, dst, &f.name)?;
+                    frame.vec[usize::from(dst.index)]
+                        .copy_from_slice(&mem[addr as usize..(addr as usize + width as usize)]);
+                    self.stats.cycles += cost.vec_load;
+                    self.stats.loads += 1;
+                    self.stats.vector_ops += 1;
+                }
+                MInst::VecStore { base, offset, src } => {
+                    self.require_simd(&f.name)?;
+                    let addr = geti!(base).wrapping_add(offset);
+                    let width = self.target.vector_bytes();
+                    check_range(mem, addr, width)?;
+                    self.check_reg(&frame, src, &f.name)?;
+                    let data = frame.vec[usize::from(src.index)].clone();
+                    mem[addr as usize..(addr as usize + width as usize)].copy_from_slice(&data);
+                    self.stats.cycles += cost.vec_store;
+                    self.stats.stores += 1;
+                    self.stats.vector_ops += 1;
+                }
+                MInst::VecSplatInt { elem, dst, src } => {
+                    self.require_simd(&f.name)?;
+                    let v = geti!(src);
+                    self.check_reg(&frame, dst, &f.name)?;
+                    let lanes = self.lanes(elem);
+                    let reg = &mut frame.vec[usize::from(dst.index)];
+                    for lane in 0..lanes {
+                        write_lane_int(reg, lane, elem, v);
+                    }
+                    self.stats.cycles += cost.vec_op;
+                    self.stats.vector_ops += 1;
+                }
+                MInst::VecSplatFloat { elem, dst, src } => {
+                    self.require_simd(&f.name)?;
+                    let v = getf!(src);
+                    self.check_reg(&frame, dst, &f.name)?;
+                    let lanes = self.lanes(elem);
+                    let reg = &mut frame.vec[usize::from(dst.index)];
+                    for lane in 0..lanes {
+                        write_lane_float(reg, lane, elem, v);
+                    }
+                    self.stats.cycles += cost.vec_op;
+                    self.stats.vector_ops += 1;
+                }
+                MInst::VecIntOp { op, elem, signed, dst, lhs, rhs } => {
+                    self.require_simd(&f.name)?;
+                    self.check_reg(&frame, dst, &f.name)?;
+                    self.check_reg(&frame, lhs, &f.name)?;
+                    self.check_reg(&frame, rhs, &f.name)?;
+                    let lanes = self.lanes(elem);
+                    let a = frame.vec[usize::from(lhs.index)].clone();
+                    let b = frame.vec[usize::from(rhs.index)].clone();
+                    let out = &mut frame.vec[usize::from(dst.index)];
+                    for lane in 0..lanes {
+                        let x = read_lane_int(&a, lane, elem, signed);
+                        let y = read_lane_int(&b, lane, elem, signed);
+                        write_lane_int(out, lane, elem, alu(op, elem, signed, x, y)?);
+                    }
+                    self.stats.cycles += cost.vec_op;
+                    self.stats.vector_ops += 1;
+                }
+                MInst::VecFloatOp { op, elem, dst, lhs, rhs } => {
+                    self.require_simd(&f.name)?;
+                    self.check_reg(&frame, dst, &f.name)?;
+                    self.check_reg(&frame, lhs, &f.name)?;
+                    self.check_reg(&frame, rhs, &f.name)?;
+                    let lanes = self.lanes(elem);
+                    let a = frame.vec[usize::from(lhs.index)].clone();
+                    let b = frame.vec[usize::from(rhs.index)].clone();
+                    let out = &mut frame.vec[usize::from(dst.index)];
+                    for lane in 0..lanes {
+                        let x = read_lane_float(&a, lane, elem);
+                        let y = read_lane_float(&b, lane, elem);
+                        write_lane_float(out, lane, elem, fpu(op, elem == Width::W64, x, y));
+                    }
+                    self.stats.cycles += cost.vec_op;
+                    self.stats.vector_ops += 1;
+                }
+                MInst::VecReduceInt { op, elem, signed, dst, src } => {
+                    self.require_simd(&f.name)?;
+                    self.check_reg(&frame, dst, &f.name)?;
+                    self.check_reg(&frame, src, &f.name)?;
+                    let lanes = self.lanes(elem);
+                    let reg = frame.vec[usize::from(src.index)].clone();
+                    let mut acc = read_lane_int(&reg, 0, elem, signed);
+                    for lane in 1..lanes {
+                        let x = read_lane_int(&reg, lane, elem, signed);
+                        acc = match op {
+                            RedOp::Add => alu(AluOp::Add, elem, signed, acc, x)?,
+                            RedOp::Min => alu(AluOp::Min, elem, signed, acc, x)?,
+                            RedOp::Max => alu(AluOp::Max, elem, signed, acc, x)?,
+                        };
+                    }
+                    frame.int[usize::from(dst.index)] = acc;
+                    self.stats.cycles += cost.vec_reduce;
+                    self.stats.vector_ops += 1;
+                }
+                MInst::VecReduceFloat { op, elem, dst, src } => {
+                    self.require_simd(&f.name)?;
+                    self.check_reg(&frame, dst, &f.name)?;
+                    self.check_reg(&frame, src, &f.name)?;
+                    let lanes = self.lanes(elem);
+                    let reg = frame.vec[usize::from(src.index)].clone();
+                    let mut acc = read_lane_float(&reg, 0, elem);
+                    for lane in 1..lanes {
+                        let x = read_lane_float(&reg, lane, elem);
+                        acc = match op {
+                            RedOp::Add => fpu(FpuOp::Add, elem == Width::W64, acc, x),
+                            RedOp::Min => fpu(FpuOp::Min, elem == Width::W64, acc, x),
+                            RedOp::Max => fpu(FpuOp::Max, elem == Width::W64, acc, x),
+                        };
+                    }
+                    frame.float[usize::from(dst.index)] = acc;
+                    self.stats.cycles += cost.vec_reduce;
+                    self.stats.vector_ops += 1;
+                }
+                MInst::Spill { slot, src } => {
+                    self.check_reg(&frame, src, &f.name)?;
+                    let value = match src.class {
+                        RegClass::Int => SlotValue::Int(frame.int[usize::from(src.index)]),
+                        RegClass::Float => SlotValue::Float(frame.float[usize::from(src.index)]),
+                        RegClass::Vec => SlotValue::Vec(frame.vec[usize::from(src.index)].clone()),
+                    };
+                    *frame
+                        .slots
+                        .get_mut(slot as usize)
+                        .ok_or_else(|| SimError::Trap(format!("spill to invalid slot {slot}")))? = value;
+                    self.stats.cycles += cost.spill_store;
+                    self.stats.spill_stores += 1;
+                }
+                MInst::Reload { slot, dst } => {
+                    self.check_reg(&frame, dst, &f.name)?;
+                    let value = frame
+                        .slots
+                        .get(slot as usize)
+                        .cloned()
+                        .ok_or_else(|| SimError::Trap(format!("reload from invalid slot {slot}")))?;
+                    match (dst.class, value) {
+                        (RegClass::Int, SlotValue::Int(v)) => frame.int[usize::from(dst.index)] = v,
+                        (RegClass::Float, SlotValue::Float(v)) => frame.float[usize::from(dst.index)] = v,
+                        (RegClass::Vec, SlotValue::Vec(v)) => frame.vec[usize::from(dst.index)] = v,
+                        (_, SlotValue::Empty) => {
+                            return Err(SimError::Trap(format!("reload of uninitialized slot {slot}")));
+                        }
+                        _ => {
+                            return Err(SimError::Trap(format!("reload class mismatch for slot {slot}")));
+                        }
+                    }
+                    self.stats.cycles += cost.spill_load;
+                    self.stats.spill_reloads += 1;
+                }
+                MInst::Jump { target } => {
+                    block = target as usize;
+                    index = 0;
+                    self.stats.cycles += cost.branch_taken;
+                    self.stats.branches += 1;
+                }
+                MInst::BranchNz { cond, then_target, else_target } => {
+                    let taken = geti!(cond) != 0;
+                    block = if taken { then_target as usize } else { else_target as usize };
+                    index = 0;
+                    self.stats.cycles += if taken { cost.branch_taken } else { cost.branch_not_taken };
+                    self.stats.branches += 1;
+                }
+                MInst::Call { callee, args, ret } => {
+                    let mut argv = Vec::with_capacity(args.len());
+                    for a in &args {
+                        self.check_reg(&frame, *a, &f.name)?;
+                        argv.push(match a.class {
+                            RegClass::Int => MachineValue::Int(frame.int[usize::from(a.index)]),
+                            RegClass::Float => MachineValue::Float(frame.float[usize::from(a.index)]),
+                            RegClass::Vec => {
+                                return Err(SimError::Trap("vector call arguments are unsupported".into()));
+                            }
+                        });
+                    }
+                    self.stats.cycles += cost.call;
+                    let out = self.call(&callee, &argv, mem, fuel, depth + 1)?;
+                    if let Some(r) = ret {
+                        self.check_reg(&frame, r, &f.name)?;
+                        match (r.class, out) {
+                            (RegClass::Int, Some(MachineValue::Int(v))) => {
+                                frame.int[usize::from(r.index)] = v;
+                            }
+                            (RegClass::Float, Some(MachineValue::Float(v))) => {
+                                frame.float[usize::from(r.index)] = v;
+                            }
+                            _ => {
+                                return Err(SimError::Trap(format!(
+                                    "call to {callee} did not produce the expected value"
+                                )));
+                            }
+                        }
+                    }
+                }
+                MInst::Ret { value } => {
+                    self.stats.cycles += cost.mov;
+                    return Ok(match value {
+                        Some(r) => {
+                            self.check_reg(&frame, r, &f.name)?;
+                            Some(match r.class {
+                                RegClass::Int => MachineValue::Int(frame.int[usize::from(r.index)]),
+                                RegClass::Float => MachineValue::Float(frame.float[usize::from(r.index)]),
+                                RegClass::Vec => {
+                                    return Err(SimError::Trap("vector return values are unsupported".into()));
+                                }
+                            })
+                        }
+                        None => None,
+                    });
+                }
+            }
+        }
+    }
+
+    fn require_simd(&self, fname: &str) -> Result<(), SimError> {
+        if self.target.has_simd() {
+            Ok(())
+        } else {
+            Err(SimError::NoVectorUnit {
+                function: fname.to_owned(),
+            })
+        }
+    }
+}
+
+fn check_range(mem: &[u8], addr: i64, len: u64) -> Result<(), SimError> {
+    if addr <= 0 {
+        return Err(SimError::Trap(format!("null or negative address {addr}")));
+    }
+    let addr = addr as u64;
+    if addr + len > mem.len() as u64 {
+        return Err(SimError::Trap(format!(
+            "out-of-bounds access at {addr}+{len} (memory size {})",
+            mem.len()
+        )));
+    }
+    Ok(())
+}
+
+fn read_mem(mem: &[u8], addr: i64, len: u64) -> Result<u64, SimError> {
+    check_range(mem, addr, len)?;
+    let mut buf = [0u8; 8];
+    buf[..len as usize].copy_from_slice(&mem[addr as usize..(addr as usize + len as usize)]);
+    Ok(u64::from_le_bytes(buf))
+}
+
+fn write_mem(mem: &mut [u8], addr: i64, len: u64, value: u64) -> Result<(), SimError> {
+    check_range(mem, addr, len)?;
+    let bytes = value.to_le_bytes();
+    mem[addr as usize..(addr as usize + len as usize)].copy_from_slice(&bytes[..len as usize]);
+    Ok(())
+}
+
+fn read_lane_int(reg: &[u8], lane: usize, elem: Width, signed: bool) -> i64 {
+    let size = elem.bytes() as usize;
+    let mut buf = [0u8; 8];
+    buf[..size].copy_from_slice(&reg[lane * size..lane * size + size]);
+    normalize(elem, signed, u64::from_le_bytes(buf) as i64)
+}
+
+fn write_lane_int(reg: &mut [u8], lane: usize, elem: Width, value: i64) {
+    let size = elem.bytes() as usize;
+    let bytes = (value as u64).to_le_bytes();
+    reg[lane * size..lane * size + size].copy_from_slice(&bytes[..size]);
+}
+
+fn read_lane_float(reg: &[u8], lane: usize, elem: Width) -> f64 {
+    let size = elem.bytes() as usize;
+    let mut buf = [0u8; 8];
+    buf[..size].copy_from_slice(&reg[lane * size..lane * size + size]);
+    match elem {
+        Width::W32 => f64::from(f32::from_bits(u64::from_le_bytes(buf) as u32)),
+        _ => f64::from_bits(u64::from_le_bytes(buf)),
+    }
+}
+
+fn write_lane_float(reg: &mut [u8], lane: usize, elem: Width, value: f64) {
+    let size = elem.bytes() as usize;
+    let raw = match elem {
+        Width::W32 => u64::from((value as f32).to_bits()),
+        _ => value.to_bits(),
+    };
+    let bytes = raw.to_le_bytes();
+    reg[lane * size..lane * size + size].copy_from_slice(&bytes[..size]);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mcode::{MBlock, MFunction};
+
+    fn program(f: MFunction) -> MProgram {
+        MProgram {
+            name: "test".into(),
+            functions: vec![f],
+        }
+    }
+
+    fn straight(insts: Vec<MInst>, params: Vec<PReg>) -> MProgram {
+        program(MFunction {
+            name: "f".into(),
+            params,
+            blocks: vec![MBlock { insts }],
+            num_slots: 4,
+        })
+    }
+
+    #[test]
+    fn integer_alu_semantics_match_wrapping_and_signedness() {
+        assert_eq!(alu(AluOp::Add, Width::W8, false, 200, 100).unwrap(), 44);
+        assert_eq!(alu(AluOp::Div, Width::W32, true, -7, 2).unwrap(), -3);
+        assert_eq!(alu(AluOp::Div, Width::W32, false, -1i32 as i64 & 0xffff_ffff, 2).unwrap(), 0x7fff_ffff);
+        assert_eq!(alu(AluOp::Max, Width::W8, false, 0xf0, 0x10).unwrap(), 0xf0);
+        assert_eq!(alu(AluOp::Max, Width::W8, true, -16, 16).unwrap(), 16);
+        assert!(alu(AluOp::Div, Width::W32, true, 1, 0).is_err());
+    }
+
+    #[test]
+    fn float_ops_round_through_f32_when_single_precision() {
+        let a = 1.000_000_1_f64;
+        let single = fpu(FpuOp::Add, false, a, a);
+        let double = fpu(FpuOp::Add, true, a, a);
+        assert_ne!(single, double);
+        assert_eq!(single, f64::from((a as f32) + (a as f32)));
+    }
+
+    #[test]
+    fn loads_stores_and_loop_execute_with_costs() {
+        // r0 = base pointer, r1 = n; sum *u8 elements into r2 (wrapping at 8 bits).
+        let f = MFunction {
+            name: "sum".into(),
+            params: vec![PReg::int(0), PReg::int(1)],
+            blocks: vec![
+                MBlock {
+                    insts: vec![
+                        MInst::Imm { dst: PReg::int(2), value: 0 },
+                        MInst::Imm { dst: PReg::int(3), value: 0 },
+                        MInst::Jump { target: 1 },
+                    ],
+                },
+                MBlock {
+                    insts: vec![
+                        MInst::IntCmp {
+                            pred: CmpPred::Lt,
+                            width: Width::W32,
+                            signed: true,
+                            dst: PReg::int(4),
+                            lhs: PReg::int(3),
+                            rhs: PReg::int(1),
+                        },
+                        MInst::BranchNz { cond: PReg::int(4), then_target: 2, else_target: 3 },
+                    ],
+                },
+                MBlock {
+                    insts: vec![
+                        MInst::IntOp {
+                            op: AluOp::Add,
+                            width: Width::W64,
+                            signed: true,
+                            dst: PReg::int(5),
+                            lhs: PReg::int(0),
+                            rhs: PReg::int(3),
+                        },
+                        MInst::Load {
+                            width: Width::W8,
+                            float: false,
+                            signed: false,
+                            dst: PReg::int(5),
+                            base: PReg::int(5),
+                            offset: 0,
+                        },
+                        MInst::IntOp {
+                            op: AluOp::Add,
+                            width: Width::W8,
+                            signed: false,
+                            dst: PReg::int(2),
+                            lhs: PReg::int(2),
+                            rhs: PReg::int(5),
+                        },
+                        MInst::Imm { dst: PReg::int(5), value: 1 },
+                        MInst::IntOp {
+                            op: AluOp::Add,
+                            width: Width::W32,
+                            signed: true,
+                            dst: PReg::int(3),
+                            lhs: PReg::int(3),
+                            rhs: PReg::int(5),
+                        },
+                        MInst::Jump { target: 1 },
+                    ],
+                },
+                MBlock {
+                    insts: vec![MInst::Ret { value: Some(PReg::int(2)) }],
+                },
+            ],
+            num_slots: 0,
+        };
+        let p = program(f);
+        let target = TargetDesc::x86_sse();
+        let mut sim = Simulator::new(&p, &target);
+        let mut mem = vec![0u8; 256];
+        for i in 0..100u8 {
+            mem[16 + i as usize] = i;
+        }
+        let out = sim
+            .run("sum", &[MachineValue::Int(16), MachineValue::Int(100)], &mut mem)
+            .unwrap();
+        assert_eq!(out, Some(MachineValue::Int(i64::from((0..100u32).sum::<u32>() as u8))));
+        let stats = sim.stats();
+        assert_eq!(stats.loads, 100);
+        assert!(stats.cycles > stats.instructions);
+        assert!(stats.branches >= 101);
+    }
+
+    #[test]
+    fn vector_ops_work_on_simd_targets_and_trap_on_scalar_targets() {
+        let insts = vec![
+            MInst::VecLoad { dst: PReg::vec(0), base: PReg::int(0), offset: 0 },
+            MInst::VecIntOp {
+                op: AluOp::Add,
+                elem: Width::W8,
+                signed: false,
+                dst: PReg::vec(0),
+                lhs: PReg::vec(0),
+                rhs: PReg::vec(0),
+            },
+            MInst::VecReduceInt {
+                op: RedOp::Max,
+                elem: Width::W8,
+                signed: false,
+                dst: PReg::int(1),
+                src: PReg::vec(0),
+            },
+            MInst::Ret { value: Some(PReg::int(1)) },
+        ];
+        let p = straight(insts, vec![PReg::int(0)]);
+        let x86 = TargetDesc::x86_sse();
+        let mut sim = Simulator::new(&p, &x86);
+        let mut mem = vec![0u8; 64];
+        for i in 0..16 {
+            mem[16 + i] = i as u8 * 3;
+        }
+        let out = sim.run("f", &[MachineValue::Int(16)], &mut mem).unwrap();
+        assert_eq!(out, Some(MachineValue::Int(90))); // max lane 15*3 doubled = 90
+        assert_eq!(sim.stats().vector_ops, 3);
+
+        let sparc = TargetDesc::ultrasparc();
+        let mut sim = Simulator::new(&p, &sparc);
+        let err = sim.run("f", &[MachineValue::Int(16)], &mut mem).unwrap_err();
+        assert!(matches!(err, SimError::NoVectorUnit { .. }));
+    }
+
+    #[test]
+    fn spills_and_reloads_round_trip_and_are_counted() {
+        let insts = vec![
+            MInst::Imm { dst: PReg::int(0), value: 77 },
+            MInst::Spill { slot: 2, src: PReg::int(0) },
+            MInst::Imm { dst: PReg::int(0), value: 0 },
+            MInst::Reload { slot: 2, dst: PReg::int(0) },
+            MInst::Ret { value: Some(PReg::int(0)) },
+        ];
+        let p = straight(insts, vec![]);
+        let target = TargetDesc::powerpc();
+        let mut sim = Simulator::new(&p, &target);
+        let mut mem = vec![0u8; 32];
+        assert_eq!(sim.run("f", &[], &mut mem).unwrap(), Some(MachineValue::Int(77)));
+        assert_eq!(sim.stats().spill_stores, 1);
+        assert_eq!(sim.stats().spill_reloads, 1);
+    }
+
+    #[test]
+    fn register_file_limits_are_enforced() {
+        let insts = vec![
+            MInst::Imm { dst: PReg::int(40), value: 1 },
+            MInst::Ret { value: None },
+        ];
+        let p = straight(insts, vec![]);
+        let target = TargetDesc::x86_sse(); // only 6 integer registers
+        let mut sim = Simulator::new(&p, &target);
+        let mut mem = vec![0u8; 32];
+        assert!(matches!(
+            sim.run("f", &[], &mut mem).unwrap_err(),
+            SimError::BadRegister { .. }
+        ));
+    }
+
+    #[test]
+    fn out_of_bounds_and_unknown_functions_trap() {
+        let insts = vec![
+            MInst::Load {
+                width: Width::W64,
+                float: false,
+                signed: true,
+                dst: PReg::int(0),
+                base: PReg::int(0),
+                offset: 0,
+            },
+            MInst::Ret { value: None },
+        ];
+        let p = straight(insts, vec![PReg::int(0)]);
+        let target = TargetDesc::arm_neon();
+        let mut sim = Simulator::new(&p, &target);
+        let mut mem = vec![0u8; 16];
+        assert!(matches!(
+            sim.run("f", &[MachineValue::Int(12)], &mut mem).unwrap_err(),
+            SimError::Trap(_)
+        ));
+        assert!(matches!(
+            sim.run("nope", &[], &mut mem).unwrap_err(),
+            SimError::UnknownFunction(_)
+        ));
+        assert!(matches!(
+            sim.run("f", &[], &mut mem).unwrap_err(),
+            SimError::BadArgumentCount { .. }
+        ));
+    }
+
+    #[test]
+    fn infinite_loop_runs_out_of_fuel() {
+        let f = MFunction {
+            name: "spin".into(),
+            params: vec![],
+            blocks: vec![MBlock {
+                insts: vec![MInst::Jump { target: 0 }],
+            }],
+            num_slots: 0,
+        };
+        let p = program(f);
+        let target = TargetDesc::x86_sse();
+        let mut sim = Simulator::new(&p, &target).with_fuel(10_000);
+        let mut mem = vec![0u8; 16];
+        assert_eq!(sim.run("spin", &[], &mut mem).unwrap_err(), SimError::OutOfFuel);
+    }
+
+    #[test]
+    fn calls_copy_arguments_and_return_values() {
+        let callee = MFunction {
+            name: "sq".into(),
+            params: vec![PReg::float(0)],
+            blocks: vec![MBlock {
+                insts: vec![
+                    MInst::FloatOp {
+                        op: FpuOp::Mul,
+                        double: false,
+                        dst: PReg::float(0),
+                        lhs: PReg::float(0),
+                        rhs: PReg::float(0),
+                    },
+                    MInst::Ret { value: Some(PReg::float(0)) },
+                ],
+            }],
+            num_slots: 0,
+        };
+        let caller = MFunction {
+            name: "main".into(),
+            params: vec![PReg::float(0)],
+            blocks: vec![MBlock {
+                insts: vec![
+                    MInst::Call {
+                        callee: "sq".into(),
+                        args: vec![PReg::float(0)],
+                        ret: Some(PReg::float(1)),
+                    },
+                    MInst::Ret { value: Some(PReg::float(1)) },
+                ],
+            }],
+            num_slots: 0,
+        };
+        let p = MProgram {
+            name: "m".into(),
+            functions: vec![callee, caller],
+        };
+        let target = TargetDesc::x86_sse();
+        let mut sim = Simulator::new(&p, &target);
+        let mut mem = vec![0u8; 16];
+        let out = sim.run("main", &[MachineValue::Float(3.0)], &mut mem).unwrap();
+        assert_eq!(out, Some(MachineValue::Float(9.0)));
+    }
+}

@@ -1,0 +1,822 @@
+//! Compact binary encoding of bytecode modules.
+//!
+//! The paper argues (Section 2.1, citing CLI size studies) that a
+//! target-independent bytecode is a *compact* deployment format compared to
+//! native binaries. This module provides the deployment format of the
+//! reproduction: a byte-oriented encoding with LEB128 variable-length
+//! integers, used by the code-size experiment (E5) and by round-trip tests.
+
+use crate::annotations::{AnnotationSet, AnnotationValue};
+use crate::function::{Block, Function};
+use crate::inst::{BinOp, BlockId, CmpOp, Immediate, Inst, ReduceOp, UnOp, VReg};
+use crate::module::Module;
+use crate::types::{ScalarType, Type};
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+
+/// Magic bytes at the start of every encoded module.
+pub const MAGIC: &[u8; 4] = b"SVBC";
+/// Current format version.
+pub const VERSION: u8 = 1;
+
+/// An error raised while decoding a module.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The buffer does not start with [`MAGIC`].
+    BadMagic,
+    /// The format version is not supported.
+    BadVersion(u8),
+    /// The buffer ended in the middle of a field.
+    UnexpectedEof,
+    /// A tag byte does not correspond to any known construct.
+    BadTag {
+        /// What was being decoded.
+        what: &'static str,
+        /// The offending tag value.
+        tag: u8,
+    },
+    /// A string field is not valid UTF-8.
+    BadString,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::BadMagic => write!(f, "missing SVBC magic bytes"),
+            DecodeError::BadVersion(v) => write!(f, "unsupported format version {v}"),
+            DecodeError::UnexpectedEof => write!(f, "unexpected end of input"),
+            DecodeError::BadTag { what, tag } => write!(f, "invalid tag {tag} while decoding {what}"),
+            DecodeError::BadString => write!(f, "invalid UTF-8 in string field"),
+        }
+    }
+}
+
+impl Error for DecodeError {}
+
+struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    fn new() -> Self {
+        Writer { buf: Vec::new() }
+    }
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+    fn uleb(&mut self, mut v: u64) {
+        loop {
+            let byte = (v & 0x7f) as u8;
+            v >>= 7;
+            if v == 0 {
+                self.buf.push(byte);
+                break;
+            }
+            self.buf.push(byte | 0x80);
+        }
+    }
+    fn sleb(&mut self, v: i64) {
+        // zigzag encoding
+        self.uleb(((v << 1) ^ (v >> 63)) as u64);
+    }
+    fn f64(&mut self, v: f64) {
+        self.buf.extend_from_slice(&v.to_bits().to_le_bytes());
+    }
+    fn str(&mut self, s: &str) {
+        self.uleb(s.len() as u64);
+        self.buf.extend_from_slice(s.as_bytes());
+    }
+}
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+    fn u8(&mut self) -> Result<u8, DecodeError> {
+        let b = *self.buf.get(self.pos).ok_or(DecodeError::UnexpectedEof)?;
+        self.pos += 1;
+        Ok(b)
+    }
+    fn uleb(&mut self) -> Result<u64, DecodeError> {
+        let mut shift = 0u32;
+        let mut out = 0u64;
+        loop {
+            let b = self.u8()?;
+            out |= u64::from(b & 0x7f) << shift;
+            if b & 0x80 == 0 {
+                return Ok(out);
+            }
+            shift += 7;
+            if shift >= 64 {
+                return Err(DecodeError::BadTag {
+                    what: "uleb128",
+                    tag: b,
+                });
+            }
+        }
+    }
+    fn sleb(&mut self) -> Result<i64, DecodeError> {
+        let z = self.uleb()?;
+        Ok(((z >> 1) as i64) ^ -((z & 1) as i64))
+    }
+    fn f64(&mut self) -> Result<f64, DecodeError> {
+        if self.pos + 8 > self.buf.len() {
+            return Err(DecodeError::UnexpectedEof);
+        }
+        let mut bytes = [0u8; 8];
+        bytes.copy_from_slice(&self.buf[self.pos..self.pos + 8]);
+        self.pos += 8;
+        Ok(f64::from_bits(u64::from_le_bytes(bytes)))
+    }
+    fn str(&mut self) -> Result<String, DecodeError> {
+        let len = self.uleb()? as usize;
+        if self.pos + len > self.buf.len() {
+            return Err(DecodeError::UnexpectedEof);
+        }
+        let s = std::str::from_utf8(&self.buf[self.pos..self.pos + len])
+            .map_err(|_| DecodeError::BadString)?
+            .to_owned();
+        self.pos += len;
+        Ok(s)
+    }
+}
+
+fn scalar_tag(t: ScalarType) -> u8 {
+    match t {
+        ScalarType::I8 => 0,
+        ScalarType::I16 => 1,
+        ScalarType::I32 => 2,
+        ScalarType::I64 => 3,
+        ScalarType::U8 => 4,
+        ScalarType::U16 => 5,
+        ScalarType::U32 => 6,
+        ScalarType::U64 => 7,
+        ScalarType::F32 => 8,
+        ScalarType::F64 => 9,
+        ScalarType::Ptr => 10,
+    }
+}
+
+fn scalar_from_tag(tag: u8) -> Result<ScalarType, DecodeError> {
+    ScalarType::ALL
+        .get(tag as usize)
+        .copied()
+        .ok_or(DecodeError::BadTag {
+            what: "scalar type",
+            tag,
+        })
+}
+
+fn binop_tag(op: BinOp) -> u8 {
+    BinOp::ALL.iter().position(|o| *o == op).expect("op in ALL") as u8
+}
+
+fn binop_from_tag(tag: u8) -> Result<BinOp, DecodeError> {
+    BinOp::ALL.get(tag as usize).copied().ok_or(DecodeError::BadTag {
+        what: "binary operator",
+        tag,
+    })
+}
+
+fn cmpop_tag(op: CmpOp) -> u8 {
+    CmpOp::ALL.iter().position(|o| *o == op).expect("op in ALL") as u8
+}
+
+fn cmpop_from_tag(tag: u8) -> Result<CmpOp, DecodeError> {
+    CmpOp::ALL.get(tag as usize).copied().ok_or(DecodeError::BadTag {
+        what: "comparison operator",
+        tag,
+    })
+}
+
+fn write_type(w: &mut Writer, t: Type) {
+    match t {
+        Type::Scalar(s) => {
+            w.u8(0);
+            w.u8(scalar_tag(s));
+        }
+        Type::Vector(s) => {
+            w.u8(1);
+            w.u8(scalar_tag(s));
+        }
+    }
+}
+
+fn read_type(r: &mut Reader<'_>) -> Result<Type, DecodeError> {
+    let kind = r.u8()?;
+    let s = scalar_from_tag(r.u8()?)?;
+    match kind {
+        0 => Ok(Type::Scalar(s)),
+        1 => Ok(Type::Vector(s)),
+        tag => Err(DecodeError::BadTag { what: "type", tag }),
+    }
+}
+
+fn write_value(w: &mut Writer, v: &AnnotationValue) {
+    match v {
+        AnnotationValue::Int(x) => {
+            w.u8(0);
+            w.sleb(*x);
+        }
+        AnnotationValue::Float(x) => {
+            w.u8(1);
+            w.f64(*x);
+        }
+        AnnotationValue::Bool(x) => {
+            w.u8(2);
+            w.u8(u8::from(*x));
+        }
+        AnnotationValue::Str(x) => {
+            w.u8(3);
+            w.str(x);
+        }
+        AnnotationValue::List(xs) => {
+            w.u8(4);
+            w.uleb(xs.len() as u64);
+            for x in xs {
+                write_value(w, x);
+            }
+        }
+        AnnotationValue::Map(m) => {
+            w.u8(5);
+            w.uleb(m.len() as u64);
+            for (k, x) in m {
+                w.str(k);
+                write_value(w, x);
+            }
+        }
+    }
+}
+
+fn read_value(r: &mut Reader<'_>) -> Result<AnnotationValue, DecodeError> {
+    Ok(match r.u8()? {
+        0 => AnnotationValue::Int(r.sleb()?),
+        1 => AnnotationValue::Float(r.f64()?),
+        2 => AnnotationValue::Bool(r.u8()? != 0),
+        3 => AnnotationValue::Str(r.str()?),
+        4 => {
+            let n = r.uleb()? as usize;
+            let mut xs = Vec::with_capacity(n);
+            for _ in 0..n {
+                xs.push(read_value(r)?);
+            }
+            AnnotationValue::List(xs)
+        }
+        5 => {
+            let n = r.uleb()? as usize;
+            let mut m = BTreeMap::new();
+            for _ in 0..n {
+                let k = r.str()?;
+                m.insert(k, read_value(r)?);
+            }
+            AnnotationValue::Map(m)
+        }
+        tag => return Err(DecodeError::BadTag { what: "annotation value", tag }),
+    })
+}
+
+fn write_annotations(w: &mut Writer, a: &AnnotationSet) {
+    let entries: Vec<_> = a.iter().collect();
+    w.uleb(entries.len() as u64);
+    for (k, v) in entries {
+        w.str(k);
+        write_value(w, v);
+    }
+}
+
+fn read_annotations(r: &mut Reader<'_>) -> Result<AnnotationSet, DecodeError> {
+    let n = r.uleb()? as usize;
+    let mut a = AnnotationSet::new();
+    for _ in 0..n {
+        let k = r.str()?;
+        let v = read_value(r)?;
+        a.set(&k, v);
+    }
+    Ok(a)
+}
+
+fn write_inst(w: &mut Writer, inst: &Inst) {
+    match inst {
+        Inst::Const { dst, ty, imm } => {
+            w.u8(0);
+            w.uleb(u64::from(dst.0));
+            w.u8(scalar_tag(*ty));
+            match imm {
+                Immediate::Int(v) => {
+                    w.u8(0);
+                    w.sleb(*v);
+                }
+                Immediate::Float(v) => {
+                    w.u8(1);
+                    w.f64(*v);
+                }
+            }
+        }
+        Inst::Move { dst, ty, src } => {
+            w.u8(1);
+            w.uleb(u64::from(dst.0));
+            w.u8(scalar_tag(*ty));
+            w.uleb(u64::from(src.0));
+        }
+        Inst::Bin { op, ty, dst, lhs, rhs } => {
+            w.u8(2);
+            w.u8(binop_tag(*op));
+            w.u8(scalar_tag(*ty));
+            w.uleb(u64::from(dst.0));
+            w.uleb(u64::from(lhs.0));
+            w.uleb(u64::from(rhs.0));
+        }
+        Inst::Un { op, ty, dst, src } => {
+            w.u8(3);
+            w.u8(match op {
+                UnOp::Neg => 0,
+                UnOp::Not => 1,
+            });
+            w.u8(scalar_tag(*ty));
+            w.uleb(u64::from(dst.0));
+            w.uleb(u64::from(src.0));
+        }
+        Inst::Cmp { op, ty, dst, lhs, rhs } => {
+            w.u8(4);
+            w.u8(cmpop_tag(*op));
+            w.u8(scalar_tag(*ty));
+            w.uleb(u64::from(dst.0));
+            w.uleb(u64::from(lhs.0));
+            w.uleb(u64::from(rhs.0));
+        }
+        Inst::Select { ty, dst, cond, if_true, if_false } => {
+            w.u8(5);
+            w.u8(scalar_tag(*ty));
+            w.uleb(u64::from(dst.0));
+            w.uleb(u64::from(cond.0));
+            w.uleb(u64::from(if_true.0));
+            w.uleb(u64::from(if_false.0));
+        }
+        Inst::Cast { dst, to, src, from } => {
+            w.u8(6);
+            w.uleb(u64::from(dst.0));
+            w.u8(scalar_tag(*to));
+            w.uleb(u64::from(src.0));
+            w.u8(scalar_tag(*from));
+        }
+        Inst::Load { dst, ty, addr, offset } => {
+            w.u8(7);
+            w.uleb(u64::from(dst.0));
+            w.u8(scalar_tag(*ty));
+            w.uleb(u64::from(addr.0));
+            w.sleb(*offset);
+        }
+        Inst::Store { ty, addr, offset, value } => {
+            w.u8(8);
+            w.u8(scalar_tag(*ty));
+            w.uleb(u64::from(addr.0));
+            w.sleb(*offset);
+            w.uleb(u64::from(value.0));
+        }
+        Inst::Call { dst, callee, args } => {
+            w.u8(9);
+            match dst {
+                Some(d) => {
+                    w.u8(1);
+                    w.uleb(u64::from(d.0));
+                }
+                None => w.u8(0),
+            }
+            w.str(callee);
+            w.uleb(args.len() as u64);
+            for a in args {
+                w.uleb(u64::from(a.0));
+            }
+        }
+        Inst::VecWidth { dst, elem } => {
+            w.u8(10);
+            w.uleb(u64::from(dst.0));
+            w.u8(scalar_tag(*elem));
+        }
+        Inst::VecSplat { dst, elem, src } => {
+            w.u8(11);
+            w.uleb(u64::from(dst.0));
+            w.u8(scalar_tag(*elem));
+            w.uleb(u64::from(src.0));
+        }
+        Inst::VecLoad { dst, elem, addr, offset } => {
+            w.u8(12);
+            w.uleb(u64::from(dst.0));
+            w.u8(scalar_tag(*elem));
+            w.uleb(u64::from(addr.0));
+            w.sleb(*offset);
+        }
+        Inst::VecStore { elem, addr, offset, value } => {
+            w.u8(13);
+            w.u8(scalar_tag(*elem));
+            w.uleb(u64::from(addr.0));
+            w.sleb(*offset);
+            w.uleb(u64::from(value.0));
+        }
+        Inst::VecBin { op, elem, dst, lhs, rhs } => {
+            w.u8(14);
+            w.u8(binop_tag(*op));
+            w.u8(scalar_tag(*elem));
+            w.uleb(u64::from(dst.0));
+            w.uleb(u64::from(lhs.0));
+            w.uleb(u64::from(rhs.0));
+        }
+        Inst::VecReduce { op, elem, dst, src } => {
+            w.u8(15);
+            w.u8(match op {
+                ReduceOp::Add => 0,
+                ReduceOp::Min => 1,
+                ReduceOp::Max => 2,
+            });
+            w.u8(scalar_tag(*elem));
+            w.uleb(u64::from(dst.0));
+            w.uleb(u64::from(src.0));
+        }
+        Inst::Jump { target } => {
+            w.u8(16);
+            w.uleb(u64::from(target.0));
+        }
+        Inst::Branch { cond, then_bb, else_bb } => {
+            w.u8(17);
+            w.uleb(u64::from(cond.0));
+            w.uleb(u64::from(then_bb.0));
+            w.uleb(u64::from(else_bb.0));
+        }
+        Inst::Ret { value } => {
+            w.u8(18);
+            match value {
+                Some(v) => {
+                    w.u8(1);
+                    w.uleb(u64::from(v.0));
+                }
+                None => w.u8(0),
+            }
+        }
+    }
+}
+
+fn read_vreg(r: &mut Reader<'_>) -> Result<VReg, DecodeError> {
+    Ok(VReg(r.uleb()? as u32))
+}
+
+fn read_inst(r: &mut Reader<'_>) -> Result<Inst, DecodeError> {
+    let tag = r.u8()?;
+    Ok(match tag {
+        0 => {
+            let dst = read_vreg(r)?;
+            let ty = scalar_from_tag(r.u8()?)?;
+            let imm = match r.u8()? {
+                0 => Immediate::Int(r.sleb()?),
+                1 => Immediate::Float(r.f64()?),
+                t => return Err(DecodeError::BadTag { what: "immediate", tag: t }),
+            };
+            Inst::Const { dst, ty, imm }
+        }
+        1 => Inst::Move {
+            dst: read_vreg(r)?,
+            ty: scalar_from_tag(r.u8()?)?,
+            src: read_vreg(r)?,
+        },
+        2 => Inst::Bin {
+            op: binop_from_tag(r.u8()?)?,
+            ty: scalar_from_tag(r.u8()?)?,
+            dst: read_vreg(r)?,
+            lhs: read_vreg(r)?,
+            rhs: read_vreg(r)?,
+        },
+        3 => Inst::Un {
+            op: match r.u8()? {
+                0 => UnOp::Neg,
+                1 => UnOp::Not,
+                t => return Err(DecodeError::BadTag { what: "unary operator", tag: t }),
+            },
+            ty: scalar_from_tag(r.u8()?)?,
+            dst: read_vreg(r)?,
+            src: read_vreg(r)?,
+        },
+        4 => Inst::Cmp {
+            op: cmpop_from_tag(r.u8()?)?,
+            ty: scalar_from_tag(r.u8()?)?,
+            dst: read_vreg(r)?,
+            lhs: read_vreg(r)?,
+            rhs: read_vreg(r)?,
+        },
+        5 => Inst::Select {
+            ty: scalar_from_tag(r.u8()?)?,
+            dst: read_vreg(r)?,
+            cond: read_vreg(r)?,
+            if_true: read_vreg(r)?,
+            if_false: read_vreg(r)?,
+        },
+        6 => Inst::Cast {
+            dst: read_vreg(r)?,
+            to: scalar_from_tag(r.u8()?)?,
+            src: read_vreg(r)?,
+            from: scalar_from_tag(r.u8()?)?,
+        },
+        7 => Inst::Load {
+            dst: read_vreg(r)?,
+            ty: scalar_from_tag(r.u8()?)?,
+            addr: read_vreg(r)?,
+            offset: r.sleb()?,
+        },
+        8 => Inst::Store {
+            ty: scalar_from_tag(r.u8()?)?,
+            addr: read_vreg(r)?,
+            offset: r.sleb()?,
+            value: read_vreg(r)?,
+        },
+        9 => {
+            let dst = if r.u8()? != 0 { Some(read_vreg(r)?) } else { None };
+            let callee = r.str()?;
+            let n = r.uleb()? as usize;
+            let mut args = Vec::with_capacity(n);
+            for _ in 0..n {
+                args.push(read_vreg(r)?);
+            }
+            Inst::Call { dst, callee, args }
+        }
+        10 => Inst::VecWidth {
+            dst: read_vreg(r)?,
+            elem: scalar_from_tag(r.u8()?)?,
+        },
+        11 => Inst::VecSplat {
+            dst: read_vreg(r)?,
+            elem: scalar_from_tag(r.u8()?)?,
+            src: read_vreg(r)?,
+        },
+        12 => Inst::VecLoad {
+            dst: read_vreg(r)?,
+            elem: scalar_from_tag(r.u8()?)?,
+            addr: read_vreg(r)?,
+            offset: r.sleb()?,
+        },
+        13 => Inst::VecStore {
+            elem: scalar_from_tag(r.u8()?)?,
+            addr: read_vreg(r)?,
+            offset: r.sleb()?,
+            value: read_vreg(r)?,
+        },
+        14 => Inst::VecBin {
+            op: binop_from_tag(r.u8()?)?,
+            elem: scalar_from_tag(r.u8()?)?,
+            dst: read_vreg(r)?,
+            lhs: read_vreg(r)?,
+            rhs: read_vreg(r)?,
+        },
+        15 => Inst::VecReduce {
+            op: match r.u8()? {
+                0 => ReduceOp::Add,
+                1 => ReduceOp::Min,
+                2 => ReduceOp::Max,
+                t => return Err(DecodeError::BadTag { what: "reduce operator", tag: t }),
+            },
+            elem: scalar_from_tag(r.u8()?)?,
+            dst: read_vreg(r)?,
+            src: read_vreg(r)?,
+        },
+        16 => Inst::Jump {
+            target: BlockId(r.uleb()? as u32),
+        },
+        17 => Inst::Branch {
+            cond: read_vreg(r)?,
+            then_bb: BlockId(r.uleb()? as u32),
+            else_bb: BlockId(r.uleb()? as u32),
+        },
+        18 => Inst::Ret {
+            value: if r.u8()? != 0 { Some(read_vreg(r)?) } else { None },
+        },
+        t => return Err(DecodeError::BadTag { what: "instruction", tag: t }),
+    })
+}
+
+fn write_function(w: &mut Writer, f: &Function) {
+    w.str(&f.name);
+    w.uleb(f.params.len() as u64);
+    for (r, t) in &f.params {
+        w.uleb(u64::from(r.0));
+        write_type(w, *t);
+    }
+    match f.ret {
+        Some(t) => {
+            w.u8(1);
+            write_type(w, t);
+        }
+        None => w.u8(0),
+    }
+    w.uleb(f.vreg_types.len() as u64);
+    for t in &f.vreg_types {
+        write_type(w, *t);
+    }
+    w.uleb(u64::from(f.entry.0));
+    w.uleb(f.blocks.len() as u64);
+    for b in &f.blocks {
+        w.uleb(b.insts.len() as u64);
+        for inst in &b.insts {
+            write_inst(w, inst);
+        }
+    }
+    write_annotations(w, &f.annotations);
+}
+
+fn read_function(r: &mut Reader<'_>) -> Result<Function, DecodeError> {
+    let name = r.str()?;
+    let nparams = r.uleb()? as usize;
+    let mut params = Vec::with_capacity(nparams);
+    for _ in 0..nparams {
+        let reg = read_vreg(r)?;
+        let ty = read_type(r)?;
+        params.push((reg, ty));
+    }
+    let ret = if r.u8()? != 0 { Some(read_type(r)?) } else { None };
+    let nvregs = r.uleb()? as usize;
+    let mut vreg_types = Vec::with_capacity(nvregs);
+    for _ in 0..nvregs {
+        vreg_types.push(read_type(r)?);
+    }
+    let entry = BlockId(r.uleb()? as u32);
+    let nblocks = r.uleb()? as usize;
+    let mut blocks = Vec::with_capacity(nblocks);
+    for id in 0..nblocks {
+        let ninsts = r.uleb()? as usize;
+        let mut insts = Vec::with_capacity(ninsts);
+        for _ in 0..ninsts {
+            insts.push(read_inst(r)?);
+        }
+        blocks.push(Block {
+            id: BlockId(id as u32),
+            insts,
+        });
+    }
+    let annotations = read_annotations(r)?;
+    Ok(Function {
+        name,
+        params,
+        ret,
+        vreg_types,
+        blocks,
+        entry,
+        annotations,
+    })
+}
+
+/// Encode a module into the compact deployment format.
+///
+/// # Examples
+///
+/// ```
+/// use splitc_vbc::{encode_module, decode_module, Module};
+///
+/// let m = Module::new("empty");
+/// let bytes = encode_module(&m);
+/// assert_eq!(decode_module(&bytes).unwrap(), m);
+/// ```
+pub fn encode_module(m: &Module) -> Vec<u8> {
+    let mut w = Writer::new();
+    w.buf.extend_from_slice(MAGIC);
+    w.u8(VERSION);
+    w.str(&m.name);
+    w.uleb(m.functions().len() as u64);
+    for f in m.functions() {
+        write_function(&mut w, f);
+    }
+    write_annotations(&mut w, &m.annotations);
+    w.buf
+}
+
+/// Decode a module previously produced by [`encode_module`].
+///
+/// # Errors
+///
+/// Returns a [`DecodeError`] if the buffer is truncated, has the wrong magic
+/// or version, or contains invalid tags.
+pub fn decode_module(bytes: &[u8]) -> Result<Module, DecodeError> {
+    let mut r = Reader::new(bytes);
+    if bytes.len() < 4 || &bytes[..4] != MAGIC {
+        return Err(DecodeError::BadMagic);
+    }
+    r.pos = 4;
+    let version = r.u8()?;
+    if version != VERSION {
+        return Err(DecodeError::BadVersion(version));
+    }
+    let name = r.str()?;
+    let mut m = Module::new(&name);
+    let nfuncs = r.uleb()? as usize;
+    for _ in 0..nfuncs {
+        m.add_function(read_function(&mut r)?);
+    }
+    m.annotations = read_annotations(&mut r)?;
+    Ok(m)
+}
+
+/// Size in bytes of the compact encoding of `m`.
+pub fn encoded_size(m: &Module) -> usize {
+    encode_module(m).len()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::FunctionBuilder;
+    use crate::types::{ScalarType, Type};
+
+    fn sample_module() -> Module {
+        let mut b = FunctionBuilder::new(
+            "saxpy",
+            &[
+                Type::Scalar(ScalarType::I32),
+                Type::Scalar(ScalarType::F32),
+                Type::Scalar(ScalarType::Ptr),
+                Type::Scalar(ScalarType::Ptr),
+            ],
+            None,
+        );
+        let x = b.param(2);
+        let a = b.param(1);
+        let v = b.vec_load(ScalarType::F32, x, 0);
+        let s = b.vec_splat(ScalarType::F32, a);
+        let p = b.vec_bin(BinOp::Mul, ScalarType::F32, v, s);
+        b.vec_store(ScalarType::F32, x, 0, p);
+        let c = b.const_int(ScalarType::I32, 0);
+        let d = b.cmp(CmpOp::Eq, ScalarType::I32, c, c);
+        let exit = b.new_block();
+        b.branch(d, exit, exit);
+        b.switch_to(exit);
+        b.ret(None);
+        let mut f = b.finish();
+        f.annotations.set("splitc.loop.trip_count_hint", 4096i64);
+        let mut m = Module::new("kernels");
+        m.add_function(f);
+        m.annotations.set("splitc.offline.optimized", true);
+        m
+    }
+
+    #[test]
+    fn round_trip_preserves_module() {
+        let m = sample_module();
+        let bytes = encode_module(&m);
+        let decoded = decode_module(&bytes).expect("decodes");
+        assert_eq!(decoded, m);
+    }
+
+    #[test]
+    fn encoding_is_compact() {
+        let m = sample_module();
+        let compact = encoded_size(&m);
+        // The compact format should be far smaller than a naive debug dump.
+        let debug = format!("{m:?}").len();
+        assert!(compact * 4 < debug, "compact {compact} vs debug {debug}");
+    }
+
+    #[test]
+    fn bad_magic_and_version_are_rejected() {
+        assert_eq!(decode_module(b"XXXX"), Err(DecodeError::BadMagic));
+        let mut bytes = encode_module(&Module::new("m"));
+        bytes[4] = 99;
+        assert_eq!(decode_module(&bytes), Err(DecodeError::BadVersion(99)));
+    }
+
+    #[test]
+    fn truncation_is_detected() {
+        let bytes = encode_module(&sample_module());
+        for cut in [5, 10, bytes.len() / 2, bytes.len() - 1] {
+            assert!(decode_module(&bytes[..cut]).is_err(), "cut at {cut} must fail");
+        }
+    }
+
+    #[test]
+    fn leb128_round_trip_extremes() {
+        let mut w = Writer::new();
+        for v in [0i64, 1, -1, 63, -64, i64::MAX, i64::MIN, 123_456_789] {
+            w.sleb(v);
+        }
+        for v in [0u64, 127, 128, 16_383, 16_384, u64::MAX] {
+            w.uleb(v);
+        }
+        let mut r = Reader::new(&w.buf);
+        for v in [0i64, 1, -1, 63, -64, i64::MAX, i64::MIN, 123_456_789] {
+            assert_eq!(r.sleb().unwrap(), v);
+        }
+        for v in [0u64, 127, 128, 16_383, 16_384, u64::MAX] {
+            assert_eq!(r.uleb().unwrap(), v);
+        }
+    }
+
+    #[test]
+    fn annotations_survive_round_trip() {
+        let m = sample_module();
+        let decoded = decode_module(&encode_module(&m)).unwrap();
+        assert_eq!(decoded.annotations.get_bool("splitc.offline.optimized"), Some(true));
+        assert_eq!(
+            decoded.function("saxpy").unwrap().annotations.get_int("splitc.loop.trip_count_hint"),
+            Some(4096)
+        );
+    }
+}

@@ -1,0 +1,774 @@
+//! Instruction set of the virtual bytecode.
+//!
+//! The bytecode is register-based (unbounded virtual registers) and typed.
+//! Control flow is explicit: every basic block ends with exactly one
+//! terminator ([`Inst::is_terminator`]).
+//!
+//! The *portable vector builtins* of the paper (Section 4, Table 1) appear as
+//! the `Vec*` instructions: they operate on vectors whose lane count is left
+//! to the online compiler ([`Inst::VecWidth`] materializes that lane count as
+//! a runtime/JIT-time constant).
+
+use crate::types::ScalarType;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A virtual register index, unique within one [`Function`](crate::Function).
+///
+/// # Examples
+///
+/// ```
+/// use splitc_vbc::VReg;
+/// let r = VReg(3);
+/// assert_eq!(r.index(), 3);
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct VReg(pub u32);
+
+impl VReg {
+    /// The register number as a `usize`, for indexing side tables.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for VReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "%{}", self.0)
+    }
+}
+
+/// A basic-block index, unique within one [`Function`](crate::Function).
+///
+/// # Examples
+///
+/// ```
+/// use splitc_vbc::BlockId;
+/// assert_eq!(BlockId(0).index(), 0);
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct BlockId(pub u32);
+
+impl BlockId {
+    /// The block number as a `usize`, for indexing side tables.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bb{}", self.0)
+    }
+}
+
+/// A compile-time immediate operand.
+///
+/// Integer immediates are stored as `i64` and re-normalized to the
+/// instruction's scalar type when executed.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Immediate {
+    /// Integer (or pointer) immediate.
+    Int(i64),
+    /// Floating-point immediate.
+    Float(f64),
+}
+
+impl Immediate {
+    /// The integer payload, converting floats by truncation.
+    pub fn as_i64(self) -> i64 {
+        match self {
+            Immediate::Int(v) => v,
+            Immediate::Float(v) => v as i64,
+        }
+    }
+
+    /// The float payload, converting integers exactly where possible.
+    pub fn as_f64(self) -> f64 {
+        match self {
+            Immediate::Int(v) => v as f64,
+            Immediate::Float(v) => v,
+        }
+    }
+}
+
+impl fmt::Display for Immediate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Immediate::Int(v) => write!(f, "{v}"),
+            Immediate::Float(v) => write!(f, "{v:?}"),
+        }
+    }
+}
+
+/// Two-operand arithmetic and logic operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BinOp {
+    /// Addition (wrapping for integers).
+    Add,
+    /// Subtraction (wrapping for integers).
+    Sub,
+    /// Multiplication (wrapping for integers).
+    Mul,
+    /// Division (signedness-aware; float division for float types).
+    Div,
+    /// Remainder (integers only).
+    Rem,
+    /// Bitwise and (integers only).
+    And,
+    /// Bitwise or (integers only).
+    Or,
+    /// Bitwise xor (integers only).
+    Xor,
+    /// Left shift (integers only).
+    Shl,
+    /// Right shift (arithmetic for signed, logical for unsigned).
+    Shr,
+    /// Minimum of the two operands.
+    Min,
+    /// Maximum of the two operands.
+    Max,
+}
+
+impl BinOp {
+    /// All binary operators, for exhaustive testing.
+    pub const ALL: [BinOp; 12] = [
+        BinOp::Add,
+        BinOp::Sub,
+        BinOp::Mul,
+        BinOp::Div,
+        BinOp::Rem,
+        BinOp::And,
+        BinOp::Or,
+        BinOp::Xor,
+        BinOp::Shl,
+        BinOp::Shr,
+        BinOp::Min,
+        BinOp::Max,
+    ];
+
+    /// `true` if the operation is only defined on integer types.
+    pub fn int_only(self) -> bool {
+        matches!(
+            self,
+            BinOp::Rem | BinOp::And | BinOp::Or | BinOp::Xor | BinOp::Shl | BinOp::Shr
+        )
+    }
+
+    /// `true` if the operation is commutative.
+    pub fn is_commutative(self) -> bool {
+        matches!(
+            self,
+            BinOp::Add | BinOp::Mul | BinOp::And | BinOp::Or | BinOp::Xor | BinOp::Min | BinOp::Max
+        )
+    }
+
+    /// Lowercase mnemonic for the textual listing.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            BinOp::Add => "add",
+            BinOp::Sub => "sub",
+            BinOp::Mul => "mul",
+            BinOp::Div => "div",
+            BinOp::Rem => "rem",
+            BinOp::And => "and",
+            BinOp::Or => "or",
+            BinOp::Xor => "xor",
+            BinOp::Shl => "shl",
+            BinOp::Shr => "shr",
+            BinOp::Min => "min",
+            BinOp::Max => "max",
+        }
+    }
+}
+
+impl fmt::Display for BinOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// One-operand operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum UnOp {
+    /// Arithmetic negation.
+    Neg,
+    /// Bitwise not (integers only).
+    Not,
+}
+
+impl UnOp {
+    /// Lowercase mnemonic for the textual listing.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            UnOp::Neg => "neg",
+            UnOp::Not => "not",
+        }
+    }
+}
+
+impl fmt::Display for UnOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// Comparison predicates. The result is an `i32` holding `0` or `1`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum CmpOp {
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+    /// Strictly less than.
+    Lt,
+    /// Less than or equal.
+    Le,
+    /// Strictly greater than.
+    Gt,
+    /// Greater than or equal.
+    Ge,
+}
+
+impl CmpOp {
+    /// All comparison predicates, for exhaustive testing.
+    pub const ALL: [CmpOp; 6] = [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge];
+
+    /// The predicate with swapped operands (`a < b` ⇔ `b > a`).
+    pub fn swapped(self) -> CmpOp {
+        match self {
+            CmpOp::Eq => CmpOp::Eq,
+            CmpOp::Ne => CmpOp::Ne,
+            CmpOp::Lt => CmpOp::Gt,
+            CmpOp::Le => CmpOp::Ge,
+            CmpOp::Gt => CmpOp::Lt,
+            CmpOp::Ge => CmpOp::Le,
+        }
+    }
+
+    /// The logical negation of the predicate (`a < b` ⇔ `!(a >= b)`).
+    pub fn negated(self) -> CmpOp {
+        match self {
+            CmpOp::Eq => CmpOp::Ne,
+            CmpOp::Ne => CmpOp::Eq,
+            CmpOp::Lt => CmpOp::Ge,
+            CmpOp::Le => CmpOp::Gt,
+            CmpOp::Gt => CmpOp::Le,
+            CmpOp::Ge => CmpOp::Lt,
+        }
+    }
+
+    /// Lowercase mnemonic for the textual listing.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            CmpOp::Eq => "eq",
+            CmpOp::Ne => "ne",
+            CmpOp::Lt => "lt",
+            CmpOp::Le => "le",
+            CmpOp::Gt => "gt",
+            CmpOp::Ge => "ge",
+        }
+    }
+}
+
+impl fmt::Display for CmpOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// Horizontal (across-lane) reduction operators for [`Inst::VecReduce`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ReduceOp {
+    /// Sum of all lanes.
+    Add,
+    /// Minimum of all lanes.
+    Min,
+    /// Maximum of all lanes.
+    Max,
+}
+
+impl ReduceOp {
+    /// The equivalent element-wise binary operator.
+    pub fn as_bin_op(self) -> BinOp {
+        match self {
+            ReduceOp::Add => BinOp::Add,
+            ReduceOp::Min => BinOp::Min,
+            ReduceOp::Max => BinOp::Max,
+        }
+    }
+
+    /// Lowercase mnemonic for the textual listing.
+    pub fn mnemonic(self) -> &'static str {
+        match self {
+            ReduceOp::Add => "add",
+            ReduceOp::Min => "min",
+            ReduceOp::Max => "max",
+        }
+    }
+}
+
+impl fmt::Display for ReduceOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+/// A single bytecode instruction.
+///
+/// All operands are virtual registers; constants enter the program through
+/// [`Inst::Const`]. Memory addresses are byte offsets held in `ptr`-typed
+/// registers, optionally displaced by a static `offset`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Inst {
+    /// `dst = imm` — materialize a constant of scalar type `ty`.
+    Const {
+        /// Destination register.
+        dst: VReg,
+        /// Type of the constant.
+        ty: ScalarType,
+        /// The immediate value.
+        imm: Immediate,
+    },
+    /// `dst = src` — register copy.
+    Move {
+        /// Destination register.
+        dst: VReg,
+        /// Value type being copied.
+        ty: ScalarType,
+        /// Source register.
+        src: VReg,
+    },
+    /// `dst = lhs <op> rhs` on scalars of type `ty`.
+    Bin {
+        /// Operator.
+        op: BinOp,
+        /// Operand/result scalar type.
+        ty: ScalarType,
+        /// Destination register.
+        dst: VReg,
+        /// Left operand.
+        lhs: VReg,
+        /// Right operand.
+        rhs: VReg,
+    },
+    /// `dst = <op> src` on a scalar of type `ty`.
+    Un {
+        /// Operator.
+        op: UnOp,
+        /// Operand/result scalar type.
+        ty: ScalarType,
+        /// Destination register.
+        dst: VReg,
+        /// Source operand.
+        src: VReg,
+    },
+    /// `dst = (lhs <pred> rhs) ? 1 : 0`; `dst` is `i32`.
+    Cmp {
+        /// Predicate.
+        op: CmpOp,
+        /// Type of the compared operands.
+        ty: ScalarType,
+        /// Destination register (`i32`, 0 or 1).
+        dst: VReg,
+        /// Left operand.
+        lhs: VReg,
+        /// Right operand.
+        rhs: VReg,
+    },
+    /// `dst = cond != 0 ? if_true : if_false` on scalars of type `ty`.
+    Select {
+        /// Operand/result scalar type.
+        ty: ScalarType,
+        /// Destination register.
+        dst: VReg,
+        /// Condition register (`i32`).
+        cond: VReg,
+        /// Value when the condition is non-zero.
+        if_true: VReg,
+        /// Value when the condition is zero.
+        if_false: VReg,
+    },
+    /// `dst = cast<to>(src)` — numeric conversion from `from` to `to`.
+    Cast {
+        /// Destination register.
+        dst: VReg,
+        /// Target type.
+        to: ScalarType,
+        /// Source register.
+        src: VReg,
+        /// Source type.
+        from: ScalarType,
+    },
+    /// `dst = *(ty*)(addr + offset)` — scalar load from linear memory.
+    Load {
+        /// Destination register.
+        dst: VReg,
+        /// Loaded scalar type.
+        ty: ScalarType,
+        /// Base address register (`ptr`).
+        addr: VReg,
+        /// Static byte displacement.
+        offset: i64,
+    },
+    /// `*(ty*)(addr + offset) = value` — scalar store to linear memory.
+    Store {
+        /// Stored scalar type.
+        ty: ScalarType,
+        /// Base address register (`ptr`).
+        addr: VReg,
+        /// Static byte displacement.
+        offset: i64,
+        /// Value register.
+        value: VReg,
+    },
+    /// Direct call to a function in the same module.
+    Call {
+        /// Destination for the return value, if the callee returns one.
+        dst: Option<VReg>,
+        /// Callee name.
+        callee: String,
+        /// Argument registers, in order.
+        args: Vec<VReg>,
+    },
+    /// `dst = <number of lanes of `elem` in one target vector register>`.
+    ///
+    /// This is the *portable* part of the vector builtins: the offline
+    /// compiler emits loops stepping by this value, and the online compiler
+    /// folds it to a constant (or to the scalarization factor when the
+    /// target has no SIMD unit). `dst` is `i64`.
+    VecWidth {
+        /// Destination register (`i64` lane count).
+        dst: VReg,
+        /// Element type the lane count refers to.
+        elem: ScalarType,
+    },
+    /// `dst = splat(src)` — broadcast a scalar into every lane.
+    VecSplat {
+        /// Destination vector register.
+        dst: VReg,
+        /// Lane type.
+        elem: ScalarType,
+        /// Scalar source register.
+        src: VReg,
+    },
+    /// `dst = vload(addr + offset)` — contiguous vector load.
+    VecLoad {
+        /// Destination vector register.
+        dst: VReg,
+        /// Lane type.
+        elem: ScalarType,
+        /// Base address register (`ptr`).
+        addr: VReg,
+        /// Static byte displacement.
+        offset: i64,
+    },
+    /// `vstore(addr + offset, value)` — contiguous vector store.
+    VecStore {
+        /// Lane type.
+        elem: ScalarType,
+        /// Base address register (`ptr`).
+        addr: VReg,
+        /// Static byte displacement.
+        offset: i64,
+        /// Vector value register.
+        value: VReg,
+    },
+    /// Element-wise `dst = lhs <op> rhs` on vectors.
+    VecBin {
+        /// Element-wise operator.
+        op: BinOp,
+        /// Lane type.
+        elem: ScalarType,
+        /// Destination vector register.
+        dst: VReg,
+        /// Left vector operand.
+        lhs: VReg,
+        /// Right vector operand.
+        rhs: VReg,
+    },
+    /// Horizontal reduction of all lanes of `src` into scalar `dst`.
+    VecReduce {
+        /// Reduction operator.
+        op: ReduceOp,
+        /// Lane type.
+        elem: ScalarType,
+        /// Scalar destination register.
+        dst: VReg,
+        /// Vector source register.
+        src: VReg,
+    },
+    /// Unconditional jump.
+    Jump {
+        /// Target block.
+        target: BlockId,
+    },
+    /// Conditional branch on `cond != 0`.
+    Branch {
+        /// Condition register (`i32`).
+        cond: VReg,
+        /// Target when non-zero.
+        then_bb: BlockId,
+        /// Target when zero.
+        else_bb: BlockId,
+    },
+    /// Return from the function.
+    Ret {
+        /// Returned value, if the function returns one.
+        value: Option<VReg>,
+    },
+}
+
+impl Inst {
+    /// The register defined by this instruction, if any.
+    pub fn dst(&self) -> Option<VReg> {
+        match self {
+            Inst::Const { dst, .. }
+            | Inst::Move { dst, .. }
+            | Inst::Bin { dst, .. }
+            | Inst::Un { dst, .. }
+            | Inst::Cmp { dst, .. }
+            | Inst::Select { dst, .. }
+            | Inst::Cast { dst, .. }
+            | Inst::Load { dst, .. }
+            | Inst::VecWidth { dst, .. }
+            | Inst::VecSplat { dst, .. }
+            | Inst::VecLoad { dst, .. }
+            | Inst::VecBin { dst, .. }
+            | Inst::VecReduce { dst, .. } => Some(*dst),
+            Inst::Call { dst, .. } => *dst,
+            Inst::Store { .. }
+            | Inst::VecStore { .. }
+            | Inst::Jump { .. }
+            | Inst::Branch { .. }
+            | Inst::Ret { .. } => None,
+        }
+    }
+
+    /// The registers read by this instruction, in operand order.
+    pub fn uses(&self) -> Vec<VReg> {
+        match self {
+            Inst::Const { .. } | Inst::VecWidth { .. } | Inst::Jump { .. } => Vec::new(),
+            Inst::Move { src, .. } | Inst::Un { src, .. } | Inst::Cast { src, .. } => vec![*src],
+            Inst::Bin { lhs, rhs, .. } | Inst::Cmp { lhs, rhs, .. } | Inst::VecBin { lhs, rhs, .. } => {
+                vec![*lhs, *rhs]
+            }
+            Inst::Select {
+                cond,
+                if_true,
+                if_false,
+                ..
+            } => vec![*cond, *if_true, *if_false],
+            Inst::Load { addr, .. } | Inst::VecLoad { addr, .. } => vec![*addr],
+            Inst::Store { addr, value, .. } | Inst::VecStore { addr, value, .. } => {
+                vec![*addr, *value]
+            }
+            Inst::Call { args, .. } => args.clone(),
+            Inst::VecSplat { src, .. } | Inst::VecReduce { src, .. } => vec![*src],
+            Inst::Branch { cond, .. } => vec![*cond],
+            Inst::Ret { value } => value.iter().copied().collect(),
+        }
+    }
+
+    /// `true` if the instruction terminates a basic block.
+    pub fn is_terminator(&self) -> bool {
+        matches!(self, Inst::Jump { .. } | Inst::Branch { .. } | Inst::Ret { .. })
+    }
+
+    /// Control-flow successors of a terminator (empty for non-terminators and `Ret`).
+    pub fn successors(&self) -> Vec<BlockId> {
+        match self {
+            Inst::Jump { target } => vec![*target],
+            Inst::Branch { then_bb, else_bb, .. } => vec![*then_bb, *else_bb],
+            _ => Vec::new(),
+        }
+    }
+
+    /// `true` if the instruction reads or writes linear memory or transfers control.
+    ///
+    /// Such instructions must not be removed by dead-code elimination even when
+    /// their result is unused.
+    pub fn has_side_effects(&self) -> bool {
+        matches!(
+            self,
+            Inst::Store { .. }
+                | Inst::VecStore { .. }
+                | Inst::Call { .. }
+                | Inst::Jump { .. }
+                | Inst::Branch { .. }
+                | Inst::Ret { .. }
+        )
+    }
+
+    /// `true` for the portable vector builtins (including [`Inst::VecWidth`]).
+    pub fn is_vector(&self) -> bool {
+        matches!(
+            self,
+            Inst::VecWidth { .. }
+                | Inst::VecSplat { .. }
+                | Inst::VecLoad { .. }
+                | Inst::VecStore { .. }
+                | Inst::VecBin { .. }
+                | Inst::VecReduce { .. }
+        )
+    }
+
+    /// `true` if the instruction accesses linear memory.
+    pub fn is_memory_access(&self) -> bool {
+        matches!(
+            self,
+            Inst::Load { .. } | Inst::Store { .. } | Inst::VecLoad { .. } | Inst::VecStore { .. }
+        )
+    }
+
+    /// Apply `f` to every register operand (uses and definition) in place.
+    pub fn rewrite_regs(&mut self, mut f: impl FnMut(VReg) -> VReg) {
+        macro_rules! rw {
+            ($($r:expr),*) => {{ $(*$r = f(*$r);)* }};
+        }
+        match self {
+            Inst::Const { dst, .. } | Inst::VecWidth { dst, .. } => rw!(dst),
+            Inst::Move { dst, src, .. }
+            | Inst::Un { dst, src, .. }
+            | Inst::Cast { dst, src, .. }
+            | Inst::VecSplat { dst, src, .. }
+            | Inst::VecReduce { dst, src, .. } => rw!(dst, src),
+            Inst::Bin { dst, lhs, rhs, .. }
+            | Inst::Cmp { dst, lhs, rhs, .. }
+            | Inst::VecBin { dst, lhs, rhs, .. } => rw!(dst, lhs, rhs),
+            Inst::Select {
+                dst,
+                cond,
+                if_true,
+                if_false,
+                ..
+            } => rw!(dst, cond, if_true, if_false),
+            Inst::Load { dst, addr, .. } | Inst::VecLoad { dst, addr, .. } => rw!(dst, addr),
+            Inst::Store { addr, value, .. } | Inst::VecStore { addr, value, .. } => {
+                rw!(addr, value)
+            }
+            Inst::Call { dst, args, .. } => {
+                if let Some(d) = dst {
+                    *d = f(*d);
+                }
+                for a in args {
+                    *a = f(*a);
+                }
+            }
+            Inst::Branch { cond, .. } => rw!(cond),
+            Inst::Ret { value } => {
+                if let Some(v) = value {
+                    *v = f(*v);
+                }
+            }
+            Inst::Jump { .. } => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dst_and_uses_of_binary() {
+        let i = Inst::Bin {
+            op: BinOp::Add,
+            ty: ScalarType::I32,
+            dst: VReg(2),
+            lhs: VReg(0),
+            rhs: VReg(1),
+        };
+        assert_eq!(i.dst(), Some(VReg(2)));
+        assert_eq!(i.uses(), vec![VReg(0), VReg(1)]);
+        assert!(!i.is_terminator());
+        assert!(!i.has_side_effects());
+    }
+
+    #[test]
+    fn store_has_side_effects_and_no_dst() {
+        let i = Inst::Store {
+            ty: ScalarType::F32,
+            addr: VReg(0),
+            offset: 4,
+            value: VReg(1),
+        };
+        assert_eq!(i.dst(), None);
+        assert!(i.has_side_effects());
+        assert!(i.is_memory_access());
+        assert_eq!(i.uses(), vec![VReg(0), VReg(1)]);
+    }
+
+    #[test]
+    fn terminator_successors() {
+        let j = Inst::Jump { target: BlockId(3) };
+        assert!(j.is_terminator());
+        assert_eq!(j.successors(), vec![BlockId(3)]);
+
+        let b = Inst::Branch {
+            cond: VReg(0),
+            then_bb: BlockId(1),
+            else_bb: BlockId(2),
+        };
+        assert_eq!(b.successors(), vec![BlockId(1), BlockId(2)]);
+
+        let r = Inst::Ret { value: Some(VReg(5)) };
+        assert!(r.is_terminator());
+        assert!(r.successors().is_empty());
+        assert_eq!(r.uses(), vec![VReg(5)]);
+    }
+
+    #[test]
+    fn rewrite_regs_shifts_every_operand() {
+        let mut i = Inst::Select {
+            ty: ScalarType::I32,
+            dst: VReg(0),
+            cond: VReg(1),
+            if_true: VReg(2),
+            if_false: VReg(3),
+        };
+        i.rewrite_regs(|r| VReg(r.0 + 10));
+        assert_eq!(i.dst(), Some(VReg(10)));
+        assert_eq!(i.uses(), vec![VReg(11), VReg(12), VReg(13)]);
+    }
+
+    #[test]
+    fn cmp_negation_is_involutive_and_swapping_consistent() {
+        for op in CmpOp::ALL {
+            assert_eq!(op.negated().negated(), op);
+            assert_eq!(op.swapped().swapped(), op);
+        }
+    }
+
+    #[test]
+    fn vector_instructions_are_classified() {
+        let v = Inst::VecBin {
+            op: BinOp::Mul,
+            elem: ScalarType::F32,
+            dst: VReg(0),
+            lhs: VReg(1),
+            rhs: VReg(2),
+        };
+        assert!(v.is_vector());
+        let w = Inst::VecWidth {
+            dst: VReg(0),
+            elem: ScalarType::U8,
+        };
+        assert!(w.is_vector());
+        assert!(w.uses().is_empty());
+    }
+
+    #[test]
+    fn commutativity_flags() {
+        assert!(BinOp::Add.is_commutative());
+        assert!(BinOp::Mul.is_commutative());
+        assert!(!BinOp::Sub.is_commutative());
+        assert!(!BinOp::Shl.is_commutative());
+        assert!(BinOp::Rem.int_only());
+        assert!(!BinOp::Add.int_only());
+    }
+}

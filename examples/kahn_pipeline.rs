@@ -1,0 +1,21 @@
+//! Kahn process networks (Section 4): portable, deterministic concurrency.
+//!
+//! Builds an image-processing pipeline (brighten -> threshold -> copy) from
+//! the kernel catalogue, measures each stage's cost per core of a Cell-style
+//! blade by JIT-compiling and simulating it, and then compares three mappings
+//! of the network onto the cores. Kahn semantics make the outcome of the
+//! computation independent of the mapping; only the makespan changes.
+//!
+//! Run with: `cargo run --release --example kahn_pipeline`
+
+use splitc::experiments::kpn;
+use splitc::splitc_runtime::Platform;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    for platform in [Platform::cell_blade(2), Platform::phone()] {
+        let result = kpn::run(&platform, 4096, 64)?;
+        println!("{}", result.render());
+    }
+    println!("Determinism check: every mapping fired every stage exactly once per frame.");
+    Ok(())
+}

@@ -1,0 +1,36 @@
+//! Deployment-format tour: verify, ship, decode, run anywhere.
+//!
+//! Shows the full deployment path the paper argues for: the offline compiler
+//! produces one compact, annotated bytecode module; the module is encoded,
+//! "shipped", decoded and verified on the device; the device JIT then
+//! produces native code for whatever core it has. The example prints the
+//! size of the portable module against the native code of every preset
+//! target (the Section 2.1 compactness argument).
+//!
+//! Run with: `cargo run --release --example portable_deployment`
+
+use splitc::experiments::codesize;
+use splitc::splitc_opt::{optimize_module, OptOptions};
+use splitc::splitc_vbc::{decode_module, encode_module, verify_module};
+use splitc::splitc_workloads::full_module;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Offline: build and annotate the whole kernel suite.
+    let mut module = full_module("suite")?;
+    optimize_module(&mut module, &OptOptions::full());
+
+    // Ship it: encode, transfer, decode, verify on the device.
+    let wire = encode_module(&module);
+    let received = decode_module(&wire)?;
+    verify_module(&received)?;
+    println!(
+        "shipped {} kernels as {} bytes of portable bytecode; verified on the device\n",
+        received.functions().len(),
+        wire.len()
+    );
+
+    // Compare against shipping native code for every supported machine.
+    let sizes = codesize::run()?;
+    println!("{}", sizes.render());
+    Ok(())
+}

@@ -1,0 +1,26 @@
+//! Split register allocation (Section 4): portable spill annotations.
+//!
+//! The offline compiler ranks values by how much they deserve a register and
+//! ships that ranking as a compact bytecode annotation. On the device, the
+//! JIT assigns registers in linear time using the ranking. This example
+//! compares the dynamic spill traffic against a greedy online allocator and an
+//! online allocator that redoes the analysis at JIT time — the paper reports
+//! up to 40 % fewer spills for the split approach.
+//!
+//! Run with: `cargo run --release --example split_regalloc [n]`
+
+use splitc::experiments::regalloc;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(1024);
+    let result = regalloc::run(n)?;
+    println!("{}", result.render());
+    println!(
+        "paper reference point: split register allocation saves up to 40% of the spills\n\
+         with a linear-time online step (Diouf et al., cited in Section 4)."
+    );
+    Ok(())
+}

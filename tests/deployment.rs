@@ -1,0 +1,98 @@
+//! End-to-end deployment tests: encode → ship → decode → verify → JIT → run,
+//! across the whole kernel suite and every preset target, exercising the same
+//! path a real device would take.
+
+use splitc::{prepare, run_on_target, Workspace};
+use splitc_jit::{compile_module, JitOptions};
+use splitc_opt::{optimize_module, OptOptions};
+use splitc_runtime::{choose_core, Executor, Platform};
+use splitc_targets::TargetDesc;
+use splitc_vbc::{decode_module, encode_module, keys, verify_module};
+use splitc_workloads::{all_kernels, full_module};
+
+#[test]
+fn the_full_suite_survives_the_wire_format_and_compiles_everywhere() {
+    let mut module = full_module("suite").expect("suite compiles");
+    optimize_module(&mut module, &OptOptions::full());
+    verify_module(&module).expect("offline output verifies");
+
+    // Ship.
+    let wire = encode_module(&module);
+    let received = decode_module(&wire).expect("decodes");
+    assert_eq!(received, module, "the wire format is lossless");
+    assert_eq!(received.annotations.get_bool(keys::OFFLINE_OPTIMIZED), Some(true));
+
+    // Device-side: verify then compile for every machine.
+    verify_module(&received).expect("verifies on the device");
+    for target in TargetDesc::presets() {
+        let (program, stats) = compile_module(&received, &target, &JitOptions::split())
+            .unwrap_or_else(|e| panic!("{}: {e}", target.name));
+        assert_eq!(program.functions.len(), received.functions().len());
+        assert!(stats.annotations_used, "{}", target.name);
+    }
+}
+
+#[test]
+fn stripping_annotations_degrades_gracefully() {
+    let mut module = full_module("suite").expect("suite compiles");
+    optimize_module(&mut module, &OptOptions::full());
+    let mut stripped = module.clone();
+    stripped.strip_annotations();
+
+    // Still compiles and runs, just without the split-compilation benefits.
+    let target = TargetDesc::x86_sse();
+    let (_, with) = compile_module(&module, &target, &JitOptions::split()).expect("annotated");
+    let (_, without) = compile_module(&stripped, &target, &JitOptions::split()).expect("stripped");
+    assert!(with.annotations_used);
+    assert!(!without.annotations_used);
+
+    let mut ws = Workspace::new(1 << 16);
+    let prepared = prepare("dscal_f32", 100, 5, &mut ws);
+    let run = run_on_target(
+        &stripped,
+        &target,
+        &JitOptions::split(),
+        "dscal_f32",
+        &prepared.args,
+        ws.bytes_mut(),
+    )
+    .expect("stripped module still runs");
+    assert!(run.stats.cycles > 0);
+}
+
+#[test]
+fn the_executor_reuses_compiled_code_across_cores_of_the_same_type() {
+    let mut module = full_module("suite").expect("suite compiles");
+    optimize_module(&mut module, &OptOptions::full());
+    let platform = Platform::cell_blade(4);
+    let mut exec = Executor::deploy(module);
+    for core in &platform.cores {
+        let stats = exec.jit_stats(core).expect("compiles for the core");
+        assert!(stats.functions > 0);
+    }
+    // 1 PPE type + 1 SPU type, not 5 separate compilations.
+    assert_eq!(exec.compiled_variants(), 2);
+}
+
+#[test]
+fn kernel_traits_send_every_catalogue_kernel_to_a_sensible_core() {
+    let mut module = full_module("suite").expect("suite compiles");
+    optimize_module(&mut module, &OptOptions::full());
+    let phone = Platform::phone();
+    for kernel in all_kernels() {
+        let traits = module
+            .function(kernel.name)
+            .expect("kernel in module")
+            .annotations
+            .kernel_traits()
+            .expect("offline step attaches traits");
+        let core = choose_core(&traits, &phone);
+        if traits.uses_fp || traits.uses_vector {
+            assert_eq!(
+                core.name, "arm",
+                "{} uses floating point or vectors and must avoid the DSP",
+                kernel.name
+            );
+        }
+    }
+}

@@ -1,0 +1,158 @@
+//! Differential testing: the reference interpreter and every simulated target
+//! must agree on the results of every catalogue kernel, whatever compilation
+//! strategy produced the machine code.
+//!
+//! This is the keystone correctness test of the reproduction: the bytecode
+//! semantics (interpreter), the offline optimizer (vectorization, annotations)
+//! and the online compiler (SIMD mapping, scalarization, all three register
+//! allocators) all have to meet in the same numbers.
+
+use splitc::{checksum, prepare, run_on_target, Workspace};
+use splitc_jit::{JitOptions, RegAllocMode};
+use splitc_opt::{optimize_module, OptOptions};
+use splitc_targets::{MachineValue, TargetDesc};
+use splitc_vbc::{Interpreter, Memory, Value};
+use splitc_workloads::{all_kernels, module_for, Kernel};
+
+const N: usize = 173; // deliberately not a multiple of any lane count
+
+fn interpreter_checksum(module: &splitc_vbc::Module, kernel: &Kernel) -> u64 {
+    let mut ws = Workspace::new(1 << 16);
+    let prepared = prepare(kernel.name, N, 99, &mut ws);
+    // Mirror the workspace into the interpreter's memory.
+    let mut mem = Memory::new(ws.bytes().len());
+    mem.bytes_mut().copy_from_slice(ws.bytes());
+    let args: Vec<Value> = prepared
+        .args
+        .iter()
+        .map(|a| match a {
+            MachineValue::Int(v) => Value::Int(*v),
+            MachineValue::Float(v) => Value::Float(*v),
+        })
+        .collect();
+    let mut interp = Interpreter::new(module);
+    let result = interp
+        .run(kernel.name, &args, &mut mem)
+        .unwrap_or_else(|e| panic!("{}: interpreter failed: {e}", kernel.name));
+    // Copy the interpreter's memory back into a workspace for the checksum.
+    let mut out_ws = Workspace::new(ws.bytes().len());
+    out_ws.bytes_mut().copy_from_slice(mem.bytes());
+    let result = result.map(|v| match v {
+        Value::Int(i) => MachineValue::Int(i),
+        Value::Float(f) => MachineValue::Float(f),
+        Value::Vector(_) => panic!("kernels do not return vectors"),
+    });
+    checksum(result, &prepared, &out_ws)
+}
+
+fn target_checksum(
+    module: &splitc_vbc::Module,
+    kernel: &Kernel,
+    target: &TargetDesc,
+    jit: &JitOptions,
+) -> u64 {
+    let mut ws = Workspace::new(1 << 16);
+    let prepared = prepare(kernel.name, N, 99, &mut ws);
+    let run = run_on_target(module, target, jit, kernel.name, &prepared.args, ws.bytes_mut())
+        .unwrap_or_else(|e| panic!("{} on {}: {e}", kernel.name, target.name));
+    checksum(run.result, &prepared, &ws)
+}
+
+#[test]
+fn every_kernel_agrees_across_interpreter_and_all_targets() {
+    for kernel in all_kernels() {
+        let mut module = module_for(&[kernel.clone()], kernel.name).expect("kernel compiles");
+        optimize_module(&mut module, &OptOptions::full());
+        let reference = interpreter_checksum(&module, &kernel);
+        for target in TargetDesc::presets() {
+            let sum = target_checksum(&module, &kernel, &target, &JitOptions::split());
+            assert_eq!(
+                sum, reference,
+                "{} on {} disagrees with the reference interpreter",
+                kernel.name, target.name
+            );
+        }
+    }
+}
+
+#[test]
+fn register_allocation_strategy_never_changes_results() {
+    let modes = [
+        RegAllocMode::SplitAnnotations,
+        RegAllocMode::OnlineGreedy,
+        RegAllocMode::OnlineAnalyze,
+    ];
+    // Register-starved targets stress the allocator the most.
+    let targets = [TargetDesc::x86_sse(), TargetDesc::dsp()];
+    for kernel in all_kernels() {
+        let mut module = module_for(&[kernel.clone()], kernel.name).expect("kernel compiles");
+        optimize_module(&mut module, &OptOptions::full());
+        let reference = interpreter_checksum(&module, &kernel);
+        for target in &targets {
+            for mode in modes {
+                let jit = JitOptions {
+                    regalloc: mode,
+                    allow_simd: true,
+                };
+                let sum = target_checksum(&module, &kernel, target, &jit);
+                assert_eq!(
+                    sum, reference,
+                    "{} on {} with {mode:?} disagrees with the reference",
+                    kernel.name, target.name
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn offline_optimization_level_never_changes_results() {
+    let levels = [OptOptions::none(), OptOptions::scalar_only(), OptOptions::full()];
+    let target = TargetDesc::arm_neon();
+    // Floating-point *reduction* kernels are excluded from this particular
+    // comparison: vectorizing a float sum reassociates the additions, so the
+    // scalar and vectorized variants agree only up to rounding (they are still
+    // checked against each other, per variant, by the other tests here).
+    let reassociated = ["dot_f32", "hotcold_f32"];
+    for kernel in all_kernels() {
+        if reassociated.contains(&kernel.name) {
+            continue;
+        }
+        let mut reference = None;
+        for opts in levels {
+            let mut module = module_for(&[kernel.clone()], kernel.name).expect("kernel compiles");
+            optimize_module(&mut module, &opts);
+            let sum = target_checksum(&module, &kernel, &target, &JitOptions::split());
+            match reference {
+                None => reference = Some(sum),
+                Some(r) => assert_eq!(
+                    sum, r,
+                    "{}: optimization level {opts:?} changed the result",
+                    kernel.name
+                ),
+            }
+        }
+    }
+}
+
+#[test]
+fn disabling_simd_never_changes_results() {
+    // A JIT that ignores the vector builtins (scalarization on a SIMD-capable
+    // machine) must still compute the same thing.
+    for kernel in all_kernels().into_iter().filter(|k| k.vectorizable) {
+        let mut module = module_for(&[kernel.clone()], kernel.name).expect("kernel compiles");
+        optimize_module(&mut module, &OptOptions::full());
+        let target = TargetDesc::x86_sse();
+        let with_simd = target_checksum(&module, &kernel, &target, &JitOptions::split());
+        let without = target_checksum(
+            &module,
+            &kernel,
+            &target,
+            &JitOptions {
+                regalloc: RegAllocMode::SplitAnnotations,
+                allow_simd: false,
+            },
+        );
+        assert_eq!(with_simd, without, "{}: scalarization changed the result", kernel.name);
+    }
+}

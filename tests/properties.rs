@@ -1,0 +1,158 @@
+//! Property-based tests over the core data structures and transformations.
+
+use proptest::prelude::*;
+use splitc_jit::JitOptions;
+use splitc_opt::{optimize_module, OptOptions};
+use splitc_targets::{MachineValue, Simulator, TargetDesc};
+use splitc_vbc::{
+    decode_module, encode_module, AnnotationValue, BinOp, FunctionBuilder, Interpreter, Memory,
+    Module, ScalarType, Type, Value,
+};
+use splitc_workloads::SAXPY_F32;
+
+/// Strategy producing arbitrary (but structurally valid) annotation values.
+fn annotation_value() -> impl Strategy<Value = AnnotationValue> {
+    let leaf = prop_oneof![
+        any::<i64>().prop_map(AnnotationValue::Int),
+        any::<bool>().prop_map(AnnotationValue::Bool),
+        proptest::num::f64::NORMAL.prop_map(AnnotationValue::Float),
+        "[a-z0-9 ]{0,12}".prop_map(AnnotationValue::Str),
+    ];
+    leaf.prop_recursive(3, 24, 6, |inner| {
+        prop_oneof![
+            prop::collection::vec(inner.clone(), 0..4).prop_map(AnnotationValue::List),
+            prop::collection::btree_map("[a-z]{1,8}", inner, 0..4).prop_map(AnnotationValue::Map),
+        ]
+    })
+}
+
+/// Strategy producing small straight-line integer functions.
+fn straight_line_module() -> impl Strategy<Value = Module> {
+    let op = prop_oneof![
+        Just(BinOp::Add),
+        Just(BinOp::Sub),
+        Just(BinOp::Mul),
+        Just(BinOp::And),
+        Just(BinOp::Or),
+        Just(BinOp::Xor),
+        Just(BinOp::Min),
+        Just(BinOp::Max),
+    ];
+    (
+        prop::collection::vec((op, 0usize..8, 0usize..8), 1..20),
+        prop::collection::vec(any::<i32>(), 2..8),
+        prop::collection::btree_map("[a-z.]{1,16}", annotation_value(), 0..4),
+    )
+        .prop_map(|(ops, consts, annotations)| {
+            let mut b = FunctionBuilder::new("f", &[], Some(Type::Scalar(ScalarType::I32)));
+            let mut values: Vec<_> = consts
+                .iter()
+                .map(|c| b.const_int(ScalarType::I32, i64::from(*c)))
+                .collect();
+            for (op, i, j) in ops {
+                let lhs = values[i % values.len()];
+                let rhs = values[j % values.len()];
+                let v = b.bin(op, ScalarType::I32, lhs, rhs);
+                values.push(v);
+            }
+            let last = *values.last().expect("at least the constants");
+            b.ret(Some(last));
+            let mut f = b.finish();
+            for (k, v) in annotations {
+                f.annotations.set(&k, v);
+            }
+            let mut m = Module::new("prop");
+            m.add_function(f);
+            m
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The wire format is lossless for arbitrary generated modules.
+    #[test]
+    fn encode_decode_round_trips(module in straight_line_module()) {
+        let bytes = encode_module(&module);
+        let decoded = decode_module(&bytes).expect("decodes");
+        prop_assert_eq!(decoded, module);
+    }
+
+    /// Generated modules verify, fold, and still compute the same value in the
+    /// interpreter after offline optimization.
+    #[test]
+    fn constant_folding_preserves_results(module in straight_line_module()) {
+        prop_assume!(splitc_vbc::verify_module(&module).is_ok());
+        let mut mem = Memory::new(256);
+        let mut interp = Interpreter::new(&module);
+        let before = interp.run("f", &[], &mut mem);
+        let mut optimized = module.clone();
+        optimize_module(&mut optimized, &OptOptions::full());
+        let mut interp = Interpreter::new(&optimized);
+        let after = interp.run("f", &[], &mut mem);
+        // Division by zero cannot occur (no div ops generated), so both runs succeed.
+        prop_assert_eq!(before.expect("runs"), after.expect("runs"));
+    }
+
+    /// The interpreter and a simulated target agree on generated modules, and
+    /// the JIT accepts whatever the generator produces.
+    #[test]
+    fn jit_matches_interpreter_on_generated_modules(module in straight_line_module()) {
+        prop_assume!(splitc_vbc::verify_module(&module).is_ok());
+        let mut mem = Memory::new(256);
+        let mut interp = Interpreter::new(&module);
+        let expected = interp.run("f", &[], &mut mem).expect("interpreter runs");
+        let target = TargetDesc::powerpc();
+        let (program, _) = splitc_jit::compile_module(&module, &target, &JitOptions::split())
+            .expect("compiles");
+        let mut sim = Simulator::new(&program, &target);
+        let mut bytes = vec![0u8; 256];
+        let got = sim.run("f", &[], &mut bytes).expect("simulates");
+        let expected = match expected {
+            Some(Value::Int(v)) => Some(MachineValue::Int(v)),
+            other => panic!("unexpected interpreter result {other:?}"),
+        };
+        prop_assert_eq!(got, expected);
+    }
+
+    /// Vectorized saxpy equals scalar saxpy on the interpreter for arbitrary
+    /// inputs and lengths (including lengths smaller than the vector factor).
+    #[test]
+    fn vectorized_saxpy_matches_scalar(
+        n in 0usize..70,
+        a in -8.0f32..8.0,
+        seed in 0u64..1000,
+    ) {
+        let mut scalar = splitc_minic::compile_source(SAXPY_F32, "k").expect("compiles");
+        let mut vectorized = scalar.clone();
+        optimize_module(&mut vectorized, &OptOptions::full());
+        optimize_module(&mut scalar, &OptOptions::scalar_only());
+
+        let mut gen = splitc_workloads::DataGen::new(seed);
+        let xs = gen.f32s(n.max(1), 50.0);
+        let ys = gen.f32s(n.max(1), 50.0);
+
+        let run = |module: &Module| {
+            let mut mem = Memory::new(1 << 14);
+            let x = mem.alloc(4 * n.max(1) as u64);
+            let y = mem.alloc(4 * n.max(1) as u64);
+            mem.write_f32s(x, &xs);
+            mem.write_f32s(y, &ys);
+            let mut interp = Interpreter::new(module);
+            interp
+                .run(
+                    "saxpy_f32",
+                    &[
+                        Value::Int(n as i64),
+                        Value::Float(f64::from(a)),
+                        Value::Int(x as i64),
+                        Value::Int(y as i64),
+                    ],
+                    &mut mem,
+                )
+                .expect("runs");
+            mem.read_f32s(y, n.max(1))
+        };
+        prop_assert_eq!(run(&scalar), run(&vectorized));
+    }
+}
