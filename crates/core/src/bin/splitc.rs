@@ -18,11 +18,11 @@
 //!   pointer arguments) with generated data and reports simulated cycles on
 //!   the chosen target, or on all Table 1 targets when none is given.
 
-use splitc::{offline_compile, prepare, run_on_target, Workspace};
 use splitc::splitc_jit::JitOptions;
 use splitc::splitc_opt::{optimize_module, OptOptions};
 use splitc::splitc_targets::{MachineValue, TargetDesc};
 use splitc::splitc_vbc::{decode_module, encode_module, Module};
+use splitc::{offline_compile, prepare, run_on_target, ExecutionEngine, Workspace};
 use std::process::ExitCode;
 
 fn usage() -> &'static str {
@@ -40,7 +40,9 @@ fn parse_arg(text: &str) -> Result<MachineValue, String> {
             .parse::<f64>()
             .map(MachineValue::Float)
             .map_err(|e| format!("bad float argument `{v}`: {e}")),
-        _ => Err(format!("argument `{text}` must look like i:<int> or f:<float>")),
+        _ => Err(format!(
+            "argument `{text}` must look like i:<int> or f:<float>"
+        )),
     }
 }
 
@@ -85,7 +87,10 @@ fn cmd_build(mut args: Vec<String>) -> Result<(), String> {
     let input = args.first().ok_or("build requires an input file")?;
     let source = std::fs::read_to_string(input).map_err(|e| format!("cannot read {input}: {e}"))?;
     let opts = if no_vectorize {
-        OptOptions { vectorize: false, ..OptOptions::full() }
+        OptOptions {
+            vectorize: false,
+            ..OptOptions::full()
+        }
     } else {
         OptOptions::full()
     };
@@ -132,8 +137,15 @@ fn cmd_run(mut args: Vec<String>) -> Result<(), String> {
     let input = args.first().ok_or("run requires an input file")?;
     let module = load_module(input)?;
     let mut ws = Workspace::new(1 << 20);
-    let run = run_on_target(&module, &target, &JitOptions::split(), &kernel, &call_args, ws.bytes_mut())
-        .map_err(|e| format!("execution failed: {e}"))?;
+    let run = run_on_target(
+        &module,
+        &target,
+        &JitOptions::split(),
+        &kernel,
+        &call_args,
+        ws.bytes_mut(),
+    )
+    .map_err(|e| format!("execution failed: {e}"))?;
     match run.result {
         Some(MachineValue::Int(v)) => println!("result: {v}"),
         Some(MachineValue::Float(v)) => println!("result: {v}"),
@@ -155,7 +167,9 @@ fn cmd_bench(mut args: Vec<String>) -> Result<(), String> {
         .transpose()?
         .unwrap_or(splitc::splitc_workloads::DEFAULT_N);
     let target_filter = take_flag(&mut args, "--target");
-    let kernel_name = args.first().ok_or("bench requires a catalogue kernel name")?;
+    let kernel_name = args
+        .first()
+        .ok_or("bench requires a catalogue kernel name")?;
     let kernel = splitc::splitc_workloads::kernel(kernel_name)
         .ok_or_else(|| format!("`{kernel_name}` is not in the workload catalogue"))?;
     let mut module = splitc::splitc_workloads::module_for(&[kernel], kernel_name)
@@ -163,13 +177,24 @@ fn cmd_bench(mut args: Vec<String>) -> Result<(), String> {
     optimize_module(&mut module, &OptOptions::full());
 
     let targets: Vec<TargetDesc> = match target_filter {
-        Some(name) => vec![TargetDesc::preset(&name).ok_or_else(|| format!("unknown target `{name}`"))?],
+        Some(name) => {
+            vec![TargetDesc::preset(&name).ok_or_else(|| format!("unknown target `{name}`"))?]
+        }
         None => TargetDesc::table1_targets(),
     };
+    // One deployment for the whole sweep: each target compiles exactly once.
+    let engine = ExecutionEngine::new(module);
     for target in targets {
         let mut ws = Workspace::new((16 * n + (1 << 12)).max(1 << 14));
         let prepared = prepare(kernel_name, n, 1, &mut ws);
-        let run = run_on_target(&module, &target, &JitOptions::split(), kernel_name, &prepared.args, ws.bytes_mut())
+        let run = engine
+            .run(
+                &target,
+                &JitOptions::split(),
+                kernel_name,
+                &prepared.args,
+                ws.bytes_mut(),
+            )
             .map_err(|e| format!("{}: {e}", target.name))?;
         println!(
             "{:<12} n={n}  cycles={}  instructions={}  simd={}",

@@ -11,7 +11,7 @@ use crate::harness::prepare;
 use crate::report::TextTable;
 use crate::session::{PipelineError, Workspace};
 use splitc_opt::{optimize_module, OptOptions};
-use splitc_runtime::{Executor, Platform};
+use splitc_runtime::{CacheStats, EngineError, Executor, Platform};
 use splitc_workloads::{kernel, module_for};
 
 /// One execution configuration of the experiment.
@@ -88,6 +88,9 @@ pub struct Hetero {
     pub kernel: String,
     /// One row per problem size.
     pub rows: Vec<HeteroRow>,
+    /// Engine code-cache counters: one compilation per distinct core type,
+    /// however many problem sizes the sweep measures.
+    pub cache: CacheStats,
 }
 
 impl Hetero {
@@ -125,10 +128,14 @@ impl Hetero {
             None => "SPU offload never beats the Cell host in this sweep".to_owned(),
         };
         format!(
-            "Heterogeneous deployment of `{}` (scaled cycles, lower is better)\n{}\n{}\n",
+            "Heterogeneous deployment of `{}` (scaled cycles, lower is better)\n{}\n{}\n\
+             online compilations: {} across {} runs ({} served from the engine cache)\n",
             self.kernel,
             table.render(),
-            crossover
+            crossover,
+            self.cache.compiles,
+            self.cache.lookups(),
+            self.cache.hits,
         )
     }
 }
@@ -140,16 +147,24 @@ impl Hetero {
 /// Returns a [`PipelineError`] if compilation or execution fails, or if the
 /// kernel is not in the workload catalogue.
 pub fn run(kernel_name: &str, sizes: &[usize]) -> Result<Hetero, PipelineError> {
-    let k = kernel(kernel_name).ok_or_else(|| {
-        PipelineError::Runtime(splitc_runtime::RuntimeError::UnknownKernel(kernel_name.to_owned()))
-    })?;
-    let mut module = module_for(&[k.clone()], kernel_name).map_err(PipelineError::Frontend)?;
+    let k =
+        kernel(kernel_name).ok_or_else(|| EngineError::UnknownKernel(kernel_name.to_owned()))?;
+    let mut module =
+        module_for(std::slice::from_ref(&k), kernel_name).map_err(PipelineError::Frontend)?;
     optimize_module(&mut module, &OptOptions::full());
 
     let workstation = Platform::workstation();
     let phone = Platform::phone();
     let cell = Platform::cell_blade(1);
-    let mut exec = Executor::deploy(module);
+    let exec = Executor::deploy(module);
+    // One deployment serves every configuration; compile each distinct core
+    // type once, before the size sweep starts measuring.
+    exec.precompile([
+        workstation.host(),
+        phone.core("arm").expect("phone has an arm core"),
+        cell.host(),
+        cell.core("spu0").expect("blade has an spu"),
+    ])?;
 
     let mut rows = Vec::new();
     for &n in sizes {
@@ -161,9 +176,10 @@ pub fn run(kernel_name: &str, sizes: &[usize]) -> Result<Hetero, PipelineError> 
                 HeteroConfig::Workstation => (workstation.host(), None),
                 HeteroConfig::PhoneArm => (phone.core("arm").expect("phone has an arm core"), None),
                 HeteroConfig::CellHost => (cell.host(), None),
-                HeteroConfig::CellSpuOffload => {
-                    (cell.core("spu0").expect("blade has an spu"), Some(&cell.dma))
-                }
+                HeteroConfig::CellSpuOffload => (
+                    cell.core("spu0").expect("blade has an spu"),
+                    Some(&cell.dma),
+                ),
             };
             let cell_result = match dma {
                 None => {
@@ -199,6 +215,7 @@ pub fn run(kernel_name: &str, sizes: &[usize]) -> Result<Hetero, PipelineError> 
     Ok(Hetero {
         kernel: kernel_name.to_owned(),
         rows,
+        cache: exec.engine().stats(),
     })
 }
 
@@ -226,6 +243,10 @@ mod tests {
         );
         assert!(result.offload_crossover().is_some());
         assert!(result.render().contains("SPU offload"));
+        // Four distinct core types (x86, arm, ppe, spu) compiled once each;
+        // all twelve measured runs of the sweep hit the engine cache.
+        assert_eq!(result.cache.compiles, 4);
+        assert_eq!(result.cache.hits, (3 * HeteroConfig::ALL.len()) as u64);
     }
 
     #[test]

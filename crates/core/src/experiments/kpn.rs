@@ -12,8 +12,9 @@
 use crate::harness::prepare;
 use crate::report::TextTable;
 use crate::session::{PipelineError, Workspace};
+use splitc_jit::JitOptions;
 use splitc_opt::{optimize_module, OptOptions};
-use splitc_runtime::{pipeline, Executor, KpnReport, Platform};
+use splitc_runtime::{profile_pipeline, CacheStats, ExecutionEngine, KpnReport, Platform};
 use splitc_workloads::{module_for, pipeline_kernels};
 
 /// Result of mapping the pipeline one way onto the platform.
@@ -42,6 +43,9 @@ pub struct Kpn {
     pub stage_costs: Vec<Vec<f64>>,
     /// Results of the evaluated mappings.
     pub mappings: Vec<MappingResult>,
+    /// Engine code-cache counters from profiling the stages: one compilation
+    /// per distinct core type of the platform.
+    pub cache: CacheStats,
 }
 
 impl Kpn {
@@ -75,13 +79,18 @@ impl Kpn {
             ]);
         }
         format!(
-            "Kahn process network `{}` on {} ({} frames of {} elements)\n{}\npipelining speedup over the host-only mapping: {:.2}x\n",
+            "Kahn process network `{}` on {} ({} frames of {} elements)\n{}\n\
+             pipelining speedup over the host-only mapping: {:.2}x\n\
+             online compilations: {} across {} stage profilings ({} served from the engine cache)\n",
             self.stages.join(" -> "),
             self.platform,
             self.frames,
             self.frame_elems,
             table.render(),
             self.pipeline_speedup(),
+            self.cache.compiles,
+            self.cache.lookups(),
+            self.cache.hits,
         )
     }
 }
@@ -94,30 +103,35 @@ impl Kpn {
 /// Returns a [`PipelineError`] if any stage fails to compile or execute.
 pub fn run(platform: &Platform, frame_elems: usize, frames: u64) -> Result<Kpn, PipelineError> {
     let stages = pipeline_kernels();
-    let mut module =
-        module_for(&stages, "pipeline").map_err(PipelineError::Frontend)?;
+    let mut module = module_for(&stages, "pipeline").map_err(PipelineError::Frontend)?;
     optimize_module(&mut module, &OptOptions::full());
-    let mut exec = Executor::deploy(module);
+    let engine = ExecutionEngine::new(module);
+    let options = JitOptions::split();
+    // Compile each distinct core type once, before any stage is profiled.
+    engine.precompile(platform.cores.iter().map(|c| &c.target), &options)?;
 
-    // Measure the per-firing cost of every stage on every core.
-    let mut stage_costs: Vec<Vec<f64>> = Vec::new();
-    for stage in &stages {
-        let mut per_core = Vec::new();
-        for core in &platform.cores {
+    // Measure the per-firing cost of every stage on every core through the
+    // shared engine and build the network from the measured costs.
+    let stage_names: Vec<&str> = stages.iter().map(|s| s.name).collect();
+    let (net, stage_costs) = profile_pipeline(
+        &engine,
+        &options,
+        platform,
+        &stage_names,
+        frames,
+        |stage, _core| {
             let mut ws = Workspace::new((4 * frame_elems + (1 << 12)).max(1 << 14));
-            let prepared = prepare(stage.name, frame_elems, 0x609, &mut ws);
-            let outcome = exec.run(core, stage.name, &prepared.args, ws.bytes_mut())?;
-            per_core.push(outcome.scaled_cycles);
-        }
-        stage_costs.push(per_core);
-    }
-
-    let net = pipeline(&stage_costs, frames);
+            let prepared = prepare(stage, frame_elems, 0x609, &mut ws);
+            (prepared.args, ws.into_bytes())
+        },
+    )?;
 
     // Mapping 1: everything on the host core.
     let host_mapping = vec![0usize; stages.len()];
     // Mapping 2: spread the stages round-robin over the cores.
-    let spread_mapping: Vec<usize> = (0..stages.len()).map(|i| i % platform.cores.len()).collect();
+    let spread_mapping: Vec<usize> = (0..stages.len())
+        .map(|i| i % platform.cores.len())
+        .collect();
     // Mapping 3: each stage on its cheapest core.
     let greedy_mapping: Vec<usize> = stage_costs
         .iter()
@@ -152,6 +166,7 @@ pub fn run(platform: &Platform, frame_elems: usize, frames: u64) -> Result<Kpn, 
         frames,
         stage_costs,
         mappings,
+        cache: engine.stats(),
     })
 }
 
@@ -175,5 +190,9 @@ mod tests {
             result.pipeline_speedup()
         );
         assert!(result.render().contains("pipelining speedup"));
+        // A cell blade with 2 SPUs has 3 cores but only 2 core types; the
+        // 3 stages x 3 cores profiling runs reuse those two programs.
+        assert_eq!(result.cache.compiles, 2);
+        assert_eq!(result.cache.lookups(), 3 + 9); // precompile + profiling
     }
 }

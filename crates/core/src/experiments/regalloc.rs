@@ -11,9 +11,10 @@
 
 use crate::harness::{checksum, prepare};
 use crate::report::TextTable;
-use crate::session::{run_on_target, PipelineError, Workspace};
+use crate::session::{PipelineError, Workspace};
 use splitc_jit::{JitOptions, RegAllocMode};
 use splitc_opt::{optimize_module, OptOptions};
+use splitc_runtime::{CacheStats, ExecutionEngine};
 use splitc_targets::TargetDesc;
 use splitc_workloads::{module_for, pressure_kernels, table1_kernels, Kernel};
 
@@ -59,12 +60,18 @@ pub struct Regalloc {
     pub n: usize,
     /// All measurements.
     pub rows: Vec<RegallocRow>,
+    /// Engine code-cache counters summed over all kernels: one compilation
+    /// per (kernel, target, allocator) triple, never more.
+    pub cache: CacheStats,
 }
 
 impl Regalloc {
     /// The largest spill reduction observed (the paper's "up to 40 %").
     pub fn best_reduction(&self) -> f64 {
-        self.rows.iter().map(RegallocRow::spill_reduction).fold(0.0, f64::max)
+        self.rows
+            .iter()
+            .map(RegallocRow::spill_reduction)
+            .fold(0.0, f64::max)
     }
 
     /// Mean spill reduction across rows where the greedy allocator spills.
@@ -109,11 +116,15 @@ impl Regalloc {
         format!(
             "Split register allocation (n = {}; dynamic spill stores + reloads)\n{}\n\
              best spill reduction vs greedy online allocation: {:.0}%\n\
-             mean spill reduction vs greedy online allocation: {:.0}%\n",
+             mean spill reduction vs greedy online allocation: {:.0}%\n\
+             online compilations: {} across {} runs ({} served from the engine cache)\n",
             self.n,
             table.render(),
             self.best_reduction() * 100.0,
             self.mean_reduction() * 100.0,
+            self.cache.compiles,
+            self.cache.lookups(),
+            self.cache.hits,
         )
     }
 }
@@ -132,7 +143,11 @@ fn experiment_kernels() -> Vec<Kernel> {
 /// Returns a [`PipelineError`] if compilation or execution fails.
 pub fn run(n: usize) -> Result<Regalloc, PipelineError> {
     // Register-starved targets are where allocation quality matters.
-    let targets = [TargetDesc::x86_sse(), TargetDesc::arm_neon(), TargetDesc::dsp()];
+    let targets = [
+        TargetDesc::x86_sse(),
+        TargetDesc::arm_neon(),
+        TargetDesc::dsp(),
+    ];
     // Scalar code only: vectorization is a separate experiment and would
     // change register pressure.
     let opt = OptOptions {
@@ -140,19 +155,39 @@ pub fn run(n: usize) -> Result<Regalloc, PipelineError> {
         ..OptOptions::full()
     };
 
+    let modes = [
+        RegAllocMode::SplitAnnotations,
+        RegAllocMode::OnlineGreedy,
+        RegAllocMode::OnlineAnalyze,
+    ];
+    let jit_for = |mode: RegAllocMode| JitOptions {
+        regalloc: mode,
+        allow_simd: true,
+    };
+
     let mut rows = Vec::new();
+    let mut cache = CacheStats::default();
     for kernel in experiment_kernels() {
-        let mut module = module_for(&[kernel.clone()], kernel.name).map_err(PipelineError::Frontend)?;
+        let mut module = module_for(std::slice::from_ref(&kernel), kernel.name)
+            .map_err(PipelineError::Frontend)?;
         optimize_module(&mut module, &opt);
+        // Deploy once per kernel; compile every (target, allocator) pair
+        // up front so the measurement loop below never JITs.
+        let engine = ExecutionEngine::new(module);
+        for mode in modes {
+            engine.precompile(&targets, &jit_for(mode))?;
+        }
         for target in &targets {
             let measure = |mode: RegAllocMode| -> Result<(u64, u64, u64, u64), PipelineError> {
-                let jit = JitOptions {
-                    regalloc: mode,
-                    allow_simd: true,
-                };
                 let mut ws = Workspace::new((16 * n + (1 << 12)).max(1 << 14));
                 let prepared = prepare(kernel.name, n, 0x2e6 + n as u64, &mut ws);
-                let m = run_on_target(&module, target, &jit, kernel.name, &prepared.args, ws.bytes_mut())?;
+                let m = engine.run(
+                    target,
+                    &jit_for(mode),
+                    kernel.name,
+                    &prepared.args,
+                    ws.bytes_mut(),
+                )?;
                 Ok((
                     m.spill_ops(),
                     m.stats.cycles,
@@ -162,8 +197,10 @@ pub fn run(n: usize) -> Result<Regalloc, PipelineError> {
             };
             let (split_spills, split_cycles, split_work, split_sum) =
                 measure(RegAllocMode::SplitAnnotations)?;
-            let (greedy_spills, greedy_cycles, _, greedy_sum) = measure(RegAllocMode::OnlineGreedy)?;
-            let (analyze_spills, _, analyze_work, analyze_sum) = measure(RegAllocMode::OnlineAnalyze)?;
+            let (greedy_spills, greedy_cycles, _, greedy_sum) =
+                measure(RegAllocMode::OnlineGreedy)?;
+            let (analyze_spills, _, analyze_work, analyze_sum) =
+                measure(RegAllocMode::OnlineAnalyze)?;
             debug_assert_eq!(split_sum, greedy_sum, "{} on {}", kernel.name, target.name);
             debug_assert_eq!(split_sum, analyze_sum, "{} on {}", kernel.name, target.name);
             rows.push(RegallocRow {
@@ -178,8 +215,9 @@ pub fn run(n: usize) -> Result<Regalloc, PipelineError> {
                 analyze_work,
             });
         }
+        cache += engine.stats();
     }
-    Ok(Regalloc { n, rows })
+    Ok(Regalloc { n, rows, cache })
 }
 
 #[cfg(test)]
@@ -216,5 +254,10 @@ mod tests {
             .count();
         assert!(cheaper * 2 >= result.rows.len());
         assert!(result.render().contains("best spill reduction"));
+        // One compilation per (kernel, target, allocator) triple; every
+        // measured run hit the engine cache.
+        let kernels = result.rows.len() / 3; // 3 targets per kernel
+        assert_eq!(result.cache.compiles as usize, kernels * 3 * 3);
+        assert_eq!(result.cache.hits, result.cache.compiles);
     }
 }

@@ -69,6 +69,9 @@ pub use report::{fmt_speedup, TextTable};
 pub use session::{
     offline_compile, offline_optimize, run_on_target, PipelineError, RunMeasurement, Workspace,
 };
+// The shared execution layer, re-exported so facade users can hold a cached
+// engine instead of paying one compilation per `run_on_target` call.
+pub use splitc_runtime::{CacheStats, EngineError, Execution, ExecutionEngine};
 
 // Re-export the component crates so that downstream users (examples, tests,
 // benches) can reach the whole system through this facade.

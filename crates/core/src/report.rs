@@ -53,7 +53,12 @@ impl TextTable {
                 }
                 let cell = &cells[i];
                 // Right-align numbers, left-align text.
-                if cell.chars().next().map(|c| c.is_ascii_digit()).unwrap_or(false) {
+                if cell
+                    .chars()
+                    .next()
+                    .map(|c| c.is_ascii_digit())
+                    .unwrap_or(false)
+                {
                     line.push_str(&format!("{cell:>width$}", width = widths[i]));
                 } else {
                     line.push_str(&format!("{cell:<width$}", width = widths[i]));
@@ -78,8 +83,6 @@ impl TextTable {
 pub fn fmt_speedup(x: f64) -> String {
     if x >= 10.0 {
         format!("{x:.1}")
-    } else if x >= 1.0 {
-        format!("{x:.2}")
     } else {
         format!("{x:.2}")
     }
@@ -92,8 +95,18 @@ mod tests {
     #[test]
     fn renders_aligned_columns() {
         let mut t = TextTable::new(&["benchmark", "scalar", "vect.", "relative"]);
-        t.row(vec!["saxpy fp".into(), "1544".into(), "724".into(), "2.13".into()]);
-        t.row(vec!["max u8".into(), "3541".into(), "227".into(), "15.6".into()]);
+        t.row(vec![
+            "saxpy fp".into(),
+            "1544".into(),
+            "724".into(),
+            "2.13".into(),
+        ]);
+        t.row(vec![
+            "max u8".into(),
+            "3541".into(),
+            "227".into(),
+            "15.6".into(),
+        ]);
         let text = t.render();
         assert!(text.contains("benchmark"));
         assert!(text.lines().count() >= 4);

@@ -1,59 +1,17 @@
 //! High-level pipeline API: offline compile, deploy, run, measure.
 
-use splitc_jit::{compile_module, JitOptions, JitStats};
-use splitc_minic::CompileError;
+use splitc_jit::JitOptions;
 use splitc_opt::{optimize_module, OptOptions, OptReport};
-use splitc_targets::{MachineValue, SimError, SimStats, Simulator, TargetDesc};
+use splitc_runtime::{EngineError, Execution, ExecutionEngine};
+use splitc_targets::{MachineValue, TargetDesc};
 use splitc_vbc::Module;
-use std::error::Error;
-use std::fmt;
 
 /// Any error that can occur along the offline/online pipeline.
-#[derive(Debug)]
-pub enum PipelineError {
-    /// Front-end (mini-C) error.
-    Frontend(CompileError),
-    /// Online compilation error.
-    Jit(splitc_jit::JitError),
-    /// Simulated execution error.
-    Sim(SimError),
-    /// Runtime-layer error.
-    Runtime(splitc_runtime::RuntimeError),
-}
-
-impl fmt::Display for PipelineError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            PipelineError::Frontend(e) => write!(f, "front-end error: {e}"),
-            PipelineError::Jit(e) => write!(f, "online compilation error: {e}"),
-            PipelineError::Sim(e) => write!(f, "simulation error: {e}"),
-            PipelineError::Runtime(e) => write!(f, "runtime error: {e}"),
-        }
-    }
-}
-
-impl Error for PipelineError {}
-
-impl From<CompileError> for PipelineError {
-    fn from(e: CompileError) -> Self {
-        PipelineError::Frontend(e)
-    }
-}
-impl From<splitc_jit::JitError> for PipelineError {
-    fn from(e: splitc_jit::JitError) -> Self {
-        PipelineError::Jit(e)
-    }
-}
-impl From<SimError> for PipelineError {
-    fn from(e: SimError) -> Self {
-        PipelineError::Sim(e)
-    }
-}
-impl From<splitc_runtime::RuntimeError> for PipelineError {
-    fn from(e: splitc_runtime::RuntimeError) -> Self {
-        PipelineError::Runtime(e)
-    }
-}
+///
+/// Alias of the unified [`EngineError`] from the runtime layer: the offline
+/// pipeline, the execution engine and the heterogeneous runtime all report
+/// failures through one type (with `From` bridges from every layer's error).
+pub type PipelineError = EngineError;
 
 /// The offline step: parse, type-check, lower and optimize mini-C source.
 ///
@@ -76,25 +34,21 @@ pub fn offline_optimize(module: &mut Module, opts: &OptOptions) -> OptReport {
 }
 
 /// Measurement of one kernel execution on one simulated target.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct RunMeasurement {
-    /// The kernel's return value, if any.
-    pub result: Option<MachineValue>,
-    /// Raw simulator statistics (cycles, instructions, memory traffic, spills).
-    pub stats: SimStats,
-    /// Online compilation statistics for the module on this target.
-    pub jit: JitStats,
-}
+///
+/// Alias of the unified [`Execution`] result produced by the
+/// [`ExecutionEngine`] (which also carries the clock-scaled cycle count the
+/// heterogeneous runtime compares cores with).
+pub type RunMeasurement = Execution;
 
-impl RunMeasurement {
-    /// Dynamic spill traffic (stores plus reloads) observed during execution.
-    pub fn spill_ops(&self) -> u64 {
-        self.stats.spill_stores + self.stats.spill_reloads
-    }
-}
-
-/// The online step plus execution: JIT-compile `module` for `target`, run
-/// `kernel` with `args` against `mem`, and return the measurements.
+/// The online step plus execution, as a one-shot convenience: JIT-compile
+/// `module` for `target`, run `kernel` with `args` against `mem`, and return
+/// the measurements.
+///
+/// Every call compiles the module afresh (via
+/// [`ExecutionEngine::run_once`]). Code that runs more than one kernel,
+/// target or repetition should hold an [`ExecutionEngine`] (or a
+/// [`splitc_runtime::Executor`]) instead, so each distinct (target, options)
+/// pair is compiled exactly once and shared.
 ///
 /// # Errors
 ///
@@ -107,14 +61,7 @@ pub fn run_on_target(
     args: &[MachineValue],
     mem: &mut [u8],
 ) -> Result<RunMeasurement, PipelineError> {
-    let (program, jit) = compile_module(module, target, jit_options)?;
-    let mut sim = Simulator::new(&program, target);
-    let result = sim.run(kernel, args, mem)?;
-    Ok(RunMeasurement {
-        result,
-        stats: sim.stats(),
-        jit,
-    })
+    ExecutionEngine::run_once(module, target, jit_options, kernel, args, mem)
 }
 
 /// A linear scratch memory for setting up kernel inputs and reading outputs.
@@ -151,16 +98,24 @@ impl Workspace {
     ///
     /// # Panics
     ///
-    /// Panics if the workspace is exhausted.
+    /// Panics if the workspace is exhausted. All arithmetic is checked, so a
+    /// hostile `size` (e.g. `u64::MAX`) reports exhaustion instead of
+    /// overflowing the offset computation.
     pub fn alloc(&mut self, size: u64) -> u64 {
         let base = self.next;
-        let aligned = size.div_ceil(16) * 16;
-        assert!(
-            base + aligned <= self.bytes.len() as u64,
-            "workspace exhausted: requested {size} bytes at offset {base}"
-        );
-        self.next += aligned;
-        base
+        let capacity = self.bytes.len() as u64;
+        let end = size
+            .checked_next_multiple_of(16)
+            .and_then(|aligned| base.checked_add(aligned));
+        match end {
+            Some(end) if end <= capacity => {
+                self.next = end;
+                base
+            }
+            _ => panic!(
+                "workspace exhausted: requested {size} bytes at offset {base} (capacity {capacity} bytes)"
+            ),
+        }
     }
 
     /// The raw bytes (to pass to a simulator).
@@ -171,6 +126,12 @@ impl Workspace {
     /// The raw bytes, read-only.
     pub fn bytes(&self) -> &[u8] {
         &self.bytes
+    }
+
+    /// Consume the workspace, yielding its backing buffer without a copy
+    /// (for handing prepared memory to an owning consumer).
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.bytes
     }
 
     /// Write a slice of `f32` values at `addr`.
@@ -308,6 +269,25 @@ mod tests {
     fn workspace_overflow_panics() {
         let mut ws = Workspace::new(128);
         let _ = ws.alloc(1024);
+    }
+
+    #[test]
+    fn workspace_exhaustion_reports_the_capacity() {
+        let mut ws = Workspace::new(128);
+        let err = std::panic::catch_unwind(move || ws.alloc(1024)).unwrap_err();
+        let msg = err
+            .downcast_ref::<String>()
+            .expect("panic carries a message");
+        assert!(msg.contains("capacity 128 bytes"), "got: {msg}");
+    }
+
+    #[test]
+    #[should_panic(expected = "workspace exhausted")]
+    fn workspace_alloc_rejects_hostile_sizes_without_overflowing() {
+        // base + aligned(u64::MAX) would wrap; checked arithmetic must turn
+        // this into the ordinary exhaustion panic instead.
+        let mut ws = Workspace::new(1 << 12);
+        let _ = ws.alloc(u64::MAX - 8);
     }
 
     #[test]

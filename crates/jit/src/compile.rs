@@ -8,7 +8,10 @@ use std::error::Error;
 use std::fmt;
 
 /// Options controlling the online compilation of a module.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+///
+/// The type is `Hash + Eq` so that execution caches can key compiled code by
+/// `(target fingerprint, JitOptions)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub struct JitOptions {
     /// How register assignment obtains its keep ranking.
     pub regalloc: RegAllocMode,
@@ -221,7 +224,11 @@ mod tests {
     fn vectorized_module_runs_correctly_on_simd_and_scalar_targets() {
         let m = optimized();
         let n = 53usize;
-        for target in [TargetDesc::x86_sse(), TargetDesc::ultrasparc(), TargetDesc::powerpc()] {
+        for target in [
+            TargetDesc::x86_sse(),
+            TargetDesc::ultrasparc(),
+            TargetDesc::powerpc(),
+        ] {
             let (program, _) = compile_module(&m, &target, &JitOptions::split()).unwrap();
             let mut mem = vec![0u8; 1 << 14];
             let base = 64;
@@ -236,8 +243,15 @@ mod tests {
                     &mut mem,
                 )
                 .unwrap();
-            let expected = (0..n).map(|i| (i * 7 % 251) as u8).fold(0u8, u8::wrapping_add);
-            assert_eq!(out, Some(MachineValue::Int(i64::from(expected))), "{}", target.name);
+            let expected = (0..n)
+                .map(|i| (i * 7 % 251) as u8)
+                .fold(0u8, u8::wrapping_add);
+            assert_eq!(
+                out,
+                Some(MachineValue::Int(i64::from(expected))),
+                "{}",
+                target.name
+            );
         }
     }
 
@@ -282,9 +296,10 @@ mod tests {
         let (program, stats) = compile_module(&m, &target, &opts).unwrap();
         assert!(stats.scalarized);
         assert!(!stats.used_simd);
-        assert!(program
-            .functions
+        assert!(program.functions.iter().all(|f| f
+            .blocks
             .iter()
-            .all(|f| f.blocks.iter().flat_map(|b| b.insts.iter()).all(|i| !i.is_vector())));
+            .flat_map(|b| b.insts.iter())
+            .all(|i| !i.is_vector())));
     }
 }

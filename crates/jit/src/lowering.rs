@@ -192,7 +192,14 @@ impl<'a> Lowerer<'a> {
         }
     }
 
-    fn scalar_bin(&mut self, op: BinOp, ty: ScalarType, dst: PReg, lhs: PReg, rhs: PReg) -> Result<(), JitError> {
+    fn scalar_bin(
+        &mut self,
+        op: BinOp,
+        ty: ScalarType,
+        dst: PReg,
+        lhs: PReg,
+        rhs: PReg,
+    ) -> Result<(), JitError> {
         if ty.is_float() {
             self.emit(MInst::FloatOp {
                 op: Self::fpu_of(op)?,
@@ -219,7 +226,10 @@ impl<'a> Lowerer<'a> {
             Inst::Const { dst, ty, imm } => {
                 let d = self.scalar_reg(*dst)?;
                 if ty.is_float() {
-                    self.emit(MInst::FImm { dst: d, value: imm.as_f64() });
+                    self.emit(MInst::FImm {
+                        dst: d,
+                        value: imm.as_f64(),
+                    });
                 } else {
                     self.emit(MInst::Imm {
                         dst: d,
@@ -232,7 +242,13 @@ impl<'a> Lowerer<'a> {
                 let s = self.scalar_reg(*src)?;
                 self.emit(MInst::Mov { dst: d, src: s });
             }
-            Inst::Bin { op, ty, dst, lhs, rhs } => {
+            Inst::Bin {
+                op,
+                ty,
+                dst,
+                lhs,
+                rhs,
+            } => {
                 let d = self.scalar_reg(*dst)?;
                 let l = self.scalar_reg(*lhs)?;
                 let r = self.scalar_reg(*rhs)?;
@@ -259,7 +275,13 @@ impl<'a> Lowerer<'a> {
                     }),
                 }
             }
-            Inst::Cmp { op, ty, dst, lhs, rhs } => {
+            Inst::Cmp {
+                op,
+                ty,
+                dst,
+                lhs,
+                rhs,
+            } => {
                 let d = self.scalar_reg(*dst)?;
                 let l = self.scalar_reg(*lhs)?;
                 let r = self.scalar_reg(*rhs)?;
@@ -282,7 +304,13 @@ impl<'a> Lowerer<'a> {
                     });
                 }
             }
-            Inst::Select { dst, cond, if_true, if_false, .. } => {
+            Inst::Select {
+                dst,
+                cond,
+                if_true,
+                if_false,
+                ..
+            } => {
                 let d = self.scalar_reg(*dst)?;
                 let c = self.scalar_reg(*cond)?;
                 let t = self.scalar_reg(*if_true)?;
@@ -323,7 +351,12 @@ impl<'a> Lowerer<'a> {
                     }),
                 }
             }
-            Inst::Load { dst, ty, addr, offset } => {
+            Inst::Load {
+                dst,
+                ty,
+                addr,
+                offset,
+            } => {
                 let d = self.scalar_reg(*dst)?;
                 let a = self.scalar_reg(*addr)?;
                 self.emit(MInst::Load {
@@ -335,7 +368,12 @@ impl<'a> Lowerer<'a> {
                     offset: *offset,
                 });
             }
-            Inst::Store { ty, addr, offset, value } => {
+            Inst::Store {
+                ty,
+                addr,
+                offset,
+                value,
+            } => {
                 let a = self.scalar_reg(*addr)?;
                 let v = self.scalar_reg(*value)?;
                 self.emit(MInst::Store {
@@ -394,7 +432,12 @@ impl<'a> Lowerer<'a> {
                     }
                 }
             }
-            Inst::VecLoad { dst, elem, addr, offset } => {
+            Inst::VecLoad {
+                dst,
+                elem,
+                addr,
+                offset,
+            } => {
                 let a = self.scalar_reg(*addr)?;
                 if self.use_simd {
                     let d = self.vec_reg(*dst)?;
@@ -417,7 +460,12 @@ impl<'a> Lowerer<'a> {
                     }
                 }
             }
-            Inst::VecStore { elem, addr, offset, value } => {
+            Inst::VecStore {
+                elem,
+                addr,
+                offset,
+                value,
+            } => {
                 let a = self.scalar_reg(*addr)?;
                 if self.use_simd {
                     let v = self.vec_reg(*value)?;
@@ -439,7 +487,13 @@ impl<'a> Lowerer<'a> {
                     }
                 }
             }
-            Inst::VecBin { op, elem, dst, lhs, rhs } => {
+            Inst::VecBin {
+                op,
+                elem,
+                dst,
+                lhs,
+                rhs,
+            } => {
                 if self.use_simd {
                     let d = self.vec_reg(*dst)?;
                     let l = self.vec_reg(*lhs)?;
@@ -493,14 +547,21 @@ impl<'a> Lowerer<'a> {
                     }
                 } else {
                     let lanes = self.lane_regs(*src, *elem)?;
-                    self.emit(MInst::Mov { dst: d, src: lanes[0] });
+                    self.emit(MInst::Mov {
+                        dst: d,
+                        src: lanes[0],
+                    });
                     for lane in &lanes[1..] {
                         self.scalar_bin(op.as_bin_op(), *elem, d, d, *lane)?;
                     }
                 }
             }
             Inst::Jump { target } => self.emit(MInst::Jump { target: target.0 }),
-            Inst::Branch { cond, then_bb, else_bb } => {
+            Inst::Branch {
+                cond,
+                then_bb,
+                else_bb,
+            } => {
                 let c = self.scalar_reg(*cond)?;
                 self.emit(MInst::BranchNz {
                     cond: c,
@@ -654,8 +715,19 @@ mod tests {
             .blocks
             .iter()
             .flatten()
-            .filter(|i| matches!(i, MInst::Load { width: Width::W8, .. }))
+            .filter(|i| {
+                matches!(
+                    i,
+                    MInst::Load {
+                        width: Width::W8,
+                        ..
+                    }
+                )
+            })
             .count();
-        assert!(loads >= 17, "16 unrolled lanes plus the scalar epilogue, got {loads}");
+        assert!(
+            loads >= 17,
+            "16 unrolled lanes plus the scalar epilogue, got {loads}"
+        );
     }
 }

@@ -10,7 +10,9 @@ use splitc_targets::{MInst, PReg};
 /// The registers read by a machine instruction, in operand order.
 pub fn uses(inst: &MInst) -> Vec<PReg> {
     match inst {
-        MInst::Imm { .. } | MInst::FImm { .. } | MInst::Jump { .. } | MInst::Reload { .. } => vec![],
+        MInst::Imm { .. } | MInst::FImm { .. } | MInst::Jump { .. } | MInst::Reload { .. } => {
+            vec![]
+        }
         MInst::Mov { src, .. }
         | MInst::IntNeg { src, .. }
         | MInst::IntNot { src, .. }
@@ -163,11 +165,7 @@ pub fn rewrite_def(inst: &mut MInst, mut f: impl FnMut(PReg) -> PReg) {
         | MInst::VecReduceInt { dst, .. }
         | MInst::VecReduceFloat { dst, .. }
         | MInst::Reload { dst, .. } => *dst = f(*dst),
-        MInst::Call { ret, .. } => {
-            if let Some(r) = ret {
-                *r = f(*r);
-            }
-        }
+        MInst::Call { ret: Some(r), .. } => *r = f(*r),
         _ => {}
     }
 }
@@ -238,7 +236,10 @@ mod tests {
         };
         assert_eq!(def(&c), Some(PReg::float(2)));
         assert_eq!(uses(&c).len(), 2);
-        rewrite_uses(&mut c, |r| PReg { class: r.class, index: r.index + 1 });
+        rewrite_uses(&mut c, |r| PReg {
+            class: r.class,
+            index: r.index + 1,
+        });
         assert_eq!(uses(&c), vec![PReg::int(2), PReg::float(1)]);
     }
 }

@@ -22,9 +22,8 @@ use splitc_targets::{MBlock, MFunction, MInst, PReg, RegClass, TargetDesc};
 use splitc_vbc::Function;
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 
-
 /// How the online compiler decides which values keep registers.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum RegAllocMode {
     /// Use the offline spill-order annotation (split register allocation).
     #[default]
@@ -263,7 +262,11 @@ pub(crate) fn assign(
         if limit < SCRATCH_REGS {
             return Err(JitError::RegisterPressure {
                 function: vf.name.clone(),
-                detail: format!("target {} has no {} registers", target.name, class_name(r.class)),
+                detail: format!(
+                    "target {} has no {} registers",
+                    target.name,
+                    class_name(r.class)
+                ),
             });
         }
         let keepable = limit - SCRATCH_REGS;
@@ -330,7 +333,11 @@ pub(crate) fn assign(
     // Rewrite every block.
     let mut blocks = Vec::with_capacity(vf.blocks.len());
     for (bi, insts) in vf.blocks.iter().enumerate() {
-        let mut out: Vec<MInst> = if bi == 0 { prologue.clone() } else { Vec::new() };
+        let mut out: Vec<MInst> = if bi == 0 {
+            prologue.clone()
+        } else {
+            Vec::new()
+        };
         rewrite_block(insts, &mut assigner, &mut out, &vf.name)?;
         blocks.push(MBlock { insts: out });
         let _ = (&live_in, &live_out, bi);
@@ -413,7 +420,10 @@ fn rewrite_block(
                 continue;
             }
             let phys = if let Some(k) = assigner.kept.get(u) {
-                PReg { class: u.class, index: *k }
+                PReg {
+                    class: u.class,
+                    index: *k,
+                }
             } else if let Some(slot) = assigner.spilled.get(u).copied() {
                 let s = alloc_scratch(
                     u.class,
@@ -429,16 +439,25 @@ fn rewrite_block(
                 .ok_or_else(|| pressure_error(fname, u.class))?;
                 out.push(MInst::Reload {
                     slot,
-                    dst: PReg { class: u.class, index: s },
+                    dst: PReg {
+                        class: u.class,
+                        index: s,
+                    },
                 });
                 temp.push((u.class, s));
                 pinned.push((u.class, s));
-                PReg { class: u.class, index: s }
+                PReg {
+                    class: u.class,
+                    index: s,
+                }
             } else {
                 match local_loc.get(u).copied() {
                     Some(Loc::Reg(s)) => {
                         pinned.push((u.class, s));
-                        PReg { class: u.class, index: s }
+                        PReg {
+                            class: u.class,
+                            index: s,
+                        }
                     }
                     Some(Loc::Slot(slot)) => {
                         let s = alloc_scratch(
@@ -455,12 +474,18 @@ fn rewrite_block(
                         .ok_or_else(|| pressure_error(fname, u.class))?;
                         out.push(MInst::Reload {
                             slot,
-                            dst: PReg { class: u.class, index: s },
+                            dst: PReg {
+                                class: u.class,
+                                index: s,
+                            },
                         });
                         local_loc.insert(*u, Loc::Reg(s));
                         occupant.insert((u.class, s), *u);
                         pinned.push((u.class, s));
-                        PReg { class: u.class, index: s }
+                        PReg {
+                            class: u.class,
+                            index: s,
+                        }
                     }
                     None => {
                         return Err(JitError::Internal(format!(
@@ -501,7 +526,10 @@ fn rewrite_block(
         let mut post_spill: Option<MInst> = None;
         if let Some(d) = mir::def(&inst) {
             let phys = if let Some(k) = assigner.kept.get(&d) {
-                PReg { class: d.class, index: *k }
+                PReg {
+                    class: d.class,
+                    index: *k,
+                }
             } else if let Some(slot) = assigner.spilled.get(&d).copied() {
                 let s = alloc_scratch(
                     d.class,
@@ -517,14 +545,23 @@ fn rewrite_block(
                 .ok_or_else(|| pressure_error(fname, d.class))?;
                 post_spill = Some(MInst::Spill {
                     slot,
-                    src: PReg { class: d.class, index: s },
+                    src: PReg {
+                        class: d.class,
+                        index: s,
+                    },
                 });
                 free[class_index(d.class)].push(s);
-                PReg { class: d.class, index: s }
+                PReg {
+                    class: d.class,
+                    index: s,
+                }
             } else {
                 // Block-local temporary.
                 match local_loc.get(&d).copied() {
-                    Some(Loc::Reg(s)) => PReg { class: d.class, index: s },
+                    Some(Loc::Reg(s)) => PReg {
+                        class: d.class,
+                        index: s,
+                    },
                     _ => {
                         let s = alloc_scratch(
                             d.class,
@@ -540,7 +577,10 @@ fn rewrite_block(
                         .ok_or_else(|| pressure_error(fname, d.class))?;
                         local_loc.insert(d, Loc::Reg(s));
                         occupant.insert((d.class, s), d);
-                        PReg { class: d.class, index: s }
+                        PReg {
+                            class: d.class,
+                            index: s,
+                        }
                     }
                 }
             };
@@ -685,7 +725,8 @@ mod tests {
             .map(|i| {
                 let v = i as f32 * 0.01;
                 let c = [1.5f32, 2.5, 3.5, 4.5, 5.5, 6.5, 7.5, 8.5];
-                ((((((v * c[7] + c[6]) * v + c[5]) * v + c[4]) * v + c[3]) * v + c[2]) * v + c[1]) * v
+                ((((((v * c[7] + c[6]) * v + c[5]) * v + c[4]) * v + c[3]) * v + c[2]) * v + c[1])
+                    * v
                     + c[0]
             })
             .collect()
@@ -722,11 +763,7 @@ mod tests {
 
     #[test]
     fn plenty_of_registers_means_no_dynamic_spills_in_simple_kernels() {
-        let mut m = compile_source(
-            "fn add(a: i32, b: i32) -> i32 { return a + b; }",
-            "k",
-        )
-        .unwrap();
+        let mut m = compile_source("fn add(a: i32, b: i32) -> i32 { return a + b; }", "k").unwrap();
         splitc_opt::annotate_spill_orders(&mut m);
         let target = TargetDesc::powerpc();
         let (program, stats) = compile_module(&m, &target, &JitOptions::default()).unwrap();
@@ -734,7 +771,11 @@ mod tests {
         let mut sim = Simulator::new(&program, &target);
         let mut mem = vec![0u8; 64];
         let out = sim
-            .run("add", &[MachineValue::Int(2), MachineValue::Int(40)], &mut mem)
+            .run(
+                "add",
+                &[MachineValue::Int(2), MachineValue::Int(40)],
+                &mut mem,
+            )
             .unwrap();
         assert_eq!(out, Some(MachineValue::Int(42)));
         assert_eq!(sim.stats().spill_stores, 0);

@@ -127,7 +127,10 @@ impl<'a> Lexer<'a> {
                 break;
             }
         }
-        let text: String = self.chars[start..self.pos].iter().filter(|c| **c != '_').collect();
+        let text: String = self.chars[start..self.pos]
+            .iter()
+            .filter(|c| **c != '_')
+            .collect();
         if is_float {
             text.parse::<f64>()
                 .map(TokenKind::Float)
@@ -163,7 +166,9 @@ impl<'a> Lexer<'a> {
     }
 
     fn symbol(&mut self, span: Span) -> Result<TokenKind, CompileError> {
-        let c = self.bump().expect("symbol called with a character available");
+        let c = self
+            .bump()
+            .expect("symbol called with a character available");
         let two = |l: &mut Self, next: char, yes: TokenKind, no: TokenKind| {
             if l.peek() == Some(next) {
                 l.bump();
@@ -211,7 +216,10 @@ impl<'a> Lexer<'a> {
             }
             other => {
                 let _ = self.source;
-                return Err(CompileError::lex(span, format!("unexpected character `{other}`")));
+                return Err(CompileError::lex(
+                    span,
+                    format!("unexpected character `{other}`"),
+                ));
             }
         })
     }
@@ -258,14 +266,24 @@ mod tests {
                 .into_iter()
                 .filter(|k| !matches!(k, TokenKind::Ident(_) | TokenKind::Eof))
                 .collect::<Vec<_>>(),
-            vec![TokenKind::AndAnd, TokenKind::Amp, TokenKind::OrOr, TokenKind::Pipe]
+            vec![
+                TokenKind::AndAnd,
+                TokenKind::Amp,
+                TokenKind::OrOr,
+                TokenKind::Pipe
+            ]
         );
         assert_eq!(
             kinds("a == b = c != d ! e")
                 .into_iter()
                 .filter(|k| !matches!(k, TokenKind::Ident(_) | TokenKind::Eof))
                 .collect::<Vec<_>>(),
-            vec![TokenKind::EqEq, TokenKind::Assign, TokenKind::NotEq, TokenKind::Bang]
+            vec![
+                TokenKind::EqEq,
+                TokenKind::Assign,
+                TokenKind::NotEq,
+                TokenKind::Bang
+            ]
         );
     }
 

@@ -50,7 +50,9 @@ mod lower;
 mod parser;
 mod token;
 
-pub use ast::{BinaryOp, BlockStmt, Expr, FuncDecl, LValue, MiniType, Param, Program, Stmt, UnaryOp};
+pub use ast::{
+    BinaryOp, BlockStmt, Expr, FuncDecl, LValue, MiniType, Param, Program, Stmt, UnaryOp,
+};
 pub use error::{CompileError, Stage};
 pub use lexer::lex;
 pub use lower::{check_program, compile_program, compile_source, signatures, FuncSig};

@@ -201,7 +201,9 @@ impl Parser {
         let else_blk = if self.eat(&TokenKind::KwElse) {
             if self.peek() == &TokenKind::KwIf {
                 let nested = self.if_stmt()?;
-                Some(BlockStmt { stmts: vec![nested] })
+                Some(BlockStmt {
+                    stmts: vec![nested],
+                })
             } else {
                 Some(self.block()?)
             }
@@ -556,10 +558,21 @@ mod tests {
         let Stmt::Return { value: Some(e) } = &p.functions[0].body.stmts[0] else {
             panic!("expected return");
         };
-        let Expr::Binary { op: BinaryOp::Add, rhs, .. } = e else {
+        let Expr::Binary {
+            op: BinaryOp::Add,
+            rhs,
+            ..
+        } = e
+        else {
             panic!("expected top-level add, got {e:?}");
         };
-        assert!(matches!(**rhs, Expr::Binary { op: BinaryOp::Mul, .. }));
+        assert!(matches!(
+            **rhs,
+            Expr::Binary {
+                op: BinaryOp::Mul,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -568,13 +581,24 @@ mod tests {
         let Stmt::Return { value: Some(e) } = &p.functions[0].body.stmts[0] else {
             panic!("expected return");
         };
-        assert!(matches!(e, Expr::Binary { op: BinaryOp::Lt, .. }));
+        assert!(matches!(
+            e,
+            Expr::Binary {
+                op: BinaryOp::Lt,
+                ..
+            }
+        ));
 
         let p = parse("fn g(a: i32) -> f32 { return a as f32 * 2.0; }").unwrap();
         let Stmt::Return { value: Some(e) } = &p.functions[0].body.stmts[0] else {
             panic!("expected return");
         };
-        let Expr::Binary { op: BinaryOp::Mul, lhs, .. } = e else {
+        let Expr::Binary {
+            op: BinaryOp::Mul,
+            lhs,
+            ..
+        } = e
+        else {
             panic!("expected mul at top level");
         };
         assert!(matches!(**lhs, Expr::Cast { .. }));
@@ -582,7 +606,8 @@ mod tests {
 
     #[test]
     fn index_assignment_and_while() {
-        let src = "fn fill(p: *u8, n: i32) { let i: i32 = 0; while (i < n) { p[i] = 7; i = i + 1; } }";
+        let src =
+            "fn fill(p: *u8, n: i32) { let i: i32 = 0; while (i < n) { p[i] = 7; i = i + 1; } }";
         let p = parse(src).unwrap();
         let f = &p.functions[0];
         assert!(matches!(f.body.stmts[1], Stmt::While { .. }));
@@ -594,7 +619,13 @@ mod tests {
         let Stmt::Return { value: Some(e) } = &p.functions[0].body.stmts[0] else {
             panic!("expected return");
         };
-        assert!(matches!(e, Expr::Unary { op: UnaryOp::Neg, .. }));
+        assert!(matches!(
+            e,
+            Expr::Unary {
+                op: UnaryOp::Neg,
+                ..
+            }
+        ));
     }
 
     #[test]

@@ -104,7 +104,11 @@ mod tests {
         assert!(t.uses_fp);
         assert!(!t.uses_vector);
         assert!(!t.control_intensive);
-        assert!(t.ops_per_element >= 2.0, "a multiply and an add: {}", t.ops_per_element);
+        assert!(
+            t.ops_per_element >= 2.0,
+            "a multiply and an add: {}",
+            t.ops_per_element
+        );
         assert!(t.bytes_per_element >= 12.0, "two loads and a store of f32");
     }
 

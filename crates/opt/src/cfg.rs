@@ -94,7 +94,9 @@ mod tests {
         let mut f = loop_function();
         // Add a block that nothing jumps to.
         let dead = f.new_block();
-        f.block_mut(dead).insts.push(splitc_vbc::Inst::Ret { value: None });
+        f.block_mut(dead)
+            .insts
+            .push(splitc_vbc::Inst::Ret { value: None });
         let rpo = reverse_postorder(&f);
         assert!(!rpo.contains(&dead));
         assert!(!reachable(&f)[dead.index()]);

@@ -100,17 +100,29 @@ pub fn fold_function(f: &mut Function) -> FoldStats {
 
                 // Constant folding.
                 let folded: Option<Inst> = match &*inst {
-                    Inst::Bin { op, ty, dst, lhs, rhs } => {
-                        match (consts.get(lhs), consts.get(rhs)) {
-                            (Some((_, a)), Some((_, b))) => eval_bin(*op, *ty, a, b).ok().map(|v| Inst::Const {
+                    Inst::Bin {
+                        op,
+                        ty,
+                        dst,
+                        lhs,
+                        rhs,
+                    } => match (consts.get(lhs), consts.get(rhs)) {
+                        (Some((_, a)), Some((_, b))) => {
+                            eval_bin(*op, *ty, a, b).ok().map(|v| Inst::Const {
                                 dst: *dst,
                                 ty: *ty,
                                 imm: value_to_imm(*ty, &v),
-                            }),
-                            _ => None,
+                            })
                         }
-                    }
-                    Inst::Cmp { op, ty, dst, lhs, rhs } => match (consts.get(lhs), consts.get(rhs)) {
+                        _ => None,
+                    },
+                    Inst::Cmp {
+                        op,
+                        ty,
+                        dst,
+                        lhs,
+                        rhs,
+                    } => match (consts.get(lhs), consts.get(rhs)) {
                         (Some((_, a)), Some((_, b))) => Some(Inst::Const {
                             dst: *dst,
                             ty: splitc_vbc::ScalarType::I32,
@@ -186,7 +198,10 @@ mod tests {
             .unwrap();
         assert!(matches!(
             last_def,
-            Inst::Const { imm: Immediate::Int(13), .. }
+            Inst::Const {
+                imm: Immediate::Int(13),
+                ..
+            }
         ));
     }
 
@@ -201,10 +216,33 @@ mod tests {
         b.ret(Some(c));
         let mut f = b.finish();
         fold_function(&mut f);
-        let cdef = f.block(f.entry).insts.iter().find(|i| i.dst() == Some(c)).unwrap();
-        assert!(matches!(cdef, Inst::Const { imm: Immediate::Int(1), .. }));
-        let wdef = f.block(f.entry).insts.iter().find(|i| i.dst() == Some(wide)).unwrap();
-        assert!(matches!(wdef, Inst::Const { ty: ScalarType::I64, imm: Immediate::Int(9), .. }));
+        let cdef = f
+            .block(f.entry)
+            .insts
+            .iter()
+            .find(|i| i.dst() == Some(c))
+            .unwrap();
+        assert!(matches!(
+            cdef,
+            Inst::Const {
+                imm: Immediate::Int(1),
+                ..
+            }
+        ));
+        let wdef = f
+            .block(f.entry)
+            .insts
+            .iter()
+            .find(|i| i.dst() == Some(wide))
+            .unwrap();
+        assert!(matches!(
+            wdef,
+            Inst::Const {
+                ty: ScalarType::I64,
+                imm: Immediate::Int(9),
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -221,7 +259,12 @@ mod tests {
         let mut f = b.finish();
         let stats = fold_function(&mut f);
         assert!(stats.copies_propagated > 0);
-        let ydef = f.block(f.entry).insts.iter().find(|i| i.dst() == Some(y)).unwrap();
+        let ydef = f
+            .block(f.entry)
+            .insts
+            .iter()
+            .find(|i| i.dst() == Some(y))
+            .unwrap();
         assert_eq!(ydef.uses(), vec![x, x]);
     }
 
@@ -232,14 +275,30 @@ mod tests {
         let t = b.new_vreg(ScalarType::I32);
         let one = b.const_int(ScalarType::I32, 1);
         let two = b.const_int(ScalarType::I32, 2);
-        b.push(Inst::Move { dst: t, ty: ScalarType::I32, src: one });
-        b.push(Inst::Move { dst: t, ty: ScalarType::I32, src: two });
+        b.push(Inst::Move {
+            dst: t,
+            ty: ScalarType::I32,
+            src: one,
+        });
+        b.push(Inst::Move {
+            dst: t,
+            ty: ScalarType::I32,
+            src: two,
+        });
         let r = b.bin(BinOp::Add, ScalarType::I32, t, t);
         b.ret(Some(r));
         let mut f = b.finish();
         fold_function(&mut f);
-        let rdef = f.block(f.entry).insts.iter().find(|i| i.dst() == Some(r)).unwrap();
-        assert!(matches!(rdef, Inst::Bin { .. }), "must not fold through a multi-def register");
+        let rdef = f
+            .block(f.entry)
+            .insts
+            .iter()
+            .find(|i| i.dst() == Some(r))
+            .unwrap();
+        assert!(
+            matches!(rdef, Inst::Bin { .. }),
+            "must not fold through a multi-def register"
+        );
         assert_eq!(rdef.uses(), vec![t, t]);
         let _ = VReg(0);
     }
@@ -253,7 +312,12 @@ mod tests {
         b.ret(Some(q));
         let mut f = b.finish();
         fold_function(&mut f);
-        let qdef = f.block(f.entry).insts.iter().find(|i| i.dst() == Some(q)).unwrap();
+        let qdef = f
+            .block(f.entry)
+            .insts
+            .iter()
+            .find(|i| i.dst() == Some(q))
+            .unwrap();
         assert!(matches!(qdef, Inst::Bin { op: BinOp::Div, .. }));
     }
 }

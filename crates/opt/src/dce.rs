@@ -72,9 +72,17 @@ mod tests {
         b.ret(None);
         let mut f = b.finish();
         eliminate_dead_code(&mut f);
-        let kinds: Vec<_> = f.block(f.entry).insts.iter().map(splitc_vbc::format_inst).collect();
+        let kinds: Vec<_> = f
+            .block(f.entry)
+            .insts
+            .iter()
+            .map(splitc_vbc::format_inst)
+            .collect();
         assert!(kinds.iter().any(|s| s.starts_with("store")));
-        assert!(!kinds.iter().any(|s| s.contains("= load")), "dead load should go: {kinds:?}");
+        assert!(
+            !kinds.iter().any(|s| s.contains("= load")),
+            "dead load should go: {kinds:?}"
+        );
     }
 
     #[test]

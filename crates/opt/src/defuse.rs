@@ -25,7 +25,10 @@ impl DefUse {
         let mut uses = vec![Vec::new(); f.num_vregs()];
         for block in &f.blocks {
             for (index, inst) in block.insts.iter().enumerate() {
-                let pos = InstPos { block: block.id, index };
+                let pos = InstPos {
+                    block: block.id,
+                    index,
+                };
                 if let Some(d) = inst.dst() {
                     defs[d.index()].push(pos);
                 }
@@ -71,7 +74,7 @@ impl DefUse {
 /// # Panics
 ///
 /// Panics if `pos` is out of range for `f`.
-pub fn inst_at<'f>(f: &'f Function, pos: InstPos) -> &'f Inst {
+pub fn inst_at(f: &Function, pos: InstPos) -> &Inst {
     &f.block(pos.block).insts[pos.index]
 }
 
@@ -103,7 +106,10 @@ mod tests {
         assert!(!du.is_dead(one));
 
         let def_z = du.single_def(z).unwrap();
-        assert!(matches!(inst_at(&f, def_z), Inst::Bin { op: BinOp::Mul, .. }));
+        assert!(matches!(
+            inst_at(&f, def_z),
+            Inst::Bin { op: BinOp::Mul, .. }
+        ));
     }
 
     #[test]
@@ -112,8 +118,16 @@ mod tests {
         let t = b.new_vreg(ScalarType::I32);
         let a = b.const_int(ScalarType::I32, 1);
         let c = b.const_int(ScalarType::I32, 2);
-        b.push(Inst::Move { dst: t, ty: ScalarType::I32, src: a });
-        b.push(Inst::Move { dst: t, ty: ScalarType::I32, src: c });
+        b.push(Inst::Move {
+            dst: t,
+            ty: ScalarType::I32,
+            src: a,
+        });
+        b.push(Inst::Move {
+            dst: t,
+            ty: ScalarType::I32,
+            src: c,
+        });
         b.ret(None);
         let f = b.finish();
         let du = DefUse::compute(&f);

@@ -58,7 +58,10 @@ impl Dominators {
                 }
             }
         }
-        Dominators { idom, entry: f.entry }
+        Dominators {
+            idom,
+            entry: f.entry,
+        }
     }
 
     /// The immediate dominator of `b` (the entry's idom is itself).
@@ -122,7 +125,11 @@ mod tests {
         let f = diamond_with_loop();
         let dom = Dominators::compute(&f);
         for blk in &f.blocks {
-            assert!(dom.dominates(f.entry, blk.id), "entry should dominate {}", blk.id);
+            assert!(
+                dom.dominates(f.entry, blk.id),
+                "entry should dominate {}",
+                blk.id
+            );
         }
     }
 
@@ -142,7 +149,9 @@ mod tests {
     fn self_domination_and_unreachable_blocks() {
         let mut f = diamond_with_loop();
         let dead = f.new_block();
-        f.block_mut(dead).insts.push(splitc_vbc::Inst::Ret { value: None });
+        f.block_mut(dead)
+            .insts
+            .push(splitc_vbc::Inst::Ret { value: None });
         let dom = Dominators::compute(&f);
         assert!(dom.dominates(BlockId(3), BlockId(3)));
         assert!(!dom.is_reachable(dead));

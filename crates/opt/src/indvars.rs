@@ -48,7 +48,10 @@ pub fn is_loop_invariant(l: &Loop, du: &DefUse, r: VReg) -> bool {
 pub fn constant_of(f: &Function, du: &DefUse, r: VReg) -> Option<i64> {
     let pos = du.single_def(r)?;
     match inst_at(f, pos) {
-        Inst::Const { imm: Immediate::Int(v), .. } => Some(*v),
+        Inst::Const {
+            imm: Immediate::Int(v),
+            ..
+        } => Some(*v),
         _ => None,
     }
 }
@@ -84,7 +87,13 @@ pub fn induction_variables(f: &Function, l: &Loop, du: &DefUse) -> Vec<Induction
         if !l.contains(add_pos.block) {
             continue;
         }
-        let Inst::Bin { op: BinOp::Add, lhs, rhs, .. } = inst_at(f, add_pos) else {
+        let Inst::Bin {
+            op: BinOp::Add,
+            lhs,
+            rhs,
+            ..
+        } = inst_at(f, add_pos)
+        else {
             continue;
         };
         let step = if *lhs == reg {
@@ -122,7 +131,12 @@ pub fn induction_variables(f: &Function, l: &Loop, du: &DefUse) -> Vec<Induction
 /// ```
 pub fn loop_bound(f: &Function, l: &Loop, du: &DefUse, ivs: &[InductionVar]) -> Option<LoopBound> {
     let header = f.block(l.header);
-    let Some(Inst::Branch { cond, then_bb, else_bb }) = header.terminator() else {
+    let Some(Inst::Branch {
+        cond,
+        then_bb,
+        else_bb,
+    }) = header.terminator()
+    else {
         return None;
     };
     let cond_pos = du.single_def(*cond)?;

@@ -137,8 +137,16 @@ mod tests {
         let acc = b.new_vreg(ScalarType::I32);
         let i = b.new_vreg(ScalarType::I32);
         let z = b.const_int(ScalarType::I32, 0);
-        b.push(Inst::Move { dst: acc, ty: ScalarType::I32, src: z });
-        b.push(Inst::Move { dst: i, ty: ScalarType::I32, src: z });
+        b.push(Inst::Move {
+            dst: acc,
+            ty: ScalarType::I32,
+            src: z,
+        });
+        b.push(Inst::Move {
+            dst: i,
+            ty: ScalarType::I32,
+            src: z,
+        });
         let header = b.new_block();
         let body = b.new_block();
         let exit = b.new_block();
@@ -148,10 +156,18 @@ mod tests {
         b.branch(c, body, exit);
         b.switch_to(body);
         let t = b.bin(BinOp::Add, ScalarType::I32, acc, i);
-        b.push(Inst::Move { dst: acc, ty: ScalarType::I32, src: t });
+        b.push(Inst::Move {
+            dst: acc,
+            ty: ScalarType::I32,
+            src: t,
+        });
         let one = b.const_int(ScalarType::I32, 1);
         let i2 = b.bin(BinOp::Add, ScalarType::I32, i, one);
-        b.push(Inst::Move { dst: i, ty: ScalarType::I32, src: i2 });
+        b.push(Inst::Move {
+            dst: i,
+            ty: ScalarType::I32,
+            src: i2,
+        });
         b.jump(header);
         b.switch_to(exit);
         b.ret(Some(acc));
@@ -180,9 +196,14 @@ mod tests {
         for blk in &f.blocks {
             for inst in &blk.insts {
                 if let Some(d) = inst.dst() {
-                    if du.defs(d).len() == 1 && du.uses(d).iter().all(|p| p.block == blk.id) && blk.id == body
+                    if du.defs(d).len() == 1
+                        && du.uses(d).iter().all(|p| p.block == blk.id)
+                        && blk.id == body
                     {
-                        assert!(!live.live_out(body).contains(&d), "{d} should die in the body");
+                        assert!(
+                            !live.live_out(body).contains(&d),
+                            "{d} should die in the body"
+                        );
                     }
                 }
             }

@@ -155,7 +155,10 @@ mod tests {
             assert!(seen.insert(*r), "register {r} ranked twice");
             assert!((*r as usize) < f.num_vregs());
         }
-        assert!(order.max_pressure >= 10, "the polynomial kernel is register-hungry");
+        assert!(
+            order.max_pressure >= 10,
+            "the polynomial kernel is register-hungry"
+        );
     }
 
     #[test]
@@ -174,11 +177,8 @@ mod tests {
 
     #[test]
     fn annotation_round_trips_through_the_module() {
-        let mut m = compile_source(
-            "fn f(a: i32, b: i32) -> i32 { return a * b + a - b; }",
-            "t",
-        )
-        .unwrap();
+        let mut m =
+            compile_source("fn f(a: i32, b: i32) -> i32 { return a * b + a - b; }", "t").unwrap();
         assert_eq!(annotate_spill_orders(&mut m), 1);
         let stored = m.function("f").unwrap().annotations.spill_order().unwrap();
         assert_eq!(stored, compute_spill_order(m.function("f").unwrap()));

@@ -24,11 +24,13 @@
 //! same element `p[i]`, i.e. an in-place update.
 
 use crate::defuse::{inst_at, DefUse, InstPos};
-use crate::indvars::{constant_of, induction_variables, is_loop_invariant, loop_bound, InductionVar, LoopBound};
+use crate::indvars::{
+    constant_of, induction_variables, is_loop_invariant, loop_bound, InductionVar, LoopBound,
+};
 use crate::loops::{Loop, LoopForest};
 use splitc_vbc::{
-    BinOp, BlockId, CmpOp, Function, Immediate, Inst, Module, ReduceOp, ScalarType, Type,
-    VectorizedLoop, VReg,
+    BinOp, BlockId, CmpOp, Function, Immediate, Inst, Module, ReduceOp, ScalarType, Type, VReg,
+    VectorizedLoop,
 };
 use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 
@@ -118,7 +120,9 @@ pub fn vectorize_function(f: &mut Function) -> VectorizeReport {
         handled.insert(plan.header);
         let vec_body = transform(f, &plan);
         handled.insert(vec_body.1);
-        report.vectorized.push((plan.header, plan.elem, !plan.reductions.is_empty()));
+        report
+            .vectorized
+            .push((plan.header, plan.elem, !plan.reductions.is_empty()));
 
         let mut summary = f.annotations.vectorization().unwrap_or_default();
         summary.loops.push(VectorizedLoop {
@@ -206,7 +210,14 @@ fn analyze_address(
         .filter(|p| l.contains(p.block))
         .ok_or("address is not computed inside the loop")?;
     slice.push(add_pos);
-    let Inst::Bin { op: BinOp::Add, ty: ScalarType::Ptr, lhs, rhs, .. } = inst_at(f, add_pos) else {
+    let Inst::Bin {
+        op: BinOp::Add,
+        ty: ScalarType::Ptr,
+        lhs,
+        rhs,
+        ..
+    } = inst_at(f, add_pos)
+    else {
         return Err("address is not base+offset".into());
     };
     // One side is the loop-invariant base, the other the scaled index.
@@ -230,7 +241,13 @@ fn analyze_address(
         .filter(|p| l.contains(p.block))
         .ok_or("index scaling not computed in the loop")?;
     slice.push(mul_pos);
-    let Inst::Bin { op: BinOp::Mul, lhs: ml, rhs: mr, .. } = inst_at(f, mul_pos) else {
+    let Inst::Bin {
+        op: BinOp::Mul,
+        lhs: ml,
+        rhs: mr,
+        ..
+    } = inst_at(f, mul_pos)
+    else {
         return Err("index is not scaled by a multiplication".into());
     };
     let (idx, scale_reg, scale) = if let Some(c) = constant_of(f, du, *mr) {
@@ -274,12 +291,7 @@ fn analyze_address(
     Ok((base, slice))
 }
 
-fn analyze_loop(
-    f: &Function,
-    l: &Loop,
-    du: &DefUse,
-    work: &mut u64,
-) -> Result<Plan, String> {
+fn analyze_loop(f: &Function, l: &Loop, du: &DefUse, work: &mut u64) -> Result<Plan, String> {
     // Structural shape: exactly header + one body block.
     if l.blocks.len() != 2 {
         return Err(format!("loop has {} blocks, expected 2", l.blocks.len()));
@@ -302,7 +314,10 @@ fn analyze_loop(
         .find(|iv| iv.reg == bound.iv)
         .ok_or("loop bound does not test the induction variable")?;
     if iv.step != 1 {
-        return Err(format!("induction step is {}, only unit stride is vectorized", iv.step));
+        return Err(format!(
+            "induction step is {}, only unit stride is vectorized",
+            iv.step
+        ));
     }
     if bound.cmp != CmpOp::Lt {
         return Err("only `<` loop bounds are vectorized".into());
@@ -336,14 +351,21 @@ fn analyze_loop(
             continue;
         };
         // Accumulator: defined outside the loop, updated exactly once inside.
-        let defs_inside: Vec<_> = du.defs(*acc).iter().filter(|p| l.contains(p.block)).collect();
+        let defs_inside: Vec<_> = du
+            .defs(*acc)
+            .iter()
+            .filter(|p| l.contains(p.block))
+            .collect();
         if defs_inside.len() != 1 || !du.defs(*acc).iter().any(|p| !l.contains(p.block)) {
             continue;
         }
         let Some(bin_pos) = du.single_def(*src).filter(|p| p.block == body) else {
             continue;
         };
-        let Inst::Bin { op, ty, lhs, rhs, .. } = inst_at(f, bin_pos) else {
+        let Inst::Bin {
+            op, ty, lhs, rhs, ..
+        } = inst_at(f, bin_pos)
+        else {
             continue;
         };
         if reduce_op(*op).is_none() {
@@ -386,7 +408,12 @@ fn analyze_loop(
     for (index, inst) in body_insts.iter().enumerate() {
         let pos = InstPos { block: body, index };
         match inst {
-            Inst::Load { ty, addr, offset, .. } | Inst::Store { ty, addr, offset, .. } => {
+            Inst::Load {
+                ty, addr, offset, ..
+            }
+            | Inst::Store {
+                ty, addr, offset, ..
+            } => {
                 if *offset != 0 {
                     return Err("displaced accesses are not vectorized".into());
                 }
@@ -430,7 +457,11 @@ fn analyze_loop(
             Inst::Move { dst, .. } => {
                 // A per-iteration local variable: every definition and use must
                 // stay inside the body, otherwise it is a scalar live-out.
-                let all_inside = du.defs(*dst).iter().chain(du.uses(*dst)).all(|p| p.block == body);
+                let all_inside = du
+                    .defs(*dst)
+                    .iter()
+                    .chain(du.uses(*dst))
+                    .all(|p| p.block == body);
                 if !all_inside {
                     return Err("scalar value is live out of the loop".into());
                 }
@@ -518,7 +549,9 @@ fn transform(f: &mut Function, plan: &Plan) -> (BlockId, BlockId) {
         .expect("preheader has a terminator");
     match pre_term {
         Inst::Jump { target } if *target == plan.header => *target = vec_pre,
-        Inst::Branch { then_bb, else_bb, .. } => {
+        Inst::Branch {
+            then_bb, else_bb, ..
+        } => {
             if *then_bb == plan.header {
                 *then_bb = vec_pre;
             }
@@ -608,10 +641,11 @@ fn transform(f: &mut Function, plan: &Plan) -> (BlockId, BlockId) {
     }
     // Reduction sources may also be loop-invariant (degenerate but legal).
     for red in &plan.reductions {
-        let defined_in_body = body_insts
-            .iter()
-            .enumerate()
-            .any(|(i, bi)| !plan.address_slice.contains(&i) && bi.dst() == Some(red.other) && !plan.skip.contains(&i));
+        let defined_in_body = body_insts.iter().enumerate().any(|(i, bi)| {
+            !plan.address_slice.contains(&i)
+                && bi.dst() == Some(red.other)
+                && !plan.skip.contains(&i)
+        });
         if !defined_in_body && !splats.contains_key(&red.other) {
             needs_splat.push(red.other);
             splats.insert(red.other, VReg(u32::MAX));
@@ -620,7 +654,11 @@ fn transform(f: &mut Function, plan: &Plan) -> (BlockId, BlockId) {
     for r in needs_splat {
         let src = if let Some(imm) = const_in_body.get(&r) {
             let c = f.new_vreg(Type::Scalar(elem));
-            pre.push(Inst::Const { dst: c, ty: elem, imm: *imm });
+            pre.push(Inst::Const {
+                dst: c,
+                ty: elem,
+                imm: *imm,
+            });
             c
         } else {
             r
@@ -697,7 +735,12 @@ fn transform(f: &mut Function, plan: &Plan) -> (BlockId, BlockId) {
             continue;
         }
         match inst {
-            Inst::Load { dst, ty, addr, offset } => {
+            Inst::Load {
+                dst,
+                ty,
+                addr,
+                offset,
+            } => {
                 let vaddr = *regmap.get(addr).unwrap_or(addr);
                 let vdst = f.new_vreg(Type::Vector(*ty));
                 vbody.push(Inst::VecLoad {
@@ -709,7 +752,12 @@ fn transform(f: &mut Function, plan: &Plan) -> (BlockId, BlockId) {
                 regmap.insert(*dst, vdst);
                 vector_regs.insert(vdst);
             }
-            Inst::Store { ty, addr, offset, value } => {
+            Inst::Store {
+                ty,
+                addr,
+                offset,
+                value,
+            } => {
                 let vaddr = *regmap.get(addr).unwrap_or(addr);
                 let vvalue = vec_operand(*value, &regmap, &vector_regs, &splats);
                 vbody.push(Inst::VecStore {
@@ -719,7 +767,13 @@ fn transform(f: &mut Function, plan: &Plan) -> (BlockId, BlockId) {
                     value: vvalue,
                 });
             }
-            Inst::Bin { op, ty, dst, lhs, rhs } => {
+            Inst::Bin {
+                op,
+                ty,
+                dst,
+                lhs,
+                rhs,
+            } => {
                 let vl_ = vec_operand(*lhs, &regmap, &vector_regs, &splats);
                 let vr = vec_operand(*rhs, &regmap, &vector_regs, &splats);
                 let vdst = f.new_vreg(Type::Vector(*ty));
@@ -788,7 +842,9 @@ fn transform(f: &mut Function, plan: &Plan) -> (BlockId, BlockId) {
             rhs: partial,
         });
     }
-    minsts.push(Inst::Jump { target: plan.header });
+    minsts.push(Inst::Jump {
+        target: plan.header,
+    });
     f.block_mut(merge).insts = minsts;
 
     (vec_body, vec_header)
@@ -874,7 +930,12 @@ mod tests {
             interp
                 .run(
                     "saxpy",
-                    &[Value::Int(n as i64), Value::Float(2.5), Value::Int(x as i64), Value::Int(y as i64)],
+                    &[
+                        Value::Int(n as i64),
+                        Value::Float(2.5),
+                        Value::Int(x as i64),
+                        Value::Int(y as i64),
+                    ],
                     &mut mem,
                 )
                 .unwrap();
@@ -900,7 +961,11 @@ mod tests {
             mem.write_u8s(x, &data);
             let mut interp = Interpreter::new(module);
             interp
-                .run("max_u8", &[Value::Int(n as i64), Value::Int(x as i64)], &mut mem)
+                .run(
+                    "max_u8",
+                    &[Value::Int(n as i64), Value::Int(x as i64)],
+                    &mut mem,
+                )
                 .unwrap()
         };
         assert_eq!(run(&scalar), run(&m));
@@ -930,7 +995,11 @@ mod tests {
             mem.write_u16s(x, &data);
             let mut interp = Interpreter::new(module);
             interp
-                .run("sum_u16", &[Value::Int(n as i64), Value::Int(x as i64)], &mut mem)
+                .run(
+                    "sum_u16",
+                    &[Value::Int(n as i64), Value::Int(x as i64)],
+                    &mut mem,
+                )
                 .unwrap()
         };
         assert_eq!(run(&scalar), run(&m));
@@ -946,7 +1015,10 @@ mod tests {
         let mut m = compile(strided);
         let report = vectorize_function(m.function_mut("k").unwrap());
         assert_eq!(report.count(), 0);
-        assert!(report.rejected.iter().any(|(_, r)| r.contains("unit stride")));
+        assert!(report
+            .rejected
+            .iter()
+            .any(|(_, r)| r.contains("unit stride")));
 
         let gather = r#"
             fn k(n: i32, x: *f32, idx: *i32) {

@@ -1,0 +1,501 @@
+//! The shared, cached execution layer of the runtime.
+//!
+//! Split compilation (Cohen & Rohou, DAC 2010) only pays off if the expensive
+//! work happens **once**: the offline compiler analyzes and annotates a module
+//! a single time, and the online step for each concrete core stays cheap. The
+//! [`ExecutionEngine`] enforces the same discipline at run time: it owns one
+//! deployed module (behind an [`Arc`], so deployments can be shared) and a
+//! code cache keyed by `(target fingerprint, [`JitOptions`])`, so each
+//! distinct (core type, JIT configuration) pair is compiled **exactly once**
+//! no matter how many kernels, repeats or cores ask for it. Compiled programs
+//! are handed out as [`Arc<CompiledModule>`] — nothing is ever recompiled or
+//! cloned on the hot path.
+//!
+//! The engine is `Send + Sync`: the cache sits behind a mutex and the
+//! [`CacheStats`] counters are atomic, so future work can fan kernel
+//! executions out across threads against one shared engine.
+//!
+//! # Example
+//!
+//! ```
+//! use splitc_minic::compile_source;
+//! use splitc_jit::JitOptions;
+//! use splitc_runtime::ExecutionEngine;
+//! use splitc_targets::{MachineValue, TargetDesc};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let module = compile_source(
+//!     "fn triple(x: i32) -> i32 { return 3 * x; }",
+//!     "kernels",
+//! )?;
+//! let engine = ExecutionEngine::new(module);
+//!
+//! let target = TargetDesc::powerpc();
+//! let mut mem = vec![0u8; 64];
+//! for _ in 0..10 {
+//!     let run = engine.run(&target, &JitOptions::split(), "triple", &[MachineValue::Int(14)], &mut mem)?;
+//!     assert_eq!(run.result, Some(MachineValue::Int(42)));
+//! }
+//! // Ten runs, one online compilation.
+//! assert_eq!(engine.stats().compiles, 1);
+//! assert_eq!(engine.stats().hits, 9);
+//! # Ok(())
+//! # }
+//! ```
+
+use splitc_jit::{compile_module, JitError, JitOptions, JitStats};
+use splitc_minic::CompileError;
+use splitc_targets::{MProgram, MachineValue, SimError, SimStats, Simulator, TargetDesc};
+use splitc_vbc::Module;
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// Any error that can occur along the offline/online pipeline or at run time.
+///
+/// This is the single error type of the whole execution stack; the historical
+/// `PipelineError` (core) and `RuntimeError` (runtime) names are aliases of
+/// it, so both halves of the system report failures identically.
+#[derive(Debug)]
+pub enum EngineError {
+    /// Front-end (mini-C) error during the offline step.
+    Frontend(CompileError),
+    /// Online compilation failed.
+    Jit(JitError),
+    /// Simulated execution failed.
+    Sim(SimError),
+    /// The requested kernel does not exist in the deployed module.
+    UnknownKernel(String),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Frontend(e) => write!(f, "front-end error: {e}"),
+            EngineError::Jit(e) => write!(f, "online compilation failed: {e}"),
+            EngineError::Sim(e) => write!(f, "simulated execution failed: {e}"),
+            EngineError::UnknownKernel(k) => write!(f, "unknown kernel {k}"),
+        }
+    }
+}
+
+impl Error for EngineError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            EngineError::Frontend(e) => Some(e),
+            EngineError::Jit(e) => Some(e),
+            EngineError::Sim(e) => Some(e),
+            EngineError::UnknownKernel(_) => None,
+        }
+    }
+}
+
+impl From<CompileError> for EngineError {
+    fn from(e: CompileError) -> Self {
+        EngineError::Frontend(e)
+    }
+}
+
+impl From<JitError> for EngineError {
+    fn from(e: JitError) -> Self {
+        EngineError::Jit(e)
+    }
+}
+
+impl From<SimError> for EngineError {
+    fn from(e: SimError) -> Self {
+        EngineError::Sim(e)
+    }
+}
+
+/// One online compilation of the deployed module for one (target, options)
+/// pair: the machine program plus the JIT statistics of producing it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CompiledModule {
+    /// The generated machine program.
+    pub program: MProgram,
+    /// Cost and outcome of the online compilation that produced it.
+    pub jit: JitStats,
+}
+
+/// Result of executing one kernel once.
+///
+/// This unifies the historical `RunMeasurement` (core) and `RunOutcome`
+/// (runtime) result types — both names remain as aliases.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Execution {
+    /// The kernel's return value, if any.
+    pub result: Option<MachineValue>,
+    /// Raw simulator statistics (cycles, instructions, memory traffic, spills).
+    pub stats: SimStats,
+    /// Online compilation statistics for the module on this target (cached:
+    /// the same values are reported for every run that reuses the program).
+    pub jit: JitStats,
+    /// Cycles scaled by the target's clock factor, comparable across cores.
+    pub scaled_cycles: f64,
+}
+
+impl Execution {
+    /// Dynamic spill traffic (stores plus reloads) observed during execution.
+    pub fn spill_ops(&self) -> u64 {
+        self.stats.spill_stores + self.stats.spill_reloads
+    }
+}
+
+/// Code-cache counters of an [`ExecutionEngine`].
+///
+/// `compiles + hits` is the total number of program lookups; the difference
+/// between the two is the amortization story of the paper: after the first
+/// run per (target, options) pair, the online compiler never runs again.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Online compilations performed (cache misses).
+    pub compiles: u64,
+    /// Lookups served from the cache without compiling.
+    pub hits: u64,
+}
+
+impl std::ops::AddAssign for CacheStats {
+    fn add_assign(&mut self, other: CacheStats) {
+        self.compiles += other.compiles;
+        self.hits += other.hits;
+    }
+}
+
+impl CacheStats {
+    /// Total lookups (compiles plus hits).
+    pub fn lookups(&self) -> u64 {
+        self.compiles + self.hits
+    }
+
+    /// Fraction of lookups served from the cache (0.0 when there were none).
+    pub fn hit_rate(&self) -> f64 {
+        if self.lookups() == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.lookups() as f64
+        }
+    }
+}
+
+/// A deployed module plus a shared cache of online-compiled code.
+///
+/// See the [module documentation](self) for the full story; in short, the
+/// engine guarantees one online compilation per distinct
+/// `(target fingerprint, JitOptions)` pair for the lifetime of the
+/// deployment, and shares the compiled programs via [`Arc`].
+#[derive(Debug)]
+pub struct ExecutionEngine {
+    module: Arc<Module>,
+    cache: Mutex<HashMap<(u64, JitOptions), Arc<CompiledModule>>>,
+    compiles: AtomicU64,
+    hits: AtomicU64,
+}
+
+impl ExecutionEngine {
+    /// Deploy `module` into a fresh engine with an empty code cache.
+    pub fn new(module: Module) -> Self {
+        ExecutionEngine::from_arc(Arc::new(module))
+    }
+
+    /// Deploy an already-shared module without cloning it.
+    pub fn from_arc(module: Arc<Module>) -> Self {
+        ExecutionEngine {
+            module,
+            cache: Mutex::new(HashMap::new()),
+            compiles: AtomicU64::new(0),
+            hits: AtomicU64::new(0),
+        }
+    }
+
+    /// The deployed bytecode module.
+    pub fn module(&self) -> &Module {
+        &self.module
+    }
+
+    /// The deployed module as a shareable handle.
+    pub fn module_arc(&self) -> Arc<Module> {
+        Arc::clone(&self.module)
+    }
+
+    /// Compile the module for `target` under `options`, or fetch the program
+    /// from the cache. Exactly one compilation ever happens per distinct
+    /// `(target fingerprint, options)` pair.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Jit`] if online compilation fails.
+    pub fn program_for(
+        &self,
+        target: &TargetDesc,
+        options: &JitOptions,
+    ) -> Result<Arc<CompiledModule>, EngineError> {
+        let key = (target.fingerprint(), *options);
+        let mut cache = self.cache.lock().expect("engine cache poisoned");
+        if let Some(compiled) = cache.get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(Arc::clone(compiled));
+        }
+        // Compile under the lock: a concurrent request for the same pair
+        // waits instead of duplicating the work (cold compiles for different
+        // targets serialize too, which a future PR can shard if it matters).
+        let (program, jit) = compile_module(&self.module, target, options)?;
+        let compiled = Arc::new(CompiledModule { program, jit });
+        cache.insert(key, Arc::clone(&compiled));
+        self.compiles.fetch_add(1, Ordering::Relaxed);
+        Ok(compiled)
+    }
+
+    /// JIT statistics for `target` under `options` (compiling on demand).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EngineError::Jit`] if online compilation fails.
+    pub fn jit_stats(
+        &self,
+        target: &TargetDesc,
+        options: &JitOptions,
+    ) -> Result<JitStats, EngineError> {
+        Ok(self.program_for(target, options)?.jit)
+    }
+
+    /// Warm the cache for every target in `targets` under `options`.
+    ///
+    /// Experiments call this before their measurement loops so that no online
+    /// compilation happens inside the measured region.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`EngineError::Jit`] encountered.
+    pub fn precompile<'t>(
+        &self,
+        targets: impl IntoIterator<Item = &'t TargetDesc>,
+        options: &JitOptions,
+    ) -> Result<(), EngineError> {
+        for target in targets {
+            self.program_for(target, options)?;
+        }
+        Ok(())
+    }
+
+    /// Run `kernel` with `args` against `mem` on `target` under `options`,
+    /// compiling (once) on demand.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the kernel is unknown, the module cannot be compiled for the
+    /// target, or the kernel traps during simulation.
+    pub fn run(
+        &self,
+        target: &TargetDesc,
+        options: &JitOptions,
+        kernel: &str,
+        args: &[MachineValue],
+        mem: &mut [u8],
+    ) -> Result<Execution, EngineError> {
+        if self.module.function(kernel).is_none() {
+            return Err(EngineError::UnknownKernel(kernel.to_owned()));
+        }
+        let compiled = self.program_for(target, options)?;
+        simulate(&compiled.program, compiled.jit, target, kernel, args, mem)
+    }
+
+    /// One-shot execution without a deployment: compile `module` for
+    /// `target` afresh (no cache) and run `kernel` once.
+    ///
+    /// This backs `splitc`'s `run_on_target` convenience wrapper; anything
+    /// that runs more than once should deploy an engine instead so the
+    /// compilation is amortized.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ExecutionEngine::run`].
+    pub fn run_once(
+        module: &Module,
+        target: &TargetDesc,
+        options: &JitOptions,
+        kernel: &str,
+        args: &[MachineValue],
+        mem: &mut [u8],
+    ) -> Result<Execution, EngineError> {
+        if module.function(kernel).is_none() {
+            return Err(EngineError::UnknownKernel(kernel.to_owned()));
+        }
+        let (program, jit) = compile_module(module, target, options)?;
+        simulate(&program, jit, target, kernel, args, mem)
+    }
+
+    /// Code-cache counters since deployment.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            compiles: self.compiles.load(Ordering::Relaxed),
+            hits: self.hits.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Number of distinct (target, options) pairs compiled so far.
+    pub fn compiled_variants(&self) -> usize {
+        self.cache.lock().expect("engine cache poisoned").len()
+    }
+}
+
+/// Simulate one kernel execution of an already-compiled program and assemble
+/// the unified [`Execution`] record (shared by the cached and one-shot paths).
+fn simulate(
+    program: &MProgram,
+    jit: JitStats,
+    target: &TargetDesc,
+    kernel: &str,
+    args: &[MachineValue],
+    mem: &mut [u8],
+) -> Result<Execution, EngineError> {
+    let mut sim = Simulator::new(program, target);
+    let result = sim.run(kernel, args, mem)?;
+    let stats = sim.stats();
+    Ok(Execution {
+        result,
+        stats,
+        jit,
+        scaled_cycles: stats.cycles as f64 * target.clock_scale,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use splitc_minic::compile_source;
+    use splitc_opt::{optimize_module, OptOptions};
+
+    fn deployed() -> ExecutionEngine {
+        let mut m = compile_source(
+            "fn dscal(n: i32, a: f32, x: *f32) {
+                for (let i: i32 = 0; i < n; i = i + 1) { x[i] = a * x[i]; }
+            }
+            fn triple(x: i32) -> i32 { return 3 * x; }",
+            "k",
+        )
+        .unwrap();
+        optimize_module(&mut m, &OptOptions::full());
+        ExecutionEngine::new(m)
+    }
+
+    #[test]
+    fn engine_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ExecutionEngine>();
+    }
+
+    #[test]
+    fn one_compile_per_target_and_options_pair() {
+        let engine = deployed();
+        let targets = [TargetDesc::x86_sse(), TargetDesc::powerpc()];
+        let configs = [JitOptions::split(), JitOptions::online_greedy()];
+        let mut mem = vec![0u8; 256];
+        for _ in 0..5 {
+            for target in &targets {
+                for options in &configs {
+                    let run = engine
+                        .run(target, options, "triple", &[MachineValue::Int(7)], &mut mem)
+                        .unwrap();
+                    assert_eq!(run.result, Some(MachineValue::Int(21)));
+                }
+            }
+        }
+        let stats = engine.stats();
+        assert_eq!(stats.compiles, (targets.len() * configs.len()) as u64);
+        assert_eq!(stats.lookups(), 5 * 2 * 2);
+        assert_eq!(stats.hits, stats.lookups() - stats.compiles);
+        assert_eq!(engine.compiled_variants(), 4);
+        assert!(stats.hit_rate() > 0.7);
+    }
+
+    #[test]
+    fn cores_with_equal_fingerprints_share_code() {
+        let engine = deployed();
+        let options = JitOptions::split();
+        let a = engine
+            .program_for(&TargetDesc::cell_spu(), &options)
+            .unwrap();
+        let b = engine
+            .program_for(&TargetDesc::cell_spu(), &options)
+            .unwrap();
+        assert!(
+            Arc::ptr_eq(&a, &b),
+            "identical targets must share one Arc'd program"
+        );
+        assert_eq!(engine.stats().compiles, 1);
+    }
+
+    #[test]
+    fn precompile_moves_all_compilation_out_of_the_run_path() {
+        let engine = deployed();
+        let targets = TargetDesc::table1_targets();
+        let options = JitOptions::split();
+        engine.precompile(&targets, &options).unwrap();
+        let compiled_before = engine.stats().compiles;
+        let mut mem = vec![0u8; 256];
+        for target in &targets {
+            engine
+                .run(
+                    target,
+                    &options,
+                    "triple",
+                    &[MachineValue::Int(1)],
+                    &mut mem,
+                )
+                .unwrap();
+        }
+        assert_eq!(
+            engine.stats().compiles,
+            compiled_before,
+            "runs must all be cache hits"
+        );
+    }
+
+    #[test]
+    fn unknown_kernels_are_rejected_without_compiling() {
+        let engine = deployed();
+        let mut mem = vec![0u8; 64];
+        let err = engine
+            .run(
+                &TargetDesc::x86_sse(),
+                &JitOptions::split(),
+                "nope",
+                &[],
+                &mut mem,
+            )
+            .unwrap_err();
+        assert!(matches!(err, EngineError::UnknownKernel(_)));
+        assert!(err.to_string().contains("nope"));
+        assert_eq!(engine.stats().lookups(), 0);
+    }
+
+    #[test]
+    fn engine_can_be_shared_across_threads() {
+        let engine = std::sync::Arc::new(deployed());
+        let handles: Vec<_> = (0..4)
+            .map(|i| {
+                let engine = std::sync::Arc::clone(&engine);
+                std::thread::spawn(move || {
+                    let mut mem = vec![0u8; 256];
+                    let run = engine
+                        .run(
+                            &TargetDesc::x86_sse(),
+                            &JitOptions::split(),
+                            "triple",
+                            &[MachineValue::Int(i)],
+                            &mut mem,
+                        )
+                        .unwrap();
+                    assert_eq!(run.result, Some(MachineValue::Int(3 * i)));
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(engine.stats().compiles, 1, "four threads, one compilation");
+    }
+}

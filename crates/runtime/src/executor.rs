@@ -1,80 +1,45 @@
-//! Deploy-and-run helper: JIT compilation per core type plus simulation.
+//! Deploy-and-run helper: a core-oriented view over the execution engine.
 //!
 //! The executor is the piece of the runtime that makes "write once, run on any
-//! core" concrete: it holds one bytecode module, lazily JIT-compiles it for
-//! every distinct core type it is asked to run on (caching the result, like a
-//! real virtual machine would), and executes kernels on the core's simulator.
+//! core" concrete. It is a thin facade over [`ExecutionEngine`]: it pins one
+//! JIT configuration at deployment time and addresses execution by
+//! [`Core`] instead of by raw target description, so platform code can say
+//! "run this kernel on spu2" and let the shared cache guarantee that all SPUs
+//! reuse one compiled program.
 
+use crate::engine::{CompiledModule, EngineError, Execution, ExecutionEngine};
 use crate::offload::OffloadCost;
 use crate::platform::Core;
-use splitc_jit::{compile_module, JitOptions, JitStats};
-use splitc_targets::{MProgram, MachineValue, SimStats, Simulator};
+use splitc_jit::{JitOptions, JitStats};
+use splitc_targets::MachineValue;
 use splitc_vbc::Module;
-use std::collections::HashMap;
-use std::error::Error;
-use std::fmt;
+use std::sync::Arc;
 
 /// An error raised while deploying or running a kernel.
-#[derive(Debug)]
-pub enum RuntimeError {
-    /// Online compilation failed.
-    Jit(splitc_jit::JitError),
-    /// Simulated execution failed.
-    Sim(splitc_targets::SimError),
-    /// The requested kernel does not exist in the module.
-    UnknownKernel(String),
-}
-
-impl fmt::Display for RuntimeError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            RuntimeError::Jit(e) => write!(f, "online compilation failed: {e}"),
-            RuntimeError::Sim(e) => write!(f, "simulated execution failed: {e}"),
-            RuntimeError::UnknownKernel(k) => write!(f, "unknown kernel {k}"),
-        }
-    }
-}
-
-impl Error for RuntimeError {}
-
-impl From<splitc_jit::JitError> for RuntimeError {
-    fn from(e: splitc_jit::JitError) -> Self {
-        RuntimeError::Jit(e)
-    }
-}
-
-impl From<splitc_targets::SimError> for RuntimeError {
-    fn from(e: splitc_targets::SimError) -> Self {
-        RuntimeError::Sim(e)
-    }
-}
+///
+/// Alias of the unified [`EngineError`]; kept so runtime-facing code reads
+/// naturally.
+pub type RuntimeError = EngineError;
 
 /// Result of running one kernel on one core.
-#[derive(Debug, Clone, Copy, PartialEq)]
-pub struct RunOutcome {
-    /// The kernel's return value, if any.
-    pub result: Option<MachineValue>,
-    /// Raw simulator statistics.
-    pub stats: SimStats,
-    /// Cycles scaled by the core's clock factor, comparable across cores.
-    pub scaled_cycles: f64,
-}
+///
+/// Alias of the unified [`Execution`] result (which also carries the cached
+/// JIT statistics).
+pub type RunOutcome = Execution;
 
-/// A deployed module: bytecode plus a per-core-type cache of compiled code.
+/// A deployed module: an execution engine plus the deployment's JIT options.
 #[derive(Debug)]
 pub struct Executor {
-    module: Module,
+    engine: ExecutionEngine,
     options: JitOptions,
-    cache: HashMap<String, (MProgram, JitStats)>,
 }
 
 impl Executor {
     /// Deploy `module` with the given online-compilation options.
     pub fn new(module: Module, options: JitOptions) -> Self {
         Executor {
-            module,
+            engine: ExecutionEngine::new(module),
             options,
-            cache: HashMap::new(),
         }
     }
 
@@ -83,31 +48,51 @@ impl Executor {
         Executor::new(module, JitOptions::split())
     }
 
-    /// The deployed bytecode module.
-    pub fn module(&self) -> &Module {
-        &self.module
+    /// The underlying execution engine (for cache statistics or direct use).
+    pub fn engine(&self) -> &ExecutionEngine {
+        &self.engine
     }
 
-    /// Compile (or fetch from cache) the machine code for `core`.
+    /// The JIT options this deployment compiles with.
+    pub fn options(&self) -> &JitOptions {
+        &self.options
+    }
+
+    /// The deployed bytecode module.
+    pub fn module(&self) -> &Module {
+        self.engine.module()
+    }
+
+    /// Compile (or fetch from the shared cache) the machine code for `core`.
     ///
     /// # Errors
     ///
-    /// Returns a [`RuntimeError::Jit`] if online compilation fails.
-    pub fn program_for(&mut self, core: &Core) -> Result<&(MProgram, JitStats), RuntimeError> {
-        if !self.cache.contains_key(&core.target.name) {
-            let compiled = compile_module(&self.module, &core.target, &self.options)?;
-            self.cache.insert(core.target.name.clone(), compiled);
-        }
-        Ok(&self.cache[&core.target.name])
+    /// Returns an [`EngineError::Jit`] if online compilation fails.
+    pub fn program_for(&self, core: &Core) -> Result<Arc<CompiledModule>, RuntimeError> {
+        self.engine.program_for(&core.target, &self.options)
     }
 
     /// JIT statistics for `core` (compiling on demand).
     ///
     /// # Errors
     ///
-    /// Returns a [`RuntimeError::Jit`] if online compilation fails.
-    pub fn jit_stats(&mut self, core: &Core) -> Result<JitStats, RuntimeError> {
-        Ok(self.program_for(core)?.1)
+    /// Returns an [`EngineError::Jit`] if online compilation fails.
+    pub fn jit_stats(&self, core: &Core) -> Result<JitStats, RuntimeError> {
+        self.engine.jit_stats(&core.target, &self.options)
+    }
+
+    /// Warm the code cache for every core of the iterator (e.g. a platform's
+    /// `cores`); cores sharing a target fingerprint compile once.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first compilation error encountered.
+    pub fn precompile<'c>(
+        &self,
+        cores: impl IntoIterator<Item = &'c Core>,
+    ) -> Result<(), RuntimeError> {
+        self.engine
+            .precompile(cores.into_iter().map(|c| &c.target), &self.options)
     }
 
     /// Run `kernel` with `args` against `mem` on `core`.
@@ -117,26 +102,14 @@ impl Executor {
     /// Fails if the kernel is unknown, cannot be compiled for the core, or
     /// traps during simulation.
     pub fn run(
-        &mut self,
+        &self,
         core: &Core,
         kernel: &str,
         args: &[MachineValue],
         mem: &mut [u8],
     ) -> Result<RunOutcome, RuntimeError> {
-        if self.module.function(kernel).is_none() {
-            return Err(RuntimeError::UnknownKernel(kernel.to_owned()));
-        }
-        let clock = core.target.clock_scale;
-        let (program, _) = self.program_for(core)?;
-        let program = program.clone();
-        let mut sim = Simulator::new(&program, &core.target);
-        let result = sim.run(kernel, args, mem)?;
-        let stats = sim.stats();
-        Ok(RunOutcome {
-            result,
-            stats,
-            scaled_cycles: stats.cycles as f64 * clock,
-        })
+        self.engine
+            .run(&core.target, &self.options, kernel, args, mem)
     }
 
     /// Run `kernel` on an accelerator core, accounting for shipping
@@ -145,8 +118,9 @@ impl Executor {
     /// # Errors
     ///
     /// Same conditions as [`Executor::run`].
+    #[allow(clippy::too_many_arguments)]
     pub fn run_offloaded(
-        &mut self,
+        &self,
         core: &Core,
         kernel: &str,
         args: &[MachineValue],
@@ -165,7 +139,7 @@ impl Executor {
 
     /// Number of distinct core types compiled so far.
     pub fn compiled_variants(&self) -> usize {
-        self.cache.len()
+        self.engine.compiled_variants()
     }
 }
 
@@ -190,7 +164,7 @@ mod tests {
 
     #[test]
     fn one_bytecode_runs_on_every_core_of_a_platform() {
-        let mut exec = deployed();
+        let exec = deployed();
         let platform = Platform::cell_blade(2);
         let n = 40usize;
         for core in &platform.cores {
@@ -219,21 +193,38 @@ mod tests {
         }
         // Two distinct core types (PPE and SPU) were compiled, not three.
         assert_eq!(exec.compiled_variants(), 2);
+        assert_eq!(exec.engine().stats().compiles, 2);
+        assert_eq!(
+            exec.engine().stats().hits,
+            1,
+            "the second SPU reused the first's code"
+        );
     }
 
     #[test]
     fn unknown_kernels_are_rejected() {
-        let mut exec = deployed();
+        let exec = deployed();
         let platform = Platform::workstation();
         let mut mem = vec![0u8; 64];
-        let err = exec.run(platform.host(), "nope", &[], &mut mem).unwrap_err();
+        let err = exec
+            .run(platform.host(), "nope", &[], &mut mem)
+            .unwrap_err();
         assert!(matches!(err, RuntimeError::UnknownKernel(_)));
         assert!(err.to_string().contains("nope"));
     }
 
     #[test]
+    fn precompile_covers_duplicate_core_types_once() {
+        let exec = deployed();
+        let platform = Platform::cell_blade(4);
+        exec.precompile(&platform.cores).unwrap();
+        assert_eq!(exec.compiled_variants(), 2);
+        assert_eq!(exec.engine().stats().compiles, 2);
+    }
+
+    #[test]
     fn offload_accounts_for_dma() {
-        let mut exec = deployed();
+        let exec = deployed();
         let platform = Platform::cell_blade(1);
         let spu = platform.core("spu0").unwrap().clone();
         let n = 64usize;

@@ -8,6 +8,10 @@
 //! channel does not depend on the scheduling order — and the simulator lets
 //! the experiments study how the same network maps onto one or many cores.
 
+use crate::engine::{EngineError, ExecutionEngine};
+use crate::platform::{Core, Platform};
+use splitc_jit::JitOptions;
+use splitc_targets::MachineValue;
 use std::collections::VecDeque;
 
 /// Identifier of a channel within a [`Network`].
@@ -112,9 +116,17 @@ impl Network {
     /// Panics if `mapping` does not assign a valid core to every process or if
     /// a process lacks a cost for its assigned core.
     pub fn simulate(&self, mapping: &[usize], num_cores: usize) -> KpnReport {
-        assert_eq!(mapping.len(), self.processes.len(), "one core per process required");
+        assert_eq!(
+            mapping.len(),
+            self.processes.len(),
+            "one core per process required"
+        );
         for (p, core) in self.processes.iter().zip(mapping) {
-            assert!(*core < num_cores, "process {} mapped to nonexistent core {core}", p.name);
+            assert!(
+                *core < num_cores,
+                "process {} mapped to nonexistent core {core}",
+                p.name
+            );
             assert!(
                 p.firing_cost.len() > *core,
                 "process {} has no cost estimate for core {core}",
@@ -122,7 +134,8 @@ impl Network {
             );
         }
         let mut channels: Vec<VecDeque<f64>> = vec![VecDeque::new(); self.num_channels];
-        let mut remaining_source: Vec<u64> = self.processes.iter().map(|p| p.source_firings).collect();
+        let mut remaining_source: Vec<u64> =
+            self.processes.iter().map(|p| p.source_firings).collect();
         let mut core_free = vec![0.0f64; num_cores];
         let mut firings = vec![0u64; self.processes.len()];
         let mut busy = vec![0.0f64; num_cores];
@@ -195,7 +208,12 @@ impl KpnReport {
         if self.makespan == 0.0 {
             return 0.0;
         }
-        let used: Vec<f64> = self.core_busy.iter().copied().filter(|b| *b > 0.0).collect();
+        let used: Vec<f64> = self
+            .core_busy
+            .iter()
+            .copied()
+            .filter(|b| *b > 0.0)
+            .collect();
         if used.is_empty() {
             0.0
         } else {
@@ -209,12 +227,19 @@ impl KpnReport {
 /// Costs are given per stage and per core; `tokens` is the number of data
 /// items pushed through the pipeline.
 pub fn pipeline(stage_costs: &[Vec<f64>], tokens: u64) -> Network {
-    assert!(stage_costs.len() >= 2, "a pipeline needs at least a source and a sink");
+    assert!(
+        stage_costs.len() >= 2,
+        "a pipeline needs at least a source and a sink"
+    );
     let mut net = Network::new();
     let mut prev: Option<ChannelId> = None;
     for (i, costs) in stage_costs.iter().enumerate() {
         let is_last = i + 1 == stage_costs.len();
-        let out = if is_last { None } else { Some(net.add_channel()) };
+        let out = if is_last {
+            None
+        } else {
+            Some(net.add_channel())
+        };
         match (prev, out) {
             (None, Some(o)) => {
                 net.add_source(&format!("stage{i}"), vec![o], costs.clone(), tokens);
@@ -230,6 +255,45 @@ pub fn pipeline(stage_costs: &[Vec<f64>], tokens: u64) -> Network {
         prev = out;
     }
     net
+}
+
+/// Build a linear pipeline whose per-stage, per-core firing costs are
+/// *measured* rather than guessed: each stage kernel is executed once on
+/// every core of `platform` through the shared `engine` (compiling each
+/// distinct core type exactly once) and its scaled cycle count becomes the
+/// stage's firing cost on that core.
+///
+/// `setup` provides, per `(stage kernel, core)`, the argument list and the
+/// scratch memory the measurement run executes against. Returns the network
+/// together with the measured cost matrix (stage-major, indexed by core id).
+///
+/// # Errors
+///
+/// Returns an [`EngineError`] if a stage kernel is unknown, fails to compile
+/// for a core, or traps during the measurement run.
+pub fn profile_pipeline<F>(
+    engine: &ExecutionEngine,
+    options: &JitOptions,
+    platform: &Platform,
+    stages: &[&str],
+    tokens: u64,
+    mut setup: F,
+) -> Result<(Network, Vec<Vec<f64>>), EngineError>
+where
+    F: FnMut(&str, &Core) -> (Vec<MachineValue>, Vec<u8>),
+{
+    let mut stage_costs: Vec<Vec<f64>> = Vec::with_capacity(stages.len());
+    for stage in stages {
+        let mut per_core = Vec::with_capacity(platform.cores.len());
+        for core in &platform.cores {
+            let (args, mut mem) = setup(stage, core);
+            let outcome = engine.run(&core.target, options, stage, &args, &mut mem)?;
+            per_core.push(outcome.scaled_cycles);
+        }
+        stage_costs.push(per_core);
+    }
+    let net = pipeline(&stage_costs, tokens);
+    Ok((net, stage_costs))
 }
 
 #[cfg(test)]
@@ -295,5 +359,53 @@ mod tests {
     fn bad_mapping_is_rejected() {
         let net = pipeline(&[vec![1.0], vec![1.0]], 1);
         let _ = net.simulate(&[0], 1);
+    }
+
+    #[test]
+    fn profiled_pipeline_measures_stage_costs_through_the_engine() {
+        let module = splitc_minic::compile_source(
+            "fn brighten(n: i32, x: *u8, y: *u8) {
+                for (let i: i32 = 0; i < n; i = i + 1) { y[i] = x[i] + 1; }
+            }
+            fn copy(n: i32, x: *u8, y: *u8) {
+                for (let i: i32 = 0; i < n; i = i + 1) { y[i] = x[i]; }
+            }",
+            "stages",
+        )
+        .unwrap();
+        let engine = ExecutionEngine::new(module);
+        let platform = Platform::cell_blade(1); // one PPE + one SPU
+        let n = 64usize;
+        let (net, costs) = profile_pipeline(
+            &engine,
+            &JitOptions::split(),
+            &platform,
+            &["brighten", "copy"],
+            8,
+            |_stage, _core| {
+                (
+                    vec![
+                        MachineValue::Int(n as i64),
+                        MachineValue::Int(64),
+                        MachineValue::Int(256),
+                    ],
+                    vec![0u8; 1024],
+                )
+            },
+        )
+        .unwrap();
+        assert_eq!(net.processes().len(), 2);
+        assert_eq!(costs.len(), 2);
+        assert!(costs
+            .iter()
+            .all(|per_core| per_core.len() == platform.cores.len()));
+        assert!(costs.iter().flatten().all(|c| *c > 0.0));
+        // 2 stages x 2 cores ran, but only 2 distinct core types compiled.
+        let stats = engine.stats();
+        assert_eq!(stats.compiles, 2);
+        assert_eq!(stats.lookups(), 4);
+        // The measured network simulates like any hand-built one.
+        let report = net.simulate(&[0, 1], platform.cores.len());
+        assert_eq!(report.firings, vec![8, 8]);
     }
 }

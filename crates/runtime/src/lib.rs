@@ -5,8 +5,13 @@
 //!
 //! * [`Platform`] / [`Core`] describe heterogeneous systems (workstation,
 //!   phone SoC with a DSP, Cell-style blade with SIMD accelerators).
-//! * [`Executor`] deploys a bytecode module and lazily JIT-compiles it for
-//!   every core type it runs on, caching the result.
+//! * [`ExecutionEngine`] is the shared, cached execution layer: one deployed
+//!   module, one online compilation per distinct (core type, JIT config)
+//!   pair, compiled programs shared via `Arc`, cache statistics for the
+//!   paper's "online compilation pays for itself" story.
+//! * [`Executor`] is a core-oriented facade over the engine: it deploys a
+//!   bytecode module with fixed [`JitOptions`](splitc_jit::JitOptions) and
+//!   addresses execution by [`Core`].
 //! * [`choose_core`] and [`list_schedule`] map kernels and task graphs onto
 //!   cores, guided by the kernel-trait annotations the offline compiler left
 //!   in the bytecode.
@@ -37,7 +42,7 @@
 //! let core = choose_core(&traits, &platform);
 //! assert_eq!(core.name, "arm"); // the vector-capable core, not the DSP
 //!
-//! let mut exec = Executor::deploy(module);
+//! let exec = Executor::deploy(module);
 //! let mut mem = vec![0u8; 1024];
 //! mem[256..260].copy_from_slice(&4.0f32.to_le_bytes());
 //! exec.run(core, "dscal", &[MachineValue::Int(1), MachineValue::Float(0.25), MachineValue::Int(256)], &mut mem)?;
@@ -49,14 +54,16 @@
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
 
+mod engine;
 mod executor;
 mod kpn;
 mod offload;
 mod platform;
 mod scheduler;
 
+pub use engine::{CacheStats, CompiledModule, EngineError, Execution, ExecutionEngine};
 pub use executor::{Executor, RunOutcome, RuntimeError};
-pub use kpn::{pipeline, ChannelId, KpnReport, Network, Process, ProcessId};
+pub use kpn::{pipeline, profile_pipeline, ChannelId, KpnReport, Network, Process, ProcessId};
 pub use offload::{DmaModel, OffloadCost};
 pub use platform::{Core, Platform};
 pub use scheduler::{affinity, choose_core, list_schedule, Placement, Schedule, TaskEstimate};

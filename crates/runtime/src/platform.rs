@@ -50,7 +50,11 @@ impl Platform {
 
     /// The developer workstation: a single x86 core with SSE.
     pub fn workstation() -> Self {
-        Platform::new("workstation", vec![("x86", TargetDesc::x86_sse())], DmaModel::on_chip())
+        Platform::new(
+            "workstation",
+            vec![("x86", TargetDesc::x86_sse())],
+            DmaModel::on_chip(),
+        )
     }
 
     /// A phone-class SoC: an ARM application core with Neon plus a small DSP.

@@ -169,7 +169,10 @@ pub fn list_schedule(tasks: &[TaskEstimate], platform: &Platform) -> Schedule {
     }
 
     let makespan = placements.iter().map(|p| p.finish).fold(0.0, f64::max);
-    Schedule { placements, makespan }
+    Schedule {
+        placements,
+        makespan,
+    }
 }
 
 #[cfg(test)]
@@ -194,14 +197,21 @@ mod tests {
 
         let cell = Platform::cell_blade(2);
         let chosen = choose_core(&traits(true, true, false), &cell);
-        assert!(chosen.name.starts_with("spu"), "vector work goes to the SPUs, got {}", chosen.name);
+        assert!(
+            chosen.name.starts_with("spu"),
+            "vector work goes to the SPUs, got {}",
+            chosen.name
+        );
     }
 
     #[test]
     fn fp_kernels_avoid_the_dsp_and_control_code_stays_on_the_host() {
         let phone = Platform::phone();
         let chosen = choose_core(&traits(false, true, false), &phone);
-        assert_eq!(chosen.name, "arm", "software floating point on the DSP is a bad idea");
+        assert_eq!(
+            chosen.name, "arm",
+            "software floating point on the DSP is a bad idea"
+        );
 
         let cell = Platform::cell_blade(2);
         let chosen = choose_core(&traits(false, false, true), &cell);
@@ -268,6 +278,9 @@ mod tests {
             .collect();
         let schedule = list_schedule(&tasks, &platform);
         let on_fast = schedule.placements.iter().filter(|p| p.core == 0).count();
-        assert_eq!(on_fast, 3, "queueing 3 x 100 on the fast core still beats 1000 on the slow one");
+        assert_eq!(
+            on_fast, 3,
+            "queueing 3 x 100 on the fast core still beats 1000 on the slow one"
+        );
     }
 }

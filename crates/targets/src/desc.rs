@@ -118,6 +118,63 @@ impl TargetDesc {
         self.vector.is_some()
     }
 
+    /// A stable fingerprint of everything that influences code generation and
+    /// simulation for this target: name, register files, SIMD unit, cost
+    /// model and clock scale.
+    ///
+    /// Two targets with equal fingerprints compile to interchangeable machine
+    /// code, which is what lets an execution cache share compiled programs
+    /// between cores of the same type (e.g. every SPU of a Cell blade).
+    pub fn fingerprint(&self) -> u64 {
+        // FNV-1a over a canonical field serialization; no dependency on the
+        // (unstable) std hasher so the value is reproducible across runs.
+        let mut acc: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut mix = |bytes: &[u8]| {
+            for &b in bytes {
+                acc ^= u64::from(b);
+                acc = acc.wrapping_mul(0x100_0000_01b3);
+            }
+        };
+        mix(self.name.as_bytes());
+        mix(&[0xff]); // terminator so "ab" + regs and "a" + b-ish regs differ
+        mix(&self.int_regs.to_le_bytes());
+        mix(&self.float_regs.to_le_bytes());
+        match self.vector {
+            Some(v) => {
+                mix(&[1]);
+                mix(&v.bytes.to_le_bytes());
+                mix(&v.regs.to_le_bytes());
+            }
+            None => mix(&[0]),
+        }
+        let c = &self.cost;
+        for field in [
+            c.int_op,
+            c.int_mul,
+            c.int_div,
+            c.fp_add,
+            c.fp_mul,
+            c.fp_div,
+            c.load,
+            c.store,
+            c.mov,
+            c.convert,
+            c.branch_taken,
+            c.branch_not_taken,
+            c.vec_op,
+            c.vec_load,
+            c.vec_store,
+            c.vec_reduce,
+            c.call,
+            c.spill_store,
+            c.spill_load,
+        ] {
+            mix(&field.to_le_bytes());
+        }
+        mix(&self.clock_scale.to_bits().to_le_bytes());
+        acc
+    }
+
     /// Width in bytes of the vector registers the JIT may use (0 without SIMD).
     pub fn vector_bytes(&self) -> u64 {
         self.vector.map(|v| u64::from(v.bytes)).unwrap_or(0)
@@ -212,7 +269,10 @@ impl TargetDesc {
             name: "arm-neon".into(),
             int_regs: 12,
             float_regs: 16,
-            vector: Some(VectorUnit { bytes: 16, regs: 16 }),
+            vector: Some(VectorUnit {
+                bytes: 16,
+                regs: 16,
+            }),
             cost: CostModel {
                 int_op: 1,
                 int_mul: 3,
@@ -279,7 +339,10 @@ impl TargetDesc {
             name: "cell-spu".into(),
             int_regs: 48,
             float_regs: 48,
-            vector: Some(VectorUnit { bytes: 16, regs: 48 }),
+            vector: Some(VectorUnit {
+                bytes: 16,
+                regs: 48,
+            }),
             cost: CostModel {
                 int_op: 2,
                 int_mul: 4,
@@ -358,7 +421,11 @@ impl TargetDesc {
 
     /// The three machines of Table 1, in the paper's column order.
     pub fn table1_targets() -> Vec<TargetDesc> {
-        vec![TargetDesc::x86_sse(), TargetDesc::ultrasparc(), TargetDesc::powerpc()]
+        vec![
+            TargetDesc::x86_sse(),
+            TargetDesc::ultrasparc(),
+            TargetDesc::powerpc(),
+        ]
     }
 }
 
@@ -370,7 +437,11 @@ impl fmt::Display for TargetDesc {
                 "{} ({} int / {} fp regs, {}-byte SIMD)",
                 self.name, self.int_regs, self.float_regs, v.bytes
             ),
-            None => write!(f, "{} ({} int / {} fp regs, no SIMD)", self.name, self.int_regs, self.float_regs),
+            None => write!(
+                f,
+                "{} ({} int / {} fp regs, no SIMD)",
+                self.name, self.int_regs, self.float_regs
+            ),
         }
     }
 }
@@ -385,7 +456,11 @@ mod tests {
         let names: std::collections::BTreeSet<_> = presets.iter().map(|t| t.name.clone()).collect();
         assert_eq!(names.len(), presets.len());
         for t in &presets {
-            assert!(t.int_regs >= 4, "{} needs at least 4 integer registers", t.name);
+            assert!(
+                t.int_regs >= 4,
+                "{} needs at least 4 integer registers",
+                t.name
+            );
             assert!(t.float_regs >= 4);
             assert!(t.clock_scale > 0.0);
             if let Some(v) = t.vector {
@@ -413,6 +488,32 @@ mod tests {
         assert!(shown.contains("x86-sse") && shown.contains("SIMD"));
         let shown = TargetDesc::powerpc().to_string();
         assert!(shown.contains("no SIMD"));
+    }
+
+    #[test]
+    fn fingerprints_identify_target_configurations() {
+        let presets = TargetDesc::presets();
+        let prints: std::collections::BTreeSet<u64> =
+            presets.iter().map(TargetDesc::fingerprint).collect();
+        assert_eq!(
+            prints.len(),
+            presets.len(),
+            "preset fingerprints must be distinct"
+        );
+        // Stable across calls and across clones.
+        let a = TargetDesc::x86_sse();
+        assert_eq!(a.fingerprint(), TargetDesc::x86_sse().fingerprint());
+        assert_eq!(a.fingerprint(), a.clone().fingerprint());
+        // Sensitive to every codegen-relevant knob, not just the name.
+        let mut tweaked = TargetDesc::x86_sse();
+        tweaked.int_regs += 1;
+        assert_ne!(a.fingerprint(), tweaked.fingerprint());
+        let mut recosted = TargetDesc::x86_sse();
+        recosted.cost.fp_mul += 1;
+        assert_ne!(a.fingerprint(), recosted.fingerprint());
+        let mut reclocked = TargetDesc::x86_sse();
+        reclocked.clock_scale *= 2.0;
+        assert_ne!(a.fingerprint(), reclocked.fingerprint());
     }
 
     #[test]

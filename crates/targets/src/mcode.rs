@@ -32,15 +32,24 @@ pub struct PReg {
 impl PReg {
     /// An integer register.
     pub fn int(index: u16) -> Self {
-        PReg { class: RegClass::Int, index }
+        PReg {
+            class: RegClass::Int,
+            index,
+        }
     }
     /// A floating-point register.
     pub fn float(index: u16) -> Self {
-        PReg { class: RegClass::Float, index }
+        PReg {
+            class: RegClass::Float,
+            index,
+        }
     }
     /// A vector register.
     pub fn vec(index: u16) -> Self {
-        PReg { class: RegClass::Vec, index }
+        PReg {
+            class: RegClass::Vec,
+            index,
+        }
     }
 }
 
@@ -492,7 +501,10 @@ pub enum MInst {
 impl MInst {
     /// `true` if this instruction ends a basic block.
     pub fn is_terminator(&self) -> bool {
-        matches!(self, MInst::Jump { .. } | MInst::BranchNz { .. } | MInst::Ret { .. })
+        matches!(
+            self,
+            MInst::Jump { .. } | MInst::BranchNz { .. } | MInst::Ret { .. }
+        )
     }
 
     /// `true` for vector instructions (only valid on SIMD-capable targets).
@@ -526,7 +538,9 @@ impl MInst {
             MInst::Imm { value, .. } => 4 + imm_extra(*value),
             MInst::FImm { .. } => 8,
             MInst::Load { offset, .. } | MInst::Store { offset, .. } => 4 + imm_extra(*offset),
-            MInst::VecLoad { offset, .. } | MInst::VecStore { offset, .. } => 5 + imm_extra(*offset),
+            MInst::VecLoad { offset, .. } | MInst::VecStore { offset, .. } => {
+                5 + imm_extra(*offset)
+            }
             MInst::Call { args, .. } => 4 + args.len() as u64,
             i if i.is_vector() => 5,
             _ => 4,
@@ -596,7 +610,10 @@ impl MProgram {
 
     /// Estimated total code size in bytes.
     pub fn estimated_code_bytes(&self) -> u64 {
-        self.functions.iter().map(MFunction::estimated_code_bytes).sum()
+        self.functions
+            .iter()
+            .map(MFunction::estimated_code_bytes)
+            .sum()
     }
 
     /// Total instruction count across all functions.
@@ -637,7 +654,10 @@ mod tests {
             rhs: PReg::vec(2),
         };
         assert!(v.is_vector() && !v.is_terminator());
-        let s = MInst::Spill { slot: 0, src: PReg::int(1) };
+        let s = MInst::Spill {
+            slot: 0,
+            src: PReg::int(1),
+        };
         assert!(s.is_spill());
     }
 
@@ -656,7 +676,10 @@ mod tests {
             params: vec![],
             blocks: vec![MBlock {
                 insts: vec![
-                    MInst::Imm { dst: PReg::int(0), value: 1_000_000 },
+                    MInst::Imm {
+                        dst: PReg::int(0),
+                        value: 1_000_000,
+                    },
                     MInst::Load {
                         width: Width::W32,
                         float: false,

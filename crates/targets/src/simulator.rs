@@ -9,7 +9,9 @@
 //! report.
 
 use crate::desc::TargetDesc;
-use crate::mcode::{AluOp, CmpPred, FpuOp, MFunction, MInst, MProgram, PReg, RedOp, RegClass, Width};
+use crate::mcode::{
+    AluOp, CmpPred, FpuOp, MFunction, MInst, MProgram, PReg, RedOp, RegClass, Width,
+};
 use std::error::Error;
 use std::fmt;
 
@@ -95,7 +97,10 @@ impl fmt::Display for SimError {
                 write!(f, "register {reg} out of range in {function}")
             }
             SimError::NoVectorUnit { function } => {
-                write!(f, "vector instruction on a scalar-only target in {function}")
+                write!(
+                    f,
+                    "vector instruction on a scalar-only target in {function}"
+                )
             }
             SimError::Trap(msg) => write!(f, "trap: {msg}"),
             SimError::OutOfFuel => write!(f, "instruction budget exhausted"),
@@ -385,7 +390,9 @@ impl<'p> Simulator<'p> {
                     frame.float[usize::from(preg.index)] = *v as f64;
                 }
                 (RegClass::Vec, _) => {
-                    return Err(SimError::Trap("vector registers cannot be parameters".into()));
+                    return Err(SimError::Trap(
+                        "vector registers cannot be parameters".into(),
+                    ));
                 }
             }
         }
@@ -402,7 +409,9 @@ impl<'p> Simulator<'p> {
                 .blocks
                 .get(block)
                 .and_then(|b| b.insts.get(index))
-                .ok_or_else(|| SimError::Trap(format!("fell off the end of block {block} in {name}")))?
+                .ok_or_else(|| {
+                    SimError::Trap(format!("fell off the end of block {block} in {name}"))
+                })?
                 .clone();
             index += 1;
             self.stats.instructions += 1;
@@ -435,9 +444,12 @@ impl<'p> Simulator<'p> {
                     self.check_reg(&frame, dst, &f.name)?;
                     self.check_reg(&frame, src, &f.name)?;
                     match dst.class {
-                        RegClass::Int => frame.int[usize::from(dst.index)] = frame.int[usize::from(src.index)],
+                        RegClass::Int => {
+                            frame.int[usize::from(dst.index)] = frame.int[usize::from(src.index)]
+                        }
                         RegClass::Float => {
-                            frame.float[usize::from(dst.index)] = frame.float[usize::from(src.index)];
+                            frame.float[usize::from(dst.index)] =
+                                frame.float[usize::from(src.index)];
                         }
                         RegClass::Vec => {
                             let v = frame.vec[usize::from(src.index)].clone();
@@ -446,7 +458,14 @@ impl<'p> Simulator<'p> {
                     }
                     self.stats.cycles += cost.mov;
                 }
-                MInst::IntOp { op, width, signed, dst, lhs, rhs } => {
+                MInst::IntOp {
+                    op,
+                    width,
+                    signed,
+                    dst,
+                    lhs,
+                    rhs,
+                } => {
                     let a = geti!(lhs);
                     let b = geti!(rhs);
                     self.check_reg(&frame, dst, &f.name)?;
@@ -457,7 +476,13 @@ impl<'p> Simulator<'p> {
                         _ => cost.int_op,
                     };
                 }
-                MInst::FloatOp { op, double, dst, lhs, rhs } => {
+                MInst::FloatOp {
+                    op,
+                    double,
+                    dst,
+                    lhs,
+                    rhs,
+                } => {
                     let a = getf!(lhs);
                     let b = getf!(rhs);
                     self.check_reg(&frame, dst, &f.name)?;
@@ -483,10 +508,18 @@ impl<'p> Simulator<'p> {
                 MInst::FloatNeg { double, dst, src } => {
                     let v = getf!(src);
                     self.check_reg(&frame, dst, &f.name)?;
-                    frame.float[usize::from(dst.index)] = if double { -v } else { f64::from(-(v as f32)) };
+                    frame.float[usize::from(dst.index)] =
+                        if double { -v } else { f64::from(-(v as f32)) };
                     self.stats.cycles += cost.fp_add;
                 }
-                MInst::IntCmp { pred, width, signed, dst, lhs, rhs } => {
+                MInst::IntCmp {
+                    pred,
+                    width,
+                    signed,
+                    dst,
+                    lhs,
+                    rhs,
+                } => {
                     let a = normalize(width, signed, geti!(lhs));
                     let b = normalize(width, signed, geti!(rhs));
                     self.check_reg(&frame, dst, &f.name)?;
@@ -497,10 +530,20 @@ impl<'p> Simulator<'p> {
                     };
                     self.stats.cycles += cost.int_op;
                 }
-                MInst::FloatCmp { pred, double, dst, lhs, rhs } => {
+                MInst::FloatCmp {
+                    pred,
+                    double,
+                    dst,
+                    lhs,
+                    rhs,
+                } => {
                     let a = getf!(lhs);
                     let b = getf!(rhs);
-                    let (a, b) = if double { (a, b) } else { (f64::from(a as f32), f64::from(b as f32)) };
+                    let (a, b) = if double {
+                        (a, b)
+                    } else {
+                        (f64::from(a as f32), f64::from(b as f32))
+                    };
                     self.check_reg(&frame, dst, &f.name)?;
                     frame.int[usize::from(dst.index)] = if a.partial_cmp(&b).is_none() {
                         i64::from(pred == CmpPred::Ne)
@@ -509,7 +552,12 @@ impl<'p> Simulator<'p> {
                     };
                     self.stats.cycles += cost.fp_add;
                 }
-                MInst::Select { dst, cond, if_true, if_false } => {
+                MInst::Select {
+                    dst,
+                    cond,
+                    if_true,
+                    if_false,
+                } => {
                     let c = geti!(cond) != 0;
                     self.check_reg(&frame, dst, &f.name)?;
                     self.check_reg(&frame, if_true, &f.name)?;
@@ -517,10 +565,12 @@ impl<'p> Simulator<'p> {
                     let chosen = if c { if_true } else { if_false };
                     match dst.class {
                         RegClass::Int => {
-                            frame.int[usize::from(dst.index)] = frame.int[usize::from(chosen.index)];
+                            frame.int[usize::from(dst.index)] =
+                                frame.int[usize::from(chosen.index)];
                         }
                         RegClass::Float => {
-                            frame.float[usize::from(dst.index)] = frame.float[usize::from(chosen.index)];
+                            frame.float[usize::from(dst.index)] =
+                                frame.float[usize::from(chosen.index)];
                         }
                         RegClass::Vec => {
                             let v = frame.vec[usize::from(chosen.index)].clone();
@@ -529,32 +579,60 @@ impl<'p> Simulator<'p> {
                     }
                     self.stats.cycles += cost.mov;
                 }
-                MInst::IntToFloat { signed, double, dst, src } => {
+                MInst::IntToFloat {
+                    signed,
+                    double,
+                    dst,
+                    src,
+                } => {
                     let v = geti!(src);
                     self.check_reg(&frame, dst, &f.name)?;
                     let x = if signed { v as f64 } else { v as u64 as f64 };
-                    frame.float[usize::from(dst.index)] = if double { x } else { f64::from(x as f32) };
+                    frame.float[usize::from(dst.index)] =
+                        if double { x } else { f64::from(x as f32) };
                     self.stats.cycles += cost.convert;
                 }
-                MInst::FloatToInt { width, signed, dst, src } => {
+                MInst::FloatToInt {
+                    width,
+                    signed,
+                    dst,
+                    src,
+                } => {
                     let v = getf!(src);
                     self.check_reg(&frame, dst, &f.name)?;
                     frame.int[usize::from(dst.index)] = normalize(width, signed, v as i64);
                     self.stats.cycles += cost.convert;
                 }
-                MInst::FloatCvt { to_double, dst, src } => {
+                MInst::FloatCvt {
+                    to_double,
+                    dst,
+                    src,
+                } => {
                     let v = getf!(src);
                     self.check_reg(&frame, dst, &f.name)?;
-                    frame.float[usize::from(dst.index)] = if to_double { v } else { f64::from(v as f32) };
+                    frame.float[usize::from(dst.index)] =
+                        if to_double { v } else { f64::from(v as f32) };
                     self.stats.cycles += cost.convert;
                 }
-                MInst::IntResize { width, signed, dst, src } => {
+                MInst::IntResize {
+                    width,
+                    signed,
+                    dst,
+                    src,
+                } => {
                     let v = geti!(src);
                     self.check_reg(&frame, dst, &f.name)?;
                     frame.int[usize::from(dst.index)] = normalize(width, signed, v);
                     self.stats.cycles += cost.int_op;
                 }
-                MInst::Load { width, float, signed, dst, base, offset } => {
+                MInst::Load {
+                    width,
+                    float,
+                    signed,
+                    dst,
+                    base,
+                    offset,
+                } => {
                     let addr = geti!(base).wrapping_add(offset);
                     let raw = read_mem(mem, addr, width.bytes())?;
                     self.check_reg(&frame, dst, &f.name)?;
@@ -570,7 +648,13 @@ impl<'p> Simulator<'p> {
                     self.stats.cycles += cost.load;
                     self.stats.loads += 1;
                 }
-                MInst::Store { width, float, base, offset, src } => {
+                MInst::Store {
+                    width,
+                    float,
+                    base,
+                    offset,
+                    src,
+                } => {
                     let addr = geti!(base).wrapping_add(offset);
                     let raw = if float {
                         let v = getf!(src);
@@ -633,7 +717,14 @@ impl<'p> Simulator<'p> {
                     self.stats.cycles += cost.vec_op;
                     self.stats.vector_ops += 1;
                 }
-                MInst::VecIntOp { op, elem, signed, dst, lhs, rhs } => {
+                MInst::VecIntOp {
+                    op,
+                    elem,
+                    signed,
+                    dst,
+                    lhs,
+                    rhs,
+                } => {
                     self.require_simd(&f.name)?;
                     self.check_reg(&frame, dst, &f.name)?;
                     self.check_reg(&frame, lhs, &f.name)?;
@@ -650,7 +741,13 @@ impl<'p> Simulator<'p> {
                     self.stats.cycles += cost.vec_op;
                     self.stats.vector_ops += 1;
                 }
-                MInst::VecFloatOp { op, elem, dst, lhs, rhs } => {
+                MInst::VecFloatOp {
+                    op,
+                    elem,
+                    dst,
+                    lhs,
+                    rhs,
+                } => {
                     self.require_simd(&f.name)?;
                     self.check_reg(&frame, dst, &f.name)?;
                     self.check_reg(&frame, lhs, &f.name)?;
@@ -667,7 +764,13 @@ impl<'p> Simulator<'p> {
                     self.stats.cycles += cost.vec_op;
                     self.stats.vector_ops += 1;
                 }
-                MInst::VecReduceInt { op, elem, signed, dst, src } => {
+                MInst::VecReduceInt {
+                    op,
+                    elem,
+                    signed,
+                    dst,
+                    src,
+                } => {
                     self.require_simd(&f.name)?;
                     self.check_reg(&frame, dst, &f.name)?;
                     self.check_reg(&frame, src, &f.name)?;
@@ -715,26 +818,31 @@ impl<'p> Simulator<'p> {
                     *frame
                         .slots
                         .get_mut(slot as usize)
-                        .ok_or_else(|| SimError::Trap(format!("spill to invalid slot {slot}")))? = value;
+                        .ok_or_else(|| SimError::Trap(format!("spill to invalid slot {slot}")))? =
+                        value;
                     self.stats.cycles += cost.spill_store;
                     self.stats.spill_stores += 1;
                 }
                 MInst::Reload { slot, dst } => {
                     self.check_reg(&frame, dst, &f.name)?;
-                    let value = frame
-                        .slots
-                        .get(slot as usize)
-                        .cloned()
-                        .ok_or_else(|| SimError::Trap(format!("reload from invalid slot {slot}")))?;
+                    let value = frame.slots.get(slot as usize).cloned().ok_or_else(|| {
+                        SimError::Trap(format!("reload from invalid slot {slot}"))
+                    })?;
                     match (dst.class, value) {
                         (RegClass::Int, SlotValue::Int(v)) => frame.int[usize::from(dst.index)] = v,
-                        (RegClass::Float, SlotValue::Float(v)) => frame.float[usize::from(dst.index)] = v,
+                        (RegClass::Float, SlotValue::Float(v)) => {
+                            frame.float[usize::from(dst.index)] = v
+                        }
                         (RegClass::Vec, SlotValue::Vec(v)) => frame.vec[usize::from(dst.index)] = v,
                         (_, SlotValue::Empty) => {
-                            return Err(SimError::Trap(format!("reload of uninitialized slot {slot}")));
+                            return Err(SimError::Trap(format!(
+                                "reload of uninitialized slot {slot}"
+                            )));
                         }
                         _ => {
-                            return Err(SimError::Trap(format!("reload class mismatch for slot {slot}")));
+                            return Err(SimError::Trap(format!(
+                                "reload class mismatch for slot {slot}"
+                            )));
                         }
                     }
                     self.stats.cycles += cost.spill_load;
@@ -746,11 +854,23 @@ impl<'p> Simulator<'p> {
                     self.stats.cycles += cost.branch_taken;
                     self.stats.branches += 1;
                 }
-                MInst::BranchNz { cond, then_target, else_target } => {
+                MInst::BranchNz {
+                    cond,
+                    then_target,
+                    else_target,
+                } => {
                     let taken = geti!(cond) != 0;
-                    block = if taken { then_target as usize } else { else_target as usize };
+                    block = if taken {
+                        then_target as usize
+                    } else {
+                        else_target as usize
+                    };
                     index = 0;
-                    self.stats.cycles += if taken { cost.branch_taken } else { cost.branch_not_taken };
+                    self.stats.cycles += if taken {
+                        cost.branch_taken
+                    } else {
+                        cost.branch_not_taken
+                    };
                     self.stats.branches += 1;
                 }
                 MInst::Call { callee, args, ret } => {
@@ -759,9 +879,13 @@ impl<'p> Simulator<'p> {
                         self.check_reg(&frame, *a, &f.name)?;
                         argv.push(match a.class {
                             RegClass::Int => MachineValue::Int(frame.int[usize::from(a.index)]),
-                            RegClass::Float => MachineValue::Float(frame.float[usize::from(a.index)]),
+                            RegClass::Float => {
+                                MachineValue::Float(frame.float[usize::from(a.index)])
+                            }
                             RegClass::Vec => {
-                                return Err(SimError::Trap("vector call arguments are unsupported".into()));
+                                return Err(SimError::Trap(
+                                    "vector call arguments are unsupported".into(),
+                                ));
                             }
                         });
                     }
@@ -791,9 +915,13 @@ impl<'p> Simulator<'p> {
                             self.check_reg(&frame, r, &f.name)?;
                             Some(match r.class {
                                 RegClass::Int => MachineValue::Int(frame.int[usize::from(r.index)]),
-                                RegClass::Float => MachineValue::Float(frame.float[usize::from(r.index)]),
+                                RegClass::Float => {
+                                    MachineValue::Float(frame.float[usize::from(r.index)])
+                                }
                                 RegClass::Vec => {
-                                    return Err(SimError::Trap("vector return values are unsupported".into()));
+                                    return Err(SimError::Trap(
+                                        "vector return values are unsupported".into(),
+                                    ));
                                 }
                             })
                         }
@@ -901,7 +1029,10 @@ mod tests {
     fn integer_alu_semantics_match_wrapping_and_signedness() {
         assert_eq!(alu(AluOp::Add, Width::W8, false, 200, 100).unwrap(), 44);
         assert_eq!(alu(AluOp::Div, Width::W32, true, -7, 2).unwrap(), -3);
-        assert_eq!(alu(AluOp::Div, Width::W32, false, -1i32 as i64 & 0xffff_ffff, 2).unwrap(), 0x7fff_ffff);
+        assert_eq!(
+            alu(AluOp::Div, Width::W32, false, -1i32 as i64 & 0xffff_ffff, 2).unwrap(),
+            0x7fff_ffff
+        );
         assert_eq!(alu(AluOp::Max, Width::W8, false, 0xf0, 0x10).unwrap(), 0xf0);
         assert_eq!(alu(AluOp::Max, Width::W8, true, -16, 16).unwrap(), 16);
         assert!(alu(AluOp::Div, Width::W32, true, 1, 0).is_err());
@@ -925,8 +1056,14 @@ mod tests {
             blocks: vec![
                 MBlock {
                     insts: vec![
-                        MInst::Imm { dst: PReg::int(2), value: 0 },
-                        MInst::Imm { dst: PReg::int(3), value: 0 },
+                        MInst::Imm {
+                            dst: PReg::int(2),
+                            value: 0,
+                        },
+                        MInst::Imm {
+                            dst: PReg::int(3),
+                            value: 0,
+                        },
                         MInst::Jump { target: 1 },
                     ],
                 },
@@ -940,7 +1077,11 @@ mod tests {
                             lhs: PReg::int(3),
                             rhs: PReg::int(1),
                         },
-                        MInst::BranchNz { cond: PReg::int(4), then_target: 2, else_target: 3 },
+                        MInst::BranchNz {
+                            cond: PReg::int(4),
+                            then_target: 2,
+                            else_target: 3,
+                        },
                     ],
                 },
                 MBlock {
@@ -969,7 +1110,10 @@ mod tests {
                             lhs: PReg::int(2),
                             rhs: PReg::int(5),
                         },
-                        MInst::Imm { dst: PReg::int(5), value: 1 },
+                        MInst::Imm {
+                            dst: PReg::int(5),
+                            value: 1,
+                        },
                         MInst::IntOp {
                             op: AluOp::Add,
                             width: Width::W32,
@@ -982,7 +1126,9 @@ mod tests {
                     ],
                 },
                 MBlock {
-                    insts: vec![MInst::Ret { value: Some(PReg::int(2)) }],
+                    insts: vec![MInst::Ret {
+                        value: Some(PReg::int(2)),
+                    }],
                 },
             ],
             num_slots: 0,
@@ -995,9 +1141,16 @@ mod tests {
             mem[16 + i as usize] = i;
         }
         let out = sim
-            .run("sum", &[MachineValue::Int(16), MachineValue::Int(100)], &mut mem)
+            .run(
+                "sum",
+                &[MachineValue::Int(16), MachineValue::Int(100)],
+                &mut mem,
+            )
             .unwrap();
-        assert_eq!(out, Some(MachineValue::Int(i64::from((0..100u32).sum::<u32>() as u8))));
+        assert_eq!(
+            out,
+            Some(MachineValue::Int(i64::from((0..100u32).sum::<u32>() as u8)))
+        );
         let stats = sim.stats();
         assert_eq!(stats.loads, 100);
         assert!(stats.cycles > stats.instructions);
@@ -1007,7 +1160,11 @@ mod tests {
     #[test]
     fn vector_ops_work_on_simd_targets_and_trap_on_scalar_targets() {
         let insts = vec![
-            MInst::VecLoad { dst: PReg::vec(0), base: PReg::int(0), offset: 0 },
+            MInst::VecLoad {
+                dst: PReg::vec(0),
+                base: PReg::int(0),
+                offset: 0,
+            },
             MInst::VecIntOp {
                 op: AluOp::Add,
                 elem: Width::W8,
@@ -1023,7 +1180,9 @@ mod tests {
                 dst: PReg::int(1),
                 src: PReg::vec(0),
             },
-            MInst::Ret { value: Some(PReg::int(1)) },
+            MInst::Ret {
+                value: Some(PReg::int(1)),
+            },
         ];
         let p = straight(insts, vec![PReg::int(0)]);
         let x86 = TargetDesc::x86_sse();
@@ -1038,24 +1197,43 @@ mod tests {
 
         let sparc = TargetDesc::ultrasparc();
         let mut sim = Simulator::new(&p, &sparc);
-        let err = sim.run("f", &[MachineValue::Int(16)], &mut mem).unwrap_err();
+        let err = sim
+            .run("f", &[MachineValue::Int(16)], &mut mem)
+            .unwrap_err();
         assert!(matches!(err, SimError::NoVectorUnit { .. }));
     }
 
     #[test]
     fn spills_and_reloads_round_trip_and_are_counted() {
         let insts = vec![
-            MInst::Imm { dst: PReg::int(0), value: 77 },
-            MInst::Spill { slot: 2, src: PReg::int(0) },
-            MInst::Imm { dst: PReg::int(0), value: 0 },
-            MInst::Reload { slot: 2, dst: PReg::int(0) },
-            MInst::Ret { value: Some(PReg::int(0)) },
+            MInst::Imm {
+                dst: PReg::int(0),
+                value: 77,
+            },
+            MInst::Spill {
+                slot: 2,
+                src: PReg::int(0),
+            },
+            MInst::Imm {
+                dst: PReg::int(0),
+                value: 0,
+            },
+            MInst::Reload {
+                slot: 2,
+                dst: PReg::int(0),
+            },
+            MInst::Ret {
+                value: Some(PReg::int(0)),
+            },
         ];
         let p = straight(insts, vec![]);
         let target = TargetDesc::powerpc();
         let mut sim = Simulator::new(&p, &target);
         let mut mem = vec![0u8; 32];
-        assert_eq!(sim.run("f", &[], &mut mem).unwrap(), Some(MachineValue::Int(77)));
+        assert_eq!(
+            sim.run("f", &[], &mut mem).unwrap(),
+            Some(MachineValue::Int(77))
+        );
         assert_eq!(sim.stats().spill_stores, 1);
         assert_eq!(sim.stats().spill_reloads, 1);
     }
@@ -1063,7 +1241,10 @@ mod tests {
     #[test]
     fn register_file_limits_are_enforced() {
         let insts = vec![
-            MInst::Imm { dst: PReg::int(40), value: 1 },
+            MInst::Imm {
+                dst: PReg::int(40),
+                value: 1,
+            },
             MInst::Ret { value: None },
         ];
         let p = straight(insts, vec![]);
@@ -1094,7 +1275,8 @@ mod tests {
         let mut sim = Simulator::new(&p, &target);
         let mut mem = vec![0u8; 16];
         assert!(matches!(
-            sim.run("f", &[MachineValue::Int(12)], &mut mem).unwrap_err(),
+            sim.run("f", &[MachineValue::Int(12)], &mut mem)
+                .unwrap_err(),
             SimError::Trap(_)
         ));
         assert!(matches!(
@@ -1121,7 +1303,10 @@ mod tests {
         let target = TargetDesc::x86_sse();
         let mut sim = Simulator::new(&p, &target).with_fuel(10_000);
         let mut mem = vec![0u8; 16];
-        assert_eq!(sim.run("spin", &[], &mut mem).unwrap_err(), SimError::OutOfFuel);
+        assert_eq!(
+            sim.run("spin", &[], &mut mem).unwrap_err(),
+            SimError::OutOfFuel
+        );
     }
 
     #[test]
@@ -1138,7 +1323,9 @@ mod tests {
                         lhs: PReg::float(0),
                         rhs: PReg::float(0),
                     },
-                    MInst::Ret { value: Some(PReg::float(0)) },
+                    MInst::Ret {
+                        value: Some(PReg::float(0)),
+                    },
                 ],
             }],
             num_slots: 0,
@@ -1153,7 +1340,9 @@ mod tests {
                         args: vec![PReg::float(0)],
                         ret: Some(PReg::float(1)),
                     },
-                    MInst::Ret { value: Some(PReg::float(1)) },
+                    MInst::Ret {
+                        value: Some(PReg::float(1)),
+                    },
                 ],
             }],
             num_slots: 0,
@@ -1165,7 +1354,9 @@ mod tests {
         let target = TargetDesc::x86_sse();
         let mut sim = Simulator::new(&p, &target);
         let mut mem = vec![0u8; 16];
-        let out = sim.run("main", &[MachineValue::Float(3.0)], &mut mem).unwrap();
+        let out = sim
+            .run("main", &[MachineValue::Float(3.0)], &mut mem)
+            .unwrap();
         assert_eq!(out, Some(MachineValue::Float(9.0)));
     }
 }

@@ -271,7 +271,8 @@ impl AnnotationSet {
 
     /// Retrieve the kernel-traits record, if present and well-formed.
     pub fn kernel_traits(&self) -> Option<KernelTraits> {
-        self.get(keys::KERNEL_TRAITS).and_then(KernelTraits::from_value)
+        self.get(keys::KERNEL_TRAITS)
+            .and_then(KernelTraits::from_value)
     }
 }
 
@@ -360,14 +361,20 @@ impl VectorizationSummary {
                 .iter()
                 .map(|l| {
                     let mut m = BTreeMap::new();
-                    m.insert("body_block".to_owned(), AnnotationValue::Int(i64::from(l.body_block)));
+                    m.insert(
+                        "body_block".to_owned(),
+                        AnnotationValue::Int(i64::from(l.body_block)),
+                    );
                     m.insert(
                         "elem".to_owned(),
                         AnnotationValue::Str(l.elem.mnemonic().to_owned()),
                     );
                     m.insert("reduction".to_owned(), AnnotationValue::Bool(l.reduction));
                     if let Some(tc) = l.trip_count_hint {
-                        m.insert("trip_count_hint".to_owned(), AnnotationValue::Int(tc as i64));
+                        m.insert(
+                            "trip_count_hint".to_owned(),
+                            AnnotationValue::Int(tc as i64),
+                        );
                     }
                     AnnotationValue::Map(m)
                 })
@@ -385,7 +392,10 @@ impl VectorizationSummary {
                 body_block: m.get("body_block")?.as_int()? as u32,
                 elem: ScalarType::from_mnemonic(m.get("elem")?.as_str()?)?,
                 reduction: m.get("reduction")?.as_bool()?,
-                trip_count_hint: m.get("trip_count_hint").and_then(|x| x.as_int()).map(|x| x as u64),
+                trip_count_hint: m
+                    .get("trip_count_hint")
+                    .and_then(|x| x.as_int())
+                    .map(|x| x as u64),
             });
         }
         Some(VectorizationSummary { loops })
@@ -413,7 +423,10 @@ impl KernelTraits {
     pub fn to_value(&self) -> AnnotationValue {
         let mut m = BTreeMap::new();
         m.insert("uses_fp".to_owned(), AnnotationValue::Bool(self.uses_fp));
-        m.insert("uses_vector".to_owned(), AnnotationValue::Bool(self.uses_vector));
+        m.insert(
+            "uses_vector".to_owned(),
+            AnnotationValue::Bool(self.uses_vector),
+        );
         m.insert(
             "control_intensive".to_owned(),
             AnnotationValue::Bool(self.control_intensive),

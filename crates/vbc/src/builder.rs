@@ -49,7 +49,10 @@ impl FunctionBuilder {
 
     /// Wrap an existing function for further editing, positioned at `block`.
     pub fn on(func: Function, block: BlockId) -> Self {
-        FunctionBuilder { func, current: block }
+        FunctionBuilder {
+            func,
+            current: block,
+        }
     }
 
     /// The register holding parameter `index`.
@@ -119,7 +122,13 @@ impl FunctionBuilder {
     /// Emit `lhs <op> rhs`.
     pub fn bin(&mut self, op: BinOp, ty: ScalarType, lhs: VReg, rhs: VReg) -> VReg {
         let dst = self.new_vreg(Type::Scalar(ty));
-        self.push(Inst::Bin { op, ty, dst, lhs, rhs });
+        self.push(Inst::Bin {
+            op,
+            ty,
+            dst,
+            lhs,
+            rhs,
+        });
         dst
     }
 
@@ -133,7 +142,13 @@ impl FunctionBuilder {
     /// Emit a comparison producing an `i32` truth value.
     pub fn cmp(&mut self, op: CmpOp, ty: ScalarType, lhs: VReg, rhs: VReg) -> VReg {
         let dst = self.new_vreg(Type::Scalar(ScalarType::I32));
-        self.push(Inst::Cmp { op, ty, dst, lhs, rhs });
+        self.push(Inst::Cmp {
+            op,
+            ty,
+            dst,
+            lhs,
+            rhs,
+        });
         dst
     }
 
@@ -160,7 +175,12 @@ impl FunctionBuilder {
     /// Emit a scalar load.
     pub fn load(&mut self, ty: ScalarType, addr: VReg, offset: i64) -> VReg {
         let dst = self.new_vreg(Type::Scalar(ty));
-        self.push(Inst::Load { dst, ty, addr, offset });
+        self.push(Inst::Load {
+            dst,
+            ty,
+            addr,
+            offset,
+        });
         dst
     }
 

@@ -46,7 +46,9 @@ impl fmt::Display for DecodeError {
             DecodeError::BadMagic => write!(f, "missing SVBC magic bytes"),
             DecodeError::BadVersion(v) => write!(f, "unsupported format version {v}"),
             DecodeError::UnexpectedEof => write!(f, "unexpected end of input"),
-            DecodeError::BadTag { what, tag } => write!(f, "invalid tag {tag} while decoding {what}"),
+            DecodeError::BadTag { what, tag } => {
+                write!(f, "invalid tag {tag} while decoding {what}")
+            }
             DecodeError::BadString => write!(f, "invalid UTF-8 in string field"),
         }
     }
@@ -178,10 +180,13 @@ fn binop_tag(op: BinOp) -> u8 {
 }
 
 fn binop_from_tag(tag: u8) -> Result<BinOp, DecodeError> {
-    BinOp::ALL.get(tag as usize).copied().ok_or(DecodeError::BadTag {
-        what: "binary operator",
-        tag,
-    })
+    BinOp::ALL
+        .get(tag as usize)
+        .copied()
+        .ok_or(DecodeError::BadTag {
+            what: "binary operator",
+            tag,
+        })
 }
 
 fn cmpop_tag(op: CmpOp) -> u8 {
@@ -189,10 +194,13 @@ fn cmpop_tag(op: CmpOp) -> u8 {
 }
 
 fn cmpop_from_tag(tag: u8) -> Result<CmpOp, DecodeError> {
-    CmpOp::ALL.get(tag as usize).copied().ok_or(DecodeError::BadTag {
-        what: "comparison operator",
-        tag,
-    })
+    CmpOp::ALL
+        .get(tag as usize)
+        .copied()
+        .ok_or(DecodeError::BadTag {
+            what: "comparison operator",
+            tag,
+        })
 }
 
 fn write_type(w: &mut Writer, t: Type) {
@@ -277,7 +285,12 @@ fn read_value(r: &mut Reader<'_>) -> Result<AnnotationValue, DecodeError> {
             }
             AnnotationValue::Map(m)
         }
-        tag => return Err(DecodeError::BadTag { what: "annotation value", tag }),
+        tag => {
+            return Err(DecodeError::BadTag {
+                what: "annotation value",
+                tag,
+            })
+        }
     })
 }
 
@@ -324,7 +337,13 @@ fn write_inst(w: &mut Writer, inst: &Inst) {
             w.u8(scalar_tag(*ty));
             w.uleb(u64::from(src.0));
         }
-        Inst::Bin { op, ty, dst, lhs, rhs } => {
+        Inst::Bin {
+            op,
+            ty,
+            dst,
+            lhs,
+            rhs,
+        } => {
             w.u8(2);
             w.u8(binop_tag(*op));
             w.u8(scalar_tag(*ty));
@@ -342,7 +361,13 @@ fn write_inst(w: &mut Writer, inst: &Inst) {
             w.uleb(u64::from(dst.0));
             w.uleb(u64::from(src.0));
         }
-        Inst::Cmp { op, ty, dst, lhs, rhs } => {
+        Inst::Cmp {
+            op,
+            ty,
+            dst,
+            lhs,
+            rhs,
+        } => {
             w.u8(4);
             w.u8(cmpop_tag(*op));
             w.u8(scalar_tag(*ty));
@@ -350,7 +375,13 @@ fn write_inst(w: &mut Writer, inst: &Inst) {
             w.uleb(u64::from(lhs.0));
             w.uleb(u64::from(rhs.0));
         }
-        Inst::Select { ty, dst, cond, if_true, if_false } => {
+        Inst::Select {
+            ty,
+            dst,
+            cond,
+            if_true,
+            if_false,
+        } => {
             w.u8(5);
             w.u8(scalar_tag(*ty));
             w.uleb(u64::from(dst.0));
@@ -365,14 +396,24 @@ fn write_inst(w: &mut Writer, inst: &Inst) {
             w.uleb(u64::from(src.0));
             w.u8(scalar_tag(*from));
         }
-        Inst::Load { dst, ty, addr, offset } => {
+        Inst::Load {
+            dst,
+            ty,
+            addr,
+            offset,
+        } => {
             w.u8(7);
             w.uleb(u64::from(dst.0));
             w.u8(scalar_tag(*ty));
             w.uleb(u64::from(addr.0));
             w.sleb(*offset);
         }
-        Inst::Store { ty, addr, offset, value } => {
+        Inst::Store {
+            ty,
+            addr,
+            offset,
+            value,
+        } => {
             w.u8(8);
             w.u8(scalar_tag(*ty));
             w.uleb(u64::from(addr.0));
@@ -405,21 +446,37 @@ fn write_inst(w: &mut Writer, inst: &Inst) {
             w.u8(scalar_tag(*elem));
             w.uleb(u64::from(src.0));
         }
-        Inst::VecLoad { dst, elem, addr, offset } => {
+        Inst::VecLoad {
+            dst,
+            elem,
+            addr,
+            offset,
+        } => {
             w.u8(12);
             w.uleb(u64::from(dst.0));
             w.u8(scalar_tag(*elem));
             w.uleb(u64::from(addr.0));
             w.sleb(*offset);
         }
-        Inst::VecStore { elem, addr, offset, value } => {
+        Inst::VecStore {
+            elem,
+            addr,
+            offset,
+            value,
+        } => {
             w.u8(13);
             w.u8(scalar_tag(*elem));
             w.uleb(u64::from(addr.0));
             w.sleb(*offset);
             w.uleb(u64::from(value.0));
         }
-        Inst::VecBin { op, elem, dst, lhs, rhs } => {
+        Inst::VecBin {
+            op,
+            elem,
+            dst,
+            lhs,
+            rhs,
+        } => {
             w.u8(14);
             w.u8(binop_tag(*op));
             w.u8(scalar_tag(*elem));
@@ -442,7 +499,11 @@ fn write_inst(w: &mut Writer, inst: &Inst) {
             w.u8(16);
             w.uleb(u64::from(target.0));
         }
-        Inst::Branch { cond, then_bb, else_bb } => {
+        Inst::Branch {
+            cond,
+            then_bb,
+            else_bb,
+        } => {
             w.u8(17);
             w.uleb(u64::from(cond.0));
             w.uleb(u64::from(then_bb.0));
@@ -474,7 +535,12 @@ fn read_inst(r: &mut Reader<'_>) -> Result<Inst, DecodeError> {
             let imm = match r.u8()? {
                 0 => Immediate::Int(r.sleb()?),
                 1 => Immediate::Float(r.f64()?),
-                t => return Err(DecodeError::BadTag { what: "immediate", tag: t }),
+                t => {
+                    return Err(DecodeError::BadTag {
+                        what: "immediate",
+                        tag: t,
+                    })
+                }
             };
             Inst::Const { dst, ty, imm }
         }
@@ -494,7 +560,12 @@ fn read_inst(r: &mut Reader<'_>) -> Result<Inst, DecodeError> {
             op: match r.u8()? {
                 0 => UnOp::Neg,
                 1 => UnOp::Not,
-                t => return Err(DecodeError::BadTag { what: "unary operator", tag: t }),
+                t => {
+                    return Err(DecodeError::BadTag {
+                        what: "unary operator",
+                        tag: t,
+                    })
+                }
             },
             ty: scalar_from_tag(r.u8()?)?,
             dst: read_vreg(r)?,
@@ -533,7 +604,11 @@ fn read_inst(r: &mut Reader<'_>) -> Result<Inst, DecodeError> {
             value: read_vreg(r)?,
         },
         9 => {
-            let dst = if r.u8()? != 0 { Some(read_vreg(r)?) } else { None };
+            let dst = if r.u8()? != 0 {
+                Some(read_vreg(r)?)
+            } else {
+                None
+            };
             let callee = r.str()?;
             let n = r.uleb()? as usize;
             let mut args = Vec::with_capacity(n);
@@ -575,7 +650,12 @@ fn read_inst(r: &mut Reader<'_>) -> Result<Inst, DecodeError> {
                 0 => ReduceOp::Add,
                 1 => ReduceOp::Min,
                 2 => ReduceOp::Max,
-                t => return Err(DecodeError::BadTag { what: "reduce operator", tag: t }),
+                t => {
+                    return Err(DecodeError::BadTag {
+                        what: "reduce operator",
+                        tag: t,
+                    })
+                }
             },
             elem: scalar_from_tag(r.u8()?)?,
             dst: read_vreg(r)?,
@@ -590,9 +670,18 @@ fn read_inst(r: &mut Reader<'_>) -> Result<Inst, DecodeError> {
             else_bb: BlockId(r.uleb()? as u32),
         },
         18 => Inst::Ret {
-            value: if r.u8()? != 0 { Some(read_vreg(r)?) } else { None },
+            value: if r.u8()? != 0 {
+                Some(read_vreg(r)?)
+            } else {
+                None
+            },
         },
-        t => return Err(DecodeError::BadTag { what: "instruction", tag: t }),
+        t => {
+            return Err(DecodeError::BadTag {
+                what: "instruction",
+                tag: t,
+            })
+        }
     })
 }
 
@@ -634,7 +723,11 @@ fn read_function(r: &mut Reader<'_>) -> Result<Function, DecodeError> {
         let ty = read_type(r)?;
         params.push((reg, ty));
     }
-    let ret = if r.u8()? != 0 { Some(read_type(r)?) } else { None };
+    let ret = if r.u8()? != 0 {
+        Some(read_type(r)?)
+    } else {
+        None
+    };
     let nvregs = r.uleb()? as usize;
     let mut vreg_types = Vec::with_capacity(nvregs);
     for _ in 0..nvregs {
@@ -787,7 +880,10 @@ mod tests {
     fn truncation_is_detected() {
         let bytes = encode_module(&sample_module());
         for cut in [5, 10, bytes.len() / 2, bytes.len() - 1] {
-            assert!(decode_module(&bytes[..cut]).is_err(), "cut at {cut} must fail");
+            assert!(
+                decode_module(&bytes[..cut]).is_err(),
+                "cut at {cut} must fail"
+            );
         }
     }
 
@@ -813,9 +909,16 @@ mod tests {
     fn annotations_survive_round_trip() {
         let m = sample_module();
         let decoded = decode_module(&encode_module(&m)).unwrap();
-        assert_eq!(decoded.annotations.get_bool("splitc.offline.optimized"), Some(true));
         assert_eq!(
-            decoded.function("saxpy").unwrap().annotations.get_int("splitc.loop.trip_count_hint"),
+            decoded.annotations.get_bool("splitc.offline.optimized"),
+            Some(true)
+        );
+        assert_eq!(
+            decoded
+                .function("saxpy")
+                .unwrap()
+                .annotations
+                .get_int("splitc.loop.trip_count_hint"),
             Some(4096)
         );
     }

@@ -18,7 +18,10 @@ pub struct Block {
 impl Block {
     /// Create an empty block with the given id.
     pub fn new(id: BlockId) -> Self {
-        Block { id, insts: Vec::new() }
+        Block {
+            id,
+            insts: Vec::new(),
+        }
     }
 
     /// The block's terminator, if the block is non-empty and properly terminated.
@@ -140,7 +143,9 @@ impl Function {
 
     /// Iterate over `(block id, instruction)` pairs in block order.
     pub fn iter_insts(&self) -> impl Iterator<Item = (BlockId, &Inst)> {
-        self.blocks.iter().flat_map(|b| b.insts.iter().map(move |i| (b.id, i)))
+        self.blocks
+            .iter()
+            .flat_map(|b| b.insts.iter().map(move |i| (b.id, i)))
     }
 
     /// Total number of instructions across all blocks.
@@ -226,8 +231,12 @@ mod tests {
                 else_bb,
             },
         ]);
-        f.block_mut(then_bb).insts.push(Inst::Ret { value: Some(n) });
-        f.block_mut(else_bb).insts.push(Inst::Ret { value: Some(zero) });
+        f.block_mut(then_bb)
+            .insts
+            .push(Inst::Ret { value: Some(n) });
+        f.block_mut(else_bb)
+            .insts
+            .push(Inst::Ret { value: Some(zero) });
         f
     }
 

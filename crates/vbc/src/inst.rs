@@ -236,7 +236,14 @@ pub enum CmpOp {
 
 impl CmpOp {
     /// All comparison predicates, for exhaustive testing.
-    pub const ALL: [CmpOp; 6] = [CmpOp::Eq, CmpOp::Ne, CmpOp::Lt, CmpOp::Le, CmpOp::Gt, CmpOp::Ge];
+    pub const ALL: [CmpOp; 6] = [
+        CmpOp::Eq,
+        CmpOp::Ne,
+        CmpOp::Lt,
+        CmpOp::Le,
+        CmpOp::Gt,
+        CmpOp::Ge,
+    ];
 
     /// The predicate with swapped operands (`a < b` ⇔ `b > a`).
     pub fn swapped(self) -> CmpOp {
@@ -554,7 +561,9 @@ impl Inst {
         match self {
             Inst::Const { .. } | Inst::VecWidth { .. } | Inst::Jump { .. } => Vec::new(),
             Inst::Move { src, .. } | Inst::Un { src, .. } | Inst::Cast { src, .. } => vec![*src],
-            Inst::Bin { lhs, rhs, .. } | Inst::Cmp { lhs, rhs, .. } | Inst::VecBin { lhs, rhs, .. } => {
+            Inst::Bin { lhs, rhs, .. }
+            | Inst::Cmp { lhs, rhs, .. }
+            | Inst::VecBin { lhs, rhs, .. } => {
                 vec![*lhs, *rhs]
             }
             Inst::Select {
@@ -576,14 +585,19 @@ impl Inst {
 
     /// `true` if the instruction terminates a basic block.
     pub fn is_terminator(&self) -> bool {
-        matches!(self, Inst::Jump { .. } | Inst::Branch { .. } | Inst::Ret { .. })
+        matches!(
+            self,
+            Inst::Jump { .. } | Inst::Branch { .. } | Inst::Ret { .. }
+        )
     }
 
     /// Control-flow successors of a terminator (empty for non-terminators and `Ret`).
     pub fn successors(&self) -> Vec<BlockId> {
         match self {
             Inst::Jump { target } => vec![*target],
-            Inst::Branch { then_bb, else_bb, .. } => vec![*then_bb, *else_bb],
+            Inst::Branch {
+                then_bb, else_bb, ..
+            } => vec![*then_bb, *else_bb],
             _ => Vec::new(),
         }
     }
@@ -716,7 +730,9 @@ mod tests {
         };
         assert_eq!(b.successors(), vec![BlockId(1), BlockId(2)]);
 
-        let r = Inst::Ret { value: Some(VReg(5)) };
+        let r = Inst::Ret {
+            value: Some(VReg(5)),
+        };
         assert!(r.is_terminator());
         assert!(r.successors().is_empty());
         assert_eq!(r.uses(), vec![VReg(5)]);

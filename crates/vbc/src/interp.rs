@@ -193,7 +193,12 @@ impl Memory {
     ///
     /// Returns a trap on null or out-of-bounds access, or if `value` has the
     /// wrong kind for `ty`.
-    pub fn store_scalar(&mut self, ty: ScalarType, addr: u64, value: &Value) -> Result<(), ExecError> {
+    pub fn store_scalar(
+        &mut self,
+        ty: ScalarType,
+        addr: u64,
+        value: &Value,
+    ) -> Result<(), ExecError> {
         let size = ty.size_bytes();
         self.check(addr, size)?;
         let raw: u64 = match (ty, value) {
@@ -212,15 +217,23 @@ impl Memory {
     /// Write a slice of `f32` values starting at `addr`.
     pub fn write_f32s(&mut self, addr: u64, data: &[f32]) {
         for (i, v) in data.iter().enumerate() {
-            self.store_scalar(ScalarType::F32, addr + 4 * i as u64, &Value::Float(f64::from(*v)))
-                .expect("write_f32s in bounds");
+            self.store_scalar(
+                ScalarType::F32,
+                addr + 4 * i as u64,
+                &Value::Float(f64::from(*v)),
+            )
+            .expect("write_f32s in bounds");
         }
     }
 
     /// Read `n` `f32` values starting at `addr`.
     pub fn read_f32s(&self, addr: u64, n: usize) -> Vec<f32> {
         (0..n)
-            .map(|i| self.load_scalar(ScalarType::F32, addr + 4 * i as u64).expect("read_f32s in bounds").as_float() as f32)
+            .map(|i| {
+                self.load_scalar(ScalarType::F32, addr + 4 * i as u64)
+                    .expect("read_f32s in bounds")
+                    .as_float() as f32
+            })
             .collect()
     }
 
@@ -235,7 +248,11 @@ impl Memory {
     /// Read `n` `f64` values starting at `addr`.
     pub fn read_f64s(&self, addr: u64, n: usize) -> Vec<f64> {
         (0..n)
-            .map(|i| self.load_scalar(ScalarType::F64, addr + 8 * i as u64).expect("read_f64s in bounds").as_float())
+            .map(|i| {
+                self.load_scalar(ScalarType::F64, addr + 8 * i as u64)
+                    .expect("read_f64s in bounds")
+                    .as_float()
+            })
             .collect()
     }
 
@@ -252,30 +269,46 @@ impl Memory {
     /// Write a slice of `u16` values starting at `addr`.
     pub fn write_u16s(&mut self, addr: u64, data: &[u16]) {
         for (i, v) in data.iter().enumerate() {
-            self.store_scalar(ScalarType::U16, addr + 2 * i as u64, &Value::Int(i64::from(*v)))
-                .expect("write_u16s in bounds");
+            self.store_scalar(
+                ScalarType::U16,
+                addr + 2 * i as u64,
+                &Value::Int(i64::from(*v)),
+            )
+            .expect("write_u16s in bounds");
         }
     }
 
     /// Read `n` `u16` values starting at `addr`.
     pub fn read_u16s(&self, addr: u64, n: usize) -> Vec<u16> {
         (0..n)
-            .map(|i| self.load_scalar(ScalarType::U16, addr + 2 * i as u64).expect("read_u16s in bounds").as_int() as u16)
+            .map(|i| {
+                self.load_scalar(ScalarType::U16, addr + 2 * i as u64)
+                    .expect("read_u16s in bounds")
+                    .as_int() as u16
+            })
             .collect()
     }
 
     /// Write a slice of `i32` values starting at `addr`.
     pub fn write_i32s(&mut self, addr: u64, data: &[i32]) {
         for (i, v) in data.iter().enumerate() {
-            self.store_scalar(ScalarType::I32, addr + 4 * i as u64, &Value::Int(i64::from(*v)))
-                .expect("write_i32s in bounds");
+            self.store_scalar(
+                ScalarType::I32,
+                addr + 4 * i as u64,
+                &Value::Int(i64::from(*v)),
+            )
+            .expect("write_i32s in bounds");
         }
     }
 
     /// Read `n` `i32` values starting at `addr`.
     pub fn read_i32s(&self, addr: u64, n: usize) -> Vec<i32> {
         (0..n)
-            .map(|i| self.load_scalar(ScalarType::I32, addr + 4 * i as u64).expect("read_i32s in bounds").as_int() as i32)
+            .map(|i| {
+                self.load_scalar(ScalarType::I32, addr + 4 * i as u64)
+                    .expect("read_i32s in bounds")
+                    .as_int() as i32
+            })
             .collect()
     }
 
@@ -325,7 +358,11 @@ pub fn eval_bin(op: BinOp, ty: ScalarType, lhs: &Value, rhs: &Value) -> Result<V
             BinOp::Max => a.max(b),
             other => return Err(ExecError::Trap(format!("float {other} unsupported"))),
         };
-        let r = if ty == ScalarType::F32 { f64::from(r as f32) } else { r };
+        let r = if ty == ScalarType::F32 {
+            f64::from(r as f32)
+        } else {
+            r
+        };
         return Ok(Value::Float(r));
     }
     let a = lhs.as_int();
@@ -413,13 +450,25 @@ pub fn eval_cast(from: ScalarType, to: ScalarType, v: &Value) -> Value {
     match (from.is_float(), to.is_float()) {
         (true, true) => {
             let x = v.as_float();
-            Value::Float(if to == ScalarType::F32 { f64::from(x as f32) } else { x })
+            Value::Float(if to == ScalarType::F32 {
+                f64::from(x as f32)
+            } else {
+                x
+            })
         }
         (true, false) => Value::Int(normalize_int(to, v.as_float() as i64)),
         (false, true) => {
             let x = v.as_int();
-            let f = if from.is_unsigned() { x as u64 as f64 } else { x as f64 };
-            Value::Float(if to == ScalarType::F32 { f64::from(f as f32) } else { f })
+            let f = if from.is_unsigned() {
+                x as u64 as f64
+            } else {
+                x as f64
+            };
+            Value::Float(if to == ScalarType::F32 {
+                f64::from(f as f32)
+            } else {
+                f
+            })
         }
         (false, false) => Value::Int(normalize_int(to, v.as_int())),
     }
@@ -559,7 +608,13 @@ impl<'m> Interpreter<'m> {
                     };
                 }
                 Inst::Move { dst, src, .. } => regs[dst.index()] = regs[src.index()].clone(),
-                Inst::Bin { op, ty, dst, lhs, rhs } => {
+                Inst::Bin {
+                    op,
+                    ty,
+                    dst,
+                    lhs,
+                    rhs,
+                } => {
                     regs[dst.index()] = eval_bin(op, ty, &regs[lhs.index()], &regs[rhs.index()])?;
                 }
                 Inst::Un { op, ty, dst, src } => {
@@ -575,8 +630,15 @@ impl<'m> Interpreter<'m> {
                         UnOp::Not => Value::Int(normalize_int(ty, !v.as_int())),
                     };
                 }
-                Inst::Cmp { op, ty, dst, lhs, rhs } => {
-                    regs[dst.index()] = Value::Int(eval_cmp(op, ty, &regs[lhs.index()], &regs[rhs.index()]));
+                Inst::Cmp {
+                    op,
+                    ty,
+                    dst,
+                    lhs,
+                    rhs,
+                } => {
+                    regs[dst.index()] =
+                        Value::Int(eval_cmp(op, ty, &regs[lhs.index()], &regs[rhs.index()]));
                 }
                 Inst::Select {
                     dst,
@@ -594,12 +656,22 @@ impl<'m> Interpreter<'m> {
                 Inst::Cast { dst, to, src, from } => {
                     regs[dst.index()] = eval_cast(from, to, &regs[src.index()]);
                 }
-                Inst::Load { dst, ty, addr, offset } => {
+                Inst::Load {
+                    dst,
+                    ty,
+                    addr,
+                    offset,
+                } => {
                     self.stats.memory_ops += 1;
                     let a = (regs[addr.index()].as_int() + offset) as u64;
                     regs[dst.index()] = mem.load_scalar(ty, a)?;
                 }
-                Inst::Store { ty, addr, offset, value } => {
+                Inst::Store {
+                    ty,
+                    addr,
+                    offset,
+                    value,
+                } => {
                     self.stats.memory_ops += 1;
                     let a = (regs[addr.index()].as_int() + offset) as u64;
                     mem.store_scalar(ty, a, &regs[value.index()])?;
@@ -614,13 +686,19 @@ impl<'m> Interpreter<'m> {
                     }
                 }
                 Inst::VecWidth { dst, elem } => {
-                    regs[dst.index()] = Value::Int(elem.lanes_for_width(self.vector_width_bytes) as i64);
+                    regs[dst.index()] =
+                        Value::Int(elem.lanes_for_width(self.vector_width_bytes) as i64);
                 }
                 Inst::VecSplat { dst, elem, src } => {
                     let lanes = elem.lanes_for_width(self.vector_width_bytes) as usize;
                     regs[dst.index()] = Value::Vector(vec![regs[src.index()].clone(); lanes]);
                 }
-                Inst::VecLoad { dst, elem, addr, offset } => {
+                Inst::VecLoad {
+                    dst,
+                    elem,
+                    addr,
+                    offset,
+                } => {
                     self.stats.memory_ops += 1;
                     let lanes = elem.lanes_for_width(self.vector_width_bytes);
                     let base = (regs[addr.index()].as_int() + offset) as u64;
@@ -630,7 +708,12 @@ impl<'m> Interpreter<'m> {
                     }
                     regs[dst.index()] = Value::Vector(v);
                 }
-                Inst::VecStore { elem, addr, offset, value } => {
+                Inst::VecStore {
+                    elem,
+                    addr,
+                    offset,
+                    value,
+                } => {
                     self.stats.memory_ops += 1;
                     let base = (regs[addr.index()].as_int() + offset) as u64;
                     let lanes = regs[value.index()].as_vector().to_vec();
@@ -638,7 +721,13 @@ impl<'m> Interpreter<'m> {
                         mem.store_scalar(elem, base + i as u64 * elem.size_bytes(), lane)?;
                     }
                 }
-                Inst::VecBin { op, elem, dst, lhs, rhs } => {
+                Inst::VecBin {
+                    op,
+                    elem,
+                    dst,
+                    lhs,
+                    rhs,
+                } => {
                     let a = regs[lhs.index()].as_vector().to_vec();
                     let b = regs[rhs.index()].as_vector().to_vec();
                     if a.len() != b.len() {
@@ -665,8 +754,16 @@ impl<'m> Interpreter<'m> {
                     block = target;
                     index = 0;
                 }
-                Inst::Branch { cond, then_bb, else_bb } => {
-                    block = if regs[cond.index()].as_int() != 0 { then_bb } else { else_bb };
+                Inst::Branch {
+                    cond,
+                    then_bb,
+                    else_bb,
+                } => {
+                    block = if regs[cond.index()].as_int() != 0 {
+                        then_bb
+                    } else {
+                        else_bb
+                    };
                     index = 0;
                 }
                 Inst::Ret { value } => {
@@ -690,7 +787,9 @@ mod tests {
         m.add_function(f);
         let mut interp = Interpreter::new(&m);
         let mut mem = Memory::new(1 << 16);
-        interp.run(&name, args, &mut mem).expect("execution succeeds")
+        interp
+            .run(&name, args, &mut mem)
+            .expect("execution succeeds")
     }
 
     #[test]
@@ -710,18 +809,31 @@ mod tests {
 
     #[test]
     fn unsigned_vs_signed_comparison() {
-        assert_eq!(eval_cmp(CmpOp::Lt, ScalarType::I8, &Value::Int(-1), &Value::Int(1)), 1);
+        assert_eq!(
+            eval_cmp(CmpOp::Lt, ScalarType::I8, &Value::Int(-1), &Value::Int(1)),
+            1
+        );
         assert_eq!(
             eval_cmp(CmpOp::Lt, ScalarType::U64, &Value::Int(-1), &Value::Int(1)),
             0,
             "-1 as unsigned is the maximum value"
         );
         assert_eq!(
-            eval_cmp(CmpOp::Ne, ScalarType::F32, &Value::Float(f64::NAN), &Value::Float(1.0)),
+            eval_cmp(
+                CmpOp::Ne,
+                ScalarType::F32,
+                &Value::Float(f64::NAN),
+                &Value::Float(1.0)
+            ),
             1
         );
         assert_eq!(
-            eval_cmp(CmpOp::Eq, ScalarType::F32, &Value::Float(f64::NAN), &Value::Float(1.0)),
+            eval_cmp(
+                CmpOp::Eq,
+                ScalarType::F32,
+                &Value::Float(f64::NAN),
+                &Value::Float(1.0)
+            ),
             0
         );
     }
@@ -741,7 +853,9 @@ mod tests {
         m.add_function(b.finish());
         let mut interp = Interpreter::new(&m);
         let mut mem = Memory::new(64);
-        let err = interp.run("div", &[Value::Int(1), Value::Int(0)], &mut mem).unwrap_err();
+        let err = interp
+            .run("div", &[Value::Int(1), Value::Int(0)], &mut mem)
+            .unwrap_err();
         assert!(matches!(err, ExecError::Trap(_)));
     }
 
@@ -768,7 +882,11 @@ mod tests {
         mem.write_f32s(src, &[1.5, -2.0, 3.25, 0.0]);
         let mut interp = Interpreter::new(&m);
         interp
-            .run("copy4", &[Value::Int(dst as i64), Value::Int(src as i64)], &mut mem)
+            .run(
+                "copy4",
+                &[Value::Int(dst as i64), Value::Int(src as i64)],
+                &mut mem,
+            )
             .unwrap();
         assert_eq!(mem.read_f32s(dst, 4), vec![1.5, -2.0, 3.25, 0.0]);
         assert_eq!(interp.stats().memory_ops, 8);
@@ -796,7 +914,9 @@ mod tests {
         let p = mem.alloc(16);
         mem.write_f32s(p, &[1.0, 2.0, 3.0, 4.0]);
         let mut interp = Interpreter::new(&m);
-        let out = interp.run("vsum2x", &[Value::Int(p as i64)], &mut mem).unwrap();
+        let out = interp
+            .run("vsum2x", &[Value::Int(p as i64)], &mut mem)
+            .unwrap();
         assert_eq!(out, Some(Value::Float(20.0)));
     }
 
@@ -809,9 +929,15 @@ mod tests {
         m.add_function(b.finish());
         let mut mem = Memory::new(64);
         let mut interp = Interpreter::new(&m).with_vector_width(32);
-        assert_eq!(interp.run("w", &[], &mut mem).unwrap(), Some(Value::Int(32)));
+        assert_eq!(
+            interp.run("w", &[], &mut mem).unwrap(),
+            Some(Value::Int(32))
+        );
         let mut interp16 = Interpreter::new(&m);
-        assert_eq!(interp16.run("w", &[], &mut mem).unwrap(), Some(Value::Int(16)));
+        assert_eq!(
+            interp16.run("w", &[], &mut mem).unwrap(),
+            Some(Value::Int(16))
+        );
     }
 
     #[test]
@@ -825,7 +951,10 @@ mod tests {
         m.add_function(b.finish());
         let mut interp = Interpreter::new(&m).with_fuel(1000);
         let mut mem = Memory::new(64);
-        assert_eq!(interp.run("spin", &[], &mut mem).unwrap_err(), ExecError::OutOfFuel);
+        assert_eq!(
+            interp.run("spin", &[], &mut mem).unwrap_err(),
+            ExecError::OutOfFuel
+        );
     }
 
     #[test]
@@ -846,8 +975,12 @@ mod tests {
         );
         let a = caller.param(0);
         let bb = caller.param(1);
-        let sa = caller.call("square", &[a], Some(Type::Scalar(ScalarType::I32))).unwrap();
-        let sb = caller.call("square", &[bb], Some(Type::Scalar(ScalarType::I32))).unwrap();
+        let sa = caller
+            .call("square", &[a], Some(Type::Scalar(ScalarType::I32)))
+            .unwrap();
+        let sb = caller
+            .call("square", &[bb], Some(Type::Scalar(ScalarType::I32)))
+            .unwrap();
         let t = caller.bin(BinOp::Add, ScalarType::I32, sa, sb);
         caller.ret(Some(t));
 
@@ -868,17 +1001,28 @@ mod tests {
         let mut mem = Memory::new(32);
         assert!(mem.load_scalar(ScalarType::I32, 0).is_err());
         assert!(mem.load_scalar(ScalarType::I64, 30).is_err());
-        assert!(mem.store_scalar(ScalarType::I32, 0, &Value::Int(1)).is_err());
+        assert!(mem
+            .store_scalar(ScalarType::I32, 0, &Value::Int(1))
+            .is_err());
     }
 
     #[test]
     fn casts_between_domains() {
-        assert_eq!(eval_cast(ScalarType::F64, ScalarType::I32, &Value::Float(3.9)), Value::Int(3));
-        assert_eq!(eval_cast(ScalarType::I32, ScalarType::F32, &Value::Int(-2)), Value::Float(-2.0));
+        assert_eq!(
+            eval_cast(ScalarType::F64, ScalarType::I32, &Value::Float(3.9)),
+            Value::Int(3)
+        );
+        assert_eq!(
+            eval_cast(ScalarType::I32, ScalarType::F32, &Value::Int(-2)),
+            Value::Float(-2.0)
+        );
         assert_eq!(
             eval_cast(ScalarType::U8, ScalarType::F32, &Value::Int(255)),
             Value::Float(255.0)
         );
-        assert_eq!(eval_cast(ScalarType::I64, ScalarType::U8, &Value::Int(257)), Value::Int(1));
+        assert_eq!(
+            eval_cast(ScalarType::I64, ScalarType::U8, &Value::Int(257)),
+            Value::Int(1)
+        );
     }
 }

@@ -110,7 +110,10 @@ mod tests {
         replacement.annotations.set("marker", true);
         m.add_function(replacement);
         assert_eq!(m.functions().len(), 1);
-        assert_eq!(m.function("a").unwrap().annotations.get_bool("marker"), Some(true));
+        assert_eq!(
+            m.function("a").unwrap().annotations.get_bool("marker"),
+            Some(true)
+        );
     }
 
     #[test]
@@ -130,7 +133,9 @@ mod tests {
         let mut m = Module::new("m");
         let mut f = Function::new("a", &[], None);
         let entry = f.entry;
-        f.block_mut(entry).insts.push(crate::Inst::Ret { value: None });
+        f.block_mut(entry)
+            .insts
+            .push(crate::Inst::Ret { value: None });
         m.add_function(f);
         assert_eq!(m.num_insts(), 1);
     }

@@ -14,17 +14,49 @@ pub fn format_inst(inst: &Inst) -> String {
     match inst {
         Inst::Const { dst, ty, imm } => format!("{dst} = const.{ty} {imm}"),
         Inst::Move { dst, ty, src } => format!("{dst} = mov.{ty} {src}"),
-        Inst::Bin { op, ty, dst, lhs, rhs } => format!("{dst} = {op}.{ty} {lhs}, {rhs}"),
+        Inst::Bin {
+            op,
+            ty,
+            dst,
+            lhs,
+            rhs,
+        } => format!("{dst} = {op}.{ty} {lhs}, {rhs}"),
         Inst::Un { op, ty, dst, src } => format!("{dst} = {op}.{ty} {src}"),
-        Inst::Cmp { op, ty, dst, lhs, rhs } => format!("{dst} = cmp.{op}.{ty} {lhs}, {rhs}"),
-        Inst::Select { ty, dst, cond, if_true, if_false } => {
+        Inst::Cmp {
+            op,
+            ty,
+            dst,
+            lhs,
+            rhs,
+        } => format!("{dst} = cmp.{op}.{ty} {lhs}, {rhs}"),
+        Inst::Select {
+            ty,
+            dst,
+            cond,
+            if_true,
+            if_false,
+        } => {
             format!("{dst} = select.{ty} {cond} ? {if_true} : {if_false}")
         }
         Inst::Cast { dst, to, src, from } => format!("{dst} = cast.{from}.{to} {src}"),
-        Inst::Load { dst, ty, addr, offset } => format!("{dst} = load.{ty} [{addr}{offset:+}]"),
-        Inst::Store { ty, addr, offset, value } => format!("store.{ty} [{addr}{offset:+}], {value}"),
+        Inst::Load {
+            dst,
+            ty,
+            addr,
+            offset,
+        } => format!("{dst} = load.{ty} [{addr}{offset:+}]"),
+        Inst::Store {
+            ty,
+            addr,
+            offset,
+            value,
+        } => format!("store.{ty} [{addr}{offset:+}], {value}"),
         Inst::Call { dst, callee, args } => {
-            let args = args.iter().map(ToString::to_string).collect::<Vec<_>>().join(", ");
+            let args = args
+                .iter()
+                .map(ToString::to_string)
+                .collect::<Vec<_>>()
+                .join(", ");
             match dst {
                 Some(d) => format!("{d} = call {callee}({args})"),
                 None => format!("call {callee}({args})"),
@@ -32,14 +64,34 @@ pub fn format_inst(inst: &Inst) -> String {
         }
         Inst::VecWidth { dst, elem } => format!("{dst} = vec.width.{elem}"),
         Inst::VecSplat { dst, elem, src } => format!("{dst} = vec.splat.{elem} {src}"),
-        Inst::VecLoad { dst, elem, addr, offset } => format!("{dst} = vec.load.{elem} [{addr}{offset:+}]"),
-        Inst::VecStore { elem, addr, offset, value } => {
+        Inst::VecLoad {
+            dst,
+            elem,
+            addr,
+            offset,
+        } => format!("{dst} = vec.load.{elem} [{addr}{offset:+}]"),
+        Inst::VecStore {
+            elem,
+            addr,
+            offset,
+            value,
+        } => {
             format!("vec.store.{elem} [{addr}{offset:+}], {value}")
         }
-        Inst::VecBin { op, elem, dst, lhs, rhs } => format!("{dst} = vec.{op}.{elem} {lhs}, {rhs}"),
+        Inst::VecBin {
+            op,
+            elem,
+            dst,
+            lhs,
+            rhs,
+        } => format!("{dst} = vec.{op}.{elem} {lhs}, {rhs}"),
         Inst::VecReduce { op, elem, dst, src } => format!("{dst} = vec.reduce.{op}.{elem} {src}"),
         Inst::Jump { target } => format!("jump {target}"),
-        Inst::Branch { cond, then_bb, else_bb } => format!("branch {cond}, {then_bb}, {else_bb}"),
+        Inst::Branch {
+            cond,
+            then_bb,
+            else_bb,
+        } => format!("branch {cond}, {then_bb}, {else_bb}"),
         Inst::Ret { value } => match value {
             Some(v) => format!("ret {v}"),
             None => "ret".to_owned(),
@@ -139,23 +191,99 @@ mod tests {
     fn every_instruction_kind_formats() {
         use crate::inst::{BlockId, CmpOp, Immediate, ReduceOp, UnOp, VReg};
         let samples = vec![
-            Inst::Const { dst: VReg(0), ty: ScalarType::F32, imm: Immediate::Float(1.5) },
-            Inst::Move { dst: VReg(1), ty: ScalarType::I32, src: VReg(0) },
-            Inst::Un { op: UnOp::Neg, ty: ScalarType::I32, dst: VReg(1), src: VReg(0) },
-            Inst::Cmp { op: CmpOp::Le, ty: ScalarType::I32, dst: VReg(2), lhs: VReg(0), rhs: VReg(1) },
-            Inst::Select { ty: ScalarType::I32, dst: VReg(3), cond: VReg(2), if_true: VReg(0), if_false: VReg(1) },
-            Inst::Cast { dst: VReg(4), to: ScalarType::F32, src: VReg(0), from: ScalarType::I32 },
-            Inst::Load { dst: VReg(5), ty: ScalarType::U8, addr: VReg(0), offset: -4 },
-            Inst::Store { ty: ScalarType::U8, addr: VReg(0), offset: 8, value: VReg(5) },
-            Inst::Call { dst: None, callee: "f".into(), args: vec![VReg(0), VReg(1)] },
-            Inst::VecWidth { dst: VReg(6), elem: ScalarType::U16 },
-            Inst::VecSplat { dst: VReg(7), elem: ScalarType::U16, src: VReg(6) },
-            Inst::VecLoad { dst: VReg(8), elem: ScalarType::U16, addr: VReg(0), offset: 0 },
-            Inst::VecStore { elem: ScalarType::U16, addr: VReg(0), offset: 0, value: VReg(8) },
-            Inst::VecBin { op: BinOp::Max, elem: ScalarType::U16, dst: VReg(9), lhs: VReg(8), rhs: VReg(7) },
-            Inst::VecReduce { op: ReduceOp::Max, elem: ScalarType::U16, dst: VReg(10), src: VReg(9) },
+            Inst::Const {
+                dst: VReg(0),
+                ty: ScalarType::F32,
+                imm: Immediate::Float(1.5),
+            },
+            Inst::Move {
+                dst: VReg(1),
+                ty: ScalarType::I32,
+                src: VReg(0),
+            },
+            Inst::Un {
+                op: UnOp::Neg,
+                ty: ScalarType::I32,
+                dst: VReg(1),
+                src: VReg(0),
+            },
+            Inst::Cmp {
+                op: CmpOp::Le,
+                ty: ScalarType::I32,
+                dst: VReg(2),
+                lhs: VReg(0),
+                rhs: VReg(1),
+            },
+            Inst::Select {
+                ty: ScalarType::I32,
+                dst: VReg(3),
+                cond: VReg(2),
+                if_true: VReg(0),
+                if_false: VReg(1),
+            },
+            Inst::Cast {
+                dst: VReg(4),
+                to: ScalarType::F32,
+                src: VReg(0),
+                from: ScalarType::I32,
+            },
+            Inst::Load {
+                dst: VReg(5),
+                ty: ScalarType::U8,
+                addr: VReg(0),
+                offset: -4,
+            },
+            Inst::Store {
+                ty: ScalarType::U8,
+                addr: VReg(0),
+                offset: 8,
+                value: VReg(5),
+            },
+            Inst::Call {
+                dst: None,
+                callee: "f".into(),
+                args: vec![VReg(0), VReg(1)],
+            },
+            Inst::VecWidth {
+                dst: VReg(6),
+                elem: ScalarType::U16,
+            },
+            Inst::VecSplat {
+                dst: VReg(7),
+                elem: ScalarType::U16,
+                src: VReg(6),
+            },
+            Inst::VecLoad {
+                dst: VReg(8),
+                elem: ScalarType::U16,
+                addr: VReg(0),
+                offset: 0,
+            },
+            Inst::VecStore {
+                elem: ScalarType::U16,
+                addr: VReg(0),
+                offset: 0,
+                value: VReg(8),
+            },
+            Inst::VecBin {
+                op: BinOp::Max,
+                elem: ScalarType::U16,
+                dst: VReg(9),
+                lhs: VReg(8),
+                rhs: VReg(7),
+            },
+            Inst::VecReduce {
+                op: ReduceOp::Max,
+                elem: ScalarType::U16,
+                dst: VReg(10),
+                src: VReg(9),
+            },
             Inst::Jump { target: BlockId(1) },
-            Inst::Branch { cond: VReg(2), then_bb: BlockId(1), else_bb: BlockId(2) },
+            Inst::Branch {
+                cond: VReg(2),
+                then_bb: BlockId(1),
+                else_bb: BlockId(2),
+            },
             Inst::Ret { value: None },
         ];
         for inst in samples {

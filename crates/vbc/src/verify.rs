@@ -187,7 +187,13 @@ fn check_types(f: &Function, block: BlockId, inst: &Inst) -> Result<(), VerifyEr
             expect_type(f, block, *dst, scalar(*ty), "move dst")?;
             expect_type(f, block, *src, scalar(*ty), "move src")
         }
-        Inst::Bin { ty, dst, lhs, rhs, op } => {
+        Inst::Bin {
+            ty,
+            dst,
+            lhs,
+            rhs,
+            op,
+        } => {
             if op.int_only() && ty.is_float() {
                 return Err(VerifyError::TypeMismatch {
                     function: f.name.clone(),
@@ -203,7 +209,9 @@ fn check_types(f: &Function, block: BlockId, inst: &Inst) -> Result<(), VerifyEr
             expect_type(f, block, *dst, scalar(*ty), "un dst")?;
             expect_type(f, block, *src, scalar(*ty), "un src")
         }
-        Inst::Cmp { ty, dst, lhs, rhs, .. } => {
+        Inst::Cmp {
+            ty, dst, lhs, rhs, ..
+        } => {
             expect_type(f, block, *dst, scalar(ScalarType::I32), "cmp dst")?;
             expect_type(f, block, *lhs, scalar(*ty), "cmp lhs")?;
             expect_type(f, block, *rhs, scalar(*ty), "cmp rhs")
@@ -228,25 +236,39 @@ fn check_types(f: &Function, block: BlockId, inst: &Inst) -> Result<(), VerifyEr
             expect_type(f, block, *dst, scalar(*ty), "load dst")?;
             expect_type(f, block, *addr, scalar(ScalarType::Ptr), "load address")
         }
-        Inst::Store { ty, addr, value, .. } => {
+        Inst::Store {
+            ty, addr, value, ..
+        } => {
             expect_type(f, block, *addr, scalar(ScalarType::Ptr), "store address")?;
             expect_type(f, block, *value, scalar(*ty), "store value")
         }
         Inst::Call { .. } => Ok(()), // signature checked at module level
-        Inst::VecWidth { dst, .. } => expect_type(f, block, *dst, scalar(ScalarType::I64), "vecwidth dst"),
+        Inst::VecWidth { dst, .. } => {
+            expect_type(f, block, *dst, scalar(ScalarType::I64), "vecwidth dst")
+        }
         Inst::VecSplat { dst, elem, src } => {
             expect_type(f, block, *dst, vector(*elem), "splat dst")?;
             expect_type(f, block, *src, scalar(*elem), "splat src")
         }
-        Inst::VecLoad { dst, elem, addr, .. } => {
+        Inst::VecLoad {
+            dst, elem, addr, ..
+        } => {
             expect_type(f, block, *dst, vector(*elem), "vload dst")?;
             expect_type(f, block, *addr, scalar(ScalarType::Ptr), "vload address")
         }
-        Inst::VecStore { elem, addr, value, .. } => {
+        Inst::VecStore {
+            elem, addr, value, ..
+        } => {
             expect_type(f, block, *addr, scalar(ScalarType::Ptr), "vstore address")?;
             expect_type(f, block, *value, vector(*elem), "vstore value")
         }
-        Inst::VecBin { elem, dst, lhs, rhs, op } => {
+        Inst::VecBin {
+            elem,
+            dst,
+            lhs,
+            rhs,
+            op,
+        } => {
             if op.int_only() && elem.is_float() {
                 return Err(VerifyError::TypeMismatch {
                     function: f.name.clone(),
@@ -262,18 +284,18 @@ fn check_types(f: &Function, block: BlockId, inst: &Inst) -> Result<(), VerifyEr
             expect_type(f, block, *dst, scalar(*elem), "vreduce dst")?;
             expect_type(f, block, *src, vector(*elem), "vreduce src")
         }
-        Inst::Branch { cond, .. } => expect_type(f, block, *cond, scalar(ScalarType::I32), "branch condition"),
-        Inst::Jump { .. } => Ok(()),
-        Inst::Ret { value } => {
-            match (value, f.ret) {
-                (Some(v), Some(ty)) => expect_type(f, block, *v, ty, "return value"),
-                (None, None) => Ok(()),
-                _ => Err(VerifyError::ReturnMismatch {
-                    function: f.name.clone(),
-                    block,
-                }),
-            }
+        Inst::Branch { cond, .. } => {
+            expect_type(f, block, *cond, scalar(ScalarType::I32), "branch condition")
         }
+        Inst::Jump { .. } => Ok(()),
+        Inst::Ret { value } => match (value, f.ret) {
+            (Some(v), Some(ty)) => expect_type(f, block, *v, ty, "return value"),
+            (None, None) => Ok(()),
+            _ => Err(VerifyError::ReturnMismatch {
+                function: f.name.clone(),
+                block,
+            }),
+        },
     }
 }
 
@@ -399,7 +421,9 @@ mod tests {
     fn early_terminator_is_reported() {
         let mut f = valid_add();
         let entry = f.entry;
-        f.block_mut(entry).insts.insert(0, Inst::Ret { value: None });
+        f.block_mut(entry)
+            .insts
+            .insert(0, Inst::Ret { value: None });
         assert!(matches!(
             verify_function(&f),
             Err(VerifyError::EarlyTerminator { .. })
@@ -432,7 +456,10 @@ mod tests {
         f.block_mut(entry).insts[last] = Inst::Jump { target: BlockId(7) };
         assert!(matches!(
             verify_function(&f),
-            Err(VerifyError::BadBlockTarget { target: BlockId(7), .. })
+            Err(VerifyError::BadBlockTarget {
+                target: BlockId(7),
+                ..
+            })
         ));
     }
 
@@ -490,7 +517,10 @@ mod tests {
         let mut c = FunctionBuilder::new("callee", &[], None);
         c.ret(None);
         m.add_function(c.finish());
-        assert!(matches!(verify_module(&m), Err(VerifyError::BadArity { .. })));
+        assert!(matches!(
+            verify_module(&m),
+            Err(VerifyError::BadArity { .. })
+        ));
     }
 
     #[test]

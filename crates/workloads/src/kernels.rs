@@ -241,23 +241,125 @@ fn fir4_f32(n: i32, x: *f32, y: *f32) {
 /// The complete kernel catalogue.
 pub fn all_kernels() -> Vec<Kernel> {
     vec![
-        Kernel { name: "vecadd_f32", source: VECADD_F32, elem: ScalarType::F32, kind: KernelKind::Table1, vectorizable: true },
-        Kernel { name: "saxpy_f32", source: SAXPY_F32, elem: ScalarType::F32, kind: KernelKind::Table1, vectorizable: true },
-        Kernel { name: "dscal_f32", source: DSCAL_F32, elem: ScalarType::F32, kind: KernelKind::Table1, vectorizable: true },
-        Kernel { name: "max_u8", source: MAX_U8, elem: ScalarType::U8, kind: KernelKind::Table1, vectorizable: true },
-        Kernel { name: "sum_u8", source: SUM_U8, elem: ScalarType::U8, kind: KernelKind::Table1, vectorizable: true },
-        Kernel { name: "sum_u16", source: SUM_U16, elem: ScalarType::U16, kind: KernelKind::Table1, vectorizable: true },
-        Kernel { name: "dot_f32", source: DOT_F32, elem: ScalarType::F32, kind: KernelKind::DataParallel, vectorizable: true },
-        Kernel { name: "min_i16", source: MIN_I16, elem: ScalarType::I16, kind: KernelKind::DataParallel, vectorizable: true },
-        Kernel { name: "brighten_u8", source: BRIGHTEN_U8, elem: ScalarType::U8, kind: KernelKind::PipelineStage, vectorizable: true },
-        Kernel { name: "copy_u8", source: COPY_U8, elem: ScalarType::U8, kind: KernelKind::PipelineStage, vectorizable: true },
-        Kernel { name: "threshold_u8", source: THRESHOLD_U8, elem: ScalarType::U8, kind: KernelKind::PipelineStage, vectorizable: true },
-        Kernel { name: "histogram_u8", source: HISTOGRAM_U8, elem: ScalarType::U8, kind: KernelKind::Scalar, vectorizable: false },
-        Kernel { name: "prefix_sum_i32", source: PREFIX_SUM_I32, elem: ScalarType::I32, kind: KernelKind::Scalar, vectorizable: false },
-        Kernel { name: "fir4_f32", source: FIR4_F32, elem: ScalarType::F32, kind: KernelKind::Scalar, vectorizable: false },
-        Kernel { name: "horner_f32", source: HORNER_F32, elem: ScalarType::F32, kind: KernelKind::RegisterPressure, vectorizable: true },
-        Kernel { name: "hotcold_f32", source: HOTCOLD_F32, elem: ScalarType::F32, kind: KernelKind::RegisterPressure, vectorizable: true },
-        Kernel { name: "hotcold_i32", source: HOTCOLD_I32, elem: ScalarType::I32, kind: KernelKind::RegisterPressure, vectorizable: true },
+        Kernel {
+            name: "vecadd_f32",
+            source: VECADD_F32,
+            elem: ScalarType::F32,
+            kind: KernelKind::Table1,
+            vectorizable: true,
+        },
+        Kernel {
+            name: "saxpy_f32",
+            source: SAXPY_F32,
+            elem: ScalarType::F32,
+            kind: KernelKind::Table1,
+            vectorizable: true,
+        },
+        Kernel {
+            name: "dscal_f32",
+            source: DSCAL_F32,
+            elem: ScalarType::F32,
+            kind: KernelKind::Table1,
+            vectorizable: true,
+        },
+        Kernel {
+            name: "max_u8",
+            source: MAX_U8,
+            elem: ScalarType::U8,
+            kind: KernelKind::Table1,
+            vectorizable: true,
+        },
+        Kernel {
+            name: "sum_u8",
+            source: SUM_U8,
+            elem: ScalarType::U8,
+            kind: KernelKind::Table1,
+            vectorizable: true,
+        },
+        Kernel {
+            name: "sum_u16",
+            source: SUM_U16,
+            elem: ScalarType::U16,
+            kind: KernelKind::Table1,
+            vectorizable: true,
+        },
+        Kernel {
+            name: "dot_f32",
+            source: DOT_F32,
+            elem: ScalarType::F32,
+            kind: KernelKind::DataParallel,
+            vectorizable: true,
+        },
+        Kernel {
+            name: "min_i16",
+            source: MIN_I16,
+            elem: ScalarType::I16,
+            kind: KernelKind::DataParallel,
+            vectorizable: true,
+        },
+        Kernel {
+            name: "brighten_u8",
+            source: BRIGHTEN_U8,
+            elem: ScalarType::U8,
+            kind: KernelKind::PipelineStage,
+            vectorizable: true,
+        },
+        Kernel {
+            name: "copy_u8",
+            source: COPY_U8,
+            elem: ScalarType::U8,
+            kind: KernelKind::PipelineStage,
+            vectorizable: true,
+        },
+        Kernel {
+            name: "threshold_u8",
+            source: THRESHOLD_U8,
+            elem: ScalarType::U8,
+            kind: KernelKind::PipelineStage,
+            vectorizable: true,
+        },
+        Kernel {
+            name: "histogram_u8",
+            source: HISTOGRAM_U8,
+            elem: ScalarType::U8,
+            kind: KernelKind::Scalar,
+            vectorizable: false,
+        },
+        Kernel {
+            name: "prefix_sum_i32",
+            source: PREFIX_SUM_I32,
+            elem: ScalarType::I32,
+            kind: KernelKind::Scalar,
+            vectorizable: false,
+        },
+        Kernel {
+            name: "fir4_f32",
+            source: FIR4_F32,
+            elem: ScalarType::F32,
+            kind: KernelKind::Scalar,
+            vectorizable: false,
+        },
+        Kernel {
+            name: "horner_f32",
+            source: HORNER_F32,
+            elem: ScalarType::F32,
+            kind: KernelKind::RegisterPressure,
+            vectorizable: true,
+        },
+        Kernel {
+            name: "hotcold_f32",
+            source: HOTCOLD_F32,
+            elem: ScalarType::F32,
+            kind: KernelKind::RegisterPressure,
+            vectorizable: true,
+        },
+        Kernel {
+            name: "hotcold_i32",
+            source: HOTCOLD_I32,
+            elem: ScalarType::I32,
+            kind: KernelKind::RegisterPressure,
+            vectorizable: true,
+        },
     ]
 }
 
@@ -297,7 +399,11 @@ pub fn kernel(name: &str) -> Option<Kernel> {
 /// Returns the front-end error if any kernel fails to compile (which would be
 /// a bug in this crate's sources).
 pub fn module_for(kernels: &[Kernel], module_name: &str) -> Result<Module, CompileError> {
-    let source: String = kernels.iter().map(|k| k.source).collect::<Vec<_>>().join("\n");
+    let source: String = kernels
+        .iter()
+        .map(|k| k.source)
+        .collect::<Vec<_>>()
+        .join("\n");
     compile_source(&source, module_name)
 }
 
@@ -317,7 +423,8 @@ mod tests {
     #[test]
     fn every_kernel_compiles_and_names_match() {
         for k in all_kernels() {
-            let m = module_for(&[k.clone()], "t").unwrap_or_else(|e| panic!("{}: {e}", k.name));
+            let m = module_for(std::slice::from_ref(&k), "t")
+                .unwrap_or_else(|e| panic!("{}: {e}", k.name));
             assert!(
                 m.function(k.name).is_some(),
                 "kernel source of {} must define a function of the same name",
@@ -331,7 +438,14 @@ mod tests {
         let names: Vec<_> = table1_kernels().iter().map(|k| k.name).collect();
         assert_eq!(
             names,
-            vec!["vecadd_f32", "saxpy_f32", "dscal_f32", "max_u8", "sum_u8", "sum_u16"]
+            vec![
+                "vecadd_f32",
+                "saxpy_f32",
+                "dscal_f32",
+                "max_u8",
+                "sum_u8",
+                "sum_u16"
+            ]
         );
     }
 
@@ -349,7 +463,7 @@ mod tests {
     fn vectorizable_flags_match_the_offline_vectorizer() {
         use splitc_opt::{optimize_module, OptOptions};
         for k in all_kernels() {
-            let mut m = module_for(&[k.clone()], "t").unwrap();
+            let mut m = module_for(std::slice::from_ref(&k), "t").unwrap();
             let report = optimize_module(&mut m, &OptOptions::full());
             let vectorized = report.vectorized_loops.contains_key(k.name);
             assert_eq!(

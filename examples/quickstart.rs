@@ -4,16 +4,17 @@
 //!
 //! 1. compile a mini-C kernel *offline* to portable bytecode and let the
 //!    offline optimizer vectorize and annotate it;
-//! 2. JIT-compile that same bytecode *online* for an x86 machine with SSE and
-//!    for a scalar UltraSparc-class machine;
+//! 2. deploy that same bytecode into a cached [`ExecutionEngine`] and let it
+//!    JIT-compile *online* — exactly once per machine — for an x86 with SSE
+//!    and for a scalar UltraSparc-class machine;
 //! 3. run both on their cycle simulators and compare.
 //!
 //! Run with: `cargo run --example quickstart`
 
-use splitc::{offline_compile, run_on_target, Workspace};
 use splitc::splitc_jit::JitOptions;
 use splitc::splitc_opt::OptOptions;
 use splitc::splitc_targets::{MachineValue, TargetDesc};
+use splitc::{offline_compile, ExecutionEngine, Workspace};
 
 const KERNEL: &str = r#"
 // Scale-and-accumulate, the BLAS "saxpy" kernel.
@@ -30,10 +31,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("offline step:");
     println!("  vectorized loops : {}", report.total_vectorized());
     println!("  offline work     : {} units", report.offline_work);
-    println!("  bytecode size    : {} bytes", splitc::splitc_vbc::encoded_size(&module));
+    println!(
+        "  bytecode size    : {} bytes",
+        splitc::splitc_vbc::encoded_size(&module)
+    );
     println!();
 
     // --- Online step (each device) ------------------------------------------
+    // Deploy once; the engine compiles each distinct machine exactly once and
+    // serves every further run of the kernel from its code cache.
+    let engine = ExecutionEngine::new(module);
     let n = 4096usize;
     for target in [TargetDesc::x86_sse(), TargetDesc::ultrasparc()] {
         let mut ws = Workspace::new(1 << 20);
@@ -42,8 +49,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ws.write_f32s(x, &(0..n).map(|i| i as f32 * 0.25).collect::<Vec<_>>());
         ws.write_f32s(y, &vec![1.0; n]);
 
-        let run = run_on_target(
-            &module,
+        let run = engine.run(
             &target,
             &JitOptions::split(),
             "saxpy",
@@ -60,11 +66,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("  online (JIT) work : {} units", run.jit.total_work());
         println!(
             "  vector builtins   : {}",
-            if run.jit.used_simd { "mapped to SIMD" } else { "scalarized" }
+            if run.jit.used_simd {
+                "mapped to SIMD"
+            } else {
+                "scalarized"
+            }
         );
         println!("  simulated cycles  : {}", run.stats.cycles);
         println!("  y[1] = {}", ws.read_f32s(y, 2)[1]);
         println!();
     }
+    println!(
+        "engine cache: {} online compilations, {} cache hits",
+        engine.stats().compiles,
+        engine.stats().hits
+    );
     Ok(())
 }

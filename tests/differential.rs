@@ -53,15 +53,23 @@ fn target_checksum(
 ) -> u64 {
     let mut ws = Workspace::new(1 << 16);
     let prepared = prepare(kernel.name, N, 99, &mut ws);
-    let run = run_on_target(module, target, jit, kernel.name, &prepared.args, ws.bytes_mut())
-        .unwrap_or_else(|e| panic!("{} on {}: {e}", kernel.name, target.name));
+    let run = run_on_target(
+        module,
+        target,
+        jit,
+        kernel.name,
+        &prepared.args,
+        ws.bytes_mut(),
+    )
+    .unwrap_or_else(|e| panic!("{} on {}: {e}", kernel.name, target.name));
     checksum(run.result, &prepared, &ws)
 }
 
 #[test]
 fn every_kernel_agrees_across_interpreter_and_all_targets() {
     for kernel in all_kernels() {
-        let mut module = module_for(&[kernel.clone()], kernel.name).expect("kernel compiles");
+        let mut module =
+            module_for(std::slice::from_ref(&kernel), kernel.name).expect("kernel compiles");
         optimize_module(&mut module, &OptOptions::full());
         let reference = interpreter_checksum(&module, &kernel);
         for target in TargetDesc::presets() {
@@ -85,7 +93,8 @@ fn register_allocation_strategy_never_changes_results() {
     // Register-starved targets stress the allocator the most.
     let targets = [TargetDesc::x86_sse(), TargetDesc::dsp()];
     for kernel in all_kernels() {
-        let mut module = module_for(&[kernel.clone()], kernel.name).expect("kernel compiles");
+        let mut module =
+            module_for(std::slice::from_ref(&kernel), kernel.name).expect("kernel compiles");
         optimize_module(&mut module, &OptOptions::full());
         let reference = interpreter_checksum(&module, &kernel);
         for target in &targets {
@@ -107,7 +116,11 @@ fn register_allocation_strategy_never_changes_results() {
 
 #[test]
 fn offline_optimization_level_never_changes_results() {
-    let levels = [OptOptions::none(), OptOptions::scalar_only(), OptOptions::full()];
+    let levels = [
+        OptOptions::none(),
+        OptOptions::scalar_only(),
+        OptOptions::full(),
+    ];
     let target = TargetDesc::arm_neon();
     // Floating-point *reduction* kernels are excluded from this particular
     // comparison: vectorizing a float sum reassociates the additions, so the
@@ -120,7 +133,8 @@ fn offline_optimization_level_never_changes_results() {
         }
         let mut reference = None;
         for opts in levels {
-            let mut module = module_for(&[kernel.clone()], kernel.name).expect("kernel compiles");
+            let mut module =
+                module_for(std::slice::from_ref(&kernel), kernel.name).expect("kernel compiles");
             optimize_module(&mut module, &opts);
             let sum = target_checksum(&module, &kernel, &target, &JitOptions::split());
             match reference {
@@ -140,7 +154,8 @@ fn disabling_simd_never_changes_results() {
     // A JIT that ignores the vector builtins (scalarization on a SIMD-capable
     // machine) must still compute the same thing.
     for kernel in all_kernels().into_iter().filter(|k| k.vectorizable) {
-        let mut module = module_for(&[kernel.clone()], kernel.name).expect("kernel compiles");
+        let mut module =
+            module_for(std::slice::from_ref(&kernel), kernel.name).expect("kernel compiles");
         optimize_module(&mut module, &OptOptions::full());
         let target = TargetDesc::x86_sse();
         let with_simd = target_checksum(&module, &kernel, &target, &JitOptions::split());
@@ -153,6 +168,10 @@ fn disabling_simd_never_changes_results() {
                 allow_simd: false,
             },
         );
-        assert_eq!(with_simd, without, "{}: scalarization changed the result", kernel.name);
+        assert_eq!(
+            with_simd, without,
+            "{}: scalarization changed the result",
+            kernel.name
+        );
     }
 }

@@ -1,88 +1,146 @@
 //! Property-based tests over the core data structures and transformations.
+//!
+//! The properties are the same ones the original proptest suite checked
+//! (wire-format round-tripping, optimization soundness, JIT/interpreter
+//! agreement, vectorization equivalence); the generator is a small seeded
+//! splitmix64 so the suite runs fully offline and deterministically.
 
-use proptest::prelude::*;
+use splitc::ExecutionEngine;
 use splitc_jit::JitOptions;
 use splitc_opt::{optimize_module, OptOptions};
-use splitc_targets::{MachineValue, Simulator, TargetDesc};
+use splitc_targets::MachineValue;
 use splitc_vbc::{
     decode_module, encode_module, AnnotationValue, BinOp, FunctionBuilder, Interpreter, Memory,
     Module, ScalarType, Type, Value,
 };
 use splitc_workloads::SAXPY_F32;
 
-/// Strategy producing arbitrary (but structurally valid) annotation values.
-fn annotation_value() -> impl Strategy<Value = AnnotationValue> {
-    let leaf = prop_oneof![
-        any::<i64>().prop_map(AnnotationValue::Int),
-        any::<bool>().prop_map(AnnotationValue::Bool),
-        proptest::num::f64::NORMAL.prop_map(AnnotationValue::Float),
-        "[a-z0-9 ]{0,12}".prop_map(AnnotationValue::Str),
-    ];
-    leaf.prop_recursive(3, 24, 6, |inner| {
-        prop_oneof![
-            prop::collection::vec(inner.clone(), 0..4).prop_map(AnnotationValue::List),
-            prop::collection::btree_map("[a-z]{1,8}", inner, 0..4).prop_map(AnnotationValue::Map),
-        ]
-    })
-}
+const CASES: u64 = 64;
 
-/// Strategy producing small straight-line integer functions.
-fn straight_line_module() -> impl Strategy<Value = Module> {
-    let op = prop_oneof![
-        Just(BinOp::Add),
-        Just(BinOp::Sub),
-        Just(BinOp::Mul),
-        Just(BinOp::And),
-        Just(BinOp::Or),
-        Just(BinOp::Xor),
-        Just(BinOp::Min),
-        Just(BinOp::Max),
-    ];
-    (
-        prop::collection::vec((op, 0usize..8, 0usize..8), 1..20),
-        prop::collection::vec(any::<i32>(), 2..8),
-        prop::collection::btree_map("[a-z.]{1,16}", annotation_value(), 0..4),
-    )
-        .prop_map(|(ops, consts, annotations)| {
-            let mut b = FunctionBuilder::new("f", &[], Some(Type::Scalar(ScalarType::I32)));
-            let mut values: Vec<_> = consts
-                .iter()
-                .map(|c| b.const_int(ScalarType::I32, i64::from(*c)))
-                .collect();
-            for (op, i, j) in ops {
-                let lhs = values[i % values.len()];
-                let rhs = values[j % values.len()];
-                let v = b.bin(op, ScalarType::I32, lhs, rhs);
-                values.push(v);
-            }
-            let last = *values.last().expect("at least the constants");
-            b.ret(Some(last));
-            let mut f = b.finish();
-            for (k, v) in annotations {
-                f.annotations.set(&k, v);
-            }
-            let mut m = Module::new("prop");
-            m.add_function(f);
-            m
-        })
-}
+/// Minimal deterministic generator (splitmix64).
+struct Gen(u64);
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// The wire format is lossless for arbitrary generated modules.
-    #[test]
-    fn encode_decode_round_trips(module in straight_line_module()) {
-        let bytes = encode_module(&module);
-        let decoded = decode_module(&bytes).expect("decodes");
-        prop_assert_eq!(decoded, module);
+impl Gen {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
     }
 
-    /// Generated modules verify, fold, and still compute the same value in the
-    /// interpreter after offline optimization.
-    #[test]
-    fn constant_folding_preserves_results(module in straight_line_module()) {
-        prop_assume!(splitc_vbc::verify_module(&module).is_ok());
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n.max(1)
+    }
+
+    /// A normal f64 drawn from the full bit-pattern space (negative, tiny and
+    /// huge values included), mirroring proptest's `f64::NORMAL` coverage.
+    fn normal_f64(&mut self) -> f64 {
+        loop {
+            let v = f64::from_bits(self.next());
+            if v.is_normal() {
+                return v;
+            }
+        }
+    }
+
+    /// An arbitrary (but structurally valid) annotation value, at most
+    /// `depth` levels deep.
+    fn annotation_value(&mut self, depth: u32) -> AnnotationValue {
+        let choices = if depth == 0 { 4 } else { 6 };
+        match self.below(choices) {
+            0 => AnnotationValue::Int(self.next() as i64),
+            1 => AnnotationValue::Bool(self.next() & 1 == 1),
+            2 => AnnotationValue::Float(self.normal_f64()),
+            3 => {
+                let len = self.below(12) as usize;
+                AnnotationValue::Str(
+                    (0..len)
+                        .map(|_| (b'a' + self.below(26) as u8) as char)
+                        .collect(),
+                )
+            }
+            4 => {
+                let len = self.below(4) as usize;
+                AnnotationValue::List((0..len).map(|_| self.annotation_value(depth - 1)).collect())
+            }
+            _ => {
+                let len = self.below(4) as usize;
+                AnnotationValue::Map(
+                    (0..len)
+                        .map(|i| {
+                            let key: String = (0..=i)
+                                .map(|_| (b'a' + self.below(26) as u8) as char)
+                                .collect();
+                            (key, self.annotation_value(depth - 1))
+                        })
+                        .collect(),
+                )
+            }
+        }
+    }
+
+    /// A small straight-line integer function wrapped in a module, mirroring
+    /// the original proptest strategy: a pool of constants combined by a
+    /// random sequence of division-free binary operations.
+    fn straight_line_module(&mut self) -> Module {
+        const OPS: [BinOp; 8] = [
+            BinOp::Add,
+            BinOp::Sub,
+            BinOp::Mul,
+            BinOp::And,
+            BinOp::Or,
+            BinOp::Xor,
+            BinOp::Min,
+            BinOp::Max,
+        ];
+        let mut b = FunctionBuilder::new("f", &[], Some(Type::Scalar(ScalarType::I32)));
+        let num_consts = 2 + self.below(6) as usize;
+        let mut values: Vec<_> = (0..num_consts)
+            .map(|_| b.const_int(ScalarType::I32, self.next() as i32 as i64))
+            .collect();
+        let num_ops = 1 + self.below(19) as usize;
+        for _ in 0..num_ops {
+            let op = OPS[self.below(OPS.len() as u64) as usize];
+            let lhs = values[self.below(values.len() as u64) as usize];
+            let rhs = values[self.below(values.len() as u64) as usize];
+            values.push(b.bin(op, ScalarType::I32, lhs, rhs));
+        }
+        let last = *values.last().expect("at least the constants");
+        b.ret(Some(last));
+        let mut f = b.finish();
+        for _ in 0..self.below(4) {
+            let key: String = (0..1 + self.below(8))
+                .map(|_| (b'a' + self.below(26) as u8) as char)
+                .collect();
+            f.annotations.set(&key, self.annotation_value(2));
+        }
+        let mut m = Module::new("prop");
+        m.add_function(f);
+        m
+    }
+}
+
+/// The wire format is lossless for arbitrary generated modules.
+#[test]
+fn encode_decode_round_trips() {
+    for case in 0..CASES {
+        let module = Gen(0xe2c0de + case).straight_line_module();
+        let bytes = encode_module(&module);
+        let decoded = decode_module(&bytes).expect("decodes");
+        assert_eq!(decoded, module, "case {case}");
+    }
+}
+
+/// Generated modules verify, fold, and still compute the same value in the
+/// interpreter after offline optimization.
+#[test]
+fn constant_folding_preserves_results() {
+    for case in 0..CASES {
+        let module = Gen(0xf01d + case).straight_line_module();
+        if splitc_vbc::verify_module(&module).is_err() {
+            continue;
+        }
         let mut mem = Memory::new(256);
         let mut interp = Interpreter::new(&module);
         let before = interp.run("f", &[], &mut mem);
@@ -90,45 +148,49 @@ proptest! {
         optimize_module(&mut optimized, &OptOptions::full());
         let mut interp = Interpreter::new(&optimized);
         let after = interp.run("f", &[], &mut mem);
-        // Division by zero cannot occur (no div ops generated), so both runs succeed.
-        prop_assert_eq!(before.expect("runs"), after.expect("runs"));
+        // Division by zero cannot occur (no div ops generated), so both run.
+        assert_eq!(before.expect("runs"), after.expect("runs"), "case {case}");
     }
+}
 
-    /// The interpreter and a simulated target agree on generated modules, and
-    /// the JIT accepts whatever the generator produces.
-    #[test]
-    fn jit_matches_interpreter_on_generated_modules(module in straight_line_module()) {
-        prop_assume!(splitc_vbc::verify_module(&module).is_ok());
+/// The interpreter and a simulated target agree on generated modules, and the
+/// engine-cached JIT accepts whatever the generator produces.
+#[test]
+fn jit_matches_interpreter_on_generated_modules() {
+    let target = splitc_targets::TargetDesc::powerpc();
+    for case in 0..CASES {
+        let module = Gen(0x717 + case).straight_line_module();
+        if splitc_vbc::verify_module(&module).is_err() {
+            continue;
+        }
         let mut mem = Memory::new(256);
         let mut interp = Interpreter::new(&module);
         let expected = interp.run("f", &[], &mut mem).expect("interpreter runs");
-        let target = TargetDesc::powerpc();
-        let (program, _) = splitc_jit::compile_module(&module, &target, &JitOptions::split())
-            .expect("compiles");
-        let mut sim = Simulator::new(&program, &target);
+        let engine = ExecutionEngine::new(module);
         let mut bytes = vec![0u8; 256];
-        let got = sim.run("f", &[], &mut bytes).expect("simulates");
+        let run = engine
+            .run(&target, &JitOptions::split(), "f", &[], &mut bytes)
+            .expect("compiles and simulates");
         let expected = match expected {
             Some(Value::Int(v)) => Some(MachineValue::Int(v)),
             other => panic!("unexpected interpreter result {other:?}"),
         };
-        prop_assert_eq!(got, expected);
+        assert_eq!(run.result, expected, "case {case}");
     }
+}
 
-    /// Vectorized saxpy equals scalar saxpy on the interpreter for arbitrary
-    /// inputs and lengths (including lengths smaller than the vector factor).
-    #[test]
-    fn vectorized_saxpy_matches_scalar(
-        n in 0usize..70,
-        a in -8.0f32..8.0,
-        seed in 0u64..1000,
-    ) {
-        let mut scalar = splitc_minic::compile_source(SAXPY_F32, "k").expect("compiles");
-        let mut vectorized = scalar.clone();
-        optimize_module(&mut vectorized, &OptOptions::full());
-        optimize_module(&mut scalar, &OptOptions::scalar_only());
+/// Vectorized saxpy equals scalar saxpy on the interpreter for arbitrary
+/// inputs and lengths (including lengths smaller than the vector factor).
+#[test]
+fn vectorized_saxpy_matches_scalar() {
+    let mut scalar = splitc::splitc_minic::compile_source(SAXPY_F32, "k").expect("compiles");
+    let mut vectorized = scalar.clone();
+    optimize_module(&mut vectorized, &OptOptions::full());
+    optimize_module(&mut scalar, &OptOptions::scalar_only());
 
-        let mut gen = splitc_workloads::DataGen::new(seed);
+    for n in 0usize..70 {
+        let mut gen = splitc_workloads::DataGen::new(0x5a00 + n as u64);
+        let a = gen.f32s(1, 8.0)[0];
         let xs = gen.f32s(n.max(1), 50.0);
         let ys = gen.f32s(n.max(1), 50.0);
 
@@ -153,6 +215,6 @@ proptest! {
                 .expect("runs");
             mem.read_f32s(y, n.max(1))
         };
-        prop_assert_eq!(run(&scalar), run(&vectorized));
+        assert_eq!(run(&scalar), run(&vectorized), "n = {n}");
     }
 }

@@ -1,0 +1,21 @@
+//! Offline stand-in for `serde`'s derive macros.
+//!
+//! The splitc workspace builds without network access, so the real `serde`
+//! crate is unavailable. The codebase only uses `#[derive(Serialize)]` and
+//! `#[derive(Deserialize)]` as forward-looking markers — the deployment wire
+//! format is hand-rolled in `splitc_vbc::encode` — so the derives expand to
+//! nothing here. See `vendor/README.md` for how to swap in the real crate.
+
+use proc_macro::TokenStream;
+
+/// No-op stand-in for `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op stand-in for `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
