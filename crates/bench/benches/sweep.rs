@@ -1,0 +1,87 @@
+//! Bench — parallel sweep throughput: 1 worker vs N workers.
+//!
+//! The same `K kernels × T targets × R repeats` matrix is swept over one
+//! shared engine, first sequentially and then fanned across a worker pool.
+//! The cells are bit-identical (asserted below); the only thing parallelism
+//! may change is wall-clock throughput, which this bench reports as a
+//! cells-per-second ratio.
+//!
+//! Only the parallel section is timed: the module is compiled and optimized
+//! once up front (that offline step is inherently serial and identical for
+//! both runs), and each timed run deploys a fresh engine so cold online
+//! compiles — which the sharded cache parallelizes too — are part of the
+//! measured sweep. The speedup ratio is always printed; set
+//! `SWEEP_BENCH_ASSERT=1` on a quiet host with 4+ cores to also *enforce*
+//! the 1.5× threshold (left report-only by default so a loaded shared CI
+//! runner cannot flake an unrelated PR on a wall-clock threshold).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use splitc::splitc_opt::{optimize_module, OptOptions};
+use splitc::splitc_targets::TargetDesc;
+use splitc::splitc_vbc::Module;
+use splitc::splitc_workloads::{module_for, table1_kernels};
+use splitc::sweep::{sweep_engine, SweepConfig};
+use splitc::ExecutionEngine;
+use splitc_bench::BENCH_N;
+use std::time::Instant;
+
+const PARALLEL_JOBS: usize = 4;
+const REPEATS: usize = 8;
+
+fn offline_module() -> Module {
+    let kernels = table1_kernels();
+    let mut module = module_for(&kernels, "sweep-bench").expect("catalogue compiles");
+    optimize_module(&mut module, &OptOptions::full());
+    module
+}
+
+/// Deploy a fresh engine for `module` and time one full matrix sweep with
+/// `jobs` workers. Returns (cells per second, checksums).
+fn timed_sweep(module: &Module, jobs: usize) -> (f64, Vec<u64>) {
+    let kernels = table1_kernels();
+    let targets = TargetDesc::table1_targets();
+    let cfg = SweepConfig::new(BENCH_N)
+        .with_repeats(REPEATS)
+        .with_jobs(jobs);
+    let engine = ExecutionEngine::new(module.clone());
+    let start = Instant::now();
+    let result = sweep_engine(&engine, &kernels, &targets, &cfg).expect("sweep runs");
+    let elapsed = start.elapsed().as_secs_f64();
+    (result.cells.len() as f64 / elapsed, result.checksums())
+}
+
+fn bench_sweep(c: &mut Criterion) {
+    let module = offline_module();
+
+    // Headline comparison, printed once: sequential vs parallel throughput
+    // over identical (asserted) results.
+    let (seq_throughput, seq_sums) = timed_sweep(&module, 1);
+    let (par_throughput, par_sums) = timed_sweep(&module, PARALLEL_JOBS);
+    assert_eq!(
+        seq_sums, par_sums,
+        "parallel sweep must be bit-identical to the sequential sweep"
+    );
+    let speedup = par_throughput / seq_throughput;
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    println!(
+        "\nsweep throughput: 1 job = {seq_throughput:.1} cells/s, \
+         {PARALLEL_JOBS} jobs = {par_throughput:.1} cells/s  ({speedup:.2}x, {cores} host cores)"
+    );
+    if std::env::var_os("SWEEP_BENCH_ASSERT").is_some() && cores >= PARALLEL_JOBS {
+        assert!(
+            speedup > 1.5,
+            "expected >1.5x throughput at {PARALLEL_JOBS} jobs on a {cores}-core host, got {speedup:.2}x"
+        );
+    }
+
+    let mut group = c.benchmark_group("sweep");
+    group.sample_size(10);
+    group.bench_function("jobs_1", |b| b.iter(|| timed_sweep(&module, 1).1.len()));
+    group.bench_function("jobs_4", |b| {
+        b.iter(|| timed_sweep(&module, PARALLEL_JOBS).1.len())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_sweep);
+criterion_main!(benches);

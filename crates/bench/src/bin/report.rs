@@ -3,23 +3,30 @@
 //! Usage:
 //!
 //! ```text
-//! cargo run --release -p splitc-bench --bin report -- [all|table1|splitflow|regalloc|hetero|codesize|kpn] [n]
+//! cargo run --release -p splitc-bench --bin report -- [all|table1|splitflow|regalloc|hetero|codesize|kpn] [n] [--jobs N]
 //! ```
 //!
 //! `n` is the number of elements per kernel invocation (default 4096, as in
-//! the experiment index of `DESIGN.md`).
+//! the experiment index of `DESIGN.md`). `--jobs N` fans the measurement
+//! matrices of the table1, splitflow and hetero experiments across N worker
+//! threads (`--jobs 0` = one per host core); results are bit-identical to
+//! the sequential run, so parallelism only changes wall-clock time.
 
 use splitc::experiments::{codesize, hetero, kpn, regalloc, splitflow, table1};
 use splitc::splitc_runtime::Platform;
+use splitc::splitc_targets::TargetDesc;
 use std::process::ExitCode;
 
-fn print_table1(n: usize) -> Result<(), Box<dyn std::error::Error>> {
-    println!("{}", table1::run(n)?.render());
+fn print_table1(n: usize, jobs: usize) -> Result<(), Box<dyn std::error::Error>> {
+    println!(
+        "{}",
+        table1::run_with(n, &TargetDesc::table1_targets(), jobs)?.render()
+    );
     Ok(())
 }
 
-fn print_splitflow(n: usize) -> Result<(), Box<dyn std::error::Error>> {
-    println!("{}", splitflow::run(n, &[])?.render());
+fn print_splitflow(n: usize, jobs: usize) -> Result<(), Box<dyn std::error::Error>> {
+    println!("{}", splitflow::run_with(n, &[], jobs)?.render());
     Ok(())
 }
 
@@ -28,9 +35,9 @@ fn print_regalloc(n: usize) -> Result<(), Box<dyn std::error::Error>> {
     Ok(())
 }
 
-fn print_hetero(n: usize) -> Result<(), Box<dyn std::error::Error>> {
+fn print_hetero(n: usize, jobs: usize) -> Result<(), Box<dyn std::error::Error>> {
     let sizes = [n / 64, n / 16, n / 4, n, n * 4, n * 16];
-    println!("{}", hetero::run("saxpy_f32", &sizes)?.render());
+    println!("{}", hetero::run_with("saxpy_f32", &sizes, jobs)?.render());
     Ok(())
 }
 
@@ -48,7 +55,25 @@ fn print_kpn(n: usize) -> Result<(), Box<dyn std::error::Error>> {
 }
 
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let jobs: usize = match args.iter().position(|a| a == "--jobs") {
+        Some(pos) if pos + 1 < args.len() => {
+            let value = args.remove(pos + 1);
+            args.remove(pos);
+            match value.parse() {
+                Ok(v) => v,
+                Err(e) => {
+                    eprintln!("bad --jobs value `{value}`: {e}");
+                    return ExitCode::from(2);
+                }
+            }
+        }
+        Some(_) => {
+            eprintln!("--jobs requires a value");
+            return ExitCode::from(2);
+        }
+        None => 1,
+    };
     let what = args.first().map(String::as_str).unwrap_or("all");
     let n: usize = args
         .get(1)
@@ -56,16 +81,16 @@ fn main() -> ExitCode {
         .unwrap_or(splitc::splitc_workloads::DEFAULT_N);
 
     let result = match what {
-        "table1" => print_table1(n),
-        "splitflow" => print_splitflow(n),
+        "table1" => print_table1(n, jobs),
+        "splitflow" => print_splitflow(n, jobs),
         "regalloc" => print_regalloc(n),
-        "hetero" => print_hetero(n),
+        "hetero" => print_hetero(n, jobs),
         "codesize" => print_codesize(),
         "kpn" => print_kpn(n),
-        "all" => print_table1(n)
-            .and_then(|()| print_splitflow(n))
+        "all" => print_table1(n, jobs)
+            .and_then(|()| print_splitflow(n, jobs))
             .and_then(|()| print_regalloc(n))
-            .and_then(|()| print_hetero(n))
+            .and_then(|()| print_hetero(n, jobs))
             .and_then(|()| print_codesize())
             .and_then(|()| print_kpn(n)),
         other => {

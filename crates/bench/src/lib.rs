@@ -6,6 +6,10 @@
 //!   `benches/splitflow.rs`, `benches/regalloc.rs`, `benches/hetero.rs`,
 //!   `benches/codesize.rs`, `benches/kpn.rs`), each driving the corresponding
 //!   experiment from [`splitc::experiments`] and asserting its headline shape;
+//! * the parallel-sweep throughput comparison (`benches/sweep.rs`): the same
+//!   kernel × target × repeat matrix swept with 1 worker vs 4 workers over
+//!   one shared engine, asserting bit-identical results and reporting the
+//!   cells-per-second speedup;
 //! * the `report` binary, which regenerates the paper-style tables at full
 //!   problem sizes (`cargo run -p splitc-bench --bin report -- all`).
 //!

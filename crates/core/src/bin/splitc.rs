@@ -5,7 +5,7 @@
 //! splitc dis <module.svbc>
 //! splitc targets
 //! splitc run <module.svbc|kernels.mc> --kernel <fn> --target <name> [--arg i:<int>|f:<float>]...
-//! splitc bench <catalogue-kernel> [--n <elems>] [--target <name>]
+//! splitc bench <catalogue-kernel> [--n <elems>] [--target <name>] [--jobs <N>] [--repeats <R>]
 //! ```
 //!
 //! * `build` runs the offline step (front end + optimizer) and writes the
@@ -16,17 +16,22 @@
 //!   parameters are all scalars (integers or floats).
 //! * `bench` prepares one of the workload-catalogue kernels (which take
 //!   pointer arguments) with generated data and reports simulated cycles on
-//!   the chosen target, or on all Table 1 targets when none is given.
+//!   the chosen target, or on all Table 1 targets when none is given. The
+//!   target × repeat matrix runs on the parallel sweep layer: `--jobs N`
+//!   fans it over N worker threads (`--jobs 0` = one per host core) that
+//!   share one engine, and `--repeats R` re-runs every cell R times to show
+//!   the compile-once-run-many amortization.
 
 use splitc::splitc_jit::JitOptions;
-use splitc::splitc_opt::{optimize_module, OptOptions};
+use splitc::splitc_opt::OptOptions;
 use splitc::splitc_targets::{MachineValue, TargetDesc};
 use splitc::splitc_vbc::{decode_module, encode_module, Module};
-use splitc::{offline_compile, prepare, run_on_target, ExecutionEngine, Workspace};
+use splitc::sweep::{sweep_kernels, SweepConfig};
+use splitc::{fmt_cache_line, offline_compile, run_on_target, Workspace};
 use std::process::ExitCode;
 
 fn usage() -> &'static str {
-    "usage:\n  splitc build <kernels.mc> -o <module.svbc> [--no-vectorize] [--strip]\n  splitc dis <module.svbc>\n  splitc targets\n  splitc run <module.svbc|kernels.mc> --kernel <fn> --target <name> [--arg i:<int>|f:<float>]...\n  splitc bench <kernel> [--n <elems>] [--target <name>]"
+    "usage:\n  splitc build <kernels.mc> -o <module.svbc> [--no-vectorize] [--strip]\n  splitc dis <module.svbc>\n  splitc targets\n  splitc run <module.svbc|kernels.mc> --kernel <fn> --target <name> [--arg i:<int>|f:<float>]...\n  splitc bench <kernel> [--n <elems>] [--target <name>] [--jobs <N>] [--repeats <R>]"
 }
 
 /// Parse one `--arg` value of the form `i:<integer>` or `f:<float>`.
@@ -166,15 +171,20 @@ fn cmd_bench(mut args: Vec<String>) -> Result<(), String> {
         .map(|s| s.parse().map_err(|e| format!("bad --n value: {e}")))
         .transpose()?
         .unwrap_or(splitc::splitc_workloads::DEFAULT_N);
+    let jobs: usize = take_flag(&mut args, "--jobs")
+        .map(|s| s.parse().map_err(|e| format!("bad --jobs value: {e}")))
+        .transpose()?
+        .unwrap_or(1);
+    let repeats: usize = take_flag(&mut args, "--repeats")
+        .map(|s| s.parse().map_err(|e| format!("bad --repeats value: {e}")))
+        .transpose()?
+        .unwrap_or(1);
     let target_filter = take_flag(&mut args, "--target");
     let kernel_name = args
         .first()
         .ok_or("bench requires a catalogue kernel name")?;
     let kernel = splitc::splitc_workloads::kernel(kernel_name)
         .ok_or_else(|| format!("`{kernel_name}` is not in the workload catalogue"))?;
-    let mut module = splitc::splitc_workloads::module_for(&[kernel], kernel_name)
-        .map_err(|e| format!("cannot compile the kernel: {e}"))?;
-    optimize_module(&mut module, &OptOptions::full());
 
     let targets: Vec<TargetDesc> = match target_filter {
         Some(name) => {
@@ -182,25 +192,18 @@ fn cmd_bench(mut args: Vec<String>) -> Result<(), String> {
         }
         None => TargetDesc::table1_targets(),
     };
-    // One deployment for the whole sweep: each target compiles exactly once.
-    let engine = ExecutionEngine::new(module);
-    for target in targets {
-        let mut ws = Workspace::new((16 * n + (1 << 12)).max(1 << 14));
-        let prepared = prepare(kernel_name, n, 1, &mut ws);
-        let run = engine
-            .run(
-                &target,
-                &JitOptions::split(),
-                kernel_name,
-                &prepared.args,
-                ws.bytes_mut(),
-            )
-            .map_err(|e| format!("{}: {e}", target.name))?;
+    // One deployment for the whole sweep: each target compiles exactly once,
+    // however many repeats and workers the matrix fans out over.
+    let cfg = SweepConfig::new(n).with_jobs(jobs).with_repeats(repeats);
+    let result =
+        sweep_kernels(&[kernel], &targets, &cfg).map_err(|e| format!("sweep failed: {e}"))?;
+    for cell in result.cells.iter().filter(|c| c.repeat == 0) {
         println!(
-            "{:<12} n={n}  cycles={}  instructions={}  simd={}",
-            target.name, run.stats.cycles, run.stats.instructions, run.jit.used_simd
+            "{:<12} n={n}  cycles={}  checksum={:016x}",
+            cell.target, cell.cycles, cell.checksum
         );
     }
+    println!("{}", fmt_cache_line(&result.cache));
     Ok(())
 }
 
@@ -293,5 +296,21 @@ mod tests {
         .expect("run succeeds");
 
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn bench_runs_a_parallel_repeated_sweep() {
+        cmd_bench(vec![
+            "saxpy_f32".into(),
+            "--n".into(),
+            "64".into(),
+            "--jobs".into(),
+            "2".into(),
+            "--repeats".into(),
+            "3".into(),
+        ])
+        .expect("bench sweep succeeds");
+        assert!(cmd_bench(vec!["not_a_kernel".into()]).is_err());
+        assert!(cmd_bench(vec!["saxpy_f32".into(), "--jobs".into(), "x".into()]).is_err());
     }
 }

@@ -8,7 +8,7 @@
 //! crossover and demonstrates performance portability from one binary.
 
 use crate::harness::prepare;
-use crate::report::TextTable;
+use crate::report::{fmt_amortized_jit, fmt_cache_line, TextTable};
 use crate::session::{PipelineError, Workspace};
 use splitc_opt::{optimize_module, OptOptions};
 use splitc_runtime::{CacheStats, EngineError, Executor, Platform};
@@ -91,6 +91,10 @@ pub struct Hetero {
     /// Engine code-cache counters: one compilation per distinct core type,
     /// however many problem sizes the sweep measures.
     pub cache: CacheStats,
+    /// Total online-compilation work units spent by the deployment.
+    pub online_work: u64,
+    /// Worker threads the measurement sweep used.
+    pub jobs: usize,
 }
 
 impl Hetero {
@@ -127,16 +131,18 @@ impl Hetero {
             Some(n) => format!("SPU offload beats the Cell host from n = {n} elements on"),
             None => "SPU offload never beats the Cell host in this sweep".to_owned(),
         };
-        format!(
-            "Heterogeneous deployment of `{}` (scaled cycles, lower is better)\n{}\n{}\n\
-             online compilations: {} across {} runs ({} served from the engine cache)\n",
+        let mut out = format!(
+            "Heterogeneous deployment of `{}` (scaled cycles, lower is better)\n{}\n{}\n{}\n",
             self.kernel,
             table.render(),
             crossover,
-            self.cache.compiles,
-            self.cache.lookups(),
-            self.cache.hits,
-        )
+            fmt_cache_line(&self.cache),
+        );
+        if self.jobs > 1 {
+            out.push_str(&fmt_amortized_jit(self.online_work, self.jobs));
+            out.push('\n');
+        }
+        out
     }
 }
 
@@ -147,6 +153,20 @@ impl Hetero {
 /// Returns a [`PipelineError`] if compilation or execution fails, or if the
 /// kernel is not in the workload catalogue.
 pub fn run(kernel_name: &str, sizes: &[usize]) -> Result<Hetero, PipelineError> {
+    run_with(kernel_name, sizes, 1)
+}
+
+/// Run the heterogeneity experiment with the size × configuration matrix
+/// fanned across `jobs` worker threads (0 = one per host core).
+///
+/// Every cell's inputs depend only on its problem size, so the parallel
+/// sweep is bit-identical to the sequential one.
+///
+/// # Errors
+///
+/// Same conditions as [`run`].
+pub fn run_with(kernel_name: &str, sizes: &[usize], jobs: usize) -> Result<Hetero, PipelineError> {
+    let jobs = crate::sweep::resolve_jobs(jobs);
     let k =
         kernel(kernel_name).ok_or_else(|| EngineError::UnknownKernel(kernel_name.to_owned()))?;
     let mut module =
@@ -166,12 +186,24 @@ pub fn run(kernel_name: &str, sizes: &[usize]) -> Result<Hetero, PipelineError> 
         cell.core("spu0").expect("blade has an spu"),
     ])?;
 
-    let mut rows = Vec::new();
+    // The measurement matrix: every (size, configuration) cell, sized so one
+    // per-worker workspace fits the largest problem of the sweep.
+    let mut matrix = Vec::with_capacity(sizes.len() * HeteroConfig::ALL.len());
     for &n in sizes {
-        let mut cells = Vec::new();
         for config in HeteroConfig::ALL {
-            let mut ws = Workspace::new((16 * n + (1 << 12)).max(1 << 14));
-            let prepared = prepare(kernel_name, n, 0x4e7 + n as u64, &mut ws);
+            matrix.push((n, config));
+        }
+    }
+    // Report the pool width the sweep actually runs with.
+    let jobs = splitc_runtime::pool_width(jobs, matrix.len());
+    let max_n = sizes.iter().copied().max().unwrap_or(0);
+    let outcomes: Vec<Result<HeteroCell, PipelineError>> = splitc_runtime::sweep(
+        &matrix,
+        jobs,
+        |_worker| Workspace::sized_for(max_n),
+        |ws, &(n, config), _| {
+            ws.reset();
+            let prepared = prepare(kernel_name, n, 0x4e7 + n as u64, ws);
             let (core, dma) = match config {
                 HeteroConfig::Workstation => (workstation.host(), None),
                 HeteroConfig::PhoneArm => (phone.core("arm").expect("phone has an arm core"), None),
@@ -181,14 +213,14 @@ pub fn run(kernel_name: &str, sizes: &[usize]) -> Result<Hetero, PipelineError> 
                     Some(&cell.dma),
                 ),
             };
-            let cell_result = match dma {
+            match dma {
                 None => {
                     let outcome = exec.run(core, kernel_name, &prepared.args, ws.bytes_mut())?;
-                    HeteroCell {
+                    Ok(HeteroCell {
                         config,
                         compute: outcome.scaled_cycles,
                         transfer: 0.0,
-                    }
+                    })
                 }
                 Some(dma) => {
                     let bytes_out = prepared.output.map(|(_, len)| len).unwrap_or(8);
@@ -201,21 +233,32 @@ pub fn run(kernel_name: &str, sizes: &[usize]) -> Result<Hetero, PipelineError> 
                         prepared.input_bytes,
                         bytes_out,
                     )?;
-                    HeteroCell {
+                    Ok(HeteroCell {
                         config,
                         compute: outcome.scaled_cycles,
                         transfer: cost.dma_cycles as f64,
-                    }
+                    })
                 }
-            };
-            cells.push(cell_result);
-        }
-        rows.push(HeteroRow { n, cells });
+            }
+        },
+    );
+
+    let mut rows: Vec<HeteroRow> = sizes
+        .iter()
+        .map(|&n| HeteroRow {
+            n,
+            cells: Vec::with_capacity(HeteroConfig::ALL.len()),
+        })
+        .collect();
+    for (i, outcome) in outcomes.into_iter().enumerate() {
+        rows[i / HeteroConfig::ALL.len()].cells.push(outcome?);
     }
     Ok(Hetero {
         kernel: kernel_name.to_owned(),
         rows,
         cache: exec.engine().stats(),
+        online_work: exec.engine().online_work(),
+        jobs,
     })
 }
 
@@ -252,5 +295,15 @@ mod tests {
     #[test]
     fn unknown_kernel_is_an_error() {
         assert!(run("not_a_kernel", &[16]).is_err());
+    }
+
+    #[test]
+    fn parallel_size_sweep_is_bit_identical_to_sequential() {
+        let sizes = [64, 1024, 8192];
+        let sequential = run_with("saxpy_f32", &sizes, 1).expect("sequential sweep runs");
+        let parallel = run_with("saxpy_f32", &sizes, 4).expect("parallel sweep runs");
+        assert_eq!(sequential.rows, parallel.rows);
+        assert_eq!(sequential.cache, parallel.cache);
+        assert!(parallel.render().contains("amortized online cost"));
     }
 }

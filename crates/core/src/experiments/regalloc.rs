@@ -179,7 +179,7 @@ pub fn run(n: usize) -> Result<Regalloc, PipelineError> {
         }
         for target in &targets {
             let measure = |mode: RegAllocMode| -> Result<(u64, u64, u64, u64), PipelineError> {
-                let mut ws = Workspace::new((16 * n + (1 << 12)).max(1 << 14));
+                let mut ws = Workspace::sized_for(n);
                 let prepared = prepare(kernel.name, n, 0x2e6 + n as u64, &mut ws);
                 let m = engine.run(
                     target,

@@ -15,9 +15,11 @@
 //! This crate is the facade: it wires the front end ([`splitc_minic`]), the
 //! offline optimizer ([`splitc_opt`]), the online compiler ([`splitc_jit`]),
 //! the virtual targets ([`splitc_targets`]) and the heterogeneous runtime
-//! ([`splitc_runtime`]) into a single pipeline, and hosts the experiment
+//! ([`splitc_runtime`]) into a single pipeline, hosts the experiment
 //! drivers that regenerate every table and figure of the paper
-//! (see [`experiments`]).
+//! (see [`experiments`]), and provides the parallel sweep layer
+//! (see [`sweep`]) that fans kernel × target × repeat matrices across
+//! cores over one shared, sharded engine cache.
 //!
 //! # Quick start
 //!
@@ -63,12 +65,14 @@ pub mod experiments;
 mod harness;
 mod report;
 mod session;
+pub mod sweep;
 
 pub use harness::{checksum, prepare, PreparedKernel};
-pub use report::{fmt_speedup, TextTable};
+pub use report::{fmt_amortized_jit, fmt_cache_line, fmt_speedup, TextTable};
 pub use session::{
     offline_compile, offline_optimize, run_on_target, PipelineError, RunMeasurement, Workspace,
 };
+pub use sweep::{SweepCell, SweepConfig, SweepResult};
 // The shared execution layer, re-exported so facade users can hold a cached
 // engine instead of paying one compilation per `run_on_target` call.
 pub use splitc_runtime::{CacheStats, EngineError, Execution, ExecutionEngine};

@@ -94,6 +94,14 @@ impl Workspace {
         }
     }
 
+    /// Create a workspace sized for a catalogue-kernel invocation over `n`
+    /// elements: room for a few 4-byte arrays of length `n` plus headroom,
+    /// never smaller than 16 KiB. The experiment drivers, the sweep layer
+    /// and the stress tests all share this one sizing rule.
+    pub fn sized_for(n: usize) -> Self {
+        Workspace::new((16 * n + (1 << 12)).max(1 << 14))
+    }
+
     /// Bump-allocate `size` bytes, 16-byte aligned.
     ///
     /// # Panics
@@ -116,6 +124,17 @@ impl Workspace {
                 "workspace exhausted: requested {size} bytes at offset {base} (capacity {capacity} bytes)"
             ),
         }
+    }
+
+    /// Reset the workspace to its freshly-constructed state: every byte
+    /// zeroed, the bump pointer rewound.
+    ///
+    /// Sweep workers reuse one workspace allocation across many kernel
+    /// invocations; a reset workspace is indistinguishable from
+    /// `Workspace::new(size)`, so reuse never changes results.
+    pub fn reset(&mut self) {
+        self.bytes.fill(0);
+        self.next = 64;
     }
 
     /// The raw bytes (to pass to a simulator).

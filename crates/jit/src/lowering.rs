@@ -226,9 +226,12 @@ impl<'a> Lowerer<'a> {
             Inst::Const { dst, ty, imm } => {
                 let d = self.scalar_reg(*dst)?;
                 if ty.is_float() {
+                    // Canonicalize even for modules whose constants were not
+                    // rounded at build time: an FImm of single type must
+                    // hold an f32-representable value.
                     self.emit(MInst::FImm {
                         dst: d,
-                        value: imm.as_f64(),
+                        value: ty.canonicalize_float(imm.as_f64()),
                     });
                 } else {
                     self.emit(MInst::Imm {

@@ -11,9 +11,30 @@
 //! are handed out as [`Arc<CompiledModule>`] — nothing is ever recompiled or
 //! cloned on the hot path.
 //!
-//! The engine is `Send + Sync`: the cache sits behind a mutex and the
-//! [`CacheStats`] counters are atomic, so future work can fan kernel
-//! executions out across threads against one shared engine.
+//! # Concurrency
+//!
+//! The engine is `Send + Sync` and built for many threads hammering one
+//! deployment (see [`crate::sweep`]):
+//!
+//! * the cache is **sharded** into [`SHARD_COUNT`] independently locked maps,
+//!   so lookups and cold compiles for different (target, options) pairs never
+//!   contend on one global lock;
+//! * compilation happens **outside** the shard lock. A cold lookup registers
+//!   an *in-flight* marker under the lock, releases it, and compiles; a second
+//!   thread racing on the same cold key finds the marker and waits on it
+//!   instead of compiling again. Two threads racing on one cold key produce
+//!   **exactly one** compilation — the waiter counts as a cache hit;
+//! * the [`CacheStats`] counters are atomic.
+//!
+//! # Eviction
+//!
+//! By default the cache grows without bound (one entry per distinct pair,
+//! which is small). Long-running multi-tenant deployments can bound it with
+//! [`ExecutionEngine::set_cache_capacity`]: inserts beyond the bound evict the
+//! least-recently-used entry (tracked by a global logical clock across all
+//! shards) and count into [`CacheStats::evictions`]. A re-request of an
+//! evicted pair recompiles — bit-identically, since online compilation is
+//! deterministic — and counts as a fresh compile.
 //!
 //! # Example
 //!
@@ -50,8 +71,16 @@ use splitc_vbc::Module;
 use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Number of independently locked cache shards.
+///
+/// Cold compiles for keys in different shards proceed fully in parallel; even
+/// within one shard the lock is only held for map bookkeeping, never across a
+/// compilation.
+pub const SHARD_COUNT: usize = 8;
 
 /// Any error that can occur along the offline/online pipeline or at run time.
 ///
@@ -148,19 +177,25 @@ impl Execution {
 ///
 /// `compiles + hits` is the total number of program lookups; the difference
 /// between the two is the amortization story of the paper: after the first
-/// run per (target, options) pair, the online compiler never runs again.
+/// run per (target, options) pair, the online compiler never runs again —
+/// unless a cache bound evicted the entry, which `evictions` counts.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
-    /// Online compilations performed (cache misses).
+    /// Online compilations performed (cache misses, including recompiles of
+    /// evicted entries).
     pub compiles: u64,
-    /// Lookups served from the cache without compiling.
+    /// Lookups served from the cache without compiling (including lookups
+    /// that waited on a racing thread's in-flight compilation).
     pub hits: u64,
+    /// Entries removed by the LRU bound (0 while the cache is unbounded).
+    pub evictions: u64,
 }
 
 impl std::ops::AddAssign for CacheStats {
     fn add_assign(&mut self, other: CacheStats) {
         self.compiles += other.compiles;
         self.hits += other.hits;
+        self.evictions += other.evictions;
     }
 }
 
@@ -180,22 +215,92 @@ impl CacheStats {
     }
 }
 
+/// Cache key: one distinct (target fingerprint, JIT configuration) pair.
+type CacheKey = (u64, JitOptions);
+
+/// The slot racing threads rendezvous on: set exactly once, either with the
+/// shared compiled program or with the compile error.
+type InFlightCell = OnceLock<Result<Arc<CompiledModule>, JitError>>;
+
+/// A compiled entry plus its last-use stamp from the engine's logical clock.
+#[derive(Debug)]
+struct ReadyEntry {
+    compiled: Arc<CompiledModule>,
+    stamp: u64,
+}
+
+#[derive(Debug)]
+enum ShardEntry {
+    /// Compiled and cached.
+    Ready(ReadyEntry),
+    /// A thread is compiling this key right now; wait on the cell.
+    InFlight(Arc<InFlightCell>),
+}
+
+#[derive(Debug, Default)]
+struct Shard {
+    entries: HashMap<CacheKey, ShardEntry>,
+}
+
+/// Unwind-safety net for the compiling thread: if `compile_module` panics,
+/// drop still removes the in-flight marker (so later lookups retry) and
+/// poisons the cell with an error (so waiters wake instead of blocking
+/// forever while the panic propagates).
+struct InFlightGuard<'a> {
+    shard: &'a Mutex<Shard>,
+    key: CacheKey,
+    cell: &'a Arc<InFlightCell>,
+    armed: bool,
+}
+
+impl Drop for InFlightGuard<'_> {
+    fn drop(&mut self) {
+        if !self.armed {
+            return;
+        }
+        if let Ok(mut guard) = self.shard.lock() {
+            guard.entries.remove(&self.key);
+        }
+        let _ = self.cell.set(Err(JitError::Internal(
+            "online compilation panicked".to_owned(),
+        )));
+    }
+}
+
+/// What `program_for` decided to do after the (brief) shard-locked lookup.
+enum Role {
+    /// Another thread is compiling this key; wait for its result.
+    Waiter(Arc<InFlightCell>),
+    /// This thread registered the in-flight marker and must compile.
+    Compiler(Arc<InFlightCell>),
+}
+
 /// A deployed module plus a shared cache of online-compiled code.
 ///
 /// See the [module documentation](self) for the full story; in short, the
 /// engine guarantees one online compilation per distinct
-/// `(target fingerprint, JitOptions)` pair for the lifetime of the
-/// deployment, and shares the compiled programs via [`Arc`].
+/// `(target fingerprint, JitOptions)` pair — even under concurrent cold
+/// lookups — and shares the compiled programs via [`Arc`]. An optional LRU
+/// bound ([`ExecutionEngine::set_cache_capacity`]) keeps long-running
+/// deployments from growing without limit.
 #[derive(Debug)]
 pub struct ExecutionEngine {
     module: Arc<Module>,
-    cache: Mutex<HashMap<(u64, JitOptions), Arc<CompiledModule>>>,
+    shards: [Mutex<Shard>; SHARD_COUNT],
+    /// Logical LRU clock; every hit or insert takes the next tick.
+    clock: AtomicU64,
+    /// Number of `Ready` entries across all shards.
+    len: AtomicUsize,
+    /// LRU bound on `len`; 0 means unbounded.
+    capacity: AtomicUsize,
     compiles: AtomicU64,
     hits: AtomicU64,
+    evictions: AtomicU64,
+    online_work: AtomicU64,
 }
 
 impl ExecutionEngine {
-    /// Deploy `module` into a fresh engine with an empty code cache.
+    /// Deploy `module` into a fresh engine with an empty, unbounded code cache.
     pub fn new(module: Module) -> Self {
         ExecutionEngine::from_arc(Arc::new(module))
     }
@@ -204,9 +309,14 @@ impl ExecutionEngine {
     pub fn from_arc(module: Arc<Module>) -> Self {
         ExecutionEngine {
             module,
-            cache: Mutex::new(HashMap::new()),
+            shards: std::array::from_fn(|_| Mutex::new(Shard::default())),
+            clock: AtomicU64::new(0),
+            len: AtomicUsize::new(0),
+            capacity: AtomicUsize::new(0),
             compiles: AtomicU64::new(0),
             hits: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            online_work: AtomicU64::new(0),
         }
     }
 
@@ -220,9 +330,37 @@ impl ExecutionEngine {
         Arc::clone(&self.module)
     }
 
+    /// Bound the code cache to at most `capacity` compiled programs,
+    /// evicting least-recently-used entries immediately if it is already
+    /// over the bound. A `capacity` of 0 removes the bound.
+    pub fn set_cache_capacity(&self, capacity: usize) {
+        self.capacity.store(capacity, Ordering::Relaxed);
+        self.enforce_capacity();
+    }
+
+    /// The current cache bound (0 = unbounded).
+    pub fn cache_capacity(&self) -> usize {
+        self.capacity.load(Ordering::Relaxed)
+    }
+
+    /// Total online-compilation work units spent by this deployment so far
+    /// (summed [`JitStats::total_work`] over every compile, including
+    /// recompiles after eviction).
+    pub fn online_work(&self) -> u64 {
+        self.online_work.load(Ordering::Relaxed)
+    }
+
+    fn shard_for(&self, key: &CacheKey) -> &Mutex<Shard> {
+        let mut hasher = std::collections::hash_map::DefaultHasher::new();
+        key.hash(&mut hasher);
+        &self.shards[hasher.finish() as usize % SHARD_COUNT]
+    }
+
     /// Compile the module for `target` under `options`, or fetch the program
     /// from the cache. Exactly one compilation ever happens per distinct
-    /// `(target fingerprint, options)` pair.
+    /// `(target fingerprint, options)` pair, even when many threads request a
+    /// cold pair at once: the losers of the race wait for the winner's result
+    /// (and count as cache hits) instead of compiling again.
     ///
     /// # Errors
     ///
@@ -233,19 +371,130 @@ impl ExecutionEngine {
         options: &JitOptions,
     ) -> Result<Arc<CompiledModule>, EngineError> {
         let key = (target.fingerprint(), *options);
-        let mut cache = self.cache.lock().expect("engine cache poisoned");
-        if let Some(compiled) = cache.get(&key) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            return Ok(Arc::clone(compiled));
+        let shard = self.shard_for(&key);
+        let role = {
+            let mut guard = shard.lock().expect("engine cache shard poisoned");
+            match guard.entries.get_mut(&key) {
+                Some(ShardEntry::Ready(ready)) => {
+                    ready.stamp = self.clock.fetch_add(1, Ordering::Relaxed);
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    return Ok(Arc::clone(&ready.compiled));
+                }
+                Some(ShardEntry::InFlight(cell)) => Role::Waiter(Arc::clone(cell)),
+                None => {
+                    let cell = Arc::new(InFlightCell::new());
+                    guard
+                        .entries
+                        .insert(key, ShardEntry::InFlight(Arc::clone(&cell)));
+                    Role::Compiler(cell)
+                }
+            }
+        };
+        match role {
+            Role::Waiter(cell) => match cell.wait() {
+                Ok(compiled) => {
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    Ok(Arc::clone(compiled))
+                }
+                Err(e) => Err(EngineError::Jit(e.clone())),
+            },
+            Role::Compiler(cell) => {
+                // Compile with no lock held: racing requests for *other* keys
+                // proceed, racing requests for *this* key wait on the cell.
+                // The guard keeps a JIT panic from stranding them: on unwind
+                // it removes the marker and poisons the cell with an error.
+                let mut guard = InFlightGuard {
+                    shard,
+                    key,
+                    cell: &cell,
+                    armed: true,
+                };
+                match compile_module(&self.module, target, options) {
+                    Ok((program, jit)) => {
+                        let compiled = Arc::new(CompiledModule { program, jit });
+                        {
+                            let mut locked = shard.lock().expect("engine cache shard poisoned");
+                            locked.entries.insert(
+                                key,
+                                ShardEntry::Ready(ReadyEntry {
+                                    compiled: Arc::clone(&compiled),
+                                    stamp: self.clock.fetch_add(1, Ordering::Relaxed),
+                                }),
+                            );
+                            // `len` moves with the insert, under the same
+                            // shard lock eviction removes under — so the
+                            // counter can never go negative transiently,
+                            // whatever order racing inserts and evictions
+                            // interleave in.
+                            self.len.fetch_add(1, Ordering::Relaxed);
+                        }
+                        guard.armed = false;
+                        self.compiles.fetch_add(1, Ordering::Relaxed);
+                        self.online_work
+                            .fetch_add(jit.total_work(), Ordering::Relaxed);
+                        let _ = cell.set(Ok(Arc::clone(&compiled)));
+                        self.enforce_capacity();
+                        Ok(compiled)
+                    }
+                    Err(e) => {
+                        // Drop the marker so a later request can retry, then
+                        // wake the waiters with the error.
+                        let mut locked = shard.lock().expect("engine cache shard poisoned");
+                        locked.entries.remove(&key);
+                        drop(locked);
+                        guard.armed = false;
+                        let _ = cell.set(Err(e.clone()));
+                        Err(EngineError::Jit(e))
+                    }
+                }
+            }
         }
-        // Compile under the lock: a concurrent request for the same pair
-        // waits instead of duplicating the work (cold compiles for different
-        // targets serialize too, which a future PR can shard if it matters).
-        let (program, jit) = compile_module(&self.module, target, options)?;
-        let compiled = Arc::new(CompiledModule { program, jit });
-        cache.insert(key, Arc::clone(&compiled));
-        self.compiles.fetch_add(1, Ordering::Relaxed);
-        Ok(compiled)
+    }
+
+    /// Evict least-recently-used entries until the cache fits its bound.
+    fn enforce_capacity(&self) {
+        let cap = self.capacity.load(Ordering::Relaxed);
+        if cap == 0 {
+            return;
+        }
+        while self.len.load(Ordering::Relaxed) > cap {
+            if !self.evict_lru() {
+                break;
+            }
+        }
+    }
+
+    /// Try to evict the globally least-recently-used `Ready` entry. Returns
+    /// `false` when there is nothing evictable (the caller stops), `true`
+    /// when it evicted or lost a benign race (the caller re-checks the bound).
+    fn evict_lru(&self) -> bool {
+        let mut oldest: Option<(usize, CacheKey, u64)> = None;
+        for (i, shard) in self.shards.iter().enumerate() {
+            let guard = shard.lock().expect("engine cache shard poisoned");
+            for (key, entry) in &guard.entries {
+                if let ShardEntry::Ready(ready) = entry {
+                    if oldest.is_none_or(|(_, _, stamp)| ready.stamp < stamp) {
+                        oldest = Some((i, *key, ready.stamp));
+                    }
+                }
+            }
+        }
+        let Some((i, key, stamp)) = oldest else {
+            return false;
+        };
+        let mut guard = self.shards[i].lock().expect("engine cache shard poisoned");
+        if let Some(ShardEntry::Ready(ready)) = guard.entries.get(&key) {
+            if ready.stamp == stamp {
+                guard.entries.remove(&key);
+                // Decremented under the same shard lock the entry's insert
+                // incremented under; see `program_for`.
+                self.len.fetch_sub(1, Ordering::Relaxed);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        // Either we evicted, or the candidate was touched/removed meanwhile;
+        // both count as progress — the caller re-checks the bound.
+        true
     }
 
     /// JIT statistics for `target` under `options` (compiling on demand).
@@ -332,12 +581,13 @@ impl ExecutionEngine {
         CacheStats {
             compiles: self.compiles.load(Ordering::Relaxed),
             hits: self.hits.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
         }
     }
 
-    /// Number of distinct (target, options) pairs compiled so far.
+    /// Number of (target, options) pairs currently held compiled in the cache.
     pub fn compiled_variants(&self) -> usize {
-        self.cache.lock().expect("engine cache poisoned").len()
+        self.len.load(Ordering::Relaxed)
     }
 }
 
@@ -407,6 +657,7 @@ mod tests {
         assert_eq!(stats.compiles, (targets.len() * configs.len()) as u64);
         assert_eq!(stats.lookups(), 5 * 2 * 2);
         assert_eq!(stats.hits, stats.lookups() - stats.compiles);
+        assert_eq!(stats.evictions, 0, "unbounded cache never evicts");
         assert_eq!(engine.compiled_variants(), 4);
         assert!(stats.hit_rate() > 0.7);
     }
@@ -497,5 +748,144 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(engine.stats().compiles, 1, "four threads, one compilation");
+    }
+
+    #[test]
+    fn racing_cold_lookups_compile_exactly_once_per_pair() {
+        // Many threads, many (target, options) pairs, no precompilation:
+        // the in-flight dedup must keep compiles at exactly T x C.
+        let engine = std::sync::Arc::new(deployed());
+        let targets = TargetDesc::presets();
+        let configs = [JitOptions::split(), JitOptions::online_greedy()];
+        let threads = 8;
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                let engine = std::sync::Arc::clone(&engine);
+                let targets = targets.clone();
+                std::thread::spawn(move || {
+                    for target in &targets {
+                        for options in [JitOptions::split(), JitOptions::online_greedy()] {
+                            engine.program_for(target, &options).unwrap();
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let expected = (targets.len() * configs.len()) as u64;
+        let stats = engine.stats();
+        assert_eq!(stats.compiles, expected);
+        assert_eq!(
+            stats.lookups(),
+            expected * threads,
+            "every lookup is counted"
+        );
+        assert_eq!(stats.hits, stats.lookups() - stats.compiles);
+        assert_eq!(engine.compiled_variants(), expected as usize);
+    }
+
+    #[test]
+    fn lru_bound_evicts_exactly_compiles_minus_capacity() {
+        let engine = deployed();
+        let bound = 2usize;
+        engine.set_cache_capacity(bound);
+        assert_eq!(engine.cache_capacity(), bound);
+        let options = JitOptions::split();
+        let targets = TargetDesc::presets();
+        assert!(targets.len() > bound, "the sweep must overflow the bound");
+        for target in &targets {
+            engine.program_for(target, &options).unwrap();
+        }
+        let stats = engine.stats();
+        assert_eq!(stats.compiles, targets.len() as u64);
+        assert_eq!(
+            stats.evictions,
+            stats.compiles - bound as u64,
+            "every insert beyond the bound evicts exactly one entry"
+        );
+        assert_eq!(engine.compiled_variants(), bound);
+        assert_eq!(stats.compiles + stats.hits, stats.lookups());
+    }
+
+    #[test]
+    fn recompile_after_eviction_is_bit_identical() {
+        let engine = deployed();
+        engine.set_cache_capacity(1);
+        let options = JitOptions::split();
+        let first = engine
+            .program_for(&TargetDesc::x86_sse(), &options)
+            .unwrap();
+        // Push x86 out of the single-entry cache...
+        engine
+            .program_for(&TargetDesc::powerpc(), &options)
+            .unwrap();
+        assert_eq!(engine.stats().evictions, 1);
+        // ...and ask for it again: a fresh compile with an identical program.
+        let again = engine
+            .program_for(&TargetDesc::x86_sse(), &options)
+            .unwrap();
+        assert!(
+            !Arc::ptr_eq(&first, &again),
+            "the evicted program must be recompiled, not resurrected"
+        );
+        assert_eq!(*first, *again, "recompilation is deterministic");
+        assert_eq!(engine.stats().compiles, 3);
+        assert_eq!(engine.stats().hits, 0);
+    }
+
+    #[test]
+    fn lru_evicts_the_least_recently_used_entry() {
+        let engine = deployed();
+        engine.set_cache_capacity(2);
+        let options = JitOptions::split();
+        engine
+            .program_for(&TargetDesc::x86_sse(), &options)
+            .unwrap();
+        engine
+            .program_for(&TargetDesc::powerpc(), &options)
+            .unwrap();
+        // Touch x86 so powerpc is the LRU victim.
+        engine
+            .program_for(&TargetDesc::x86_sse(), &options)
+            .unwrap();
+        engine
+            .program_for(&TargetDesc::ultrasparc(), &options)
+            .unwrap();
+        // x86 must still be cached (a hit), powerpc must recompile.
+        let hits_before = engine.stats().hits;
+        engine
+            .program_for(&TargetDesc::x86_sse(), &options)
+            .unwrap();
+        assert_eq!(engine.stats().hits, hits_before + 1, "x86 survived the LRU");
+        let compiles_before = engine.stats().compiles;
+        engine
+            .program_for(&TargetDesc::powerpc(), &options)
+            .unwrap();
+        assert_eq!(
+            engine.stats().compiles,
+            compiles_before + 1,
+            "powerpc was the eviction victim"
+        );
+    }
+
+    #[test]
+    fn shrinking_the_capacity_evicts_immediately() {
+        let engine = deployed();
+        let options = JitOptions::split();
+        for target in TargetDesc::table1_targets() {
+            engine.program_for(&target, &options).unwrap();
+        }
+        assert_eq!(engine.compiled_variants(), 3);
+        engine.set_cache_capacity(1);
+        assert_eq!(engine.compiled_variants(), 1);
+        assert_eq!(engine.stats().evictions, 2);
+        // Lifting the bound stops eviction again.
+        engine.set_cache_capacity(0);
+        for target in TargetDesc::presets() {
+            engine.program_for(&target, &options).unwrap();
+        }
+        assert_eq!(engine.compiled_variants(), TargetDesc::presets().len());
     }
 }

@@ -137,7 +137,9 @@ impl Executor {
         Ok((outcome, cost))
     }
 
-    /// Number of distinct core types compiled so far.
+    /// Number of distinct core types currently held compiled in the engine
+    /// cache (an LRU bound can evict entries; see
+    /// [`ExecutionEngine::set_cache_capacity`]).
     pub fn compiled_variants(&self) -> usize {
         self.engine.compiled_variants()
     }

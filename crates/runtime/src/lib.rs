@@ -7,8 +7,13 @@
 //!   phone SoC with a DSP, Cell-style blade with SIMD accelerators).
 //! * [`ExecutionEngine`] is the shared, cached execution layer: one deployed
 //!   module, one online compilation per distinct (core type, JIT config)
-//!   pair, compiled programs shared via `Arc`, cache statistics for the
-//!   paper's "online compilation pays for itself" story.
+//!   pair — guaranteed even under concurrent cold lookups by a sharded cache
+//!   with in-flight deduplication — compiled programs shared via `Arc`, an
+//!   optional LRU bound for long-running deployments, and cache statistics
+//!   for the paper's "online compilation pays for itself" story.
+//! * [`sweep`] fans a list of independent jobs (kernel × target × repeat
+//!   matrices) across scoped worker threads with per-worker amortized state
+//!   and deterministic result order.
 //! * [`Executor`] is a core-oriented facade over the engine: it deploys a
 //!   bytecode module with fixed [`JitOptions`](splitc_jit::JitOptions) and
 //!   addresses execution by [`Core`].
@@ -60,10 +65,14 @@ mod kpn;
 mod offload;
 mod platform;
 mod scheduler;
+mod sweep;
 
-pub use engine::{CacheStats, CompiledModule, EngineError, Execution, ExecutionEngine};
+pub use engine::{
+    CacheStats, CompiledModule, EngineError, Execution, ExecutionEngine, SHARD_COUNT,
+};
 pub use executor::{Executor, RunOutcome, RuntimeError};
 pub use kpn::{pipeline, profile_pipeline, ChannelId, KpnReport, Network, Process, ProcessId};
 pub use offload::{DmaModel, OffloadCost};
 pub use platform::{Core, Platform};
 pub use scheduler::{affinity, choose_core, list_schedule, Placement, Schedule, TaskEstimate};
+pub use sweep::{default_jobs, pool_width, sweep};

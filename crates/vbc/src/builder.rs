@@ -102,7 +102,13 @@ impl FunctionBuilder {
     }
 
     /// Emit a floating-point constant of type `ty`.
+    ///
+    /// An `f32`-typed constant is rounded to single precision (see
+    /// [`ScalarType::canonicalize_float`]), so every consumer — interpreter,
+    /// scalar JIT paths, SIMD lane splats — sees the same representable
+    /// value.
     pub fn const_float(&mut self, ty: ScalarType, value: f64) -> VReg {
+        let value = ty.canonicalize_float(value);
         let dst = self.new_vreg(Type::Scalar(ty));
         self.push(Inst::Const {
             dst,

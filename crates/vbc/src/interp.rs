@@ -602,7 +602,11 @@ impl<'m> Interpreter<'m> {
             match inst {
                 Inst::Const { dst, ty, imm } => {
                     regs[dst.index()] = if ty.is_float() {
-                        Value::Float(imm.as_f64())
+                        // Canonicalize even if the module carries an
+                        // unrounded double (e.g. built by hand or decoded
+                        // from an older wire format), so the interpreter
+                        // agrees with every compiled path.
+                        Value::Float(ty.canonicalize_float(imm.as_f64()))
                     } else {
                         Value::Int(normalize_int(ty, imm.as_i64()))
                     };

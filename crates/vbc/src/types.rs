@@ -79,6 +79,23 @@ impl ScalarType {
         matches!(self, ScalarType::F32 | ScalarType::F64)
     }
 
+    /// Canonicalize a float value for this scalar type: `F32` rounds to
+    /// single precision, every other type passes the value through.
+    ///
+    /// This is the one definition of the "an F32-typed value is always
+    /// f32-representable" invariant. Constant producers (the bytecode
+    /// builder) and constant consumers (the interpreter, the JIT's immediate
+    /// lowering) all call it — an unrounded double reaching only *some*
+    /// paths makes scalar and SIMD executions of the same program differ by
+    /// an ULP.
+    pub fn canonicalize_float(self, value: f64) -> f64 {
+        if self == ScalarType::F32 {
+            f64::from(value as f32)
+        } else {
+            value
+        }
+    }
+
     /// `true` for any integer or pointer type.
     pub fn is_int(self) -> bool {
         !self.is_float()
