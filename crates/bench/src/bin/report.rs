@@ -3,7 +3,7 @@
 //! Usage:
 //!
 //! ```text
-//! cargo run --release -p splitc-bench --bin report -- [all|table1|splitflow|regalloc|hetero|codesize|kpn] [n] [--jobs N]
+//! cargo run --release -p splitc-bench --bin report -- [all|table1|splitflow|regalloc|hetero|codesize|kpn] [n] [--jobs N] [--json <path>]
 //! ```
 //!
 //! `n` is the number of elements per kernel invocation (default 4096, as in
@@ -11,11 +11,22 @@
 //! matrices of the table1, splitflow and hetero experiments across N worker
 //! threads (`--jobs 0` = one per host core); results are bit-identical to
 //! the sequential run, so parallelism only changes wall-clock time.
+//!
+//! `--json <path>` additionally runs the machine-readable perf-trajectory
+//! sweep (table1 kernels × table1 targets, sequential and parallel) and
+//! writes it to `path` — by convention `BENCH_sweep.json` at the repo root,
+//! so successive PRs accumulate comparable numbers (ns/iter per sweep,
+//! per-cell simulated cycles, engine cache stats).
 
 use splitc::experiments::{codesize, hetero, kpn, regalloc, splitflow, table1};
+use splitc::splitc_opt::{optimize_module, OptOptions};
 use splitc::splitc_runtime::Platform;
 use splitc::splitc_targets::TargetDesc;
+use splitc::splitc_workloads::{module_for, table1_kernels};
+use splitc::sweep::{sweep_engine, SweepConfig, SweepResult};
+use splitc::ExecutionEngine;
 use std::process::ExitCode;
+use std::time::Instant;
 
 fn print_table1(n: usize, jobs: usize) -> Result<(), Box<dyn std::error::Error>> {
     println!(
@@ -54,8 +65,109 @@ fn print_kpn(n: usize) -> Result<(), Box<dyn std::error::Error>> {
     Ok(())
 }
 
+/// Repeats per sweep cell in the `--json` perf trajectory.
+const JSON_SWEEP_REPEATS: usize = 3;
+
+/// One timed sweep for the perf trajectory: deploy a fresh engine (cold
+/// compiles are part of the measured cost, as in `benches/sweep.rs`) and
+/// sweep the table1 matrix with `jobs` workers.
+///
+/// Not `sweep_kernels`: that helper would put the *offline* step (parse,
+/// lower, optimize) inside the timed region, and the trajectory — like
+/// `benches/sweep.rs` — measures only the online deploy-and-run cost.
+fn timed_sweep(n: usize, jobs: usize) -> Result<(SweepResult, f64), Box<dyn std::error::Error>> {
+    let kernels = table1_kernels();
+    let targets = TargetDesc::table1_targets();
+    let mut module = module_for(&kernels, "bench-sweep")?;
+    optimize_module(&mut module, &OptOptions::full());
+    let engine = ExecutionEngine::new(module);
+    let cfg = SweepConfig::new(n)
+        .with_repeats(JSON_SWEEP_REPEATS)
+        .with_jobs(jobs);
+    let start = Instant::now();
+    let result = sweep_engine(&engine, &kernels, &targets, &cfg)?;
+    let elapsed_ns = start.elapsed().as_nanos() as f64;
+    Ok((result, elapsed_ns))
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Render one sweep as a JSON object: headline ns/iter, cache counters, and
+/// the deterministic per-(kernel, target) cycles of the first repeat.
+fn sweep_to_json(jobs: usize, result: &SweepResult, elapsed_ns: f64) -> String {
+    let cells = result.cells.len().max(1);
+    let ns_per_iter = elapsed_ns / cells as f64;
+    let mut detail = String::new();
+    for (i, cell) in result.cells.iter().filter(|c| c.repeat == 0).enumerate() {
+        if i > 0 {
+            detail.push_str(",\n");
+        }
+        detail.push_str(&format!(
+            "        {{\"kernel\": \"{}\", \"target\": \"{}\", \"cycles\": {}, \"scaled_cycles\": {:.1}, \"checksum\": \"{:016x}\"}}",
+            json_escape(&cell.kernel),
+            json_escape(&cell.target),
+            cell.cycles,
+            cell.scaled_cycles,
+            cell.checksum,
+        ));
+    }
+    format!(
+        "    {{\n      \"jobs\": {jobs},\n      \"cells\": {},\n      \"elapsed_ns\": {:.0},\n      \"ns_per_iter\": {:.1},\n      \"total_cycles\": {},\n      \"cache\": {{\"compiles\": {}, \"hits\": {}, \"evictions\": {}}},\n      \"online_work\": {},\n      \"cells_detail\": [\n{}\n      ]\n    }}",
+        result.cells.len(),
+        elapsed_ns,
+        ns_per_iter,
+        result.total_cycles(),
+        result.cache.compiles,
+        result.cache.hits,
+        result.cache.evictions,
+        result.online_work,
+        detail,
+    )
+}
+
+/// Run the perf-trajectory sweeps (sequential and 4-way parallel) and write
+/// the machine-readable `BENCH_sweep.json` shape to `path`.
+fn write_sweep_json(path: &str, n: usize) -> Result<(), Box<dyn std::error::Error>> {
+    let mut sweeps = Vec::new();
+    for jobs in [1usize, 4] {
+        let (result, elapsed_ns) = timed_sweep(n, jobs)?;
+        sweeps.push(sweep_to_json(jobs, &result, elapsed_ns));
+    }
+    let host_cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let json = format!(
+        "{{\n  \"schema\": \"splitc-bench-sweep/1\",\n  \"n\": {n},\n  \"repeats\": {JSON_SWEEP_REPEATS},\n  \"host_cores\": {host_cores},\n  \"sweeps\": [\n{}\n  ]\n}}\n",
+        sweeps.join(",\n"),
+    );
+    std::fs::write(path, json)?;
+    println!("wrote perf trajectory to {path}");
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let json_path: Option<String> = match args.iter().position(|a| a == "--json") {
+        Some(pos) if pos + 1 < args.len() => {
+            let value = args.remove(pos + 1);
+            args.remove(pos);
+            Some(value)
+        }
+        Some(_) => {
+            eprintln!("--json requires a path");
+            return ExitCode::from(2);
+        }
+        None => None,
+    };
     let jobs: usize = match args.iter().position(|a| a == "--jobs") {
         Some(pos) if pos + 1 < args.len() => {
             let value = args.remove(pos + 1);
@@ -100,6 +212,10 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    let result = result.and_then(|()| match &json_path {
+        Some(path) => write_sweep_json(path, n),
+        None => Ok(()),
+    });
     match result {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {

@@ -74,8 +74,12 @@ pub use session::{
 };
 pub use sweep::{SweepCell, SweepConfig, SweepResult};
 // The shared execution layer, re-exported so facade users can hold a cached
-// engine instead of paying one compilation per `run_on_target` call.
-pub use splitc_runtime::{CacheStats, EngineError, Execution, ExecutionEngine};
+// engine instead of paying one compilation per `run_on_target` call, plus
+// the deploy-time preparation types (pre-decoded programs, frame pools).
+pub use splitc_runtime::{
+    CacheStats, EngineError, Execution, ExecutionEngine, FramePool, PreparedProgram,
+    PreparedSimulator,
+};
 
 // Re-export the component crates so that downstream users (examples, tests,
 // benches) can reach the whole system through this facade.

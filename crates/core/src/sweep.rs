@@ -14,7 +14,12 @@
 //!   matter how many cells race on it;
 //! * **workspace setup** — each worker allocates one scratch [`Workspace`]
 //!   and resets it per cell instead of reallocating, so repeated runs of the
-//!   same kernel pay for input generation only.
+//!   same kernel pay for input generation only;
+//! * **execution setup** — the engine caches the deploy-time-prepared
+//!   program (`PreparedProgram`) per (target, options) pair, and each worker
+//!   holds one [`FramePool`](splitc_runtime::FramePool), so every repeat of
+//!   every cell runs pre-decoded code with recycled call frames
+//!   ([`ExecutionEngine::run_pooled`]).
 //!
 //! Determinism: a cell's inputs depend only on `(kernel, n, seed, repeat)`,
 //! never on which worker ran it or when, so a `--jobs 8` sweep is
@@ -26,7 +31,7 @@ use crate::report::{fmt_amortized_jit, fmt_cache_line, TextTable};
 use crate::session::{PipelineError, Workspace};
 use splitc_jit::JitOptions;
 use splitc_opt::{optimize_module, OptOptions};
-use splitc_runtime::{CacheStats, ExecutionEngine};
+use splitc_runtime::{CacheStats, ExecutionEngine, FramePool};
 use splitc_targets::TargetDesc;
 use splitc_workloads::{module_for, Kernel};
 
@@ -197,18 +202,22 @@ pub fn sweep_engine(
     let outcomes: Vec<Result<SweepCell, PipelineError>> = splitc_runtime::sweep(
         &matrix,
         jobs,
-        |_worker| Workspace::sized_for(cfg.n),
-        |ws, &(ki, ti, repeat), _| {
+        // Per-worker amortized state: one scratch workspace (reset per cell)
+        // and one frame pool, so every run a worker executes reuses both the
+        // engine's deploy-time-prepared program and the worker's frames.
+        |_worker| (Workspace::sized_for(cfg.n), FramePool::new()),
+        |(ws, pool), &(ki, ti, repeat), _| {
             let kernel = &kernels[ki];
             let target = &targets[ti];
             ws.reset();
             let prepared = prepare(kernel.name, cfg.n, cfg.seed.wrapping_add(repeat as u64), ws);
-            let run = engine.run(
+            let run = engine.run_pooled(
                 target,
                 &cfg.options,
                 kernel.name,
                 &prepared.args,
                 ws.bytes_mut(),
+                pool,
             )?;
             let sum = checksum(run.result, &prepared, ws);
             Ok(SweepCell {

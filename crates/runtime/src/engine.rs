@@ -11,6 +11,16 @@
 //! are handed out as [`Arc<CompiledModule>`] — nothing is ever recompiled or
 //! cloned on the hot path.
 //!
+//! Since the pre-decoded execution representation landed, the deploy-time
+//! step also *prepares* each compiled program
+//! ([`splitc_targets::PreparedProgram`]): blocks are flattened into one
+//! linear instruction stream, jumps become instruction offsets, call targets
+//! become dense function indices and every register index is validated once.
+//! Cached runs execute that prepared form directly; with
+//! [`ExecutionEngine::run_pooled`] they also recycle call frames from a
+//! caller-held [`FramePool`], so the steady-state run path performs no
+//! allocation and no per-instruction decoding at all.
+//!
 //! # Concurrency
 //!
 //! The engine is `Send + Sync` and built for many threads hammering one
@@ -66,7 +76,10 @@
 
 use splitc_jit::{compile_module, JitError, JitOptions, JitStats};
 use splitc_minic::CompileError;
-use splitc_targets::{MProgram, MachineValue, SimError, SimStats, Simulator, TargetDesc};
+use splitc_targets::{
+    FramePool, MProgram, MachineValue, PreparedProgram, SimError, SimStats, TargetDesc,
+    DEFAULT_SIM_FUEL,
+};
 use splitc_vbc::Module;
 use std::collections::HashMap;
 use std::error::Error;
@@ -140,13 +153,19 @@ impl From<SimError> for EngineError {
 }
 
 /// One online compilation of the deployed module for one (target, options)
-/// pair: the machine program plus the JIT statistics of producing it.
+/// pair: the machine program, the JIT statistics of producing it, and the
+/// pre-decoded execution form built at deploy time.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CompiledModule {
     /// The generated machine program.
     pub program: MProgram,
     /// Cost and outcome of the online compilation that produced it.
     pub jit: JitStats,
+    /// Deploy-time pre-decoded form of `program`: flat instruction streams,
+    /// resolved jumps and call indices, prepare-time-validated registers.
+    /// Every run served from the cache executes this, never re-decoding the
+    /// `MProgram` — the split-compilation discipline applied to execution.
+    pub prepared: PreparedProgram,
 }
 
 /// Result of executing one kernel once.
@@ -409,9 +428,26 @@ impl ExecutionEngine {
                     cell: &cell,
                     armed: true,
                 };
-                match compile_module(&self.module, target, options) {
-                    Ok((program, jit)) => {
-                        let compiled = Arc::new(CompiledModule { program, jit });
+                // The deploy-time step is compilation *plus* pre-decoding:
+                // the prepared form is built here, once, and cached with the
+                // program, so no run ever pays preparation again. A prepare
+                // failure means the JIT emitted invalid code — surfaced as an
+                // internal JIT error so waiters rendezvous on one error type.
+                let built =
+                    compile_module(&self.module, target, options).and_then(|(program, jit)| {
+                        let prepared = PreparedProgram::prepare(&program, target).map_err(|e| {
+                            JitError::Internal(format!("deploy-time preparation failed: {e}"))
+                        })?;
+                        Ok(CompiledModule {
+                            program,
+                            jit,
+                            prepared,
+                        })
+                    });
+                match built {
+                    Ok(compiled) => {
+                        let jit = compiled.jit;
+                        let compiled = Arc::new(compiled);
                         {
                             let mut locked = shard.lock().expect("engine cache shard poisoned");
                             locked.entries.insert(
@@ -544,11 +580,32 @@ impl ExecutionEngine {
         args: &[MachineValue],
         mem: &mut [u8],
     ) -> Result<Execution, EngineError> {
+        let mut pool = FramePool::new();
+        self.run_pooled(target, options, kernel, args, mem, &mut pool)
+    }
+
+    /// Like [`ExecutionEngine::run`], but drawing call frames from an
+    /// external [`FramePool`], so repeated runs (a sweep worker's whole job
+    /// stream, all repeats of a measurement cell) recycle the register-file
+    /// allocations instead of paying them per run.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`ExecutionEngine::run`].
+    pub fn run_pooled(
+        &self,
+        target: &TargetDesc,
+        options: &JitOptions,
+        kernel: &str,
+        args: &[MachineValue],
+        mem: &mut [u8],
+        pool: &mut FramePool,
+    ) -> Result<Execution, EngineError> {
         if self.module.function(kernel).is_none() {
             return Err(EngineError::UnknownKernel(kernel.to_owned()));
         }
         let compiled = self.program_for(target, options)?;
-        simulate(&compiled.program, compiled.jit, target, kernel, args, mem)
+        simulate(&compiled, target, kernel, args, mem, pool)
     }
 
     /// One-shot execution without a deployment: compile `module` for
@@ -573,7 +630,20 @@ impl ExecutionEngine {
             return Err(EngineError::UnknownKernel(kernel.to_owned()));
         }
         let (program, jit) = compile_module(module, target, options)?;
-        simulate(&program, jit, target, kernel, args, mem)
+        // Wrapped identically to the cached path (`program_for`), so callers
+        // see one error shape for a prepare failure whichever entry they use.
+        let prepared = PreparedProgram::prepare(&program, target).map_err(|e| {
+            EngineError::Jit(JitError::Internal(format!(
+                "deploy-time preparation failed: {e}"
+            )))
+        })?;
+        let compiled = CompiledModule {
+            program,
+            jit,
+            prepared,
+        };
+        let mut pool = FramePool::new();
+        simulate(&compiled, target, kernel, args, mem, &mut pool)
     }
 
     /// Code-cache counters since deployment.
@@ -591,23 +661,27 @@ impl ExecutionEngine {
     }
 }
 
-/// Simulate one kernel execution of an already-compiled program and assemble
+/// Execute one kernel of an already-compiled-and-prepared module and assemble
 /// the unified [`Execution`] record (shared by the cached and one-shot paths).
+///
+/// This drives the pre-decoded form directly: no per-run preparation, no
+/// per-instruction decoding, frames recycled through `pool`.
 fn simulate(
-    program: &MProgram,
-    jit: JitStats,
+    compiled: &CompiledModule,
     target: &TargetDesc,
     kernel: &str,
     args: &[MachineValue],
     mem: &mut [u8],
+    pool: &mut FramePool,
 ) -> Result<Execution, EngineError> {
-    let mut sim = Simulator::new(program, target);
-    let result = sim.run(kernel, args, mem)?;
-    let stats = sim.stats();
+    let mut stats = SimStats::default();
+    let result = compiled
+        .prepared
+        .run(kernel, args, mem, pool, DEFAULT_SIM_FUEL, &mut stats)?;
     Ok(Execution {
         result,
         stats,
-        jit,
+        jit: compiled.jit,
         scaled_cycles: stats.cycles as f64 * target.clock_scale,
     })
 }
@@ -703,6 +777,55 @@ mod tests {
             compiled_before,
             "runs must all be cache hits"
         );
+    }
+
+    #[test]
+    fn pooled_runs_are_bit_identical_to_plain_runs() {
+        let engine = deployed();
+        let target = TargetDesc::x86_sse();
+        let options = JitOptions::split();
+        let mut pool = FramePool::new();
+        for i in 0..4 {
+            let mut mem_a = vec![0u8; 256];
+            let mut mem_b = vec![0u8; 256];
+            let plain = engine
+                .run(
+                    &target,
+                    &options,
+                    "triple",
+                    &[MachineValue::Int(i)],
+                    &mut mem_a,
+                )
+                .unwrap();
+            let pooled = engine
+                .run_pooled(
+                    &target,
+                    &options,
+                    "triple",
+                    &[MachineValue::Int(i)],
+                    &mut mem_b,
+                    &mut pool,
+                )
+                .unwrap();
+            assert_eq!(plain.result, pooled.result);
+            assert_eq!(plain.stats, pooled.stats);
+            assert_eq!(mem_a, mem_b);
+        }
+        assert!(pool.pooled_frames() >= 1, "frames were recycled");
+    }
+
+    #[test]
+    fn cached_entries_carry_the_prepared_program() {
+        let engine = deployed();
+        let compiled = engine
+            .program_for(&TargetDesc::x86_sse(), &JitOptions::split())
+            .unwrap();
+        assert_eq!(
+            compiled.prepared.num_functions(),
+            compiled.program.functions.len()
+        );
+        assert!(compiled.prepared.function_index("triple").is_some());
+        assert!(compiled.prepared.function_index("nope").is_none());
     }
 
     #[test]

@@ -112,6 +112,25 @@ impl Executor {
             .run(&core.target, &self.options, kernel, args, mem)
     }
 
+    /// Run `kernel` on `core`, recycling call frames from `pool` — the entry
+    /// for callers that run many kernels back to back (schedulers, sweep
+    /// workers) and want the steady-state run path allocation-free.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Executor::run`].
+    pub fn run_pooled(
+        &self,
+        core: &Core,
+        kernel: &str,
+        args: &[MachineValue],
+        mem: &mut [u8],
+        pool: &mut splitc_targets::FramePool,
+    ) -> Result<RunOutcome, RuntimeError> {
+        self.engine
+            .run_pooled(&core.target, &self.options, kernel, args, mem, pool)
+    }
+
     /// Run `kernel` on an accelerator core, accounting for shipping
     /// `bytes_in` of input and `bytes_out` of output over `dma`.
     ///

@@ -75,4 +75,7 @@ pub use kpn::{pipeline, profile_pipeline, ChannelId, KpnReport, Network, Process
 pub use offload::{DmaModel, OffloadCost};
 pub use platform::{Core, Platform};
 pub use scheduler::{affinity, choose_core, list_schedule, Placement, Schedule, TaskEstimate};
+// Re-exported so engine callers can hold a frame pool (for `run_pooled`) and
+// reach the prepared artifact without a direct `splitc-targets` dependency.
+pub use splitc_targets::{FramePool, PreparedProgram, PreparedSimulator};
 pub use sweep::{default_jobs, pool_width, sweep};

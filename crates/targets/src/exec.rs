@@ -1,0 +1,1768 @@
+//! Pre-decoded execution: deploy-time preparation of machine programs.
+//!
+//! Split compilation moves work out of the latency-critical stage into an
+//! earlier stage that runs once. This module applies the same discipline to
+//! *execution*: a [`PreparedProgram`] is built once per `(program, target)`
+//! pair — at deploy time, right after online compilation — and can then be
+//! run any number of times with none of the per-run decoding the legacy
+//! [`Simulator`](crate::Simulator) walk pays on every instruction:
+//!
+//! * every function's blocks are **flattened into one linear instruction
+//!   stream**, with block jumps resolved to instruction offsets (no
+//!   `blocks[b].insts[i]` double indirection, no per-step instruction clone);
+//! * call targets are resolved from `&str` names to **dense function
+//!   indices** (no per-call linear name lookup);
+//! * every register index is **bounds-checked once at prepare time** against
+//!   the target's register files, so the hot loop never re-validates;
+//! * per-instruction cycle costs and vector lane counts are **precomputed**
+//!   where they depend on the opcode;
+//! * call frames come from a [`FramePool`] that recycles the register-file
+//!   and spill-slot allocations across calls and across runs (vector
+//!   registers live in one flat byte buffer — empty on scalar-only targets —
+//!   instead of one heap allocation per register).
+//!
+//! Semantics are bit-identical to the legacy walk — results, traps and
+//! [`SimStats`] alike — which the cross-crate differential tests assert.
+//!
+//! # Example
+//!
+//! ```
+//! use splitc_targets::{
+//!     AluOp, FramePool, MBlock, MFunction, MInst, MProgram, MachineValue, PReg,
+//!     PreparedProgram, PreparedSimulator, TargetDesc, Width,
+//! };
+//!
+//! let f = MFunction {
+//!     name: "add1".into(),
+//!     params: vec![PReg::int(0)],
+//!     blocks: vec![MBlock {
+//!         insts: vec![
+//!             MInst::Imm { dst: PReg::int(1), value: 1 },
+//!             MInst::IntOp {
+//!                 op: AluOp::Add, width: Width::W32, signed: true,
+//!                 dst: PReg::int(0), lhs: PReg::int(0), rhs: PReg::int(1),
+//!             },
+//!             MInst::Ret { value: Some(PReg::int(0)) },
+//!         ],
+//!     }],
+//!     num_slots: 0,
+//! };
+//! let program = MProgram { name: "demo".into(), functions: vec![f] };
+//! let target = TargetDesc::x86_sse();
+//!
+//! // Prepare once (deploy time)...
+//! let prepared = PreparedProgram::prepare(&program, &target).unwrap();
+//! // ...run many times (online), reusing one simulator and its frame pool.
+//! let mut sim = PreparedSimulator::new(&prepared);
+//! let mut mem = vec![0u8; 64];
+//! for i in 0..10 {
+//!     let out = sim.run("add1", &[MachineValue::Int(i)], &mut mem).unwrap();
+//!     assert_eq!(out, Some(MachineValue::Int(i + 1)));
+//! }
+//! ```
+
+use crate::desc::{CostModel, TargetDesc};
+use crate::mcode::{
+    AluOp, CmpPred, FpuOp, MFunction, MInst, MProgram, PReg, RedOp, RegClass, Width,
+};
+use crate::simulator::{
+    alu, check_range, compare, fpu, normalize, read_lane_float, read_lane_int, read_mem,
+    write_lane_float, write_lane_int, write_mem, MachineValue, SimError, SimStats,
+    DEFAULT_SIM_FUEL, MAX_CALL_DEPTH,
+};
+use std::collections::HashMap;
+
+/// A value held in a spill slot of a prepared frame.
+#[derive(Debug, Clone, PartialEq)]
+enum SlotValue {
+    Empty,
+    Int(i64),
+    Float(f64),
+    Vec(Vec<u8>),
+}
+
+/// One recycled call frame: the register files and spill slots of one call.
+///
+/// Vector registers are a single flat byte buffer (`vec_regs × vector_bytes`),
+/// not one heap allocation per register; on scalar-only targets it is empty.
+#[derive(Debug, Default)]
+struct Frame {
+    int: Vec<i64>,
+    float: Vec<f64>,
+    vec: Vec<u8>,
+    slots: Vec<SlotValue>,
+}
+
+/// A pool of reusable call frames (and call-argument scratch buffers).
+///
+/// The legacy simulator allocated four `Vec`s — including a `Vec<Vec<u8>>`
+/// for the vector registers — on **every** call, including recursive ones.
+/// A `FramePool` hands frames out of a free list instead: after a short
+/// warm-up, running a kernel performs no allocation at all. Pools are
+/// target-agnostic (frames are resized on acquire, reusing capacity), so one
+/// pool can serve a whole sweep across many targets.
+#[derive(Debug, Default)]
+pub struct FramePool {
+    frames: Vec<Frame>,
+    argv: Vec<Vec<MachineValue>>,
+}
+
+impl FramePool {
+    /// An empty pool; frames are created on first use and recycled after.
+    pub fn new() -> Self {
+        FramePool::default()
+    }
+
+    /// Frames currently sitting in the free list (for tests/diagnostics).
+    pub fn pooled_frames(&self) -> usize {
+        self.frames.len()
+    }
+
+    fn acquire(&mut self, int: usize, float: usize, vec_bytes: usize, slots: usize) -> Frame {
+        let mut f = self.frames.pop().unwrap_or_default();
+        f.int.clear();
+        f.int.resize(int, 0);
+        f.float.clear();
+        f.float.resize(float, 0.0);
+        f.vec.clear();
+        f.vec.resize(vec_bytes, 0);
+        f.slots.clear();
+        f.slots.resize(slots, SlotValue::Empty);
+        f
+    }
+
+    fn release(&mut self, frame: Frame) {
+        self.frames.push(frame);
+    }
+
+    fn take_argv(&mut self) -> Vec<MachineValue> {
+        let mut v = self.argv.pop().unwrap_or_default();
+        v.clear();
+        v
+    }
+
+    fn give_argv(&mut self, argv: Vec<MachineValue>) {
+        self.argv.push(argv);
+    }
+}
+
+/// A register operand resolved to `(class, index)` with the index validated
+/// at prepare time. For vector registers the `usize` is a *byte offset* into
+/// the frame's flat vector buffer.
+type RRef = (RegClass, usize);
+
+/// One pre-decoded instruction of the flat stream.
+///
+/// Operands are plain `usize` indices (validated at prepare time), block
+/// targets are instruction offsets, call targets are function indices, and
+/// opcode-dependent cycle costs / lane counts are baked in.
+#[derive(Debug, Clone, PartialEq)]
+enum PInst {
+    Imm {
+        dst: usize,
+        value: i64,
+    },
+    FImm {
+        dst: usize,
+        value: f64,
+    },
+    MovInt {
+        dst: usize,
+        src: usize,
+    },
+    MovFloat {
+        dst: usize,
+        src: usize,
+    },
+    MovVec {
+        dst: usize,
+        src: usize,
+    },
+    IntOp {
+        op: AluOp,
+        width: Width,
+        signed: bool,
+        dst: usize,
+        lhs: usize,
+        rhs: usize,
+        cost: u64,
+    },
+    FloatOp {
+        op: FpuOp,
+        double: bool,
+        dst: usize,
+        lhs: usize,
+        rhs: usize,
+        cost: u64,
+    },
+    IntNeg {
+        width: Width,
+        dst: usize,
+        src: usize,
+    },
+    IntNot {
+        width: Width,
+        dst: usize,
+        src: usize,
+    },
+    FloatNeg {
+        double: bool,
+        dst: usize,
+        src: usize,
+    },
+    IntCmp {
+        pred: CmpPred,
+        width: Width,
+        signed: bool,
+        dst: usize,
+        lhs: usize,
+        rhs: usize,
+    },
+    FloatCmp {
+        pred: CmpPred,
+        double: bool,
+        dst: usize,
+        lhs: usize,
+        rhs: usize,
+    },
+    SelectInt {
+        dst: usize,
+        cond: usize,
+        if_true: usize,
+        if_false: usize,
+    },
+    SelectFloat {
+        dst: usize,
+        cond: usize,
+        if_true: usize,
+        if_false: usize,
+    },
+    SelectVec {
+        dst: usize,
+        cond: usize,
+        if_true: usize,
+        if_false: usize,
+    },
+    IntToFloat {
+        signed: bool,
+        double: bool,
+        dst: usize,
+        src: usize,
+    },
+    FloatToInt {
+        width: Width,
+        signed: bool,
+        dst: usize,
+        src: usize,
+    },
+    FloatCvt {
+        to_double: bool,
+        dst: usize,
+        src: usize,
+    },
+    IntResize {
+        width: Width,
+        signed: bool,
+        dst: usize,
+        src: usize,
+    },
+    LoadInt {
+        width: Width,
+        signed: bool,
+        dst: usize,
+        base: usize,
+        offset: i64,
+    },
+    LoadFloat {
+        width: Width,
+        dst: usize,
+        base: usize,
+        offset: i64,
+    },
+    StoreInt {
+        width: Width,
+        base: usize,
+        offset: i64,
+        src: usize,
+    },
+    StoreFloat {
+        width: Width,
+        base: usize,
+        offset: i64,
+        src: usize,
+    },
+    VecLoad {
+        dst: usize,
+        base: usize,
+        offset: i64,
+    },
+    VecStore {
+        base: usize,
+        offset: i64,
+        src: usize,
+    },
+    VecSplatInt {
+        elem: Width,
+        lanes: usize,
+        dst: usize,
+        src: usize,
+    },
+    VecSplatFloat {
+        elem: Width,
+        lanes: usize,
+        dst: usize,
+        src: usize,
+    },
+    VecIntOp {
+        op: AluOp,
+        elem: Width,
+        signed: bool,
+        lanes: usize,
+        dst: usize,
+        lhs: usize,
+        rhs: usize,
+    },
+    VecFloatOp {
+        op: FpuOp,
+        elem: Width,
+        double: bool,
+        lanes: usize,
+        dst: usize,
+        lhs: usize,
+        rhs: usize,
+    },
+    VecReduceInt {
+        op: RedOp,
+        elem: Width,
+        signed: bool,
+        lanes: usize,
+        dst: usize,
+        src: usize,
+    },
+    VecReduceFloat {
+        op: RedOp,
+        elem: Width,
+        lanes: usize,
+        dst: usize,
+        src: usize,
+    },
+    SpillInt {
+        slot: usize,
+        src: usize,
+    },
+    SpillFloat {
+        slot: usize,
+        src: usize,
+    },
+    SpillVec {
+        slot: usize,
+        src: usize,
+    },
+    Reload {
+        slot: usize,
+        class: RegClass,
+        dst: usize,
+    },
+    Jump {
+        target: u32,
+    },
+    BranchNz {
+        cond: usize,
+        then_target: u32,
+        else_target: u32,
+    },
+    Call {
+        callee: usize,
+        args: Box<[RRef]>,
+        ret: Option<RRef>,
+    },
+    /// A call whose target does not exist in the program. Kept as a runtime
+    /// error (like the legacy walk) so dead malformed calls don't poison
+    /// preparation of an otherwise-valid program.
+    CallUnknown {
+        name: String,
+    },
+    Ret {
+        value: Option<RRef>,
+    },
+    /// Synthetic trap appended after any block that does not end in a
+    /// terminator, preserving the legacy "fell off the end" behaviour in a
+    /// flat stream.
+    FellOff {
+        block: u32,
+    },
+}
+
+/// One function of a [`PreparedProgram`]: a flat, pre-validated instruction
+/// stream plus the frame layout it needs.
+#[derive(Debug, Clone, PartialEq)]
+struct PreparedFunction {
+    name: String,
+    params: Box<[RRef]>,
+    num_slots: usize,
+    code: Vec<PInst>,
+}
+
+/// A machine program pre-decoded for one target, ready to run many times.
+///
+/// Built once per `(program, target)` pair with [`PreparedProgram::prepare`]
+/// — typically at deploy time, cached next to the compiled program — and
+/// driven by [`PreparedSimulator`] (or directly via [`PreparedProgram::run`]
+/// with an external [`FramePool`]). See the [module docs](self) for what is
+/// precomputed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PreparedProgram {
+    name: String,
+    functions: Vec<PreparedFunction>,
+    by_name: HashMap<String, usize>,
+    int_regs: usize,
+    float_regs: usize,
+    /// Total bytes of the flat vector buffer (`vec_regs × vector_bytes`);
+    /// zero on scalar-only targets, so their frames allocate nothing for it.
+    vec_bytes_total: usize,
+    vector_bytes: usize,
+    cost: CostModel,
+}
+
+impl PreparedProgram {
+    /// Pre-decode `program` for `target`.
+    ///
+    /// All register indices, spill-slot indices, block targets and vector
+    /// capabilities are validated here, **once**, so the execution loop never
+    /// re-checks them.
+    ///
+    /// Validation is deliberately **eager and whole-program**: a malformed
+    /// instruction fails deployment even if it sits in a function the
+    /// deployment would never execute (where the legacy walk only trapped on
+    /// execution). Failing at deploy time instead of on the Nth run is the
+    /// point of preparation; only *unknown call targets* stay lazy (they are
+    /// a name-resolution property, not a malformed-code one).
+    ///
+    /// # Errors
+    ///
+    /// Returns the same [`SimError`] variants the legacy walk would raise at
+    /// run time: [`SimError::BadRegister`] for an index beyond the target's
+    /// register file, [`SimError::NoVectorUnit`] for vector instructions on a
+    /// scalar-only target, and [`SimError::Trap`] for malformed control flow.
+    pub fn prepare(program: &MProgram, target: &TargetDesc) -> Result<PreparedProgram, SimError> {
+        let mut by_name = HashMap::with_capacity(program.functions.len());
+        for (i, f) in program.functions.iter().enumerate() {
+            // First definition wins, matching `MProgram::function`.
+            by_name.entry(f.name.clone()).or_insert(i);
+        }
+        let layout = Layout {
+            int_regs: usize::from(target.int_regs),
+            float_regs: usize::from(target.float_regs),
+            vec_regs: target.vector.map(|v| usize::from(v.regs)).unwrap_or(0),
+            vector_bytes: target.vector_bytes() as usize,
+        };
+        let mut functions = Vec::with_capacity(program.functions.len());
+        for f in &program.functions {
+            functions.push(prepare_function(f, target, &layout, &by_name)?);
+        }
+        Ok(PreparedProgram {
+            name: program.name.clone(),
+            functions,
+            by_name,
+            int_regs: layout.int_regs,
+            float_regs: layout.float_regs,
+            vec_bytes_total: layout.vec_regs * layout.vector_bytes,
+            vector_bytes: layout.vector_bytes,
+            cost: target.cost,
+        })
+    }
+
+    /// Name of the originating module.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Number of prepared functions.
+    pub fn num_functions(&self) -> usize {
+        self.functions.len()
+    }
+
+    /// Dense index of `func`, if it exists (the prepared equivalent of
+    /// `MProgram::function`, resolved through a hash map instead of a linear
+    /// scan).
+    pub fn function_index(&self, func: &str) -> Option<usize> {
+        self.by_name.get(func).copied()
+    }
+
+    /// Execute `func` with `args` against `mem`, drawing frames from `pool`
+    /// and writing run statistics into `stats` (which is reset first).
+    ///
+    /// This is the externally-pooled entry the engine and sweep workers use
+    /// so frame allocations amortize across *runs*, not just across calls
+    /// within one run. [`PreparedSimulator`] wraps it with an owned pool.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`SimError`] on unknown functions, argument mismatches,
+    /// runtime traps or fuel exhaustion.
+    pub fn run(
+        &self,
+        func: &str,
+        args: &[MachineValue],
+        mem: &mut [u8],
+        pool: &mut FramePool,
+        fuel: u64,
+        stats: &mut SimStats,
+    ) -> Result<Option<MachineValue>, SimError> {
+        *stats = SimStats::default();
+        let fi = self
+            .function_index(func)
+            .ok_or_else(|| SimError::UnknownFunction(func.to_owned()))?;
+        let mut fuel = fuel;
+        self.exec(fi, args, mem, pool, &mut fuel, 0, stats)
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn exec(
+        &self,
+        fi: usize,
+        args: &[MachineValue],
+        mem: &mut [u8],
+        pool: &mut FramePool,
+        fuel: &mut u64,
+        depth: usize,
+        stats: &mut SimStats,
+    ) -> Result<Option<MachineValue>, SimError> {
+        if depth > MAX_CALL_DEPTH {
+            return Err(SimError::Trap("call depth exceeded".into()));
+        }
+        let f = &self.functions[fi];
+        if f.params.len() != args.len() {
+            return Err(SimError::BadArgumentCount {
+                expected: f.params.len(),
+                found: args.len(),
+            });
+        }
+        let mut frame = pool.acquire(
+            self.int_regs,
+            self.float_regs,
+            self.vec_bytes_total,
+            f.num_slots,
+        );
+        let result = self.exec_in_frame(f, &mut frame, args, mem, pool, fuel, depth, stats);
+        pool.release(frame);
+        result
+    }
+
+    #[allow(clippy::too_many_arguments, clippy::too_many_lines)]
+    fn exec_in_frame(
+        &self,
+        f: &PreparedFunction,
+        frame: &mut Frame,
+        args: &[MachineValue],
+        mem: &mut [u8],
+        pool: &mut FramePool,
+        fuel: &mut u64,
+        depth: usize,
+        stats: &mut SimStats,
+    ) -> Result<Option<MachineValue>, SimError> {
+        for (&(class, idx), value) in f.params.iter().zip(args) {
+            match (class, value) {
+                (RegClass::Int, MachineValue::Int(v)) => frame.int[idx] = *v,
+                (RegClass::Float, MachineValue::Float(v)) => frame.float[idx] = *v,
+                (RegClass::Int, MachineValue::Float(v)) => frame.int[idx] = *v as i64,
+                (RegClass::Float, MachineValue::Int(v)) => frame.float[idx] = *v as f64,
+                (RegClass::Vec, _) => {
+                    return Err(SimError::Trap(
+                        "vector registers cannot be parameters".into(),
+                    ));
+                }
+            }
+        }
+
+        let cost = &self.cost;
+        let vb = self.vector_bytes;
+        let code = &f.code;
+        let mut pc = 0usize;
+        loop {
+            if *fuel == 0 {
+                return Err(SimError::OutOfFuel);
+            }
+            *fuel -= 1;
+            let inst = &code[pc];
+            pc += 1;
+            stats.instructions += 1;
+
+            match inst {
+                PInst::Imm { dst, value } => {
+                    frame.int[*dst] = *value;
+                    stats.cycles += cost.mov;
+                }
+                PInst::FImm { dst, value } => {
+                    frame.float[*dst] = *value;
+                    stats.cycles += cost.mov;
+                }
+                PInst::MovInt { dst, src } => {
+                    frame.int[*dst] = frame.int[*src];
+                    stats.cycles += cost.mov;
+                }
+                PInst::MovFloat { dst, src } => {
+                    frame.float[*dst] = frame.float[*src];
+                    stats.cycles += cost.mov;
+                }
+                PInst::MovVec { dst, src } => {
+                    frame.vec.copy_within(*src..*src + vb, *dst);
+                    stats.cycles += cost.mov;
+                }
+                PInst::IntOp {
+                    op,
+                    width,
+                    signed,
+                    dst,
+                    lhs,
+                    rhs,
+                    cost,
+                } => {
+                    let a = frame.int[*lhs];
+                    let b = frame.int[*rhs];
+                    frame.int[*dst] = alu(*op, *width, *signed, a, b)?;
+                    stats.cycles += cost;
+                }
+                PInst::FloatOp {
+                    op,
+                    double,
+                    dst,
+                    lhs,
+                    rhs,
+                    cost,
+                } => {
+                    let a = frame.float[*lhs];
+                    let b = frame.float[*rhs];
+                    frame.float[*dst] = fpu(*op, *double, a, b);
+                    stats.cycles += cost;
+                }
+                PInst::IntNeg { width, dst, src } => {
+                    let v = frame.int[*src];
+                    frame.int[*dst] = normalize(*width, true, v.wrapping_neg());
+                    stats.cycles += cost.int_op;
+                }
+                PInst::IntNot { width, dst, src } => {
+                    let v = frame.int[*src];
+                    frame.int[*dst] = normalize(*width, false, !v);
+                    stats.cycles += cost.int_op;
+                }
+                PInst::FloatNeg { double, dst, src } => {
+                    let v = frame.float[*src];
+                    frame.float[*dst] = if *double { -v } else { f64::from(-(v as f32)) };
+                    stats.cycles += cost.fp_add;
+                }
+                PInst::IntCmp {
+                    pred,
+                    width,
+                    signed,
+                    dst,
+                    lhs,
+                    rhs,
+                } => {
+                    let a = normalize(*width, *signed, frame.int[*lhs]);
+                    let b = normalize(*width, *signed, frame.int[*rhs]);
+                    frame.int[*dst] = if *signed {
+                        compare(*pred, a, b)
+                    } else {
+                        compare(*pred, a as u64, b as u64)
+                    };
+                    stats.cycles += cost.int_op;
+                }
+                PInst::FloatCmp {
+                    pred,
+                    double,
+                    dst,
+                    lhs,
+                    rhs,
+                } => {
+                    let a = frame.float[*lhs];
+                    let b = frame.float[*rhs];
+                    let (a, b) = if *double {
+                        (a, b)
+                    } else {
+                        (f64::from(a as f32), f64::from(b as f32))
+                    };
+                    frame.int[*dst] = if a.partial_cmp(&b).is_none() {
+                        i64::from(*pred == CmpPred::Ne)
+                    } else {
+                        compare(*pred, a, b)
+                    };
+                    stats.cycles += cost.fp_add;
+                }
+                PInst::SelectInt {
+                    dst,
+                    cond,
+                    if_true,
+                    if_false,
+                } => {
+                    let chosen = if frame.int[*cond] != 0 {
+                        *if_true
+                    } else {
+                        *if_false
+                    };
+                    frame.int[*dst] = frame.int[chosen];
+                    stats.cycles += cost.mov;
+                }
+                PInst::SelectFloat {
+                    dst,
+                    cond,
+                    if_true,
+                    if_false,
+                } => {
+                    let chosen = if frame.int[*cond] != 0 {
+                        *if_true
+                    } else {
+                        *if_false
+                    };
+                    frame.float[*dst] = frame.float[chosen];
+                    stats.cycles += cost.mov;
+                }
+                PInst::SelectVec {
+                    dst,
+                    cond,
+                    if_true,
+                    if_false,
+                } => {
+                    let chosen = if frame.int[*cond] != 0 {
+                        *if_true
+                    } else {
+                        *if_false
+                    };
+                    frame.vec.copy_within(chosen..chosen + vb, *dst);
+                    stats.cycles += cost.mov;
+                }
+                PInst::IntToFloat {
+                    signed,
+                    double,
+                    dst,
+                    src,
+                } => {
+                    let v = frame.int[*src];
+                    let x = if *signed { v as f64 } else { v as u64 as f64 };
+                    frame.float[*dst] = if *double { x } else { f64::from(x as f32) };
+                    stats.cycles += cost.convert;
+                }
+                PInst::FloatToInt {
+                    width,
+                    signed,
+                    dst,
+                    src,
+                } => {
+                    let v = frame.float[*src];
+                    frame.int[*dst] = normalize(*width, *signed, v as i64);
+                    stats.cycles += cost.convert;
+                }
+                PInst::FloatCvt {
+                    to_double,
+                    dst,
+                    src,
+                } => {
+                    let v = frame.float[*src];
+                    frame.float[*dst] = if *to_double { v } else { f64::from(v as f32) };
+                    stats.cycles += cost.convert;
+                }
+                PInst::IntResize {
+                    width,
+                    signed,
+                    dst,
+                    src,
+                } => {
+                    let v = frame.int[*src];
+                    frame.int[*dst] = normalize(*width, *signed, v);
+                    stats.cycles += cost.int_op;
+                }
+                PInst::LoadInt {
+                    width,
+                    signed,
+                    dst,
+                    base,
+                    offset,
+                } => {
+                    let addr = frame.int[*base].wrapping_add(*offset);
+                    let raw = read_mem(mem, addr, width.bytes())?;
+                    frame.int[*dst] = normalize(*width, *signed, raw as i64);
+                    stats.cycles += cost.load;
+                    stats.loads += 1;
+                }
+                PInst::LoadFloat {
+                    width,
+                    dst,
+                    base,
+                    offset,
+                } => {
+                    let addr = frame.int[*base].wrapping_add(*offset);
+                    let raw = read_mem(mem, addr, width.bytes())?;
+                    frame.float[*dst] = match width {
+                        Width::W32 => f64::from(f32::from_bits(raw as u32)),
+                        _ => f64::from_bits(raw),
+                    };
+                    stats.cycles += cost.load;
+                    stats.loads += 1;
+                }
+                PInst::StoreInt {
+                    width,
+                    base,
+                    offset,
+                    src,
+                } => {
+                    let addr = frame.int[*base].wrapping_add(*offset);
+                    write_mem(mem, addr, width.bytes(), frame.int[*src] as u64)?;
+                    stats.cycles += cost.store;
+                    stats.stores += 1;
+                }
+                PInst::StoreFloat {
+                    width,
+                    base,
+                    offset,
+                    src,
+                } => {
+                    let addr = frame.int[*base].wrapping_add(*offset);
+                    let v = frame.float[*src];
+                    let raw = match width {
+                        Width::W32 => u64::from((v as f32).to_bits()),
+                        _ => v.to_bits(),
+                    };
+                    write_mem(mem, addr, width.bytes(), raw)?;
+                    stats.cycles += cost.store;
+                    stats.stores += 1;
+                }
+                PInst::VecLoad { dst, base, offset } => {
+                    let addr = frame.int[*base].wrapping_add(*offset);
+                    check_range(mem, addr, vb as u64)?;
+                    frame.vec[*dst..*dst + vb]
+                        .copy_from_slice(&mem[addr as usize..addr as usize + vb]);
+                    stats.cycles += cost.vec_load;
+                    stats.loads += 1;
+                    stats.vector_ops += 1;
+                }
+                PInst::VecStore { base, offset, src } => {
+                    let addr = frame.int[*base].wrapping_add(*offset);
+                    check_range(mem, addr, vb as u64)?;
+                    mem[addr as usize..addr as usize + vb]
+                        .copy_from_slice(&frame.vec[*src..*src + vb]);
+                    stats.cycles += cost.vec_store;
+                    stats.stores += 1;
+                    stats.vector_ops += 1;
+                }
+                PInst::VecSplatInt {
+                    elem,
+                    lanes,
+                    dst,
+                    src,
+                } => {
+                    let v = frame.int[*src];
+                    let reg = &mut frame.vec[*dst..*dst + vb];
+                    for lane in 0..*lanes {
+                        write_lane_int(reg, lane, *elem, v);
+                    }
+                    stats.cycles += cost.vec_op;
+                    stats.vector_ops += 1;
+                }
+                PInst::VecSplatFloat {
+                    elem,
+                    lanes,
+                    dst,
+                    src,
+                } => {
+                    let v = frame.float[*src];
+                    let reg = &mut frame.vec[*dst..*dst + vb];
+                    for lane in 0..*lanes {
+                        write_lane_float(reg, lane, *elem, v);
+                    }
+                    stats.cycles += cost.vec_op;
+                    stats.vector_ops += 1;
+                }
+                PInst::VecIntOp {
+                    op,
+                    elem,
+                    signed,
+                    lanes,
+                    dst,
+                    lhs,
+                    rhs,
+                } => {
+                    // Lane-by-lane read-then-write is aliasing-safe without
+                    // the legacy per-op input clones: writing lane i of dst
+                    // never changes a lane j > i of lhs/rhs.
+                    for lane in 0..*lanes {
+                        let x = read_lane_int(&frame.vec[*lhs..*lhs + vb], lane, *elem, *signed);
+                        let y = read_lane_int(&frame.vec[*rhs..*rhs + vb], lane, *elem, *signed);
+                        let r = alu(*op, *elem, *signed, x, y)?;
+                        write_lane_int(&mut frame.vec[*dst..*dst + vb], lane, *elem, r);
+                    }
+                    stats.cycles += cost.vec_op;
+                    stats.vector_ops += 1;
+                }
+                PInst::VecFloatOp {
+                    op,
+                    elem,
+                    double,
+                    lanes,
+                    dst,
+                    lhs,
+                    rhs,
+                } => {
+                    for lane in 0..*lanes {
+                        let x = read_lane_float(&frame.vec[*lhs..*lhs + vb], lane, *elem);
+                        let y = read_lane_float(&frame.vec[*rhs..*rhs + vb], lane, *elem);
+                        let r = fpu(*op, *double, x, y);
+                        write_lane_float(&mut frame.vec[*dst..*dst + vb], lane, *elem, r);
+                    }
+                    stats.cycles += cost.vec_op;
+                    stats.vector_ops += 1;
+                }
+                PInst::VecReduceInt {
+                    op,
+                    elem,
+                    signed,
+                    lanes,
+                    dst,
+                    src,
+                } => {
+                    let reg = &frame.vec[*src..*src + vb];
+                    let mut acc = read_lane_int(reg, 0, *elem, *signed);
+                    for lane in 1..*lanes {
+                        let x = read_lane_int(reg, lane, *elem, *signed);
+                        acc = match op {
+                            RedOp::Add => alu(AluOp::Add, *elem, *signed, acc, x)?,
+                            RedOp::Min => alu(AluOp::Min, *elem, *signed, acc, x)?,
+                            RedOp::Max => alu(AluOp::Max, *elem, *signed, acc, x)?,
+                        };
+                    }
+                    frame.int[*dst] = acc;
+                    stats.cycles += cost.vec_reduce;
+                    stats.vector_ops += 1;
+                }
+                PInst::VecReduceFloat {
+                    op,
+                    elem,
+                    lanes,
+                    dst,
+                    src,
+                } => {
+                    let reg = &frame.vec[*src..*src + vb];
+                    let double = *elem == Width::W64;
+                    let mut acc = read_lane_float(reg, 0, *elem);
+                    for lane in 1..*lanes {
+                        let x = read_lane_float(reg, lane, *elem);
+                        acc = match op {
+                            RedOp::Add => fpu(FpuOp::Add, double, acc, x),
+                            RedOp::Min => fpu(FpuOp::Min, double, acc, x),
+                            RedOp::Max => fpu(FpuOp::Max, double, acc, x),
+                        };
+                    }
+                    frame.float[*dst] = acc;
+                    stats.cycles += cost.vec_reduce;
+                    stats.vector_ops += 1;
+                }
+                PInst::SpillInt { slot, src } => {
+                    let value = SlotValue::Int(frame.int[*src]);
+                    *frame
+                        .slots
+                        .get_mut(*slot)
+                        .ok_or_else(|| SimError::Trap(format!("spill to invalid slot {slot}")))? =
+                        value;
+                    stats.cycles += cost.spill_store;
+                    stats.spill_stores += 1;
+                }
+                PInst::SpillFloat { slot, src } => {
+                    let value = SlotValue::Float(frame.float[*src]);
+                    *frame
+                        .slots
+                        .get_mut(*slot)
+                        .ok_or_else(|| SimError::Trap(format!("spill to invalid slot {slot}")))? =
+                        value;
+                    stats.cycles += cost.spill_store;
+                    stats.spill_stores += 1;
+                }
+                PInst::SpillVec { slot, src } => {
+                    let value = SlotValue::Vec(frame.vec[*src..*src + vb].to_vec());
+                    *frame
+                        .slots
+                        .get_mut(*slot)
+                        .ok_or_else(|| SimError::Trap(format!("spill to invalid slot {slot}")))? =
+                        value;
+                    stats.cycles += cost.spill_store;
+                    stats.spill_stores += 1;
+                }
+                PInst::Reload { slot, class, dst } => {
+                    let value = frame.slots.get(*slot).ok_or_else(|| {
+                        SimError::Trap(format!("reload from invalid slot {slot}"))
+                    })?;
+                    match (class, value) {
+                        (RegClass::Int, SlotValue::Int(v)) => frame.int[*dst] = *v,
+                        (RegClass::Float, SlotValue::Float(v)) => frame.float[*dst] = *v,
+                        (RegClass::Vec, SlotValue::Vec(v)) => {
+                            frame.vec[*dst..*dst + vb].copy_from_slice(v);
+                        }
+                        (_, SlotValue::Empty) => {
+                            return Err(SimError::Trap(format!(
+                                "reload of uninitialized slot {slot}"
+                            )));
+                        }
+                        _ => {
+                            return Err(SimError::Trap(format!(
+                                "reload class mismatch for slot {slot}"
+                            )));
+                        }
+                    }
+                    stats.cycles += cost.spill_load;
+                    stats.spill_reloads += 1;
+                }
+                PInst::Jump { target } => {
+                    pc = *target as usize;
+                    stats.cycles += cost.branch_taken;
+                    stats.branches += 1;
+                }
+                PInst::BranchNz {
+                    cond,
+                    then_target,
+                    else_target,
+                } => {
+                    let taken = frame.int[*cond] != 0;
+                    pc = if taken {
+                        *then_target as usize
+                    } else {
+                        *else_target as usize
+                    };
+                    stats.cycles += if taken {
+                        cost.branch_taken
+                    } else {
+                        cost.branch_not_taken
+                    };
+                    stats.branches += 1;
+                }
+                PInst::Call { callee, args, ret } => {
+                    let mut argv = pool.take_argv();
+                    for &(class, idx) in args.iter() {
+                        argv.push(match class {
+                            RegClass::Int => MachineValue::Int(frame.int[idx]),
+                            RegClass::Float => MachineValue::Float(frame.float[idx]),
+                            RegClass::Vec => {
+                                return Err(SimError::Trap(
+                                    "vector call arguments are unsupported".into(),
+                                ));
+                            }
+                        });
+                    }
+                    stats.cycles += cost.call;
+                    let out = self.exec(*callee, &argv, mem, pool, fuel, depth + 1, stats)?;
+                    pool.give_argv(argv);
+                    if let Some((class, idx)) = ret {
+                        match (class, out) {
+                            (RegClass::Int, Some(MachineValue::Int(v))) => frame.int[*idx] = v,
+                            (RegClass::Float, Some(MachineValue::Float(v))) => {
+                                frame.float[*idx] = v;
+                            }
+                            _ => {
+                                return Err(SimError::Trap(format!(
+                                    "call to {} did not produce the expected value",
+                                    self.functions[*callee].name
+                                )));
+                            }
+                        }
+                    }
+                }
+                PInst::CallUnknown { name } => {
+                    return Err(SimError::UnknownFunction(name.clone()));
+                }
+                PInst::Ret { value } => {
+                    stats.cycles += cost.mov;
+                    return Ok(match value {
+                        Some((RegClass::Int, idx)) => Some(MachineValue::Int(frame.int[*idx])),
+                        Some((RegClass::Float, idx)) => {
+                            Some(MachineValue::Float(frame.float[*idx]))
+                        }
+                        Some((RegClass::Vec, _)) => {
+                            return Err(SimError::Trap(
+                                "vector return values are unsupported".into(),
+                            ));
+                        }
+                        None => None,
+                    });
+                }
+                PInst::FellOff { block } => {
+                    // The legacy walk charged fuel for the failed fetch but
+                    // did not count an instruction; mirror that exactly.
+                    stats.instructions -= 1;
+                    return Err(SimError::Trap(format!(
+                        "fell off the end of block {block} in {}",
+                        f.name
+                    )));
+                }
+            }
+        }
+    }
+}
+
+/// Register-file shape of the target a program is being prepared for.
+struct Layout {
+    int_regs: usize,
+    float_regs: usize,
+    vec_regs: usize,
+    vector_bytes: usize,
+}
+
+impl Layout {
+    /// Validate `r` against its class's register file; returns the direct
+    /// frame index (a byte offset for vector registers).
+    fn resolve(&self, r: PReg, fname: &str) -> Result<usize, SimError> {
+        let idx = usize::from(r.index);
+        let ok = match r.class {
+            RegClass::Int => idx < self.int_regs,
+            RegClass::Float => idx < self.float_regs,
+            RegClass::Vec => idx < self.vec_regs,
+        };
+        if !ok {
+            return Err(SimError::BadRegister {
+                reg: r.to_string(),
+                function: fname.to_owned(),
+            });
+        }
+        Ok(match r.class {
+            RegClass::Vec => idx * self.vector_bytes,
+            _ => idx,
+        })
+    }
+
+    /// Resolve `r` as `(class, index)` for class-dispatched instructions.
+    fn resolve_ref(&self, r: PReg, fname: &str) -> Result<RRef, SimError> {
+        Ok((r.class, self.resolve(r, fname)?))
+    }
+}
+
+#[allow(clippy::too_many_lines)]
+fn prepare_function(
+    f: &MFunction,
+    target: &TargetDesc,
+    layout: &Layout,
+    by_name: &HashMap<String, usize>,
+) -> Result<PreparedFunction, SimError> {
+    let fname = &f.name;
+    // Pass 1: instruction offset of every block in the flat stream (blocks
+    // that do not end in a terminator get a synthetic trap appended).
+    let mut offsets = Vec::with_capacity(f.blocks.len());
+    let mut len = 0u32;
+    for b in &f.blocks {
+        offsets.push(len);
+        len += b.insts.len() as u32;
+        if !b.insts.last().is_some_and(MInst::is_terminator) {
+            len += 1;
+        }
+    }
+    let block_offset = |target_block: u32| -> Result<u32, SimError> {
+        offsets.get(target_block as usize).copied().ok_or_else(|| {
+            SimError::Trap(format!("jump to invalid block {target_block} in {fname}"))
+        })
+    };
+    let require_simd = || -> Result<(), SimError> {
+        if target.has_simd() {
+            Ok(())
+        } else {
+            Err(SimError::NoVectorUnit {
+                function: fname.clone(),
+            })
+        }
+    };
+    let lanes_for = |elem: Width| (target.vector_bytes() / elem.bytes()) as usize;
+
+    let mut params = Vec::with_capacity(f.params.len());
+    for p in &f.params {
+        params.push(layout.resolve_ref(*p, fname)?);
+    }
+
+    // Pass 2: pre-decode every instruction.
+    let mut code = Vec::with_capacity(len as usize);
+    for (bi, b) in f.blocks.iter().enumerate() {
+        for inst in &b.insts {
+            let p = match inst {
+                MInst::Imm { dst, value } => PInst::Imm {
+                    dst: layout.resolve(*dst, fname)?,
+                    value: *value,
+                },
+                MInst::FImm { dst, value } => PInst::FImm {
+                    dst: layout.resolve(*dst, fname)?,
+                    value: *value,
+                },
+                MInst::Mov { dst, src } => {
+                    let d = layout.resolve(*dst, fname)?;
+                    let s = layout.resolve(*src, fname)?;
+                    match dst.class {
+                        RegClass::Int => PInst::MovInt { dst: d, src: s },
+                        RegClass::Float => PInst::MovFloat { dst: d, src: s },
+                        RegClass::Vec => PInst::MovVec { dst: d, src: s },
+                    }
+                }
+                MInst::IntOp {
+                    op,
+                    width,
+                    signed,
+                    dst,
+                    lhs,
+                    rhs,
+                } => PInst::IntOp {
+                    op: *op,
+                    width: *width,
+                    signed: *signed,
+                    dst: layout.resolve(*dst, fname)?,
+                    lhs: layout.resolve(*lhs, fname)?,
+                    rhs: layout.resolve(*rhs, fname)?,
+                    cost: match op {
+                        AluOp::Mul => target.cost.int_mul,
+                        AluOp::Div | AluOp::Rem => target.cost.int_div,
+                        _ => target.cost.int_op,
+                    },
+                },
+                MInst::FloatOp {
+                    op,
+                    double,
+                    dst,
+                    lhs,
+                    rhs,
+                } => PInst::FloatOp {
+                    op: *op,
+                    double: *double,
+                    dst: layout.resolve(*dst, fname)?,
+                    lhs: layout.resolve(*lhs, fname)?,
+                    rhs: layout.resolve(*rhs, fname)?,
+                    cost: match op {
+                        FpuOp::Mul => target.cost.fp_mul,
+                        FpuOp::Div => target.cost.fp_div,
+                        _ => target.cost.fp_add,
+                    },
+                },
+                MInst::IntNeg { width, dst, src } => PInst::IntNeg {
+                    width: *width,
+                    dst: layout.resolve(*dst, fname)?,
+                    src: layout.resolve(*src, fname)?,
+                },
+                MInst::IntNot { width, dst, src } => PInst::IntNot {
+                    width: *width,
+                    dst: layout.resolve(*dst, fname)?,
+                    src: layout.resolve(*src, fname)?,
+                },
+                MInst::FloatNeg { double, dst, src } => PInst::FloatNeg {
+                    double: *double,
+                    dst: layout.resolve(*dst, fname)?,
+                    src: layout.resolve(*src, fname)?,
+                },
+                MInst::IntCmp {
+                    pred,
+                    width,
+                    signed,
+                    dst,
+                    lhs,
+                    rhs,
+                } => PInst::IntCmp {
+                    pred: *pred,
+                    width: *width,
+                    signed: *signed,
+                    dst: layout.resolve(*dst, fname)?,
+                    lhs: layout.resolve(*lhs, fname)?,
+                    rhs: layout.resolve(*rhs, fname)?,
+                },
+                MInst::FloatCmp {
+                    pred,
+                    double,
+                    dst,
+                    lhs,
+                    rhs,
+                } => PInst::FloatCmp {
+                    pred: *pred,
+                    double: *double,
+                    dst: layout.resolve(*dst, fname)?,
+                    lhs: layout.resolve(*lhs, fname)?,
+                    rhs: layout.resolve(*rhs, fname)?,
+                },
+                MInst::Select {
+                    dst,
+                    cond,
+                    if_true,
+                    if_false,
+                } => {
+                    let d = layout.resolve(*dst, fname)?;
+                    let c = layout.resolve(*cond, fname)?;
+                    let t = layout.resolve(*if_true, fname)?;
+                    let e = layout.resolve(*if_false, fname)?;
+                    match dst.class {
+                        RegClass::Int => PInst::SelectInt {
+                            dst: d,
+                            cond: c,
+                            if_true: t,
+                            if_false: e,
+                        },
+                        RegClass::Float => PInst::SelectFloat {
+                            dst: d,
+                            cond: c,
+                            if_true: t,
+                            if_false: e,
+                        },
+                        RegClass::Vec => PInst::SelectVec {
+                            dst: d,
+                            cond: c,
+                            if_true: t,
+                            if_false: e,
+                        },
+                    }
+                }
+                MInst::IntToFloat {
+                    signed,
+                    double,
+                    dst,
+                    src,
+                } => PInst::IntToFloat {
+                    signed: *signed,
+                    double: *double,
+                    dst: layout.resolve(*dst, fname)?,
+                    src: layout.resolve(*src, fname)?,
+                },
+                MInst::FloatToInt {
+                    width,
+                    signed,
+                    dst,
+                    src,
+                } => PInst::FloatToInt {
+                    width: *width,
+                    signed: *signed,
+                    dst: layout.resolve(*dst, fname)?,
+                    src: layout.resolve(*src, fname)?,
+                },
+                MInst::FloatCvt {
+                    to_double,
+                    dst,
+                    src,
+                } => PInst::FloatCvt {
+                    to_double: *to_double,
+                    dst: layout.resolve(*dst, fname)?,
+                    src: layout.resolve(*src, fname)?,
+                },
+                MInst::IntResize {
+                    width,
+                    signed,
+                    dst,
+                    src,
+                } => PInst::IntResize {
+                    width: *width,
+                    signed: *signed,
+                    dst: layout.resolve(*dst, fname)?,
+                    src: layout.resolve(*src, fname)?,
+                },
+                MInst::Load {
+                    width,
+                    float,
+                    signed,
+                    dst,
+                    base,
+                    offset,
+                } => {
+                    let d = layout.resolve(*dst, fname)?;
+                    let b = layout.resolve(*base, fname)?;
+                    if *float {
+                        PInst::LoadFloat {
+                            width: *width,
+                            dst: d,
+                            base: b,
+                            offset: *offset,
+                        }
+                    } else {
+                        PInst::LoadInt {
+                            width: *width,
+                            signed: *signed,
+                            dst: d,
+                            base: b,
+                            offset: *offset,
+                        }
+                    }
+                }
+                MInst::Store {
+                    width,
+                    float,
+                    base,
+                    offset,
+                    src,
+                } => {
+                    let b = layout.resolve(*base, fname)?;
+                    let s = layout.resolve(*src, fname)?;
+                    if *float {
+                        PInst::StoreFloat {
+                            width: *width,
+                            base: b,
+                            offset: *offset,
+                            src: s,
+                        }
+                    } else {
+                        PInst::StoreInt {
+                            width: *width,
+                            base: b,
+                            offset: *offset,
+                            src: s,
+                        }
+                    }
+                }
+                MInst::VecLoad { dst, base, offset } => {
+                    require_simd()?;
+                    PInst::VecLoad {
+                        dst: layout.resolve(*dst, fname)?,
+                        base: layout.resolve(*base, fname)?,
+                        offset: *offset,
+                    }
+                }
+                MInst::VecStore { base, offset, src } => {
+                    require_simd()?;
+                    PInst::VecStore {
+                        base: layout.resolve(*base, fname)?,
+                        offset: *offset,
+                        src: layout.resolve(*src, fname)?,
+                    }
+                }
+                MInst::VecSplatInt { elem, dst, src } => {
+                    require_simd()?;
+                    PInst::VecSplatInt {
+                        elem: *elem,
+                        lanes: lanes_for(*elem),
+                        dst: layout.resolve(*dst, fname)?,
+                        src: layout.resolve(*src, fname)?,
+                    }
+                }
+                MInst::VecSplatFloat { elem, dst, src } => {
+                    require_simd()?;
+                    PInst::VecSplatFloat {
+                        elem: *elem,
+                        lanes: lanes_for(*elem),
+                        dst: layout.resolve(*dst, fname)?,
+                        src: layout.resolve(*src, fname)?,
+                    }
+                }
+                MInst::VecIntOp {
+                    op,
+                    elem,
+                    signed,
+                    dst,
+                    lhs,
+                    rhs,
+                } => {
+                    require_simd()?;
+                    PInst::VecIntOp {
+                        op: *op,
+                        elem: *elem,
+                        signed: *signed,
+                        lanes: lanes_for(*elem),
+                        dst: layout.resolve(*dst, fname)?,
+                        lhs: layout.resolve(*lhs, fname)?,
+                        rhs: layout.resolve(*rhs, fname)?,
+                    }
+                }
+                MInst::VecFloatOp {
+                    op,
+                    elem,
+                    dst,
+                    lhs,
+                    rhs,
+                } => {
+                    require_simd()?;
+                    PInst::VecFloatOp {
+                        op: *op,
+                        elem: *elem,
+                        double: *elem == Width::W64,
+                        lanes: lanes_for(*elem),
+                        dst: layout.resolve(*dst, fname)?,
+                        lhs: layout.resolve(*lhs, fname)?,
+                        rhs: layout.resolve(*rhs, fname)?,
+                    }
+                }
+                MInst::VecReduceInt {
+                    op,
+                    elem,
+                    signed,
+                    dst,
+                    src,
+                } => {
+                    require_simd()?;
+                    PInst::VecReduceInt {
+                        op: *op,
+                        elem: *elem,
+                        signed: *signed,
+                        lanes: lanes_for(*elem),
+                        dst: layout.resolve(*dst, fname)?,
+                        src: layout.resolve(*src, fname)?,
+                    }
+                }
+                MInst::VecReduceFloat { op, elem, dst, src } => {
+                    require_simd()?;
+                    PInst::VecReduceFloat {
+                        op: *op,
+                        elem: *elem,
+                        lanes: lanes_for(*elem),
+                        dst: layout.resolve(*dst, fname)?,
+                        src: layout.resolve(*src, fname)?,
+                    }
+                }
+                MInst::Spill { slot, src } => {
+                    let s = layout.resolve(*src, fname)?;
+                    let slot = *slot as usize;
+                    match src.class {
+                        RegClass::Int => PInst::SpillInt { slot, src: s },
+                        RegClass::Float => PInst::SpillFloat { slot, src: s },
+                        RegClass::Vec => PInst::SpillVec { slot, src: s },
+                    }
+                }
+                MInst::Reload { slot, dst } => PInst::Reload {
+                    slot: *slot as usize,
+                    class: dst.class,
+                    dst: layout.resolve(*dst, fname)?,
+                },
+                MInst::Jump { target } => PInst::Jump {
+                    target: block_offset(*target)?,
+                },
+                MInst::BranchNz {
+                    cond,
+                    then_target,
+                    else_target,
+                } => PInst::BranchNz {
+                    cond: layout.resolve(*cond, fname)?,
+                    then_target: block_offset(*then_target)?,
+                    else_target: block_offset(*else_target)?,
+                },
+                MInst::Call { callee, args, ret } => {
+                    let mut resolved = Vec::with_capacity(args.len());
+                    for a in args {
+                        resolved.push(layout.resolve_ref(*a, fname)?);
+                    }
+                    let ret = match ret {
+                        Some(r) => Some(layout.resolve_ref(*r, fname)?),
+                        None => None,
+                    };
+                    match by_name.get(callee) {
+                        Some(&index) => PInst::Call {
+                            callee: index,
+                            args: resolved.into_boxed_slice(),
+                            ret,
+                        },
+                        None => PInst::CallUnknown {
+                            name: callee.clone(),
+                        },
+                    }
+                }
+                MInst::Ret { value } => PInst::Ret {
+                    value: match value {
+                        Some(r) => Some(layout.resolve_ref(*r, fname)?),
+                        None => None,
+                    },
+                },
+            };
+            code.push(p);
+        }
+        if !b.insts.last().is_some_and(MInst::is_terminator) {
+            code.push(PInst::FellOff { block: bi as u32 });
+        }
+    }
+    if f.blocks.is_empty() {
+        code.push(PInst::FellOff { block: 0 });
+    }
+    Ok(PreparedFunction {
+        name: f.name.clone(),
+        params: params.into_boxed_slice(),
+        num_slots: f.num_slots as usize,
+        code,
+    })
+}
+
+/// A reusable executor over one [`PreparedProgram`]: owns a [`FramePool`] and
+/// the fuel/stats bookkeeping, mirroring the [`Simulator`](crate::Simulator)
+/// API for code that runs the same prepared program many times.
+#[derive(Debug)]
+pub struct PreparedSimulator<'p> {
+    program: &'p PreparedProgram,
+    pool: FramePool,
+    fuel: u64,
+    stats: SimStats,
+}
+
+impl<'p> PreparedSimulator<'p> {
+    /// Create an executor over `program` with the default fuel budget.
+    pub fn new(program: &'p PreparedProgram) -> Self {
+        PreparedSimulator {
+            program,
+            pool: FramePool::new(),
+            fuel: DEFAULT_SIM_FUEL,
+            stats: SimStats::default(),
+        }
+    }
+
+    /// Override the instruction budget.
+    pub fn with_fuel(mut self, fuel: u64) -> Self {
+        self.fuel = fuel;
+        self
+    }
+
+    /// Statistics from the most recent [`PreparedSimulator::run`].
+    pub fn stats(&self) -> SimStats {
+        self.stats
+    }
+
+    /// Execute `func` with `args` against `mem`, recycling frames from the
+    /// executor's pool.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`PreparedProgram::run`].
+    pub fn run(
+        &mut self,
+        func: &str,
+        args: &[MachineValue],
+        mem: &mut [u8],
+    ) -> Result<Option<MachineValue>, SimError> {
+        self.program
+            .run(func, args, mem, &mut self.pool, self.fuel, &mut self.stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mcode::{MBlock, MProgram};
+
+    fn call_program() -> MProgram {
+        // main(f0) { f1 = sq(f0); return f1 }   sq(f0) { return f0*f0 }
+        let callee = MFunction {
+            name: "sq".into(),
+            params: vec![PReg::float(0)],
+            blocks: vec![MBlock {
+                insts: vec![
+                    MInst::FloatOp {
+                        op: FpuOp::Mul,
+                        double: false,
+                        dst: PReg::float(0),
+                        lhs: PReg::float(0),
+                        rhs: PReg::float(0),
+                    },
+                    MInst::Ret {
+                        value: Some(PReg::float(0)),
+                    },
+                ],
+            }],
+            num_slots: 0,
+        };
+        let caller = MFunction {
+            name: "main".into(),
+            params: vec![PReg::float(0)],
+            blocks: vec![MBlock {
+                insts: vec![
+                    MInst::Call {
+                        callee: "sq".into(),
+                        args: vec![PReg::float(0)],
+                        ret: Some(PReg::float(1)),
+                    },
+                    MInst::Ret {
+                        value: Some(PReg::float(1)),
+                    },
+                ],
+            }],
+            num_slots: 0,
+        };
+        MProgram {
+            name: "m".into(),
+            functions: vec![callee, caller],
+        }
+    }
+
+    #[test]
+    fn call_targets_resolve_to_dense_indices_and_frames_recycle() {
+        let p = call_program();
+        let target = TargetDesc::x86_sse();
+        let prepared = PreparedProgram::prepare(&p, &target).unwrap();
+        assert_eq!(prepared.function_index("sq"), Some(0));
+        assert_eq!(prepared.function_index("main"), Some(1));
+        assert_eq!(prepared.function_index("nope"), None);
+        let mut sim = PreparedSimulator::new(&prepared);
+        let mut mem = vec![0u8; 16];
+        for _ in 0..3 {
+            let out = sim
+                .run("main", &[MachineValue::Float(3.0)], &mut mem)
+                .unwrap();
+            assert_eq!(out, Some(MachineValue::Float(9.0)));
+        }
+        // Both the caller's and the callee's frame went back to the pool.
+        assert_eq!(sim.pool.pooled_frames(), 2);
+    }
+
+    #[test]
+    fn scalar_only_targets_prepare_an_empty_vector_buffer() {
+        let p = call_program();
+        let prepared = PreparedProgram::prepare(&p, &TargetDesc::ultrasparc()).unwrap();
+        assert_eq!(prepared.vec_bytes_total, 0);
+        let simd = PreparedProgram::prepare(&p, &TargetDesc::x86_sse()).unwrap();
+        assert_eq!(simd.vec_bytes_total, 8 * 16);
+    }
+
+    #[test]
+    fn bad_registers_and_missing_vector_units_fail_at_prepare_time() {
+        let bad = MProgram {
+            name: "bad".into(),
+            functions: vec![MFunction {
+                name: "f".into(),
+                params: vec![],
+                blocks: vec![MBlock {
+                    insts: vec![
+                        MInst::Imm {
+                            dst: PReg::int(40),
+                            value: 1,
+                        },
+                        MInst::Ret { value: None },
+                    ],
+                }],
+                num_slots: 0,
+            }],
+        };
+        let err = PreparedProgram::prepare(&bad, &TargetDesc::x86_sse()).unwrap_err();
+        assert!(matches!(err, SimError::BadRegister { .. }));
+
+        let vecp = MProgram {
+            name: "v".into(),
+            functions: vec![MFunction {
+                name: "f".into(),
+                params: vec![PReg::int(0)],
+                blocks: vec![MBlock {
+                    insts: vec![
+                        MInst::VecLoad {
+                            dst: PReg::vec(0),
+                            base: PReg::int(0),
+                            offset: 0,
+                        },
+                        MInst::Ret { value: None },
+                    ],
+                }],
+                num_slots: 0,
+            }],
+        };
+        let err = PreparedProgram::prepare(&vecp, &TargetDesc::ultrasparc()).unwrap_err();
+        assert!(matches!(err, SimError::NoVectorUnit { .. }));
+        assert!(PreparedProgram::prepare(&vecp, &TargetDesc::x86_sse()).is_ok());
+    }
+
+    #[test]
+    fn unterminated_blocks_trap_like_the_legacy_walk() {
+        let p = MProgram {
+            name: "m".into(),
+            functions: vec![MFunction {
+                name: "f".into(),
+                params: vec![],
+                blocks: vec![MBlock {
+                    insts: vec![MInst::Imm {
+                        dst: PReg::int(0),
+                        value: 1,
+                    }],
+                }],
+                num_slots: 0,
+            }],
+        };
+        let prepared = PreparedProgram::prepare(&p, &TargetDesc::powerpc()).unwrap();
+        let mut sim = PreparedSimulator::new(&prepared);
+        let mut mem = vec![0u8; 16];
+        let err = sim.run("f", &[], &mut mem).unwrap_err();
+        assert_eq!(
+            err,
+            SimError::Trap("fell off the end of block 0 in f".into())
+        );
+    }
+}

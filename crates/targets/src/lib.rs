@@ -58,10 +58,12 @@
 #![warn(rust_2018_idioms)]
 
 mod desc;
+mod exec;
 mod mcode;
 mod simulator;
 
 pub use desc::{CostModel, TargetDesc, VectorUnit};
+pub use exec::{FramePool, PreparedProgram, PreparedSimulator};
 pub use mcode::{
     AluOp, CmpPred, FpuOp, MBlock, MFunction, MInst, MProgram, PReg, RedOp, RegClass, Width,
 };

@@ -146,7 +146,7 @@ struct Frame {
     slots: Vec<SlotValue>,
 }
 
-fn normalize(width: Width, signed: bool, v: i64) -> i64 {
+pub(crate) fn normalize(width: Width, signed: bool, v: i64) -> i64 {
     match (width, signed) {
         (Width::W8, true) => v as i8 as i64,
         (Width::W8, false) => i64::from(v as u8),
@@ -158,7 +158,7 @@ fn normalize(width: Width, signed: bool, v: i64) -> i64 {
     }
 }
 
-fn alu(op: AluOp, width: Width, signed: bool, a: i64, b: i64) -> Result<i64, SimError> {
+pub(crate) fn alu(op: AluOp, width: Width, signed: bool, a: i64, b: i64) -> Result<i64, SimError> {
     let r = match op {
         AluOp::Add => a.wrapping_add(b),
         AluOp::Sub => a.wrapping_sub(b),
@@ -212,7 +212,7 @@ fn alu(op: AluOp, width: Width, signed: bool, a: i64, b: i64) -> Result<i64, Sim
     Ok(normalize(width, signed, r))
 }
 
-fn fpu(op: FpuOp, double: bool, a: f64, b: f64) -> f64 {
+pub(crate) fn fpu(op: FpuOp, double: bool, a: f64, b: f64) -> f64 {
     let r = match op {
         FpuOp::Add => a + b,
         FpuOp::Sub => a - b,
@@ -228,7 +228,7 @@ fn fpu(op: FpuOp, double: bool, a: f64, b: f64) -> f64 {
     }
 }
 
-fn compare<T: PartialOrd>(pred: CmpPred, a: T, b: T) -> i64 {
+pub(crate) fn compare<T: PartialOrd>(pred: CmpPred, a: T, b: T) -> i64 {
     let r = match pred {
         CmpPred::Eq => a == b,
         CmpPred::Ne => a != b,
@@ -241,6 +241,15 @@ fn compare<T: PartialOrd>(pred: CmpPred, a: T, b: T) -> i64 {
 }
 
 /// The cycle-cost simulator for one target.
+///
+/// Since the pre-decoded execution representation landed
+/// ([`PreparedProgram`](crate::PreparedProgram)), this type is a thin wrapper
+/// that prepares the program on the fly — once, on the first
+/// [`Simulator::run`] — and then drives the flat program-counter loop. The
+/// original block-walking interpreter survives as
+/// [`Simulator::run_legacy`]: it is the semantic reference the differential
+/// tests compare the prepared path against, and the "cold" side of the
+/// simulator microbenchmark.
 ///
 /// # Examples
 ///
@@ -280,6 +289,9 @@ pub struct Simulator<'p> {
     target: &'p TargetDesc,
     fuel: u64,
     stats: SimStats,
+    /// Pre-decoded form, built lazily by the first [`Simulator::run`].
+    prepared: Option<crate::exec::PreparedProgram>,
+    pool: crate::exec::FramePool,
 }
 
 impl<'p> Simulator<'p> {
@@ -290,6 +302,8 @@ impl<'p> Simulator<'p> {
             target,
             fuel: DEFAULT_SIM_FUEL,
             stats: SimStats::default(),
+            prepared: None,
+            pool: crate::exec::FramePool::new(),
         }
     }
 
@@ -299,18 +313,51 @@ impl<'p> Simulator<'p> {
         self
     }
 
-    /// Statistics from the most recent [`Simulator::run`].
+    /// Statistics from the most recent [`Simulator::run`] /
+    /// [`Simulator::run_legacy`].
     pub fn stats(&self) -> SimStats {
         self.stats
     }
 
     /// Execute `func` with `args` against `mem`.
     ///
+    /// Prepares the program for the target on the first call (see
+    /// [`PreparedProgram`](crate::PreparedProgram)) and then drives the flat
+    /// pre-decoded loop; subsequent runs reuse both the prepared code and the
+    /// frame pool. Results, traps and statistics are bit-identical to
+    /// [`Simulator::run_legacy`].
+    ///
     /// # Errors
     ///
     /// Returns a [`SimError`] on unknown functions, register-file violations,
     /// vector use on scalar-only targets, runtime traps or fuel exhaustion.
     pub fn run(
+        &mut self,
+        func: &str,
+        args: &[MachineValue],
+        mem: &mut [u8],
+    ) -> Result<Option<MachineValue>, SimError> {
+        if self.prepared.is_none() {
+            self.prepared = Some(crate::exec::PreparedProgram::prepare(
+                self.program,
+                self.target,
+            )?);
+        }
+        let prepared = self.prepared.as_ref().expect("prepared above");
+        prepared.run(func, args, mem, &mut self.pool, self.fuel, &mut self.stats)
+    }
+
+    /// Execute `func` with `args` against `mem` using the original
+    /// block-walking interpreter (no preparation, per-instruction decode).
+    ///
+    /// This is the semantic reference: the differential suites assert the
+    /// prepared path agrees with it bit-for-bit, and the simulator
+    /// microbenchmark uses it as the "cold" baseline.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Simulator::run`].
+    pub fn run_legacy(
         &mut self,
         func: &str,
         args: &[MachineValue],
@@ -329,10 +376,15 @@ impl<'p> Simulator<'p> {
         Frame {
             int: vec![0; usize::from(self.target.int_regs)],
             float: vec![0.0; usize::from(self.target.float_regs)],
-            vec: vec![
-                vec![0u8; self.target.vector_bytes() as usize];
-                self.target.vector.map(|v| usize::from(v.regs)).unwrap_or(0)
-            ],
+            // Scalar-only targets get an explicitly empty register file — no
+            // per-call vector bookkeeping at all. (The prepared path goes
+            // further and pools one flat buffer; see `exec::FramePool`.)
+            vec: match self.target.vector {
+                Some(v) => {
+                    vec![vec![0u8; self.target.vector_bytes() as usize]; usize::from(v.regs)]
+                }
+                None => Vec::new(),
+            },
             slots: vec![SlotValue::Empty; f.num_slots as usize],
         }
     }
@@ -943,7 +995,7 @@ impl<'p> Simulator<'p> {
     }
 }
 
-fn check_range(mem: &[u8], addr: i64, len: u64) -> Result<(), SimError> {
+pub(crate) fn check_range(mem: &[u8], addr: i64, len: u64) -> Result<(), SimError> {
     if addr <= 0 {
         return Err(SimError::Trap(format!("null or negative address {addr}")));
     }
@@ -957,34 +1009,34 @@ fn check_range(mem: &[u8], addr: i64, len: u64) -> Result<(), SimError> {
     Ok(())
 }
 
-fn read_mem(mem: &[u8], addr: i64, len: u64) -> Result<u64, SimError> {
+pub(crate) fn read_mem(mem: &[u8], addr: i64, len: u64) -> Result<u64, SimError> {
     check_range(mem, addr, len)?;
     let mut buf = [0u8; 8];
     buf[..len as usize].copy_from_slice(&mem[addr as usize..(addr as usize + len as usize)]);
     Ok(u64::from_le_bytes(buf))
 }
 
-fn write_mem(mem: &mut [u8], addr: i64, len: u64, value: u64) -> Result<(), SimError> {
+pub(crate) fn write_mem(mem: &mut [u8], addr: i64, len: u64, value: u64) -> Result<(), SimError> {
     check_range(mem, addr, len)?;
     let bytes = value.to_le_bytes();
     mem[addr as usize..(addr as usize + len as usize)].copy_from_slice(&bytes[..len as usize]);
     Ok(())
 }
 
-fn read_lane_int(reg: &[u8], lane: usize, elem: Width, signed: bool) -> i64 {
+pub(crate) fn read_lane_int(reg: &[u8], lane: usize, elem: Width, signed: bool) -> i64 {
     let size = elem.bytes() as usize;
     let mut buf = [0u8; 8];
     buf[..size].copy_from_slice(&reg[lane * size..lane * size + size]);
     normalize(elem, signed, u64::from_le_bytes(buf) as i64)
 }
 
-fn write_lane_int(reg: &mut [u8], lane: usize, elem: Width, value: i64) {
+pub(crate) fn write_lane_int(reg: &mut [u8], lane: usize, elem: Width, value: i64) {
     let size = elem.bytes() as usize;
     let bytes = (value as u64).to_le_bytes();
     reg[lane * size..lane * size + size].copy_from_slice(&bytes[..size]);
 }
 
-fn read_lane_float(reg: &[u8], lane: usize, elem: Width) -> f64 {
+pub(crate) fn read_lane_float(reg: &[u8], lane: usize, elem: Width) -> f64 {
     let size = elem.bytes() as usize;
     let mut buf = [0u8; 8];
     buf[..size].copy_from_slice(&reg[lane * size..lane * size + size]);
@@ -994,7 +1046,7 @@ fn read_lane_float(reg: &[u8], lane: usize, elem: Width) -> f64 {
     }
 }
 
-fn write_lane_float(reg: &mut [u8], lane: usize, elem: Width, value: f64) {
+pub(crate) fn write_lane_float(reg: &mut [u8], lane: usize, elem: Width, value: f64) {
     let size = elem.bytes() as usize;
     let raw = match elem {
         Width::W32 => u64::from((value as f32).to_bits()),
@@ -1307,6 +1359,111 @@ mod tests {
             sim.run("spin", &[], &mut mem).unwrap_err(),
             SimError::OutOfFuel
         );
+    }
+
+    #[test]
+    fn prepared_and_legacy_walks_agree_on_results_and_stats() {
+        // The sum-loop program from `loads_stores_and_loop_execute_with_costs`,
+        // run through both execution paths of the same simulator.
+        let f = MFunction {
+            name: "sum".into(),
+            params: vec![PReg::int(0), PReg::int(1)],
+            blocks: vec![
+                MBlock {
+                    insts: vec![
+                        MInst::Imm {
+                            dst: PReg::int(2),
+                            value: 0,
+                        },
+                        MInst::Imm {
+                            dst: PReg::int(3),
+                            value: 0,
+                        },
+                        MInst::Jump { target: 1 },
+                    ],
+                },
+                MBlock {
+                    insts: vec![
+                        MInst::IntCmp {
+                            pred: CmpPred::Lt,
+                            width: Width::W32,
+                            signed: true,
+                            dst: PReg::int(4),
+                            lhs: PReg::int(3),
+                            rhs: PReg::int(1),
+                        },
+                        MInst::BranchNz {
+                            cond: PReg::int(4),
+                            then_target: 2,
+                            else_target: 3,
+                        },
+                    ],
+                },
+                MBlock {
+                    insts: vec![
+                        MInst::IntOp {
+                            op: AluOp::Add,
+                            width: Width::W64,
+                            signed: true,
+                            dst: PReg::int(5),
+                            lhs: PReg::int(0),
+                            rhs: PReg::int(3),
+                        },
+                        MInst::Load {
+                            width: Width::W8,
+                            float: false,
+                            signed: false,
+                            dst: PReg::int(5),
+                            base: PReg::int(5),
+                            offset: 0,
+                        },
+                        MInst::IntOp {
+                            op: AluOp::Add,
+                            width: Width::W8,
+                            signed: false,
+                            dst: PReg::int(2),
+                            lhs: PReg::int(2),
+                            rhs: PReg::int(5),
+                        },
+                        MInst::Imm {
+                            dst: PReg::int(5),
+                            value: 1,
+                        },
+                        MInst::IntOp {
+                            op: AluOp::Add,
+                            width: Width::W32,
+                            signed: true,
+                            dst: PReg::int(3),
+                            lhs: PReg::int(3),
+                            rhs: PReg::int(5),
+                        },
+                        MInst::Jump { target: 1 },
+                    ],
+                },
+                MBlock {
+                    insts: vec![MInst::Ret {
+                        value: Some(PReg::int(2)),
+                    }],
+                },
+            ],
+            num_slots: 0,
+        };
+        let p = program(f);
+        let args = [MachineValue::Int(16), MachineValue::Int(100)];
+        for target in TargetDesc::presets() {
+            let mut mem = vec![0u8; 256];
+            for i in 0..100u8 {
+                mem[16 + i as usize] = i;
+            }
+            let mut legacy_mem = mem.clone();
+            let mut sim = Simulator::new(&p, &target);
+            let out = sim.run("sum", &args, &mut mem).unwrap();
+            let prepared_stats = sim.stats();
+            let legacy_out = sim.run_legacy("sum", &args, &mut legacy_mem).unwrap();
+            assert_eq!(out, legacy_out, "{}", target.name);
+            assert_eq!(prepared_stats, sim.stats(), "{}", target.name);
+            assert_eq!(mem, legacy_mem, "{}", target.name);
+        }
     }
 
     #[test]

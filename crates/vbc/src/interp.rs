@@ -66,6 +66,32 @@ impl Value {
             other => panic!("expected vector value, found {other:?}"),
         }
     }
+
+    /// Copy `other` into `self`, reusing a vector's lane allocation instead
+    /// of dropping and reallocating it (the interpreter's `Move`/`Select`
+    /// hot path goes through this).
+    fn assign_from(&mut self, other: &Value) {
+        match (self, other) {
+            (Value::Vector(dst), Value::Vector(src)) => dst.clone_from(src),
+            (dst, src) => *dst = src.clone(),
+        }
+    }
+}
+
+/// Copy register `src` into register `dst` (no-op when they alias), reusing
+/// the destination's allocation for vector values.
+fn copy_reg(regs: &mut [Value], dst: usize, src: usize) {
+    if dst == src {
+        return;
+    }
+    let (a, b) = if dst < src {
+        let (lo, hi) = regs.split_at_mut(src);
+        (&mut lo[dst], &hi[0])
+    } else {
+        let (lo, hi) = regs.split_at_mut(dst);
+        (&mut hi[0], &lo[src])
+    };
+    a.assign_from(b);
 }
 
 /// An error raised during interpretation.
@@ -515,6 +541,13 @@ pub struct Interpreter<'m> {
     vector_width_bytes: u64,
     fuel: u64,
     stats: ExecStats,
+    /// Recycled register files: one `Vec<Value>` per active call depth,
+    /// returned here when the call ends so sibling and repeated calls reuse
+    /// the allocation instead of building a fresh `vec![Value::Int(0); n]`.
+    reg_pool: Vec<Vec<Value>>,
+    /// Recycled call-argument scratch buffers (one per active call depth),
+    /// so `Call` no longer collects a fresh `Vec<Value>` per invocation.
+    argv_pool: Vec<Vec<Value>>,
 }
 
 impl<'m> Interpreter<'m> {
@@ -525,6 +558,8 @@ impl<'m> Interpreter<'m> {
             vector_width_bytes: DEFAULT_VECTOR_WIDTH_BYTES,
             fuel: DEFAULT_FUEL,
             stats: ExecStats::default(),
+            reg_pool: Vec::new(),
+            argv_pool: Vec::new(),
         }
     }
 
@@ -580,10 +615,27 @@ impl<'m> Interpreter<'m> {
             });
         }
         self.stats.calls += 1;
-        let mut regs: Vec<Value> = vec![Value::Int(0); f.num_vregs()];
+        // The register file comes from the pool: repeated and sibling calls
+        // reuse one allocation instead of building a fresh Vec per call.
+        let mut regs = self.reg_pool.pop().unwrap_or_default();
+        regs.clear();
+        regs.resize(f.num_vregs(), Value::Int(0));
         for ((r, _), v) in f.params.iter().zip(args) {
-            regs[r.index()] = v.clone();
+            regs[r.index()].assign_from(v);
         }
+        let result = self.exec_function(f, &mut regs, mem, fuel);
+        regs.clear();
+        self.reg_pool.push(regs);
+        result
+    }
+
+    fn exec_function(
+        &mut self,
+        f: &'m crate::Function,
+        regs: &mut [Value],
+        mem: &mut Memory,
+        fuel: &mut u64,
+    ) -> Result<Option<Value>, ExecError> {
         let mut block = f.entry;
         let mut index = 0usize;
         loop {
@@ -592,14 +644,17 @@ impl<'m> Interpreter<'m> {
             }
             *fuel -= 1;
             self.stats.executed += 1;
+            // Borrowing the instruction (lifetime `'m`, via the module
+            // reference) instead of cloning it: the old per-step
+            // `Inst::clone()` copied a `String` + `Vec` for every `Call` and
+            // a full enum payload for everything else.
             let inst = f
                 .block(block)
                 .insts
                 .get(index)
-                .ok_or_else(|| ExecError::Trap(format!("fell off the end of {block}")))?
-                .clone();
+                .ok_or_else(|| ExecError::Trap(format!("fell off the end of {block}")))?;
             index += 1;
-            match inst {
+            match *inst {
                 Inst::Const { dst, ty, imm } => {
                     regs[dst.index()] = if ty.is_float() {
                         // Canonicalize even if the module carries an
@@ -611,7 +666,7 @@ impl<'m> Interpreter<'m> {
                         Value::Int(normalize_int(ty, imm.as_i64()))
                     };
                 }
-                Inst::Move { dst, src, .. } => regs[dst.index()] = regs[src.index()].clone(),
+                Inst::Move { dst, src, .. } => copy_reg(regs, dst.index(), src.index()),
                 Inst::Bin {
                     op,
                     ty,
@@ -651,11 +706,12 @@ impl<'m> Interpreter<'m> {
                     if_false,
                     ..
                 } => {
-                    regs[dst.index()] = if regs[cond.index()].as_int() != 0 {
-                        regs[if_true.index()].clone()
+                    let chosen = if regs[cond.index()].as_int() != 0 {
+                        if_true
                     } else {
-                        regs[if_false.index()].clone()
+                        if_false
                     };
+                    copy_reg(regs, dst.index(), chosen.index());
                 }
                 Inst::Cast { dst, to, src, from } => {
                     regs[dst.index()] = eval_cast(from, to, &regs[src.index()]);
@@ -680,9 +736,20 @@ impl<'m> Interpreter<'m> {
                     let a = (regs[addr.index()].as_int() + offset) as u64;
                     mem.store_scalar(ty, a, &regs[value.index()])?;
                 }
-                Inst::Call { dst, callee, args } => {
-                    let argv: Vec<Value> = args.iter().map(|r| regs[r.index()].clone()).collect();
-                    let out = self.call_function(&callee, &argv, mem, fuel)?;
+                Inst::Call {
+                    dst,
+                    ref callee,
+                    ref args,
+                } => {
+                    // The argument buffer comes from a pool instead of being
+                    // collected fresh per call; the error paths just drop it
+                    // (the pool refills on the next successful call).
+                    let mut argv = self.argv_pool.pop().unwrap_or_default();
+                    argv.clear();
+                    argv.extend(args.iter().map(|r| regs[r.index()].clone()));
+                    let out = self.call_function(callee, &argv, mem, fuel)?;
+                    argv.clear();
+                    self.argv_pool.push(argv);
                     if let Some(d) = dst {
                         regs[d.index()] = out.ok_or_else(|| {
                             ExecError::Trap(format!("call to {callee} produced no value"))

@@ -17,10 +17,10 @@
 
 use rand::{rngs::StdRng, Rng, SeedableRng};
 use splitc::splitc_minic::compile_source;
-use splitc::{run_on_target, Workspace};
-use splitc_jit::{JitOptions, RegAllocMode};
+use splitc::Workspace;
+use splitc_jit::{compile_module, JitOptions, RegAllocMode};
 use splitc_opt::{optimize_module, OptOptions};
-use splitc_targets::{MachineValue, TargetDesc};
+use splitc_targets::{MachineValue, PreparedProgram, PreparedSimulator, Simulator, TargetDesc};
 use splitc_vbc::{Interpreter, Memory, Value};
 
 /// Elements per generated kernel; deliberately not a multiple of a lane count.
@@ -203,9 +203,12 @@ fn gen_float_program(seed: u64) -> String {
     format!("fn fuzzf(n: i32, x: *f32, y: *f32) {{\n{body}}}\n")
 }
 
-/// Run `source` through the interpreter and every target × mode, comparing
-/// the returned value and the output array bytes exactly. `float` selects
-/// the f32 input layout. Panics with the program source on any divergence.
+/// Run `source` through the interpreter and every target × mode — **via both
+/// execution paths**: the legacy `MProgram` block walk and the pre-decoded
+/// `PreparedProgram` flat loop — comparing the returned value and the output
+/// array bytes exactly, and the two paths' `SimStats` against each other.
+/// `float` selects the f32 input layout. Panics with the program source on
+/// any divergence.
 fn check_program(source: &str, name: &str, seed: u64, float: bool) {
     let mut module = compile_source(source, "fuzz").unwrap_or_else(|e| {
         panic!("seed {seed}: generated program fails to compile: {e}\n--- source ---\n{source}")
@@ -255,30 +258,72 @@ fn check_program(source: &str, name: &str, seed: u64, float: bool) {
     let y_range = y as usize..y as usize + elem * N;
     let expected_out = mem.bytes()[y_range.clone()].to_vec();
 
-    // Every simulated target under every register-allocation mode.
+    // Every simulated target under every register-allocation mode, through
+    // both execution paths.
     for target in TargetDesc::presets() {
         for mode in MODES {
             let jit = JitOptions {
                 regalloc: mode,
                 allow_simd: true,
             };
-            let mut run_ws = ws.clone();
-            let run = run_on_target(&module, &target, &jit, name, &args, run_ws.bytes_mut())
-                .unwrap_or_else(|e| {
+            let (program, _stats) =
+                compile_module(&module, &target, &jit).unwrap_or_else(|e| {
                     panic!(
-                        "seed {seed}: {} with {mode:?} failed: {e}\n--- source ---\n{source}",
+                        "seed {seed}: {} with {mode:?} failed to compile: {e}\n--- source ---\n{source}",
                         target.name
                     )
                 });
+
+            // Legacy block walk.
+            let mut legacy_ws = ws.clone();
+            let mut legacy_sim = Simulator::new(&program, &target);
+            let legacy_result = legacy_sim
+                .run_legacy(name, &args, legacy_ws.bytes_mut())
+                .unwrap_or_else(|e| {
+                    panic!(
+                        "seed {seed}: {} with {mode:?} (legacy) failed: {e}\n--- source ---\n{source}",
+                        target.name
+                    )
+                });
+
+            // Pre-decoded flat loop.
+            let prepared = PreparedProgram::prepare(&program, &target).unwrap_or_else(|e| {
+                panic!(
+                    "seed {seed}: {} with {mode:?} failed to prepare: {e}\n--- source ---\n{source}",
+                    target.name
+                )
+            });
+            let mut run_ws = ws.clone();
+            let mut sim = PreparedSimulator::new(&prepared);
+            let result = sim
+                .run(name, &args, run_ws.bytes_mut())
+                .unwrap_or_else(|e| {
+                    panic!(
+                        "seed {seed}: {} with {mode:?} (prepared) failed: {e}\n--- source ---\n{source}",
+                        target.name
+                    )
+                });
+
+            for (path, run_result, out_ws) in [
+                ("legacy", legacy_result, &legacy_ws),
+                ("prepared", result, &run_ws),
+            ] {
+                assert_eq!(
+                    run_result, expected_result,
+                    "seed {seed}: {} with {mode:?} ({path}) returned a different value\n--- source ---\n{source}",
+                    target.name
+                );
+                assert_eq!(
+                    out_ws.bytes()[y_range.clone()],
+                    expected_out[..],
+                    "seed {seed}: {} with {mode:?} ({path}) produced different output bytes\n--- source ---\n{source}",
+                    target.name
+                );
+            }
             assert_eq!(
-                run.result, expected_result,
-                "seed {seed}: {} with {mode:?} returned a different value\n--- source ---\n{source}",
-                target.name
-            );
-            assert_eq!(
-                run_ws.bytes()[y_range.clone()],
-                expected_out[..],
-                "seed {seed}: {} with {mode:?} produced different output bytes\n--- source ---\n{source}",
+                sim.stats(),
+                legacy_sim.stats(),
+                "seed {seed}: {} with {mode:?}: prepared SimStats diverged from the legacy walk\n--- source ---\n{source}",
                 target.name
             );
         }

@@ -1,0 +1,161 @@
+//! Differential coverage for the pre-decoded execution path.
+//!
+//! `PreparedProgram` (deploy-time flattening, resolved jumps/calls,
+//! prepare-time register validation, pooled frames) must be **bit-identical**
+//! to the legacy `MProgram` walk — results, memory effects and `SimStats`
+//! (cycles, spill traffic, every counter) alike — for every catalogue kernel
+//! on every simulated target. These tests pin that equivalence down and also
+//! check that pooling/reuse never changes results.
+
+use splitc::{checksum, prepare, PreparedProgram, PreparedSimulator, Workspace};
+use splitc_jit::{compile_module, JitOptions, RegAllocMode};
+use splitc_opt::{optimize_module, OptOptions};
+use splitc_runtime::{ExecutionEngine, FramePool};
+use splitc_targets::{Simulator, TargetDesc};
+use splitc_workloads::{all_kernels, module_for};
+
+const N: usize = 173; // deliberately not a multiple of any lane count
+
+#[test]
+fn prepared_execution_is_bit_identical_to_the_legacy_walk_on_all_targets() {
+    for kernel in all_kernels() {
+        let mut module =
+            module_for(std::slice::from_ref(&kernel), kernel.name).expect("kernel compiles");
+        optimize_module(&mut module, &OptOptions::full());
+        for target in TargetDesc::presets() {
+            let (program, _jit) = compile_module(&module, &target, &JitOptions::split())
+                .unwrap_or_else(|e| panic!("{} on {}: {e}", kernel.name, target.name));
+
+            // Legacy block-walking reference.
+            let mut legacy_ws = Workspace::new(1 << 16);
+            let prepared_inputs = prepare(kernel.name, N, 99, &mut legacy_ws);
+            let mut legacy_sim = Simulator::new(&program, &target);
+            let legacy_result = legacy_sim
+                .run_legacy(kernel.name, &prepared_inputs.args, legacy_ws.bytes_mut())
+                .unwrap_or_else(|e| panic!("{} on {} (legacy): {e}", kernel.name, target.name));
+            let legacy_stats = legacy_sim.stats();
+            let legacy_sum = checksum(legacy_result, &prepared_inputs, &legacy_ws);
+
+            // Deploy-time prepared form.
+            let prepared = PreparedProgram::prepare(&program, &target).unwrap_or_else(|e| {
+                panic!("{} on {}: prepare failed: {e}", kernel.name, target.name)
+            });
+            let mut prepared_ws = Workspace::new(1 << 16);
+            let inputs = prepare(kernel.name, N, 99, &mut prepared_ws);
+            let mut sim = PreparedSimulator::new(&prepared);
+            let result = sim
+                .run(kernel.name, &inputs.args, prepared_ws.bytes_mut())
+                .unwrap_or_else(|e| panic!("{} on {} (prepared): {e}", kernel.name, target.name));
+
+            assert_eq!(
+                result, legacy_result,
+                "{} on {}: prepared result diverged",
+                kernel.name, target.name
+            );
+            assert_eq!(
+                sim.stats(),
+                legacy_stats,
+                "{} on {}: prepared SimStats (cycles/spills/...) diverged",
+                kernel.name,
+                target.name
+            );
+            assert_eq!(
+                prepared_ws.bytes(),
+                legacy_ws.bytes(),
+                "{} on {}: prepared memory effects diverged",
+                kernel.name,
+                target.name
+            );
+            assert_eq!(checksum(result, &inputs, &prepared_ws), legacy_sum);
+        }
+    }
+}
+
+#[test]
+fn frame_pool_reuse_across_repeats_never_changes_results() {
+    let kernel = &all_kernels()[0];
+    let mut module =
+        module_for(std::slice::from_ref(kernel), kernel.name).expect("kernel compiles");
+    optimize_module(&mut module, &OptOptions::full());
+    let target = TargetDesc::x86_sse();
+    let (program, _jit) = compile_module(&module, &target, &JitOptions::split()).unwrap();
+    let prepared = PreparedProgram::prepare(&program, &target).unwrap();
+
+    // One long-lived simulator (warm pool) vs a fresh simulator per run.
+    let mut warm = PreparedSimulator::new(&prepared);
+    for run in 0..5 {
+        let mut ws_a = Workspace::new(1 << 16);
+        let mut ws_b = Workspace::new(1 << 16);
+        let inputs_a = prepare(kernel.name, N, run, &mut ws_a);
+        let inputs_b = prepare(kernel.name, N, run, &mut ws_b);
+        let out_a = warm
+            .run(kernel.name, &inputs_a.args, ws_a.bytes_mut())
+            .unwrap();
+        let mut cold = PreparedSimulator::new(&prepared);
+        let out_b = cold
+            .run(kernel.name, &inputs_b.args, ws_b.bytes_mut())
+            .unwrap();
+        assert_eq!(out_a, out_b, "seed {run}");
+        assert_eq!(warm.stats(), cold.stats(), "seed {run}");
+        assert_eq!(ws_a.bytes(), ws_b.bytes(), "seed {run}");
+    }
+}
+
+#[test]
+fn engine_pooled_sweep_path_matches_legacy_per_cell_execution() {
+    // The path sweeps actually take (engine cache -> prepared program ->
+    // worker frame pool) against a legacy walk of the same compiled program.
+    let kernels = all_kernels();
+    let mut module = module_for(&kernels, "pooled").expect("catalogue compiles");
+    optimize_module(&mut module, &OptOptions::full());
+    let options = JitOptions {
+        regalloc: RegAllocMode::SplitAnnotations,
+        allow_simd: true,
+    };
+    let engine = ExecutionEngine::new(module.clone());
+    let mut pool = FramePool::new();
+    for target in TargetDesc::table1_targets() {
+        let (program, _jit) = compile_module(&module, &target, &options).unwrap();
+        for kernel in &kernels {
+            let mut ws_a = Workspace::new(1 << 16);
+            let mut ws_b = Workspace::new(1 << 16);
+            let inputs_a = prepare(kernel.name, N, 7, &mut ws_a);
+            let inputs_b = prepare(kernel.name, N, 7, &mut ws_b);
+            let run = engine
+                .run_pooled(
+                    &target,
+                    &options,
+                    kernel.name,
+                    &inputs_a.args,
+                    ws_a.bytes_mut(),
+                    &mut pool,
+                )
+                .unwrap();
+            let mut legacy = Simulator::new(&program, &target);
+            let legacy_result = legacy
+                .run_legacy(kernel.name, &inputs_b.args, ws_b.bytes_mut())
+                .unwrap();
+            assert_eq!(
+                run.result, legacy_result,
+                "{} on {}",
+                kernel.name, target.name
+            );
+            assert_eq!(
+                run.stats,
+                legacy.stats(),
+                "{} on {}",
+                kernel.name,
+                target.name
+            );
+            assert_eq!(
+                checksum(run.result, &inputs_a, &ws_a),
+                checksum(legacy_result, &inputs_b, &ws_b),
+                "{} on {}",
+                kernel.name,
+                target.name
+            );
+        }
+    }
+    // One compile (and one preparation) per target, however many cells ran.
+    assert_eq!(engine.stats().compiles, 3);
+}
