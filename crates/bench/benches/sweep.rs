@@ -36,10 +36,12 @@ fn offline_module() -> Module {
 }
 
 /// Deploy a fresh engine for `module` and time one full matrix sweep with
-/// `jobs` workers. Returns (cells per second, checksums).
+/// `jobs` workers — over the whole preset catalogue, so the cold compiles
+/// and the measured cells cover every backend family (RISC-V and GPU
+/// included). Returns (cells per second, checksums).
 fn timed_sweep(module: &Module, jobs: usize) -> (f64, Vec<u64>) {
     let kernels = table1_kernels();
-    let targets = TargetDesc::table1_targets();
+    let targets = TargetDesc::presets();
     let cfg = SweepConfig::new(BENCH_N)
         .with_repeats(REPEATS)
         .with_jobs(jobs);

@@ -25,15 +25,22 @@ pub enum HeteroConfig {
     CellHost,
     /// Offloaded to one Cell SPU, including DMA transfers.
     CellSpuOffload,
+    /// The RISC-V host core of the GPU node, no offload.
+    RiscvHost,
+    /// Offloaded to the GPU-style wide-SIMD accelerator over the node's slow
+    /// off-chip link, including the transfers.
+    GpuOffload,
 }
 
 impl HeteroConfig {
     /// All configurations, in reporting order.
-    pub const ALL: [HeteroConfig; 4] = [
+    pub const ALL: [HeteroConfig; 6] = [
         HeteroConfig::Workstation,
         HeteroConfig::PhoneArm,
         HeteroConfig::CellHost,
         HeteroConfig::CellSpuOffload,
+        HeteroConfig::RiscvHost,
+        HeteroConfig::GpuOffload,
     ];
 
     /// Short label used in the report.
@@ -43,6 +50,8 @@ impl HeteroConfig {
             HeteroConfig::PhoneArm => "phone arm+neon",
             HeteroConfig::CellHost => "cell ppe (host)",
             HeteroConfig::CellSpuOffload => "cell spu (offload)",
+            HeteroConfig::RiscvHost => "riscv host",
+            HeteroConfig::GpuOffload => "gpu (offload)",
         }
     }
 }
@@ -98,17 +107,29 @@ pub struct Hetero {
 }
 
 impl Hetero {
-    /// The smallest problem size at which offloading to the SPU beats running
-    /// on the Cell host core, if any size in the sweep does.
-    pub fn offload_crossover(&self) -> Option<usize> {
+    /// The smallest problem size at which `offload` beats `host`, if any size
+    /// in the sweep does.
+    pub fn crossover(&self, host: HeteroConfig, offload: HeteroConfig) -> Option<usize> {
         self.rows
             .iter()
             .find(|r| {
-                let host = r.cell(HeteroConfig::CellHost).map(HeteroCell::total);
-                let spu = r.cell(HeteroConfig::CellSpuOffload).map(HeteroCell::total);
-                matches!((host, spu), (Some(h), Some(s)) if s < h)
+                let h = r.cell(host).map(HeteroCell::total);
+                let o = r.cell(offload).map(HeteroCell::total);
+                matches!((h, o), (Some(h), Some(o)) if o < h)
             })
             .map(|r| r.n)
+    }
+
+    /// The smallest problem size at which offloading to the SPU beats running
+    /// on the Cell host core, if any size in the sweep does.
+    pub fn offload_crossover(&self) -> Option<usize> {
+        self.crossover(HeteroConfig::CellHost, HeteroConfig::CellSpuOffload)
+    }
+
+    /// The smallest problem size at which offloading to the GPU (over the
+    /// slow off-chip link) beats the RISC-V host, if any size does.
+    pub fn gpu_crossover(&self) -> Option<usize> {
+        self.crossover(HeteroConfig::RiscvHost, HeteroConfig::GpuOffload)
     }
 
     /// Render the sweep and the crossover summary.
@@ -131,11 +152,16 @@ impl Hetero {
             Some(n) => format!("SPU offload beats the Cell host from n = {n} elements on"),
             None => "SPU offload never beats the Cell host in this sweep".to_owned(),
         };
+        let gpu_crossover = match self.gpu_crossover() {
+            Some(n) => format!("GPU offload beats the RISC-V host from n = {n} elements on"),
+            None => "GPU offload never beats the RISC-V host in this sweep".to_owned(),
+        };
         let mut out = format!(
-            "Heterogeneous deployment of `{}` (scaled cycles, lower is better)\n{}\n{}\n{}\n",
+            "Heterogeneous deployment of `{}` (scaled cycles, lower is better)\n{}\n{}\n{}\n{}\n",
             self.kernel,
             table.render(),
             crossover,
+            gpu_crossover,
             fmt_cache_line(&self.cache),
         );
         if self.jobs > 1 {
@@ -176,6 +202,7 @@ pub fn run_with(kernel_name: &str, sizes: &[usize], jobs: usize) -> Result<Heter
     let workstation = Platform::workstation();
     let phone = Platform::phone();
     let cell = Platform::cell_blade(1);
+    let gpu_node = Platform::gpu_node();
     let exec = Executor::deploy(module);
     // One deployment serves every configuration; compile each distinct core
     // type once, before the size sweep starts measuring.
@@ -184,6 +211,8 @@ pub fn run_with(kernel_name: &str, sizes: &[usize], jobs: usize) -> Result<Heter
         phone.core("arm").expect("phone has an arm core"),
         cell.host(),
         cell.core("spu0").expect("blade has an spu"),
+        gpu_node.host(),
+        gpu_node.core("gpu").expect("node has a gpu"),
     ])?;
 
     // The measurement matrix: every (size, configuration) cell, sized so one
@@ -211,6 +240,11 @@ pub fn run_with(kernel_name: &str, sizes: &[usize], jobs: usize) -> Result<Heter
                 HeteroConfig::CellSpuOffload => (
                     cell.core("spu0").expect("blade has an spu"),
                     Some(&cell.dma),
+                ),
+                HeteroConfig::RiscvHost => (gpu_node.host(), None),
+                HeteroConfig::GpuOffload => (
+                    gpu_node.core("gpu").expect("node has a gpu"),
+                    Some(&gpu_node.dma),
                 ),
             };
             match dma {
@@ -286,10 +320,36 @@ mod tests {
         );
         assert!(result.offload_crossover().is_some());
         assert!(result.render().contains("SPU offload"));
-        // Four distinct core types (x86, arm, ppe, spu) compiled once each;
-        // all twelve measured runs of the sweep hit the engine cache.
-        assert_eq!(result.cache.compiles, 4);
+        assert!(result.render().contains("GPU offload"));
+        // Six distinct core types (x86, arm, ppe, spu, riscv, gpu) compiled
+        // once each; every measured run of the sweep hit the engine cache.
+        assert_eq!(result.cache.compiles, HeteroConfig::ALL.len() as u64);
         assert_eq!(result.cache.hits, (3 * HeteroConfig::ALL.len()) as u64);
+    }
+
+    #[test]
+    fn gpu_offload_pays_its_offchip_link_only_at_scale() {
+        // The modern variant of the paper's Section 3 story: the wide-SIMD
+        // accelerator sits behind a *slow off-chip* link, so the crossover
+        // exists but needs a larger problem than the Cell's on-board ring.
+        let result = run("saxpy_f32", &[64, 4096, 65536]).expect("experiment runs");
+        let small = &result.rows[0];
+        let large = &result.rows[2];
+        assert!(
+            small.cell(HeteroConfig::GpuOffload).unwrap().total()
+                > small.cell(HeteroConfig::RiscvHost).unwrap().total(),
+            "offloading 64 elements over the off-chip link should not pay off"
+        );
+        assert!(
+            large.cell(HeteroConfig::GpuOffload).unwrap().total()
+                < large.cell(HeteroConfig::RiscvHost).unwrap().total(),
+            "offloading 64k elements to 16 f32 lanes should pay off"
+        );
+        assert!(result.gpu_crossover().is_some());
+        // The transfers really ride the slow link: at the large size the DMA
+        // share of the offloaded total is substantial.
+        let cell = large.cell(HeteroConfig::GpuOffload).unwrap();
+        assert!(cell.transfer > 0.0);
     }
 
     #[test]

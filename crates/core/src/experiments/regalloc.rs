@@ -142,11 +142,14 @@ fn experiment_kernels() -> Vec<Kernel> {
 ///
 /// Returns a [`PipelineError`] if compilation or execution fails.
 pub fn run(n: usize) -> Result<Regalloc, PipelineError> {
-    // Register-starved targets are where allocation quality matters.
+    // Register-starved targets are where allocation quality matters; the
+    // RISC-V core is the opposite control — with its large uniform register
+    // file the three allocators should all converge on near-zero spills.
     let targets = [
         TargetDesc::x86_sse(),
         TargetDesc::arm_neon(),
         TargetDesc::dsp(),
+        TargetDesc::riscv_rv64(),
     ];
     // Scalar code only: vectorization is a separate experiment and would
     // change register pressure.
@@ -254,10 +257,33 @@ mod tests {
             .count();
         assert!(cheaper * 2 >= result.rows.len());
         assert!(result.render().contains("best spill reduction"));
+        // The RISC-V control: with 28 integer / 28 float registers even the
+        // pressure kernels keep their working sets enregistered, so the
+        // allocation strategy barely matters there.
+        let riscv_rows: Vec<_> = result
+            .rows
+            .iter()
+            .filter(|r| r.target == "riscv-rv64")
+            .collect();
+        assert!(!riscv_rows.is_empty());
+        for r in &riscv_rows {
+            assert!(
+                r.greedy_spills <= r.greedy_cycles / 50,
+                "{} on riscv-rv64: a large register file should stay near spill-free \
+                 ({} spill ops over {} cycles)",
+                r.kernel,
+                r.greedy_spills,
+                r.greedy_cycles
+            );
+        }
         // One compilation per (kernel, target, allocator) triple; every
-        // measured run hit the engine cache.
-        let kernels = result.rows.len() / 3; // 3 targets per kernel
-        assert_eq!(result.cache.compiles as usize, kernels * 3 * 3);
+        // measured run hit the engine cache. Target count derived from the
+        // rows, not hardcoded.
+        let targets: std::collections::BTreeSet<_> =
+            result.rows.iter().map(|r| r.target.clone()).collect();
+        assert_eq!(targets.len(), 4);
+        let kernels = result.rows.len() / targets.len();
+        assert_eq!(result.cache.compiles as usize, kernels * targets.len() * 3);
         assert_eq!(result.cache.hits, result.cache.compiles);
     }
 }

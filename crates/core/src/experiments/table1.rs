@@ -273,6 +273,34 @@ mod tests {
     }
 
     #[test]
+    fn the_full_catalogue_sweeps_cleanly_and_the_gpu_loves_vectors() {
+        // The driver must accept any preset list, not just the paper's three
+        // machines: the whole catalogue (RISC-V and GPU families included)
+        // sweeps without errors and yields one cell per kernel × target.
+        let targets = TargetDesc::presets();
+        let t = run_on(256, &targets).expect("experiment runs over the catalogue");
+        assert_eq!(t.targets.len(), targets.len());
+        for row in &t.rows {
+            assert_eq!(row.cells.len(), targets.len(), "{}", row.kernel);
+        }
+        // 16 f32 lanes and near-free vector ops: offline vectorization pays
+        // off more on the GPU than on 4-lane SSE...
+        let gpu = t.cell("saxpy_f32", "gpu-wide").unwrap().speedup();
+        let x86 = t.cell("saxpy_f32", "x86-sse").unwrap().speedup();
+        assert!(
+            gpu > x86,
+            "the 16-lane GPU ({gpu:.2}x) should outpace 4-lane SSE ({x86:.2}x)"
+        );
+        // ...while the scalar RISC-V core scalarizes and stays in the same
+        // modest band as the other scalar machines.
+        let riscv = t.cell("saxpy_f32", "riscv-rv64").unwrap().speedup();
+        assert!(
+            (0.4..3.3).contains(&riscv),
+            "scalarized speedup {riscv:.2} out of plausible range"
+        );
+    }
+
+    #[test]
     fn x86_speedups_follow_the_paper_shape() {
         let t = run(512).expect("experiment runs");
         // Floating-point kernels: clear but moderate speedups on x86.

@@ -77,6 +77,21 @@ impl Platform {
         Platform::new("cell-blade", cores, DmaModel::ring_bus())
     }
 
+    /// A GPU compute node: a RISC-V-class host core driving a GPU-style
+    /// wide-SIMD accelerator (64-byte vectors) over a slow off-chip link —
+    /// the modern heterogeneity scenario the paper's split-compilation story
+    /// extends to.
+    pub fn gpu_node() -> Self {
+        Platform::new(
+            "gpu-node",
+            vec![
+                ("riscv", TargetDesc::riscv_rv64()),
+                ("gpu", TargetDesc::gpu_wide()),
+            ],
+            DmaModel::off_chip(),
+        )
+    }
+
     /// A legacy scalar embedded board: a single UltraSparc-class core.
     pub fn embedded_scalar() -> Self {
         Platform::new(
@@ -142,6 +157,13 @@ mod tests {
         assert!(!cell.host().target.has_simd());
         assert!(cell.core("spu3").is_some());
         assert!(cell.core("spu4").is_none());
+
+        let gpu = Platform::gpu_node();
+        assert_eq!(gpu.cores.len(), 2);
+        assert!(!gpu.host().target.has_simd(), "the RISC-V host is scalar");
+        let accel = gpu.core("gpu").expect("node has a GPU");
+        assert_eq!(accel.target.vector_bytes(), 64);
+        assert_eq!(gpu.simd_cores().count(), 1);
     }
 
     #[test]

@@ -1,8 +1,11 @@
 //! Target descriptions and cost models.
 //!
 //! Each [`TargetDesc`] stands in for one of the machines of the paper's
-//! evaluation (x86 with SSE, UltraSparc, PowerPC) or for the heterogeneous
-//! platforms of Section 3 (ARM with Neon, the Cell PPE/SPU pair, a DSP).
+//! evaluation (x86 with SSE, UltraSparc, PowerPC), for the heterogeneous
+//! platforms of Section 3 (ARM with Neon, the Cell PPE/SPU pair, a DSP), or
+//! for the two families added to stress the abstractions beyond the paper's
+//! era: a RISC-V-class scalar core and a GPU-style wide-SIMD core with
+//! 64-byte vectors.
 //! The descriptions drive both the online compiler (how many registers, is
 //! there a SIMD unit and how wide) and the cycle simulator (per-operation
 //! costs). Absolute cycle counts are synthetic; what matters for the
@@ -11,6 +14,7 @@
 
 use serde::{Deserialize, Serialize};
 use std::fmt;
+use std::sync::OnceLock;
 
 /// Description of a SIMD unit.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -401,22 +405,122 @@ impl TargetDesc {
         }
     }
 
+    /// A RISC-V-class 64-bit scalar core (RV64GC-style): a large uniform
+    /// register file, no SIMD unit used by the JIT, and a load/store-biased
+    /// cost model — arithmetic is cheap and single-cycle, but the simple
+    /// in-order memory pipeline makes every load comparatively expensive, so
+    /// code quality on this target is dominated by how well the register
+    /// allocator keeps values out of memory.
+    pub fn riscv_rv64() -> Self {
+        TargetDesc {
+            name: "riscv-rv64".into(),
+            int_regs: 28,
+            float_regs: 28,
+            vector: None,
+            cost: CostModel {
+                int_op: 1,
+                int_mul: 4,
+                int_div: 24,
+                fp_add: 4,
+                fp_mul: 5,
+                fp_div: 21,
+                load: 5, // the load/store bias: memory dominates
+                store: 2,
+                mov: 1,
+                convert: 2,
+                branch_taken: 2,
+                branch_not_taken: 1,
+                // No SIMD unit: vector costs only matter for robustness.
+                vec_op: 16,
+                vec_load: 20,
+                vec_store: 10,
+                vec_reduce: 20,
+                call: 12,
+                spill_store: 3,
+                spill_load: 5,
+            },
+            clock_scale: 2.2,
+        }
+    }
+
+    /// A GPU-style wide-SIMD core: 64-byte vector registers (16 f32 lanes —
+    /// four times wider than every other SIMD preset), very cheap vector
+    /// arithmetic, and expensive scalar control flow (a taken branch models
+    /// divergence). Scalar memory access is slow (global-memory latency);
+    /// vector access is fast (coalesced). Cross-lane reductions pay for the
+    /// lane shuffles.
+    pub fn gpu_wide() -> Self {
+        TargetDesc {
+            name: "gpu-wide".into(),
+            int_regs: 16,
+            float_regs: 16,
+            vector: Some(VectorUnit {
+                bytes: 64,
+                regs: 32,
+            }),
+            cost: CostModel {
+                int_op: 2,
+                int_mul: 4,
+                int_div: 48,
+                fp_add: 2,
+                fp_mul: 2,
+                fp_div: 12,
+                load: 8, // scalar loads hit global memory
+                store: 4,
+                mov: 1,
+                convert: 2,
+                branch_taken: 12, // divergence penalty
+                branch_not_taken: 2,
+                vec_op: 1,
+                vec_load: 2, // coalesced
+                vec_store: 1,
+                vec_reduce: 10, // cross-lane shuffles
+                call: 24,
+                spill_store: 4,
+                spill_load: 6,
+            },
+            clock_scale: 1.4,
+        }
+    }
+
+    /// The preset catalogue, built once per process.
+    ///
+    /// This is the single source of truth behind both [`TargetDesc::presets`]
+    /// and [`TargetDesc::preset`]: a target added here is automatically
+    /// enumerated by every driver, test and CLI listing, and the by-name
+    /// lookup cannot drift out of sync with the enumeration.
+    fn catalogue() -> &'static [TargetDesc] {
+        static CATALOGUE: OnceLock<Vec<TargetDesc>> = OnceLock::new();
+        CATALOGUE.get_or_init(|| {
+            vec![
+                TargetDesc::x86_sse(),
+                TargetDesc::ultrasparc(),
+                TargetDesc::powerpc(),
+                TargetDesc::arm_neon(),
+                TargetDesc::cell_ppe(),
+                TargetDesc::cell_spu(),
+                TargetDesc::dsp(),
+                TargetDesc::riscv_rv64(),
+                TargetDesc::gpu_wide(),
+            ]
+        })
+    }
+
     /// All preset targets, keyed by name.
     pub fn presets() -> Vec<TargetDesc> {
-        vec![
-            TargetDesc::x86_sse(),
-            TargetDesc::ultrasparc(),
-            TargetDesc::powerpc(),
-            TargetDesc::arm_neon(),
-            TargetDesc::cell_ppe(),
-            TargetDesc::cell_spu(),
-            TargetDesc::dsp(),
-        ]
+        TargetDesc::catalogue().to_vec()
     }
 
     /// Look up a preset by name.
+    ///
+    /// Resolved against the lazily-built static catalogue — repeated lookups
+    /// (the CLI and drivers call this per run) clone only the matching
+    /// description instead of materializing every preset each time.
     pub fn preset(name: &str) -> Option<TargetDesc> {
-        TargetDesc::presets().into_iter().find(|t| t.name == name)
+        TargetDesc::catalogue()
+            .iter()
+            .find(|t| t.name == name)
+            .cloned()
     }
 
     /// The three machines of Table 1, in the paper's column order.
@@ -453,6 +557,10 @@ mod tests {
     #[test]
     fn presets_have_distinct_names_and_sane_register_files() {
         let presets = TargetDesc::presets();
+        assert!(
+            presets.len() >= 9,
+            "the catalogue must include the RISC-V and GPU families"
+        );
         let names: std::collections::BTreeSet<_> = presets.iter().map(|t| t.name.clone()).collect();
         assert_eq!(names.len(), presets.len());
         for t in &presets {
@@ -481,8 +589,22 @@ mod tests {
     }
 
     #[test]
+    fn every_preset_resolves_by_name_through_the_static_catalogue() {
+        // `preset` and `presets` must never drift apart: each enumerated
+        // target resolves to an identical description by name.
+        for t in TargetDesc::presets() {
+            let looked_up = TargetDesc::preset(&t.name)
+                .unwrap_or_else(|| panic!("{} missing from the by-name lookup", t.name));
+            assert_eq!(looked_up, t);
+            assert_eq!(looked_up.fingerprint(), t.fingerprint());
+        }
+    }
+
+    #[test]
     fn preset_lookup_and_display() {
         assert!(TargetDesc::preset("x86-sse").is_some());
+        assert!(TargetDesc::preset("riscv-rv64").is_some());
+        assert!(TargetDesc::preset("gpu-wide").is_some());
         assert!(TargetDesc::preset("vax").is_none());
         let shown = TargetDesc::x86_sse().to_string();
         assert!(shown.contains("x86-sse") && shown.contains("SIMD"));
@@ -514,6 +636,56 @@ mod tests {
         let mut reclocked = TargetDesc::x86_sse();
         reclocked.clock_scale *= 2.0;
         assert_ne!(a.fingerprint(), reclocked.fingerprint());
+        // The two new families are sensitive to their distinguishing
+        // cost-model fields too, not just their names: the load/store bias of
+        // the RISC-V core and the branch-divergence penalty + vector width of
+        // the GPU all feed the fingerprint.
+        let riscv = TargetDesc::riscv_rv64();
+        let mut cheap_loads = TargetDesc::riscv_rv64();
+        cheap_loads.cost.load = 1;
+        assert_ne!(riscv.fingerprint(), cheap_loads.fingerprint());
+        let gpu = TargetDesc::gpu_wide();
+        let mut tame_branches = TargetDesc::gpu_wide();
+        tame_branches.cost.branch_taken = 1;
+        assert_ne!(gpu.fingerprint(), tame_branches.fingerprint());
+        let mut narrow = TargetDesc::gpu_wide();
+        narrow.vector = Some(VectorUnit {
+            bytes: 16,
+            regs: 32,
+        });
+        assert_ne!(gpu.fingerprint(), narrow.fingerprint());
+    }
+
+    #[test]
+    fn riscv_is_scalar_with_a_large_register_file_and_loadstore_bias() {
+        let t = TargetDesc::riscv_rv64();
+        assert!(!t.has_simd(), "the RISC-V JIT scalarizes");
+        assert!(t.int_regs >= 24 && t.float_regs >= 24, "large uniform file");
+        assert!(
+            t.cost.load >= 4 * t.cost.int_op,
+            "loads must dominate ALU work on the load/store-biased model"
+        );
+        assert!(t.cost.store > t.cost.int_op);
+    }
+
+    #[test]
+    fn gpu_is_wide_with_cheap_vectors_and_expensive_branches() {
+        let t = TargetDesc::gpu_wide();
+        let v = t.vector.expect("the GPU target has a SIMD unit");
+        assert_eq!(v.bytes, 64, "64-byte vectors = 16 f32 lanes");
+        assert_eq!(t.vector_bytes() / 4, 16, "16 f32 lanes");
+        assert!(
+            t.cost.vec_op <= t.cost.int_op,
+            "vector arithmetic is at least as cheap as scalar"
+        );
+        assert!(
+            t.cost.branch_taken >= 4 * t.cost.vec_op,
+            "taken branches (divergence) must dwarf vector ops"
+        );
+        assert!(
+            t.cost.vec_load < t.cost.load,
+            "coalesced vector access beats scalar global-memory access"
+        );
     }
 
     #[test]

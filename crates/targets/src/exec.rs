@@ -1741,6 +1741,178 @@ mod tests {
     }
 
     #[test]
+    fn hostile_addresses_trap_identically_on_both_execution_paths() {
+        // Negative bases, i64::MAX + positive offset (wraps negative) and a
+        // vector access straddling the end of memory must all surface as
+        // `SimError::Trap` — never a slice panic — and the prepared path must
+        // agree with the legacy walk on each.
+        let scalar = MProgram {
+            name: "m".into(),
+            functions: vec![MFunction {
+                name: "peek".into(),
+                params: vec![PReg::int(0)],
+                blocks: vec![MBlock {
+                    insts: vec![
+                        MInst::Load {
+                            width: Width::W64,
+                            float: false,
+                            signed: true,
+                            dst: PReg::int(1),
+                            base: PReg::int(0),
+                            offset: 8,
+                        },
+                        MInst::Ret {
+                            value: Some(PReg::int(1)),
+                        },
+                    ],
+                }],
+                num_slots: 0,
+            }],
+        };
+        let vector = MProgram {
+            name: "m".into(),
+            functions: vec![MFunction {
+                name: "vpeek".into(),
+                params: vec![PReg::int(0)],
+                blocks: vec![MBlock {
+                    insts: vec![
+                        MInst::VecLoad {
+                            dst: PReg::vec(0),
+                            base: PReg::int(0),
+                            offset: 0,
+                        },
+                        MInst::Ret { value: None },
+                    ],
+                }],
+                num_slots: 0,
+            }],
+        };
+        let target = TargetDesc::x86_sse();
+        let mem_size = 256usize;
+        // Hostile for both programs (the scalar load adds offset 8): negative
+        // effective addresses, i64 overflow, and far-out-of-bounds positives.
+        let bases = [-9i64, -12, i64::MIN, i64::MAX, i64::MAX - 8];
+        for (program, func) in [(&scalar, "peek"), (&vector, "vpeek")] {
+            let prepared = PreparedProgram::prepare(program, &target).unwrap();
+            for base in bases {
+                let mut mem = vec![0u8; mem_size];
+                let mut legacy = crate::Simulator::new(program, &target);
+                let legacy_err = legacy
+                    .run_legacy(func, &[MachineValue::Int(base)], &mut mem)
+                    .unwrap_err();
+                assert!(
+                    matches!(legacy_err, SimError::Trap(_)),
+                    "{func} base {base} (legacy): {legacy_err:?}"
+                );
+                let mut sim = PreparedSimulator::new(&prepared);
+                let prepared_err = sim
+                    .run(func, &[MachineValue::Int(base)], &mut mem)
+                    .unwrap_err();
+                assert_eq!(
+                    prepared_err, legacy_err,
+                    "{func} base {base}: paths disagree on the trap"
+                );
+            }
+        }
+        // Straddling the end: scalar 8-byte load at len-4, 16-byte vector
+        // load at len-15.
+        let prepared = PreparedProgram::prepare(&vector, &target).unwrap();
+        let mut mem = vec![0u8; mem_size];
+        let mut sim = PreparedSimulator::new(&prepared);
+        let base = (mem_size - 15) as i64;
+        let err = sim
+            .run("vpeek", &[MachineValue::Int(base)], &mut mem)
+            .unwrap_err();
+        assert!(matches!(err, SimError::Trap(_)), "straddle: {err:?}");
+        let mut legacy = crate::Simulator::new(&vector, &target);
+        assert_eq!(
+            legacy
+                .run_legacy("vpeek", &[MachineValue::Int(base)], &mut mem)
+                .unwrap_err(),
+            err
+        );
+        // In-bounds accesses still succeed on both paths.
+        let ok = sim
+            .run("vpeek", &[MachineValue::Int(64)], &mut mem)
+            .unwrap();
+        assert_eq!(ok, None);
+    }
+
+    #[test]
+    fn vector_lane_shifts_mask_counts_like_the_scalar_alu() {
+        // AluOp::Shl/Shr through the SIMD lane path: counts splatted across
+        // the lanes mask modulo 64 exactly like the scalar ALU, on both the
+        // legacy walk and the prepared stream.
+        let lanes_program = |count: i64| MProgram {
+            name: "m".into(),
+            functions: vec![MFunction {
+                name: "vshift".into(),
+                params: vec![PReg::int(0)],
+                blocks: vec![MBlock {
+                    insts: vec![
+                        MInst::Imm {
+                            dst: PReg::int(1),
+                            value: count,
+                        },
+                        MInst::VecLoad {
+                            dst: PReg::vec(0),
+                            base: PReg::int(0),
+                            offset: 0,
+                        },
+                        MInst::VecSplatInt {
+                            elem: Width::W32,
+                            dst: PReg::vec(1),
+                            src: PReg::int(1),
+                        },
+                        MInst::VecIntOp {
+                            op: AluOp::Shl,
+                            elem: Width::W32,
+                            signed: true,
+                            dst: PReg::vec(0),
+                            lhs: PReg::vec(0),
+                            rhs: PReg::vec(1),
+                        },
+                        MInst::VecStore {
+                            base: PReg::int(0),
+                            offset: 0,
+                            src: PReg::vec(0),
+                        },
+                        MInst::Ret { value: None },
+                    ],
+                }],
+                num_slots: 0,
+            }],
+        };
+        let target = TargetDesc::x86_sse();
+        for (count, expect) in [(1i64, 2i32), (33, 0), (65, 2), (-1, 0), (64, 1)] {
+            let program = lanes_program(count);
+            let prepared = PreparedProgram::prepare(&program, &target).unwrap();
+            let mut mem = vec![0u8; 64];
+            for lane in 0..4 {
+                mem[16 + lane * 4..16 + lane * 4 + 4].copy_from_slice(&1i32.to_le_bytes());
+            }
+            let mut legacy_mem = mem.clone();
+            let mut sim = PreparedSimulator::new(&prepared);
+            sim.run("vshift", &[MachineValue::Int(16)], &mut mem)
+                .unwrap();
+            let mut legacy = crate::Simulator::new(&program, &target);
+            legacy
+                .run_legacy("vshift", &[MachineValue::Int(16)], &mut legacy_mem)
+                .unwrap();
+            assert_eq!(mem, legacy_mem, "count {count}");
+            for lane in 0..4 {
+                let mut b = [0u8; 4];
+                b.copy_from_slice(&mem[16 + lane * 4..16 + lane * 4 + 4]);
+                assert_eq!(
+                    i32::from_le_bytes(b),
+                    expect,
+                    "count {count}: 1 << ({count} & 63) truncated to 32 bits"
+                );
+            }
+        }
+    }
+
+    #[test]
     fn unterminated_blocks_trap_like_the_legacy_walk() {
         let p = MProgram {
             name: "m".into(),

@@ -122,9 +122,13 @@ pub enum AluOp {
     Or,
     /// Bitwise xor.
     Xor,
-    /// Shift left.
+    /// Shift left. The count is masked modulo 64 (the simulated register
+    /// width), never the operand width, and the result is then normalized to
+    /// the instruction's [`Width`] — matching `BinOp::Shl` in the bytecode so
+    /// every execution path agrees bit-for-bit on extreme counts.
     Shl,
-    /// Shift right (arithmetic when signed).
+    /// Shift right (arithmetic when signed, logical when unsigned). The
+    /// count is masked modulo 64, like [`AluOp::Shl`].
     Shr,
     /// Minimum.
     Min,

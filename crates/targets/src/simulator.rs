@@ -186,6 +186,10 @@ pub(crate) fn alu(op: AluOp, width: Width, signed: bool, a: i64, b: i64) -> Resu
         AluOp::And => a & b,
         AluOp::Or => a | b,
         AluOp::Xor => a ^ b,
+        // Counts mask modulo 64 — `b as u32` then `wrapping_shl`'s `& 63` —
+        // mirroring the bytecode interpreter's `eval_bin` exactly (negative
+        // and >= 64 counts reduce to `b & 63`, results then normalize to the
+        // instruction width below).
         AluOp::Shl => a.wrapping_shl(b as u32),
         AluOp::Shr => {
             if signed {

@@ -125,8 +125,21 @@ pub enum BinOp {
     /// Bitwise xor (integers only).
     Xor,
     /// Left shift (integers only).
+    ///
+    /// The shift count is masked modulo 64 — the width of the evaluation
+    /// register, *not* the width of the operand type — so counts of 64, 65 or
+    /// −1 behave as 0, 1 and 63 respectively, on every execution path
+    /// (interpreter, legacy simulator walk, pre-decoded execution, constant
+    /// folding). The shifted value is then normalized to the operand type:
+    /// `(i32) 1 << 33` is 0 (the bit leaves the 64-bit register's low 32
+    /// bits), never 2. A count is never a trap.
     Shl,
     /// Right shift (arithmetic for signed, logical for unsigned).
+    ///
+    /// The count is masked modulo 64 exactly like [`BinOp::Shl`]; the operand
+    /// is sign- or zero-extended to 64 bits per its type before shifting, so
+    /// an arithmetic shift of a narrow negative value keeps filling with sign
+    /// bits for counts past the operand width.
     Shr,
     /// Minimum of the two operands.
     Min,

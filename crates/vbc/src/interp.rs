@@ -183,11 +183,19 @@ impl Memory {
         if addr == 0 {
             return Err(ExecError::Trap("null pointer access".into()));
         }
-        if addr + len > self.bytes.len() as u64 {
-            return Err(ExecError::Trap(format!(
+        // Checked end-of-access arithmetic: an address near `u64::MAX` (a
+        // negative base reinterpreted as unsigned) used to wrap `addr + len`
+        // past the length comparison and panic on the slice below instead of
+        // trapping.
+        let oob = || {
+            ExecError::Trap(format!(
                 "out-of-bounds access at {addr}+{len} (memory size {})",
                 self.bytes.len()
-            )));
+            ))
+        };
+        let end = addr.checked_add(len).ok_or_else(oob)?;
+        if end > self.bytes.len() as u64 {
+            return Err(oob());
         }
         Ok(())
     }
@@ -350,6 +358,22 @@ impl Memory {
     }
 }
 
+/// Compute the effective address `base + offset` with wrapping semantics,
+/// trapping on null or negative results.
+///
+/// This mirrors the machine simulators' address discipline
+/// (`frame.int[base].wrapping_add(offset)` followed by a `<= 0` trap): a
+/// negative base or an `i64::MAX` base plus a positive offset is a
+/// [`ExecError::Trap`], never an integer-overflow panic or an out-of-range
+/// slice.
+fn effective_addr(base: i64, offset: i64) -> Result<u64, ExecError> {
+    let addr = base.wrapping_add(offset);
+    if addr <= 0 {
+        return Err(ExecError::Trap(format!("null or negative address {addr}")));
+    }
+    Ok(addr as u64)
+}
+
 /// Normalize a raw `i64` to scalar type `ty` (mask to width, then sign- or
 /// zero-extend according to signedness).
 pub fn normalize_int(ty: ScalarType, v: i64) -> i64 {
@@ -421,6 +445,11 @@ pub fn eval_bin(op: BinOp, ty: ScalarType, lhs: &Value, rhs: &Value) -> Result<V
         BinOp::And => a & b,
         BinOp::Or => a | b,
         BinOp::Xor => a ^ b,
+        // Shift counts are masked modulo 64 (see `BinOp::Shl`): `b as u32`
+        // keeps the low 32 bits and `wrapping_shl`/`wrapping_shr` mask those
+        // modulo 64, so negative and >= 64 counts reduce to `b & 63` — the
+        // exact computation the machine-code `alu` helper performs, which is
+        // what keeps all execution paths bit-identical on extreme counts.
         BinOp::Shl => a.wrapping_shl(b as u32),
         BinOp::Shr => {
             if unsigned {
@@ -723,7 +752,7 @@ impl<'m> Interpreter<'m> {
                     offset,
                 } => {
                     self.stats.memory_ops += 1;
-                    let a = (regs[addr.index()].as_int() + offset) as u64;
+                    let a = effective_addr(regs[addr.index()].as_int(), offset)?;
                     regs[dst.index()] = mem.load_scalar(ty, a)?;
                 }
                 Inst::Store {
@@ -733,7 +762,7 @@ impl<'m> Interpreter<'m> {
                     value,
                 } => {
                     self.stats.memory_ops += 1;
-                    let a = (regs[addr.index()].as_int() + offset) as u64;
+                    let a = effective_addr(regs[addr.index()].as_int(), offset)?;
                     mem.store_scalar(ty, a, &regs[value.index()])?;
                 }
                 Inst::Call {
@@ -772,7 +801,7 @@ impl<'m> Interpreter<'m> {
                 } => {
                     self.stats.memory_ops += 1;
                     let lanes = elem.lanes_for_width(self.vector_width_bytes);
-                    let base = (regs[addr.index()].as_int() + offset) as u64;
+                    let base = effective_addr(regs[addr.index()].as_int(), offset)?;
                     let mut v = Vec::with_capacity(lanes as usize);
                     for i in 0..lanes {
                         v.push(mem.load_scalar(elem, base + i * elem.size_bytes())?);
@@ -786,7 +815,7 @@ impl<'m> Interpreter<'m> {
                     value,
                 } => {
                     self.stats.memory_ops += 1;
-                    let base = (regs[addr.index()].as_int() + offset) as u64;
+                    let base = effective_addr(regs[addr.index()].as_int(), offset)?;
                     let lanes = regs[value.index()].as_vector().to_vec();
                     for (i, lane) in lanes.iter().enumerate() {
                         mem.store_scalar(elem, base + i as u64 * elem.size_bytes(), lane)?;
@@ -1009,6 +1038,121 @@ mod tests {
             interp16.run("w", &[], &mut mem).unwrap(),
             Some(Value::Int(16))
         );
+    }
+
+    #[test]
+    fn shift_counts_mask_modulo_64_on_every_type() {
+        let shl = |ty, a: i64, b: i64| {
+            eval_bin(BinOp::Shl, ty, &Value::Int(a), &Value::Int(b))
+                .unwrap()
+                .as_int()
+        };
+        let shr = |ty, a: i64, b: i64| {
+            eval_bin(BinOp::Shr, ty, &Value::Int(a), &Value::Int(b))
+                .unwrap()
+                .as_int()
+        };
+        // Counts >= 64 wrap around the 64-bit register width...
+        assert_eq!(shl(ScalarType::I64, 1, 64), 1);
+        assert_eq!(shl(ScalarType::I64, 1, 65), 2);
+        assert_eq!(shl(ScalarType::I64, 1, 127), i64::MIN);
+        // ...negative counts reduce to `count & 63`...
+        assert_eq!(shl(ScalarType::I64, 1, -1), i64::MIN); // -1 & 63 == 63
+        assert_eq!(shr(ScalarType::I64, i64::MIN, -1), -1); // arithmetic
+                                                            // ...and the mask is 64-wide even for narrow types: the bit leaves
+                                                            // the register's low 32 bits instead of wrapping at the type width.
+        assert_eq!(shl(ScalarType::I32, 1, 33), 0);
+        assert_eq!(shl(ScalarType::I32, 1, 65), 2);
+        // Arithmetic vs logical right shift across the sign boundary.
+        assert_eq!(shr(ScalarType::I32, -8, 1), -4);
+        assert_eq!(shr(ScalarType::U32, 0xffff_ffff, 1), 0x7fff_ffff);
+        // A narrow negative keeps its sign fill past the operand width.
+        assert_eq!(shr(ScalarType::I8, -1, 40), -1);
+    }
+
+    #[test]
+    fn hostile_effective_addresses_trap_instead_of_panicking() {
+        // Regression: `(base + offset) as u64` used to panic on overflow in
+        // debug builds (i64::MAX base) and, for small negative bases, wrap
+        // `addr + len` past the bounds check and panic on the slice.
+        let mut b = FunctionBuilder::new(
+            "peek",
+            &[Type::Scalar(ScalarType::Ptr)],
+            Some(Type::Scalar(ScalarType::I64)),
+        );
+        let p = b.param(0);
+        let v = b.load(ScalarType::I64, p, 8);
+        b.ret(Some(v));
+        let mut m = Module::new("t");
+        m.add_function(b.finish());
+        let mut interp = Interpreter::new(&m);
+        let mut mem = Memory::new(1 << 10);
+        for base in [
+            -9i64,        // effective address -1: negative base
+            -12,          // effective -4: wrapped `addr + len` over u64::MAX pre-fix
+            i64::MIN,     // extreme negative
+            i64::MAX,     // base + offset overflows i64 (panicked in debug pre-fix)
+            i64::MAX - 8, // effective i64::MAX: far past the end, no i64 overflow
+        ] {
+            let err = interp
+                .run("peek", &[Value::Int(base)], &mut mem)
+                .unwrap_err();
+            assert!(
+                matches!(err, ExecError::Trap(_)),
+                "base {base} must trap, got {err:?}"
+            );
+        }
+        // The raw memory API rejects a wrapping `addr + len` as well (the
+        // address a negative base reinterprets to, taken directly).
+        assert!(matches!(
+            mem.load_scalar(ScalarType::I64, u64::MAX - 4).unwrap_err(),
+            ExecError::Trap(_)
+        ));
+        // A straddling access (valid base, end past the memory) traps too.
+        let last = (1 << 10) - 4;
+        let err = interp
+            .run("peek", &[Value::Int(last - 8)], &mut mem)
+            .unwrap_err();
+        assert!(matches!(err, ExecError::Trap(_)));
+        // And an in-bounds access still works.
+        assert_eq!(
+            interp.run("peek", &[Value::Int(16)], &mut mem).unwrap(),
+            Some(Value::Int(0))
+        );
+    }
+
+    #[test]
+    fn hostile_store_and_vector_addresses_trap_too() {
+        let mut b = FunctionBuilder::new("poke", &[Type::Scalar(ScalarType::Ptr)], None);
+        let p = b.param(0);
+        let one = b.const_int(ScalarType::I32, 1);
+        b.store(ScalarType::I32, p, 0, one);
+        b.ret(None);
+        let mut m = Module::new("t");
+        m.add_function(b.finish());
+        let mut interp = Interpreter::new(&m);
+        let mut mem = Memory::new(256);
+        for base in [-1i64, -4, i64::MAX] {
+            let err = interp
+                .run("poke", &[Value::Int(base)], &mut mem)
+                .unwrap_err();
+            assert!(matches!(err, ExecError::Trap(_)), "store base {base}");
+        }
+
+        let mut b = FunctionBuilder::new("vpeek", &[Type::Scalar(ScalarType::Ptr)], None);
+        let p = b.param(0);
+        let _ = b.vec_load(ScalarType::F32, p, 0);
+        b.ret(None);
+        let mut m = Module::new("t");
+        m.add_function(b.finish());
+        let mut interp = Interpreter::new(&m);
+        for base in [-1i64, i64::MAX, 250] {
+            // 250: the 16-byte vector straddles the end of the 256-byte memory.
+            let err = interp
+                .run("vpeek", &[Value::Int(base)], &mut mem)
+                .unwrap_err();
+            assert!(matches!(err, ExecError::Trap(_)), "vector base {base}");
+        }
     }
 
     #[test]

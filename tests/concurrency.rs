@@ -226,7 +226,7 @@ fn parallel_sweep_under_lru_pressure_stays_correct() {
     assert_eq!(stats.compiles + stats.hits, stats.lookups());
     assert!(
         stats.evictions > 0,
-        "a 2-entry cache under a 7-target sweep must evict"
+        "a 2-entry cache swept over the whole target catalogue must evict"
     );
     assert!(engine.compiled_variants() <= 2, "the bound holds at rest");
 }

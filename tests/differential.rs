@@ -11,12 +11,40 @@ use splitc::{checksum, prepare, run_on_target, Workspace};
 use splitc_jit::{JitOptions, RegAllocMode};
 use splitc_opt::{optimize_module, OptOptions};
 use splitc_targets::{MachineValue, TargetDesc};
-use splitc_vbc::{Interpreter, Memory, Value};
+use splitc_vbc::{Interpreter, Memory, Value, DEFAULT_VECTOR_WIDTH_BYTES};
 use splitc_workloads::{all_kernels, module_for, Kernel};
 
 const N: usize = 173; // deliberately not a multiple of any lane count
 
-fn interpreter_checksum(module: &splitc_vbc::Module, kernel: &Kernel) -> u64 {
+/// Vector width (bytes) the online compiler resolves `vec.width` to for this
+/// target/JIT combination: the target's own SIMD width when the JIT maps the
+/// builtins onto it, the portable default when it scalarizes. The reference
+/// interpreter must run at the *same* width — a float reduction folds its
+/// partial sums per lane, so a 64-byte GPU vector (16 f32 lanes) legitimately
+/// reassociates differently from the 16-byte default.
+fn effective_width(target: &TargetDesc, jit: &JitOptions) -> u64 {
+    if jit.allow_simd && target.has_simd() {
+        target.vector_bytes()
+    } else {
+        DEFAULT_VECTOR_WIDTH_BYTES
+    }
+}
+
+/// `true` if offline vectorization turned any loop of `module` into a
+/// floating-point reduction — exactly the shapes whose results legitimately
+/// depend on the lane count (the partial sums fold per lane). Derived from
+/// the bytecode so new kernels can never silently miss the skip lists below.
+fn has_float_reduction(module: &splitc_vbc::Module) -> bool {
+    module.functions().iter().any(|f| {
+        f.blocks.iter().any(|b| {
+            b.insts
+                .iter()
+                .any(|i| matches!(i, splitc_vbc::Inst::VecReduce { elem, .. } if elem.is_float()))
+        })
+    })
+}
+
+fn interpreter_checksum(module: &splitc_vbc::Module, kernel: &Kernel, vector_width: u64) -> u64 {
     let mut ws = Workspace::new(1 << 16);
     let prepared = prepare(kernel.name, N, 99, &mut ws);
     // Mirror the workspace into the interpreter's memory.
@@ -30,7 +58,7 @@ fn interpreter_checksum(module: &splitc_vbc::Module, kernel: &Kernel) -> u64 {
             MachineValue::Float(v) => Value::Float(*v),
         })
         .collect();
-    let mut interp = Interpreter::new(module);
+    let mut interp = Interpreter::new(module).with_vector_width(vector_width);
     let result = interp
         .run(kernel.name, &args, &mut mem)
         .unwrap_or_else(|e| panic!("{}: interpreter failed: {e}", kernel.name));
@@ -67,16 +95,24 @@ fn target_checksum(
 
 #[test]
 fn every_kernel_agrees_across_interpreter_and_all_targets() {
+    let jit = JitOptions::split();
     for kernel in all_kernels() {
         let mut module =
             module_for(std::slice::from_ref(&kernel), kernel.name).expect("kernel compiles");
         optimize_module(&mut module, &OptOptions::full());
-        let reference = interpreter_checksum(&module, &kernel);
+        // One interpreter reference per distinct lane width in the catalogue
+        // (16-byte SIMD units and the scalarized default share one; the
+        // 64-byte GPU gets its own).
+        let mut references: std::collections::HashMap<u64, u64> = std::collections::HashMap::new();
         for target in TargetDesc::presets() {
-            let sum = target_checksum(&module, &kernel, &target, &JitOptions::split());
+            let width = effective_width(&target, &jit);
+            let reference = *references
+                .entry(width)
+                .or_insert_with(|| interpreter_checksum(&module, &kernel, width));
+            let sum = target_checksum(&module, &kernel, &target, &jit);
             assert_eq!(
                 sum, reference,
-                "{} on {} disagrees with the reference interpreter",
+                "{} on {} disagrees with the reference interpreter at {width}-byte vectors",
                 kernel.name, target.name
             );
         }
@@ -90,19 +126,30 @@ fn register_allocation_strategy_never_changes_results() {
         RegAllocMode::OnlineGreedy,
         RegAllocMode::OnlineAnalyze,
     ];
-    // Register-starved targets stress the allocator the most.
-    let targets = [TargetDesc::x86_sse(), TargetDesc::dsp()];
+    // Register-starved targets stress the allocator the most; the RISC-V
+    // core covers the opposite corner (a large uniform file where almost
+    // nothing spills) and the GPU covers 64-byte vector registers.
+    let targets = [
+        TargetDesc::x86_sse(),
+        TargetDesc::dsp(),
+        TargetDesc::riscv_rv64(),
+        TargetDesc::gpu_wide(),
+    ];
     for kernel in all_kernels() {
         let mut module =
             module_for(std::slice::from_ref(&kernel), kernel.name).expect("kernel compiles");
         optimize_module(&mut module, &OptOptions::full());
-        let reference = interpreter_checksum(&module, &kernel);
+        let mut references: std::collections::HashMap<u64, u64> = std::collections::HashMap::new();
         for target in &targets {
             for mode in modes {
                 let jit = JitOptions {
                     regalloc: mode,
                     allow_simd: true,
                 };
+                let width = effective_width(target, &jit);
+                let reference = *references
+                    .entry(width)
+                    .or_insert_with(|| interpreter_checksum(&module, &kernel, width));
                 let sum = target_checksum(&module, &kernel, target, &jit);
                 assert_eq!(
                     sum, reference,
@@ -126,9 +173,11 @@ fn offline_optimization_level_never_changes_results() {
     // comparison: vectorizing a float sum reassociates the additions, so the
     // scalar and vectorized variants agree only up to rounding (they are still
     // checked against each other, per variant, by the other tests here).
-    let reassociated = ["dot_f32", "hotcold_f32"];
     for kernel in all_kernels() {
-        if reassociated.contains(&kernel.name) {
+        let mut probe =
+            module_for(std::slice::from_ref(&kernel), kernel.name).expect("kernel compiles");
+        optimize_module(&mut probe, &OptOptions::full());
+        if has_float_reduction(&probe) {
             continue;
         }
         let mut reference = None;
@@ -152,26 +201,38 @@ fn offline_optimization_level_never_changes_results() {
 #[test]
 fn disabling_simd_never_changes_results() {
     // A JIT that ignores the vector builtins (scalarization on a SIMD-capable
-    // machine) must still compute the same thing.
+    // machine) must still compute the same thing, on every SIMD preset in the
+    // catalogue. Float *reductions* are only required to match when the SIMD
+    // width equals the scalarizer's default width: at a different lane count
+    // (the 64-byte GPU) the partial sums legitimately reassociate, so there
+    // each path is instead pinned against its own width-matched interpreter.
     for kernel in all_kernels().into_iter().filter(|k| k.vectorizable) {
         let mut module =
             module_for(std::slice::from_ref(&kernel), kernel.name).expect("kernel compiles");
         optimize_module(&mut module, &OptOptions::full());
-        let target = TargetDesc::x86_sse();
-        let with_simd = target_checksum(&module, &kernel, &target, &JitOptions::split());
-        let without = target_checksum(
-            &module,
-            &kernel,
-            &target,
-            &JitOptions {
-                regalloc: RegAllocMode::SplitAnnotations,
-                allow_simd: false,
-            },
-        );
-        assert_eq!(
-            with_simd, without,
-            "{}: scalarization changed the result",
-            kernel.name
-        );
+        let reassociates = has_float_reduction(&module);
+        for target in TargetDesc::presets()
+            .into_iter()
+            .filter(TargetDesc::has_simd)
+        {
+            if target.vector_bytes() != DEFAULT_VECTOR_WIDTH_BYTES && reassociates {
+                continue;
+            }
+            let with_simd = target_checksum(&module, &kernel, &target, &JitOptions::split());
+            let without = target_checksum(
+                &module,
+                &kernel,
+                &target,
+                &JitOptions {
+                    regalloc: RegAllocMode::SplitAnnotations,
+                    allow_simd: false,
+                },
+            );
+            assert_eq!(
+                with_simd, without,
+                "{} on {}: scalarization changed the result",
+                kernel.name, target.name
+            );
+        }
     }
 }

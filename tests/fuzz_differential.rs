@@ -10,10 +10,16 @@
 //! a seed; on a failure the offending seed *and the full program source* are
 //! printed, so a divergence reproduces with a one-line test.
 //!
-//! The generator tracks a static bound on every integer expression's
-//! magnitude and keeps accumulators far below `i32::MAX`, so the programs are
-//! overflow-free by construction — any divergence is a real compiler or
-//! simulator bug, not an arithmetic-semantics edge case.
+//! The arithmetic generator tracks a static bound on every integer
+//! expression's magnitude and keeps accumulators far below `i32::MAX`, so
+//! those programs are overflow-free by construction — any divergence is a
+//! real compiler or simulator bug, not an arithmetic-semantics edge case.
+//!
+//! The *shift* generator ([`gen_shift_program`]) deliberately drops that
+//! discipline: wrapping arithmetic and modulo-64-masked shift counts are
+//! fully defined bytecode semantics (see `BinOp::Shl`), so shift-heavy
+//! programs with out-of-range and negative counts must still agree
+//! bit-for-bit across every path.
 
 use rand::{rngs::StdRng, Rng, SeedableRng};
 use splitc::splitc_minic::compile_source;
@@ -182,6 +188,97 @@ fn gen_int_program(seed: u64) -> String {
     format!("fn fuzz(n: i32, x: *i32, y: *i32) -> i32 {{\n{body}}}\n")
 }
 
+/// Extreme shift counts: in range, at the i32 width boundary, past the
+/// 64-bit register width (where the modulo-64 mask wraps them), and negative
+/// (which mask to `count & 63`).
+const SHIFT_COUNTS: [i64; 12] = [0, 1, 5, 31, 32, 33, 63, 64, 65, 127, -1, -63];
+
+/// Render a count as mini-C source; negatives become `(0 - k)` so the
+/// generated programs need no unary minus.
+fn count_lit(c: i64) -> String {
+    if c < 0 {
+        format!("(0 - {})", -c)
+    } else {
+        c.to_string()
+    }
+}
+
+/// Generate one shift-heavy i32 kernel `fn fuzz(n: i32, x: *i32, y: *i32) ->
+/// i32`. Unlike [`gen_int_program`] this deliberately abandons the
+/// overflow-free discipline: every operation in the bytecode wraps
+/// deterministically, so shift results of any magnitude must still agree
+/// bit-for-bit across the interpreter, both simulator walks and every
+/// register-allocation mode — out-of-range counts included. Counts come from
+/// [`SHIFT_COUNTS`] (constants, which const-folding may evaluate offline) and
+/// from runtime values (`v`, `i` and expressions over them), which only the
+/// execution paths see.
+fn gen_shift_program(seed: u64) -> String {
+    let mut g = ExprGen::new(seed);
+    let mut body = String::new();
+
+    // A few loop-invariant scalars, some holding folded constant shifts so
+    // the offline constant folder evaluates extreme counts too.
+    let mut leaves: Vec<String> = Vec::new();
+    for s in 0..g.rng.gen_range(1usize..3) {
+        let base = g.rng.gen_range(1i64..200);
+        let count = count_lit(*g.pick(&SHIFT_COUNTS));
+        let op = *g.pick(&["<<", ">>"]);
+        body.push_str(&format!("    let s{s}: i32 = ({base} {op} {count});\n"));
+        leaves.push(format!("s{s}"));
+    }
+
+    // The element-wise map: a tree of shifts and wrapping arithmetic over the
+    // runtime value, the index and the invariant scalars.
+    fn shift_expr(g: &mut ExprGen, leaves: &[String], depth: u32) -> String {
+        if depth == 0 || g.rng.gen_range(0u32..5) == 0 {
+            return g.pick(leaves).clone();
+        }
+        let a = shift_expr(g, leaves, depth - 1);
+        match g.rng.gen_range(0u32..8) {
+            // Constant extreme counts.
+            0 | 1 => {
+                let c = count_lit(*g.pick(&SHIFT_COUNTS));
+                let op = *g.pick(&["<<", ">>"]);
+                format!("({a} {op} {c})")
+            }
+            // Runtime counts: raw (any i32, masked mod 64) or pre-masked.
+            2 => {
+                let b = shift_expr(g, leaves, depth - 1);
+                let op = *g.pick(&["<<", ">>"]);
+                format!("({a} {op} {b})")
+            }
+            3 => {
+                let b = shift_expr(g, leaves, depth - 1);
+                let op = *g.pick(&["<<", ">>"]);
+                format!("({a} {op} ({b} & 63))")
+            }
+            // Wrapping glue between the shifts.
+            _ => {
+                let b = shift_expr(g, leaves, depth - 1);
+                let op = *g.pick(&["+", "-", "*", "^", "&", "|"]);
+                format!("({a} {op} {b})")
+            }
+        }
+    }
+
+    let mut map_leaves = leaves.clone();
+    map_leaves.push("v".into());
+    map_leaves.push("i".into());
+    let map = shift_expr(&mut g, &map_leaves, 3);
+    body.push_str("    for (let i: i32 = 0; i < n; i = i + 1) {\n");
+    body.push_str("        let v: i32 = x[i];\n");
+    body.push_str(&format!("        y[i] = {map};\n"));
+    body.push_str("    }\n");
+
+    // Wrapping reduction so the return value covers the whole output.
+    body.push_str("    let acc: i32 = 0;\n");
+    body.push_str("    for (let k: i32 = 0; k < n; k = k + 1) {\n");
+    body.push_str("        acc = (acc * 31) + y[k];\n");
+    body.push_str("    }\n");
+    body.push_str("    return acc;\n");
+    format!("fn fuzz(n: i32, x: *i32, y: *i32) -> i32 {{\n{body}}}\n")
+}
+
 /// Generate one random f32 kernel `fn fuzzf(n: i32, x: *f32, y: *f32)`: a
 /// purely element-wise map (no float reductions, whose vectorization would
 /// legitimately reassociate), comparing output bytes exactly.
@@ -339,6 +436,43 @@ fn random_int_programs_agree_everywhere() {
 }
 
 #[test]
+fn random_shift_programs_agree_everywhere() {
+    for seed in 2000..2030u64 {
+        let source = gen_shift_program(seed);
+        check_program(&source, "fuzz", seed, false);
+    }
+}
+
+#[test]
+fn every_extreme_shift_count_agrees_on_every_path() {
+    // A deterministic sweep: each count in SHIFT_COUNTS applied as shl and
+    // shr (constant count — reachable by the offline folder — and runtime
+    // count, which only the execution paths see) to positive and negative
+    // operands. One small program per count so even the register-starved
+    // x86 preset (6 integer registers) compiles it in every regalloc mode.
+    for (ci, c) in SHIFT_COUNTS.into_iter().enumerate() {
+        let c = count_lit(c);
+        // Reloading `x[i]` per shift keeps every operand's last use at the
+        // instruction that consumes it, so even x86's two scratch registers
+        // never see two surviving spilled operands pinned at once.
+        let source = format!(
+            "fn fuzz(n: i32, x: *i32, y: *i32) -> i32 {{
+    for (let i: i32 = 0; i < n; i = i + 1) {{
+        let r: i32 = ({c} + (i - i));
+        let a: i32 = ((x[i] << {c}) ^ (x[i] >> {c}));
+        let b: i32 = ((x[i] << r) ^ (x[i] >> r));
+        y[i] = (a + b);
+    }}
+    let acc: i32 = 0;
+    for (let k: i32 = 0; k < n; k = k + 1) {{ acc = ((acc * 31) + y[k]); }}
+    return acc;
+}}\n"
+        );
+        check_program(&source, "fuzz", 0x5817 + ci as u64, false);
+    }
+}
+
+#[test]
 fn random_float_programs_agree_everywhere() {
     for seed in 1000..1020u64 {
         let source = gen_float_program(seed);
@@ -368,7 +502,29 @@ fn f32_constants_round_to_single_precision_on_every_path() {
 fn generated_programs_are_deterministic_per_seed() {
     assert_eq!(gen_int_program(7), gen_int_program(7));
     assert_eq!(gen_float_program(7), gen_float_program(7));
+    assert_eq!(gen_shift_program(7), gen_shift_program(7));
     assert_ne!(gen_int_program(7), gen_int_program(8));
+    assert_ne!(gen_shift_program(7), gen_shift_program(8));
+}
+
+#[test]
+fn the_shift_generator_actually_reaches_extreme_counts() {
+    // Guard against the generator silently collapsing to tame shifts: across
+    // the tested seed range, out-of-range constants, negative constants and
+    // runtime (register) counts must all appear.
+    let sources: Vec<String> = (2000..2030).map(gen_shift_program).collect();
+    let any = |needle: &str| sources.iter().any(|s| s.contains(needle));
+    assert!(any("<<"), "left shifts appear");
+    assert!(any(">>"), "right shifts appear");
+    assert!(
+        any("64)") || any("65)") || any("127)"),
+        "counts past the register width appear"
+    );
+    assert!(any("(0 - "), "negative counts appear");
+    assert!(
+        any("<< v") || any(">> v") || any("<< (v") || any(">> (v"),
+        "runtime counts appear"
+    );
 }
 
 #[test]
