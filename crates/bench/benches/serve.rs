@@ -1,0 +1,77 @@
+//! Bench — serving throughput: 1 worker vs N workers under mixed-module
+//! request traffic.
+//!
+//! The same request stream (Table 1 kernels, each deployed as its own
+//! module, rotating over the full preset target catalogue) is pushed through
+//! the async serving layer twice: first with a single worker, then with a
+//! pool. Responses are bit-identical whatever the worker count (asserted
+//! below via per-request checksums); the only thing the pool may change is
+//! requests-per-second, which this bench reports.
+//!
+//! The measured window covers submission through last response over a fresh
+//! server, so cold online compiles — deduplicated per (module, target,
+//! options) by the shared engines — are part of the serving cost, exactly as
+//! they would be for a freshly deployed service. The speedup ratio is always
+//! printed; set `SERVE_BENCH_ASSERT=1` on a quiet host with 4+ cores to also
+//! *enforce* that N workers out-serve one (left report-only by default so a
+//! loaded shared CI runner cannot flake an unrelated PR on a wall-clock
+//! threshold).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use splitc::serve::{run_load, LoadConfig, LoadReport};
+use splitc_bench::BENCH_N;
+
+const PARALLEL_WORKERS: usize = 4;
+const REQUESTS: usize = 162;
+
+fn load(workers: usize) -> LoadConfig {
+    LoadConfig::catalogue(BENCH_N, REQUESTS)
+        .with_workers(workers)
+        .with_queue_capacity(32)
+}
+
+fn run(workers: usize) -> LoadReport {
+    run_load(&load(workers)).expect("serving load runs")
+}
+
+fn bench_serve(c: &mut Criterion) {
+    // Headline comparison, printed once: one worker vs a pool over
+    // identical (asserted) per-request results.
+    let sequential = run(1);
+    let parallel = run(PARALLEL_WORKERS);
+    assert_eq!(
+        sequential.checksums, parallel.checksums,
+        "served responses must be bit-identical whatever the worker count"
+    );
+    for report in [&sequential, &parallel] {
+        assert_eq!(report.stats.accepted, REQUESTS as u64);
+        assert_eq!(report.stats.completed, REQUESTS as u64, "zero losses");
+    }
+    let speedup = parallel.requests_per_sec / sequential.requests_per_sec;
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    println!(
+        "\nserving throughput: 1 worker = {:.1} req/s, {PARALLEL_WORKERS} workers = {:.1} req/s  \
+         ({speedup:.2}x, {cores} host cores, queue high water {} vs {})",
+        sequential.requests_per_sec,
+        parallel.requests_per_sec,
+        sequential.stats.queue_high_water,
+        parallel.stats.queue_high_water,
+    );
+    if std::env::var_os("SERVE_BENCH_ASSERT").is_some() && cores >= PARALLEL_WORKERS {
+        assert!(
+            speedup > 1.0,
+            "expected {PARALLEL_WORKERS} workers to out-serve 1 on a {cores}-core host, got {speedup:.2}x"
+        );
+    }
+
+    let mut group = c.benchmark_group("serve");
+    group.sample_size(10);
+    group.bench_function("workers_1", |b| b.iter(|| run(1).checksums.len()));
+    group.bench_function("workers_4", |b| {
+        b.iter(|| run(PARALLEL_WORKERS).checksums.len())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_serve);
+criterion_main!(benches);

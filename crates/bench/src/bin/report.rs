@@ -12,14 +12,18 @@
 //! threads (`--jobs 0` = one per host core); results are bit-identical to
 //! the sequential run, so parallelism only changes wall-clock time.
 //!
-//! `--json <path>` additionally runs the machine-readable perf-trajectory
-//! sweep (table1 kernels × the full preset target catalogue, sequential and
-//! parallel) and writes it to `path` — by convention `BENCH_sweep.json` at
-//! the repo root, so successive PRs accumulate comparable numbers (ns/iter
-//! per sweep, per-cell simulated cycles, engine cache stats) for every
-//! backend family, the RISC-V and GPU targets included.
+//! `--json <path>` additionally runs the machine-readable perf trajectory
+//! and writes it to `path` — by convention `BENCH_sweep.json` at the repo
+//! root, so successive PRs accumulate comparable numbers. The trajectory has
+//! two sections: the sweep rows (table1 kernels × the full preset target
+//! catalogue, sequential and parallel: ns/iter, per-cell simulated cycles,
+//! engine cache stats) and, since the async serving layer landed, the
+//! `serving` rows (the same mixed-module traffic pushed through the request
+//! queue at 1 and 4 workers: requests/s, queue high water, aggregated
+//! engine-cache counters).
 
 use splitc::experiments::{codesize, hetero, kpn, regalloc, splitflow, table1};
+use splitc::serve::{run_load, LoadConfig, LoadReport};
 use splitc::splitc_opt::{optimize_module, OptOptions};
 use splitc::splitc_runtime::Platform;
 use splitc::splitc_targets::TargetDesc;
@@ -168,18 +172,51 @@ fn sweep_to_json(jobs: usize, result: &SweepResult, elapsed_ns: f64) -> String {
     )
 }
 
-/// Run the perf-trajectory sweeps (sequential and 4-way parallel) and write
-/// the machine-readable `BENCH_sweep.json` shape to `path`.
+/// Requests per serving row in the `--json` perf trajectory: one request per
+/// (kernel, target) pair per repeat, matching the sweep rows' coverage.
+const JSON_SERVE_REPEATS: usize = 3;
+
+/// Render one serving load as a JSON object: requests/s plus the server's
+/// queue and aggregated engine-cache counters.
+fn serving_to_json(report: &LoadReport) -> String {
+    format!(
+        "    {{\n      \"workers\": {},\n      \"requests\": {},\n      \"elapsed_ns\": {:.0},\n      \"requests_per_sec\": {:.1},\n      \"queue_high_water\": {},\n      \"engines\": {},\n      \"cache\": {{\"compiles\": {}, \"hits\": {}, \"evictions\": {}}},\n      \"online_work\": {}\n    }}",
+        report.workers,
+        report.requests,
+        report.elapsed_ns as f64,
+        report.requests_per_sec,
+        report.stats.queue_high_water,
+        report.stats.engines,
+        report.stats.cache.compiles,
+        report.stats.cache.hits,
+        report.stats.cache.evictions,
+        report.stats.online_work,
+    )
+}
+
+/// Run the perf-trajectory sweeps (sequential and 4-way parallel) plus the
+/// serving loads, and write the machine-readable `BENCH_sweep.json` shape to
+/// `path`.
 fn write_sweep_json(path: &str, n: usize) -> Result<(), Box<dyn std::error::Error>> {
     let mut sweeps = Vec::new();
     for jobs in [1usize, 4] {
         let (result, elapsed_ns) = timed_sweep(n, jobs)?;
         sweeps.push(sweep_to_json(jobs, &result, elapsed_ns));
     }
+    // The serving trajectory: the same kernels and targets as the sweep
+    // rows, but as mixed-module request traffic through the bounded queue.
+    let kernels = table1_kernels();
+    let requests = kernels.len() * TargetDesc::presets().len() * JSON_SERVE_REPEATS;
+    let mut serving = Vec::new();
+    for workers in [1usize, 4] {
+        let report = run_load(&LoadConfig::catalogue(n, requests).with_workers(workers))?;
+        serving.push(serving_to_json(&report));
+    }
     let host_cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
     let json = format!(
-        "{{\n  \"schema\": \"splitc-bench-sweep/1\",\n  \"n\": {n},\n  \"repeats\": {JSON_SWEEP_REPEATS},\n  \"host_cores\": {host_cores},\n  \"sweeps\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"schema\": \"splitc-bench-sweep/2\",\n  \"n\": {n},\n  \"repeats\": {JSON_SWEEP_REPEATS},\n  \"host_cores\": {host_cores},\n  \"sweeps\": [\n{}\n  ],\n  \"serving\": [\n{}\n  ]\n}}\n",
         sweeps.join(",\n"),
+        serving.join(",\n"),
     );
     std::fs::write(path, json)?;
     println!("wrote perf trajectory to {path}");

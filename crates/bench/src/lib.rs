@@ -10,8 +10,13 @@
 //!   kernel × target × repeat matrix swept with 1 worker vs 4 workers over
 //!   one shared engine, asserting bit-identical results and reporting the
 //!   cells-per-second speedup;
+//! * the serving throughput comparison (`benches/serve.rs`): mixed-module
+//!   request traffic pushed through the async serving layer with 1 worker vs
+//!   4 workers, asserting bit-identical responses and zero request loss, and
+//!   reporting requests-per-second;
 //! * the `report` binary, which regenerates the paper-style tables at full
-//!   problem sizes (`cargo run -p splitc-bench --bin report -- all`).
+//!   problem sizes (`cargo run -p splitc-bench --bin report -- all`) and,
+//!   with `--json`, the machine-readable sweep + serving perf trajectory.
 //!
 //! The measured quantity inside each experiment is *simulated cycles* on the
 //! virtual targets, which is deterministic; Criterion's wall-clock numbers

@@ -6,6 +6,7 @@
 //! splitc targets
 //! splitc run <module.svbc|kernels.mc> --kernel <fn> --target <name> [--arg i:<int>|f:<float>]...
 //! splitc bench <catalogue-kernel> [--n <elems>] [--target <name>] [--jobs <N>] [--repeats <R>]
+//! splitc serve-bench [--n <elems>] [--requests <R>] [--workers <N>] [--queue <Q>] [--cache-cap <C>]
 //! ```
 //!
 //! * `build` runs the offline step (front end + optimizer) and writes the
@@ -21,7 +22,15 @@
 //!   fans it over N worker threads (`--jobs 0` = one per host core) that
 //!   share one engine, and `--repeats R` re-runs every cell R times to show
 //!   the compile-once-run-many amortization.
+//! * `serve-bench` drives mixed-module request traffic (every Table 1
+//!   kernel as its own deployment, rotating over the full target catalogue)
+//!   through the async serving layer: a bounded queue (`--queue`) drained by
+//!   `--workers` threads (0 = one per host core) over shared,
+//!   fingerprint-deduplicated engines, optionally LRU-bounded with
+//!   `--cache-cap`. Prints requests/s plus the server's queue, engine and
+//!   cache counters.
 
+use splitc::serve::{run_load, LoadConfig};
 use splitc::splitc_jit::JitOptions;
 use splitc::splitc_opt::OptOptions;
 use splitc::splitc_targets::{MachineValue, TargetDesc};
@@ -31,7 +40,7 @@ use splitc::{fmt_cache_line, offline_compile, run_on_target, Workspace};
 use std::process::ExitCode;
 
 fn usage() -> &'static str {
-    "usage:\n  splitc build <kernels.mc> -o <module.svbc> [--no-vectorize] [--strip]\n  splitc dis <module.svbc>\n  splitc targets\n  splitc run <module.svbc|kernels.mc> --kernel <fn> --target <name> [--arg i:<int>|f:<float>]...\n  splitc bench <kernel> [--n <elems>] [--target <name>] [--jobs <N>] [--repeats <R>]"
+    "usage:\n  splitc build <kernels.mc> -o <module.svbc> [--no-vectorize] [--strip]\n  splitc dis <module.svbc>\n  splitc targets\n  splitc run <module.svbc|kernels.mc> --kernel <fn> --target <name> [--arg i:<int>|f:<float>]...\n  splitc bench <kernel> [--n <elems>] [--target <name>] [--jobs <N>] [--repeats <R>]\n  splitc serve-bench [--n <elems>] [--requests <R>] [--workers <N>] [--queue <Q>] [--cache-cap <C>]"
 }
 
 /// Parse one `--arg` value of the form `i:<integer>` or `f:<float>`.
@@ -207,6 +216,41 @@ fn cmd_bench(mut args: Vec<String>) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_serve_bench(mut args: Vec<String>) -> Result<(), String> {
+    let n: usize = take_flag(&mut args, "--n")
+        .map(|s| s.parse().map_err(|e| format!("bad --n value: {e}")))
+        .transpose()?
+        .unwrap_or(1024);
+    let requests: usize = take_flag(&mut args, "--requests")
+        .map(|s| s.parse().map_err(|e| format!("bad --requests value: {e}")))
+        .transpose()?
+        .unwrap_or(256);
+    let workers: usize = take_flag(&mut args, "--workers")
+        .map(|s| s.parse().map_err(|e| format!("bad --workers value: {e}")))
+        .transpose()?
+        .unwrap_or(0);
+    let queue: usize = take_flag(&mut args, "--queue")
+        .map(|s| s.parse().map_err(|e| format!("bad --queue value: {e}")))
+        .transpose()?
+        .unwrap_or(64);
+    let cache_cap: usize = take_flag(&mut args, "--cache-cap")
+        .map(|s| s.parse().map_err(|e| format!("bad --cache-cap value: {e}")))
+        .transpose()?
+        .unwrap_or(0);
+    if let Some(extra) = args.first() {
+        return Err(format!(
+            "serve-bench takes no positional argument `{extra}`"
+        ));
+    }
+    let cfg = LoadConfig::catalogue(n, requests)
+        .with_workers(workers)
+        .with_queue_capacity(queue)
+        .with_cache_capacity(cache_cap);
+    let report = run_load(&cfg).map_err(|e| format!("serving load failed: {e}"))?;
+    print!("{}", report.render());
+    Ok(())
+}
+
 fn main() -> ExitCode {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() {
@@ -223,6 +267,7 @@ fn main() -> ExitCode {
         }
         "run" => cmd_run(args),
         "bench" => cmd_bench(args),
+        "serve-bench" => cmd_serve_bench(args),
         "--help" | "-h" | "help" => {
             println!("{}", usage());
             Ok(())
@@ -296,6 +341,23 @@ mod tests {
         .expect("run succeeds");
 
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn serve_bench_runs_a_small_load() {
+        cmd_serve_bench(vec![
+            "--n".into(),
+            "32".into(),
+            "--requests".into(),
+            "12".into(),
+            "--workers".into(),
+            "2".into(),
+            "--queue".into(),
+            "4".into(),
+        ])
+        .expect("serving load succeeds");
+        assert!(cmd_serve_bench(vec!["--workers".into(), "x".into()]).is_err());
+        assert!(cmd_serve_bench(vec!["spurious".into()]).is_err());
     }
 
     #[test]

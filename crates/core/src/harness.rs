@@ -6,7 +6,7 @@
 //! checked against each other.
 
 use crate::session::Workspace;
-use splitc_targets::MachineValue;
+use splitc_targets::{Fnv1a, MachineValue};
 use splitc_workloads::DataGen;
 
 /// A kernel invocation prepared in a workspace.
@@ -247,34 +247,38 @@ pub fn prepare(kernel: &str, n: usize, seed: u64, ws: &mut Workspace) -> Prepare
 
 /// Summarize a finished run (return value plus output region) into a checksum
 /// that must agree across compilation strategies and targets.
+///
+/// Checksums are only ever compared *within* one build of this crate. Note
+/// for anyone diffing historical `BENCH_sweep.json` files: the hash moved to
+/// the shared [`Fnv1a`] with the `splitc-bench-sweep/2` schema bump — the
+/// old hand-rolled loop multiplied by a typo'd FNV prime (`0x1000_0000_01b3`
+/// instead of `0x100_0000_01b3`) — so every checksum value changed at that
+/// point while cycles stayed comparable.
 pub fn checksum(result: Option<MachineValue>, prepared: &PreparedKernel, ws: &Workspace) -> u64 {
-    let mut acc: u64 = 0xcbf2_9ce4_8422_2325;
-    let mut mix = |byte: u8| {
-        acc ^= u64::from(byte);
-        acc = acc.wrapping_mul(0x1000_0000_01b3);
-    };
+    checksum_bytes(result, prepared, ws.bytes())
+}
+
+/// [`checksum`] over a raw memory image instead of a [`Workspace`].
+///
+/// The serving layer hands kernel memory back as a plain byte buffer
+/// ([`splitc_runtime::serve::Response::mem`]); this computes the identical
+/// checksum from it, so served results are bit-comparable to sweep cells.
+pub fn checksum_bytes(result: Option<MachineValue>, prepared: &PreparedKernel, mem: &[u8]) -> u64 {
+    let mut acc = Fnv1a::new();
     match result {
-        Some(MachineValue::Int(v)) => {
-            for b in v.to_le_bytes() {
-                mix(b);
-            }
-        }
+        Some(MachineValue::Int(v)) => acc.write(&v.to_le_bytes()),
         Some(MachineValue::Float(v)) => {
             // Round to a tolerant precision so that reassociated float
             // reductions (vectorized sums) still agree with the scalar result.
             let rounded = (v * 1e3).round() as i64;
-            for b in rounded.to_le_bytes() {
-                mix(b);
-            }
+            acc.write(&rounded.to_le_bytes());
         }
         None => {}
     }
     if let Some((addr, len)) = prepared.output {
-        for b in ws.read_u8s(addr, len as usize) {
-            mix(b);
-        }
+        acc.write(&mem[addr as usize..addr as usize + len as usize]);
     }
-    acc
+    acc.finish()
 }
 
 #[cfg(test)]
@@ -309,6 +313,20 @@ mod tests {
     fn unknown_kernels_are_rejected() {
         let mut ws = Workspace::new(1024);
         let _ = prepare("mystery", 16, 0, &mut ws);
+    }
+
+    #[test]
+    fn checksum_bytes_matches_the_workspace_checksum() {
+        let mut ws = Workspace::new(1 << 12);
+        let p = prepare("vecadd_f32", 16, 5, &mut ws);
+        assert_eq!(
+            checksum(Some(MachineValue::Int(7)), &p, &ws),
+            checksum_bytes(Some(MachineValue::Int(7)), &p, ws.bytes())
+        );
+        assert_eq!(
+            checksum(None, &p, &ws),
+            checksum_bytes(None, &p, ws.bytes())
+        );
     }
 
     #[test]

@@ -17,9 +17,11 @@
 //! the virtual targets ([`splitc_targets`]) and the heterogeneous runtime
 //! ([`splitc_runtime`]) into a single pipeline, hosts the experiment
 //! drivers that regenerate every table and figure of the paper
-//! (see [`experiments`]), and provides the parallel sweep layer
+//! (see [`experiments`]), provides the parallel sweep layer
 //! (see [`sweep`]) that fans kernel × target × repeat matrices across
-//! cores over one shared, sharded engine cache.
+//! cores over one shared, sharded engine cache, and the serving layer
+//! (see [`serve`]) that exposes deployments behind a bounded request queue
+//! with fingerprint-deduplicated shared engines.
 //!
 //! # Quick start
 //!
@@ -64,10 +66,11 @@
 pub mod experiments;
 mod harness;
 mod report;
+pub mod serve;
 mod session;
 pub mod sweep;
 
-pub use harness::{checksum, prepare, PreparedKernel};
+pub use harness::{checksum, checksum_bytes, prepare, PreparedKernel};
 pub use report::{fmt_amortized_jit, fmt_cache_line, fmt_speedup, TextTable};
 pub use session::{
     offline_compile, offline_optimize, run_on_target, PipelineError, RunMeasurement, Workspace,
@@ -77,7 +80,7 @@ pub use sweep::{SweepCell, SweepConfig, SweepResult};
 // engine instead of paying one compilation per `run_on_target` call, plus
 // the deploy-time preparation types (pre-decoded programs, frame pools).
 pub use splitc_runtime::{
-    CacheStats, EngineError, Execution, ExecutionEngine, FramePool, PreparedProgram,
+    CacheSnapshot, CacheStats, EngineError, Execution, ExecutionEngine, FramePool, PreparedProgram,
     PreparedSimulator,
 };
 

@@ -1,0 +1,292 @@
+//! Serving loads over the runtime's request queue.
+//!
+//! [`splitc_runtime::serve`] is the generic front-end (bounded queue, worker
+//! pool, fingerprint-deduplicated engines); this module is the batteries: it
+//! knows how to turn the workload catalogue into **mixed-module traffic** —
+//! each kernel compiled offline into its own module, so the server juggles
+//! several deployments at once — generate seeded per-request inputs in a
+//! [`Workspace`], drive a full load through a [`Server`] and summarize the
+//! outcome ([`LoadReport`]: requests/s, queue high water, aggregated cache
+//! counters, per-request checksums).
+//!
+//! Determinism: request `r`'s kernel, target and input bytes depend only on
+//! `(r, cfg.seed)`, never on worker scheduling, so a `workers = 8` load is
+//! bit-identical (checksum-for-checksum) to a `workers = 1` load — the
+//! property `benches/serve.rs` and the serving test suite pin down.
+//!
+//! The CLI's `splitc serve-bench`, the `report --json` serving trajectory and
+//! `benches/serve.rs` all run through [`run_load`].
+
+pub use splitc_runtime::serve::{
+    module_fingerprint, Request, Response, ResponseHandle, ResponseLost, ServeModule, Server,
+    ServerConfig, ServerStats, SubmitError, ENGINE_SHARDS,
+};
+
+use crate::harness::{checksum_bytes, prepare};
+use crate::report::fmt_cache_line;
+use crate::session::{PipelineError, Workspace};
+use splitc_jit::JitOptions;
+use splitc_opt::{optimize_module, OptOptions};
+use splitc_targets::TargetDesc;
+use splitc_workloads::{module_for, table1_kernels, Kernel};
+use std::time::Instant;
+
+/// Shape of one serving load: traffic mix, volume and server sizing.
+#[derive(Debug, Clone)]
+pub struct LoadConfig {
+    /// Kernels in the mix; each is compiled into **its own module**, so the
+    /// server dedups and shares one engine per kernel.
+    pub kernels: Vec<Kernel>,
+    /// Targets requests rotate over.
+    pub targets: Vec<TargetDesc>,
+    /// Total requests to submit.
+    pub requests: usize,
+    /// Elements processed per request.
+    pub n: usize,
+    /// Worker threads (0 = one per host core).
+    pub workers: usize,
+    /// Bound on the server's request queue.
+    pub queue_capacity: usize,
+    /// Per-engine code-cache bound (0 = unbounded).
+    pub cache_capacity: usize,
+    /// Base seed; request `r` prepares its inputs from `seed + r`.
+    pub seed: u64,
+    /// Online-compilation configuration shared by every request.
+    pub options: JitOptions,
+}
+
+impl LoadConfig {
+    /// A catalogue load: the Table 1 kernels over the full preset target
+    /// catalogue, `requests` requests of `n` elements each, one worker.
+    pub fn catalogue(n: usize, requests: usize) -> Self {
+        LoadConfig {
+            kernels: table1_kernels(),
+            targets: TargetDesc::presets(),
+            requests,
+            n,
+            workers: 1,
+            queue_capacity: 64,
+            cache_capacity: 0,
+            seed: 0xdac,
+            options: JitOptions::split(),
+        }
+    }
+
+    /// Same load fanned over `workers` worker threads (0 = all cores).
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Same load with a queue bound of `capacity` requests.
+    pub fn with_queue_capacity(mut self, capacity: usize) -> Self {
+        self.queue_capacity = capacity;
+        self
+    }
+
+    /// Same load with a per-engine code-cache bound.
+    pub fn with_cache_capacity(mut self, capacity: usize) -> Self {
+        self.cache_capacity = capacity;
+        self
+    }
+}
+
+/// A completed serving load.
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    /// Requests served (every one of them answered).
+    pub requests: usize,
+    /// Worker threads the server ran (0 resolved to the host's cores).
+    pub workers: usize,
+    /// Wall-clock duration from first submission to last response, in
+    /// nanoseconds.
+    pub elapsed_ns: u128,
+    /// Serving throughput over that window.
+    pub requests_per_sec: f64,
+    /// Per-request result checksums, in submission order — the bit-identity
+    /// handle loads of different worker counts are compared with.
+    pub checksums: Vec<u64>,
+    /// Final server counters (taken after the graceful shutdown drain).
+    pub stats: ServerStats,
+}
+
+impl LoadReport {
+    /// Render the report the way `splitc serve-bench` prints it.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "serve: {} requests over {} workers in {:.1} ms ({:.1} req/s)\n",
+            self.requests,
+            self.workers,
+            self.elapsed_ns as f64 / 1e6,
+            self.requests_per_sec,
+        );
+        out.push_str(&format!(
+            "queue: high water {} · accepted {} · completed {} · rejected {}\n",
+            self.stats.queue_high_water,
+            self.stats.accepted,
+            self.stats.completed,
+            self.stats.rejected,
+        ));
+        out.push_str(&format!(
+            "engines: {} shared deployments\n",
+            self.stats.engines
+        ));
+        for (target, count) in &self.stats.per_target {
+            out.push_str(&format!("  {target:<12} {count} requests\n"));
+        }
+        out.push_str(&fmt_cache_line(&self.stats.cache));
+        out.push('\n');
+        out
+    }
+}
+
+/// Run one serving load: compile each kernel offline into its own module,
+/// start a [`Server`], submit `cfg.requests` requests (kernel-major rotation
+/// over `kernels × targets`, seeded inputs), wait for every response, verify
+/// and checksum it, then gracefully shut the server down.
+///
+/// Submission uses the blocking [`Server::submit`], so the bounded queue's
+/// backpressure throttles the generator to the pool's drain rate. Every
+/// request is fully built — inputs generated, memory filled — *before* the
+/// clock starts: the measured window covers submission through last
+/// response, so `requests_per_sec` reflects the serving layer itself, not
+/// the generator's single-threaded input preparation.
+///
+/// # Errors
+///
+/// Returns the first [`PipelineError`] from offline compilation or from any
+/// served request.
+///
+/// # Panics
+///
+/// Panics if a worker dies before responding ([`ResponseLost`]) — graceful
+/// shutdown makes that unreachable short of a worker panic.
+pub fn run_load(cfg: &LoadConfig) -> Result<LoadReport, PipelineError> {
+    assert!(!cfg.kernels.is_empty(), "a load needs at least one kernel");
+    assert!(!cfg.targets.is_empty(), "a load needs at least one target");
+    // Offline step, outside the measured window: one module per kernel.
+    let mut modules = Vec::with_capacity(cfg.kernels.len());
+    for kernel in &cfg.kernels {
+        let mut module = module_for(std::slice::from_ref(kernel), kernel.name)
+            .map_err(PipelineError::Frontend)?;
+        optimize_module(&mut module, &OptOptions::full());
+        modules.push(ServeModule::new(module));
+    }
+
+    let server = Server::start(ServerConfig {
+        workers: cfg.workers,
+        queue_capacity: cfg.queue_capacity,
+        cache_capacity: cfg.cache_capacity,
+    });
+
+    // Build every request before starting the clock: input generation is
+    // the generator's cost, not the serving layer's.
+    let mut requests = Vec::with_capacity(cfg.requests);
+    let mut prepared_all = Vec::with_capacity(cfg.requests);
+    for r in 0..cfg.requests {
+        let ki = r % cfg.kernels.len();
+        let ti = (r / cfg.kernels.len()) % cfg.targets.len();
+        let mut ws = Workspace::sized_for(cfg.n);
+        let prepared = prepare(
+            cfg.kernels[ki].name,
+            cfg.n,
+            cfg.seed.wrapping_add(r as u64),
+            &mut ws,
+        );
+        requests.push(Request {
+            module: modules[ki].clone(),
+            kernel: cfg.kernels[ki].name.to_owned(),
+            target: cfg.targets[ti].clone(),
+            options: cfg.options,
+            args: prepared.args.clone(),
+            mem: ws.into_bytes(),
+        });
+        prepared_all.push(prepared);
+    }
+
+    let start = Instant::now();
+    let mut handles = Vec::with_capacity(cfg.requests);
+    for request in requests {
+        let handle = server
+            .submit(request)
+            .unwrap_or_else(|e| panic!("the load generator's server refused a request: {e}"));
+        handles.push(handle);
+    }
+
+    // The clock stops at the last *response*; checksumming the returned
+    // memory images is generator-side verification work, done after.
+    let mut responses = Vec::with_capacity(cfg.requests);
+    for handle in handles {
+        responses.push(handle.wait().expect("serving worker died mid-load"));
+    }
+    let elapsed_ns = start.elapsed().as_nanos();
+
+    let mut checksums = Vec::with_capacity(cfg.requests);
+    for (response, prepared) in responses.into_iter().zip(&prepared_all) {
+        let run = response.outcome?;
+        checksums.push(checksum_bytes(run.result, prepared, &response.mem));
+    }
+
+    let workers = server.workers();
+    let stats = server.shutdown();
+    let secs = (elapsed_ns as f64 / 1e9).max(1e-9);
+    Ok(LoadReport {
+        requests: cfg.requests,
+        workers,
+        elapsed_ns,
+        requests_per_sec: cfg.requests as f64 / secs,
+        checksums,
+        stats,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_load() -> LoadConfig {
+        let mut cfg = LoadConfig::catalogue(32, 24);
+        cfg.kernels.truncate(3);
+        cfg.targets.truncate(3);
+        cfg
+    }
+
+    #[test]
+    fn loads_are_bit_identical_across_worker_counts() {
+        let sequential = run_load(&small_load()).unwrap();
+        let parallel = run_load(&small_load().with_workers(4)).unwrap();
+        assert_eq!(sequential.checksums, parallel.checksums);
+        assert_eq!(sequential.requests, 24);
+        assert_eq!(parallel.workers, 4);
+        // Mixed-module traffic: one shared engine per kernel module, one
+        // compile per (module, target, options) triple, zero losses.
+        for report in [&sequential, &parallel] {
+            assert_eq!(report.stats.engines, 3);
+            assert_eq!(report.stats.cache.compiles, 9);
+            assert_eq!(report.stats.accepted, 24);
+            assert_eq!(report.stats.completed, 24);
+            assert_eq!(report.stats.in_flight(), 0);
+        }
+    }
+
+    #[test]
+    fn bounded_cache_loads_evict_but_stay_correct() {
+        let unbounded = run_load(&small_load()).unwrap();
+        let churned = run_load(&small_load().with_workers(2).with_cache_capacity(1)).unwrap();
+        assert_eq!(unbounded.checksums, churned.checksums);
+        assert!(
+            churned.stats.cache.evictions > 0,
+            "a 1-entry cache over 3 targets must evict"
+        );
+    }
+
+    #[test]
+    fn report_rendering_mentions_the_serving_counters() {
+        let report = run_load(&small_load()).unwrap();
+        let text = report.render();
+        assert!(text.contains("req/s"));
+        assert!(text.contains("high water"));
+        assert!(text.contains("online compilations"));
+        assert!(text.contains("shared deployments"));
+    }
+}

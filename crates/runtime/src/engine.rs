@@ -34,7 +34,16 @@
 //!   thread racing on the same cold key finds the marker and waits on it
 //!   instead of compiling again. Two threads racing on one cold key produce
 //!   **exactly one** compilation — the waiter counts as a cache hit;
-//! * the [`CacheStats`] counters are atomic.
+//! * the [`CacheStats`] counters live **inside the shards**, mutated only
+//!   under the owning shard's lock, and [`ExecutionEngine::snapshot`] reads
+//!   them with every shard lock held at once. A snapshot taken while workers
+//!   are mid-flight is therefore *consistent*: it never tears a single
+//!   lookup apart (each lookup bumps exactly one counter, atomically with
+//!   the map change it describes), successive snapshots are pointwise
+//!   non-decreasing, and `compiles - evictions` always equals the number of
+//!   resident compiled entries ([`CacheSnapshot::live`]). The serving layer
+//!   ([`crate::serve`]) relies on exactly these guarantees when it reports
+//!   cache counters from a live worker pool.
 //!
 //! # Eviction
 //!
@@ -259,6 +268,35 @@ enum ShardEntry {
 #[derive(Debug, Default)]
 struct Shard {
     entries: HashMap<CacheKey, ShardEntry>,
+    /// Counters for events on this shard's keys, mutated only under the
+    /// shard lock — atomically with the map change each one describes — so
+    /// [`ExecutionEngine::snapshot`] (which holds every shard lock at once)
+    /// observes a consistent cross-shard total.
+    stats: CacheStats,
+    /// Online-compilation work units spent on this shard's keys.
+    online_work: u64,
+}
+
+/// A consistent view of the engine's cache, taken with every shard lock held
+/// at once (see [`ExecutionEngine::snapshot`]).
+///
+/// Because each counter is updated under its shard's lock, atomically with
+/// the cache mutation it describes, any snapshot — even one taken while
+/// worker threads are mid-lookup — satisfies:
+///
+/// * `stats.lookups() == stats.compiles + stats.hits` (definitional);
+/// * `live == stats.compiles - stats.evictions` — no lookup is ever half
+///   counted;
+/// * successive snapshots are pointwise non-decreasing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheSnapshot {
+    /// Counter totals at the snapshot instant.
+    pub stats: CacheStats,
+    /// Total online-compilation work units spent at the snapshot instant.
+    pub online_work: u64,
+    /// Compiled entries resident at the snapshot instant; always exactly
+    /// `stats.compiles - stats.evictions`.
+    pub live: usize,
 }
 
 /// Unwind-safety net for the compiling thread: if `compile_module` panics,
@@ -312,10 +350,6 @@ pub struct ExecutionEngine {
     len: AtomicUsize,
     /// LRU bound on `len`; 0 means unbounded.
     capacity: AtomicUsize,
-    compiles: AtomicU64,
-    hits: AtomicU64,
-    evictions: AtomicU64,
-    online_work: AtomicU64,
 }
 
 impl ExecutionEngine {
@@ -332,10 +366,6 @@ impl ExecutionEngine {
             clock: AtomicU64::new(0),
             len: AtomicUsize::new(0),
             capacity: AtomicUsize::new(0),
-            compiles: AtomicU64::new(0),
-            hits: AtomicU64::new(0),
-            evictions: AtomicU64::new(0),
-            online_work: AtomicU64::new(0),
         }
     }
 
@@ -366,7 +396,7 @@ impl ExecutionEngine {
     /// (summed [`JitStats::total_work`] over every compile, including
     /// recompiles after eviction).
     pub fn online_work(&self) -> u64 {
-        self.online_work.load(Ordering::Relaxed)
+        self.snapshot().online_work
     }
 
     fn shard_for(&self, key: &CacheKey) -> &Mutex<Shard> {
@@ -396,8 +426,9 @@ impl ExecutionEngine {
             match guard.entries.get_mut(&key) {
                 Some(ShardEntry::Ready(ready)) => {
                     ready.stamp = self.clock.fetch_add(1, Ordering::Relaxed);
-                    self.hits.fetch_add(1, Ordering::Relaxed);
-                    return Ok(Arc::clone(&ready.compiled));
+                    let compiled = Arc::clone(&ready.compiled);
+                    guard.stats.hits += 1;
+                    return Ok(compiled);
                 }
                 Some(ShardEntry::InFlight(cell)) => Role::Waiter(Arc::clone(cell)),
                 None => {
@@ -412,7 +443,14 @@ impl ExecutionEngine {
         match role {
             Role::Waiter(cell) => match cell.wait() {
                 Ok(compiled) => {
-                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    // The waiter's lookup counts as a hit; like every other
+                    // counter update it happens under the shard lock so a
+                    // concurrent snapshot stays consistent.
+                    shard
+                        .lock()
+                        .expect("engine cache shard poisoned")
+                        .stats
+                        .hits += 1;
                     Ok(Arc::clone(compiled))
                 }
                 Err(e) => Err(EngineError::Jit(e.clone())),
@@ -457,17 +495,17 @@ impl ExecutionEngine {
                                     stamp: self.clock.fetch_add(1, Ordering::Relaxed),
                                 }),
                             );
-                            // `len` moves with the insert, under the same
-                            // shard lock eviction removes under — so the
-                            // counter can never go negative transiently,
+                            // The counters and `len` move with the insert,
+                            // under the same shard lock eviction removes
+                            // under — so a concurrent snapshot can never see
+                            // the entry without its compile (or vice versa),
                             // whatever order racing inserts and evictions
                             // interleave in.
+                            locked.stats.compiles += 1;
+                            locked.online_work += jit.total_work();
                             self.len.fetch_add(1, Ordering::Relaxed);
                         }
                         guard.armed = false;
-                        self.compiles.fetch_add(1, Ordering::Relaxed);
-                        self.online_work
-                            .fetch_add(jit.total_work(), Ordering::Relaxed);
                         let _ = cell.set(Ok(Arc::clone(&compiled)));
                         self.enforce_capacity();
                         Ok(compiled)
@@ -525,7 +563,7 @@ impl ExecutionEngine {
                 // Decremented under the same shard lock the entry's insert
                 // incremented under; see `program_for`.
                 self.len.fetch_sub(1, Ordering::Relaxed);
-                self.evictions.fetch_add(1, Ordering::Relaxed);
+                guard.stats.evictions += 1;
             }
         }
         // Either we evicted, or the candidate was touched/removed meanwhile;
@@ -647,11 +685,46 @@ impl ExecutionEngine {
     }
 
     /// Code-cache counters since deployment.
+    ///
+    /// This is the [`CacheSnapshot::stats`] field of a consistent
+    /// [`ExecutionEngine::snapshot`]: safe to read while worker threads are
+    /// serving (it never observes a torn lookup), pointwise monotonic across
+    /// successive reads.
     pub fn stats(&self) -> CacheStats {
-        CacheStats {
-            compiles: self.compiles.load(Ordering::Relaxed),
-            hits: self.hits.load(Ordering::Relaxed),
-            evictions: self.evictions.load(Ordering::Relaxed),
+        self.snapshot().stats
+    }
+
+    /// Take a consistent cross-shard snapshot of the cache.
+    ///
+    /// All [`SHARD_COUNT`] shard locks are held simultaneously while the
+    /// counters are summed, so the result reflects one instant: no lookup,
+    /// compile or eviction is ever half-counted, and
+    /// `live == stats.compiles - stats.evictions` holds in every snapshot —
+    /// the guarantee the serving layer's live statistics rely on. Locks are
+    /// acquired in shard order and every other engine path holds at most one
+    /// shard lock at a time, so the sweep cannot deadlock.
+    pub fn snapshot(&self) -> CacheSnapshot {
+        let guards: Vec<_> = self
+            .shards
+            .iter()
+            .map(|s| s.lock().expect("engine cache shard poisoned"))
+            .collect();
+        let mut stats = CacheStats::default();
+        let mut online_work = 0u64;
+        let mut live = 0usize;
+        for g in &guards {
+            stats += g.stats;
+            online_work += g.online_work;
+            live += g
+                .entries
+                .values()
+                .filter(|e| matches!(e, ShardEntry::Ready(_)))
+                .count();
+        }
+        CacheSnapshot {
+            stats,
+            online_work,
+            live,
         }
     }
 
@@ -991,6 +1064,35 @@ mod tests {
             compiles_before + 1,
             "powerpc was the eviction victim"
         );
+    }
+
+    #[test]
+    fn snapshots_tie_live_entries_to_compiles_minus_evictions() {
+        let engine = deployed();
+        engine.set_cache_capacity(2);
+        let options = JitOptions::split();
+        let mut prev = engine.snapshot();
+        assert_eq!(prev.live, 0);
+        for target in TargetDesc::presets() {
+            engine.program_for(&target, &options).unwrap();
+            engine.program_for(&target, &options).unwrap();
+            let snap = engine.snapshot();
+            // The consistency invariant the serving layer reads stats under.
+            assert_eq!(
+                snap.live,
+                (snap.stats.compiles - snap.stats.evictions) as usize
+            );
+            assert_eq!(snap.stats.lookups(), snap.stats.compiles + snap.stats.hits);
+            // Pointwise monotonic across successive snapshots.
+            assert!(snap.stats.compiles >= prev.stats.compiles);
+            assert!(snap.stats.hits >= prev.stats.hits);
+            assert!(snap.stats.evictions >= prev.stats.evictions);
+            assert!(snap.online_work >= prev.online_work);
+            prev = snap;
+        }
+        assert_eq!(prev.live, 2, "the LRU bound caps resident entries");
+        assert_eq!(engine.stats(), prev.stats, "stats() is the snapshot view");
+        assert_eq!(engine.online_work(), prev.online_work);
     }
 
     #[test]

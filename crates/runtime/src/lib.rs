@@ -14,6 +14,10 @@
 //! * [`sweep`] fans a list of independent jobs (kernel × target × repeat
 //!   matrices) across scoped worker threads with per-worker amortized state
 //!   and deterministic result order.
+//! * [`serve`] is the request front-end for long-running deployments: a
+//!   bounded MPMC work queue with backpressure, a worker pool, and shared
+//!   engines deduplicated by module fingerprint, with graceful lossless
+//!   shutdown and live [`serve::ServerStats`].
 //! * [`Executor`] is a core-oriented facade over the engine: it deploys a
 //!   bytecode module with fixed [`JitOptions`](splitc_jit::JitOptions) and
 //!   addresses execution by [`Core`].
@@ -65,10 +69,11 @@ mod kpn;
 mod offload;
 mod platform;
 mod scheduler;
+pub mod serve;
 mod sweep;
 
 pub use engine::{
-    CacheStats, CompiledModule, EngineError, Execution, ExecutionEngine, SHARD_COUNT,
+    CacheSnapshot, CacheStats, CompiledModule, EngineError, Execution, ExecutionEngine, SHARD_COUNT,
 };
 pub use executor::{Executor, RunOutcome, RuntimeError};
 pub use kpn::{pipeline, profile_pipeline, ChannelId, KpnReport, Network, Process, ProcessId};

@@ -1,0 +1,993 @@
+//! The async serving layer: a bounded request queue over shared engines.
+//!
+//! Split compilation's deployment story (Cohen & Rohou, DAC 2010) is that one
+//! offline-compiled module serves *many* heterogeneous consumers, each paying
+//! only the cheap online step. This module is the request front-end of that
+//! story: clients — however many threads they live on — submit [`Request`]s
+//! (`module × kernel × target × args`) into a **bounded MPMC work queue**, a
+//! pool of worker threads drains it, and every distinct deployed module is
+//! backed by **one shared [`ExecutionEngine`]**, deduplicated by module
+//! fingerprint in a sharded registry. Concurrent requests for the same
+//! module therefore share one compiled, deploy-time-prepared artifact per
+//! (target, JIT options) pair — the engine's sharded, in-flight-deduplicated
+//! cache guarantees exactly one online compilation however many requests
+//! race on a cold pair.
+//!
+//! # Backpressure
+//!
+//! The queue is bounded ([`ServerConfig::queue_capacity`]). [`Server::submit`]
+//! blocks until space frees up (so a fast producer is throttled to the pool's
+//! drain rate instead of growing an unbounded backlog);
+//! [`Server::try_submit`] never blocks and hands the request back in
+//! [`SubmitError::QueueFull`] so the caller can shed load or retry.
+//!
+//! # Responses
+//!
+//! Every accepted request yields a [`ResponseHandle`] — a per-request
+//! rendezvous channel (plain `mpsc`, no external async runtime) on which
+//! exactly one [`Response`] arrives: the [`Execution`] outcome plus the
+//! request's memory buffer, which travels *with* the request through the
+//! queue and back, so serving moves no bytes it doesn't have to.
+//!
+//! # Shutdown
+//!
+//! [`Server::shutdown`] closes the queue to new submissions, wakes every
+//! worker and blocked submitter, **drains all accepted work**, joins the
+//! workers and returns the final [`ServerStats`]. An accepted request is
+//! never dropped: its response arrives even if shutdown was requested while
+//! it sat in the queue. Dropping the server performs the same graceful
+//! shutdown.
+//!
+//! # Example
+//!
+//! ```
+//! use splitc_minic::compile_source;
+//! use splitc_jit::JitOptions;
+//! use splitc_runtime::serve::{Request, ServeModule, Server, ServerConfig};
+//! use splitc_targets::{MachineValue, TargetDesc};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let module = compile_source("fn triple(x: i32) -> i32 { return 3 * x; }", "k")?;
+//! let module = ServeModule::new(module);
+//! let server = Server::start(ServerConfig::default().with_workers(2));
+//!
+//! let handles: Vec<_> = (0..10)
+//!     .map(|i| {
+//!         server
+//!             .submit(Request {
+//!                 module: module.clone(),
+//!                 kernel: "triple".into(),
+//!                 target: TargetDesc::x86_sse(),
+//!                 options: JitOptions::split(),
+//!                 args: vec![MachineValue::Int(i)],
+//!                 mem: vec![0u8; 64],
+//!             })
+//!             .expect("server is accepting")
+//!     })
+//!     .collect();
+//! for (i, handle) in handles.into_iter().enumerate() {
+//!     let response = handle.wait()?;
+//!     let run = response.outcome?;
+//!     assert_eq!(run.result, Some(MachineValue::Int(3 * i as i64)));
+//! }
+//!
+//! let stats = server.shutdown();
+//! assert_eq!(stats.completed, 10);
+//! assert_eq!(stats.cache.compiles, 1, "ten requests share one compilation");
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::engine::{CacheStats, EngineError, Execution, ExecutionEngine};
+use splitc_jit::JitOptions;
+use splitc_targets::{Fnv1a, FramePool, MachineValue, TargetDesc};
+use splitc_vbc::{encode_module, Module};
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::error::Error;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{self, Receiver, SyncSender, TryRecvError};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// Number of independently locked shards in the module → engine registry.
+///
+/// Requests for different modules resolve their engines without contending
+/// on one global lock; requests for the *same* module land on the same shard
+/// and the same shared engine.
+pub const ENGINE_SHARDS: usize = 8;
+
+/// Fingerprint of a module's canonical wire encoding ([`Fnv1a`] over
+/// [`encode_module`]).
+///
+/// Two modules with equal encodings — whatever their provenance — fingerprint
+/// identically, which is exactly the equivalence the serving layer
+/// deduplicates deployments by: byte-identical bytecode shares one engine,
+/// one code cache, one compiled artifact per (target, options) pair. (The
+/// registry additionally verifies the encoding bytes on every hit, so a
+/// 64-bit collision between *different* modules fails loudly instead of
+/// silently serving the wrong code.)
+pub fn module_fingerprint(module: &Module) -> u64 {
+    Fnv1a::hash(&encode_module(module))
+}
+
+/// A deployed module handle: the shared bytecode, its canonical wire
+/// encoding and the encoding's fingerprint — all computed once at
+/// deployment, so per-request submission never re-encodes the module.
+///
+/// Cloning is cheap (two [`Arc`] bumps and a copied `u64`); clients
+/// typically deploy once and clone the handle into every request.
+#[derive(Debug, Clone)]
+pub struct ServeModule {
+    module: Arc<Module>,
+    encoded: Arc<[u8]>,
+    fingerprint: u64,
+}
+
+impl ServeModule {
+    /// Deploy `module` for serving, computing its fingerprint.
+    pub fn new(module: Module) -> Self {
+        ServeModule::from_arc(Arc::new(module))
+    }
+
+    /// Deploy an already-shared module without cloning it.
+    pub fn from_arc(module: Arc<Module>) -> Self {
+        let encoded: Arc<[u8]> = encode_module(&module).into();
+        let fingerprint = Fnv1a::hash(&encoded);
+        ServeModule {
+            module,
+            encoded,
+            fingerprint,
+        }
+    }
+
+    /// The fingerprint deployments are deduplicated by.
+    pub fn fingerprint(&self) -> u64 {
+        self.fingerprint
+    }
+
+    /// The deployed bytecode module.
+    pub fn module(&self) -> &Module {
+        &self.module
+    }
+
+    /// The deployed module as a shareable handle.
+    pub fn module_arc(&self) -> Arc<Module> {
+        Arc::clone(&self.module)
+    }
+}
+
+/// One unit of client work: run `kernel` from `module` on `target`.
+///
+/// The request owns its memory buffer; it travels through the queue with the
+/// request and comes back in the [`Response`], so the serving path never
+/// copies kernel memory.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// The deployed module to serve from.
+    pub module: ServeModule,
+    /// Kernel (function) name inside the module.
+    pub kernel: String,
+    /// The core to compile for and simulate on.
+    pub target: TargetDesc,
+    /// Online-compilation configuration.
+    pub options: JitOptions,
+    /// Argument values, in signature order.
+    pub args: Vec<MachineValue>,
+    /// The flat memory the kernel runs against (inputs prepared by the
+    /// client; outputs read back from [`Response::mem`]).
+    pub mem: Vec<u8>,
+}
+
+/// The answer to one [`Request`]: the execution outcome plus the request's
+/// memory buffer, handed back so the client can read kernel outputs.
+#[derive(Debug)]
+pub struct Response {
+    /// The run's measurements, or the engine error that stopped it.
+    pub outcome: Result<Execution, EngineError>,
+    /// The request's memory, after the kernel ran against it (unchanged if
+    /// `outcome` is an error that prevented execution).
+    pub mem: Vec<u8>,
+    /// Index of the worker that served the request (diagnostic).
+    pub worker: usize,
+}
+
+/// The serving thread disappeared before answering (a worker panicked).
+///
+/// Graceful [`Server::shutdown`] never produces this: accepted requests are
+/// always drained and answered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResponseLost;
+
+impl fmt::Display for ResponseLost {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "the serving worker disappeared before responding")
+    }
+}
+
+impl Error for ResponseLost {}
+
+/// A per-request rendezvous on which exactly one [`Response`] arrives.
+#[derive(Debug)]
+pub struct ResponseHandle {
+    rx: Receiver<Response>,
+}
+
+impl ResponseHandle {
+    /// Block until the response arrives.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ResponseLost`] if the serving worker died before answering.
+    pub fn wait(self) -> Result<Response, ResponseLost> {
+        self.rx.recv().map_err(|_| ResponseLost)
+    }
+
+    /// Poll for the response without blocking (`Ok(None)` = not ready yet).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ResponseLost`] if the serving worker died before answering.
+    pub fn try_wait(&mut self) -> Result<Option<Response>, ResponseLost> {
+        match self.rx.try_recv() {
+            Ok(response) => Ok(Some(response)),
+            Err(TryRecvError::Empty) => Ok(None),
+            Err(TryRecvError::Disconnected) => Err(ResponseLost),
+        }
+    }
+}
+
+/// Why a submission was refused. The request is handed back in both cases so
+/// the caller can retry, reroute or shed it.
+#[derive(Debug)]
+pub enum SubmitError {
+    /// The bounded queue is at capacity ([`Server::try_submit`] only;
+    /// blocking [`Server::submit`] waits instead).
+    QueueFull(Box<Request>),
+    /// The server is shutting down and accepts no new work.
+    ShuttingDown(Box<Request>),
+}
+
+impl SubmitError {
+    /// Recover the refused request.
+    pub fn into_request(self) -> Request {
+        match self {
+            SubmitError::QueueFull(r) | SubmitError::ShuttingDown(r) => *r,
+        }
+    }
+}
+
+impl fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SubmitError::QueueFull(_) => write!(f, "serving queue is full"),
+            SubmitError::ShuttingDown(_) => write!(f, "server is shutting down"),
+        }
+    }
+}
+
+impl Error for SubmitError {}
+
+/// Configuration of a [`Server`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServerConfig {
+    /// Worker threads (0 = one per host core, the sweep `--jobs 0`
+    /// convention).
+    pub workers: usize,
+    /// Bound on queued (accepted but not yet running) requests; clamped to
+    /// at least 1. This is the backpressure knob: blocking submits throttle
+    /// producers to the drain rate once the queue holds this many requests.
+    pub queue_capacity: usize,
+    /// Per-engine LRU bound on compiled (target, options) pairs
+    /// ([`ExecutionEngine::set_cache_capacity`]); 0 = unbounded.
+    pub cache_capacity: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: 0,
+            queue_capacity: 256,
+            cache_capacity: 0,
+        }
+    }
+}
+
+impl ServerConfig {
+    /// Same configuration with `workers` worker threads.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Same configuration with a queue bound of `capacity` requests.
+    pub fn with_queue_capacity(mut self, capacity: usize) -> Self {
+        self.queue_capacity = capacity;
+        self
+    }
+
+    /// Same configuration with a per-engine code-cache bound.
+    pub fn with_cache_capacity(mut self, capacity: usize) -> Self {
+        self.cache_capacity = capacity;
+        self
+    }
+}
+
+/// Counters of a running (or finished) [`Server`].
+///
+/// `accepted`, `completed` and `rejected` are monotonic; after
+/// [`Server::shutdown`] returns, `completed == accepted` — the
+/// zero-loss-drain guarantee. The `cache` totals aggregate every engine's
+/// *consistent* snapshot (see [`ExecutionEngine::snapshot`]): each engine's
+/// contribution is internally torn-free, so `cache.lookups()` never
+/// double- or half-counts a request's engine lookup.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServerStats {
+    /// Requests accepted into the queue.
+    pub accepted: u64,
+    /// Requests fully served (their response was produced).
+    pub completed: u64,
+    /// Non-blocking submissions refused because the queue was full.
+    pub rejected: u64,
+    /// Requests currently sitting in the queue.
+    pub queue_depth: usize,
+    /// Deepest the queue ever got — the backpressure high-water mark.
+    pub queue_high_water: usize,
+    /// Distinct deployed modules (shared engines) the server holds.
+    pub engines: usize,
+    /// Served-request counts per target name, sorted by name.
+    pub per_target: Vec<(String, u64)>,
+    /// Code-cache counters aggregated over every engine.
+    pub cache: CacheStats,
+    /// Online-compilation work units aggregated over every engine.
+    pub online_work: u64,
+}
+
+impl ServerStats {
+    /// Requests accepted but not yet served (queued or running).
+    ///
+    /// [`Server::stats`] orders its reads so `completed <= accepted` in
+    /// every snapshot; the subtraction still saturates defensively for
+    /// stats values assembled any other way.
+    pub fn in_flight(&self) -> u64 {
+        self.accepted.saturating_sub(self.completed)
+    }
+}
+
+/// What a refused [`BoundedQueue::push`] hands back.
+enum PushRefused<T> {
+    /// At capacity (non-blocking pushes only).
+    Full(T),
+    /// The queue was closed.
+    Closed(T),
+}
+
+struct QueueState<T> {
+    items: VecDeque<T>,
+    open: bool,
+    high_water: usize,
+    /// Items ever accepted, counted under the lock **with** the push that
+    /// makes them visible — so an observer can never see a consumer finish
+    /// an item before it was counted as accepted.
+    accepted: u64,
+}
+
+/// A bounded multi-producer multi-consumer queue on one mutex and two
+/// condvars — the vendored-deps-friendly core of the serving layer.
+///
+/// Closing stops *intake* only: pending items drain normally, then poppers
+/// see `None`. That asymmetry is what makes graceful shutdown lossless.
+struct BoundedQueue<T> {
+    state: Mutex<QueueState<T>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+    capacity: usize,
+}
+
+impl<T> BoundedQueue<T> {
+    fn new(capacity: usize) -> Self {
+        BoundedQueue {
+            state: Mutex::new(QueueState {
+                items: VecDeque::new(),
+                open: true,
+                high_water: 0,
+                accepted: 0,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Enqueue `item`. With `block`, waits for space; otherwise refuses a
+    /// full queue immediately. Refusals hand the item back.
+    fn push(&self, item: T, block: bool) -> Result<(), PushRefused<T>> {
+        let mut state = self.state.lock().expect("serve queue poisoned");
+        loop {
+            if !state.open {
+                return Err(PushRefused::Closed(item));
+            }
+            if state.items.len() < self.capacity {
+                break;
+            }
+            if !block {
+                return Err(PushRefused::Full(item));
+            }
+            state = self.not_full.wait(state).expect("serve queue poisoned");
+        }
+        state.items.push_back(item);
+        state.high_water = state.high_water.max(state.items.len());
+        state.accepted += 1;
+        drop(state);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Dequeue the oldest item, blocking while the queue is open but empty.
+    /// Returns `None` only once the queue is closed *and* drained.
+    fn pop(&self) -> Option<T> {
+        let mut state = self.state.lock().expect("serve queue poisoned");
+        loop {
+            if let Some(item) = state.items.pop_front() {
+                drop(state);
+                self.not_full.notify_one();
+                return Some(item);
+            }
+            if !state.open {
+                return None;
+            }
+            state = self.not_empty.wait(state).expect("serve queue poisoned");
+        }
+    }
+
+    /// Close the queue to new items and wake everyone blocked on it.
+    fn close(&self) {
+        self.state.lock().expect("serve queue poisoned").open = false;
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+
+    fn depth(&self) -> usize {
+        self.state.lock().expect("serve queue poisoned").items.len()
+    }
+
+    fn high_water(&self) -> usize {
+        self.state.lock().expect("serve queue poisoned").high_water
+    }
+
+    fn accepted(&self) -> u64 {
+        self.state.lock().expect("serve queue poisoned").accepted
+    }
+}
+
+/// A queued unit of work: the request plus its response rendezvous.
+struct Job {
+    request: Request,
+    tx: SyncSender<Response>,
+}
+
+/// A registry entry: the engine plus the canonical encoding of the module it
+/// was deployed from, kept so every fingerprint hit can be verified against
+/// the actual bytes.
+struct EngineEntry {
+    encoded: Arc<[u8]>,
+    engine: Arc<ExecutionEngine>,
+}
+
+/// State shared between the submission API and the worker pool.
+struct Inner {
+    queue: BoundedQueue<Job>,
+    /// Module fingerprint → shared engine, sharded by fingerprint.
+    engines: [Mutex<HashMap<u64, EngineEntry>>; ENGINE_SHARDS],
+    cache_capacity: usize,
+    completed: AtomicU64,
+    rejected: AtomicU64,
+    /// Served-request counts per target name, one map per worker so the hot
+    /// loop never contends on a shared diagnostic counter; [`Server::stats`]
+    /// merges them.
+    per_target: Vec<Mutex<BTreeMap<String, u64>>>,
+}
+
+impl Inner {
+    /// The shared engine for `module`, created on first sight. Racing
+    /// requests for one fingerprint rendezvous on the registry shard's lock
+    /// and share a single engine — creation is cheap (no compilation), so it
+    /// happens under the lock.
+    ///
+    /// # Panics
+    ///
+    /// Panics if two modules with *different* encodings collide on one
+    /// 64-bit fingerprint (probability ~2⁻⁶⁴ per pair): serving the wrong
+    /// program silently would be far worse than failing loudly. The check is
+    /// an `Arc` pointer comparison in the common case (clients clone one
+    /// deployed handle) and a byte comparison otherwise.
+    fn engine_for(&self, module: &ServeModule) -> Arc<ExecutionEngine> {
+        let shard = &self.engines[(module.fingerprint() % ENGINE_SHARDS as u64) as usize];
+        let mut guard = shard.lock().expect("engine registry shard poisoned");
+        let entry = guard.entry(module.fingerprint()).or_insert_with(|| {
+            let engine = ExecutionEngine::from_arc(module.module_arc());
+            if self.cache_capacity > 0 {
+                engine.set_cache_capacity(self.cache_capacity);
+            }
+            EngineEntry {
+                encoded: Arc::clone(&module.encoded),
+                engine: Arc::new(engine),
+            }
+        });
+        assert!(
+            Arc::ptr_eq(&entry.encoded, &module.encoded) || entry.encoded == module.encoded,
+            "module fingerprint collision: two different modules hash to {:#018x}",
+            module.fingerprint()
+        );
+        Arc::clone(&entry.engine)
+    }
+}
+
+/// The serving front-end: a bounded request queue drained by a worker pool
+/// over fingerprint-deduplicated shared engines.
+///
+/// See the [module documentation](self) for the full contract. The server is
+/// `Send + Sync`; clients on any number of threads submit through `&self`.
+pub struct Server {
+    inner: Arc<Inner>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+    worker_count: usize,
+}
+
+impl fmt::Debug for Server {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Server")
+            .field("workers", &self.worker_count)
+            .field("queue_capacity", &self.inner.queue.capacity)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Server {
+    /// Start a server: spawn the worker pool and open the queue.
+    pub fn start(config: ServerConfig) -> Self {
+        let worker_count = if config.workers == 0 {
+            crate::sweep::default_jobs()
+        } else {
+            config.workers
+        };
+        let inner = Arc::new(Inner {
+            queue: BoundedQueue::new(config.queue_capacity),
+            engines: std::array::from_fn(|_| Mutex::new(HashMap::new())),
+            cache_capacity: config.cache_capacity,
+            completed: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            per_target: (0..worker_count)
+                .map(|_| Mutex::new(BTreeMap::new()))
+                .collect(),
+        });
+        let workers = (0..worker_count)
+            .map(|worker| {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("serve-{worker}"))
+                    .spawn(move || worker_loop(&inner, worker))
+                    .expect("cannot spawn serving worker")
+            })
+            .collect();
+        Server {
+            inner,
+            workers: Mutex::new(workers),
+            worker_count,
+        }
+    }
+
+    /// The number of worker threads (a `workers: 0` request resolved to the
+    /// host's core count).
+    pub fn workers(&self) -> usize {
+        self.worker_count
+    }
+
+    /// Submit a request, blocking while the queue is full.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SubmitError::ShuttingDown`] (with the request) once
+    /// [`Server::shutdown`] has begun.
+    pub fn submit(&self, request: Request) -> Result<ResponseHandle, SubmitError> {
+        self.enqueue(request, true)
+    }
+
+    /// Submit a request without blocking.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SubmitError::QueueFull`] when the queue is at capacity
+    /// (counted in [`ServerStats::rejected`]) or
+    /// [`SubmitError::ShuttingDown`] once shutdown has begun; both hand the
+    /// request back.
+    pub fn try_submit(&self, request: Request) -> Result<ResponseHandle, SubmitError> {
+        self.enqueue(request, false)
+    }
+
+    fn enqueue(&self, request: Request, block: bool) -> Result<ResponseHandle, SubmitError> {
+        // Exactly one response ever crosses the channel, so a rendezvous
+        // buffer of 1 means the worker's send never blocks — even if the
+        // client dropped the handle without waiting.
+        let (tx, rx) = mpsc::sync_channel(1);
+        match self.inner.queue.push(Job { request, tx }, block) {
+            // The queue counted the acceptance under its lock, atomically
+            // with making the job visible to workers.
+            Ok(()) => Ok(ResponseHandle { rx }),
+            Err(PushRefused::Full(job)) => {
+                self.inner.rejected.fetch_add(1, Ordering::Relaxed);
+                Err(SubmitError::QueueFull(Box::new(job.request)))
+            }
+            Err(PushRefused::Closed(job)) => Err(SubmitError::ShuttingDown(Box::new(job.request))),
+        }
+    }
+
+    /// Requests currently waiting in the queue.
+    pub fn queue_depth(&self) -> usize {
+        self.inner.queue.depth()
+    }
+
+    /// Current counters; safe to read while the pool is serving.
+    pub fn stats(&self) -> ServerStats {
+        let mut cache = CacheStats::default();
+        let mut online_work = 0u64;
+        let mut engines = 0usize;
+        for shard in &self.inner.engines {
+            let guard = shard.lock().expect("engine registry shard poisoned");
+            engines += guard.len();
+            for entry in guard.values() {
+                let snap = entry.engine.snapshot();
+                cache += snap.stats;
+                online_work += snap.online_work;
+            }
+        }
+        let mut per_target: BTreeMap<String, u64> = BTreeMap::new();
+        for worker_counts in &self.inner.per_target {
+            for (name, count) in worker_counts
+                .lock()
+                .expect("per-target counters poisoned")
+                .iter()
+            {
+                *per_target.entry(name.clone()).or_insert(0) += count;
+            }
+        }
+        // `completed` is read *before* `accepted`: both only grow and a job
+        // is accepted (under the queue lock) before any worker can complete
+        // it, so this order guarantees `completed <= accepted` in every
+        // snapshot, however the reads race live workers.
+        let completed = self.inner.completed.load(Ordering::Relaxed);
+        ServerStats {
+            accepted: self.inner.queue.accepted(),
+            completed,
+            rejected: self.inner.rejected.load(Ordering::Relaxed),
+            queue_depth: self.inner.queue.depth(),
+            queue_high_water: self.inner.queue.high_water(),
+            engines,
+            per_target: per_target.into_iter().collect(),
+            cache,
+            online_work,
+        }
+    }
+
+    /// Gracefully shut down: refuse new submissions, drain every accepted
+    /// request, join the workers and return the final counters
+    /// (`completed == accepted` on return). Idempotent — later calls just
+    /// return the final stats.
+    ///
+    /// # Panics
+    ///
+    /// Propagates a panic from a worker thread (which would also have lost
+    /// that worker's in-flight response).
+    pub fn shutdown(&self) -> ServerStats {
+        self.inner.queue.close();
+        // The worker-list lock is held across the joins, so a concurrent
+        // shutdown (or drop) blocks here until the first caller's drain
+        // finishes — every shutdown returns genuinely final counters.
+        let mut workers = self.workers.lock().expect("worker list poisoned");
+        for worker in workers.drain(..) {
+            worker.join().expect("serving worker panicked");
+        }
+        drop(workers);
+        self.stats()
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        // A dropped server still drains accepted work; clients that kept
+        // their handles see every response. Unlike `shutdown()`, a worker
+        // panic is *not* re-raised here: drop may itself run during an
+        // unwind (e.g. the test that observed ResponseLost), and a second
+        // panic would abort the process and mask the original one.
+        self.inner.queue.close();
+        if let Ok(mut workers) = self.workers.lock() {
+            for worker in workers.drain(..) {
+                let _ = worker.join();
+            }
+        }
+    }
+}
+
+/// One worker: pull jobs until the queue is closed *and* drained, resolving
+/// each request's shared engine by module fingerprint and recycling call
+/// frames from a worker-held [`FramePool`] across every request it serves
+/// (the same per-worker amortization the sweep pool uses).
+fn worker_loop(inner: &Inner, worker: usize) {
+    let mut pool = FramePool::new();
+    while let Some(Job { request, tx }) = inner.queue.pop() {
+        let Request {
+            module,
+            kernel,
+            target,
+            options,
+            args,
+            mut mem,
+        } = request;
+        {
+            // This worker's own map: uncontended in steady state (only
+            // `stats()` ever takes it from another thread), and no key
+            // allocation once a target has been seen.
+            let mut counts = inner.per_target[worker]
+                .lock()
+                .expect("per-target counters poisoned");
+            if let Some(count) = counts.get_mut(&target.name) {
+                *count += 1;
+            } else {
+                counts.insert(target.name.clone(), 1);
+            }
+        }
+        let engine = inner.engine_for(&module);
+        let outcome = engine.run_pooled(&target, &options, &kernel, &args, &mut mem, &mut pool);
+        inner.completed.fetch_add(1, Ordering::Relaxed);
+        // The client may have dropped its handle without waiting; a refused
+        // send is not an error.
+        let _ = tx.send(Response {
+            outcome,
+            mem,
+            worker,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use splitc_minic::compile_source;
+
+    fn triple_module() -> ServeModule {
+        ServeModule::new(compile_source("fn triple(x: i32) -> i32 { return 3 * x; }", "k").unwrap())
+    }
+
+    fn triple_request(module: &ServeModule, x: i64) -> Request {
+        Request {
+            module: module.clone(),
+            kernel: "triple".into(),
+            target: TargetDesc::x86_sse(),
+            options: JitOptions::split(),
+            args: vec![MachineValue::Int(x)],
+            mem: vec![0u8; 64],
+        }
+    }
+
+    // --- BoundedQueue: deterministic backpressure semantics ---
+
+    #[test]
+    fn try_push_refuses_a_full_queue_and_hands_the_item_back() {
+        let q = BoundedQueue::new(2);
+        assert!(q.push(1u32, false).is_ok());
+        assert!(q.push(2, false).is_ok());
+        match q.push(3, false) {
+            Err(PushRefused::Full(item)) => assert_eq!(item, 3),
+            _ => panic!("a full queue must refuse non-blocking pushes"),
+        }
+        assert_eq!(q.depth(), 2);
+        assert_eq!(q.high_water(), 2);
+        // Draining makes room again, FIFO order preserved.
+        assert_eq!(q.pop(), Some(1));
+        assert!(q.push(3, false).is_ok());
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), Some(3));
+        assert_eq!(q.high_water(), 2, "high water is a maximum, not a level");
+    }
+
+    #[test]
+    fn blocking_push_waits_for_space_instead_of_refusing() {
+        let q = Arc::new(BoundedQueue::new(1));
+        assert!(q.push(10u32, true).is_ok());
+        let qt = Arc::clone(&q);
+        let pusher = std::thread::spawn(move || qt.push(20, true).is_ok());
+        // The pusher can only finish after this pop frees a slot; if push
+        // wrongly refused instead of blocking, the assert below catches the
+        // missing item.
+        assert_eq!(q.pop(), Some(10));
+        assert!(pusher.join().unwrap());
+        assert_eq!(q.pop(), Some(20));
+    }
+
+    #[test]
+    fn close_refuses_intake_but_drains_pending_items() {
+        let q = BoundedQueue::new(4);
+        assert!(q.push(1u32, false).is_ok());
+        assert!(q.push(2, false).is_ok());
+        q.close();
+        match q.push(3, true) {
+            Err(PushRefused::Closed(item)) => assert_eq!(item, 3),
+            _ => panic!("a closed queue must refuse even blocking pushes"),
+        }
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None, "closed and drained");
+        assert_eq!(q.pop(), None, "stays drained");
+    }
+
+    #[test]
+    fn close_wakes_blocked_poppers() {
+        let q = Arc::new(BoundedQueue::<u32>::new(1));
+        let qt = Arc::clone(&q);
+        let popper = std::thread::spawn(move || qt.pop());
+        q.close();
+        assert_eq!(popper.join().unwrap(), None);
+    }
+
+    // --- Server ---
+
+    #[test]
+    fn server_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<Server>();
+        assert_send_sync::<ServeModule>();
+    }
+
+    #[test]
+    fn identical_modules_share_one_engine() {
+        // Two *separately compiled* modules from one source: equal wire
+        // encodings, equal fingerprints, one engine, one compilation.
+        let a = triple_module();
+        let b = triple_module();
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        assert_eq!(
+            module_fingerprint(a.module()),
+            a.fingerprint(),
+            "the standalone helper and the deployed handle agree"
+        );
+        let server = Server::start(ServerConfig::default().with_workers(2));
+        let ha = server.submit(triple_request(&a, 1)).unwrap();
+        let hb = server.submit(triple_request(&b, 2)).unwrap();
+        assert_eq!(
+            ha.wait().unwrap().outcome.unwrap().result,
+            Some(MachineValue::Int(3))
+        );
+        assert_eq!(
+            hb.wait().unwrap().outcome.unwrap().result,
+            Some(MachineValue::Int(6))
+        );
+        let stats = server.shutdown();
+        assert_eq!(stats.engines, 1, "byte-identical modules deduplicate");
+        assert_eq!(stats.cache.compiles, 1);
+        assert_eq!(stats.accepted, 2);
+        assert_eq!(stats.completed, 2);
+    }
+
+    #[test]
+    fn distinct_modules_get_distinct_engines() {
+        let a = triple_module();
+        let b = ServeModule::new(
+            compile_source("fn triple(x: i32) -> i32 { return x * 3; }", "k").unwrap(),
+        );
+        assert_ne!(a.fingerprint(), b.fingerprint());
+        let server = Server::start(ServerConfig::default().with_workers(1));
+        server
+            .submit(triple_request(&a, 5))
+            .unwrap()
+            .wait()
+            .unwrap();
+        server
+            .submit(triple_request(&b, 5))
+            .unwrap()
+            .wait()
+            .unwrap();
+        let stats = server.shutdown();
+        assert_eq!(stats.engines, 2);
+        assert_eq!(stats.cache.compiles, 2);
+    }
+
+    #[test]
+    fn submissions_after_shutdown_hand_the_request_back() {
+        let module = triple_module();
+        let server = Server::start(ServerConfig::default().with_workers(1));
+        let stats = server.shutdown();
+        assert_eq!(stats.accepted, 0);
+        let err = server.submit(triple_request(&module, 7)).unwrap_err();
+        match err {
+            SubmitError::ShuttingDown(request) => {
+                assert_eq!(request.kernel, "triple");
+                assert_eq!(request.args, vec![MachineValue::Int(7)]);
+            }
+            SubmitError::QueueFull(_) => panic!("a closed queue is not a full queue"),
+        }
+        // try_submit refuses identically, and shutdown stays idempotent.
+        assert!(matches!(
+            server.try_submit(triple_request(&module, 8)),
+            Err(SubmitError::ShuttingDown(_))
+        ));
+        assert_eq!(server.shutdown().accepted, 0);
+    }
+
+    #[test]
+    fn unknown_kernels_come_back_as_engine_errors_with_the_memory() {
+        let module = triple_module();
+        let server = Server::start(ServerConfig::default().with_workers(1));
+        let mut request = triple_request(&module, 1);
+        request.kernel = "nope".into();
+        request.mem = vec![0xaa; 32];
+        let response = server.submit(request).unwrap().wait().unwrap();
+        assert!(matches!(
+            response.outcome,
+            Err(EngineError::UnknownKernel(ref k)) if k == "nope"
+        ));
+        assert_eq!(
+            response.mem,
+            vec![0xaa; 32],
+            "memory is returned either way"
+        );
+        let stats = server.shutdown();
+        assert_eq!(stats.completed, 1, "failed requests still complete");
+    }
+
+    #[test]
+    fn per_target_counts_and_queue_high_water_are_tracked() {
+        let module = triple_module();
+        let server = Server::start(ServerConfig::default().with_workers(2));
+        let mut handles = Vec::new();
+        for i in 0..6 {
+            let mut request = triple_request(&module, i);
+            if i % 2 == 0 {
+                request.target = TargetDesc::powerpc();
+            }
+            handles.push(server.submit(request).unwrap());
+        }
+        for handle in handles {
+            handle.wait().unwrap().outcome.unwrap();
+        }
+        let stats = server.shutdown();
+        assert_eq!(stats.per_target.len(), 2);
+        assert_eq!(
+            stats.per_target.iter().map(|(_, c)| c).sum::<u64>(),
+            stats.completed
+        );
+        assert!(stats
+            .per_target
+            .iter()
+            .any(|(t, c)| t == "powerpc" && *c == 3));
+        assert!(stats
+            .per_target
+            .iter()
+            .any(|(t, c)| t == "x86-sse" && *c == 3));
+        assert!(stats.queue_high_water >= 1);
+        assert_eq!(stats.queue_depth, 0);
+        assert_eq!(stats.rejected, 0);
+    }
+
+    #[test]
+    fn dropping_the_server_drains_accepted_work() {
+        let module = triple_module();
+        let handle;
+        {
+            let server = Server::start(ServerConfig::default().with_workers(1));
+            handle = server.submit(triple_request(&module, 9)).unwrap();
+            // `server` drops here without an explicit shutdown.
+        }
+        let response = handle.wait().expect("drop drains, never discards");
+        assert_eq!(
+            response.outcome.unwrap().result,
+            Some(MachineValue::Int(27))
+        );
+    }
+
+    #[test]
+    fn zero_workers_resolves_to_the_host_core_count() {
+        let server = Server::start(ServerConfig::default());
+        assert_eq!(server.workers(), crate::sweep::default_jobs());
+        server.shutdown();
+    }
+}

@@ -132,13 +132,8 @@ impl TargetDesc {
     pub fn fingerprint(&self) -> u64 {
         // FNV-1a over a canonical field serialization; no dependency on the
         // (unstable) std hasher so the value is reproducible across runs.
-        let mut acc: u64 = 0xcbf2_9ce4_8422_2325;
-        let mut mix = |bytes: &[u8]| {
-            for &b in bytes {
-                acc ^= u64::from(b);
-                acc = acc.wrapping_mul(0x100_0000_01b3);
-            }
-        };
+        let mut acc = crate::Fnv1a::new();
+        let mut mix = |bytes: &[u8]| acc.write(bytes);
         mix(self.name.as_bytes());
         mix(&[0xff]); // terminator so "ab" + regs and "a" + b-ish regs differ
         mix(&self.int_regs.to_le_bytes());
@@ -176,7 +171,7 @@ impl TargetDesc {
             mix(&field.to_le_bytes());
         }
         mix(&self.clock_scale.to_bits().to_le_bytes());
-        acc
+        acc.finish()
     }
 
     /// Width in bytes of the vector registers the JIT may use (0 without SIMD).

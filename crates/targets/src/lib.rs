@@ -59,11 +59,13 @@
 
 mod desc;
 mod exec;
+mod hash;
 mod mcode;
 mod simulator;
 
 pub use desc::{CostModel, TargetDesc, VectorUnit};
 pub use exec::{FramePool, PreparedProgram, PreparedSimulator};
+pub use hash::Fnv1a;
 pub use mcode::{
     AluOp, CmpPred, FpuOp, MBlock, MFunction, MInst, MProgram, PReg, RedOp, RegClass, Width,
 };

@@ -230,3 +230,78 @@ fn parallel_sweep_under_lru_pressure_stays_correct() {
     );
     assert!(engine.compiled_variants() <= 2, "the bound holds at rest");
 }
+
+#[test]
+fn stats_snapshots_stay_consistent_while_workers_churn_the_cache() {
+    // The serving layer reads engine stats from a live worker pool; this
+    // pins the guarantees those reads rely on. A bounded cache churns under
+    // racing threads while an observer hammers `snapshot()`: every snapshot
+    // — whatever instant it lands on — must be internally consistent
+    // (resident entries == compiles - evictions, no torn lookups) and the
+    // sequence must be pointwise monotonic. The independently-read atomic
+    // counters this replaced could skew exactly here.
+    let engine = Arc::new(deploy());
+    engine.set_cache_capacity(2);
+    let targets = TargetDesc::presets();
+    let done = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+
+    let workers: Vec<_> = (0..4)
+        .map(|thread| {
+            let engine = Arc::clone(&engine);
+            let done = Arc::clone(&done);
+            std::thread::spawn(move || {
+                let mut rng = StdRng::seed_from_u64(0xca5e + thread as u64);
+                let targets = TargetDesc::presets();
+                let mut order: Vec<usize> = (0..targets.len()).collect();
+                for _ in 0..6 {
+                    shuffle(&mut order, &mut rng);
+                    for &ti in &order {
+                        engine
+                            .program_for(&targets[ti], &JitOptions::split())
+                            .expect("compiles");
+                    }
+                }
+                done.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            })
+        })
+        .collect();
+
+    let mut prev = engine.snapshot();
+    let mut observed = 0usize;
+    while done.load(std::sync::atomic::Ordering::Relaxed) < 4 {
+        let snap = engine.snapshot();
+        assert_eq!(
+            snap.live,
+            (snap.stats.compiles - snap.stats.evictions) as usize,
+            "a snapshot tore a compile apart from its insert/evict"
+        );
+        assert_eq!(snap.stats.lookups(), snap.stats.compiles + snap.stats.hits);
+        assert!(
+            snap.stats.compiles >= prev.stats.compiles,
+            "compiles went backwards"
+        );
+        assert!(snap.stats.hits >= prev.stats.hits, "hits went backwards");
+        assert!(
+            snap.stats.evictions >= prev.stats.evictions,
+            "evictions went backwards"
+        );
+        assert!(snap.online_work >= prev.online_work, "work went backwards");
+        prev = snap;
+        observed += 1;
+    }
+    for w in workers {
+        w.join().expect("churn thread panicked");
+    }
+    assert!(observed > 0, "the observer actually raced the workers");
+    let quiescent = engine.snapshot();
+    assert_eq!(
+        quiescent.live,
+        (quiescent.stats.compiles - quiescent.stats.evictions) as usize
+    );
+    assert!(quiescent.live <= 2, "the LRU bound holds at rest");
+    assert_eq!(
+        quiescent.stats.lookups(),
+        4 * 6 * targets.len() as u64,
+        "every lookup was counted exactly once"
+    );
+}

@@ -22,8 +22,9 @@
 //! bit-for-bit across every path.
 
 use rand::{rngs::StdRng, Rng, SeedableRng};
+use splitc::serve::{Request, ServeModule, Server, ServerConfig};
 use splitc::splitc_minic::compile_source;
-use splitc::Workspace;
+use splitc::{run_on_target, Workspace};
 use splitc_jit::{compile_module, JitOptions, RegAllocMode};
 use splitc_opt::{optimize_module, OptOptions};
 use splitc_targets::{MachineValue, PreparedProgram, PreparedSimulator, Simulator, TargetDesc};
@@ -470,6 +471,124 @@ fn every_extreme_shift_count_agrees_on_every_path() {
         );
         check_program(&source, "fuzz", 0x5817 + ci as u64, false);
     }
+}
+
+/// Serving mode: run `source` through the async serving layer — generated
+/// programs become [`ServeModule`] deployments, every (target, regalloc
+/// mode) pair becomes a queued [`Request`] racing the others across the
+/// worker pool — and compare each response bit-for-bit (returned value,
+/// whole memory image, full `SimStats`) against a fresh single-threaded
+/// `run_on_target` reference. This pins that the queue/worker/shared-engine
+/// path adds **no semantic divergence** on shapes nobody hand-picked.
+/// Panics with the program source on any mismatch.
+fn check_program_served(server: &Server, source: &str, name: &str, seed: u64, float: bool) {
+    let mut module = compile_source(source, "fuzz").unwrap_or_else(|e| {
+        panic!("seed {seed}: generated program fails to compile: {e}\n--- source ---\n{source}")
+    });
+    optimize_module(&mut module, &OptOptions::full());
+    let module = ServeModule::new(module);
+
+    // One prepared workspace every execution starts from.
+    let elem = 4usize;
+    let mut ws = Workspace::new((2 * elem * N + (1 << 12)).max(1 << 14));
+    let x = ws.alloc((elem * N) as u64);
+    let y = ws.alloc((elem * N) as u64);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xda7a);
+    if float {
+        let data: Vec<f32> = (0..N).map(|_| rng.gen_range(-8.0f32..8.0)).collect();
+        ws.write_f32s(x, &data);
+    } else {
+        let data: Vec<i32> = (0..N).map(|_| rng.gen_range(-100i32..100)).collect();
+        ws.write_i32s(x, &data);
+    }
+    let args = [
+        MachineValue::Int(N as i64),
+        MachineValue::Int(x as i64),
+        MachineValue::Int(y as i64),
+    ];
+
+    // Submit the whole target × mode matrix before waiting on anything, so
+    // requests for this program genuinely race across the worker pool.
+    let mut handles = Vec::new();
+    for target in TargetDesc::presets() {
+        for mode in MODES {
+            let jit = JitOptions {
+                regalloc: mode,
+                allow_simd: true,
+            };
+            let handle = server
+                .submit(Request {
+                    module: module.clone(),
+                    kernel: name.to_owned(),
+                    target: target.clone(),
+                    options: jit,
+                    args: args.to_vec(),
+                    mem: ws.bytes().to_vec(),
+                })
+                .expect("fuzz server is accepting");
+            handles.push((target.clone(), mode, jit, handle));
+        }
+    }
+
+    for (target, mode, jit, handle) in handles {
+        // Fresh single-threaded reference, no cache involved.
+        let mut direct_mem = ws.bytes().to_vec();
+        let direct = run_on_target(module.module(), &target, &jit, name, &args, &mut direct_mem)
+            .unwrap_or_else(|e| {
+                panic!(
+                    "seed {seed}: {} with {mode:?} (direct) failed: {e}\n--- source ---\n{source}",
+                    target.name
+                )
+            });
+        let response = handle.wait().unwrap_or_else(|_| {
+            panic!(
+                "seed {seed}: {} with {mode:?}: the serving worker died\n--- source ---\n{source}",
+                target.name
+            )
+        });
+        let served = response.outcome.unwrap_or_else(|e| {
+            panic!(
+                "seed {seed}: {} with {mode:?} (served) failed: {e}\n--- source ---\n{source}",
+                target.name
+            )
+        });
+        assert_eq!(
+            served, direct,
+            "seed {seed}: {} with {mode:?}: the served measurement diverged from direct execution\n--- source ---\n{source}",
+            target.name
+        );
+        assert_eq!(
+            response.mem, direct_mem,
+            "seed {seed}: {} with {mode:?}: the served memory image diverged from direct execution\n--- source ---\n{source}",
+            target.name
+        );
+    }
+}
+
+#[test]
+fn random_programs_served_through_the_queue_match_direct_execution() {
+    // Every program family of this harness, pushed through one shared
+    // server: the queue/worker path must be semantically invisible.
+    let server = Server::start(
+        ServerConfig::default()
+            .with_workers(4)
+            .with_queue_capacity(32),
+    );
+    for seed in 0..6u64 {
+        check_program_served(&server, &gen_int_program(seed), "fuzz", seed, false);
+    }
+    for seed in 2000..2003u64 {
+        check_program_served(&server, &gen_shift_program(seed), "fuzz", seed, false);
+    }
+    for seed in 1000..1003u64 {
+        check_program_served(&server, &gen_float_program(seed), "fuzzf", seed, true);
+    }
+    let stats = server.shutdown();
+    assert_eq!(stats.completed, stats.accepted, "no fuzz request was lost");
+    assert_eq!(
+        stats.engines, 12,
+        "every generated program is its own deployment"
+    );
 }
 
 #[test]
