@@ -1,126 +1,62 @@
-//! Bench — pre-decoded execution vs the legacy per-run walk.
+//! Bench — threaded dispatch vs the metered enum loop vs the legacy walk.
 //!
-//! The same JIT-compiled tight-loop kernel is executed two ways:
+//! The measurement itself lives in `splitc_bench::dispatch` (shared with the
+//! `report` binary's `BENCH_sweep.json` trajectory): the same JIT-compiled
+//! tight-loop kernel is executed three ways —
 //!
 //! * **cold / legacy** — the original `MProgram` block walk, which decodes
 //!   (and clones) every instruction on every step, re-validates registers
 //!   per instruction, resolves call targets by name and allocates a fresh
 //!   frame per call;
-//! * **prepared** — a `PreparedProgram` built once at deploy time (flat
-//!   instruction stream, resolved offsets/indices, prepare-time register
-//!   validation) driven by a reused `PreparedSimulator` whose frame pool is
-//!   warm.
+//! * **metered** — the pre-decoded `PreparedProgram` stream driven by the
+//!   per-instruction enum-match loop (PR 3's hot loop, retained as the
+//!   deopt/reference path), with a warm frame pool;
+//! * **threaded** — the same prepared program driven through the fn-pointer
+//!   handler table with macro-op fusion, adjacent-record welding and
+//!   per-region fuel/instruction charges (this PR's hot loop), same pool.
 //!
-//! Results and `SimStats` are asserted bit-identical; the headline is the
-//! ns-per-run ratio. The ≥1.3× threshold is report-only by default (shared
-//! CI runners are noisy); set `SIM_BENCH_ASSERT=1` on a quiet host to
-//! enforce it.
+//! Results and `SimStats` are asserted bit-identical across all three before
+//! any timing; the headline is the ns-per-run ratio of each successive step.
+//! The thresholds (metered ≥1.3× legacy, threaded ≥1.25× metered) are
+//! report-only by default (shared CI runners are noisy); set
+//! `SIM_BENCH_ASSERT=1` on a quiet host to enforce them. The threaded
+//! floor is set below the ~1.35× measured on a quiet host: the 2× stretch
+//! target needs per-record body specialization beyond what bit-identical
+//! `SimStats` currently allows (see ROADMAP).
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use splitc::splitc_jit::{compile_module, JitOptions};
-use splitc::splitc_minic::compile_source;
-use splitc::splitc_opt::{optimize_module, OptOptions};
-use splitc::splitc_targets::{
-    MProgram, MachineValue, PreparedProgram, PreparedSimulator, Simulator, TargetDesc,
-};
-use splitc::Workspace;
-use std::time::Instant;
+use splitc::splitc_targets::{PreparedProgram, PreparedSimulator, Simulator, TargetDesc};
+use splitc_bench::dispatch;
 
-/// Elements per kernel invocation; enough that the run loop dominates.
-const N: usize = 1024;
 /// Timed runs per side.
 const RUNS: u32 = 200;
 
-/// A branchy integer map + reduce: loads, ALU traffic, compares and a
-/// two-sided conditional per element, then a reduction loop — the shape the
-/// per-instruction decode overhead of the legacy walk hurts most.
-const TIGHT_LOOP: &str = "fn tight(n: i32, x: *i32, y: *i32) -> i32 {
-    let acc: i32 = 0;
-    for (let i: i32 = 0; i < n; i = i + 1) {
-        let v: i32 = x[i];
-        let w: i32 = (v * 3 + i) - (v / 7);
-        if (w > 64) { y[i] = w - 64; } else { y[i] = 64 - w; }
-    }
-    for (let k: i32 = 0; k < n; k = k + 1) {
-        acc = acc + y[k];
-    }
-    return acc;
-}";
-
-fn compiled_tight_loop(target: &TargetDesc) -> MProgram {
-    let mut module = compile_source(TIGHT_LOOP, "simbench").expect("kernel compiles");
-    optimize_module(&mut module, &OptOptions::full());
-    let (program, _stats) = compile_module(&module, target, &JitOptions::split()).expect("jit");
-    program
-}
-
-fn workspace() -> (Workspace, [MachineValue; 3]) {
-    let mut ws = Workspace::new(1 << 16);
-    let x = ws.alloc(4 * N as u64);
-    let y = ws.alloc(4 * N as u64);
-    let data: Vec<i32> = (0..N as i32).map(|i| (i * 37) % 1000 - 500).collect();
-    ws.write_i32s(x, &data);
-    let args = [
-        MachineValue::Int(N as i64),
-        MachineValue::Int(x as i64),
-        MachineValue::Int(y as i64),
-    ];
-    (ws, args)
-}
-
 fn bench_simulator(c: &mut Criterion) {
-    let target = TargetDesc::x86_sse();
-    let program = compiled_tight_loop(&target);
-    let prepared = PreparedProgram::prepare(&program, &target).expect("prepares");
-
-    // Correctness gate: both paths must be bit-identical before any timing.
-    let (mut ws_a, args) = workspace();
-    let (mut ws_b, _) = workspace();
-    let mut legacy = Simulator::new(&program, &target);
-    let legacy_out = legacy
-        .run_legacy("tight", &args, ws_a.bytes_mut())
-        .expect("legacy runs");
-    let mut sim = PreparedSimulator::new(&prepared);
-    let prepared_out = sim
-        .run("tight", &args, ws_b.bytes_mut())
-        .expect("prepared runs");
-    assert_eq!(legacy_out, prepared_out, "results must be bit-identical");
-    assert_eq!(
-        legacy.stats(),
-        sim.stats(),
-        "SimStats must be bit-identical"
-    );
-    assert_eq!(ws_a.bytes(), ws_b.bytes(), "memory must be bit-identical");
-
-    // Headline: ns per run, cold legacy walk vs warm prepared execution.
-    let (mut ws, args) = workspace();
-    let start = Instant::now();
-    for _ in 0..RUNS {
-        let mut cold = Simulator::new(&program, &target);
-        cold.run_legacy("tight", &args, ws.bytes_mut())
-            .expect("runs");
-    }
-    let legacy_ns = start.elapsed().as_nanos() as f64 / f64::from(RUNS);
-
-    let mut warm = PreparedSimulator::new(&prepared);
-    let start = Instant::now();
-    for _ in 0..RUNS {
-        warm.run("tight", &args, ws.bytes_mut()).expect("runs");
-    }
-    let prepared_ns = start.elapsed().as_nanos() as f64 / f64::from(RUNS);
-
-    let speedup = legacy_ns / prepared_ns;
+    let m = dispatch::measure(RUNS);
+    let (legacy_ns, metered_ns, threaded_ns) = (m.legacy_ns, m.metered_ns, m.threaded_ns);
+    let prepared_speedup = m.prepared_speedup();
+    let dispatch_speedup = m.dispatch_speedup();
     println!(
-        "\nsimulator tight-loop (n = {N}): legacy walk = {legacy_ns:.0} ns/run, \
-         prepared = {prepared_ns:.0} ns/run  ({speedup:.2}x)"
+        "\nsimulator tight-loop (n = {}): legacy walk = {legacy_ns:.0} ns/run, \
+         metered = {metered_ns:.0} ns/run ({prepared_speedup:.2}x), \
+         threaded = {threaded_ns:.0} ns/run ({dispatch_speedup:.2}x over metered)",
+        dispatch::N
     );
     if std::env::var_os("SIM_BENCH_ASSERT").is_some() {
         assert!(
-            speedup >= 1.3,
-            "expected prepared execution >= 1.3x the legacy walk, got {speedup:.2}x"
+            prepared_speedup >= 1.3,
+            "expected the metered prepared loop >= 1.3x the legacy walk, got {prepared_speedup:.2}x"
+        );
+        assert!(
+            dispatch_speedup >= 1.25,
+            "expected threaded dispatch >= 1.25x the metered enum loop, got {dispatch_speedup:.2}x"
         );
     }
 
+    let target = TargetDesc::x86_sse();
+    let program = dispatch::compiled_tight_loop(&target);
+    let prepared = PreparedProgram::prepare(&program, &target).expect("prepares");
+    let (mut ws, args) = dispatch::workspace();
     let mut group = c.benchmark_group("simulator");
     group.sample_size(10);
     group.bench_function("legacy_walk", |b| {
@@ -130,7 +66,14 @@ fn bench_simulator(c: &mut Criterion) {
                 .expect("runs")
         })
     });
-    group.bench_function("prepared", |b| {
+    group.bench_function("metered", |b| {
+        let mut warm = PreparedSimulator::new(&prepared);
+        b.iter(|| {
+            warm.run_metered("tight", &args, ws.bytes_mut())
+                .expect("runs")
+        })
+    });
+    group.bench_function("threaded", |b| {
         let mut warm = PreparedSimulator::new(&prepared);
         b.iter(|| warm.run("tight", &args, ws.bytes_mut()).expect("runs"))
     });

@@ -15,12 +15,15 @@
 //! `--json <path>` additionally runs the machine-readable perf trajectory
 //! and writes it to `path` — by convention `BENCH_sweep.json` at the repo
 //! root, so successive PRs accumulate comparable numbers. The trajectory has
-//! two sections: the sweep rows (table1 kernels × the full preset target
+//! three sections: the sweep rows (table1 kernels × the full preset target
 //! catalogue, sequential and parallel: ns/iter, per-cell simulated cycles,
-//! engine cache stats) and, since the async serving layer landed, the
-//! `serving` rows (the same mixed-module traffic pushed through the request
-//! queue at 1 and 4 workers: requests/s, queue high water, aggregated
-//! engine-cache counters).
+//! engine cache stats); the `serving` rows (the same mixed-module traffic
+//! pushed through the request queue at 1 and 4 workers: requests/s, queue
+//! high water, aggregated engine-cache counters); and the `dispatch` row
+//! (the tight-loop kernel of `benches/simulator.rs` timed on the legacy
+//! walk, the metered enum loop and the threaded handler table: ns/run,
+//! ns/instruction, the speedup of each step, and the macro-op fusion and
+//! welding hit counts).
 
 use splitc::experiments::{codesize, hetero, kpn, regalloc, splitflow, table1};
 use splitc::serve::{run_load, LoadConfig, LoadReport};
@@ -30,6 +33,7 @@ use splitc::splitc_targets::TargetDesc;
 use splitc::splitc_workloads::{module_for, table1_kernels};
 use splitc::sweep::{sweep_engine, SweepConfig, SweepResult};
 use splitc::ExecutionEngine;
+use splitc_bench::dispatch;
 use std::process::ExitCode;
 use std::time::Instant;
 
@@ -194,9 +198,37 @@ fn serving_to_json(report: &LoadReport) -> String {
     )
 }
 
-/// Run the perf-trajectory sweeps (sequential and 4-way parallel) plus the
-/// serving loads, and write the machine-readable `BENCH_sweep.json` shape to
-/// `path`.
+/// Timed runs per side of the `dispatch` row.
+const JSON_DISPATCH_RUNS: u32 = 200;
+
+/// Render the three-way dispatch comparison as a JSON object: ns/run and
+/// ns/instruction per execution path, the two step speedups, and the
+/// prepared program's fusion/welding hit counts.
+fn dispatch_to_json(m: &dispatch::DispatchMeasurement) -> String {
+    let per_inst = |ns: f64| ns / m.instructions as f64;
+    format!(
+        "  {{\n    \"kernel\": \"tight\",\n    \"n\": {},\n    \"runs\": {JSON_DISPATCH_RUNS},\n    \"instructions_per_run\": {},\n    \"legacy_ns_per_run\": {:.0},\n    \"metered_ns_per_run\": {:.0},\n    \"threaded_ns_per_run\": {:.0},\n    \"legacy_ns_per_inst\": {:.3},\n    \"metered_ns_per_inst\": {:.3},\n    \"threaded_ns_per_inst\": {:.3},\n    \"prepared_speedup\": {:.3},\n    \"dispatch_speedup\": {:.3},\n    \"fusion\": {{\"cmp_branch\": {}, \"load_op\": {}, \"indvar\": {}, \"pair\": {}, \"triple\": {}}}\n  }}",
+        dispatch::N,
+        m.instructions,
+        m.legacy_ns,
+        m.metered_ns,
+        m.threaded_ns,
+        per_inst(m.legacy_ns),
+        per_inst(m.metered_ns),
+        per_inst(m.threaded_ns),
+        m.prepared_speedup(),
+        m.dispatch_speedup(),
+        m.fusion.cmp_branch,
+        m.fusion.load_op,
+        m.fusion.indvar,
+        m.fusion.pair,
+        m.fusion.triple,
+    )
+}
+
+/// Run the perf-trajectory sweeps (sequential and 4-way parallel), the
+/// serving loads and the dispatch comparison, and write the machine-readable
+/// `BENCH_sweep.json` shape to `path`.
 fn write_sweep_json(path: &str, n: usize) -> Result<(), Box<dyn std::error::Error>> {
     let mut sweeps = Vec::new();
     for jobs in [1usize, 4] {
@@ -212,11 +244,15 @@ fn write_sweep_json(path: &str, n: usize) -> Result<(), Box<dyn std::error::Erro
         let report = run_load(&LoadConfig::catalogue(n, requests).with_workers(workers))?;
         serving.push(serving_to_json(&report));
     }
+    // The dispatch trajectory: the tight-loop kernel three ways, the
+    // headline of `benches/simulator.rs`.
+    let dispatch_row = dispatch_to_json(&dispatch::measure(JSON_DISPATCH_RUNS));
     let host_cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
     let json = format!(
-        "{{\n  \"schema\": \"splitc-bench-sweep/2\",\n  \"n\": {n},\n  \"repeats\": {JSON_SWEEP_REPEATS},\n  \"host_cores\": {host_cores},\n  \"sweeps\": [\n{}\n  ],\n  \"serving\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"schema\": \"splitc-bench-sweep/3\",\n  \"n\": {n},\n  \"repeats\": {JSON_SWEEP_REPEATS},\n  \"host_cores\": {host_cores},\n  \"sweeps\": [\n{}\n  ],\n  \"serving\": [\n{}\n  ],\n  \"dispatch\": [\n{}\n  ]\n}}\n",
         sweeps.join(",\n"),
         serving.join(",\n"),
+        dispatch_row,
     );
     std::fs::write(path, json)?;
     println!("wrote perf trajectory to {path}");

@@ -25,3 +25,5 @@
 /// Default element count for quick benchmark runs (the report binary uses the
 /// paper-scale default of 4096 from `splitc_workloads::DEFAULT_N`).
 pub const BENCH_N: usize = 512;
+
+pub mod dispatch;

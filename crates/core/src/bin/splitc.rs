@@ -5,6 +5,7 @@
 //! splitc dis <module.svbc>
 //! splitc targets
 //! splitc run <module.svbc|kernels.mc> --kernel <fn> --target <name> [--arg i:<int>|f:<float>]...
+//! splitc disasm <catalogue-kernel|module.svbc|kernels.mc> [--target <name>] [--no-fuse]
 //! splitc bench <catalogue-kernel> [--n <elems>] [--target <name>] [--jobs <N>] [--repeats <R>]
 //! splitc serve-bench [--n <elems>] [--requests <R>] [--workers <N>] [--queue <Q>] [--cache-cap <C>]
 //! ```
@@ -15,6 +16,12 @@
 //!   annotations.
 //! * `run` performs the online step for one target and executes a kernel whose
 //!   parameters are all scalars (integers or floats).
+//! * `disasm` runs the whole pipeline up to (but not including) execution and
+//!   prints the deploy-time artifact the executor actually dispatches: the
+//!   prepared instruction stream with resolved block offsets, per-instruction
+//!   cycle costs, per-region fuel charges, and — unless `--no-fuse` is given —
+//!   the fused macro-ops with their constituent spans. This is the debugging
+//!   surface for fusion decisions.
 //! * `bench` prepares one of the workload-catalogue kernels (which take
 //!   pointer arguments) with generated data and reports simulated cycles on
 //!   the chosen target, or on all Table 1 targets when none is given. The
@@ -40,7 +47,7 @@ use splitc::{fmt_cache_line, offline_compile, run_on_target, Workspace};
 use std::process::ExitCode;
 
 fn usage() -> &'static str {
-    "usage:\n  splitc build <kernels.mc> -o <module.svbc> [--no-vectorize] [--strip]\n  splitc dis <module.svbc>\n  splitc targets\n  splitc run <module.svbc|kernels.mc> --kernel <fn> --target <name> [--arg i:<int>|f:<float>]...\n  splitc bench <kernel> [--n <elems>] [--target <name>] [--jobs <N>] [--repeats <R>]\n  splitc serve-bench [--n <elems>] [--requests <R>] [--workers <N>] [--queue <Q>] [--cache-cap <C>]"
+    "usage:\n  splitc build <kernels.mc> -o <module.svbc> [--no-vectorize] [--strip]\n  splitc dis <module.svbc>\n  splitc targets\n  splitc run <module.svbc|kernels.mc> --kernel <fn> --target <name> [--arg i:<int>|f:<float>]...\n  splitc disasm <catalogue-kernel|module.svbc|kernels.mc> [--target <name>] [--no-fuse]\n  splitc bench <kernel> [--n <elems>] [--target <name>] [--jobs <N>] [--repeats <R>]\n  splitc serve-bench [--n <elems>] [--requests <R>] [--workers <N>] [--queue <Q>] [--cache-cap <C>]"
 }
 
 /// Parse one `--arg` value of the form `i:<integer>` or `f:<float>`.
@@ -175,6 +182,36 @@ fn cmd_run(mut args: Vec<String>) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_disasm(mut args: Vec<String>) -> Result<(), String> {
+    let target_name = take_flag(&mut args, "--target").unwrap_or_else(|| "x86-sse".to_owned());
+    let target = TargetDesc::preset(&target_name)
+        .ok_or_else(|| format!("unknown target `{target_name}` (see `splitc targets`)"))?;
+    let fuse = !take_switch(&mut args, "--no-fuse");
+    let input = args
+        .first()
+        .ok_or("disasm requires a catalogue kernel name or an input file")?;
+    // A bare catalogue name wins over a file of the same name: the catalogue
+    // is the common case and its names never collide with real paths.
+    let module = match splitc::splitc_workloads::kernel(input) {
+        Some(k) => {
+            let (module, _) = offline_compile(k.source, k.name, &OptOptions::full())
+                .map_err(|e| format!("cannot compile catalogue kernel {}: {e}", k.name))?;
+            module
+        }
+        None => load_module(input)?,
+    };
+    let options = JitOptions {
+        fuse,
+        ..JitOptions::split()
+    };
+    let (program, _) = splitc::splitc_jit::compile_module(&module, &target, &options)
+        .map_err(|e| format!("online compilation failed: {e}"))?;
+    let prepared = splitc::splitc_targets::PreparedProgram::prepare_with(&program, &target, fuse)
+        .map_err(|e| format!("deploy-time preparation failed: {e}"))?;
+    print!("{}", prepared.disasm());
+    Ok(())
+}
+
 fn cmd_bench(mut args: Vec<String>) -> Result<(), String> {
     let n: usize = take_flag(&mut args, "--n")
         .map(|s| s.parse().map_err(|e| format!("bad --n value: {e}")))
@@ -266,6 +303,7 @@ fn main() -> ExitCode {
             Ok(())
         }
         "run" => cmd_run(args),
+        "disasm" => cmd_disasm(args),
         "bench" => cmd_bench(args),
         "serve-bench" => cmd_serve_bench(args),
         "--help" | "-h" | "help" => {
@@ -358,6 +396,21 @@ mod tests {
         .expect("serving load succeeds");
         assert!(cmd_serve_bench(vec!["--workers".into(), "x".into()]).is_err());
         assert!(cmd_serve_bench(vec!["spurious".into()]).is_err());
+    }
+
+    #[test]
+    fn disasm_prints_the_prepared_stream_for_catalogue_kernels() {
+        cmd_disasm(vec!["saxpy_f32".into()]).expect("fused disasm succeeds");
+        cmd_disasm(vec![
+            "sum_u8".into(),
+            "--target".into(),
+            "powerpc".into(),
+            "--no-fuse".into(),
+        ])
+        .expect("unfused disasm succeeds");
+        assert!(cmd_disasm(vec!["saxpy_f32".into(), "--target".into(), "vax".into()]).is_err());
+        assert!(cmd_disasm(vec!["no_such_kernel_or_file".into()]).is_err());
+        assert!(cmd_disasm(vec![]).is_err());
     }
 
     #[test]

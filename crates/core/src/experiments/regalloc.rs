@@ -166,6 +166,7 @@ pub fn run(n: usize) -> Result<Regalloc, PipelineError> {
     let jit_for = |mode: RegAllocMode| JitOptions {
         regalloc: mode,
         allow_simd: true,
+        fuse: true,
     };
 
     let mut rows = Vec::new();

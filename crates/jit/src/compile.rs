@@ -11,7 +11,7 @@ use std::fmt;
 ///
 /// The type is `Hash + Eq` so that execution caches can key compiled code by
 /// `(target fingerprint, JitOptions)`.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct JitOptions {
     /// How register assignment obtains its keep ranking.
     pub regalloc: RegAllocMode,
@@ -19,6 +19,22 @@ pub struct JitOptions {
     /// this reproduces a JIT that ignores the vector builtins even on a
     /// vector-capable machine.
     pub allow_simd: bool,
+    /// Fuse adjacent instructions into macro-ops when the deployment is
+    /// prepared for execution (compare+branch, load+op, induction-variable
+    /// steps). Purely a dispatch-speed knob: results, traps and `SimStats`
+    /// are bit-identical with fusion on or off, which the differential
+    /// suites exploit by pinning `fuse: false` runs against fused ones.
+    pub fuse: bool,
+}
+
+impl Default for JitOptions {
+    fn default() -> Self {
+        JitOptions {
+            regalloc: RegAllocMode::default(),
+            allow_simd: false,
+            fuse: true,
+        }
+    }
 }
 
 impl JitOptions {
@@ -27,6 +43,7 @@ impl JitOptions {
         JitOptions {
             regalloc: RegAllocMode::SplitAnnotations,
             allow_simd: true,
+            fuse: true,
         }
     }
 
@@ -35,6 +52,7 @@ impl JitOptions {
         JitOptions {
             regalloc: RegAllocMode::OnlineGreedy,
             allow_simd: true,
+            fuse: true,
         }
     }
 
@@ -43,6 +61,7 @@ impl JitOptions {
         JitOptions {
             regalloc: RegAllocMode::OnlineAnalyze,
             allow_simd: true,
+            fuse: true,
         }
     }
 }
@@ -292,6 +311,7 @@ mod tests {
         let opts = JitOptions {
             regalloc: RegAllocMode::SplitAnnotations,
             allow_simd: false,
+            fuse: true,
         };
         let (program, stats) = compile_module(&m, &target, &opts).unwrap();
         assert!(stats.scalarized);

@@ -689,6 +689,7 @@ mod tests {
         let opts = JitOptions {
             regalloc: mode,
             allow_simd: true,
+            fuse: true,
         };
         let (program, _stats) = compile_module(&m, target, &opts).unwrap();
         let n = 64usize;

@@ -473,7 +473,12 @@ impl ExecutionEngine {
                 // internal JIT error so waiters rendezvous on one error type.
                 let built =
                     compile_module(&self.module, target, options).and_then(|(program, jit)| {
-                        let prepared = PreparedProgram::prepare(&program, target).map_err(|e| {
+                        let prepared = PreparedProgram::prepare_with(
+                            &program,
+                            target,
+                            options.fuse,
+                        )
+                        .map_err(|e| {
                             JitError::Internal(format!("deploy-time preparation failed: {e}"))
                         })?;
                         Ok(CompiledModule {
@@ -670,11 +675,12 @@ impl ExecutionEngine {
         let (program, jit) = compile_module(module, target, options)?;
         // Wrapped identically to the cached path (`program_for`), so callers
         // see one error shape for a prepare failure whichever entry they use.
-        let prepared = PreparedProgram::prepare(&program, target).map_err(|e| {
-            EngineError::Jit(JitError::Internal(format!(
-                "deploy-time preparation failed: {e}"
-            )))
-        })?;
+        let prepared =
+            PreparedProgram::prepare_with(&program, target, options.fuse).map_err(|e| {
+                EngineError::Jit(JitError::Internal(format!(
+                    "deploy-time preparation failed: {e}"
+                )))
+            })?;
         let compiled = CompiledModule {
             program,
             jit,

@@ -17,12 +17,20 @@
 //! * per-instruction cycle costs and vector lane counts are **precomputed**
 //!   where they depend on the opcode;
 //! * call frames come from a [`FramePool`] that recycles the register-file
-//!   and spill-slot allocations across calls and across runs (vector
-//!   registers live in one flat byte buffer — empty on scalar-only targets —
-//!   instead of one heap allocation per register).
+//!   and spill-slot allocations across calls and across runs;
+//! * on top of the flat stream, each function is lowered to a **threaded
+//!   dispatch stream** of fn-pointer handlers over packed 32-byte operand
+//!   records (see [`dispatch`](crate::exec) internals), with fuel and
+//!   instruction accounting hoisted out of the per-instruction path into
+//!   per-region charges, and adjacent instructions **fused into macro-ops**
+//!   (compare+branch, load+op, induction-variable steps).
 //!
 //! Semantics are bit-identical to the legacy walk — results, traps and
 //! [`SimStats`] alike — which the cross-crate differential tests assert.
+//! The per-instruction enum interpreter survives as the *metered* path
+//! ([`PreparedProgram::run_metered`]): it is the in-crate semantic reference,
+//! the deoptimization target when fuel runs too low to prepay a region, and
+//! the baseline side of the dispatch microbenchmark.
 //!
 //! # Example
 //!
@@ -62,6 +70,8 @@
 //! ```
 
 use crate::desc::{CostModel, TargetDesc};
+pub use crate::dispatch::FusionStats;
+use crate::dispatch::{self, FuseKind, OpMeta, OpRecord, Threaded};
 use crate::mcode::{
     AluOp, CmpPred, FpuOp, MFunction, MInst, MProgram, PReg, RedOp, RegClass, Width,
 };
@@ -71,10 +81,11 @@ use crate::simulator::{
     DEFAULT_SIM_FUEL, MAX_CALL_DEPTH,
 };
 use std::collections::HashMap;
+use std::fmt::Write as _;
 
 /// A value held in a spill slot of a prepared frame.
 #[derive(Debug, Clone, PartialEq)]
-enum SlotValue {
+pub(crate) enum SlotValue {
     Empty,
     Int(i64),
     Float(f64),
@@ -86,11 +97,11 @@ enum SlotValue {
 /// Vector registers are a single flat byte buffer (`vec_regs × vector_bytes`),
 /// not one heap allocation per register; on scalar-only targets it is empty.
 #[derive(Debug, Default)]
-struct Frame {
-    int: Vec<i64>,
-    float: Vec<f64>,
-    vec: Vec<u8>,
-    slots: Vec<SlotValue>,
+pub(crate) struct Frame {
+    pub(crate) int: Vec<i64>,
+    pub(crate) float: Vec<f64>,
+    pub(crate) vec: Vec<u8>,
+    pub(crate) slots: Vec<SlotValue>,
 }
 
 /// A pool of reusable call frames (and call-argument scratch buffers).
@@ -135,13 +146,13 @@ impl FramePool {
         self.frames.push(frame);
     }
 
-    fn take_argv(&mut self) -> Vec<MachineValue> {
+    pub(crate) fn take_argv(&mut self) -> Vec<MachineValue> {
         let mut v = self.argv.pop().unwrap_or_default();
         v.clear();
         v
     }
 
-    fn give_argv(&mut self, argv: Vec<MachineValue>) {
+    pub(crate) fn give_argv(&mut self, argv: Vec<MachineValue>) {
         self.argv.push(argv);
     }
 }
@@ -149,238 +160,245 @@ impl FramePool {
 /// A register operand resolved to `(class, index)` with the index validated
 /// at prepare time. For vector registers the `usize` is a *byte offset* into
 /// the frame's flat vector buffer.
-type RRef = (RegClass, usize);
+pub(crate) type RRef = (RegClass, usize);
+
+/// Payload of a resolved call, boxed so [`PInst`] stays within its 32-byte
+/// cache-footprint budget.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) struct PCall {
+    pub(crate) callee: usize,
+    pub(crate) args: Box<[RRef]>,
+    pub(crate) ret: Option<RRef>,
+}
 
 /// One pre-decoded instruction of the flat stream.
 ///
-/// Operands are plain `usize` indices (validated at prepare time), block
-/// targets are instruction offsets, call targets are function indices, and
-/// opcode-dependent cycle costs / lane counts are baked in.
+/// Operands are `u32` indices (validated at prepare time), block targets are
+/// instruction offsets, call targets are function indices, and
+/// opcode-dependent cycle costs / lane counts are baked in. The enum is kept
+/// at or under 32 bytes (statically asserted below) so the metered stream
+/// stays two instructions per cache line.
 #[derive(Debug, Clone, PartialEq)]
-enum PInst {
+pub(crate) enum PInst {
     Imm {
-        dst: usize,
+        dst: u32,
         value: i64,
     },
     FImm {
-        dst: usize,
+        dst: u32,
         value: f64,
     },
     MovInt {
-        dst: usize,
-        src: usize,
+        dst: u32,
+        src: u32,
     },
     MovFloat {
-        dst: usize,
-        src: usize,
+        dst: u32,
+        src: u32,
     },
     MovVec {
-        dst: usize,
-        src: usize,
+        dst: u32,
+        src: u32,
     },
     IntOp {
         op: AluOp,
         width: Width,
         signed: bool,
-        dst: usize,
-        lhs: usize,
-        rhs: usize,
+        dst: u32,
+        lhs: u32,
+        rhs: u32,
         cost: u64,
     },
     FloatOp {
         op: FpuOp,
         double: bool,
-        dst: usize,
-        lhs: usize,
-        rhs: usize,
+        dst: u32,
+        lhs: u32,
+        rhs: u32,
         cost: u64,
     },
     IntNeg {
         width: Width,
-        dst: usize,
-        src: usize,
+        dst: u32,
+        src: u32,
     },
     IntNot {
         width: Width,
-        dst: usize,
-        src: usize,
+        dst: u32,
+        src: u32,
     },
     FloatNeg {
         double: bool,
-        dst: usize,
-        src: usize,
+        dst: u32,
+        src: u32,
     },
     IntCmp {
         pred: CmpPred,
         width: Width,
         signed: bool,
-        dst: usize,
-        lhs: usize,
-        rhs: usize,
+        dst: u32,
+        lhs: u32,
+        rhs: u32,
     },
     FloatCmp {
         pred: CmpPred,
         double: bool,
-        dst: usize,
-        lhs: usize,
-        rhs: usize,
+        dst: u32,
+        lhs: u32,
+        rhs: u32,
     },
     SelectInt {
-        dst: usize,
-        cond: usize,
-        if_true: usize,
-        if_false: usize,
+        dst: u32,
+        cond: u32,
+        if_true: u32,
+        if_false: u32,
     },
     SelectFloat {
-        dst: usize,
-        cond: usize,
-        if_true: usize,
-        if_false: usize,
+        dst: u32,
+        cond: u32,
+        if_true: u32,
+        if_false: u32,
     },
     SelectVec {
-        dst: usize,
-        cond: usize,
-        if_true: usize,
-        if_false: usize,
+        dst: u32,
+        cond: u32,
+        if_true: u32,
+        if_false: u32,
     },
     IntToFloat {
         signed: bool,
         double: bool,
-        dst: usize,
-        src: usize,
+        dst: u32,
+        src: u32,
     },
     FloatToInt {
         width: Width,
         signed: bool,
-        dst: usize,
-        src: usize,
+        dst: u32,
+        src: u32,
     },
     FloatCvt {
         to_double: bool,
-        dst: usize,
-        src: usize,
+        dst: u32,
+        src: u32,
     },
     IntResize {
         width: Width,
         signed: bool,
-        dst: usize,
-        src: usize,
+        dst: u32,
+        src: u32,
     },
     LoadInt {
         width: Width,
         signed: bool,
-        dst: usize,
-        base: usize,
+        dst: u32,
+        base: u32,
         offset: i64,
     },
     LoadFloat {
         width: Width,
-        dst: usize,
-        base: usize,
+        dst: u32,
+        base: u32,
         offset: i64,
     },
     StoreInt {
         width: Width,
-        base: usize,
+        base: u32,
         offset: i64,
-        src: usize,
+        src: u32,
     },
     StoreFloat {
         width: Width,
-        base: usize,
+        base: u32,
         offset: i64,
-        src: usize,
+        src: u32,
     },
     VecLoad {
-        dst: usize,
-        base: usize,
+        dst: u32,
+        base: u32,
         offset: i64,
     },
     VecStore {
-        base: usize,
+        base: u32,
         offset: i64,
-        src: usize,
+        src: u32,
     },
     VecSplatInt {
         elem: Width,
-        lanes: usize,
-        dst: usize,
-        src: usize,
+        lanes: u32,
+        dst: u32,
+        src: u32,
     },
     VecSplatFloat {
         elem: Width,
-        lanes: usize,
-        dst: usize,
-        src: usize,
+        lanes: u32,
+        dst: u32,
+        src: u32,
     },
     VecIntOp {
         op: AluOp,
         elem: Width,
         signed: bool,
-        lanes: usize,
-        dst: usize,
-        lhs: usize,
-        rhs: usize,
+        lanes: u32,
+        dst: u32,
+        lhs: u32,
+        rhs: u32,
     },
     VecFloatOp {
         op: FpuOp,
         elem: Width,
         double: bool,
-        lanes: usize,
-        dst: usize,
-        lhs: usize,
-        rhs: usize,
+        lanes: u32,
+        dst: u32,
+        lhs: u32,
+        rhs: u32,
     },
     VecReduceInt {
         op: RedOp,
         elem: Width,
         signed: bool,
-        lanes: usize,
-        dst: usize,
-        src: usize,
+        lanes: u32,
+        dst: u32,
+        src: u32,
     },
     VecReduceFloat {
         op: RedOp,
         elem: Width,
-        lanes: usize,
-        dst: usize,
-        src: usize,
+        lanes: u32,
+        dst: u32,
+        src: u32,
     },
     SpillInt {
-        slot: usize,
-        src: usize,
+        slot: u32,
+        src: u32,
     },
     SpillFloat {
-        slot: usize,
-        src: usize,
+        slot: u32,
+        src: u32,
     },
     SpillVec {
-        slot: usize,
-        src: usize,
+        slot: u32,
+        src: u32,
     },
     Reload {
-        slot: usize,
+        slot: u32,
         class: RegClass,
-        dst: usize,
+        dst: u32,
     },
     Jump {
         target: u32,
     },
     BranchNz {
-        cond: usize,
+        cond: u32,
         then_target: u32,
         else_target: u32,
     },
-    Call {
-        callee: usize,
-        args: Box<[RRef]>,
-        ret: Option<RRef>,
-    },
+    Call(Box<PCall>),
     /// A call whose target does not exist in the program. Kept as a runtime
     /// error (like the legacy walk) so dead malformed calls don't poison
     /// preparation of an otherwise-valid program.
     CallUnknown {
-        name: String,
+        name: Box<str>,
     },
     Ret {
         value: Option<RRef>,
@@ -393,14 +411,37 @@ enum PInst {
     },
 }
 
+// The hot streams must stay cache-dense: the metered enum stream at two
+// instructions per 64-byte line, the threaded operand records at exactly two
+// per line. Fusion variants and new opcodes must not bloat either.
+const _: () = assert!(std::mem::size_of::<PInst>() <= 32);
+const _: () = assert!(std::mem::size_of::<OpRecord>() <= 32);
+
 /// One function of a [`PreparedProgram`]: a flat, pre-validated instruction
-/// stream plus the frame layout it needs.
+/// stream, the threaded dispatch stream lowered from it, and the frame layout
+/// it needs.
 #[derive(Debug, Clone, PartialEq)]
-struct PreparedFunction {
-    name: String,
-    params: Box<[RRef]>,
-    num_slots: usize,
-    code: Vec<PInst>,
+pub(crate) struct PreparedFunction {
+    pub(crate) name: String,
+    pub(crate) params: Box<[RRef]>,
+    pub(crate) num_slots: usize,
+    /// The unfused per-instruction stream: metered reference and deopt target.
+    pub(crate) code: Vec<PInst>,
+    /// Enum-stream offset of every block (one synthetic block if none).
+    pub(crate) block_offsets: Vec<u32>,
+    /// The threaded stream: packed operand records dispatched by fn pointer.
+    pub(crate) ops: Vec<OpRecord>,
+    /// Per-op correction subtracted from the prepaid `stats.instructions`
+    /// and static counter charges when the op raises an error (cold path).
+    pub(crate) fixup: Vec<dispatch::FixupRec>,
+    /// Per-op enum-stream span and fusion kind (disasm / accounting, cold).
+    pub(crate) meta: Vec<OpMeta>,
+    /// Region entries (block entries first, then after-call regions): where
+    /// control can land plus the fuel/instruction charge and static counter
+    /// sums prepaid on entry.
+    pub(crate) targets: Vec<dispatch::BlockTarget>,
+    /// Resolved call sites referenced by threaded call records.
+    pub(crate) calls: Vec<dispatch::CallSite>,
 }
 
 /// A machine program pre-decoded for one target, ready to run many times.
@@ -413,19 +454,25 @@ struct PreparedFunction {
 #[derive(Debug, Clone, PartialEq)]
 pub struct PreparedProgram {
     name: String,
-    functions: Vec<PreparedFunction>,
+    pub(crate) functions: Vec<PreparedFunction>,
     by_name: HashMap<String, usize>,
-    int_regs: usize,
-    float_regs: usize,
+    pub(crate) int_regs: usize,
+    pub(crate) float_regs: usize,
     /// Total bytes of the flat vector buffer (`vec_regs × vector_bytes`);
     /// zero on scalar-only targets, so their frames allocate nothing for it.
-    vec_bytes_total: usize,
-    vector_bytes: usize,
-    cost: CostModel,
+    pub(crate) vec_bytes_total: usize,
+    pub(crate) vector_bytes: usize,
+    pub(crate) cost: CostModel,
+    /// `false` when the target's shape cannot be packed into 32-byte operand
+    /// records (oversized custom cost model or vector file); the metered
+    /// enum stream then runs everywhere, preserving exact semantics.
+    pub(crate) threaded: bool,
+    fused: bool,
+    fusion: FusionStats,
 }
 
 impl PreparedProgram {
-    /// Pre-decode `program` for `target`.
+    /// Pre-decode `program` for `target`, with macro-op fusion enabled.
     ///
     /// All register indices, spill-slot indices, block targets and vector
     /// capabilities are validated here, **once**, so the execution loop never
@@ -445,6 +492,22 @@ impl PreparedProgram {
     /// register file, [`SimError::NoVectorUnit`] for vector instructions on a
     /// scalar-only target, and [`SimError::Trap`] for malformed control flow.
     pub fn prepare(program: &MProgram, target: &TargetDesc) -> Result<PreparedProgram, SimError> {
+        PreparedProgram::prepare_with(program, target, true)
+    }
+
+    /// Pre-decode `program` for `target`, choosing whether the threaded
+    /// stream fuses adjacent instructions into macro-ops (`fuse = false` is
+    /// the ablation/differential configuration; results, traps and
+    /// [`SimStats`] are bit-identical either way).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`PreparedProgram::prepare`].
+    pub fn prepare_with(
+        program: &MProgram,
+        target: &TargetDesc,
+        fuse: bool,
+    ) -> Result<PreparedProgram, SimError> {
         let mut by_name = HashMap::with_capacity(program.functions.len());
         for (i, f) in program.functions.iter().enumerate() {
             // First definition wins, matching `MProgram::function`.
@@ -456,9 +519,20 @@ impl PreparedProgram {
             vec_regs: target.vector.map(|v| usize::from(v.regs)).unwrap_or(0),
             vector_bytes: target.vector_bytes() as usize,
         };
+        let vec_bytes_total = layout.vec_regs * layout.vector_bytes;
+        // The packed operand records hold register/byte offsets in 16 bits
+        // and baked costs in 32; a (hand-built) target outside those bounds
+        // falls back to the metered stream rather than mis-packing.
+        let threaded =
+            vec_bytes_total <= usize::from(u16::MAX) + 1 && dispatch::costs_fit_u32(&target.cost);
+        let mut fusion = FusionStats::default();
         let mut functions = Vec::with_capacity(program.functions.len());
         for f in &program.functions {
-            functions.push(prepare_function(f, target, &layout, &by_name)?);
+            let mut pf = prepare_function(f, target, &layout, &by_name)?;
+            if threaded {
+                dispatch::build_threaded(&mut pf, &target.cost, fuse, &mut fusion);
+            }
+            functions.push(pf);
         }
         Ok(PreparedProgram {
             name: program.name.clone(),
@@ -466,9 +540,12 @@ impl PreparedProgram {
             by_name,
             int_regs: layout.int_regs,
             float_regs: layout.float_regs,
-            vec_bytes_total: layout.vec_regs * layout.vector_bytes,
+            vec_bytes_total,
             vector_bytes: layout.vector_bytes,
             cost: target.cost,
+            threaded,
+            fused: fuse,
+            fusion,
         })
     }
 
@@ -480,6 +557,17 @@ impl PreparedProgram {
     /// Number of prepared functions.
     pub fn num_functions(&self) -> usize {
         self.functions.len()
+    }
+
+    /// `true` if the macro-op fusion pass ran over the threaded stream.
+    pub fn fused(&self) -> bool {
+        self.fused
+    }
+
+    /// Static macro-op fusion counts over the whole program (how many fused
+    /// records of each kind the prepare-time pass emitted).
+    pub fn fusion_stats(&self) -> FusionStats {
+        self.fusion
     }
 
     /// Dense index of `func`, if it exists (the prepared equivalent of
@@ -495,6 +583,10 @@ impl PreparedProgram {
     /// This is the externally-pooled entry the engine and sweep workers use
     /// so frame allocations amortize across *runs*, not just across calls
     /// within one run. [`PreparedSimulator`] wraps it with an owned pool.
+    /// Execution takes the threaded dispatch stream; fuel and instruction
+    /// counts are prepaid per straight-line region and the engine deopts to
+    /// the metered stream when a region's charge no longer fits the budget,
+    /// so behaviour is bit-identical to [`PreparedProgram::run_metered`].
     ///
     /// # Errors
     ///
@@ -517,8 +609,32 @@ impl PreparedProgram {
         self.exec(fi, args, mem, pool, &mut fuel, 0, stats)
     }
 
+    /// Execute `func` on the metered per-instruction enum stream — the
+    /// pre-threading prepared loop, kept as the in-crate semantic reference
+    /// and the baseline side of the dispatch microbenchmark.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`PreparedProgram::run`].
+    pub fn run_metered(
+        &self,
+        func: &str,
+        args: &[MachineValue],
+        mem: &mut [u8],
+        pool: &mut FramePool,
+        fuel: u64,
+        stats: &mut SimStats,
+    ) -> Result<Option<MachineValue>, SimError> {
+        *stats = SimStats::default();
+        let fi = self
+            .function_index(func)
+            .ok_or_else(|| SimError::UnknownFunction(func.to_owned()))?;
+        let mut fuel = fuel;
+        self.exec_metered(fi, args, mem, pool, &mut fuel, 0, stats)
+    }
+
     #[allow(clippy::too_many_arguments)]
-    fn exec(
+    pub(crate) fn exec(
         &self,
         fi: usize,
         args: &[MachineValue],
@@ -549,7 +665,44 @@ impl PreparedProgram {
         result
     }
 
-    #[allow(clippy::too_many_arguments, clippy::too_many_lines)]
+    #[allow(clippy::too_many_arguments)]
+    fn exec_metered(
+        &self,
+        fi: usize,
+        args: &[MachineValue],
+        mem: &mut [u8],
+        pool: &mut FramePool,
+        fuel: &mut u64,
+        depth: usize,
+        stats: &mut SimStats,
+    ) -> Result<Option<MachineValue>, SimError> {
+        if depth > MAX_CALL_DEPTH {
+            return Err(SimError::Trap("call depth exceeded".into()));
+        }
+        let f = &self.functions[fi];
+        if f.params.len() != args.len() {
+            return Err(SimError::BadArgumentCount {
+                expected: f.params.len(),
+                found: args.len(),
+            });
+        }
+        let mut frame = pool.acquire(
+            self.int_regs,
+            self.float_regs,
+            self.vec_bytes_total,
+            f.num_slots,
+        );
+        let result = write_params(f, &mut frame, args)
+            .and_then(|()| self.run_enum(f, &mut frame, mem, pool, fuel, depth, stats, 0));
+        pool.release(frame);
+        result
+    }
+
+    /// Threaded entry: write parameters, prepay the entry region, and drive
+    /// the fn-pointer dispatch loop; deopt to the metered stream whenever a
+    /// region's charge no longer fits the remaining fuel (the metered loop
+    /// then reproduces exact legacy out-of-fuel timing).
+    #[allow(clippy::too_many_arguments)]
     fn exec_in_frame(
         &self,
         f: &PreparedFunction,
@@ -561,24 +714,49 @@ impl PreparedProgram {
         depth: usize,
         stats: &mut SimStats,
     ) -> Result<Option<MachineValue>, SimError> {
-        for (&(class, idx), value) in f.params.iter().zip(args) {
-            match (class, value) {
-                (RegClass::Int, MachineValue::Int(v)) => frame.int[idx] = *v,
-                (RegClass::Float, MachineValue::Float(v)) => frame.float[idx] = *v,
-                (RegClass::Int, MachineValue::Float(v)) => frame.int[idx] = *v as i64,
-                (RegClass::Float, MachineValue::Int(v)) => frame.float[idx] = *v as f64,
-                (RegClass::Vec, _) => {
-                    return Err(SimError::Trap(
-                        "vector registers cannot be parameters".into(),
-                    ));
-                }
+        write_params(f, frame, args)?;
+        if self.threaded {
+            let entry = &f.targets[0];
+            let charge = u64::from(entry.charge);
+            if *fuel >= charge {
+                *fuel -= charge;
+                stats.instructions += charge;
+                entry.stat.charge(stats);
+                let entry_pc = entry.ops_pc;
+                return match dispatch::run_ops(
+                    self, f, frame, mem, pool, fuel, depth, stats, entry_pc,
+                )? {
+                    Threaded::Done(v) => Ok(v),
+                    Threaded::Deopt(enum_pc) => {
+                        self.run_enum(f, frame, mem, pool, fuel, depth, stats, enum_pc as usize)
+                    }
+                };
             }
         }
+        self.run_enum(f, frame, mem, pool, fuel, depth, stats, 0)
+    }
 
+    /// The metered per-instruction interpreter over the enum stream, charging
+    /// fuel and `stats.instructions` exactly like the legacy block walk. Runs
+    /// the whole function when threading is off (or forced off via
+    /// [`PreparedProgram::run_metered`]) and the post-deopt tail otherwise;
+    /// calls made from metered code stay metered all the way down.
+    #[allow(clippy::too_many_arguments, clippy::too_many_lines)]
+    fn run_enum(
+        &self,
+        f: &PreparedFunction,
+        frame: &mut Frame,
+        mem: &mut [u8],
+        pool: &mut FramePool,
+        fuel: &mut u64,
+        depth: usize,
+        stats: &mut SimStats,
+        start: usize,
+    ) -> Result<Option<MachineValue>, SimError> {
         let cost = &self.cost;
         let vb = self.vector_bytes;
         let code = &f.code;
-        let mut pc = 0usize;
+        let mut pc = start;
         loop {
             if *fuel == 0 {
                 return Err(SimError::OutOfFuel);
@@ -590,23 +768,24 @@ impl PreparedProgram {
 
             match inst {
                 PInst::Imm { dst, value } => {
-                    frame.int[*dst] = *value;
+                    frame.int[*dst as usize] = *value;
                     stats.cycles += cost.mov;
                 }
                 PInst::FImm { dst, value } => {
-                    frame.float[*dst] = *value;
+                    frame.float[*dst as usize] = *value;
                     stats.cycles += cost.mov;
                 }
                 PInst::MovInt { dst, src } => {
-                    frame.int[*dst] = frame.int[*src];
+                    frame.int[*dst as usize] = frame.int[*src as usize];
                     stats.cycles += cost.mov;
                 }
                 PInst::MovFloat { dst, src } => {
-                    frame.float[*dst] = frame.float[*src];
+                    frame.float[*dst as usize] = frame.float[*src as usize];
                     stats.cycles += cost.mov;
                 }
                 PInst::MovVec { dst, src } => {
-                    frame.vec.copy_within(*src..*src + vb, *dst);
+                    let (d, s) = (*dst as usize, *src as usize);
+                    frame.vec.copy_within(s..s + vb, d);
                     stats.cycles += cost.mov;
                 }
                 PInst::IntOp {
@@ -618,9 +797,9 @@ impl PreparedProgram {
                     rhs,
                     cost,
                 } => {
-                    let a = frame.int[*lhs];
-                    let b = frame.int[*rhs];
-                    frame.int[*dst] = alu(*op, *width, *signed, a, b)?;
+                    let a = frame.int[*lhs as usize];
+                    let b = frame.int[*rhs as usize];
+                    frame.int[*dst as usize] = alu(*op, *width, *signed, a, b)?;
                     stats.cycles += cost;
                 }
                 PInst::FloatOp {
@@ -631,24 +810,24 @@ impl PreparedProgram {
                     rhs,
                     cost,
                 } => {
-                    let a = frame.float[*lhs];
-                    let b = frame.float[*rhs];
-                    frame.float[*dst] = fpu(*op, *double, a, b);
+                    let a = frame.float[*lhs as usize];
+                    let b = frame.float[*rhs as usize];
+                    frame.float[*dst as usize] = fpu(*op, *double, a, b);
                     stats.cycles += cost;
                 }
                 PInst::IntNeg { width, dst, src } => {
-                    let v = frame.int[*src];
-                    frame.int[*dst] = normalize(*width, true, v.wrapping_neg());
+                    let v = frame.int[*src as usize];
+                    frame.int[*dst as usize] = normalize(*width, true, v.wrapping_neg());
                     stats.cycles += cost.int_op;
                 }
                 PInst::IntNot { width, dst, src } => {
-                    let v = frame.int[*src];
-                    frame.int[*dst] = normalize(*width, false, !v);
+                    let v = frame.int[*src as usize];
+                    frame.int[*dst as usize] = normalize(*width, false, !v);
                     stats.cycles += cost.int_op;
                 }
                 PInst::FloatNeg { double, dst, src } => {
-                    let v = frame.float[*src];
-                    frame.float[*dst] = if *double { -v } else { f64::from(-(v as f32)) };
+                    let v = frame.float[*src as usize];
+                    frame.float[*dst as usize] = if *double { -v } else { f64::from(-(v as f32)) };
                     stats.cycles += cost.fp_add;
                 }
                 PInst::IntCmp {
@@ -659,9 +838,9 @@ impl PreparedProgram {
                     lhs,
                     rhs,
                 } => {
-                    let a = normalize(*width, *signed, frame.int[*lhs]);
-                    let b = normalize(*width, *signed, frame.int[*rhs]);
-                    frame.int[*dst] = if *signed {
+                    let a = normalize(*width, *signed, frame.int[*lhs as usize]);
+                    let b = normalize(*width, *signed, frame.int[*rhs as usize]);
+                    frame.int[*dst as usize] = if *signed {
                         compare(*pred, a, b)
                     } else {
                         compare(*pred, a as u64, b as u64)
@@ -675,14 +854,14 @@ impl PreparedProgram {
                     lhs,
                     rhs,
                 } => {
-                    let a = frame.float[*lhs];
-                    let b = frame.float[*rhs];
+                    let a = frame.float[*lhs as usize];
+                    let b = frame.float[*rhs as usize];
                     let (a, b) = if *double {
                         (a, b)
                     } else {
                         (f64::from(a as f32), f64::from(b as f32))
                     };
-                    frame.int[*dst] = if a.partial_cmp(&b).is_none() {
+                    frame.int[*dst as usize] = if a.partial_cmp(&b).is_none() {
                         i64::from(*pred == CmpPred::Ne)
                     } else {
                         compare(*pred, a, b)
@@ -695,12 +874,12 @@ impl PreparedProgram {
                     if_true,
                     if_false,
                 } => {
-                    let chosen = if frame.int[*cond] != 0 {
+                    let chosen = if frame.int[*cond as usize] != 0 {
                         *if_true
                     } else {
                         *if_false
                     };
-                    frame.int[*dst] = frame.int[chosen];
+                    frame.int[*dst as usize] = frame.int[chosen as usize];
                     stats.cycles += cost.mov;
                 }
                 PInst::SelectFloat {
@@ -709,12 +888,12 @@ impl PreparedProgram {
                     if_true,
                     if_false,
                 } => {
-                    let chosen = if frame.int[*cond] != 0 {
+                    let chosen = if frame.int[*cond as usize] != 0 {
                         *if_true
                     } else {
                         *if_false
                     };
-                    frame.float[*dst] = frame.float[chosen];
+                    frame.float[*dst as usize] = frame.float[chosen as usize];
                     stats.cycles += cost.mov;
                 }
                 PInst::SelectVec {
@@ -723,12 +902,12 @@ impl PreparedProgram {
                     if_true,
                     if_false,
                 } => {
-                    let chosen = if frame.int[*cond] != 0 {
-                        *if_true
+                    let chosen = if frame.int[*cond as usize] != 0 {
+                        *if_true as usize
                     } else {
-                        *if_false
+                        *if_false as usize
                     };
-                    frame.vec.copy_within(chosen..chosen + vb, *dst);
+                    frame.vec.copy_within(chosen..chosen + vb, *dst as usize);
                     stats.cycles += cost.mov;
                 }
                 PInst::IntToFloat {
@@ -737,9 +916,9 @@ impl PreparedProgram {
                     dst,
                     src,
                 } => {
-                    let v = frame.int[*src];
+                    let v = frame.int[*src as usize];
                     let x = if *signed { v as f64 } else { v as u64 as f64 };
-                    frame.float[*dst] = if *double { x } else { f64::from(x as f32) };
+                    frame.float[*dst as usize] = if *double { x } else { f64::from(x as f32) };
                     stats.cycles += cost.convert;
                 }
                 PInst::FloatToInt {
@@ -748,8 +927,8 @@ impl PreparedProgram {
                     dst,
                     src,
                 } => {
-                    let v = frame.float[*src];
-                    frame.int[*dst] = normalize(*width, *signed, v as i64);
+                    let v = frame.float[*src as usize];
+                    frame.int[*dst as usize] = normalize(*width, *signed, v as i64);
                     stats.cycles += cost.convert;
                 }
                 PInst::FloatCvt {
@@ -757,8 +936,8 @@ impl PreparedProgram {
                     dst,
                     src,
                 } => {
-                    let v = frame.float[*src];
-                    frame.float[*dst] = if *to_double { v } else { f64::from(v as f32) };
+                    let v = frame.float[*src as usize];
+                    frame.float[*dst as usize] = if *to_double { v } else { f64::from(v as f32) };
                     stats.cycles += cost.convert;
                 }
                 PInst::IntResize {
@@ -767,8 +946,8 @@ impl PreparedProgram {
                     dst,
                     src,
                 } => {
-                    let v = frame.int[*src];
-                    frame.int[*dst] = normalize(*width, *signed, v);
+                    let v = frame.int[*src as usize];
+                    frame.int[*dst as usize] = normalize(*width, *signed, v);
                     stats.cycles += cost.int_op;
                 }
                 PInst::LoadInt {
@@ -778,9 +957,9 @@ impl PreparedProgram {
                     base,
                     offset,
                 } => {
-                    let addr = frame.int[*base].wrapping_add(*offset);
+                    let addr = frame.int[*base as usize].wrapping_add(*offset);
                     let raw = read_mem(mem, addr, width.bytes())?;
-                    frame.int[*dst] = normalize(*width, *signed, raw as i64);
+                    frame.int[*dst as usize] = normalize(*width, *signed, raw as i64);
                     stats.cycles += cost.load;
                     stats.loads += 1;
                 }
@@ -790,9 +969,9 @@ impl PreparedProgram {
                     base,
                     offset,
                 } => {
-                    let addr = frame.int[*base].wrapping_add(*offset);
+                    let addr = frame.int[*base as usize].wrapping_add(*offset);
                     let raw = read_mem(mem, addr, width.bytes())?;
-                    frame.float[*dst] = match width {
+                    frame.float[*dst as usize] = match width {
                         Width::W32 => f64::from(f32::from_bits(raw as u32)),
                         _ => f64::from_bits(raw),
                     };
@@ -805,8 +984,8 @@ impl PreparedProgram {
                     offset,
                     src,
                 } => {
-                    let addr = frame.int[*base].wrapping_add(*offset);
-                    write_mem(mem, addr, width.bytes(), frame.int[*src] as u64)?;
+                    let addr = frame.int[*base as usize].wrapping_add(*offset);
+                    write_mem(mem, addr, width.bytes(), frame.int[*src as usize] as u64)?;
                     stats.cycles += cost.store;
                     stats.stores += 1;
                 }
@@ -816,8 +995,8 @@ impl PreparedProgram {
                     offset,
                     src,
                 } => {
-                    let addr = frame.int[*base].wrapping_add(*offset);
-                    let v = frame.float[*src];
+                    let addr = frame.int[*base as usize].wrapping_add(*offset);
+                    let v = frame.float[*src as usize];
                     let raw = match width {
                         Width::W32 => u64::from((v as f32).to_bits()),
                         _ => v.to_bits(),
@@ -827,19 +1006,19 @@ impl PreparedProgram {
                     stats.stores += 1;
                 }
                 PInst::VecLoad { dst, base, offset } => {
-                    let addr = frame.int[*base].wrapping_add(*offset);
+                    let addr = frame.int[*base as usize].wrapping_add(*offset);
                     check_range(mem, addr, vb as u64)?;
-                    frame.vec[*dst..*dst + vb]
-                        .copy_from_slice(&mem[addr as usize..addr as usize + vb]);
+                    let d = *dst as usize;
+                    frame.vec[d..d + vb].copy_from_slice(&mem[addr as usize..addr as usize + vb]);
                     stats.cycles += cost.vec_load;
                     stats.loads += 1;
                     stats.vector_ops += 1;
                 }
                 PInst::VecStore { base, offset, src } => {
-                    let addr = frame.int[*base].wrapping_add(*offset);
+                    let addr = frame.int[*base as usize].wrapping_add(*offset);
                     check_range(mem, addr, vb as u64)?;
-                    mem[addr as usize..addr as usize + vb]
-                        .copy_from_slice(&frame.vec[*src..*src + vb]);
+                    let s = *src as usize;
+                    mem[addr as usize..addr as usize + vb].copy_from_slice(&frame.vec[s..s + vb]);
                     stats.cycles += cost.vec_store;
                     stats.stores += 1;
                     stats.vector_ops += 1;
@@ -850,9 +1029,10 @@ impl PreparedProgram {
                     dst,
                     src,
                 } => {
-                    let v = frame.int[*src];
-                    let reg = &mut frame.vec[*dst..*dst + vb];
-                    for lane in 0..*lanes {
+                    let v = frame.int[*src as usize];
+                    let d = *dst as usize;
+                    let reg = &mut frame.vec[d..d + vb];
+                    for lane in 0..*lanes as usize {
                         write_lane_int(reg, lane, *elem, v);
                     }
                     stats.cycles += cost.vec_op;
@@ -864,9 +1044,10 @@ impl PreparedProgram {
                     dst,
                     src,
                 } => {
-                    let v = frame.float[*src];
-                    let reg = &mut frame.vec[*dst..*dst + vb];
-                    for lane in 0..*lanes {
+                    let v = frame.float[*src as usize];
+                    let d = *dst as usize;
+                    let reg = &mut frame.vec[d..d + vb];
+                    for lane in 0..*lanes as usize {
                         write_lane_float(reg, lane, *elem, v);
                     }
                     stats.cycles += cost.vec_op;
@@ -884,11 +1065,12 @@ impl PreparedProgram {
                     // Lane-by-lane read-then-write is aliasing-safe without
                     // the legacy per-op input clones: writing lane i of dst
                     // never changes a lane j > i of lhs/rhs.
-                    for lane in 0..*lanes {
-                        let x = read_lane_int(&frame.vec[*lhs..*lhs + vb], lane, *elem, *signed);
-                        let y = read_lane_int(&frame.vec[*rhs..*rhs + vb], lane, *elem, *signed);
-                        let r = alu(*op, *elem, *signed, x, y)?;
-                        write_lane_int(&mut frame.vec[*dst..*dst + vb], lane, *elem, r);
+                    let (d, l, r) = (*dst as usize, *lhs as usize, *rhs as usize);
+                    for lane in 0..*lanes as usize {
+                        let x = read_lane_int(&frame.vec[l..l + vb], lane, *elem, *signed);
+                        let y = read_lane_int(&frame.vec[r..r + vb], lane, *elem, *signed);
+                        let v = alu(*op, *elem, *signed, x, y)?;
+                        write_lane_int(&mut frame.vec[d..d + vb], lane, *elem, v);
                     }
                     stats.cycles += cost.vec_op;
                     stats.vector_ops += 1;
@@ -902,11 +1084,12 @@ impl PreparedProgram {
                     lhs,
                     rhs,
                 } => {
-                    for lane in 0..*lanes {
-                        let x = read_lane_float(&frame.vec[*lhs..*lhs + vb], lane, *elem);
-                        let y = read_lane_float(&frame.vec[*rhs..*rhs + vb], lane, *elem);
-                        let r = fpu(*op, *double, x, y);
-                        write_lane_float(&mut frame.vec[*dst..*dst + vb], lane, *elem, r);
+                    let (d, l, r) = (*dst as usize, *lhs as usize, *rhs as usize);
+                    for lane in 0..*lanes as usize {
+                        let x = read_lane_float(&frame.vec[l..l + vb], lane, *elem);
+                        let y = read_lane_float(&frame.vec[r..r + vb], lane, *elem);
+                        let v = fpu(*op, *double, x, y);
+                        write_lane_float(&mut frame.vec[d..d + vb], lane, *elem, v);
                     }
                     stats.cycles += cost.vec_op;
                     stats.vector_ops += 1;
@@ -919,9 +1102,10 @@ impl PreparedProgram {
                     dst,
                     src,
                 } => {
-                    let reg = &frame.vec[*src..*src + vb];
+                    let s = *src as usize;
+                    let reg = &frame.vec[s..s + vb];
                     let mut acc = read_lane_int(reg, 0, *elem, *signed);
-                    for lane in 1..*lanes {
+                    for lane in 1..*lanes as usize {
                         let x = read_lane_int(reg, lane, *elem, *signed);
                         acc = match op {
                             RedOp::Add => alu(AluOp::Add, *elem, *signed, acc, x)?,
@@ -929,7 +1113,7 @@ impl PreparedProgram {
                             RedOp::Max => alu(AluOp::Max, *elem, *signed, acc, x)?,
                         };
                     }
-                    frame.int[*dst] = acc;
+                    frame.int[*dst as usize] = acc;
                     stats.cycles += cost.vec_reduce;
                     stats.vector_ops += 1;
                 }
@@ -940,10 +1124,11 @@ impl PreparedProgram {
                     dst,
                     src,
                 } => {
-                    let reg = &frame.vec[*src..*src + vb];
+                    let s = *src as usize;
+                    let reg = &frame.vec[s..s + vb];
                     let double = *elem == Width::W64;
                     let mut acc = read_lane_float(reg, 0, *elem);
-                    for lane in 1..*lanes {
+                    for lane in 1..*lanes as usize {
                         let x = read_lane_float(reg, lane, *elem);
                         acc = match op {
                             RedOp::Add => fpu(FpuOp::Add, double, acc, x),
@@ -951,49 +1136,53 @@ impl PreparedProgram {
                             RedOp::Max => fpu(FpuOp::Max, double, acc, x),
                         };
                     }
-                    frame.float[*dst] = acc;
+                    frame.float[*dst as usize] = acc;
                     stats.cycles += cost.vec_reduce;
                     stats.vector_ops += 1;
                 }
                 PInst::SpillInt { slot, src } => {
-                    let value = SlotValue::Int(frame.int[*src]);
+                    let value = SlotValue::Int(frame.int[*src as usize]);
                     *frame
                         .slots
-                        .get_mut(*slot)
+                        .get_mut(*slot as usize)
                         .ok_or_else(|| SimError::Trap(format!("spill to invalid slot {slot}")))? =
                         value;
                     stats.cycles += cost.spill_store;
                     stats.spill_stores += 1;
                 }
                 PInst::SpillFloat { slot, src } => {
-                    let value = SlotValue::Float(frame.float[*src]);
+                    let value = SlotValue::Float(frame.float[*src as usize]);
                     *frame
                         .slots
-                        .get_mut(*slot)
+                        .get_mut(*slot as usize)
                         .ok_or_else(|| SimError::Trap(format!("spill to invalid slot {slot}")))? =
                         value;
                     stats.cycles += cost.spill_store;
                     stats.spill_stores += 1;
                 }
                 PInst::SpillVec { slot, src } => {
-                    let value = SlotValue::Vec(frame.vec[*src..*src + vb].to_vec());
+                    let s = *src as usize;
+                    let value = SlotValue::Vec(frame.vec[s..s + vb].to_vec());
                     *frame
                         .slots
-                        .get_mut(*slot)
+                        .get_mut(*slot as usize)
                         .ok_or_else(|| SimError::Trap(format!("spill to invalid slot {slot}")))? =
                         value;
                     stats.cycles += cost.spill_store;
                     stats.spill_stores += 1;
                 }
                 PInst::Reload { slot, class, dst } => {
-                    let value = frame.slots.get(*slot).ok_or_else(|| {
+                    let value = frame.slots.get(*slot as usize).ok_or_else(|| {
                         SimError::Trap(format!("reload from invalid slot {slot}"))
                     })?;
                     match (class, value) {
-                        (RegClass::Int, SlotValue::Int(v)) => frame.int[*dst] = *v,
-                        (RegClass::Float, SlotValue::Float(v)) => frame.float[*dst] = *v,
+                        (RegClass::Int, SlotValue::Int(v)) => frame.int[*dst as usize] = *v,
+                        (RegClass::Float, SlotValue::Float(v)) => {
+                            frame.float[*dst as usize] = *v;
+                        }
                         (RegClass::Vec, SlotValue::Vec(v)) => {
-                            frame.vec[*dst..*dst + vb].copy_from_slice(v);
+                            let d = *dst as usize;
+                            frame.vec[d..d + vb].copy_from_slice(v);
                         }
                         (_, SlotValue::Empty) => {
                             return Err(SimError::Trap(format!(
@@ -1019,7 +1208,7 @@ impl PreparedProgram {
                     then_target,
                     else_target,
                 } => {
-                    let taken = frame.int[*cond] != 0;
+                    let taken = frame.int[*cond as usize] != 0;
                     pc = if taken {
                         *then_target as usize
                     } else {
@@ -1032,9 +1221,9 @@ impl PreparedProgram {
                     };
                     stats.branches += 1;
                 }
-                PInst::Call { callee, args, ret } => {
+                PInst::Call(call) => {
                     let mut argv = pool.take_argv();
-                    for &(class, idx) in args.iter() {
+                    for &(class, idx) in call.args.iter() {
                         argv.push(match class {
                             RegClass::Int => MachineValue::Int(frame.int[idx]),
                             RegClass::Float => MachineValue::Float(frame.float[idx]),
@@ -1046,25 +1235,29 @@ impl PreparedProgram {
                         });
                     }
                     stats.cycles += cost.call;
-                    let out = self.exec(*callee, &argv, mem, pool, fuel, depth + 1, stats)?;
+                    // Calls made from metered code stay metered: once fuel is
+                    // too low for region prepayment, the whole remaining
+                    // execution runs per-instruction like the legacy walk.
+                    let out =
+                        self.exec_metered(call.callee, &argv, mem, pool, fuel, depth + 1, stats)?;
                     pool.give_argv(argv);
-                    if let Some((class, idx)) = ret {
+                    if let Some((class, idx)) = call.ret {
                         match (class, out) {
-                            (RegClass::Int, Some(MachineValue::Int(v))) => frame.int[*idx] = v,
+                            (RegClass::Int, Some(MachineValue::Int(v))) => frame.int[idx] = v,
                             (RegClass::Float, Some(MachineValue::Float(v))) => {
-                                frame.float[*idx] = v;
+                                frame.float[idx] = v;
                             }
                             _ => {
                                 return Err(SimError::Trap(format!(
                                     "call to {} did not produce the expected value",
-                                    self.functions[*callee].name
+                                    self.functions[call.callee].name
                                 )));
                             }
                         }
                     }
                 }
                 PInst::CallUnknown { name } => {
-                    return Err(SimError::UnknownFunction(name.clone()));
+                    return Err(SimError::UnknownFunction(name.to_string()));
                 }
                 PInst::Ret { value } => {
                     stats.cycles += cost.mov;
@@ -1093,6 +1286,197 @@ impl PreparedProgram {
             }
         }
     }
+
+    /// Render the prepared (and fused) instruction streams of every function:
+    /// resolved offsets, per-instruction cycle costs, fusion decisions and
+    /// per-region fuel charges. This is the debugging surface behind
+    /// `splitc disasm`.
+    #[allow(clippy::too_many_lines)]
+    pub fn disasm(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "; prepared program `{}` — {} function(s), dispatch: {}, fusion: {}",
+            self.name,
+            self.functions.len(),
+            if self.threaded {
+                "threaded"
+            } else {
+                "metered (fallback)"
+            },
+            if self.fused { "on" } else { "off" },
+        );
+        let fs = self.fusion;
+        let _ = writeln!(
+            out,
+            "; fused macro-ops: {} cmp+branch, {} load+op, {} indvar-step, {} paired, {} tripled",
+            fs.cmp_branch, fs.load_op, fs.indvar, fs.pair, fs.triple
+        );
+        for (fi, f) in self.functions.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "\nfn {} (#{fi}) — params {}, slots {}, {} inst / {} op",
+                f.name,
+                f.params.len(),
+                f.num_slots,
+                f.code.len(),
+                f.ops.len(),
+            );
+            if !self.threaded {
+                // No threaded stream was built; dump the enum stream directly.
+                for (pc, inst) in f.code.iter().enumerate() {
+                    let block = f
+                        .block_offsets
+                        .iter()
+                        .position(|&o| o as usize == pc)
+                        .map(|b| format!("b{b}:"))
+                        .unwrap_or_default();
+                    let _ = writeln!(
+                        out,
+                        "  {block:>5} @{pc:<4} {:<60} ; cycles {}",
+                        pinst_text(inst),
+                        pinst_cost_text(inst, &self.cost)
+                    );
+                }
+                continue;
+            }
+            for (pi, meta) in f.meta.iter().enumerate() {
+                let enum_pc = meta.enum_pc as usize;
+                // Block label + region charge when an op starts a region.
+                if let Some(b) = f.block_offsets.iter().position(|&o| o as usize == enum_pc) {
+                    let charge = f.targets[b].charge;
+                    let _ = writeln!(out, "  b{b}: (entry charge {charge})");
+                } else if let Some(t) = f
+                    .targets
+                    .iter()
+                    .skip(f.block_offsets.len())
+                    .find(|t| t.ops_pc as usize == pi)
+                {
+                    let _ = writeln!(out, "  .after-call: (entry charge {})", t.charge);
+                }
+                let span = if meta.len > 1 {
+                    format!("@{enum_pc}..{}", enum_pc + meta.len as usize)
+                } else {
+                    format!("@{enum_pc}")
+                };
+                // A `+` (pair) or `*` (triple) after the record index marks
+                // a weld opener: its handler also executes the next one or
+                // two records printed below it.
+                let pm = match meta.welded {
+                    2 => "+",
+                    3 => "*",
+                    _ => " ",
+                };
+                match meta.fused {
+                    FuseKind::None => {
+                        let inst = &f.code[enum_pc];
+                        let _ = writeln!(
+                            out,
+                            "  {pi:>4}{pm}{span:<9} {:<58} ; cycles {}",
+                            pinst_text(inst),
+                            pinst_cost_text(inst, &self.cost)
+                        );
+                    }
+                    kind => {
+                        let parts: Vec<String> = f.code[enum_pc..enum_pc + meta.len as usize]
+                            .iter()
+                            .map(pinst_text)
+                            .collect();
+                        let costs: Vec<String> = f.code[enum_pc..enum_pc + meta.len as usize]
+                            .iter()
+                            .map(|i| pinst_cost_text(i, &self.cost))
+                            .collect();
+                        let _ = writeln!(
+                            out,
+                            "  {pi:>4}{pm}{span:<9} fuse.{} {{ {} }} ; cycles {} ; fuel {}",
+                            kind.label(),
+                            parts.join(" ; "),
+                            costs.join(" + "),
+                            meta.len
+                        );
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Copy `args` into the register files named by the function's parameters.
+fn write_params(
+    f: &PreparedFunction,
+    frame: &mut Frame,
+    args: &[MachineValue],
+) -> Result<(), SimError> {
+    for (&(class, idx), value) in f.params.iter().zip(args) {
+        match (class, value) {
+            (RegClass::Int, MachineValue::Int(v)) => frame.int[idx] = *v,
+            (RegClass::Float, MachineValue::Float(v)) => frame.float[idx] = *v,
+            (RegClass::Int, MachineValue::Float(v)) => frame.int[idx] = *v as i64,
+            (RegClass::Float, MachineValue::Int(v)) => frame.float[idx] = *v as f64,
+            (RegClass::Vec, _) => {
+                return Err(SimError::Trap(
+                    "vector registers cannot be parameters".into(),
+                ));
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Compact one-line rendering of a pre-decoded instruction.
+fn pinst_text(inst: &PInst) -> String {
+    match inst {
+        PInst::Call(c) => format!(
+            "Call {{ callee: #{}, args: {:?}, ret: {:?} }}",
+            c.callee, c.args, c.ret
+        ),
+        other => format!("{other:?}"),
+    }
+}
+
+/// The cycle charge of one pre-decoded instruction as text (`taken/not`
+/// for conditional branches, whose charge depends on the outcome).
+fn pinst_cost_text(inst: &PInst, cost: &CostModel) -> String {
+    match inst {
+        PInst::Imm { .. }
+        | PInst::FImm { .. }
+        | PInst::MovInt { .. }
+        | PInst::MovFloat { .. }
+        | PInst::MovVec { .. }
+        | PInst::SelectInt { .. }
+        | PInst::SelectFloat { .. }
+        | PInst::SelectVec { .. }
+        | PInst::Ret { .. } => cost.mov.to_string(),
+        PInst::IntOp { cost, .. } | PInst::FloatOp { cost, .. } => cost.to_string(),
+        PInst::IntNeg { .. }
+        | PInst::IntNot { .. }
+        | PInst::IntCmp { .. }
+        | PInst::IntResize { .. } => cost.int_op.to_string(),
+        PInst::FloatNeg { .. } | PInst::FloatCmp { .. } => cost.fp_add.to_string(),
+        PInst::IntToFloat { .. } | PInst::FloatToInt { .. } | PInst::FloatCvt { .. } => {
+            cost.convert.to_string()
+        }
+        PInst::LoadInt { .. } | PInst::LoadFloat { .. } => cost.load.to_string(),
+        PInst::StoreInt { .. } | PInst::StoreFloat { .. } => cost.store.to_string(),
+        PInst::VecLoad { .. } => cost.vec_load.to_string(),
+        PInst::VecStore { .. } => cost.vec_store.to_string(),
+        PInst::VecSplatInt { .. }
+        | PInst::VecSplatFloat { .. }
+        | PInst::VecIntOp { .. }
+        | PInst::VecFloatOp { .. } => cost.vec_op.to_string(),
+        PInst::VecReduceInt { .. } | PInst::VecReduceFloat { .. } => cost.vec_reduce.to_string(),
+        PInst::SpillInt { .. } | PInst::SpillFloat { .. } | PInst::SpillVec { .. } => {
+            cost.spill_store.to_string()
+        }
+        PInst::Reload { .. } => cost.spill_load.to_string(),
+        PInst::Jump { .. } => cost.branch_taken.to_string(),
+        PInst::BranchNz { .. } => {
+            format!("{}/{}", cost.branch_taken, cost.branch_not_taken)
+        }
+        PInst::Call(_) => cost.call.to_string(),
+        PInst::CallUnknown { .. } | PInst::FellOff { .. } => "0 (trap)".to_string(),
+    }
 }
 
 /// Register-file shape of the target a program is being prepared for.
@@ -1106,7 +1490,7 @@ struct Layout {
 impl Layout {
     /// Validate `r` against its class's register file; returns the direct
     /// frame index (a byte offset for vector registers).
-    fn resolve(&self, r: PReg, fname: &str) -> Result<usize, SimError> {
+    fn resolve(&self, r: PReg, fname: &str) -> Result<u32, SimError> {
         let idx = usize::from(r.index);
         let ok = match r.class {
             RegClass::Int => idx < self.int_regs,
@@ -1120,14 +1504,14 @@ impl Layout {
             });
         }
         Ok(match r.class {
-            RegClass::Vec => idx * self.vector_bytes,
-            _ => idx,
+            RegClass::Vec => (idx * self.vector_bytes) as u32,
+            _ => idx as u32,
         })
     }
 
     /// Resolve `r` as `(class, index)` for class-dispatched instructions.
     fn resolve_ref(&self, r: PReg, fname: &str) -> Result<RRef, SimError> {
-        Ok((r.class, self.resolve(r, fname)?))
+        Ok((r.class, self.resolve(r, fname)? as usize))
     }
 }
 
@@ -1164,7 +1548,7 @@ fn prepare_function(
             })
         }
     };
-    let lanes_for = |elem: Width| (target.vector_bytes() / elem.bytes()) as usize;
+    let lanes_for = |elem: Width| (target.vector_bytes() / elem.bytes()) as u32;
 
     let mut params = Vec::with_capacity(f.params.len());
     for p in &f.params {
@@ -1499,7 +1883,7 @@ fn prepare_function(
                 }
                 MInst::Spill { slot, src } => {
                     let s = layout.resolve(*src, fname)?;
-                    let slot = *slot as usize;
+                    let slot = *slot;
                     match src.class {
                         RegClass::Int => PInst::SpillInt { slot, src: s },
                         RegClass::Float => PInst::SpillFloat { slot, src: s },
@@ -1507,7 +1891,7 @@ fn prepare_function(
                     }
                 }
                 MInst::Reload { slot, dst } => PInst::Reload {
-                    slot: *slot as usize,
+                    slot: *slot,
                     class: dst.class,
                     dst: layout.resolve(*dst, fname)?,
                 },
@@ -1533,13 +1917,13 @@ fn prepare_function(
                         None => None,
                     };
                     match by_name.get(callee) {
-                        Some(&index) => PInst::Call {
+                        Some(&index) => PInst::Call(Box::new(PCall {
                             callee: index,
                             args: resolved.into_boxed_slice(),
                             ret,
-                        },
+                        })),
                         None => PInst::CallUnknown {
-                            name: callee.clone(),
+                            name: callee.clone().into_boxed_str(),
                         },
                     }
                 }
@@ -1558,12 +1942,19 @@ fn prepare_function(
     }
     if f.blocks.is_empty() {
         code.push(PInst::FellOff { block: 0 });
+        offsets.push(0);
     }
     Ok(PreparedFunction {
         name: f.name.clone(),
         params: params.into_boxed_slice(),
         num_slots: f.num_slots as usize,
         code,
+        block_offsets: offsets,
+        ops: Vec::new(),
+        fixup: Vec::new(),
+        meta: Vec::new(),
+        targets: Vec::new(),
+        calls: Vec::new(),
     })
 }
 
@@ -1573,7 +1964,7 @@ fn prepare_function(
 #[derive(Debug)]
 pub struct PreparedSimulator<'p> {
     program: &'p PreparedProgram,
-    pool: FramePool,
+    pub(crate) pool: FramePool,
     fuel: u64,
     stats: SimStats,
 }
@@ -1595,13 +1986,14 @@ impl<'p> PreparedSimulator<'p> {
         self
     }
 
-    /// Statistics from the most recent [`PreparedSimulator::run`].
+    /// Statistics from the most recent [`PreparedSimulator::run`] /
+    /// [`PreparedSimulator::run_metered`].
     pub fn stats(&self) -> SimStats {
         self.stats
     }
 
-    /// Execute `func` with `args` against `mem`, recycling frames from the
-    /// executor's pool.
+    /// Execute `func` with `args` against `mem` on the threaded dispatch
+    /// stream, recycling frames from the executor's pool.
     ///
     /// # Errors
     ///
@@ -1615,8 +2007,23 @@ impl<'p> PreparedSimulator<'p> {
         self.program
             .run(func, args, mem, &mut self.pool, self.fuel, &mut self.stats)
     }
-}
 
+    /// Execute `func` on the metered per-instruction stream (the reference
+    /// loop the threaded path is differenced against).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`PreparedProgram::run`].
+    pub fn run_metered(
+        &mut self,
+        func: &str,
+        args: &[MachineValue],
+        mem: &mut [u8],
+    ) -> Result<Option<MachineValue>, SimError> {
+        self.program
+            .run_metered(func, args, mem, &mut self.pool, self.fuel, &mut self.stats)
+    }
+}
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1935,6 +2342,191 @@ mod tests {
         assert_eq!(
             err,
             SimError::Trap("fell off the end of block 0 in f".into())
+        );
+    }
+
+    /// A counting loop whose back edge is the exact 4-instruction
+    /// induction-variable shape the lowering emits (`add tmp,i,s ; mov i,tmp
+    /// ; cmp t,i,n ; bnz t`), with a body op so fused and unfused streams
+    /// differ in record count but must not differ in anything observable.
+    fn counting_loop() -> MProgram {
+        let f = MFunction {
+            name: "count".into(),
+            params: vec![PReg::int(0)], // n
+            blocks: vec![
+                MBlock {
+                    insts: vec![
+                        MInst::Imm {
+                            dst: PReg::int(1), // i
+                            value: 0,
+                        },
+                        MInst::Imm {
+                            dst: PReg::int(2), // step
+                            value: 1,
+                        },
+                        MInst::Imm {
+                            dst: PReg::int(3), // acc
+                            value: 0,
+                        },
+                        MInst::Jump { target: 1 },
+                    ],
+                },
+                MBlock {
+                    insts: vec![
+                        MInst::IntOp {
+                            op: AluOp::Add,
+                            width: Width::W64,
+                            signed: true,
+                            dst: PReg::int(3),
+                            lhs: PReg::int(3),
+                            rhs: PReg::int(1),
+                        },
+                        MInst::IntOp {
+                            op: AluOp::Add,
+                            width: Width::W64,
+                            signed: true,
+                            dst: PReg::int(4), // tmp
+                            lhs: PReg::int(1),
+                            rhs: PReg::int(2),
+                        },
+                        MInst::Mov {
+                            dst: PReg::int(1),
+                            src: PReg::int(4),
+                        },
+                        MInst::IntCmp {
+                            pred: CmpPred::Lt,
+                            width: Width::W64,
+                            signed: true,
+                            dst: PReg::int(5),
+                            lhs: PReg::int(1),
+                            rhs: PReg::int(0),
+                        },
+                        MInst::BranchNz {
+                            cond: PReg::int(5),
+                            then_target: 1,
+                            else_target: 2,
+                        },
+                    ],
+                },
+                MBlock {
+                    insts: vec![MInst::Ret {
+                        value: Some(PReg::int(3)),
+                    }],
+                },
+            ],
+            num_slots: 0,
+        };
+        MProgram {
+            name: "m".into(),
+            functions: vec![f],
+        }
+    }
+
+    #[test]
+    fn hot_stream_records_stay_within_32_bytes() {
+        // Backstop for the compile-time asserts: both per-op representations
+        // must stay at two records per 64-byte cache line.
+        assert!(
+            std::mem::size_of::<PInst>() <= 32,
+            "PInst grew past 32 bytes"
+        );
+        assert!(
+            std::mem::size_of::<OpRecord>() <= 32,
+            "OpRecord grew past 32 bytes"
+        );
+    }
+
+    #[test]
+    fn fusion_is_toggleable_and_bit_identical_on_the_indvar_loop() {
+        let p = counting_loop();
+        let target = TargetDesc::x86_sse();
+        let fused = PreparedProgram::prepare_with(&p, &target, true).unwrap();
+        let unfused = PreparedProgram::prepare_with(&p, &target, false).unwrap();
+        assert!(fused.fused() && !unfused.fused());
+        assert_eq!(fused.fusion_stats().indvar, 1, "back edge must fuse");
+        assert_eq!(unfused.fusion_stats().total(), 0);
+        // Fewer records with fusion on, same enum stream either way.
+        assert!(fused.functions[0].ops.len() < unfused.functions[0].ops.len());
+        assert_eq!(fused.functions[0].code, unfused.functions[0].code);
+
+        let args = [MachineValue::Int(10)];
+        let mut outs = Vec::new();
+        for prog in [&fused, &unfused] {
+            let mut mem = vec![0u8; 32];
+            let mut sim = PreparedSimulator::new(prog);
+            let out = sim.run("count", &args, &mut mem).unwrap();
+            outs.push((out, sim.stats()));
+            let out = sim.run_metered("count", &args, &mut mem).unwrap();
+            outs.push((out, sim.stats()));
+        }
+        // 0+1+...+9 = 45; all four paths agree on result and full stats.
+        assert_eq!(outs[0].0, Some(MachineValue::Int(45)));
+        assert!(outs.iter().all(|o| o == &outs[0]), "{outs:?}");
+    }
+
+    #[test]
+    fn fuel_exhaustion_is_identical_across_fused_unfused_and_metered() {
+        // Satellite bugfix pin: `OutOfFuel` must trigger at the identical
+        // retired-instruction count whether the back edge runs as one fused
+        // record or four metered instructions — i.e. for every fuel value
+        // from 0 to "just enough", including ones that land *inside* the
+        // fused span, all paths agree on outcome and full stats.
+        let p = counting_loop();
+        let target = TargetDesc::x86_sse();
+        let fused = PreparedProgram::prepare_with(&p, &target, true).unwrap();
+        let unfused = PreparedProgram::prepare_with(&p, &target, false).unwrap();
+        let args = [MachineValue::Int(4)];
+
+        let total = {
+            let mut mem = vec![0u8; 32];
+            let mut sim = PreparedSimulator::new(&fused);
+            sim.run("count", &args, &mut mem).unwrap();
+            sim.stats().instructions
+        };
+        assert!(total > 8, "loop must straddle several fused back edges");
+
+        for fuel in 0..=total + 1 {
+            let mut results = Vec::new();
+            for prog in [&fused, &unfused] {
+                for metered in [false, true] {
+                    let mut mem = vec![0u8; 32];
+                    let mut sim = PreparedSimulator::new(prog).with_fuel(fuel);
+                    let out = if metered {
+                        sim.run_metered("count", &args, &mut mem)
+                    } else {
+                        sim.run("count", &args, &mut mem)
+                    };
+                    results.push((out, sim.stats()));
+                }
+            }
+            assert!(
+                results.iter().all(|r| r == &results[0]),
+                "fuel {fuel}: paths diverged: {results:?}"
+            );
+            let (out, stats) = &results[0];
+            if fuel >= total {
+                assert!(out.is_ok(), "fuel {fuel}");
+            } else {
+                assert_eq!(out, &Err(SimError::OutOfFuel), "fuel {fuel}");
+                // Exactly `fuel` source instructions retired before running dry.
+                assert_eq!(stats.instructions, fuel, "fuel {fuel}");
+            }
+        }
+    }
+
+    #[test]
+    fn disasm_renders_fused_spans_and_region_charges() {
+        let p = counting_loop();
+        let target = TargetDesc::x86_sse();
+        let fused = PreparedProgram::prepare_with(&p, &target, true).unwrap();
+        let text = fused.disasm();
+        assert!(text.contains("dispatch: threaded"), "{text}");
+        assert!(text.contains("fuse.indvar4"), "{text}");
+        assert!(text.contains("entry charge"), "{text}");
+        let unfused = PreparedProgram::prepare_with(&p, &target, false).unwrap();
+        assert!(
+            !unfused.disasm().contains("fuse."),
+            "no fused spans expected"
         );
     }
 }

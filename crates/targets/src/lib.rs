@@ -58,13 +58,14 @@
 #![warn(rust_2018_idioms)]
 
 mod desc;
+mod dispatch;
 mod exec;
 mod hash;
 mod mcode;
 mod simulator;
 
 pub use desc::{CostModel, TargetDesc, VectorUnit};
-pub use exec::{FramePool, PreparedProgram, PreparedSimulator};
+pub use exec::{FramePool, FusionStats, PreparedProgram, PreparedSimulator};
 pub use hash::Fnv1a;
 pub use mcode::{
     AluOp, CmpPred, FpuOp, MBlock, MFunction, MInst, MProgram, PReg, RedOp, RegClass, Width,

@@ -158,6 +158,14 @@ pub(crate) fn normalize(width: Width, signed: bool, v: i64) -> i64 {
     }
 }
 
+/// Cold, out of line: keeps the `String` construction out of every ALU
+/// handler's frame.
+#[cold]
+#[inline(never)]
+fn zero_denominator(what: &str) -> SimError {
+    SimError::Trap(format!("integer {what} by zero"))
+}
+
 pub(crate) fn alu(op: AluOp, width: Width, signed: bool, a: i64, b: i64) -> Result<i64, SimError> {
     let r = match op {
         AluOp::Add => a.wrapping_add(b),
@@ -165,7 +173,7 @@ pub(crate) fn alu(op: AluOp, width: Width, signed: bool, a: i64, b: i64) -> Resu
         AluOp::Mul => a.wrapping_mul(b),
         AluOp::Div => {
             if b == 0 {
-                return Err(SimError::Trap("integer division by zero".into()));
+                return Err(zero_denominator("division"));
             }
             if signed {
                 a.wrapping_div(b)
@@ -175,7 +183,7 @@ pub(crate) fn alu(op: AluOp, width: Width, signed: bool, a: i64, b: i64) -> Resu
         }
         AluOp::Rem => {
             if b == 0 {
-                return Err(SimError::Trap("integer remainder by zero".into()));
+                return Err(zero_denominator("remainder"));
             }
             if signed {
                 a.wrapping_rem(b)
@@ -999,31 +1007,58 @@ impl<'p> Simulator<'p> {
     }
 }
 
-pub(crate) fn check_range(mem: &[u8], addr: i64, len: u64) -> Result<(), SimError> {
+/// Build the trap for a null/negative or out-of-range access. Out of line and
+/// cold: the `format!` machinery would otherwise be inlined into every load
+/// and store handler, bloating their frames.
+#[cold]
+#[inline(never)]
+pub(crate) fn range_error(mem_len: usize, addr: i64, len: u64) -> SimError {
     if addr <= 0 {
-        return Err(SimError::Trap(format!("null or negative address {addr}")));
+        SimError::Trap(format!("null or negative address {addr}"))
+    } else {
+        SimError::Trap(format!(
+            "out-of-bounds access at {addr}+{len} (memory size {mem_len})"
+        ))
     }
-    let addr = addr as u64;
-    if addr + len > mem.len() as u64 {
-        return Err(SimError::Trap(format!(
-            "out-of-bounds access at {addr}+{len} (memory size {})",
-            mem.len()
-        )));
+}
+
+pub(crate) fn check_range(mem: &[u8], addr: i64, len: u64) -> Result<(), SimError> {
+    if addr > 0 && addr as u64 + len <= mem.len() as u64 {
+        Ok(())
+    } else {
+        Err(range_error(mem.len(), addr, len))
     }
-    Ok(())
 }
 
 pub(crate) fn read_mem(mem: &[u8], addr: i64, len: u64) -> Result<u64, SimError> {
     check_range(mem, addr, len)?;
-    let mut buf = [0u8; 8];
-    buf[..len as usize].copy_from_slice(&mem[addr as usize..(addr as usize + len as usize)]);
-    Ok(u64::from_le_bytes(buf))
+    // SAFETY: `check_range` proved `addr > 0` and `addr + len <= mem.len()`.
+    // Reading a fixed width beats the variable-length `copy_from_slice`
+    // (a memcpy call) this compiled to before.
+    let p = unsafe { mem.as_ptr().add(addr as usize) };
+    Ok(unsafe {
+        match len {
+            1 => u64::from(*p),
+            2 => u64::from(u16::from_le_bytes(*p.cast::<[u8; 2]>())),
+            4 => u64::from(u32::from_le_bytes(*p.cast::<[u8; 4]>())),
+            _ => u64::from_le_bytes(*p.cast::<[u8; 8]>()),
+        }
+    })
 }
 
 pub(crate) fn write_mem(mem: &mut [u8], addr: i64, len: u64, value: u64) -> Result<(), SimError> {
     check_range(mem, addr, len)?;
     let bytes = value.to_le_bytes();
-    mem[addr as usize..(addr as usize + len as usize)].copy_from_slice(&bytes[..len as usize]);
+    // SAFETY: as in `read_mem`; widths are 1, 2, 4 or 8 bytes.
+    let p = unsafe { mem.as_mut_ptr().add(addr as usize) };
+    unsafe {
+        match len {
+            1 => *p = bytes[0],
+            2 => *p.cast::<[u8; 2]>() = [bytes[0], bytes[1]],
+            4 => *p.cast::<[u8; 4]>() = [bytes[0], bytes[1], bytes[2], bytes[3]],
+            _ => *p.cast::<[u8; 8]>() = bytes,
+        }
+    }
     Ok(())
 }
 

@@ -145,6 +145,7 @@ fn register_allocation_strategy_never_changes_results() {
                 let jit = JitOptions {
                     regalloc: mode,
                     allow_simd: true,
+                    fuse: true,
                 };
                 let width = effective_width(target, &jit);
                 let reference = *references
@@ -226,6 +227,7 @@ fn disabling_simd_never_changes_results() {
                 &JitOptions {
                     regalloc: RegAllocMode::SplitAnnotations,
                     allow_simd: false,
+                    fuse: true,
                 },
             );
             assert_eq!(

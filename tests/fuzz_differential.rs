@@ -280,6 +280,65 @@ fn gen_shift_program(seed: u64) -> String {
     format!("fn fuzz(n: i32, x: *i32, y: *i32) -> i32 {{\n{body}}}\n")
 }
 
+/// Generate one branch-dense i32 kernel `fn fuzz(n: i32, x: *i32, y: *i32)
+/// -> i32`: chains of conditionals re-testing each element, stepped `while`
+/// loops with compare exits, and a conditional reduction. Nearly every basic
+/// block ends in a compare+branch and every loop carries an
+/// induction-variable step, so the prepare-time macro-op fusion pass
+/// (cmp+branch, indvar) fires constantly — the adversarial surface for the
+/// threaded dispatcher. Bounds follow [`gen_int_program`]'s discipline:
+/// per-element results stay within ±32 and the reduction within ±2·N, so the
+/// programs are overflow-free by construction.
+fn gen_branch_program(seed: u64) -> String {
+    let mut g = ExprGen::new(seed ^ 0x00b4_a9c4);
+    let mut body = String::new();
+    let mut scalars: Vec<Leaf> = Vec::new();
+    for s in 0..g.rng.gen_range(2usize..4) {
+        let c = g.rng.gen_range(0i64..10);
+        body.push_str(&format!("    let s{s}: i32 = {c};\n"));
+        scalars.push((format!("s{s}"), 9));
+    }
+
+    // Element-wise map: a chain of conditionals, each re-testing the current
+    // element — back-to-back compare+branch blocks.
+    let mut leaves: Vec<Leaf> = scalars.clone();
+    leaves.push(("v".into(), 100));
+    leaves.push(("i".into(), N as u64));
+    body.push_str("    for (let i: i32 = 0; i < n; i = i + 1) {\n");
+    body.push_str("        let v: i32 = x[i];\n");
+    body.push_str("        let r: i32 = 0;\n");
+    for _ in 0..g.rng.gen_range(2u32..5) {
+        let cond = g.int_cond(&leaves);
+        let bump = g.rng.gen_range(1i64..8);
+        if g.rng.gen_range(0u32..2) == 0 {
+            body.push_str(&format!("        if {cond} {{ r = r + {bump}; }}\n"));
+        } else {
+            body.push_str(&format!(
+                "        if {cond} {{ r = r + {bump}; }} else {{ r = r - {bump}; }}\n"
+            ));
+        }
+    }
+    body.push_str("        y[i] = r;\n");
+    body.push_str("    }\n");
+
+    // Stepped while loops: induction variable plus compare exit (the indvar
+    // fusion shape) with a data-dependent branch in the body.
+    body.push_str("    let acc: i32 = 0;\n");
+    for l in 0..g.rng.gen_range(1u32..3) {
+        let step = g.rng.gen_range(1i64..4);
+        let threshold = g.rng.gen_range(0i64..10);
+        body.push_str(&format!("    let t{l}: i32 = 0;\n"));
+        body.push_str(&format!("    while (t{l} < n) {{\n"));
+        body.push_str(&format!(
+            "        if (y[t{l}] > {threshold}) {{ acc = acc + 1; }} else {{ acc = acc - 1; }}\n"
+        ));
+        body.push_str(&format!("        t{l} = t{l} + {step};\n"));
+        body.push_str("    }\n");
+    }
+    body.push_str("    return acc;\n");
+    format!("fn fuzz(n: i32, x: *i32, y: *i32) -> i32 {{\n{body}}}\n")
+}
+
 /// Generate one random f32 kernel `fn fuzzf(n: i32, x: *f32, y: *f32)`: a
 /// purely element-wise map (no float reductions, whose vectorization would
 /// legitimately reassociate), comparing output bytes exactly.
@@ -301,12 +360,13 @@ fn gen_float_program(seed: u64) -> String {
     format!("fn fuzzf(n: i32, x: *f32, y: *f32) {{\n{body}}}\n")
 }
 
-/// Run `source` through the interpreter and every target × mode — **via both
-/// execution paths**: the legacy `MProgram` block walk and the pre-decoded
-/// `PreparedProgram` flat loop — comparing the returned value and the output
-/// array bytes exactly, and the two paths' `SimStats` against each other.
-/// `float` selects the f32 input layout. Panics with the program source on
-/// any divergence.
+/// Run `source` through the interpreter and every target × mode — **via
+/// every execution path**: the legacy `MProgram` block walk, the fused
+/// threaded-dispatch loop and the unfused threaded-dispatch loop — comparing
+/// the returned value and the output array bytes exactly, and all paths'
+/// `SimStats` against each other (so macro-op fusion is pinned to be
+/// observationally invisible). `float` selects the f32 input layout. Panics
+/// with the program source on any divergence.
 fn check_program(source: &str, name: &str, seed: u64, float: bool) {
     let mut module = compile_source(source, "fuzz").unwrap_or_else(|e| {
         panic!("seed {seed}: generated program fails to compile: {e}\n--- source ---\n{source}")
@@ -363,6 +423,7 @@ fn check_program(source: &str, name: &str, seed: u64, float: bool) {
             let jit = JitOptions {
                 regalloc: mode,
                 allow_simd: true,
+                fuse: true,
             };
             let (program, _stats) =
                 compile_module(&module, &target, &jit).unwrap_or_else(|e| {
@@ -384,7 +445,7 @@ fn check_program(source: &str, name: &str, seed: u64, float: bool) {
                     )
                 });
 
-            // Pre-decoded flat loop.
+            // Pre-decoded threaded loop, with macro-op fusion.
             let prepared = PreparedProgram::prepare(&program, &target).unwrap_or_else(|e| {
                 panic!(
                     "seed {seed}: {} with {mode:?} failed to prepare: {e}\n--- source ---\n{source}",
@@ -402,9 +463,30 @@ fn check_program(source: &str, name: &str, seed: u64, float: bool) {
                     )
                 });
 
+            // The same threaded loop with fusion disabled — fusion must be
+            // observationally invisible.
+            let unfused =
+                PreparedProgram::prepare_with(&program, &target, false).unwrap_or_else(|e| {
+                    panic!(
+                        "seed {seed}: {} with {mode:?} failed to prepare unfused: {e}\n--- source ---\n{source}",
+                        target.name
+                    )
+                });
+            let mut unfused_ws = ws.clone();
+            let mut unfused_sim = PreparedSimulator::new(&unfused);
+            let unfused_result = unfused_sim
+                .run(name, &args, unfused_ws.bytes_mut())
+                .unwrap_or_else(|e| {
+                    panic!(
+                        "seed {seed}: {} with {mode:?} (unfused) failed: {e}\n--- source ---\n{source}",
+                        target.name
+                    )
+                });
+
             for (path, run_result, out_ws) in [
                 ("legacy", legacy_result, &legacy_ws),
                 ("prepared", result, &run_ws),
+                ("unfused", unfused_result, &unfused_ws),
             ] {
                 assert_eq!(
                     run_result, expected_result,
@@ -424,6 +506,12 @@ fn check_program(source: &str, name: &str, seed: u64, float: bool) {
                 "seed {seed}: {} with {mode:?}: prepared SimStats diverged from the legacy walk\n--- source ---\n{source}",
                 target.name
             );
+            assert_eq!(
+                unfused_sim.stats(),
+                legacy_sim.stats(),
+                "seed {seed}: {} with {mode:?}: unfused SimStats diverged from the legacy walk\n--- source ---\n{source}",
+                target.name
+            );
         }
     }
 }
@@ -434,6 +522,47 @@ fn random_int_programs_agree_everywhere() {
         let source = gen_int_program(seed);
         check_program(&source, "fuzz", seed, false);
     }
+}
+
+#[test]
+fn branch_dense_programs_agree_everywhere() {
+    for seed in 3000..3030u64 {
+        let source = gen_branch_program(seed);
+        check_program(&source, "fuzz", seed, false);
+    }
+}
+
+#[test]
+fn branch_dense_programs_actually_trigger_fusion() {
+    // Guard against the generator drifting into shapes the fusion pass never
+    // matches: across the tested seed range, compare+branch fusions must fire
+    // on every register-allocation mode of a mainstream target, and the
+    // indvar-step pattern must appear somewhere.
+    let target = TargetDesc::x86_sse();
+    let mut cmp_branch = 0u64;
+    let mut indvar = 0u64;
+    for seed in 3000..3030u64 {
+        let mut module = compile_source(&gen_branch_program(seed), "fuzz").unwrap();
+        optimize_module(&mut module, &OptOptions::full());
+        for mode in MODES {
+            let jit = JitOptions {
+                regalloc: mode,
+                allow_simd: true,
+                fuse: true,
+            };
+            let (program, _) = compile_module(&module, &target, &jit).unwrap();
+            let prepared = PreparedProgram::prepare(&program, &target).unwrap();
+            let stats = prepared.fusion_stats();
+            assert!(
+                stats.cmp_branch > 0,
+                "seed {seed}: no cmp+branch fusion fired under {mode:?}"
+            );
+            cmp_branch += stats.cmp_branch;
+            indvar += stats.indvar;
+        }
+    }
+    assert!(indvar > 0, "no indvar-step fusion fired across any seed");
+    assert!(cmp_branch >= 90, "fusion coverage collapsed: {cmp_branch}");
 }
 
 #[test]
@@ -515,6 +644,7 @@ fn check_program_served(server: &Server, source: &str, name: &str, seed: u64, fl
             let jit = JitOptions {
                 regalloc: mode,
                 allow_simd: true,
+                fuse: true,
             };
             let handle = server
                 .submit(Request {
@@ -622,8 +752,10 @@ fn generated_programs_are_deterministic_per_seed() {
     assert_eq!(gen_int_program(7), gen_int_program(7));
     assert_eq!(gen_float_program(7), gen_float_program(7));
     assert_eq!(gen_shift_program(7), gen_shift_program(7));
+    assert_eq!(gen_branch_program(7), gen_branch_program(7));
     assert_ne!(gen_int_program(7), gen_int_program(8));
     assert_ne!(gen_shift_program(7), gen_shift_program(8));
+    assert_ne!(gen_branch_program(7), gen_branch_program(8));
 }
 
 #[test]

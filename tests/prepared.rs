@@ -1,11 +1,13 @@
 //! Differential coverage for the pre-decoded execution path.
 //!
 //! `PreparedProgram` (deploy-time flattening, resolved jumps/calls,
-//! prepare-time register validation, pooled frames) must be **bit-identical**
-//! to the legacy `MProgram` walk — results, memory effects and `SimStats`
-//! (cycles, spill traffic, every counter) alike — for every catalogue kernel
-//! on every simulated target. These tests pin that equivalence down and also
-//! check that pooling/reuse never changes results.
+//! prepare-time register validation, pooled frames, threaded fn-pointer
+//! dispatch with macro-op fusion) must be **bit-identical** to the legacy
+//! `MProgram` walk — results, memory effects and `SimStats` (cycles, spill
+//! traffic, every counter) alike — for every catalogue kernel on every
+//! simulated target, whether the threaded loop runs fused or unfused and on
+//! the metered per-instruction fallback too. These tests pin that
+//! equivalence down and also check that pooling/reuse never changes results.
 
 use splitc::{checksum, prepare, PreparedProgram, PreparedSimulator, Workspace};
 use splitc_jit::{compile_module, JitOptions, RegAllocMode};
@@ -36,37 +38,56 @@ fn prepared_execution_is_bit_identical_to_the_legacy_walk_on_all_targets() {
             let legacy_stats = legacy_sim.stats();
             let legacy_sum = checksum(legacy_result, &prepared_inputs, &legacy_ws);
 
-            // Deploy-time prepared form.
-            let prepared = PreparedProgram::prepare(&program, &target).unwrap_or_else(|e| {
+            // Deploy-time prepared forms: the fused threaded loop, the
+            // unfused threaded loop, and the metered enum loop — all three
+            // must match the legacy walk bit-for-bit.
+            let fused = PreparedProgram::prepare(&program, &target).unwrap_or_else(|e| {
                 panic!("{} on {}: prepare failed: {e}", kernel.name, target.name)
             });
-            let mut prepared_ws = Workspace::new(1 << 16);
-            let inputs = prepare(kernel.name, N, 99, &mut prepared_ws);
-            let mut sim = PreparedSimulator::new(&prepared);
-            let result = sim
-                .run(kernel.name, &inputs.args, prepared_ws.bytes_mut())
-                .unwrap_or_else(|e| panic!("{} on {} (prepared): {e}", kernel.name, target.name));
+            let unfused =
+                PreparedProgram::prepare_with(&program, &target, false).unwrap_or_else(|e| {
+                    panic!(
+                        "{} on {}: unfused prepare failed: {e}",
+                        kernel.name, target.name
+                    )
+                });
+            let paths: [(&str, &PreparedProgram, bool); 3] = [
+                ("fused", &fused, false),
+                ("unfused", &unfused, false),
+                ("metered", &fused, true),
+            ];
+            for (path, prepared, metered) in paths {
+                let mut prepared_ws = Workspace::new(1 << 16);
+                let inputs = prepare(kernel.name, N, 99, &mut prepared_ws);
+                let mut sim = PreparedSimulator::new(prepared);
+                let result = if metered {
+                    sim.run_metered(kernel.name, &inputs.args, prepared_ws.bytes_mut())
+                } else {
+                    sim.run(kernel.name, &inputs.args, prepared_ws.bytes_mut())
+                }
+                .unwrap_or_else(|e| panic!("{} on {} ({path}): {e}", kernel.name, target.name));
 
-            assert_eq!(
-                result, legacy_result,
-                "{} on {}: prepared result diverged",
-                kernel.name, target.name
-            );
-            assert_eq!(
-                sim.stats(),
-                legacy_stats,
-                "{} on {}: prepared SimStats (cycles/spills/...) diverged",
-                kernel.name,
-                target.name
-            );
-            assert_eq!(
-                prepared_ws.bytes(),
-                legacy_ws.bytes(),
-                "{} on {}: prepared memory effects diverged",
-                kernel.name,
-                target.name
-            );
-            assert_eq!(checksum(result, &inputs, &prepared_ws), legacy_sum);
+                assert_eq!(
+                    result, legacy_result,
+                    "{} on {}: {path} result diverged",
+                    kernel.name, target.name
+                );
+                assert_eq!(
+                    sim.stats(),
+                    legacy_stats,
+                    "{} on {}: {path} SimStats (cycles/spills/...) diverged",
+                    kernel.name,
+                    target.name
+                );
+                assert_eq!(
+                    prepared_ws.bytes(),
+                    legacy_ws.bytes(),
+                    "{} on {}: {path} memory effects diverged",
+                    kernel.name,
+                    target.name
+                );
+                assert_eq!(checksum(result, &inputs, &prepared_ws), legacy_sum);
+            }
         }
     }
 }
@@ -111,6 +132,7 @@ fn engine_pooled_sweep_path_matches_legacy_per_cell_execution() {
     let options = JitOptions {
         regalloc: RegAllocMode::SplitAnnotations,
         allow_simd: true,
+        fuse: true,
     };
     let engine = ExecutionEngine::new(module.clone());
     let mut pool = FramePool::new();
