@@ -16,13 +16,36 @@
 //! *enforce* that N workers out-serve one (left report-only by default so a
 //! loaded shared CI runner cannot flake an unrelated PR on a wall-clock
 //! threshold).
+//!
+//! After the headline comparison, a 10⁵-request soak streams the same
+//! traffic shape through a bounded in-flight window, verifying every
+//! response against a single-threaded reference checksum as it drains, and
+//! prints the SLO quantiles (queue-wait and execute p50/p99/p999) plus the
+//! batch-size distribution of the continuous-batching workers. The soak's
+//! structural invariants (zero losses, every completion counted in exactly
+//! one batch) are always asserted; the wall-clock SLO floors — requests/s
+//! and a queue-wait p999 ceiling — are enforced only under
+//! `SERVE_BENCH_ASSERT=1` on a 4+-core host, for the same flake-resistance
+//! reason as the speedup ratio.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use splitc::serve::{run_load, LoadConfig, LoadReport};
+use splitc::serve::{run_load, run_soak, LoadConfig, LoadReport};
 use splitc_bench::BENCH_N;
 
 const PARALLEL_WORKERS: usize = 4;
 const REQUESTS: usize = 162;
+/// Soak length: big enough that p999 rests on ~100 tail samples and the
+/// steady state dominates the cold compiles, small enough to finish in a
+/// few seconds at `BENCH_N`.
+const SOAK_REQUESTS: usize = 100_000;
+/// Enforced soak floor: a quiet 4-core host serves ~40k req/s at
+/// `BENCH_N`, so 2k leaves 20x headroom for runner noise while still
+/// catching an order-of-magnitude serving regression.
+const SOAK_MIN_REQ_PER_SEC: f64 = 2_000.0;
+/// Enforced soak ceiling on queue-wait p999: the quiet-host number is
+/// ~3 ms with a 128-request window; 250 ms flags a scheduling pathology
+/// (lost wakeups, a stuck shard) without tripping on a loaded runner.
+const SOAK_MAX_P999_WAIT_NS: u64 = 250_000_000;
 
 fn load(workers: usize) -> LoadConfig {
     LoadConfig::catalogue(BENCH_N, REQUESTS)
@@ -61,6 +84,36 @@ fn bench_serve(c: &mut Criterion) {
         assert!(
             speedup > 1.0,
             "expected {PARALLEL_WORKERS} workers to out-serve 1 on a {cores}-core host, got {speedup:.2}x"
+        );
+    }
+
+    // The soak: 10⁵ requests streamed through a bounded window, each
+    // response checksum-verified against a single-threaded reference run
+    // inside run_soak itself. Structural accounting is asserted always.
+    let soak_cfg = LoadConfig::catalogue(BENCH_N, SOAK_REQUESTS)
+        .with_workers(PARALLEL_WORKERS)
+        .with_queue_capacity(32);
+    let soak = run_soak(&soak_cfg).expect("serving soak runs");
+    println!("{}", soak.render());
+    assert_eq!(soak.stats.accepted, SOAK_REQUESTS as u64);
+    assert_eq!(soak.stats.completed, SOAK_REQUESTS as u64, "zero losses");
+    assert_eq!(
+        soak.stats.batch_sizes.sum(),
+        soak.stats.completed,
+        "every completion is counted in exactly one batch"
+    );
+    assert_eq!(soak.stats.queue_wait.count(), SOAK_REQUESTS as u64);
+    assert_eq!(soak.stats.execute.count(), SOAK_REQUESTS as u64);
+    if std::env::var_os("SERVE_BENCH_ASSERT").is_some() && cores >= PARALLEL_WORKERS {
+        assert!(
+            soak.requests_per_sec >= SOAK_MIN_REQ_PER_SEC,
+            "soak throughput floor: expected >= {SOAK_MIN_REQ_PER_SEC:.0} req/s, got {:.1}",
+            soak.requests_per_sec
+        );
+        let p999 = soak.stats.queue_wait.p999();
+        assert!(
+            p999 <= SOAK_MAX_P999_WAIT_NS,
+            "soak queue-wait p999 ceiling: expected <= {SOAK_MAX_P999_WAIT_NS} ns, got {p999} ns"
         );
     }
 

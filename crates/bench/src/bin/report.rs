@@ -18,15 +18,17 @@
 //! three sections: the sweep rows (table1 kernels × the full preset target
 //! catalogue, sequential and parallel: ns/iter, per-cell simulated cycles,
 //! engine cache stats); the `serving` rows (the same mixed-module traffic
-//! pushed through the request queue at 1 and 4 workers: requests/s, queue
-//! high water, aggregated engine-cache counters); and the `dispatch` row
+//! pushed through the sharded request queue at 1 and 4 workers, plus a
+//! 10⁵-request soak: requests/s, queue high water, queue-wait and execute
+//! latency quantiles, batch-size distribution, aggregated engine-cache
+//! counters); and the `dispatch` row
 //! (the tight-loop kernel of `benches/simulator.rs` timed on the legacy
 //! walk, the metered enum loop and the threaded handler table: ns/run,
 //! ns/instruction, the speedup of each step, and the macro-op fusion and
 //! welding hit counts).
 
 use splitc::experiments::{codesize, hetero, kpn, regalloc, splitflow, table1};
-use splitc::serve::{run_load, LoadConfig, LoadReport};
+use splitc::serve::{run_load, run_soak, Histogram, LoadConfig, LoadReport, ServerStats};
 use splitc::splitc_opt::{optimize_module, OptOptions};
 use splitc::splitc_runtime::Platform;
 use splitc::splitc_targets::TargetDesc;
@@ -180,21 +182,55 @@ fn sweep_to_json(jobs: usize, result: &SweepResult, elapsed_ns: f64) -> String {
 /// (kernel, target) pair per repeat, matching the sweep rows' coverage.
 const JSON_SERVE_REPEATS: usize = 3;
 
-/// Render one serving load as a JSON object: requests/s plus the server's
-/// queue and aggregated engine-cache counters.
-fn serving_to_json(report: &LoadReport) -> String {
+/// Requests in the soak serving row: large enough that the latency
+/// quantiles (p999 included) rest on a statistically meaningful sample and
+/// the steady-state batching behaviour shows up, small enough to keep the
+/// trajectory regeneration under a few seconds.
+const JSON_SOAK_REQUESTS: usize = 100_000;
+
+/// One latency histogram as a JSON object: count, mean and the SLO
+/// quantiles, all in nanoseconds.
+fn histogram_to_json(h: &Histogram) -> String {
     format!(
-        "    {{\n      \"workers\": {},\n      \"requests\": {},\n      \"elapsed_ns\": {:.0},\n      \"requests_per_sec\": {:.1},\n      \"queue_high_water\": {},\n      \"engines\": {},\n      \"cache\": {{\"compiles\": {}, \"hits\": {}, \"evictions\": {}}},\n      \"online_work\": {}\n    }}",
-        report.workers,
-        report.requests,
-        report.elapsed_ns as f64,
-        report.requests_per_sec,
-        report.stats.queue_high_water,
-        report.stats.engines,
-        report.stats.cache.compiles,
-        report.stats.cache.hits,
-        report.stats.cache.evictions,
-        report.stats.online_work,
+        "{{\"count\": {}, \"mean_ns\": {:.0}, \"p50_ns\": {}, \"p99_ns\": {}, \"p999_ns\": {}, \"max_ns\": {}}}",
+        h.count(),
+        h.mean(),
+        h.p50(),
+        h.p99(),
+        h.p999(),
+        h.max(),
+    )
+}
+
+/// Render one serving run as a JSON object: requests/s, the server's queue
+/// and accounting counters, the queue-wait/execute latency quantiles, the
+/// batch-size distribution, and the aggregated engine-cache counters.
+fn serving_to_json(
+    mode: &str,
+    workers: usize,
+    requests: usize,
+    elapsed_ns: u128,
+    requests_per_sec: f64,
+    stats: &ServerStats,
+) -> String {
+    let batches = &stats.batch_sizes;
+    format!(
+        "    {{\n      \"mode\": \"{mode}\",\n      \"workers\": {workers},\n      \"requests\": {requests},\n      \"elapsed_ns\": {:.0},\n      \"requests_per_sec\": {:.1},\n      \"queue_high_water\": {},\n      \"rejected\": {},\n      \"rejected_shutdown\": {},\n      \"queue_wait\": {},\n      \"execute\": {},\n      \"batches\": {{\"served\": {}, \"mean_size\": {:.3}, \"max_size\": {}}},\n      \"engines\": {},\n      \"cache\": {{\"compiles\": {}, \"hits\": {}, \"evictions\": {}}},\n      \"online_work\": {}\n    }}",
+        elapsed_ns as f64,
+        requests_per_sec,
+        stats.queue_high_water,
+        stats.rejected,
+        stats.rejected_shutdown,
+        histogram_to_json(&stats.queue_wait),
+        histogram_to_json(&stats.execute),
+        batches.count(),
+        batches.mean(),
+        batches.max(),
+        stats.engines,
+        stats.cache.compiles,
+        stats.cache.hits,
+        stats.cache.evictions,
+        stats.online_work,
     )
 }
 
@@ -236,20 +272,40 @@ fn write_sweep_json(path: &str, n: usize) -> Result<(), Box<dyn std::error::Erro
         sweeps.push(sweep_to_json(jobs, &result, elapsed_ns));
     }
     // The serving trajectory: the same kernels and targets as the sweep
-    // rows, but as mixed-module request traffic through the bounded queue.
+    // rows, but as mixed-module request traffic through the sharded queue.
     let kernels = table1_kernels();
     let requests = kernels.len() * TargetDesc::presets().len() * JSON_SERVE_REPEATS;
     let mut serving = Vec::new();
     for workers in [1usize, 4] {
-        let report = run_load(&LoadConfig::catalogue(n, requests).with_workers(workers))?;
-        serving.push(serving_to_json(&report));
+        let report: LoadReport =
+            run_load(&LoadConfig::catalogue(n, requests).with_workers(workers))?;
+        serving.push(serving_to_json(
+            "load",
+            report.workers,
+            report.requests,
+            report.elapsed_ns,
+            report.requests_per_sec,
+            &report.stats,
+        ));
     }
+    // The soak row: the same traffic shape held at 10⁵ requests through a
+    // bounded in-flight window, each response verified against a reference
+    // checksum as it drains — the SLO quantiles of the steady state.
+    let soak = run_soak(&LoadConfig::catalogue(n, JSON_SOAK_REQUESTS).with_workers(4))?;
+    serving.push(serving_to_json(
+        "soak",
+        soak.workers,
+        soak.requests,
+        soak.elapsed_ns,
+        soak.requests_per_sec,
+        &soak.stats,
+    ));
     // The dispatch trajectory: the tight-loop kernel three ways, the
     // headline of `benches/simulator.rs`.
     let dispatch_row = dispatch_to_json(&dispatch::measure(JSON_DISPATCH_RUNS));
     let host_cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
     let json = format!(
-        "{{\n  \"schema\": \"splitc-bench-sweep/3\",\n  \"n\": {n},\n  \"repeats\": {JSON_SWEEP_REPEATS},\n  \"host_cores\": {host_cores},\n  \"sweeps\": [\n{}\n  ],\n  \"serving\": [\n{}\n  ],\n  \"dispatch\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"schema\": \"splitc-bench-sweep/4\",\n  \"n\": {n},\n  \"repeats\": {JSON_SWEEP_REPEATS},\n  \"host_cores\": {host_cores},\n  \"sweeps\": [\n{}\n  ],\n  \"serving\": [\n{}\n  ],\n  \"dispatch\": [\n{}\n  ]\n}}\n",
         sweeps.join(",\n"),
         serving.join(",\n"),
         dispatch_row,

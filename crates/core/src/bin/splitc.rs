@@ -7,7 +7,7 @@
 //! splitc run <module.svbc|kernels.mc> --kernel <fn> --target <name> [--arg i:<int>|f:<float>]...
 //! splitc disasm <catalogue-kernel|module.svbc|kernels.mc> [--target <name>] [--no-fuse]
 //! splitc bench <catalogue-kernel> [--n <elems>] [--target <name>] [--jobs <N>] [--repeats <R>]
-//! splitc serve-bench [--n <elems>] [--requests <R>] [--workers <N>] [--queue <Q>] [--cache-cap <C>]
+//! splitc serve-bench [--n <elems>] [--requests <R>] [--workers <N>] [--queue <Q>] [--cache-cap <C>] [--max-batch <B>] [--soak]
 //! ```
 //!
 //! * `build` runs the offline step (front end + optimizer) and writes the
@@ -31,13 +31,19 @@
 //!   the compile-once-run-many amortization.
 //! * `serve-bench` drives mixed-module request traffic (every Table 1
 //!   kernel as its own deployment, rotating over the full target catalogue)
-//!   through the async serving layer: a bounded queue (`--queue`) drained by
-//!   `--workers` threads (0 = one per host core) over shared,
-//!   fingerprint-deduplicated engines, optionally LRU-bounded with
-//!   `--cache-cap`. Prints requests/s plus the server's queue, engine and
-//!   cache counters.
+//!   through the serving tier: sharded bounded intake (`--queue` is the
+//!   global bound) drained by `--workers` threads (0 = one per host core)
+//!   with continuous batching up to `--max-batch` requests per pull, over
+//!   shared, fingerprint-deduplicated engines, optionally LRU-bounded with
+//!   `--cache-cap`. Prints requests/s, queue-wait and execute p50/p99/p999,
+//!   the batch-size distribution, and the server's queue, engine and cache
+//!   counters. `--soak` switches to the streaming soak driver: requests are
+//!   generated from per-(kernel × target) templates through a bounded
+//!   in-flight window (so 10⁵+ requests don't need 10⁵ pre-built buffers)
+//!   and every response is verified against its template's single-threaded
+//!   reference checksum.
 
-use splitc::serve::{run_load, LoadConfig};
+use splitc::serve::{run_load, run_soak, LoadConfig};
 use splitc::splitc_jit::JitOptions;
 use splitc::splitc_opt::OptOptions;
 use splitc::splitc_targets::{MachineValue, TargetDesc};
@@ -47,7 +53,7 @@ use splitc::{fmt_cache_line, offline_compile, run_on_target, Workspace};
 use std::process::ExitCode;
 
 fn usage() -> &'static str {
-    "usage:\n  splitc build <kernels.mc> -o <module.svbc> [--no-vectorize] [--strip]\n  splitc dis <module.svbc>\n  splitc targets\n  splitc run <module.svbc|kernels.mc> --kernel <fn> --target <name> [--arg i:<int>|f:<float>]...\n  splitc disasm <catalogue-kernel|module.svbc|kernels.mc> [--target <name>] [--no-fuse]\n  splitc bench <kernel> [--n <elems>] [--target <name>] [--jobs <N>] [--repeats <R>]\n  splitc serve-bench [--n <elems>] [--requests <R>] [--workers <N>] [--queue <Q>] [--cache-cap <C>]"
+    "usage:\n  splitc build <kernels.mc> -o <module.svbc> [--no-vectorize] [--strip]\n  splitc dis <module.svbc>\n  splitc targets\n  splitc run <module.svbc|kernels.mc> --kernel <fn> --target <name> [--arg i:<int>|f:<float>]...\n  splitc disasm <catalogue-kernel|module.svbc|kernels.mc> [--target <name>] [--no-fuse]\n  splitc bench <kernel> [--n <elems>] [--target <name>] [--jobs <N>] [--repeats <R>]\n  splitc serve-bench [--n <elems>] [--requests <R>] [--workers <N>] [--queue <Q>] [--cache-cap <C>] [--max-batch <B>] [--soak]"
 }
 
 /// Parse one `--arg` value of the form `i:<integer>` or `f:<float>`.
@@ -274,6 +280,11 @@ fn cmd_serve_bench(mut args: Vec<String>) -> Result<(), String> {
         .map(|s| s.parse().map_err(|e| format!("bad --cache-cap value: {e}")))
         .transpose()?
         .unwrap_or(0);
+    let max_batch: usize = take_flag(&mut args, "--max-batch")
+        .map(|s| s.parse().map_err(|e| format!("bad --max-batch value: {e}")))
+        .transpose()?
+        .unwrap_or(16);
+    let soak = take_switch(&mut args, "--soak");
     if let Some(extra) = args.first() {
         return Err(format!(
             "serve-bench takes no positional argument `{extra}`"
@@ -282,9 +293,15 @@ fn cmd_serve_bench(mut args: Vec<String>) -> Result<(), String> {
     let cfg = LoadConfig::catalogue(n, requests)
         .with_workers(workers)
         .with_queue_capacity(queue)
-        .with_cache_capacity(cache_cap);
-    let report = run_load(&cfg).map_err(|e| format!("serving load failed: {e}"))?;
-    print!("{}", report.render());
+        .with_cache_capacity(cache_cap)
+        .with_max_batch(max_batch);
+    if soak {
+        let report = run_soak(&cfg).map_err(|e| format!("serving soak failed: {e}"))?;
+        print!("{}", report.render());
+    } else {
+        let report = run_load(&cfg).map_err(|e| format!("serving load failed: {e}"))?;
+        print!("{}", report.render());
+    }
     Ok(())
 }
 
@@ -392,10 +409,29 @@ mod tests {
             "2".into(),
             "--queue".into(),
             "4".into(),
+            "--max-batch".into(),
+            "4".into(),
         ])
         .expect("serving load succeeds");
         assert!(cmd_serve_bench(vec!["--workers".into(), "x".into()]).is_err());
+        assert!(cmd_serve_bench(vec!["--max-batch".into(), "x".into()]).is_err());
         assert!(cmd_serve_bench(vec!["spurious".into()]).is_err());
+    }
+
+    #[test]
+    fn serve_bench_soak_streams_and_verifies() {
+        cmd_serve_bench(vec![
+            "--n".into(),
+            "32".into(),
+            "--requests".into(),
+            "64".into(),
+            "--workers".into(),
+            "2".into(),
+            "--queue".into(),
+            "8".into(),
+            "--soak".into(),
+        ])
+        .expect("serving soak succeeds");
     }
 
     #[test]

@@ -15,16 +15,22 @@
 //! property `benches/serve.rs` and the serving test suite pin down.
 //!
 //! The CLI's `splitc serve-bench`, the `report --json` serving trajectory and
-//! `benches/serve.rs` all run through [`run_load`].
+//! `benches/serve.rs` all run through [`run_load`]; `serve-bench --soak` and
+//! the SLO rows of the sweep JSON run through [`run_soak`], which streams
+//! requests through a bounded in-flight window instead of materializing the
+//! whole load up front — that's what makes 10⁵+-request soaks affordable —
+//! and verifies every response against a per-template single-threaded
+//! reference checksum as it drains.
 
 pub use splitc_runtime::serve::{
     module_fingerprint, Request, Response, ResponseHandle, ResponseLost, ServeModule, Server,
     ServerConfig, ServerStats, SubmitError, ENGINE_SHARDS,
 };
+pub use splitc_runtime::Histogram;
 
 use crate::harness::{checksum_bytes, prepare};
 use crate::report::fmt_cache_line;
-use crate::session::{PipelineError, Workspace};
+use crate::session::{run_on_target, PipelineError, Workspace};
 use splitc_jit::JitOptions;
 use splitc_opt::{optimize_module, OptOptions};
 use splitc_targets::TargetDesc;
@@ -53,6 +59,9 @@ pub struct LoadConfig {
     pub seed: u64,
     /// Online-compilation configuration shared by every request.
     pub options: JitOptions,
+    /// Continuous-batching bound forwarded to [`ServerConfig::max_batch`]
+    /// (1 disables batching).
+    pub max_batch: usize,
 }
 
 impl LoadConfig {
@@ -69,6 +78,7 @@ impl LoadConfig {
             cache_capacity: 0,
             seed: 0xdac,
             options: JitOptions::split(),
+            max_batch: 16,
         }
     }
 
@@ -89,6 +99,28 @@ impl LoadConfig {
         self.cache_capacity = capacity;
         self
     }
+
+    /// Same load with a continuous-batching bound (1 disables batching).
+    pub fn with_max_batch(mut self, max_batch: usize) -> Self {
+        self.max_batch = max_batch;
+        self
+    }
+}
+
+/// Format a nanosecond latency as microseconds with one decimal.
+fn fmt_us(ns: u64) -> String {
+    format!("{:.1}µs", ns as f64 / 1e3)
+}
+
+/// Render the p50/p99/p999 line of a latency histogram.
+fn fmt_latency(label: &str, h: &Histogram) -> String {
+    format!(
+        "  {label:<11} p50 {} · p99 {} · p999 {} · max {}\n",
+        fmt_us(h.p50()),
+        fmt_us(h.p99()),
+        fmt_us(h.p999()),
+        fmt_us(h.max()),
+    )
 }
 
 /// A completed serving load.
@@ -130,6 +162,15 @@ impl LoadReport {
         out.push_str(&format!(
             "engines: {} shared deployments\n",
             self.stats.engines
+        ));
+        out.push_str("latency:\n");
+        out.push_str(&fmt_latency("queue-wait", &self.stats.queue_wait));
+        out.push_str(&fmt_latency("execute", &self.stats.execute));
+        out.push_str(&format!(
+            "batches: {} served · mean size {:.2} · max {}\n",
+            self.stats.batch_sizes.count(),
+            self.stats.batch_sizes.mean(),
+            self.stats.batch_sizes.max(),
         ));
         for (target, count) in &self.stats.per_target {
             out.push_str(&format!("  {target:<12} {count} requests\n"));
@@ -177,6 +218,7 @@ pub fn run_load(cfg: &LoadConfig) -> Result<LoadReport, PipelineError> {
         workers: cfg.workers,
         queue_capacity: cfg.queue_capacity,
         cache_capacity: cfg.cache_capacity,
+        max_batch: cfg.max_batch,
     });
 
     // Build every request before starting the clock: input generation is
@@ -240,6 +282,205 @@ pub fn run_load(cfg: &LoadConfig) -> Result<LoadReport, PipelineError> {
     })
 }
 
+/// One soak traffic template: a fully prepared request prototype plus the
+/// checksum a fresh single-threaded reference run produces for it. The soak
+/// clones prototypes instead of pre-building every request, so its memory
+/// footprint is `templates + in-flight window`, not `total requests`.
+struct SoakTemplate {
+    module: ServeModule,
+    target: TargetDesc,
+    /// Prepared kernel metadata (name, args, output region) — kept so
+    /// response verification checksums without re-generating inputs.
+    prepared: crate::harness::PreparedKernel,
+    mem: Vec<u8>,
+    expect: u64,
+}
+
+/// A completed serving soak: SLO-grade latency distributions over a
+/// sustained, verified load.
+#[derive(Debug, Clone)]
+pub struct SoakReport {
+    /// Requests served and verified (every response's checksum matched its
+    /// template's single-threaded reference).
+    pub requests: usize,
+    /// Distinct traffic templates (kernel × target pairs) in the mix.
+    pub templates: usize,
+    /// Worker threads the server ran (0 resolved to the host's cores).
+    pub workers: usize,
+    /// In-flight window the generator held open.
+    pub window: usize,
+    /// Wall-clock duration from first submission to last response, in
+    /// nanoseconds.
+    pub elapsed_ns: u128,
+    /// Serving throughput over that window.
+    pub requests_per_sec: f64,
+    /// Final server counters — including the queue-wait / execute / batch
+    /// histograms the SLO numbers come from.
+    pub stats: ServerStats,
+}
+
+impl SoakReport {
+    /// Render the report the way `splitc serve-bench --soak` prints it.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "soak: {} requests ({} templates) over {} workers in {:.1} ms ({:.0} req/s, window {})\n",
+            self.requests,
+            self.templates,
+            self.workers,
+            self.elapsed_ns as f64 / 1e6,
+            self.requests_per_sec,
+            self.window,
+        );
+        out.push_str("latency:\n");
+        out.push_str(&fmt_latency("queue-wait", &self.stats.queue_wait));
+        out.push_str(&fmt_latency("execute", &self.stats.execute));
+        out.push_str(&format!(
+            "batches: {} served · mean size {:.2} · max {}\n",
+            self.stats.batch_sizes.count(),
+            self.stats.batch_sizes.mean(),
+            self.stats.batch_sizes.max(),
+        ));
+        out.push_str(&fmt_cache_line(&self.stats.cache));
+        out.push('\n');
+        out
+    }
+}
+
+/// Run a serving soak: sustained mixed-module traffic, streamed through a
+/// bounded in-flight window, every response verified as it drains.
+///
+/// Where [`run_load`] pre-builds all `cfg.requests` requests (each owning
+/// its memory image) and only then starts the clock, a soak's point is
+/// volume — 10⁵+ requests would mean gigabytes of pre-built buffers. So the
+/// soak prepares one [`SoakTemplate`] per (kernel × target) pair — inputs,
+/// memory image and the checksum of a fresh single-threaded
+/// [`run_on_target`] reference — and then streams: request `r` clones
+/// template `r % templates`, at most `2 × queue_capacity` responses are
+/// outstanding at once, and each is checked against its template's
+/// reference checksum the moment it arrives. Backpressure comes from both
+/// ends: the window caps the generator, the bounded queue caps the window.
+///
+/// Request inputs depend only on the template (kernel, target, seed), so
+/// verification is exact bit-identity against the reference — across worker
+/// counts, batching, and work stealing.
+///
+/// # Errors
+///
+/// Returns the first [`PipelineError`] from offline compilation, from the
+/// reference runs, or from any served request.
+///
+/// # Panics
+///
+/// Panics if a response's checksum differs from its template's reference
+/// (a bit-identity violation — a serving-layer bug, not a load problem), or
+/// if a worker dies before responding.
+pub fn run_soak(cfg: &LoadConfig) -> Result<SoakReport, PipelineError> {
+    assert!(!cfg.kernels.is_empty(), "a soak needs at least one kernel");
+    assert!(!cfg.targets.is_empty(), "a soak needs at least one target");
+    // Offline step: one module per kernel, one template per kernel × target,
+    // each with its reference checksum from a fresh single-threaded run.
+    let mut modules = Vec::with_capacity(cfg.kernels.len());
+    for kernel in &cfg.kernels {
+        let mut module = module_for(std::slice::from_ref(kernel), kernel.name)
+            .map_err(PipelineError::Frontend)?;
+        optimize_module(&mut module, &OptOptions::full());
+        modules.push(ServeModule::new(module));
+    }
+    let mut templates = Vec::with_capacity(cfg.kernels.len() * cfg.targets.len());
+    for (ki, kernel) in cfg.kernels.iter().enumerate() {
+        for target in &cfg.targets {
+            let t = templates.len();
+            let mut ws = Workspace::sized_for(cfg.n);
+            let prepared = prepare(kernel.name, cfg.n, cfg.seed.wrapping_add(t as u64), &mut ws);
+            let mem = ws.into_bytes();
+            let mut reference_mem = mem.clone();
+            let run = run_on_target(
+                modules[ki].module(),
+                target,
+                &cfg.options,
+                kernel.name,
+                &prepared.args,
+                &mut reference_mem,
+            )?;
+            let expect = checksum_bytes(run.result, &prepared, &reference_mem);
+            templates.push(SoakTemplate {
+                module: modules[ki].clone(),
+                target: target.clone(),
+                prepared,
+                mem,
+                expect,
+            });
+        }
+    }
+
+    let server = Server::start(ServerConfig {
+        workers: cfg.workers,
+        queue_capacity: cfg.queue_capacity,
+        cache_capacity: cfg.cache_capacity,
+        max_batch: cfg.max_batch,
+    });
+    let window = (cfg.queue_capacity * 2).clamp(1, cfg.requests.max(1));
+
+    // Stream: submit (blocking — the queue's backpressure throttles us),
+    // keep at most `window` responses outstanding, verify as they drain.
+    let verify = |t: usize, handle: ResponseHandle| -> Result<(), PipelineError> {
+        let response = handle.wait().expect("serving worker died mid-soak");
+        let template: &SoakTemplate = &templates[t];
+        let run = response.outcome?;
+        // Inputs were byte-identical to the template's, so the memory image
+        // and the execution record must match the reference exactly.
+        let got = checksum_bytes(run.result, &template.prepared, &response.mem);
+        assert_eq!(
+            got, template.expect,
+            "soak response for template {t} ({} on {}) diverged from its \
+             single-threaded reference",
+            template.prepared.name, template.target.name,
+        );
+        Ok(())
+    };
+
+    let start = Instant::now();
+    let mut in_flight: std::collections::VecDeque<(usize, ResponseHandle)> =
+        std::collections::VecDeque::with_capacity(window);
+    for r in 0..cfg.requests {
+        let t = r % templates.len();
+        let template = &templates[t];
+        let request = Request {
+            module: template.module.clone(),
+            kernel: template.prepared.name.clone(),
+            target: template.target.clone(),
+            options: cfg.options,
+            args: template.prepared.args.clone(),
+            mem: template.mem.clone(),
+        };
+        let handle = server
+            .submit(request)
+            .unwrap_or_else(|e| panic!("the soak generator's server refused a request: {e}"));
+        in_flight.push_back((t, handle));
+        if in_flight.len() >= window {
+            let (t, handle) = in_flight.pop_front().expect("window is non-empty");
+            verify(t, handle)?;
+        }
+    }
+    for (t, handle) in in_flight {
+        verify(t, handle)?;
+    }
+    let elapsed_ns = start.elapsed().as_nanos();
+
+    let workers = server.workers();
+    let stats = server.shutdown();
+    let secs = (elapsed_ns as f64 / 1e9).max(1e-9);
+    Ok(SoakReport {
+        requests: cfg.requests,
+        templates: templates.len(),
+        workers,
+        window,
+        elapsed_ns,
+        requests_per_sec: cfg.requests as f64 / secs,
+        stats,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -288,5 +529,32 @@ mod tests {
         assert!(text.contains("high water"));
         assert!(text.contains("online compilations"));
         assert!(text.contains("shared deployments"));
+        assert!(text.contains("queue-wait"), "latency lines are rendered");
+        assert!(text.contains("p999"), "tail quantiles are rendered");
+        assert!(text.contains("batches:"), "batch distribution is rendered");
+    }
+
+    #[test]
+    fn soaks_stream_verify_and_report_slo_latency() {
+        let mut cfg = small_load();
+        cfg.requests = 120;
+        cfg.workers = 2;
+        cfg.queue_capacity = 8;
+        let report = run_soak(&cfg).unwrap();
+        assert_eq!(report.requests, 120);
+        assert_eq!(report.templates, 9, "one template per kernel × target");
+        assert_eq!(report.window, 16, "twice the queue bound");
+        assert_eq!(report.stats.completed, 120, "lossless under streaming");
+        assert_eq!(report.stats.queue_wait.count(), 120);
+        assert_eq!(report.stats.execute.count(), 120);
+        assert_eq!(
+            report.stats.batch_sizes.sum(),
+            120,
+            "batch sizes account for every request"
+        );
+        assert!(report.requests_per_sec > 0.0);
+        let text = report.render();
+        assert!(text.contains("soak:"));
+        assert!(text.contains("p999"));
     }
 }

@@ -119,6 +119,10 @@ pub enum EngineError {
     Sim(SimError),
     /// The requested kernel does not exist in the deployed module.
     UnknownKernel(String),
+    /// Execution panicked (caught by the serving tier's panic-safe worker
+    /// loop, which answers the client with this instead of dying). The
+    /// payload is the panic message.
+    Panicked(String),
 }
 
 impl fmt::Display for EngineError {
@@ -128,6 +132,7 @@ impl fmt::Display for EngineError {
             EngineError::Jit(e) => write!(f, "online compilation failed: {e}"),
             EngineError::Sim(e) => write!(f, "simulated execution failed: {e}"),
             EngineError::UnknownKernel(k) => write!(f, "unknown kernel {k}"),
+            EngineError::Panicked(msg) => write!(f, "execution panicked: {msg}"),
         }
     }
 }
@@ -139,6 +144,7 @@ impl Error for EngineError {
             EngineError::Jit(e) => Some(e),
             EngineError::Sim(e) => Some(e),
             EngineError::UnknownKernel(_) => None,
+            EngineError::Panicked(_) => None,
         }
     }
 }
@@ -744,8 +750,11 @@ impl ExecutionEngine {
 /// the unified [`Execution`] record (shared by the cached and one-shot paths).
 ///
 /// This drives the pre-decoded form directly: no per-run preparation, no
-/// per-instruction decoding, frames recycled through `pool`.
-fn simulate(
+/// per-instruction decoding, frames recycled through `pool`. Crate-visible so
+/// the serving tier's continuous batching can fetch a program once per batch
+/// ([`ExecutionEngine::program_for`]) and then drive each request of the
+/// batch through exactly the execution path unbatched runs use.
+pub(crate) fn simulate(
     compiled: &CompiledModule,
     target: &TargetDesc,
     kernel: &str,

@@ -1,25 +1,50 @@
-//! The async serving layer: a bounded request queue over shared engines.
+//! The serving tier: sharded intake, continuous batching, shared engines.
 //!
 //! Split compilation's deployment story (Cohen & Rohou, DAC 2010) is that one
 //! offline-compiled module serves *many* heterogeneous consumers, each paying
 //! only the cheap online step. This module is the request front-end of that
-//! story: clients — however many threads they live on — submit [`Request`]s
-//! (`module × kernel × target × args`) into a **bounded MPMC work queue**, a
-//! pool of worker threads drains it, and every distinct deployed module is
-//! backed by **one shared [`ExecutionEngine`]**, deduplicated by module
-//! fingerprint in a sharded registry. Concurrent requests for the same
-//! module therefore share one compiled, deploy-time-prepared artifact per
-//! (target, JIT options) pair — the engine's sharded, in-flight-deduplicated
-//! cache guarantees exactly one online compilation however many requests
-//! race on a cold pair.
+//! story, shaped like a production inference/serving tier:
+//!
+//! * **Sharded intake.** Clients submit [`Request`]s into a bounded MPMC
+//!   queue made of per-worker shards: submitters are routed by batch key and
+//!   reserve capacity on one atomic, so they never contend on a global queue
+//!   mutex; workers drain their home shard first and **steal** from other
+//!   shards when it runs dry. The global bound, the backpressure semantics
+//!   ([`Server::submit`] blocks, [`Server::try_submit`] hands the request
+//!   back) and lossless draining shutdown are exactly those of the original
+//!   single-queue design.
+//! * **Continuous batching.** A worker that pops a job also drains every
+//!   queued request with the same *batch key* — `(module fingerprint, target
+//!   fingerprint, JitOptions)` — up to [`ServerConfig::max_batch`], and runs
+//!   the whole batch against one shared engine with **one compiled-program
+//!   fetch and one [`FramePool`]**. Each request is still simulated
+//!   individually through the very same execution path an unbatched run
+//!   uses, so every [`Response`] is bit-identical to unbatched execution;
+//!   batching only amortizes the cache lookup and the frame-pool warmup.
+//! * **Latency observability.** Every job is stamped at accept, dequeue and
+//!   completion. Queue-wait and execute times are recorded into fixed-bucket
+//!   log-scale [`Histogram`]s (constant-time, allocation-free on the hot
+//!   path), one set per worker, merged on demand: [`ServerStats`] reports
+//!   p50/p99/p999 for both phases plus the batch-size distribution.
+//!
+//! Every distinct deployed module is backed by **one shared
+//! [`ExecutionEngine`]**, deduplicated by module fingerprint in a sharded
+//! registry; the engine's in-flight-deduplicated cache guarantees exactly one
+//! online compilation per (target, options) pair however many requests race
+//! on a cold pair.
 //!
 //! # Backpressure
 //!
-//! The queue is bounded ([`ServerConfig::queue_capacity`]). [`Server::submit`]
-//! blocks until space frees up (so a fast producer is throttled to the pool's
-//! drain rate instead of growing an unbounded backlog);
-//! [`Server::try_submit`] never blocks and hands the request back in
-//! [`SubmitError::QueueFull`] so the caller can shed load or retry.
+//! The queue is bounded ([`ServerConfig::queue_capacity`], a *global* bound
+//! across all shards). [`Server::submit`] blocks until space frees up (so a
+//! fast producer is throttled to the pool's drain rate instead of growing an
+//! unbounded backlog); [`Server::try_submit`] never blocks and hands the
+//! request back in [`SubmitError::QueueFull`] so the caller can shed load or
+//! retry. Refusals are counted: full-queue refusals in
+//! [`ServerStats::rejected`], shutdown-time refusals in
+//! [`ServerStats::rejected_shutdown`] — so `accepted + rejected +
+//! rejected_shutdown` always equals submission attempts, even across a
+//! shutdown race.
 //!
 //! # Responses
 //!
@@ -27,9 +52,11 @@
 //! rendezvous channel (plain `mpsc`, no external async runtime) on which
 //! exactly one [`Response`] arrives: the [`Execution`] outcome plus the
 //! request's memory buffer, which travels *with* the request through the
-//! queue and back, so serving moves no bytes it doesn't have to.
+//! queue and back, so serving moves no bytes it doesn't have to. Responses
+//! also carry the request's measured queue-wait and execute times and the
+//! size of the batch it was served in.
 //!
-//! # Shutdown
+//! # Shutdown and worker panics
 //!
 //! [`Server::shutdown`] closes the queue to new submissions, wakes every
 //! worker and blocked submitter, **drains all accepted work**, joins the
@@ -37,6 +64,12 @@
 //! never dropped: its response arrives even if shutdown was requested while
 //! it sat in the queue. Dropping the server performs the same graceful
 //! shutdown.
+//!
+//! The worker loop is panic-safe: a panic during kernel execution is caught,
+//! the worker's frame pool is discarded (its recycled frames may be
+//! mid-mutation), and the client receives [`EngineError::Panicked`] instead
+//! of a dead channel. The worker itself keeps serving, so `completed ==
+//! accepted` holds at shutdown even when kernels misbehave.
 //!
 //! # Example
 //!
@@ -74,21 +107,27 @@
 //! let stats = server.shutdown();
 //! assert_eq!(stats.completed, 10);
 //! assert_eq!(stats.cache.compiles, 1, "ten requests share one compilation");
+//! assert_eq!(stats.queue_wait.count(), 10, "every request's wait was timed");
 //! # Ok(())
 //! # }
 //! ```
 
-use crate::engine::{CacheStats, EngineError, Execution, ExecutionEngine};
+use crate::engine::{CacheStats, CompiledModule, EngineError, Execution, ExecutionEngine};
+use crate::hist::Histogram;
 use splitc_jit::JitOptions;
 use splitc_targets::{Fnv1a, FramePool, MachineValue, TargetDesc};
 use splitc_vbc::{encode_module, Module};
+use std::collections::hash_map::DefaultHasher;
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::error::Error;
 use std::fmt;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::hash::{Hash, Hasher};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{self, Receiver, SyncSender, TryRecvError};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 /// Number of independently locked shards in the module → engine registry.
 ///
@@ -180,7 +219,8 @@ pub struct Request {
 }
 
 /// The answer to one [`Request`]: the execution outcome plus the request's
-/// memory buffer, handed back so the client can read kernel outputs.
+/// memory buffer, handed back so the client can read kernel outputs, and the
+/// request's measured serving latency.
 #[derive(Debug)]
 pub struct Response {
     /// The run's measurements, or the engine error that stopped it.
@@ -190,12 +230,20 @@ pub struct Response {
     pub mem: Vec<u8>,
     /// Index of the worker that served the request (diagnostic).
     pub worker: usize,
+    /// Wall-clock nanoseconds the request spent queued (accept → dequeue).
+    pub queue_wait_ns: u64,
+    /// Wall-clock nanoseconds spent serving the request after dequeue
+    /// (0 for requests refused before execution, e.g. unknown kernels).
+    pub execute_ns: u64,
+    /// Size of the batch this request was served in (≥ 1).
+    pub batch: usize,
 }
 
-/// The serving thread disappeared before answering (a worker panicked).
+/// The serving thread disappeared before answering.
 ///
 /// Graceful [`Server::shutdown`] never produces this: accepted requests are
-/// always drained and answered.
+/// always drained and answered — even a panicking kernel answers with
+/// [`EngineError::Panicked`] rather than losing the response.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ResponseLost;
 
@@ -242,9 +290,11 @@ impl ResponseHandle {
 #[derive(Debug)]
 pub enum SubmitError {
     /// The bounded queue is at capacity ([`Server::try_submit`] only;
-    /// blocking [`Server::submit`] waits instead).
+    /// blocking [`Server::submit`] waits instead). Counted in
+    /// [`ServerStats::rejected`].
     QueueFull(Box<Request>),
-    /// The server is shutting down and accepts no new work.
+    /// The server is shutting down and accepts no new work. Counted in
+    /// [`ServerStats::rejected_shutdown`].
     ShuttingDown(Box<Request>),
 }
 
@@ -274,13 +324,18 @@ pub struct ServerConfig {
     /// Worker threads (0 = one per host core, the sweep `--jobs 0`
     /// convention).
     pub workers: usize,
-    /// Bound on queued (accepted but not yet running) requests; clamped to
-    /// at least 1. This is the backpressure knob: blocking submits throttle
-    /// producers to the drain rate once the queue holds this many requests.
+    /// Global bound on queued (accepted but not yet running) requests across
+    /// all intake shards; clamped to at least 1. This is the backpressure
+    /// knob: blocking submits throttle producers to the drain rate once the
+    /// queue holds this many requests.
     pub queue_capacity: usize,
     /// Per-engine LRU bound on compiled (target, options) pairs
     /// ([`ExecutionEngine::set_cache_capacity`]); 0 = unbounded.
     pub cache_capacity: usize,
+    /// Most requests a worker serves as one continuous batch (same module,
+    /// target and options; one program fetch, one frame pool); clamped to at
+    /// least 1. 1 disables batching.
+    pub max_batch: usize,
 }
 
 impl Default for ServerConfig {
@@ -289,6 +344,7 @@ impl Default for ServerConfig {
             workers: 0,
             queue_capacity: 256,
             cache_capacity: 0,
+            max_batch: 16,
         }
     }
 }
@@ -311,16 +367,26 @@ impl ServerConfig {
         self.cache_capacity = capacity;
         self
     }
+
+    /// Same configuration with a continuous-batching bound.
+    pub fn with_max_batch(mut self, max_batch: usize) -> Self {
+        self.max_batch = max_batch;
+        self
+    }
 }
 
 /// Counters of a running (or finished) [`Server`].
 ///
-/// `accepted`, `completed` and `rejected` are monotonic; after
-/// [`Server::shutdown`] returns, `completed == accepted` — the
-/// zero-loss-drain guarantee. The `cache` totals aggregate every engine's
-/// *consistent* snapshot (see [`ExecutionEngine::snapshot`]): each engine's
-/// contribution is internally torn-free, so `cache.lookups()` never
-/// double- or half-counts a request's engine lookup.
+/// `accepted`, `completed`, `rejected` and `rejected_shutdown` are
+/// monotonic; after [`Server::shutdown`] returns, `completed == accepted` —
+/// the zero-loss-drain guarantee. Every snapshot is internally consistent:
+/// `completed` is read *before* the queue's single-lock snapshot supplies
+/// `accepted` and `queue_depth`, so `completed + queue_depth <= accepted`
+/// holds in every [`Server::stats`] result, however the reads race live
+/// workers. The `cache` totals aggregate every engine's *consistent*
+/// snapshot (see [`ExecutionEngine::snapshot`]): each engine's contribution
+/// is internally torn-free, so `cache.lookups()` never double- or
+/// half-counts a request's engine lookup.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ServerStats {
     /// Requests accepted into the queue.
@@ -329,18 +395,32 @@ pub struct ServerStats {
     pub completed: u64,
     /// Non-blocking submissions refused because the queue was full.
     pub rejected: u64,
+    /// Submissions refused because shutdown had begun.
+    pub rejected_shutdown: u64,
     /// Requests currently sitting in the queue.
     pub queue_depth: usize,
     /// Deepest the queue ever got — the backpressure high-water mark.
     pub queue_high_water: usize,
     /// Distinct deployed modules (shared engines) the server holds.
     pub engines: usize,
-    /// Served-request counts per target name, sorted by name.
+    /// Served-request counts per target name, sorted by name. A request is
+    /// counted when its response is produced, so this always sums to
+    /// `completed` — never to work merely started.
     pub per_target: Vec<(String, u64)>,
     /// Code-cache counters aggregated over every engine.
     pub cache: CacheStats,
     /// Online-compilation work units aggregated over every engine.
     pub online_work: u64,
+    /// Distribution of time requests spent queued (accept → dequeue), in
+    /// nanoseconds.
+    pub queue_wait: Histogram,
+    /// Distribution of time requests spent executing after dequeue, in
+    /// nanoseconds.
+    pub execute: Histogram,
+    /// Distribution of served batch sizes (one sample per batch, not per
+    /// request); `batch_sizes.sum()` equals the requests served in batches
+    /// so far.
+    pub batch_sizes: Histogram,
 }
 
 impl ServerStats {
@@ -354,7 +434,7 @@ impl ServerStats {
     }
 }
 
-/// What a refused [`BoundedQueue::push`] hands back.
+/// What a refused [`ShardedQueue::push`] hands back.
 enum PushRefused<T> {
     /// At capacity (non-blocking pushes only).
     Full(T),
@@ -362,108 +442,322 @@ enum PushRefused<T> {
     Closed(T),
 }
 
-struct QueueState<T> {
+/// One intake shard: a plain FIFO plus the count of items ever accepted
+/// into it. `accepted` is incremented under the shard lock **with** the push
+/// that makes the item visible, so a snapshot holding all shard locks can
+/// never see a consumer finish an item before it was counted as accepted.
+struct QueueShard<T> {
     items: VecDeque<T>,
-    open: bool,
-    high_water: usize,
-    /// Items ever accepted, counted under the lock **with** the push that
-    /// makes them visible — so an observer can never see a consumer finish
-    /// an item before it was counted as accepted.
     accepted: u64,
 }
 
-/// A bounded multi-producer multi-consumer queue on one mutex and two
-/// condvars — the vendored-deps-friendly core of the serving layer.
-///
-/// Closing stops *intake* only: pending items drain normally, then poppers
-/// see `None`. That asymmetry is what makes graceful shutdown lossless.
-struct BoundedQueue<T> {
-    state: Mutex<QueueState<T>>,
-    not_empty: Condvar,
-    not_full: Condvar,
-    capacity: usize,
+/// A consistent single-acquisition view of the queue's counters (all shard
+/// locks held at once): `high_water >= depth` and — combined with a
+/// `completed` value read beforehand — `completed + depth <= accepted`.
+struct QueueSnapshot {
+    depth: usize,
+    accepted: u64,
+    high_water: usize,
 }
 
-impl<T> BoundedQueue<T> {
-    fn new(capacity: usize) -> Self {
-        BoundedQueue {
-            state: Mutex::new(QueueState {
-                items: VecDeque::new(),
-                open: true,
-                high_water: 0,
-                accepted: 0,
-            }),
+/// A bounded MPMC queue sharded into per-worker FIFOs with work stealing —
+/// the vendored-deps-friendly core of the serving tier.
+///
+/// Capacity is a *global* bound enforced by one atomic reservation counter,
+/// so submitters to different shards never serialize on a common mutex; the
+/// only mutexes are per-shard (touched once per push/pop) and a `gate` that
+/// guards slow-path parking only.
+///
+/// Closing stops *intake* only: pending items drain normally, then poppers
+/// see `false`. That asymmetry is what makes graceful shutdown lossless.
+///
+/// # Why no wakeup is ever lost
+///
+/// Fast paths never touch the gate. The slow paths use an epoch protocol:
+/// every committed push bumps `pushes` *after* its insert, then checks
+/// `sleepers`; a popper that found every shard empty increments `sleepers`
+/// under the gate *before* re-reading the epoch. All counters are `SeqCst`,
+/// so for any push a sleepy popper's scan missed, either the popper's epoch
+/// re-read sees the bump (and rescans) or the pusher's `sleepers` read sees
+/// the popper (and notifies — under the gate the popper holds until it
+/// parks, so the notification cannot slip between check and wait).
+///
+/// Exit is just as careful: a popper returns `false` only when the queue is
+/// closed, a full scan found nothing, the epoch is unchanged since before
+/// that scan **and** the reservation counter is zero — so a push that
+/// reserved capacity before `close()` landed still gets drained (the popper
+/// waits for its insert; the insert's epoch bump wakes it).
+struct ShardedQueue<T> {
+    shards: Vec<Mutex<QueueShard<T>>>,
+    capacity: usize,
+    /// Committed capacity reservations: incremented before an item becomes
+    /// visible, decremented after it is removed — so `len >=` the number of
+    /// queued items at every instant.
+    len: AtomicUsize,
+    high_water: AtomicUsize,
+    open: AtomicBool,
+    /// Push epoch: bumped after every insert (and every backed-out
+    /// reservation), the "something changed, rescan" signal for poppers.
+    pushes: AtomicU64,
+    /// Poppers parked (or committing to park) on `not_empty`.
+    sleepers: AtomicUsize,
+    /// Pushers parked (or committing to park) on `not_full`.
+    full_waiters: AtomicUsize,
+    /// Guards parking only — never held on a fast path.
+    gate: Mutex<()>,
+    not_empty: Condvar,
+    not_full: Condvar,
+}
+
+impl<T> ShardedQueue<T> {
+    fn new(shards: usize, capacity: usize) -> Self {
+        ShardedQueue {
+            shards: (0..shards.max(1))
+                .map(|_| {
+                    Mutex::new(QueueShard {
+                        items: VecDeque::new(),
+                        accepted: 0,
+                    })
+                })
+                .collect(),
+            capacity: capacity.max(1),
+            len: AtomicUsize::new(0),
+            high_water: AtomicUsize::new(0),
+            open: AtomicBool::new(true),
+            pushes: AtomicU64::new(0),
+            sleepers: AtomicUsize::new(0),
+            full_waiters: AtomicUsize::new(0),
+            gate: Mutex::new(()),
             not_empty: Condvar::new(),
             not_full: Condvar::new(),
-            capacity: capacity.max(1),
         }
     }
 
-    /// Enqueue `item`. With `block`, waits for space; otherwise refuses a
-    /// full queue immediately. Refusals hand the item back.
-    fn push(&self, item: T, block: bool) -> Result<(), PushRefused<T>> {
-        let mut state = self.state.lock().expect("serve queue poisoned");
-        loop {
-            if !state.open {
+    fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Enqueue `item` into `shard` (mod the shard count). With `block`,
+    /// waits for capacity; otherwise refuses a full queue immediately.
+    /// Refusals hand the item back.
+    fn push(&self, item: T, shard: usize, block: bool) -> Result<(), PushRefused<T>> {
+        // Phase 1: reserve one unit of the global capacity.
+        let reserved = loop {
+            if !self.open.load(Ordering::SeqCst) {
                 return Err(PushRefused::Closed(item));
             }
-            if state.items.len() < self.capacity {
-                break;
+            let len = self.len.load(Ordering::SeqCst);
+            if len < self.capacity {
+                if self
+                    .len
+                    .compare_exchange(len, len + 1, Ordering::SeqCst, Ordering::SeqCst)
+                    .is_ok()
+                {
+                    break len + 1;
+                }
+                continue; // lost the race, re-read
             }
             if !block {
                 return Err(PushRefused::Full(item));
             }
-            state = self.not_full.wait(state).expect("serve queue poisoned");
+            // Park until a popper frees a slot (or the queue closes). The
+            // waiter count is published before the re-check, mirroring the
+            // sleeper protocol: a popper either freed the slot before our
+            // re-check (we see it and retry) or reads our count after its
+            // decrement (and notifies under the gate we hold until parked).
+            let gate = self.gate.lock().expect("serve queue gate poisoned");
+            self.full_waiters.fetch_add(1, Ordering::SeqCst);
+            if self.len.load(Ordering::SeqCst) >= self.capacity && self.open.load(Ordering::SeqCst)
+            {
+                let _gate = self.not_full.wait(gate).expect("serve queue gate poisoned");
+            }
+            self.full_waiters.fetch_sub(1, Ordering::SeqCst);
+        };
+        // The high-water mark tracks reservations and is raised *before* the
+        // insert, so `high_water >= queued depth` at every instant a
+        // snapshot can observe the item.
+        self.high_water.fetch_max(reserved, Ordering::SeqCst);
+        // Phase 2: the close() contract is "nothing accepted after close";
+        // our reservation may have raced it, so re-check before the item
+        // becomes visible and back the reservation out on shutdown.
+        if !self.open.load(Ordering::SeqCst) {
+            self.len.fetch_sub(1, Ordering::SeqCst);
+            // Poppers waiting for `len == 0` to exit and pushers waiting for
+            // the freed slot both need to re-evaluate.
+            self.notify_pushed();
+            self.notify_popped();
+            return Err(PushRefused::Closed(item));
         }
-        state.items.push_back(item);
-        state.high_water = state.high_water.max(state.items.len());
-        state.accepted += 1;
-        drop(state);
-        self.not_empty.notify_one();
+        {
+            let mut guard = self.shards[shard % self.shards.len()]
+                .lock()
+                .expect("serve queue shard poisoned");
+            guard.items.push_back(item);
+            guard.accepted += 1;
+        }
+        // Publish the insert to sleepy poppers: bump the epoch first, *then*
+        // look for sleepers (see the type-level ordering proof).
+        self.pushes.fetch_add(1, Ordering::SeqCst);
+        self.notify_pushed();
         Ok(())
     }
 
-    /// Dequeue the oldest item, blocking while the queue is open but empty.
-    /// Returns `None` only once the queue is closed *and* drained.
-    fn pop(&self) -> Option<T> {
-        let mut state = self.state.lock().expect("serve queue poisoned");
+    fn notify_pushed(&self) {
+        if self.sleepers.load(Ordering::SeqCst) > 0 {
+            let _gate = self.gate.lock().expect("serve queue gate poisoned");
+            self.not_empty.notify_all();
+        }
+    }
+
+    fn notify_popped(&self) {
+        if self.full_waiters.load(Ordering::SeqCst) > 0 {
+            let _gate = self.gate.lock().expect("serve queue gate poisoned");
+            self.not_full.notify_all();
+        }
+    }
+
+    /// Dequeue a batch into `out`: the oldest item of the first non-empty
+    /// shard (scanning from `home`, stealing from other shards when the home
+    /// shard is dry) plus up to `max_batch - 1` younger items of the same
+    /// shard that are `compatible` with it, in FIFO order. Blocks while the
+    /// queue is open but empty; returns `false` (with `out` empty) only once
+    /// the queue is closed *and* fully drained.
+    fn next_batch(
+        &self,
+        home: usize,
+        max_batch: usize,
+        compatible: impl Fn(&T, &T) -> bool,
+        out: &mut Vec<T>,
+    ) -> bool {
+        debug_assert!(out.is_empty());
+        let n = self.shards.len();
         loop {
-            if let Some(item) = state.items.pop_front() {
-                drop(state);
-                self.not_full.notify_one();
-                return Some(item);
+            let epoch = self.pushes.load(Ordering::SeqCst);
+            for i in 0..n {
+                let mut shard = self.shards[(home + i) % n]
+                    .lock()
+                    .expect("serve queue shard poisoned");
+                if let Some(first) = shard.items.pop_front() {
+                    out.push(first);
+                    // Continuous batching: sweep the rest of this shard's
+                    // FIFO for items the caller can serve together with the
+                    // one just popped. Relative order of both the batch and
+                    // the left-behind items is preserved.
+                    let mut idx = 0;
+                    while out.len() < max_batch && idx < shard.items.len() {
+                        if compatible(&out[0], &shard.items[idx]) {
+                            let item = shard.items.remove(idx).expect("index is in bounds");
+                            out.push(item);
+                        } else {
+                            idx += 1;
+                        }
+                    }
+                    drop(shard);
+                    self.len.fetch_sub(out.len(), Ordering::SeqCst);
+                    self.notify_popped();
+                    return true;
+                }
             }
-            if !state.open {
-                return None;
+            // Full scan found nothing: park — or exit if closed and truly
+            // drained. `sleepers` is published *before* the epoch re-read
+            // (see the type-level proof of why this never loses a wakeup).
+            let gate = self.gate.lock().expect("serve queue gate poisoned");
+            self.sleepers.fetch_add(1, Ordering::SeqCst);
+            if self.pushes.load(Ordering::SeqCst) == epoch {
+                if !self.open.load(Ordering::SeqCst) && self.len.load(Ordering::SeqCst) == 0 {
+                    // Closed, every shard scanned empty, no push landed
+                    // since, and no reservation is in flight: drained.
+                    self.sleepers.fetch_sub(1, Ordering::SeqCst);
+                    return false;
+                }
+                let _gate = self
+                    .not_empty
+                    .wait(gate)
+                    .expect("serve queue gate poisoned");
             }
-            state = self.not_empty.wait(state).expect("serve queue poisoned");
+            self.sleepers.fetch_sub(1, Ordering::SeqCst);
         }
     }
 
     /// Close the queue to new items and wake everyone blocked on it.
+    /// Pending items still drain ([`ShardedQueue::next_batch`] keeps
+    /// returning them); only intake stops.
     fn close(&self) {
-        self.state.lock().expect("serve queue poisoned").open = false;
+        self.open.store(false, Ordering::SeqCst);
+        // Taking the gate orders this after any in-progress park decision:
+        // a popper (or full-waiter) that read `open == true` either parks
+        // before we get the gate — and is notified — or re-checks after.
+        let _gate = self.gate.lock().expect("serve queue gate poisoned");
         self.not_empty.notify_all();
         self.not_full.notify_all();
     }
 
-    fn depth(&self) -> usize {
-        self.state.lock().expect("serve queue poisoned").items.len()
-    }
-
-    fn high_water(&self) -> usize {
-        self.state.lock().expect("serve queue poisoned").high_water
-    }
-
-    fn accepted(&self) -> u64 {
-        self.state.lock().expect("serve queue poisoned").accepted
+    /// One consistent view of depth, accepted count and high-water mark
+    /// (all shard locks acquired together, in index order).
+    fn snapshot(&self) -> QueueSnapshot {
+        let guards: Vec<_> = self
+            .shards
+            .iter()
+            .map(|s| s.lock().expect("serve queue shard poisoned"))
+            .collect();
+        let mut depth = 0usize;
+        let mut accepted = 0u64;
+        for g in &guards {
+            depth += g.items.len();
+            accepted += g.accepted;
+        }
+        // Reservations raise the mark before inserting, so with the shard
+        // locks held `high_water >= depth` is already guaranteed.
+        let high_water = self.high_water.load(Ordering::SeqCst);
+        QueueSnapshot {
+            depth,
+            accepted,
+            high_water,
+        }
     }
 }
 
-/// A queued unit of work: the request plus its response rendezvous.
+/// Injectable per-request fault for tests: return `true` to make the worker
+/// panic while serving this request (inside its panic guard).
+#[doc(hidden)]
+pub type FaultHook = fn(&Request) -> bool;
+
+/// A queued unit of work: the request, its response rendezvous, the cached
+/// target fingerprint (computed once at submit so batch-key comparisons in
+/// the queue are integer-cheap) and the accept timestamp.
 struct Job {
     request: Request,
     tx: SyncSender<Response>,
+    target_fp: u64,
+    accepted_at: Instant,
+}
+
+impl Job {
+    /// The continuous-batching key: jobs with equal keys are served by the
+    /// same compiled program and may share a batch. Equal target
+    /// *fingerprints* mean the targets are machine-code-identical, which is
+    /// precisely the interchangeability batching needs.
+    fn batch_key(&self) -> (u64, u64, JitOptions) {
+        (
+            self.request.module.fingerprint(),
+            self.target_fp,
+            self.request.options,
+        )
+    }
+}
+
+/// Two jobs may share a continuous batch.
+fn same_batch(a: &Job, b: &Job) -> bool {
+    a.batch_key() == b.batch_key()
+}
+
+/// Intake shard for a batch key: keying the *routing* by the *batching*
+/// equivalence sends batchable work to the same shard, so a worker's
+/// single-shard batch sweep finds it.
+fn shard_for_key(key: &(u64, u64, JitOptions), shards: usize) -> usize {
+    let mut hasher = DefaultHasher::new();
+    key.hash(&mut hasher);
+    (hasher.finish() % shards as u64) as usize
 }
 
 /// A registry entry: the engine plus the canonical encoding of the module it
@@ -474,18 +768,31 @@ struct EngineEntry {
     engine: Arc<ExecutionEngine>,
 }
 
+/// Per-worker observability state: touched only by its worker in steady
+/// state (plus `stats()`), so the hot loop never contends on shared
+/// counters. Histograms record in constant time without allocating.
+#[derive(Default)]
+struct WorkerMetrics {
+    per_target: BTreeMap<String, u64>,
+    queue_wait: Histogram,
+    execute: Histogram,
+    batch_sizes: Histogram,
+}
+
 /// State shared between the submission API and the worker pool.
 struct Inner {
-    queue: BoundedQueue<Job>,
+    queue: ShardedQueue<Job>,
     /// Module fingerprint → shared engine, sharded by fingerprint.
     engines: [Mutex<HashMap<u64, EngineEntry>>; ENGINE_SHARDS],
     cache_capacity: usize,
+    max_batch: usize,
     completed: AtomicU64,
     rejected: AtomicU64,
-    /// Served-request counts per target name, one map per worker so the hot
-    /// loop never contends on a shared diagnostic counter; [`Server::stats`]
-    /// merges them.
-    per_target: Vec<Mutex<BTreeMap<String, u64>>>,
+    rejected_shutdown: AtomicU64,
+    /// One metrics block per worker; [`Server::stats`] merges them.
+    metrics: Vec<Mutex<WorkerMetrics>>,
+    /// Test-only fault injection (see [`Server::start_instrumented`]).
+    fault: Option<FaultHook>,
 }
 
 impl Inner {
@@ -523,8 +830,9 @@ impl Inner {
     }
 }
 
-/// The serving front-end: a bounded request queue drained by a worker pool
-/// over fingerprint-deduplicated shared engines.
+/// The serving front-end: sharded bounded intake with work stealing,
+/// drained batch-wise by a worker pool over fingerprint-deduplicated shared
+/// engines.
 ///
 /// See the [module documentation](self) for the full contract. The server is
 /// `Send + Sync`; clients on any number of threads submit through `&self`.
@@ -539,6 +847,7 @@ impl fmt::Debug for Server {
         f.debug_struct("Server")
             .field("workers", &self.worker_count)
             .field("queue_capacity", &self.inner.queue.capacity)
+            .field("max_batch", &self.inner.max_batch)
             .finish_non_exhaustive()
     }
 }
@@ -546,20 +855,31 @@ impl fmt::Debug for Server {
 impl Server {
     /// Start a server: spawn the worker pool and open the queue.
     pub fn start(config: ServerConfig) -> Self {
+        Server::start_instrumented(config, None)
+    }
+
+    /// [`Server::start`] with an injectable per-request fault hook, for
+    /// tests that need a kernel to panic (or a worker to stall) on demand.
+    /// Not part of the stable serving API.
+    #[doc(hidden)]
+    pub fn start_instrumented(config: ServerConfig, fault: Option<FaultHook>) -> Self {
         let worker_count = if config.workers == 0 {
             crate::sweep::default_jobs()
         } else {
             config.workers
         };
         let inner = Arc::new(Inner {
-            queue: BoundedQueue::new(config.queue_capacity),
+            queue: ShardedQueue::new(worker_count, config.queue_capacity),
             engines: std::array::from_fn(|_| Mutex::new(HashMap::new())),
             cache_capacity: config.cache_capacity,
+            max_batch: config.max_batch.max(1),
             completed: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
-            per_target: (0..worker_count)
-                .map(|_| Mutex::new(BTreeMap::new()))
+            rejected_shutdown: AtomicU64::new(0),
+            metrics: (0..worker_count)
+                .map(|_| Mutex::new(WorkerMetrics::default()))
                 .collect(),
+            fault,
         });
         let workers = (0..worker_count)
             .map(|worker| {
@@ -599,8 +919,8 @@ impl Server {
     ///
     /// Returns [`SubmitError::QueueFull`] when the queue is at capacity
     /// (counted in [`ServerStats::rejected`]) or
-    /// [`SubmitError::ShuttingDown`] once shutdown has begun; both hand the
-    /// request back.
+    /// [`SubmitError::ShuttingDown`] once shutdown has begun (counted in
+    /// [`ServerStats::rejected_shutdown`]); both hand the request back.
     pub fn try_submit(&self, request: Request) -> Result<ResponseHandle, SubmitError> {
         self.enqueue(request, false)
     }
@@ -610,21 +930,35 @@ impl Server {
         // buffer of 1 means the worker's send never blocks — even if the
         // client dropped the handle without waiting.
         let (tx, rx) = mpsc::sync_channel(1);
-        match self.inner.queue.push(Job { request, tx }, block) {
-            // The queue counted the acceptance under its lock, atomically
-            // with making the job visible to workers.
+        let target_fp = request.target.fingerprint();
+        let job = Job {
+            request,
+            tx,
+            target_fp,
+            accepted_at: Instant::now(),
+        };
+        let shard = shard_for_key(&job.batch_key(), self.inner.queue.shard_count());
+        match self.inner.queue.push(job, shard, block) {
+            // The queue counted the acceptance under its shard lock,
+            // atomically with making the job visible to workers.
             Ok(()) => Ok(ResponseHandle { rx }),
             Err(PushRefused::Full(job)) => {
-                self.inner.rejected.fetch_add(1, Ordering::Relaxed);
+                self.inner.rejected.fetch_add(1, Ordering::SeqCst);
                 Err(SubmitError::QueueFull(Box::new(job.request)))
             }
-            Err(PushRefused::Closed(job)) => Err(SubmitError::ShuttingDown(Box::new(job.request))),
+            Err(PushRefused::Closed(job)) => {
+                // A refused submission must land in *some* counter, or flood
+                // accounting (`accepted + rejections == attempts`) silently
+                // breaks the moment shutdown begins.
+                self.inner.rejected_shutdown.fetch_add(1, Ordering::SeqCst);
+                Err(SubmitError::ShuttingDown(Box::new(job.request)))
+            }
         }
     }
 
     /// Requests currently waiting in the queue.
     pub fn queue_depth(&self) -> usize {
-        self.inner.queue.depth()
+        self.inner.queue.snapshot().depth
     }
 
     /// Current counters; safe to read while the pool is serving.
@@ -642,30 +976,40 @@ impl Server {
             }
         }
         let mut per_target: BTreeMap<String, u64> = BTreeMap::new();
-        for worker_counts in &self.inner.per_target {
-            for (name, count) in worker_counts
-                .lock()
-                .expect("per-target counters poisoned")
-                .iter()
-            {
+        let mut queue_wait = Histogram::new();
+        let mut execute = Histogram::new();
+        let mut batch_sizes = Histogram::new();
+        for metrics in &self.inner.metrics {
+            let m = metrics.lock().expect("worker metrics poisoned");
+            for (name, count) in m.per_target.iter() {
                 *per_target.entry(name.clone()).or_insert(0) += count;
             }
+            queue_wait.merge(&m.queue_wait);
+            execute.merge(&m.execute);
+            batch_sizes.merge(&m.batch_sizes);
         }
-        // `completed` is read *before* `accepted`: both only grow and a job
-        // is accepted (under the queue lock) before any worker can complete
-        // it, so this order guarantees `completed <= accepted` in every
-        // snapshot, however the reads race live workers.
-        let completed = self.inner.completed.load(Ordering::Relaxed);
+        // `completed` is read *before* the queue snapshot: both only grow
+        // and a job is accepted (under its shard lock) before any worker can
+        // complete it, so this order guarantees `completed <= accepted` AND
+        // `completed + queue_depth <= accepted` in every snapshot — the
+        // queue's depth and accepted count come from one all-locks
+        // acquisition, never from separate racing reads.
+        let completed = self.inner.completed.load(Ordering::SeqCst);
+        let queue = self.inner.queue.snapshot();
         ServerStats {
-            accepted: self.inner.queue.accepted(),
+            accepted: queue.accepted,
             completed,
-            rejected: self.inner.rejected.load(Ordering::Relaxed),
-            queue_depth: self.inner.queue.depth(),
-            queue_high_water: self.inner.queue.high_water(),
+            rejected: self.inner.rejected.load(Ordering::SeqCst),
+            rejected_shutdown: self.inner.rejected_shutdown.load(Ordering::SeqCst),
+            queue_depth: queue.depth,
+            queue_high_water: queue.high_water,
             engines,
             per_target: per_target.into_iter().collect(),
             cache,
             online_work,
+            queue_wait,
+            execute,
+            batch_sizes,
         }
     }
 
@@ -676,8 +1020,9 @@ impl Server {
     ///
     /// # Panics
     ///
-    /// Propagates a panic from a worker thread (which would also have lost
-    /// that worker's in-flight response).
+    /// Propagates a panic from a worker thread. Kernel-execution panics are
+    /// caught inside the worker and never reach here; this fires only on a
+    /// genuine bug in the serving loop itself.
     pub fn shutdown(&self) -> ServerStats {
         self.inner.queue.close();
         // The worker-list lock is held across the joins, so a concurrent
@@ -708,45 +1053,160 @@ impl Drop for Server {
     }
 }
 
-/// One worker: pull jobs until the queue is closed *and* drained, resolving
-/// each request's shared engine by module fingerprint and recycling call
-/// frames from a worker-held [`FramePool`] across every request it serves
-/// (the same per-worker amortization the sweep pool uses).
+/// One worker: pull batches until the queue is closed *and* drained. The
+/// worker's home shard is its own index (submitters route batch keys across
+/// shards; the scan steals from other shards when home is dry), and a
+/// worker-held [`FramePool`] recycles call frames across every request it
+/// serves — the same per-worker amortization the sweep pool uses.
 fn worker_loop(inner: &Inner, worker: usize) {
     let mut pool = FramePool::new();
-    while let Some(Job { request, tx }) = inner.queue.pop() {
-        let Request {
-            module,
-            kernel,
-            target,
-            options,
-            args,
-            mut mem,
-        } = request;
+    let mut batch: Vec<Job> = Vec::new();
+    let home = worker % inner.queue.shard_count();
+    while inner
+        .queue
+        .next_batch(home, inner.max_batch, same_batch, &mut batch)
+    {
+        serve_batch(inner, worker, &mut pool, &mut batch);
+    }
+}
+
+/// Serve one continuous batch (all jobs share a batch key): resolve the
+/// shared engine once, fetch the compiled program once, then run every job
+/// through exactly the execution path an unbatched run uses — so responses
+/// are bit-identical to unbatched serving; batching only amortizes lookups.
+fn serve_batch(inner: &Inner, worker: usize, pool: &mut FramePool, batch: &mut Vec<Job>) {
+    let dequeued = Instant::now();
+    let batch_len = batch.len();
+    let engine = inner.engine_for(&batch[0].request.module);
+    let target_name = batch[0].request.target.name.clone();
+    // One program fetch covers the whole batch: the identical (target,
+    // options) artifact every job would have looked up individually. A
+    // batch whose every kernel is unknown skips the fetch entirely —
+    // matching the unbatched precheck, where unknown kernels never touch
+    // the cache.
+    let any_known = batch.iter().any(|j| {
+        j.request
+            .module
+            .module()
+            .function(&j.request.kernel)
+            .is_some()
+    });
+    let program = if any_known {
+        Some(engine.program_for(&batch[0].request.target, &batch[0].request.options))
+    } else {
+        None
+    };
+    for job in batch.drain(..) {
+        let Job {
+            request,
+            tx,
+            accepted_at,
+            ..
+        } = job;
+        let queue_wait_ns = saturating_ns(dequeued.duration_since(accepted_at));
+        let (outcome, mem, execute_ns) = run_job(inner, &engine, program.as_ref(), request, pool);
+        inner.completed.fetch_add(1, Ordering::SeqCst);
         {
-            // This worker's own map: uncontended in steady state (only
-            // `stats()` ever takes it from another thread), and no key
-            // allocation once a target has been seen.
-            let mut counts = inner.per_target[worker]
+            // This worker's own metrics: uncontended in steady state (only
+            // `stats()` ever takes the lock from another thread). The
+            // per-target count lands *after* the request completed, so the
+            // map never counts work that was merely started.
+            let mut m = inner.metrics[worker]
                 .lock()
-                .expect("per-target counters poisoned");
-            if let Some(count) = counts.get_mut(&target.name) {
+                .expect("worker metrics poisoned");
+            m.queue_wait.record(queue_wait_ns);
+            m.execute.record(execute_ns);
+            if let Some(count) = m.per_target.get_mut(&target_name) {
                 *count += 1;
             } else {
-                counts.insert(target.name.clone(), 1);
+                m.per_target.insert(target_name.clone(), 1);
             }
         }
-        let engine = inner.engine_for(&module);
-        let outcome = engine.run_pooled(&target, &options, &kernel, &args, &mut mem, &mut pool);
-        inner.completed.fetch_add(1, Ordering::Relaxed);
         // The client may have dropped its handle without waiting; a refused
         // send is not an error.
         let _ = tx.send(Response {
             outcome,
             mem,
             worker,
+            queue_wait_ns,
+            execute_ns,
+            batch: batch_len,
         });
     }
+    inner.metrics[worker]
+        .lock()
+        .expect("worker metrics poisoned")
+        .batch_sizes
+        .record(batch_len as u64);
+}
+
+/// Run one job of a batch. `program` is the batch-level compiled-program
+/// fetch: `Some(Ok(_))` drives the job through [`crate::engine::simulate`]
+/// directly (the same call `run_pooled` bottoms out in); `Some(Err(_))`
+/// re-runs the per-job lookup so each client receives exactly the error an
+/// unbatched run would have produced (`EngineError` is not `Clone`); `None`
+/// means no job in the batch names a known kernel.
+///
+/// Execution is wrapped in a panic guard: a panicking kernel answers with
+/// [`EngineError::Panicked`] and costs the worker its frame pool (recycled
+/// frames may have been mid-mutation when the unwind tore through), but
+/// never the worker itself.
+fn run_job(
+    inner: &Inner,
+    engine: &ExecutionEngine,
+    program: Option<&Result<Arc<CompiledModule>, EngineError>>,
+    request: Request,
+    pool: &mut FramePool,
+) -> (Result<Execution, EngineError>, Vec<u8>, u64) {
+    let inject = inner.fault.is_some_and(|hook| hook(&request));
+    let Request {
+        module,
+        kernel,
+        target,
+        options,
+        args,
+        mut mem,
+    } = request;
+    if module.module().function(&kernel).is_none() {
+        // Matches `run_pooled`'s precheck: unknown kernels fail before any
+        // cache traffic and before the execute clock starts.
+        return (Err(EngineError::UnknownKernel(kernel)), mem, 0);
+    }
+    let started = Instant::now();
+    let ran = catch_unwind(AssertUnwindSafe(|| {
+        if inject {
+            panic!("injected serving fault in kernel `{kernel}`");
+        }
+        match program {
+            Some(Ok(compiled)) => {
+                crate::engine::simulate(compiled, &target, &kernel, &args, &mut mem, pool)
+            }
+            _ => engine.run_pooled(&target, &options, &kernel, &args, &mut mem, pool),
+        }
+    }));
+    let outcome = match ran {
+        Ok(outcome) => outcome,
+        Err(payload) => {
+            *pool = FramePool::new();
+            Err(EngineError::Panicked(panic_message(payload.as_ref())))
+        }
+    };
+    (outcome, mem, saturating_ns(started.elapsed()))
+}
+
+/// Best-effort extraction of a panic payload's message.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
+
+fn saturating_ns(d: std::time::Duration) -> u64 {
+    u64::try_from(d.as_nanos()).unwrap_or(u64::MAX)
 }
 
 #[cfg(test)]
@@ -769,64 +1229,188 @@ mod tests {
         }
     }
 
-    // --- BoundedQueue: deterministic backpressure semantics ---
+    /// Dequeue exactly one item (no batching) — the old `pop` shape, used
+    /// by the queue-semantics tests.
+    fn pop1<T>(q: &ShardedQueue<T>) -> Option<T> {
+        let mut out = Vec::new();
+        if q.next_batch(0, 1, |_, _| false, &mut out) {
+            debug_assert_eq!(out.len(), 1);
+            out.pop()
+        } else {
+            None
+        }
+    }
+
+    // --- ShardedQueue: deterministic backpressure semantics ---
 
     #[test]
     fn try_push_refuses_a_full_queue_and_hands_the_item_back() {
-        let q = BoundedQueue::new(2);
-        assert!(q.push(1u32, false).is_ok());
-        assert!(q.push(2, false).is_ok());
-        match q.push(3, false) {
+        let q = ShardedQueue::new(1, 2);
+        assert!(q.push(1u32, 0, false).is_ok());
+        assert!(q.push(2, 0, false).is_ok());
+        match q.push(3, 0, false) {
             Err(PushRefused::Full(item)) => assert_eq!(item, 3),
             _ => panic!("a full queue must refuse non-blocking pushes"),
         }
-        assert_eq!(q.depth(), 2);
-        assert_eq!(q.high_water(), 2);
+        let snap = q.snapshot();
+        assert_eq!(snap.depth, 2);
+        assert_eq!(snap.high_water, 2);
         // Draining makes room again, FIFO order preserved.
-        assert_eq!(q.pop(), Some(1));
-        assert!(q.push(3, false).is_ok());
-        assert_eq!(q.pop(), Some(2));
-        assert_eq!(q.pop(), Some(3));
-        assert_eq!(q.high_water(), 2, "high water is a maximum, not a level");
+        assert_eq!(pop1(&q), Some(1));
+        assert!(q.push(3, 0, false).is_ok());
+        assert_eq!(pop1(&q), Some(2));
+        assert_eq!(pop1(&q), Some(3));
+        assert_eq!(
+            q.snapshot().high_water,
+            2,
+            "high water is a maximum, not a level"
+        );
+    }
+
+    #[test]
+    fn capacity_is_global_across_shards() {
+        let q = ShardedQueue::new(4, 2);
+        assert!(q.push(1u32, 0, false).is_ok());
+        assert!(q.push(2, 3, false).is_ok());
+        assert!(
+            matches!(q.push(3, 1, false), Err(PushRefused::Full(3))),
+            "the bound spans all shards, not each one"
+        );
+        let snap = q.snapshot();
+        assert_eq!(snap.depth, 2);
+        assert_eq!(snap.accepted, 2);
     }
 
     #[test]
     fn blocking_push_waits_for_space_instead_of_refusing() {
-        let q = Arc::new(BoundedQueue::new(1));
-        assert!(q.push(10u32, true).is_ok());
+        let q = Arc::new(ShardedQueue::new(1, 1));
+        assert!(q.push(10u32, 0, true).is_ok());
         let qt = Arc::clone(&q);
-        let pusher = std::thread::spawn(move || qt.push(20, true).is_ok());
+        let pusher = std::thread::spawn(move || qt.push(20, 0, true).is_ok());
         // The pusher can only finish after this pop frees a slot; if push
         // wrongly refused instead of blocking, the assert below catches the
         // missing item.
-        assert_eq!(q.pop(), Some(10));
+        assert_eq!(pop1(&q), Some(10));
         assert!(pusher.join().unwrap());
-        assert_eq!(q.pop(), Some(20));
+        assert_eq!(pop1(&q), Some(20));
     }
 
     #[test]
     fn close_refuses_intake_but_drains_pending_items() {
-        let q = BoundedQueue::new(4);
-        assert!(q.push(1u32, false).is_ok());
-        assert!(q.push(2, false).is_ok());
+        let q = ShardedQueue::new(1, 4);
+        assert!(q.push(1u32, 0, false).is_ok());
+        assert!(q.push(2, 0, false).is_ok());
         q.close();
-        match q.push(3, true) {
+        match q.push(3, 0, true) {
             Err(PushRefused::Closed(item)) => assert_eq!(item, 3),
             _ => panic!("a closed queue must refuse even blocking pushes"),
         }
-        assert_eq!(q.pop(), Some(1));
-        assert_eq!(q.pop(), Some(2));
-        assert_eq!(q.pop(), None, "closed and drained");
-        assert_eq!(q.pop(), None, "stays drained");
+        assert_eq!(pop1(&q), Some(1));
+        assert_eq!(pop1(&q), Some(2));
+        assert_eq!(pop1(&q), None, "closed and drained");
+        assert_eq!(pop1(&q), None, "stays drained");
     }
 
     #[test]
     fn close_wakes_blocked_poppers() {
-        let q = Arc::new(BoundedQueue::<u32>::new(1));
+        let q = Arc::new(ShardedQueue::<u32>::new(2, 1));
         let qt = Arc::clone(&q);
-        let popper = std::thread::spawn(move || qt.pop());
+        let popper = std::thread::spawn(move || pop1(&qt));
         q.close();
         assert_eq!(popper.join().unwrap(), None);
+    }
+
+    #[test]
+    fn next_batch_drains_compatible_items_in_fifo_order() {
+        let q = ShardedQueue::new(1, 16);
+        for v in 1..=6u32 {
+            assert!(q.push(v, 0, false).is_ok());
+        }
+        let parity = |a: &u32, b: &u32| a % 2 == b % 2;
+        let mut out = Vec::new();
+        assert!(q.next_batch(0, 8, parity, &mut out));
+        assert_eq!(out, vec![1, 3, 5], "odd batch, order preserved");
+        out.clear();
+        assert!(q.next_batch(0, 8, parity, &mut out));
+        assert_eq!(out, vec![2, 4, 6], "left-behind items keep their order");
+        assert_eq!(q.snapshot().depth, 0);
+    }
+
+    #[test]
+    fn next_batch_respects_max_batch() {
+        let q = ShardedQueue::new(1, 16);
+        for v in 0..5u32 {
+            assert!(q.push(v, 0, false).is_ok());
+        }
+        let mut out = Vec::new();
+        assert!(q.next_batch(0, 2, |_, _| true, &mut out));
+        assert_eq!(out, vec![0, 1]);
+        out.clear();
+        assert!(q.next_batch(0, 2, |_, _| true, &mut out));
+        assert_eq!(out, vec![2, 3]);
+        out.clear();
+        assert!(q.next_batch(0, 2, |_, _| true, &mut out));
+        assert_eq!(out, vec![4], "a short tail still serves");
+    }
+
+    #[test]
+    fn workers_steal_from_other_shards() {
+        let q = ShardedQueue::new(4, 16);
+        assert!(q.push(7u32, 2, false).is_ok());
+        let mut out = Vec::new();
+        // Home shard 0 is empty; the scan must find shard 2's item instead
+        // of parking forever.
+        assert!(q.next_batch(0, 4, |_, _| true, &mut out));
+        assert_eq!(out, vec![7]);
+    }
+
+    #[test]
+    fn snapshot_is_consistent_under_churn() {
+        let q = Arc::new(ShardedQueue::<u64>::new(4, 32));
+        let popped = Arc::new(AtomicU64::new(0));
+        let mut producers = Vec::new();
+        for p in 0..2 {
+            let qt = Arc::clone(&q);
+            producers.push(std::thread::spawn(move || {
+                for i in 0..500u64 {
+                    qt.push(i, (p + i as usize) % 4, true).ok();
+                }
+            }));
+        }
+        let qt = Arc::clone(&q);
+        let popped_t = Arc::clone(&popped);
+        let consumer = std::thread::spawn(move || {
+            let mut out = Vec::new();
+            while qt.next_batch(0, 4, |_, _| true, &mut out) {
+                // Count completions BEFORE the next observation can run, the
+                // same order the server maintains.
+                popped_t.fetch_add(out.len() as u64, Ordering::SeqCst);
+                out.clear();
+            }
+        });
+        // Observer: in every snapshot, completions + depth never exceed
+        // accepted, and high water bounds depth.
+        let mut last_accepted = 0u64;
+        for _ in 0..200 {
+            let done = popped.load(Ordering::SeqCst);
+            let snap = q.snapshot();
+            assert!(
+                done + snap.depth as u64 <= snap.accepted,
+                "tear: completed {done} + depth {} > accepted {}",
+                snap.depth,
+                snap.accepted
+            );
+            assert!(snap.high_water >= snap.depth);
+            assert!(snap.accepted >= last_accepted, "accepted is monotonic");
+            last_accepted = snap.accepted;
+        }
+        for p in producers {
+            p.join().unwrap();
+        }
+        q.close();
+        consumer.join().unwrap();
+        assert_eq!(popped.load(Ordering::SeqCst), 1000, "lossless drain");
+        assert_eq!(q.snapshot().accepted, 1000);
     }
 
     // --- Server ---
@@ -866,6 +1450,13 @@ mod tests {
         assert_eq!(stats.cache.compiles, 1);
         assert_eq!(stats.accepted, 2);
         assert_eq!(stats.completed, 2);
+        assert_eq!(stats.queue_wait.count(), 2, "every wait is timed");
+        assert_eq!(stats.execute.count(), 2, "every execution is timed");
+        assert_eq!(
+            stats.batch_sizes.sum(),
+            2,
+            "batch sizes account for every served request"
+        );
     }
 
     #[test]
@@ -892,11 +1483,12 @@ mod tests {
     }
 
     #[test]
-    fn submissions_after_shutdown_hand_the_request_back() {
+    fn submissions_after_shutdown_hand_the_request_back_and_are_counted() {
         let module = triple_module();
         let server = Server::start(ServerConfig::default().with_workers(1));
         let stats = server.shutdown();
         assert_eq!(stats.accepted, 0);
+        assert_eq!(stats.rejected_shutdown, 0);
         let err = server.submit(triple_request(&module, 7)).unwrap_err();
         match err {
             SubmitError::ShuttingDown(request) => {
@@ -910,7 +1502,16 @@ mod tests {
             server.try_submit(triple_request(&module, 8)),
             Err(SubmitError::ShuttingDown(_))
         ));
-        assert_eq!(server.shutdown().accepted, 0);
+        let stats = server.shutdown();
+        assert_eq!(stats.accepted, 0);
+        assert_eq!(
+            stats.rejected_shutdown, 2,
+            "shutdown-time refusals are counted, not dropped"
+        );
+        assert_eq!(
+            stats.rejected, 0,
+            "full-queue and shutdown counters are distinct"
+        );
     }
 
     #[test]
@@ -930,8 +1531,14 @@ mod tests {
             vec![0xaa; 32],
             "memory is returned either way"
         );
+        assert_eq!(response.execute_ns, 0, "refused before the execute clock");
         let stats = server.shutdown();
         assert_eq!(stats.completed, 1, "failed requests still complete");
+        assert_eq!(
+            stats.cache.lookups(),
+            0,
+            "unknown kernels never touch the cache, batched or not"
+        );
     }
 
     #[test]
@@ -989,5 +1596,126 @@ mod tests {
         let server = Server::start(ServerConfig::default());
         assert_eq!(server.workers(), crate::sweep::default_jobs());
         server.shutdown();
+    }
+
+    // --- Panic safety ---
+
+    /// Fault hook: panic while serving any request whose first argument is
+    /// the sentinel 13.
+    fn panic_on_13(request: &Request) -> bool {
+        request.args.first() == Some(&MachineValue::Int(13))
+    }
+
+    #[test]
+    fn a_panicking_kernel_answers_the_client_and_spares_the_worker() {
+        let module = triple_module();
+        // ONE worker: if the panic killed it, the later requests would hang
+        // (and shutdown's completed == accepted guarantee would break).
+        let server =
+            Server::start_instrumented(ServerConfig::default().with_workers(1), Some(panic_on_13));
+        let before = server.submit(triple_request(&module, 2)).unwrap();
+        let boom = server.submit(triple_request(&module, 13)).unwrap();
+        let after = server.submit(triple_request(&module, 4)).unwrap();
+        assert_eq!(
+            before.wait().unwrap().outcome.unwrap().result,
+            Some(MachineValue::Int(6))
+        );
+        let crashed = boom.wait().expect("a panicking kernel still answers");
+        assert!(
+            matches!(
+                crashed.outcome,
+                Err(EngineError::Panicked(ref msg)) if msg.contains("injected serving fault")
+            ),
+            "got {:?}",
+            crashed.outcome
+        );
+        assert_eq!(
+            after.wait().unwrap().outcome.unwrap().result,
+            Some(MachineValue::Int(12)),
+            "the worker survived the panic and kept serving"
+        );
+        let stats = server.shutdown();
+        assert_eq!(stats.completed, 3, "panicked requests complete too");
+        assert_eq!(stats.accepted, 3);
+        assert_eq!(
+            stats.per_target.iter().map(|(_, c)| c).sum::<u64>(),
+            3,
+            "per-target counts requests that actually completed"
+        );
+    }
+
+    // --- Continuous batching ---
+
+    /// Gate for [`stall_on_0`]: the hooked worker spins until released.
+    static STALL_GATE: AtomicBool = AtomicBool::new(false);
+
+    /// Fault hook that never injects a fault, but stalls the worker while
+    /// serving the sentinel request (first arg 0) until [`STALL_GATE`]
+    /// opens — letting a test pile up a known backlog behind a 1-worker
+    /// server and then observe it served as one continuous batch.
+    fn stall_on_0(request: &Request) -> bool {
+        if request.args.first() == Some(&MachineValue::Int(0)) {
+            while !STALL_GATE.load(Ordering::SeqCst) {
+                std::thread::yield_now();
+            }
+        }
+        false
+    }
+
+    #[test]
+    fn a_backlog_of_one_key_is_served_as_one_bit_identical_batch() {
+        let module = triple_module();
+        let server = Server::start_instrumented(
+            ServerConfig::default()
+                .with_workers(1)
+                .with_max_batch(8)
+                .with_queue_capacity(64),
+            Some(stall_on_0),
+        );
+        // Occupy the single worker with the stalling sentinel…
+        let sentinel = server.submit(triple_request(&module, 0)).unwrap();
+        while server.queue_depth() > 0 {
+            std::thread::yield_now();
+        }
+        // …then build a same-key backlog it must drain as one batch.
+        let handles: Vec<_> = (1..=8)
+            .map(|i| server.submit(triple_request(&module, i)).unwrap())
+            .collect();
+        STALL_GATE.store(true, Ordering::SeqCst);
+        sentinel.wait().unwrap().outcome.unwrap();
+        let engine = crate::ExecutionEngine::from_arc(module.module_arc());
+        let mut pool = FramePool::new();
+        for (i, handle) in handles.into_iter().enumerate() {
+            let x = i as i64 + 1;
+            let response = handle.wait().unwrap();
+            assert_eq!(response.batch, 8, "the backlog was served as one batch");
+            // Bit-identity: the batched response equals a fresh unbatched
+            // run — same Execution record, same memory image.
+            let mut reference = triple_request(&module, x);
+            let expect = engine
+                .run_pooled(
+                    &reference.target,
+                    &reference.options,
+                    &reference.kernel,
+                    &reference.args,
+                    &mut reference.mem,
+                    &mut pool,
+                )
+                .unwrap();
+            assert_eq!(response.outcome.unwrap(), expect);
+            assert_eq!(response.mem, reference.mem);
+        }
+        let stats = server.shutdown();
+        assert_eq!(stats.batch_sizes.max(), 8);
+        assert_eq!(stats.batch_sizes.sum(), stats.completed);
+        assert_eq!(
+            stats.cache.compiles, 1,
+            "one compilation serves the whole run"
+        );
+        assert_eq!(
+            stats.cache.lookups(),
+            stats.batch_sizes.count(),
+            "one cache lookup per batch, not per request"
+        );
     }
 }

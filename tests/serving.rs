@@ -1,5 +1,6 @@
 //! Serving-grade tests for the async request layer: soak, cache churn under
-//! load, graceful shutdown and backpressure accounting.
+//! load, graceful shutdown, backpressure accounting, tear-free stats
+//! snapshots under churn, and flood-versus-shutdown races.
 //!
 //! The contract under test: whatever the interleaving of submitting threads,
 //! worker scheduling and cache eviction, every served response is
@@ -198,12 +199,29 @@ fn soak_many_threads_many_modules_all_targets_bit_identical_to_reference() {
         "exactly one compile per distinct (module, target, options) triple"
     );
     assert_eq!(stats.cache.evictions, 0, "unbounded caches never evict");
+    // Continuous batching: the engine is consulted once per served batch,
+    // not once per request, so lookups track the batch count exactly and
+    // every completion is accounted to exactly one batch.
     assert_eq!(
         stats.cache.lookups(),
-        total,
-        "one engine lookup per request"
+        stats.batch_sizes.count(),
+        "one engine lookup per served batch"
     );
-    assert_eq!(stats.cache.hits, total - stats.cache.compiles);
+    assert!(
+        stats.cache.lookups() <= total,
+        "batching never adds lookups"
+    );
+    assert_eq!(
+        stats.cache.hits,
+        stats.cache.lookups() - stats.cache.compiles
+    );
+    assert_eq!(
+        stats.batch_sizes.sum(),
+        total,
+        "every completion is counted in exactly one batch"
+    );
+    assert_eq!(stats.queue_wait.count(), total);
+    assert_eq!(stats.execute.count(), total);
     assert_eq!(stats.per_target.len(), targets.len());
     let per_target_each = total / targets.len() as u64;
     for (name, count) in &stats.per_target {
@@ -309,7 +327,9 @@ fn cache_churn_under_load_stays_bit_identical_while_evicting() {
     // The consistent-snapshot invariant at quiescence: resident entries are
     // exactly compiles - evictions, and the LRU bound caps them.
     assert!(stats.cache.compiles - stats.cache.evictions <= CACHE_CAPACITY as u64);
-    assert_eq!(stats.cache.lookups(), total);
+    // One engine lookup per served batch (not per request, under batching).
+    assert_eq!(stats.cache.lookups(), stats.batch_sizes.count());
+    assert_eq!(stats.batch_sizes.sum(), total);
 }
 
 #[test]
@@ -466,5 +486,164 @@ fn try_submit_backpressure_accounting_adds_up_under_a_flood() {
     let stats = server.shutdown();
     assert_eq!(stats.accepted, accepted);
     assert_eq!(stats.rejected, rejected);
+    assert_eq!(stats.rejected_shutdown, 0, "nobody raced the shutdown here");
     assert_eq!(stats.completed, accepted, "no accepted request was lost");
+}
+
+#[test]
+fn stats_snapshots_stay_consistent_while_traffic_churns() {
+    const N: usize = 24;
+    const PRODUCERS: usize = 2;
+    const PER_PRODUCER: usize = 150;
+    const OBSERVATIONS: usize = 200;
+    let module = ServeModule::new(offline(&[kernel("vecadd_f32").unwrap()], "observe"));
+    let target = TargetDesc::x86_sse();
+    // A small queue keeps depth bouncing between empty and full while the
+    // observer samples, so the tear-free snapshot is exercised at both
+    // extremes, not just in a steady state.
+    let server = Server::start(
+        ServerConfig::default()
+            .with_workers(2)
+            .with_queue_capacity(4),
+    );
+
+    std::thread::scope(|scope| {
+        for thread in 0..PRODUCERS {
+            let server = &server;
+            let module = &module;
+            let target = &target;
+            scope.spawn(move || {
+                let mut handles = Vec::with_capacity(PER_PRODUCER);
+                for i in 0..PER_PRODUCER {
+                    let seed = (thread * PER_PRODUCER + i) as u64;
+                    handles.push(
+                        server
+                            .submit(request_for(module, "vecadd_f32", target, N, seed))
+                            .expect("server is accepting"),
+                    );
+                }
+                for handle in handles {
+                    handle.wait().expect("answered").outcome.expect("executes");
+                }
+            });
+        }
+
+        // The observer races the producers and the workers: every snapshot
+        // it takes must be internally consistent — a completion is only
+        // visible once its request has left the queue, the high-water mark
+        // never trails the depth, and the counters never run backwards.
+        let mut last_accepted = 0u64;
+        let mut last_completed = 0u64;
+        for _ in 0..OBSERVATIONS {
+            let stats = server.stats();
+            assert!(
+                stats.completed + stats.queue_depth as u64 <= stats.accepted,
+                "torn snapshot: {} completed + {} queued > {} accepted",
+                stats.completed,
+                stats.queue_depth,
+                stats.accepted
+            );
+            assert!(
+                stats.queue_high_water >= stats.queue_depth,
+                "high water {} trails live depth {}",
+                stats.queue_high_water,
+                stats.queue_depth
+            );
+            assert!(stats.accepted >= last_accepted, "accepted ran backwards");
+            assert!(stats.completed >= last_completed, "completed ran backwards");
+            assert_eq!(stats.rejected, 0);
+            assert_eq!(stats.rejected_shutdown, 0);
+            last_accepted = stats.accepted;
+            last_completed = stats.completed;
+        }
+    });
+
+    let total = (PRODUCERS * PER_PRODUCER) as u64;
+    let stats = server.shutdown();
+    assert_eq!(stats.accepted, total);
+    assert_eq!(stats.completed, total);
+    assert_eq!(stats.queue_depth, 0);
+}
+
+#[test]
+fn a_flood_racing_shutdown_accounts_for_every_attempt_exactly_once() {
+    const THREADS: usize = 3;
+    const TRIES: usize = 200;
+    let module = ServeModule::new(offline(&[kernel("sum_u8").unwrap()], "race"));
+    let target = TargetDesc::powerpc();
+    // A tiny queue behind one worker so the flood sees all three outcomes:
+    // accepted, refused-full, and — once the main thread pulls the plug
+    // mid-flood — refused-shutting-down.
+    let server = Arc::new(Server::start(
+        ServerConfig::default()
+            .with_workers(1)
+            .with_queue_capacity(2),
+    ));
+    let barrier = Arc::new(Barrier::new(THREADS + 1));
+
+    let floods: Vec<_> = (0..THREADS)
+        .map(|thread| {
+            let server = Arc::clone(&server);
+            let barrier = Arc::clone(&barrier);
+            let module = module.clone();
+            let target = target.clone();
+            std::thread::spawn(move || {
+                barrier.wait();
+                let mut ok = Vec::new();
+                let mut full = 0u64;
+                let mut shut = 0u64;
+                for i in 0..TRIES {
+                    let seed = (thread * TRIES + i) as u64;
+                    match server.try_submit(request_for(&module, "sum_u8", &target, 16, seed)) {
+                        Ok(handle) => ok.push(handle),
+                        Err(SubmitError::QueueFull(request)) => {
+                            assert_eq!(request.kernel, "sum_u8", "refused request intact");
+                            full += 1;
+                        }
+                        Err(SubmitError::ShuttingDown(request)) => {
+                            assert_eq!(request.kernel, "sum_u8", "refused request intact");
+                            shut += 1;
+                        }
+                    }
+                }
+                (ok, full, shut)
+            })
+        })
+        .collect();
+
+    // Pull the plug while the flood is in full swing.
+    barrier.wait();
+    server.shutdown();
+
+    let mut accepted = 0u64;
+    let mut rejected_full = 0u64;
+    let mut rejected_shutdown = 0u64;
+    for flood in floods {
+        let (ok, full, shut) = flood.join().expect("flood thread panicked");
+        accepted += ok.len() as u64;
+        rejected_full += full;
+        rejected_shutdown += shut;
+        for handle in ok {
+            // Accepted before the close means answered despite the close.
+            handle
+                .wait()
+                .expect("accepted request answered across shutdown")
+                .outcome
+                .expect("accepted request executes");
+        }
+    }
+    assert_eq!(
+        accepted + rejected_full + rejected_shutdown,
+        (THREADS * TRIES) as u64,
+        "every attempt lands in exactly one bucket"
+    );
+    // The floods kept racing after shutdown() returned its own snapshot, so
+    // re-read the stats now that every thread has been joined: the server's
+    // books must agree with the producers' tallies bucket for bucket.
+    let stats = server.stats();
+    assert_eq!(stats.accepted, accepted);
+    assert_eq!(stats.rejected, rejected_full);
+    assert_eq!(stats.rejected_shutdown, rejected_shutdown);
+    assert_eq!(stats.completed, accepted, "no accepted request was lost");
+    assert_eq!(stats.queue_depth, 0);
 }
