@@ -496,8 +496,11 @@ struct ShardedQueue<T> {
     len: AtomicUsize,
     high_water: AtomicUsize,
     open: AtomicBool,
-    /// Push epoch: bumped after every insert (and every backed-out
-    /// reservation), the "something changed, rescan" signal for poppers.
+    /// Push epoch: bumped after every insert — the "something changed,
+    /// rescan" signal for poppers. A backed-out reservation does *not* bump
+    /// it (no item became visible); that path re-notifies both condvars
+    /// under the gate instead, which is what wakes waiters re-evaluating
+    /// `len`.
     pushes: AtomicU64,
     /// Poppers parked (or committing to park) on `not_empty`.
     sleepers: AtomicUsize,
@@ -655,6 +658,19 @@ impl<T> ShardedQueue<T> {
                     drop(shard);
                     self.len.fetch_sub(out.len(), Ordering::SeqCst);
                     self.notify_popped();
+                    // A sibling popper may have scanned every shard empty
+                    // between our pop (under the shard lock) and the
+                    // decrement above, and parked because `len != 0` made the
+                    // closed queue look undrained. No push will ever wake it
+                    // — intake is refused after close — so once our decrement
+                    // lands on a closed queue, wake the sleepers to
+                    // re-evaluate the drain condition. (SeqCst makes this a
+                    // Dekker pair with the sleeper protocol: either our
+                    // `sleepers` read sees the parked popper, or its `len`
+                    // read sees our decrement and it exits on its own.)
+                    if !self.open.load(Ordering::SeqCst) {
+                        self.notify_pushed();
+                    }
                     return true;
                 }
             }
@@ -1091,8 +1107,19 @@ fn serve_batch(inner: &Inner, worker: usize, pool: &mut FramePool, batch: &mut V
             .function(&j.request.kernel)
             .is_some()
     });
+    // The batch-level fetch runs under the same panic guard as per-job
+    // execution: online compilation lives inside the panic-safe-worker
+    // contract too. A panicking compile becomes `Some(Err(Panicked))`, which
+    // routes every job through the per-job fallback below — each retries the
+    // lookup inside its own `catch_unwind`, so each client is answered (with
+    // the real result if the panic doesn't reproduce) and the worker lives.
     let program = if any_known {
-        Some(engine.program_for(&batch[0].request.target, &batch[0].request.options))
+        Some(
+            catch_unwind(AssertUnwindSafe(|| {
+                engine.program_for(&batch[0].request.target, &batch[0].request.options)
+            }))
+            .unwrap_or_else(|payload| Err(EngineError::Panicked(panic_message(payload.as_ref())))),
+        )
     } else {
         None
     };
@@ -1318,6 +1345,54 @@ mod tests {
         let popper = std::thread::spawn(move || pop1(&qt));
         q.close();
         assert_eq!(popper.join().unwrap(), None);
+    }
+
+    #[test]
+    fn closed_drain_never_strands_a_popper() {
+        // Regression: a popper that scanned every shard empty could park on
+        // a closed queue forever because a sibling had popped the last item
+        // under the shard lock but not yet published the `len` decrement —
+        // the popper saw `open == false, len != 0` and waited, and the
+        // decrement only notified `not_full`. Hammer that window: every
+        // popper draining a closed queue must exit.
+        for round in 0..200 {
+            let q = Arc::new(ShardedQueue::<u32>::new(2, 64));
+            for v in 0..8u32 {
+                assert!(q.push(v, v as usize, false).is_ok());
+            }
+            q.close();
+            let (done_tx, done_rx) = mpsc::channel();
+            let poppers: Vec<_> = (0..4)
+                .map(|home| {
+                    let qt = Arc::clone(&q);
+                    let tx = done_tx.clone();
+                    std::thread::spawn(move || {
+                        let mut out = Vec::new();
+                        let mut popped = 0usize;
+                        while qt.next_batch(home, 2, |_, _| true, &mut out) {
+                            popped += out.len();
+                            out.clear();
+                        }
+                        tx.send(popped).expect("watchdog receiver alive");
+                    })
+                })
+                .collect();
+            drop(done_tx);
+            // The watchdog channel turns a stranded popper into a test
+            // failure instead of a silent hang.
+            let mut total = 0usize;
+            for _ in 0..poppers.len() {
+                total += done_rx
+                    .recv_timeout(std::time::Duration::from_secs(30))
+                    .unwrap_or_else(|_| {
+                        panic!("round {round}: popper stranded on a closed, drained queue")
+                    });
+            }
+            assert_eq!(total, 8, "round {round}: lossless drain");
+            for p in poppers {
+                p.join().unwrap();
+            }
+        }
     }
 
     #[test]
