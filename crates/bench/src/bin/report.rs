@@ -18,9 +18,11 @@
 //! three sections: the sweep rows (table1 kernels × the full preset target
 //! catalogue, sequential and parallel: ns/iter, per-cell simulated cycles,
 //! engine cache stats); the `serving` rows (the same mixed-module traffic
-//! pushed through the sharded request queue at 1 and 4 workers, plus a
-//! 10⁵-request soak: requests/s, queue high water, queue-wait and execute
-//! latency quantiles, batch-size distribution, aggregated engine-cache
+//! pushed through the sharded request queue at 1 and 4 workers, a
+//! 10⁵-request soak, and a chaos soak under the stock seeded fault plan:
+//! requests/s, queue high water, queue-wait and execute latency quantiles,
+//! batch-size distribution, fault-tolerance counters — deadline expiries,
+//! cancellations, retries, breaker lifecycle — and aggregated engine-cache
 //! counters); and the `dispatch` row
 //! (the tight-loop kernel of `benches/simulator.rs` timed on the legacy
 //! walk, the metered enum loop and the threaded handler table: ns/run,
@@ -28,7 +30,10 @@
 //! welding hit counts).
 
 use splitc::experiments::{codesize, hetero, kpn, regalloc, splitflow, table1};
-use splitc::serve::{run_load, run_soak, Histogram, LoadConfig, LoadReport, ServerStats};
+use splitc::serve::{
+    default_chaos_plan, run_chaos, run_load, run_soak, Histogram, LoadConfig, LoadReport,
+    ServerStats, EMPTY_QUANTILE,
+};
 use splitc::splitc_opt::{optimize_module, OptOptions};
 use splitc::splitc_runtime::Platform;
 use splitc::splitc_targets::TargetDesc;
@@ -188,23 +193,41 @@ const JSON_SERVE_REPEATS: usize = 3;
 /// trajectory regeneration under a few seconds.
 const JSON_SOAK_REQUESTS: usize = 100_000;
 
+/// Requests in the chaos serving row: enough traffic to drive the stock
+/// fault plan's breaker through its full open → half-open → closed
+/// lifecycle with margin, while keeping regeneration fast.
+const JSON_CHAOS_REQUESTS: usize = 20_000;
+
+/// One quantile as a JSON value: the nanosecond count, or `null` when the
+/// distribution is empty ([`EMPTY_QUANTILE`] must never leak into the JSON
+/// as a u64 — downstream tooling would read it as a 585-year latency).
+fn quantile_to_json(q: u64) -> String {
+    if q == EMPTY_QUANTILE {
+        "null".to_owned()
+    } else {
+        q.to_string()
+    }
+}
+
 /// One latency histogram as a JSON object: count, mean and the SLO
-/// quantiles, all in nanoseconds.
+/// quantiles, all in nanoseconds (quantiles are `null` when empty).
 fn histogram_to_json(h: &Histogram) -> String {
     format!(
         "{{\"count\": {}, \"mean_ns\": {:.0}, \"p50_ns\": {}, \"p99_ns\": {}, \"p999_ns\": {}, \"max_ns\": {}}}",
         h.count(),
         h.mean(),
-        h.p50(),
-        h.p99(),
-        h.p999(),
+        quantile_to_json(h.p50()),
+        quantile_to_json(h.p99()),
+        quantile_to_json(h.p999()),
         h.max(),
     )
 }
 
 /// Render one serving run as a JSON object: requests/s, the server's queue
 /// and accounting counters, the queue-wait/execute latency quantiles, the
-/// batch-size distribution, and the aggregated engine-cache counters.
+/// batch-size distribution, the fault-tolerance counters (deadlines,
+/// retries, breaker lifecycle, injected faults) and the aggregated
+/// engine-cache counters.
 fn serving_to_json(
     mode: &str,
     workers: usize,
@@ -215,7 +238,7 @@ fn serving_to_json(
 ) -> String {
     let batches = &stats.batch_sizes;
     format!(
-        "    {{\n      \"mode\": \"{mode}\",\n      \"workers\": {workers},\n      \"requests\": {requests},\n      \"elapsed_ns\": {:.0},\n      \"requests_per_sec\": {:.1},\n      \"queue_high_water\": {},\n      \"rejected\": {},\n      \"rejected_shutdown\": {},\n      \"queue_wait\": {},\n      \"execute\": {},\n      \"batches\": {{\"served\": {}, \"mean_size\": {:.3}, \"max_size\": {}}},\n      \"engines\": {},\n      \"cache\": {{\"compiles\": {}, \"hits\": {}, \"evictions\": {}}},\n      \"online_work\": {}\n    }}",
+        "    {{\n      \"mode\": \"{mode}\",\n      \"workers\": {workers},\n      \"requests\": {requests},\n      \"elapsed_ns\": {:.0},\n      \"requests_per_sec\": {:.1},\n      \"queue_high_water\": {},\n      \"rejected\": {},\n      \"rejected_shutdown\": {},\n      \"queue_wait\": {},\n      \"execute\": {},\n      \"batches\": {{\"served\": {}, \"mean_size\": {:.3}, \"max_size\": {}}},\n      \"faults\": {{\"expired\": {}, \"cancelled\": {}, \"retried\": {}, \"degraded\": {}, \"failed_fast\": {}, \"injected\": {}, \"breaker_opened\": {}, \"breaker_half_opened\": {}, \"breaker_closed\": {}}},\n      \"retry_attempts\": {},\n      \"engines\": {},\n      \"cache\": {{\"compiles\": {}, \"hits\": {}, \"evictions\": {}}},\n      \"online_work\": {}\n    }}",
         elapsed_ns as f64,
         requests_per_sec,
         stats.queue_high_water,
@@ -226,6 +249,16 @@ fn serving_to_json(
         batches.count(),
         batches.mean(),
         batches.max(),
+        stats.expired,
+        stats.cancelled,
+        stats.retried,
+        stats.degraded,
+        stats.failed_fast,
+        stats.faults_injected,
+        stats.breaker_opened,
+        stats.breaker_half_opened,
+        stats.breaker_closed,
+        histogram_to_json(&stats.retry_attempts),
         stats.engines,
         stats.cache.compiles,
         stats.cache.hits,
@@ -300,12 +333,32 @@ fn write_sweep_json(path: &str, n: usize) -> Result<(), Box<dyn std::error::Erro
         soak.requests_per_sec,
         &soak.stats,
     ));
+    // The chaos row: the soak's verified traffic under the stock seeded
+    // fault plan (injected panics/transients/latency, deadlines on a slice
+    // of the requests, one breaker driven open and back closed). The run
+    // itself asserts exactly-once answering and exact books; the row
+    // records what graceful degradation costs in throughput and tail
+    // latency.
+    let chaos_cfg = LoadConfig::catalogue(n, JSON_CHAOS_REQUESTS).with_workers(4);
+    let chaos_plan = default_chaos_plan(
+        chaos_cfg.kernels.len() * chaos_cfg.targets.len(),
+        chaos_cfg.seed,
+    );
+    let chaos = run_chaos(&chaos_cfg, &chaos_plan)?;
+    serving.push(serving_to_json(
+        "chaos",
+        chaos.workers,
+        chaos.requests,
+        chaos.elapsed_ns,
+        chaos.requests_per_sec,
+        &chaos.stats,
+    ));
     // The dispatch trajectory: the tight-loop kernel three ways, the
     // headline of `benches/simulator.rs`.
     let dispatch_row = dispatch_to_json(&dispatch::measure(JSON_DISPATCH_RUNS));
     let host_cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
     let json = format!(
-        "{{\n  \"schema\": \"splitc-bench-sweep/4\",\n  \"n\": {n},\n  \"repeats\": {JSON_SWEEP_REPEATS},\n  \"host_cores\": {host_cores},\n  \"sweeps\": [\n{}\n  ],\n  \"serving\": [\n{}\n  ],\n  \"dispatch\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"schema\": \"splitc-bench-sweep/5\",\n  \"n\": {n},\n  \"repeats\": {JSON_SWEEP_REPEATS},\n  \"host_cores\": {host_cores},\n  \"sweeps\": [\n{}\n  ],\n  \"serving\": [\n{}\n  ],\n  \"dispatch\": [\n{}\n  ]\n}}\n",
         sweeps.join(",\n"),
         serving.join(",\n"),
         dispatch_row,

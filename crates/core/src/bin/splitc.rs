@@ -7,7 +7,7 @@
 //! splitc run <module.svbc|kernels.mc> --kernel <fn> --target <name> [--arg i:<int>|f:<float>]...
 //! splitc disasm <catalogue-kernel|module.svbc|kernels.mc> [--target <name>] [--no-fuse]
 //! splitc bench <catalogue-kernel> [--n <elems>] [--target <name>] [--jobs <N>] [--repeats <R>]
-//! splitc serve-bench [--n <elems>] [--requests <R>] [--workers <N>] [--queue <Q>] [--cache-cap <C>] [--max-batch <B>] [--soak]
+//! splitc serve-bench [--n <elems>] [--requests <R>] [--workers <N>] [--queue <Q>] [--cache-cap <C>] [--max-batch <B>] [--seed <S>] [--soak | --chaos]
 //! ```
 //!
 //! * `build` runs the offline step (front end + optimizer) and writes the
@@ -41,9 +41,20 @@
 //!   generated from per-(kernel × target) templates through a bounded
 //!   in-flight window (so 10⁵+ requests don't need 10⁵ pre-built buffers)
 //!   and every response is verified against its template's single-threaded
-//!   reference checksum.
+//!   reference checksum. `--seed <S>` reseeds the whole run — request
+//!   inputs, retry-backoff jitter and (with `--chaos`) every fault-plan
+//!   decision derive from it, so two runs with one seed are replays of each
+//!   other. `--chaos` switches to the chaos soak: the soak's streamed,
+//!   verified traffic under a deterministic seeded fault plan (injected
+//!   panics, transient failures, latency spikes, a persistent poisoning
+//!   that drives one circuit breaker open and back closed, deadlines on a
+//!   slice of the requests). The run asserts exactly-once answering, exact
+//!   books (`accepted == completed + expired`, response tallies equal the
+//!   server counters) and bit-identity of every successful response against
+//!   its single-threaded reference — and fails loudly if the breaker never
+//!   opened or never recovered.
 
-use splitc::serve::{run_load, run_soak, LoadConfig};
+use splitc::serve::{default_chaos_plan, run_chaos, run_load, run_soak, LoadConfig};
 use splitc::splitc_jit::JitOptions;
 use splitc::splitc_opt::OptOptions;
 use splitc::splitc_targets::{MachineValue, TargetDesc};
@@ -53,7 +64,7 @@ use splitc::{fmt_cache_line, offline_compile, run_on_target, Workspace};
 use std::process::ExitCode;
 
 fn usage() -> &'static str {
-    "usage:\n  splitc build <kernels.mc> -o <module.svbc> [--no-vectorize] [--strip]\n  splitc dis <module.svbc>\n  splitc targets\n  splitc run <module.svbc|kernels.mc> --kernel <fn> --target <name> [--arg i:<int>|f:<float>]...\n  splitc disasm <catalogue-kernel|module.svbc|kernels.mc> [--target <name>] [--no-fuse]\n  splitc bench <kernel> [--n <elems>] [--target <name>] [--jobs <N>] [--repeats <R>]\n  splitc serve-bench [--n <elems>] [--requests <R>] [--workers <N>] [--queue <Q>] [--cache-cap <C>] [--max-batch <B>] [--soak]"
+    "usage:\n  splitc build <kernels.mc> -o <module.svbc> [--no-vectorize] [--strip]\n  splitc dis <module.svbc>\n  splitc targets\n  splitc run <module.svbc|kernels.mc> --kernel <fn> --target <name> [--arg i:<int>|f:<float>]...\n  splitc disasm <catalogue-kernel|module.svbc|kernels.mc> [--target <name>] [--no-fuse]\n  splitc bench <kernel> [--n <elems>] [--target <name>] [--jobs <N>] [--repeats <R>]\n  splitc serve-bench [--n <elems>] [--requests <R>] [--workers <N>] [--queue <Q>] [--cache-cap <C>] [--max-batch <B>] [--seed <S>] [--soak | --chaos]"
 }
 
 /// Parse one `--arg` value of the form `i:<integer>` or `f:<float>`.
@@ -284,18 +295,42 @@ fn cmd_serve_bench(mut args: Vec<String>) -> Result<(), String> {
         .map(|s| s.parse().map_err(|e| format!("bad --max-batch value: {e}")))
         .transpose()?
         .unwrap_or(16);
+    let seed: Option<u64> = take_flag(&mut args, "--seed")
+        .map(|s| s.parse().map_err(|e| format!("bad --seed value: {e}")))
+        .transpose()?;
     let soak = take_switch(&mut args, "--soak");
+    let chaos = take_switch(&mut args, "--chaos");
+    if soak && chaos {
+        return Err("--soak and --chaos are mutually exclusive".to_owned());
+    }
     if let Some(extra) = args.first() {
         return Err(format!(
             "serve-bench takes no positional argument `{extra}`"
         ));
     }
-    let cfg = LoadConfig::catalogue(n, requests)
+    let mut cfg = LoadConfig::catalogue(n, requests)
         .with_workers(workers)
         .with_queue_capacity(queue)
         .with_cache_capacity(cache_cap)
         .with_max_batch(max_batch);
-    if soak {
+    if let Some(seed) = seed {
+        cfg = cfg.with_seed(seed);
+    }
+    if chaos {
+        let plan = default_chaos_plan(cfg.kernels.len() * cfg.targets.len(), cfg.seed);
+        let report = run_chaos(&cfg, &plan).map_err(|e| format!("chaos soak failed: {e}"))?;
+        print!("{}", report.render());
+        // The stock plan promises the full breaker lifecycle; a chaos run
+        // that never opened (or never recovered) a breaker proves nothing
+        // and must fail the CI step that invoked it.
+        if report.stats.breaker_opened == 0 || report.stats.breaker_closed == 0 {
+            return Err(format!(
+                "chaos soak did not exercise the breaker lifecycle \
+                 (opened {}, closed {}) — increase --requests",
+                report.stats.breaker_opened, report.stats.breaker_closed
+            ));
+        }
+    } else if soak {
         let report = run_soak(&cfg).map_err(|e| format!("serving soak failed: {e}"))?;
         print!("{}", report.render());
     } else {
@@ -429,9 +464,34 @@ mod tests {
             "2".into(),
             "--queue".into(),
             "8".into(),
+            "--seed".into(),
+            "7".into(),
             "--soak".into(),
         ])
         .expect("serving soak succeeds");
+        assert!(cmd_serve_bench(vec!["--seed".into(), "x".into()]).is_err());
+        assert!(
+            cmd_serve_bench(vec!["--soak".into(), "--chaos".into()]).is_err(),
+            "the two soak modes are mutually exclusive"
+        );
+    }
+
+    #[test]
+    fn serve_bench_chaos_exercises_the_breaker_lifecycle() {
+        cmd_serve_bench(vec![
+            "--n".into(),
+            "32".into(),
+            "--requests".into(),
+            "3000".into(),
+            "--workers".into(),
+            "2".into(),
+            "--queue".into(),
+            "16".into(),
+            "--seed".into(),
+            "11".into(),
+            "--chaos".into(),
+        ])
+        .expect("chaos soak succeeds, including the breaker lifecycle check");
     }
 
     #[test]

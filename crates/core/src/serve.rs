@@ -23,10 +23,12 @@
 //! reference checksum as it drains.
 
 pub use splitc_runtime::serve::{
-    module_fingerprint, Request, Response, ResponseHandle, ResponseLost, ServeModule, Server,
-    ServerConfig, ServerStats, SubmitError, ENGINE_SHARDS,
+    module_fingerprint, BreakerPolicy, FaultKind, FaultPlan, FaultRule, FaultSelector, FaultSite,
+    Request, Response, ResponseHandle, ResponseLost, RetryPolicy, ServeModule, Server,
+    ServerConfig, ServerStats, SubmitError, ENGINE_SHARDS, PANIC_MESSAGE_CAP,
 };
-pub use splitc_runtime::Histogram;
+use splitc_runtime::EngineError;
+pub use splitc_runtime::{Histogram, EMPTY_QUANTILE};
 
 use crate::harness::{checksum_bytes, prepare};
 use crate::report::fmt_cache_line;
@@ -35,7 +37,7 @@ use splitc_jit::JitOptions;
 use splitc_opt::{optimize_module, OptOptions};
 use splitc_targets::TargetDesc;
 use splitc_workloads::{module_for, table1_kernels, Kernel};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Shape of one serving load: traffic mix, volume and server sizing.
 #[derive(Debug, Clone)]
@@ -105,10 +107,23 @@ impl LoadConfig {
         self.max_batch = max_batch;
         self
     }
+
+    /// Same load with this base seed. Every generated input, every
+    /// retry-backoff jitter and every [`FaultPlan`] decision derives from
+    /// it, so two runs with one seed are replays of each other.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
 }
 
 /// Format a nanosecond latency as microseconds with one decimal.
+/// [`EMPTY_QUANTILE`] — the quantile of a distribution with no samples —
+/// renders as `n/a`, never as a misleading 0.0µs.
 fn fmt_us(ns: u64) -> String {
+    if ns == EMPTY_QUANTILE {
+        return "n/a".to_owned();
+    }
     format!("{:.1}µs", ns as f64 / 1e3)
 }
 
@@ -175,10 +190,40 @@ impl LoadReport {
         for (target, count) in &self.stats.per_target {
             out.push_str(&format!("  {target:<12} {count} requests\n"));
         }
+        out.push_str(&fmt_fault_lines(&self.stats));
         out.push_str(&fmt_cache_line(&self.stats.cache));
         out.push('\n');
         out
     }
+}
+
+/// Render the fault-tolerance counter lines shared by every serving report
+/// (empty when the load saw no faults, deadlines or breaker activity — the
+/// healthy-path output stays unchanged).
+fn fmt_fault_lines(stats: &ServerStats) -> String {
+    let any = stats.expired
+        + stats.cancelled
+        + stats.retried
+        + stats.degraded
+        + stats.failed_fast
+        + stats.faults_injected
+        + stats.breaker_opened;
+    if any == 0 {
+        return String::new();
+    }
+    format!(
+        "faults: injected {} · retried {} · expired {} · cancelled {} · degraded {} · failed-fast {}\n\
+         breaker: opened {} · half-opened {} · closed {}\n",
+        stats.faults_injected,
+        stats.retried,
+        stats.expired,
+        stats.cancelled,
+        stats.degraded,
+        stats.failed_fast,
+        stats.breaker_opened,
+        stats.breaker_half_opened,
+        stats.breaker_closed,
+    )
 }
 
 /// Run one serving load: compile each kernel offline into its own module,
@@ -219,6 +264,8 @@ pub fn run_load(cfg: &LoadConfig) -> Result<LoadReport, PipelineError> {
         queue_capacity: cfg.queue_capacity,
         cache_capacity: cfg.cache_capacity,
         max_batch: cfg.max_batch,
+        seed: cfg.seed,
+        ..ServerConfig::default()
     });
 
     // Build every request before starting the clock: input generation is
@@ -242,6 +289,8 @@ pub fn run_load(cfg: &LoadConfig) -> Result<LoadReport, PipelineError> {
             options: cfg.options,
             args: prepared.args.clone(),
             mem: ws.into_bytes(),
+            deadline: None,
+            tag: r as u64,
         });
         prepared_all.push(prepared);
     }
@@ -340,6 +389,7 @@ impl SoakReport {
             self.stats.batch_sizes.mean(),
             self.stats.batch_sizes.max(),
         ));
+        out.push_str(&fmt_fault_lines(&self.stats));
         out.push_str(&fmt_cache_line(&self.stats.cache));
         out.push('\n');
         out
@@ -418,6 +468,8 @@ pub fn run_soak(cfg: &LoadConfig) -> Result<SoakReport, PipelineError> {
         queue_capacity: cfg.queue_capacity,
         cache_capacity: cfg.cache_capacity,
         max_batch: cfg.max_batch,
+        seed: cfg.seed,
+        ..ServerConfig::default()
     });
     let window = (cfg.queue_capacity * 2).clamp(1, cfg.requests.max(1));
 
@@ -452,6 +504,8 @@ pub fn run_soak(cfg: &LoadConfig) -> Result<SoakReport, PipelineError> {
             options: cfg.options,
             args: template.prepared.args.clone(),
             mem: template.mem.clone(),
+            deadline: None,
+            tag: r as u64,
         };
         let handle = server
             .submit(request)
@@ -475,6 +529,365 @@ pub fn run_soak(cfg: &LoadConfig) -> Result<SoakReport, PipelineError> {
         templates: templates.len(),
         workers,
         window,
+        elapsed_ns,
+        requests_per_sec: cfg.requests as f64 / secs,
+        stats,
+    })
+}
+
+/// The CLI's stock chaos plan for a load of `templates` traffic templates:
+/// one persistent poisoning that drives a breaker through its full
+/// open → half-open → closed lifecycle, plus sporadic retryable faults and
+/// latency spikes. Every decision derives from `seed`, so a chaos run is a
+/// replay of any other run with the same seed and request count.
+pub fn default_chaos_plan(templates: usize, seed: u64) -> FaultPlan {
+    let t = templates.max(1) as u64;
+    FaultPlan::seeded(seed)
+        // Persistently poison template 0 during an early tag window: its
+        // key's breaker opens after the configured threshold, reroutes to
+        // the fallback while open, and — once the window has passed and the
+        // cooldown elapsed — recovers through a half-open probe.
+        .with_rule(FaultRule {
+            site: FaultSite::Execute,
+            kind: FaultKind::Panic,
+            selector: FaultSelector::Slot {
+                modulo: t,
+                remainder: 0,
+                lo: t * 4,
+                hi: t * 24,
+            },
+            persistent: true,
+        })
+        // Sporadic transient failures one retry clears.
+        .with_rule(FaultRule {
+            site: FaultSite::Execute,
+            kind: FaultKind::Transient,
+            selector: FaultSelector::Probability(0.01),
+            persistent: false,
+        })
+        // Sporadic compile-step panics, also cleared by a retry.
+        .with_rule(FaultRule {
+            site: FaultSite::Compile,
+            kind: FaultKind::Panic,
+            selector: FaultSelector::Probability(0.003),
+            persistent: false,
+        })
+        // Latency spikes: results stay bit-identical, only deadlines and
+        // queue waits feel them.
+        .with_rule(FaultRule {
+            site: FaultSite::Execute,
+            kind: FaultKind::Latency(200_000),
+            selector: FaultSelector::Probability(0.005),
+            persistent: false,
+        })
+}
+
+/// Per-outcome tallies a chaos soak accumulates from the responses
+/// themselves (cross-checked against the server's own counters at the end).
+#[derive(Debug, Clone, Copy, Default)]
+struct ChaosTally {
+    ok: usize,
+    degraded_ok: usize,
+    expired: usize,
+    cancelled: usize,
+    panicked: usize,
+    transient: usize,
+    failed_fast: usize,
+}
+
+/// A completed chaos soak ([`run_chaos`]): sustained traffic under a
+/// deterministic [`FaultPlan`], every invariant asserted on the way out.
+#[derive(Debug, Clone)]
+pub struct ChaosReport {
+    /// Requests submitted — and answered exactly once each.
+    pub requests: usize,
+    /// Distinct traffic templates (kernel × target pairs) in the mix.
+    pub templates: usize,
+    /// Worker threads the server ran.
+    pub workers: usize,
+    /// Responses that executed cleanly on their requested target and
+    /// matched the single-threaded reference bit-for-bit.
+    pub ok: usize,
+    /// Responses served by the fallback target (open breaker) that matched
+    /// the fallback reference bit-for-bit.
+    pub degraded_ok: usize,
+    /// Requests shed at dequeue because their deadline had passed.
+    pub expired: usize,
+    /// Requests cancelled cooperatively mid-execution by their deadline.
+    pub cancelled: usize,
+    /// Requests whose final outcome (after retries) was a panic.
+    pub panicked: usize,
+    /// Requests whose final outcome was an injected transient failure.
+    pub transient: usize,
+    /// Requests answered [`EngineError::CircuitOpen`] without executing.
+    pub failed_fast: usize,
+    /// Wall-clock duration from first submission to last response, in
+    /// nanoseconds.
+    pub elapsed_ns: u128,
+    /// Serving throughput over that window.
+    pub requests_per_sec: f64,
+    /// Final server counters (after the graceful shutdown drain).
+    pub stats: ServerStats,
+}
+
+impl ChaosReport {
+    /// Render the report the way `splitc serve-bench --chaos` prints it.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "chaos: {} requests ({} templates) over {} workers in {:.1} ms ({:.0} req/s)\n",
+            self.requests,
+            self.templates,
+            self.workers,
+            self.elapsed_ns as f64 / 1e6,
+            self.requests_per_sec,
+        );
+        out.push_str(&format!(
+            "outcomes: ok {} · degraded-ok {} · expired {} · cancelled {} · \
+             panicked {} · transient {} · failed-fast {}\n",
+            self.ok,
+            self.degraded_ok,
+            self.expired,
+            self.cancelled,
+            self.panicked,
+            self.transient,
+            self.failed_fast,
+        ));
+        out.push_str(&fmt_fault_lines(&self.stats));
+        out.push_str("latency:\n");
+        out.push_str(&fmt_latency("queue-wait", &self.stats.queue_wait));
+        out.push_str(&fmt_latency("execute", &self.stats.execute));
+        out.push_str(&fmt_cache_line(&self.stats.cache));
+        out.push('\n');
+        out
+    }
+}
+
+/// Tally one chaos response, verifying successful outcomes bit-for-bit
+/// against the right reference (own target, or the fallback's when the
+/// response is degraded).
+///
+/// # Panics
+///
+/// Panics on a checksum mismatch or on a *semantic* error (trap, unknown
+/// kernel): the fault plan only injects panics, transients and latency, so
+/// anything else escaping the retry/breaker stack is a serving bug.
+fn tally_chaos_response(
+    templates: &[SoakTemplate],
+    fallback_expect: &[u64],
+    tally: &mut ChaosTally,
+    t: usize,
+    handle: ResponseHandle,
+) {
+    let response = handle.wait().expect("serving worker died mid-chaos");
+    let template = &templates[t];
+    match response.outcome {
+        Ok(run) => {
+            let expect = if response.degraded {
+                fallback_expect[t]
+            } else {
+                template.expect
+            };
+            let got = checksum_bytes(run.result, &template.prepared, &response.mem);
+            assert_eq!(
+                got, expect,
+                "chaos response for template {t} ({} on {}, degraded: {}) diverged \
+                 from its single-threaded reference",
+                template.prepared.name, template.target.name, response.degraded,
+            );
+            if response.degraded {
+                tally.degraded_ok += 1;
+            } else {
+                tally.ok += 1;
+            }
+        }
+        Err(EngineError::DeadlineExceeded) => {
+            // attempts == 0 ⇒ shed at dequeue (expired); otherwise the
+            // deadline cancelled a run already in flight.
+            if response.attempts == 0 {
+                tally.expired += 1;
+            } else {
+                tally.cancelled += 1;
+            }
+        }
+        Err(EngineError::CircuitOpen) => tally.failed_fast += 1,
+        Err(EngineError::Panicked(_)) => tally.panicked += 1,
+        Err(EngineError::Transient(_)) => tally.transient += 1,
+        Err(err) => {
+            panic!("chaos produced a semantic error — a serving bug, not an injected fault: {err}")
+        }
+    }
+}
+
+/// Run a chaos soak: [`run_soak`]'s streamed, verified load under a
+/// deterministic [`FaultPlan`], with deadlines on a slice of the traffic
+/// and a fallback target configured so open breakers degrade instead of
+/// failing fast.
+///
+/// Every response is tallied by outcome; on the way out the books are
+/// asserted *exactly*:
+///
+/// * every request was answered exactly once (the tallies sum to the
+///   request count);
+/// * `accepted == completed + expired`;
+/// * the response-derived tallies equal the server's own `expired`,
+///   `cancelled` and `failed_fast` counters;
+/// * `batch_sizes.sum() == completed` and
+///   `retry_attempts.count() == completed`;
+/// * every successful response — including degraded ones — is bit-identical
+///   to a single-threaded reference run.
+///
+/// # Errors
+///
+/// Returns the first [`PipelineError`] from offline compilation or the
+/// reference runs.
+///
+/// # Panics
+///
+/// Panics if any of the invariants above fails — a chaos soak treats an
+/// accounting tear the same way a differential test treats a wrong answer.
+pub fn run_chaos(cfg: &LoadConfig, plan: &FaultPlan) -> Result<ChaosReport, PipelineError> {
+    assert!(!cfg.kernels.is_empty(), "a chaos soak needs a kernel");
+    assert!(!cfg.targets.is_empty(), "a chaos soak needs a target");
+    let mut modules = Vec::with_capacity(cfg.kernels.len());
+    for kernel in &cfg.kernels {
+        let mut module = module_for(std::slice::from_ref(kernel), kernel.name)
+            .map_err(PipelineError::Frontend)?;
+        optimize_module(&mut module, &OptOptions::full());
+        modules.push(ServeModule::new(module));
+    }
+    // The fallback core for graceful degradation: the first target of the
+    // mix. Results are portable across targets (that is the paper's whole
+    // premise), so a degraded response must still match a reference run —
+    // on the fallback target.
+    let fallback = cfg.targets[0].clone();
+    let mut templates = Vec::with_capacity(cfg.kernels.len() * cfg.targets.len());
+    let mut fallback_expect = Vec::with_capacity(cfg.kernels.len() * cfg.targets.len());
+    for (ki, kernel) in cfg.kernels.iter().enumerate() {
+        for target in &cfg.targets {
+            let t = templates.len();
+            let mut ws = Workspace::sized_for(cfg.n);
+            let prepared = prepare(kernel.name, cfg.n, cfg.seed.wrapping_add(t as u64), &mut ws);
+            let mem = ws.into_bytes();
+            let mut reference_mem = mem.clone();
+            let run = run_on_target(
+                modules[ki].module(),
+                target,
+                &cfg.options,
+                kernel.name,
+                &prepared.args,
+                &mut reference_mem,
+            )?;
+            let expect = checksum_bytes(run.result, &prepared, &reference_mem);
+            let mut fallback_mem = mem.clone();
+            let fb = run_on_target(
+                modules[ki].module(),
+                &fallback,
+                &cfg.options,
+                kernel.name,
+                &prepared.args,
+                &mut fallback_mem,
+            )?;
+            fallback_expect.push(checksum_bytes(fb.result, &prepared, &fallback_mem));
+            templates.push(SoakTemplate {
+                module: modules[ki].clone(),
+                target: target.clone(),
+                prepared,
+                mem,
+                expect,
+            });
+        }
+    }
+
+    let server = Server::start(
+        ServerConfig {
+            workers: cfg.workers,
+            queue_capacity: cfg.queue_capacity,
+            cache_capacity: cfg.cache_capacity,
+            max_batch: cfg.max_batch,
+            seed: cfg.seed,
+            ..ServerConfig::default()
+        }
+        .with_faults(plan.clone())
+        .with_fallback(fallback),
+    );
+    let window = (cfg.queue_capacity * 2).clamp(1, cfg.requests.max(1));
+
+    let start = Instant::now();
+    let mut tally = ChaosTally::default();
+    let mut in_flight: std::collections::VecDeque<(usize, ResponseHandle)> =
+        std::collections::VecDeque::with_capacity(window);
+    for r in 0..cfg.requests {
+        let t = r % templates.len();
+        let template = &templates[t];
+        // A slice of the traffic carries tight deadlines, so the soak
+        // exercises queue sheds and (under latency faults) mid-flight
+        // cancellation. Which requests expire depends on real scheduling;
+        // the books below hold for any mix.
+        let deadline = (r % 31 == 17).then(|| Instant::now() + Duration::from_millis(3));
+        let request = Request {
+            module: template.module.clone(),
+            kernel: template.prepared.name.clone(),
+            target: template.target.clone(),
+            options: cfg.options,
+            args: template.prepared.args.clone(),
+            mem: template.mem.clone(),
+            deadline,
+            tag: r as u64,
+        };
+        let handle = server
+            .submit(request)
+            .unwrap_or_else(|e| panic!("the chaos generator's server refused a request: {e}"));
+        in_flight.push_back((t, handle));
+        if in_flight.len() >= window {
+            let (t, handle) = in_flight.pop_front().expect("window is non-empty");
+            tally_chaos_response(&templates, &fallback_expect, &mut tally, t, handle);
+        }
+    }
+    for (t, handle) in in_flight {
+        tally_chaos_response(&templates, &fallback_expect, &mut tally, t, handle);
+    }
+    let elapsed_ns = start.elapsed().as_nanos();
+
+    let workers = server.workers();
+    let stats = server.shutdown();
+
+    // Exactly-once: the per-outcome tallies partition the request count.
+    let answered = tally.ok
+        + tally.degraded_ok
+        + tally.expired
+        + tally.cancelled
+        + tally.panicked
+        + tally.transient
+        + tally.failed_fast;
+    assert_eq!(
+        answered, cfg.requests,
+        "every request answered exactly once"
+    );
+    // Exact books, cross-checked response-side vs. server-side.
+    assert_eq!(stats.accepted, cfg.requests as u64);
+    assert_eq!(stats.completed + stats.expired, stats.accepted);
+    assert_eq!(stats.expired, tally.expired as u64);
+    assert_eq!(stats.cancelled, tally.cancelled as u64);
+    assert_eq!(stats.failed_fast, tally.failed_fast as u64);
+    assert!(
+        stats.degraded >= tally.degraded_ok as u64,
+        "degraded responses can fail too, but never exceed the degraded count"
+    );
+    assert_eq!(stats.batch_sizes.sum(), stats.completed);
+    assert_eq!(stats.retry_attempts.count(), stats.completed);
+
+    let secs = (elapsed_ns as f64 / 1e9).max(1e-9);
+    Ok(ChaosReport {
+        requests: cfg.requests,
+        templates: templates.len(),
+        workers,
+        ok: tally.ok,
+        degraded_ok: tally.degraded_ok,
+        expired: tally.expired,
+        cancelled: tally.cancelled,
+        panicked: tally.panicked,
+        transient: tally.transient,
+        failed_fast: tally.failed_fast,
         elapsed_ns,
         requests_per_sec: cfg.requests as f64 / secs,
         stats,
@@ -556,5 +969,50 @@ mod tests {
         let text = report.render();
         assert!(text.contains("soak:"));
         assert!(text.contains("p999"));
+    }
+
+    #[test]
+    fn chaos_soaks_keep_exact_books_and_recover_the_breaker() {
+        let mut cfg = small_load().with_seed(0xc4a05);
+        cfg.requests = 2_000;
+        cfg.workers = 2;
+        cfg.queue_capacity = 16;
+        let plan = default_chaos_plan(cfg.kernels.len() * cfg.targets.len(), cfg.seed);
+        // `run_chaos` itself asserts exactly-once answering and the exact
+        // books; the checks here pin the lifecycle the stock plan promises.
+        let report = run_chaos(&cfg, &plan).unwrap();
+        assert!(report.stats.faults_injected > 0, "the plan actually fired");
+        assert!(report.stats.retried > 0, "transient faults were retried");
+        assert!(
+            report.stats.breaker_opened >= 1,
+            "the persistent poisoning opened its key's breaker"
+        );
+        assert!(
+            report.stats.breaker_closed >= 1,
+            "a half-open probe closed the breaker after the poison window"
+        );
+        assert!(
+            report.degraded_ok > 0,
+            "open-breaker traffic was served by the fallback target"
+        );
+        assert!(
+            report.ok > report.requests / 2,
+            "most traffic still serves clean under chaos (got {} of {})",
+            report.ok,
+            report.requests
+        );
+        let text = report.render();
+        assert!(text.contains("chaos:"));
+        assert!(text.contains("breaker: opened"));
+    }
+
+    #[test]
+    fn empty_latency_lines_render_the_sentinel_not_zero() {
+        assert_eq!(fmt_us(EMPTY_QUANTILE), "n/a");
+        let line = fmt_latency("queue-wait", &Histogram::new());
+        assert!(
+            line.contains("p50 n/a") && line.contains("p999 n/a"),
+            "empty distributions must not render as excellent 0.0µs: {line}"
+        );
     }
 }

@@ -121,8 +121,20 @@ pub enum EngineError {
     UnknownKernel(String),
     /// Execution panicked (caught by the serving tier's panic-safe worker
     /// loop, which answers the client with this instead of dying). The
-    /// payload is the panic message.
+    /// payload is the panic message, truncated to a fixed cap by the
+    /// serving tier so a pathological payload cannot bloat responses.
     Panicked(String),
+    /// The request's deadline passed before it finished: either shed at
+    /// dequeue (it expired while queued) or cancelled cooperatively
+    /// mid-execution. Says nothing about the program.
+    DeadlineExceeded,
+    /// The request's (module, target, options) key has a tripped circuit
+    /// breaker and no fallback target is configured, so the server failed
+    /// fast instead of burning a worker on a known-bad compile.
+    CircuitOpen,
+    /// A transient infrastructure failure (e.g. an injected fault from a
+    /// chaos plan). Retryable, unlike the semantic errors above.
+    Transient(String),
 }
 
 impl fmt::Display for EngineError {
@@ -133,6 +145,9 @@ impl fmt::Display for EngineError {
             EngineError::Sim(e) => write!(f, "simulated execution failed: {e}"),
             EngineError::UnknownKernel(k) => write!(f, "unknown kernel {k}"),
             EngineError::Panicked(msg) => write!(f, "execution panicked: {msg}"),
+            EngineError::DeadlineExceeded => write!(f, "deadline exceeded"),
+            EngineError::CircuitOpen => write!(f, "circuit breaker open"),
+            EngineError::Transient(msg) => write!(f, "transient failure: {msg}"),
         }
     }
 }
@@ -145,6 +160,9 @@ impl Error for EngineError {
             EngineError::Sim(e) => Some(e),
             EngineError::UnknownKernel(_) => None,
             EngineError::Panicked(_) => None,
+            EngineError::DeadlineExceeded => None,
+            EngineError::CircuitOpen => None,
+            EngineError::Transient(_) => None,
         }
     }
 }
@@ -580,6 +598,34 @@ impl ExecutionEngine {
         // Either we evicted, or the candidate was touched/removed meanwhile;
         // both count as progress — the caller re-checks the bound.
         true
+    }
+
+    /// Evict the cached compile for exactly `(target fingerprint, options)`,
+    /// if one is `Ready`. Returns `true` if an entry was removed.
+    ///
+    /// This is the quarantine hook for the serving tier's circuit breakers:
+    /// when a key trips its breaker, the poisoned compile is dropped from
+    /// the cache so the half-open probe (and any later traffic) compiles
+    /// fresh instead of replaying a bad artifact forever. In-flight
+    /// compiles are left alone — their waiters hold the cell, and the
+    /// winner's insert simply repopulates the slot.
+    pub fn invalidate(&self, target_fp: u64, options: &JitOptions) -> bool {
+        let key = (target_fp, *options);
+        let mut guard = self
+            .shard_for(&key)
+            .lock()
+            .expect("engine cache shard poisoned");
+        if let Some(ShardEntry::Ready(_)) = guard.entries.get(&key) {
+            guard.entries.remove(&key);
+            // Same discipline as `evict_lru`: the length is decremented
+            // under the shard lock the insert incremented under, and the
+            // removal is visible in the eviction counter.
+            self.len.fetch_sub(1, Ordering::Relaxed);
+            guard.stats.evictions += 1;
+            true
+        } else {
+            false
+        }
     }
 
     /// JIT statistics for `target` under `options` (compiling on demand).

@@ -105,6 +105,17 @@ fn bucket_high(idx: usize) -> u64 {
     }
 }
 
+/// Sentinel returned by [`Histogram::quantile`] (and `p50`/`p99`/`p999`) on
+/// an **empty** histogram.
+///
+/// An empty distribution has no quantiles; returning 0 — a legal latency —
+/// would let a counter that never fired render as "p99 = 0 ns", which reads
+/// as *excellent* rather than *absent*. `u64::MAX` is unreachable as a real
+/// sample quantile in practice (it would mean every recorded nanosecond
+/// latency saturated), so display paths can (and do) test for it and render
+/// "n/a".
+pub const EMPTY_QUANTILE: u64 = u64::MAX;
+
 impl Histogram {
     /// An empty histogram.
     pub const fn new() -> Self {
@@ -161,13 +172,15 @@ impl Histogram {
 
     /// The `q`-quantile (`0.0 ..= 1.0`) of the recorded samples, linearly
     /// interpolated inside the bucket the quantile rank lands in and clamped
-    /// to the exact observed `[min, max]`. Returns 0 for an empty histogram.
+    /// to the exact observed `[min, max]`. Returns [`EMPTY_QUANTILE`]
+    /// (`u64::MAX`) for an empty histogram — an empty distribution has no
+    /// quantiles, and 0 would read as a (suspiciously perfect) latency.
     ///
     /// Deterministic: the result depends only on the recorded multiset (and
     /// the fixed bucket layout), never on recording order.
     pub fn quantile(&self, q: f64) -> u64 {
         if self.count == 0 {
-            return 0;
+            return EMPTY_QUANTILE;
         }
         let q = q.clamp(0.0, 1.0);
         // Rank of the sample the quantile asks for, 1-based: ceil(q * count),
@@ -308,7 +321,6 @@ mod tests {
         assert_eq!(h.min(), 0);
         assert_eq!(h.max(), 0);
         assert_eq!(h.mean(), 0.0);
-        assert_eq!(h.quantile(0.5), 0);
         for v in [10u64, 20, 30] {
             h.record(v);
         }
@@ -404,6 +416,23 @@ mod tests {
         let mut empty = Histogram::new();
         empty.merge(&before);
         assert_eq!(empty, before);
+    }
+
+    #[test]
+    fn empty_quantiles_return_the_sentinel_not_zero() {
+        let h = Histogram::new();
+        for q in [0.0, 0.5, 0.99, 0.999, 1.0] {
+            assert_eq!(h.quantile(q), EMPTY_QUANTILE, "empty quantile({q})");
+        }
+        assert_eq!(h.p50(), EMPTY_QUANTILE);
+        assert_eq!(h.p99(), EMPTY_QUANTILE);
+        assert_eq!(h.p999(), EMPTY_QUANTILE);
+        // One sample is enough to leave sentinel territory at every rank.
+        let mut h = h;
+        h.record(0);
+        for q in [0.0, 0.5, 1.0] {
+            assert_eq!(h.quantile(q), 0, "single-sample quantile({q})");
+        }
     }
 
     #[test]

@@ -77,7 +77,7 @@ pub use engine::{
     CacheSnapshot, CacheStats, CompiledModule, EngineError, Execution, ExecutionEngine, SHARD_COUNT,
 };
 pub use executor::{Executor, RunOutcome, RuntimeError};
-pub use hist::Histogram;
+pub use hist::{Histogram, EMPTY_QUANTILE};
 pub use kpn::{pipeline, profile_pipeline, ChannelId, KpnReport, Network, Process, ProcessId};
 pub use offload::{DmaModel, OffloadCost};
 pub use platform::{Core, Platform};

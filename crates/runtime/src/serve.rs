@@ -33,6 +33,49 @@
 //! online compilation per (target, options) pair however many requests race
 //! on a cold pair.
 //!
+//! # Fault tolerance
+//!
+//! Failure is a first-class input to the serving tier, handled in four
+//! layers (checked in this order for every request):
+//!
+//! * **Deadlines + cooperative cancellation.** A [`Request`] may carry an
+//!   absolute [`Request::deadline`]. Requests whose deadline passed while
+//!   they sat in the queue are **shed at dequeue** — counted in
+//!   [`ServerStats::expired`], answered with
+//!   [`EngineError::DeadlineExceeded`], and *not* counted as completed (the
+//!   drain invariant becomes `accepted == completed + expired`). A request
+//!   whose deadline passes **mid-execution** is cancelled cooperatively: a
+//!   deadline-watchdog thread flips a token the executor polls at region
+//!   boundaries, the runaway kernel stops within one basic block, the
+//!   worker is freed, and the client is answered with `DeadlineExceeded`
+//!   (counted as completed and in [`ServerStats::cancelled`]).
+//! * **Retries.** Transient failures — panics, [`EngineError::Transient`] —
+//!   are retried up to [`RetryPolicy::max_retries`] times with bounded
+//!   exponential backoff and *deterministic* jitter (derived from the
+//!   server seed, the request tag and the attempt number). Semantic errors
+//!   (traps, unknown kernels, JIT rejections) are never retried. Each
+//!   [`Response`] stamps how many attempts it took
+//!   ([`Response::attempts`]); the per-request attempt distribution lands
+//!   in [`ServerStats::retry_attempts`].
+//! * **Circuit breakers.** Failures are tracked per batch key
+//!   `(module fingerprint, target fingerprint, options)`. After
+//!   [`BreakerPolicy::failure_threshold`] *consecutive* infrastructure
+//!   failures the key **opens**: its cached compile is evicted from the
+//!   engine (a poisoned artifact is never served again), and requests for
+//!   it either **fail fast** with [`EngineError::CircuitOpen`] or — when
+//!   [`ServerConfig::fallback`] names a degradation target — are rerouted
+//!   there and marked [`Response::degraded`]. After a cooldown measured on
+//!   the server's logical completion clock, one request **half-opens** the
+//!   key as a probe; success closes it, failure re-opens it. All
+//!   transitions are counted ([`ServerStats::breaker_opened`] /
+//!   `breaker_half_opened` / `breaker_closed`).
+//! * **Deterministic fault injection.** A seeded [`FaultPlan`] threaded
+//!   through [`ServerConfig::faults`] fires compile panics, execute panics,
+//!   artificial latency or spurious transient errors at named sites, chosen
+//!   by request tag or seeded probability — so a chaos soak can prove the
+//!   exactly-once and bit-identity guarantees *under* failure, not just in
+//!   fair weather.
+//!
 //! # Backpressure
 //!
 //! The queue is bounded ([`ServerConfig::queue_capacity`], a *global* bound
@@ -68,8 +111,8 @@
 //! The worker loop is panic-safe: a panic during kernel execution is caught,
 //! the worker's frame pool is discarded (its recycled frames may be
 //! mid-mutation), and the client receives [`EngineError::Panicked`] instead
-//! of a dead channel. The worker itself keeps serving, so `completed ==
-//! accepted` holds at shutdown even when kernels misbehave.
+//! of a dead channel. The worker itself keeps serving, so `completed +
+//! expired == accepted` holds at shutdown even when kernels misbehave.
 //!
 //! # Example
 //!
@@ -94,6 +137,8 @@
 //!                 options: JitOptions::split(),
 //!                 args: vec![MachineValue::Int(i)],
 //!                 mem: vec![0u8; 64],
+//!                 deadline: None,
+//!                 tag: i as u64,
 //!             })
 //!             .expect("server is accepting")
 //!     })
@@ -115,10 +160,10 @@
 use crate::engine::{CacheStats, CompiledModule, EngineError, Execution, ExecutionEngine};
 use crate::hist::Histogram;
 use splitc_jit::JitOptions;
-use splitc_targets::{Fnv1a, FramePool, MachineValue, TargetDesc};
+use splitc_targets::{Fnv1a, FramePool, MachineValue, SimError, TargetDesc};
 use splitc_vbc::{encode_module, Module};
 use std::collections::hash_map::DefaultHasher;
-use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::collections::{BTreeMap, BinaryHeap, HashMap, VecDeque};
 use std::error::Error;
 use std::fmt;
 use std::hash::{Hash, Hasher};
@@ -127,7 +172,7 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{self, Receiver, SyncSender, TryRecvError};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Number of independently locked shards in the module → engine registry.
 ///
@@ -216,6 +261,19 @@ pub struct Request {
     /// The flat memory the kernel runs against (inputs prepared by the
     /// client; outputs read back from [`Response::mem`]).
     pub mem: Vec<u8>,
+    /// Optional absolute deadline. A request whose deadline passes while it
+    /// is queued is shed at dequeue (counted in [`ServerStats::expired`],
+    /// answered [`EngineError::DeadlineExceeded`]); one whose deadline
+    /// passes mid-execution is cancelled cooperatively at the next region
+    /// boundary and answered the same way (counted as completed, plus
+    /// [`ServerStats::cancelled`]). `None` means the request never expires.
+    pub deadline: Option<Instant>,
+    /// Client-assigned request tag. Deterministic machinery keys off it:
+    /// retry-backoff jitter and every [`FaultPlan`] selector are pure
+    /// functions of (seed, tag, attempt), so a replayed request stream
+    /// makes identical decisions. Pick the request index when generating
+    /// load; 0 is fine for ad-hoc requests.
+    pub tag: u64,
 }
 
 /// The answer to one [`Request`]: the execution outcome plus the request's
@@ -237,6 +295,16 @@ pub struct Response {
     pub execute_ns: u64,
     /// Size of the batch this request was served in (≥ 1).
     pub batch: usize,
+    /// Execution attempts this response took: 1 for a clean first run,
+    /// `1 + retries` when transient failures were retried, 0 when the
+    /// request never reached execution (expired in the queue, unknown
+    /// kernel, or failed fast on an open breaker).
+    pub attempts: u32,
+    /// `true` when the request was rerouted to the server's configured
+    /// [`ServerConfig::fallback`] target because its own key's circuit
+    /// breaker was open. The outcome (and memory) came from the fallback
+    /// target — graceful degradation, not the requested core.
+    pub degraded: bool,
 }
 
 /// The serving thread disappeared before answering.
@@ -318,8 +386,221 @@ impl fmt::Display for SubmitError {
 
 impl Error for SubmitError {}
 
-/// Configuration of a [`Server`].
+/// Retry policy for transient failures (panics, [`EngineError::Transient`]).
+///
+/// Semantic errors — traps, unknown kernels, JIT rejections, deadline
+/// expiry — are **never** retried: re-running a deterministic failure only
+/// burns worker time. Backoff is bounded exponential with deterministic
+/// jitter: attempt `k` sleeps in `[b/2, b]` where
+/// `b = min(max_backoff_ns, base_backoff_ns << (k-1))` and the point inside
+/// the band is a pure function of (server seed, request tag, attempt) — so
+/// a replayed request stream backs off identically.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Retries after the first attempt (0 disables retrying).
+    pub max_retries: u32,
+    /// Backoff before the first retry, nanoseconds.
+    pub base_backoff_ns: u64,
+    /// Backoff ceiling, nanoseconds.
+    pub max_backoff_ns: u64,
+}
+
+impl Default for RetryPolicy {
+    /// Two retries, 50 µs base, 1 ms cap — enough to clear one-shot
+    /// transients without a misbehaving key stalling its worker.
+    fn default() -> Self {
+        RetryPolicy {
+            max_retries: 2,
+            base_backoff_ns: 50_000,
+            max_backoff_ns: 1_000_000,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that never retries.
+    pub fn none() -> Self {
+        RetryPolicy {
+            max_retries: 0,
+            ..RetryPolicy::default()
+        }
+    }
+}
+
+/// Circuit-breaker policy, applied per batch key `(module fingerprint,
+/// target fingerprint, options)`.
+///
+/// A key's breaker opens after `failure_threshold` *consecutive*
+/// infrastructure failures (panics, transients, JIT errors — final outcomes,
+/// after retries; semantic errors don't count). While open, requests for the
+/// key fail fast with [`EngineError::CircuitOpen`] — or degrade to
+/// [`ServerConfig::fallback`] when one is configured — and the key's cached
+/// compile is evicted from its engine so a poisoned artifact is never served
+/// again. After `cooldown` ticks of the server's logical completion clock
+/// (each completed request is one tick), the next request half-opens the key
+/// as a probe: success closes it, failure re-opens it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BreakerPolicy {
+    /// Consecutive failures that open a key; 0 disables breakers entirely.
+    pub failure_threshold: u32,
+    /// Logical ticks (completed requests, server-wide) an open key waits
+    /// before half-opening. A logical clock keeps recovery deterministic
+    /// under load instead of racing wall time.
+    pub cooldown: u64,
+}
+
+impl Default for BreakerPolicy {
+    /// Open after 8 consecutive failures, probe after 256 completions.
+    fn default() -> Self {
+        BreakerPolicy {
+            failure_threshold: 8,
+            cooldown: 256,
+        }
+    }
+}
+
+/// Where a [`FaultRule`] fires along the serving path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultSite {
+    /// While resolving the compiled program (the online step).
+    Compile,
+    /// While executing the kernel.
+    Execute,
+}
+
+/// What an injected fault does.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultKind {
+    /// Panic (caught by the worker's panic guard, answered
+    /// [`EngineError::Panicked`] — retryable, breaker-tripping).
+    Panic,
+    /// Spurious [`EngineError::Transient`] (retryable, breaker-tripping),
+    /// injected without running the kernel.
+    Transient,
+    /// Sleep this many nanoseconds, then proceed normally. Results stay
+    /// bit-identical — latency faults only stress deadlines and queues.
+    Latency(u64),
+}
+
+/// Which requests a [`FaultRule`] selects, as a pure function of
+/// `(plan seed, rule index, request tag)` — deterministic and replayable.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FaultSelector {
+    /// Fires for tags `t` in `[lo, hi)` with `t % modulo == remainder`.
+    /// The window selects a phase of the run, the modulo a slice of the
+    /// traffic (e.g. exactly one round-robin template).
+    Slot {
+        /// Tag stride (0 never fires).
+        modulo: u64,
+        /// Selected residue class.
+        remainder: u64,
+        /// Inclusive window start.
+        lo: u64,
+        /// Exclusive window end.
+        hi: u64,
+    },
+    /// Fires with this probability, decided by a seeded hash of the tag.
+    Probability(f64),
+}
+
+impl FaultSelector {
+    /// Every tag in `[lo, hi)`.
+    pub fn tag_range(lo: u64, hi: u64) -> Self {
+        FaultSelector::Slot {
+            modulo: 1,
+            remainder: 0,
+            lo,
+            hi,
+        }
+    }
+
+    /// Every `n`-th tag (tags divisible by `n`).
+    pub fn every_nth(n: u64) -> Self {
+        FaultSelector::Slot {
+            modulo: n,
+            remainder: 0,
+            lo: 0,
+            hi: u64::MAX,
+        }
+    }
+}
+
+/// One injected fault: what fires, where, and for which requests.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultRule {
+    /// Pipeline stage the fault fires at.
+    pub site: FaultSite,
+    /// What the fault does.
+    pub kind: FaultKind,
+    /// Which requests it selects.
+    pub selector: FaultSelector,
+    /// `true`: fires on every attempt of a selected request (a *persistent*
+    /// fault — this is what drives breakers open). `false`: fires on the
+    /// first attempt only, so a retry clears it (a *transient* fault).
+    pub persistent: bool,
+}
+
+/// A deterministic, seeded fault-injection plan.
+///
+/// Threaded through [`ServerConfig::faults`]; every decision is a pure
+/// function of `(seed, rule index, request tag, attempt)`, so a chaos soak
+/// replayed with the same seed and tags injects byte-for-byte the same
+/// faults — which is what lets the soak assert bit-identity *under* fire.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct FaultPlan {
+    /// Seed for probabilistic selectors.
+    pub seed: u64,
+    /// Rules, checked in order; the first rule matching (site, tag,
+    /// attempt) fires.
+    pub rules: Vec<FaultRule>,
+}
+
+impl FaultPlan {
+    /// An empty plan under `seed` (add rules with [`FaultPlan::with_rule`]).
+    pub fn seeded(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            rules: Vec::new(),
+        }
+    }
+
+    /// This plan with `rule` appended.
+    pub fn with_rule(mut self, rule: FaultRule) -> Self {
+        self.rules.push(rule);
+        self
+    }
+
+    /// The fault to inject at `site` for `(tag, attempt)`, if any.
+    fn at(&self, site: FaultSite, tag: u64, attempt: u32) -> Option<FaultKind> {
+        self.rules
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.site == site && (r.persistent || attempt == 0))
+            .find(|(i, r)| self.selects(*i, r.selector, tag))
+            .map(|(_, r)| r.kind)
+    }
+
+    fn selects(&self, rule_idx: usize, selector: FaultSelector, tag: u64) -> bool {
+        match selector {
+            FaultSelector::Slot {
+                modulo,
+                remainder,
+                lo,
+                hi,
+            } => modulo > 0 && tag >= lo && tag < hi && tag % modulo == remainder,
+            FaultSelector::Probability(p) => {
+                let h = splitmix64(
+                    self.seed ^ (rule_idx as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ tag,
+                );
+                // 53 uniform mantissa bits → a fraction in [0, 1).
+                ((h >> 11) as f64 / (1u64 << 53) as f64) < p
+            }
+        }
+    }
+}
+
+/// Configuration of a [`Server`].
+#[derive(Debug, Clone, PartialEq)]
 pub struct ServerConfig {
     /// Worker threads (0 = one per host core, the sweep `--jobs 0`
     /// convention).
@@ -336,6 +617,19 @@ pub struct ServerConfig {
     /// target and options; one program fetch, one frame pool); clamped to at
     /// least 1. 1 disables batching.
     pub max_batch: usize,
+    /// Retry policy for transient failures.
+    pub retry: RetryPolicy,
+    /// Circuit-breaker policy (per batch key).
+    pub breaker: BreakerPolicy,
+    /// Graceful-degradation target: when a key's breaker is open, its
+    /// requests are served on this target instead of failing fast, and the
+    /// response is marked [`Response::degraded`]. `None` fails fast.
+    pub fallback: Option<TargetDesc>,
+    /// Deterministic fault-injection plan (chaos testing); `None` serves
+    /// clean.
+    pub faults: Option<FaultPlan>,
+    /// Server seed, the deterministic root of retry-backoff jitter.
+    pub seed: u64,
 }
 
 impl Default for ServerConfig {
@@ -345,6 +639,11 @@ impl Default for ServerConfig {
             queue_capacity: 256,
             cache_capacity: 0,
             max_batch: 16,
+            retry: RetryPolicy::default(),
+            breaker: BreakerPolicy::default(),
+            fallback: None,
+            faults: None,
+            seed: 0,
         }
     }
 }
@@ -373,20 +672,53 @@ impl ServerConfig {
         self.max_batch = max_batch;
         self
     }
+
+    /// Same configuration with this retry policy.
+    pub fn with_retry(mut self, retry: RetryPolicy) -> Self {
+        self.retry = retry;
+        self
+    }
+
+    /// Same configuration with this circuit-breaker policy.
+    pub fn with_breaker(mut self, breaker: BreakerPolicy) -> Self {
+        self.breaker = breaker;
+        self
+    }
+
+    /// Same configuration with a graceful-degradation fallback target.
+    pub fn with_fallback(mut self, fallback: TargetDesc) -> Self {
+        self.fallback = Some(fallback);
+        self
+    }
+
+    /// Same configuration with a fault-injection plan installed.
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        self.faults = Some(faults);
+        self
+    }
+
+    /// Same configuration with this deterministic seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
 }
 
 /// Counters of a running (or finished) [`Server`].
 ///
-/// `accepted`, `completed`, `rejected` and `rejected_shutdown` are
-/// monotonic; after [`Server::shutdown`] returns, `completed == accepted` —
-/// the zero-loss-drain guarantee. Every snapshot is internally consistent:
-/// `completed` is read *before* the queue's single-lock snapshot supplies
-/// `accepted` and `queue_depth`, so `completed + queue_depth <= accepted`
-/// holds in every [`Server::stats`] result, however the reads race live
-/// workers. The `cache` totals aggregate every engine's *consistent*
-/// snapshot (see [`ExecutionEngine::snapshot`]): each engine's contribution
-/// is internally torn-free, so `cache.lookups()` never double- or
-/// half-counts a request's engine lookup.
+/// `accepted`, `completed`, `expired`, `rejected` and `rejected_shutdown`
+/// are monotonic; after [`Server::shutdown`] returns, `accepted ==
+/// completed + expired` — the zero-loss-drain guarantee (every accepted
+/// request was answered: served, or shed at dequeue with
+/// [`EngineError::DeadlineExceeded`]). Every snapshot is internally
+/// consistent: `completed` and `expired` are read *before* the queue's
+/// single-lock snapshot supplies `accepted` and `queue_depth`, so
+/// `completed + expired + queue_depth <= accepted` holds in every
+/// [`Server::stats`] result, however the reads race live workers. The
+/// `cache` totals aggregate every engine's *consistent* snapshot (see
+/// [`ExecutionEngine::snapshot`]): each engine's contribution is internally
+/// torn-free, so `cache.lookups()` never double- or half-counts a request's
+/// engine lookup.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ServerStats {
     /// Requests accepted into the queue.
@@ -417,20 +749,53 @@ pub struct ServerStats {
     /// Distribution of time requests spent executing after dequeue, in
     /// nanoseconds.
     pub execute: Histogram,
-    /// Distribution of served batch sizes (one sample per batch, not per
-    /// request); `batch_sizes.sum()` equals the requests served in batches
-    /// so far.
+    /// Distribution of served batch sizes (one sample per batch, counting
+    /// only requests that actually executed — expired requests shed from a
+    /// batch are not in it); `batch_sizes.sum()` equals `completed`.
     pub batch_sizes: Histogram,
+    /// Requests shed at dequeue because their deadline had already passed
+    /// (answered [`EngineError::DeadlineExceeded`], **not** counted in
+    /// `completed`): `accepted == completed + expired` after shutdown.
+    pub expired: u64,
+    /// Requests cancelled cooperatively mid-execution by their deadline
+    /// (answered [`EngineError::DeadlineExceeded`]; a subset of
+    /// `completed` — the worker was freed, the books still balance).
+    pub cancelled: u64,
+    /// Total retry attempts across all requests (attempts beyond each
+    /// request's first).
+    pub retried: u64,
+    /// Requests rerouted to the fallback target because their key's
+    /// breaker was open (a subset of `completed`).
+    pub degraded: u64,
+    /// Requests answered [`EngineError::CircuitOpen`] without executing
+    /// (open breaker, no fallback configured; a subset of `completed`).
+    pub failed_fast: u64,
+    /// Circuit-breaker keys opened (including re-opens after a failed
+    /// half-open probe).
+    pub breaker_opened: u64,
+    /// Open keys that half-opened for a probe after their cooldown.
+    pub breaker_half_opened: u64,
+    /// Half-open keys closed by a successful probe.
+    pub breaker_closed: u64,
+    /// Faults injected by the configured [`FaultPlan`] (every firing,
+    /// including on retries).
+    pub faults_injected: u64,
+    /// Distribution of per-request execution attempts, one sample per
+    /// completed request (0 for requests that never executed — fail-fast
+    /// and unknown kernels; `retry_attempts.count() == completed`).
+    pub retry_attempts: Histogram,
 }
 
 impl ServerStats {
-    /// Requests accepted but not yet served (queued or running).
+    /// Requests accepted but not yet answered (queued or running).
     ///
-    /// [`Server::stats`] orders its reads so `completed <= accepted` in
-    /// every snapshot; the subtraction still saturates defensively for
-    /// stats values assembled any other way.
+    /// [`Server::stats`] orders its reads so `completed + expired <=
+    /// accepted` in every snapshot; the subtraction still saturates
+    /// defensively for stats values assembled any other way.
     pub fn in_flight(&self) -> u64 {
-        self.accepted.saturating_sub(self.completed)
+        self.accepted
+            .saturating_sub(self.completed)
+            .saturating_sub(self.expired)
     }
 }
 
@@ -733,6 +1098,156 @@ impl<T> ShardedQueue<T> {
     }
 }
 
+/// SplitMix64 — the one-shot mixing step; full avalanche, so consecutive
+/// inputs (tags, attempts) produce uncorrelated outputs. This is the root
+/// of every deterministic decision the fault/retry machinery makes.
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Backoff before retry `attempt` (1-based): bounded exponential with
+/// deterministic jitter in the upper half of the band — a pure function of
+/// (seed, tag, attempt), so replays back off identically and concurrent
+/// retriers of one hot key still spread out (distinct tags, distinct
+/// jitter).
+fn backoff_ns(policy: &RetryPolicy, seed: u64, tag: u64, attempt: u32) -> u64 {
+    let doublings = attempt.saturating_sub(1).min(20);
+    let band = policy
+        .base_backoff_ns
+        .saturating_mul(1u64 << doublings)
+        .min(policy.max_backoff_ns);
+    let jitter = splitmix64(seed ^ tag.rotate_left(17) ^ u64::from(attempt)) % (band / 2 + 1);
+    band / 2 + jitter
+}
+
+/// An armed deadline: when `at` passes, `token` flips and the executor
+/// cancels at its next region boundary. Ordered by `at` only (reversed, so
+/// [`BinaryHeap`] pops the *earliest* deadline first).
+struct DeadlineEntry {
+    at: Instant,
+    token: Arc<AtomicBool>,
+}
+
+impl PartialEq for DeadlineEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at
+    }
+}
+impl Eq for DeadlineEntry {}
+impl PartialOrd for DeadlineEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for DeadlineEntry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        other.at.cmp(&self.at)
+    }
+}
+
+/// The deadline watchdog's shared state: a min-heap of armed deadlines
+/// under a mutex, a condvar the watchdog parks on, and the shutdown flag.
+struct DeadlineWatch {
+    state: Mutex<DeadlineState>,
+    cv: Condvar,
+}
+
+struct DeadlineState {
+    heap: BinaryHeap<DeadlineEntry>,
+    closed: bool,
+}
+
+impl DeadlineWatch {
+    fn new() -> Self {
+        DeadlineWatch {
+            state: Mutex::new(DeadlineState {
+                heap: BinaryHeap::new(),
+                closed: false,
+            }),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// Arm `token` to flip when `at` passes. Tokens are never unregistered:
+    /// one that outlives its job fires into a disarmed pool, which is
+    /// harmless (workers clear/re-arm their pool token per job).
+    fn watch(&self, at: Instant, token: Arc<AtomicBool>) {
+        let mut state = self.state.lock().expect("deadline watch poisoned");
+        state.heap.push(DeadlineEntry { at, token });
+        self.cv.notify_one();
+    }
+
+    /// Stop the watchdog thread. Called only *after* the workers are
+    /// joined: every in-flight job has finished by then, so no armed token
+    /// still matters.
+    fn close(&self) {
+        self.state.lock().expect("deadline watch poisoned").closed = true;
+        self.cv.notify_all();
+    }
+
+    /// The watchdog loop: flip every due token, then sleep until the next
+    /// deadline (or park when none are armed).
+    fn run(&self) {
+        let mut state = self.state.lock().expect("deadline watch poisoned");
+        loop {
+            let now = Instant::now();
+            while state.heap.peek().is_some_and(|e| e.at <= now) {
+                let entry = state.heap.pop().expect("peeked entry exists");
+                entry.token.store(true, Ordering::SeqCst);
+            }
+            if state.closed {
+                return;
+            }
+            state = match state.heap.peek().map(|e| e.at) {
+                Some(at) => {
+                    let wait = at.saturating_duration_since(now);
+                    self.cv
+                        .wait_timeout(state, wait)
+                        .expect("deadline watch poisoned")
+                        .0
+                }
+                None => self.cv.wait(state).expect("deadline watch poisoned"),
+            };
+        }
+    }
+}
+
+/// One key's circuit-breaker state.
+enum BreakerState {
+    /// Healthy; counting consecutive final failures.
+    Closed { consecutive: u32 },
+    /// Tripped: fail fast / degrade until the logical clock reaches
+    /// `until`, then half-open.
+    Open { until: u64 },
+    /// One probe is in flight; everyone else still fails fast / degrades.
+    HalfOpen,
+}
+
+/// The breaker registry plus its transition counters, all under one lock —
+/// transitions are rare and the map lookup is per *job*, not per record
+/// body, so contention is negligible next to execution.
+#[derive(Default)]
+struct Breakers {
+    map: HashMap<(u64, u64, JitOptions), BreakerState>,
+    opened: u64,
+    half_opened: u64,
+    closed: u64,
+}
+
+/// What the breaker tells the worker to do with a job.
+enum Gate {
+    /// Run normally (`probe` marks the one half-open probe, whose outcome
+    /// decides the key's fate).
+    Run { probe: bool },
+    /// Breaker open, no fallback: answer [`EngineError::CircuitOpen`].
+    FailFast,
+    /// Breaker open, fallback configured: serve on the fallback target.
+    Degrade,
+}
+
 /// Injectable per-request fault for tests: return `true` to make the worker
 /// panic while serving this request (inside its panic guard).
 #[doc(hidden)]
@@ -793,6 +1308,7 @@ struct WorkerMetrics {
     queue_wait: Histogram,
     execute: Histogram,
     batch_sizes: Histogram,
+    retry_attempts: Histogram,
 }
 
 /// State shared between the submission API and the worker pool.
@@ -805,10 +1321,23 @@ struct Inner {
     completed: AtomicU64,
     rejected: AtomicU64,
     rejected_shutdown: AtomicU64,
+    expired: AtomicU64,
+    cancelled: AtomicU64,
+    retried: AtomicU64,
+    degraded: AtomicU64,
+    failed_fast: AtomicU64,
+    faults_injected: AtomicU64,
     /// One metrics block per worker; [`Server::stats`] merges them.
     metrics: Vec<Mutex<WorkerMetrics>>,
     /// Test-only fault injection (see [`Server::start_instrumented`]).
     fault: Option<FaultHook>,
+    retry: RetryPolicy,
+    breaker: BreakerPolicy,
+    fallback: Option<TargetDesc>,
+    faults: Option<FaultPlan>,
+    seed: u64,
+    breakers: Mutex<Breakers>,
+    deadlines: DeadlineWatch,
 }
 
 impl Inner {
@@ -844,6 +1373,130 @@ impl Inner {
         );
         Arc::clone(&entry.engine)
     }
+
+    /// The breaker's logical clock: completed requests, server-wide. Using
+    /// completions (not wall time) keeps open→half-open recovery a
+    /// deterministic function of traffic.
+    fn breaker_clock(&self) -> u64 {
+        self.completed.load(Ordering::SeqCst)
+    }
+
+    /// `true` while nothing forbids serving `key` from its cached compile —
+    /// used to decide whether a batch-level program fetch is worth making.
+    /// (A half-open probe deliberately skips the batch fetch and compiles
+    /// fresh through `run_pooled`: its key's artifact was quarantined.)
+    fn breaker_fetch_allowed(&self, key: &(u64, u64, JitOptions)) -> bool {
+        if self.breaker.failure_threshold == 0 {
+            return true;
+        }
+        let breakers = self.breakers.lock().expect("breaker registry poisoned");
+        matches!(
+            breakers.map.get(key),
+            None | Some(BreakerState::Closed { .. })
+        )
+    }
+
+    /// The breaker's verdict for one job of `key`, applying the
+    /// open→half-open transition when the cooldown has elapsed.
+    fn breaker_gate(&self, key: &(u64, u64, JitOptions)) -> Gate {
+        if self.breaker.failure_threshold == 0 {
+            return Gate::Run { probe: false };
+        }
+        let mut breakers = self.breakers.lock().expect("breaker registry poisoned");
+        let clock = self.breaker_clock();
+        match breakers.map.get_mut(key) {
+            None | Some(BreakerState::Closed { .. }) => Gate::Run { probe: false },
+            Some(state @ BreakerState::Open { .. }) => {
+                let BreakerState::Open { until } = *state else {
+                    unreachable!()
+                };
+                if clock >= until {
+                    *state = BreakerState::HalfOpen;
+                    breakers.half_opened += 1;
+                    Gate::Run { probe: true }
+                } else if self.fallback.is_some() {
+                    Gate::Degrade
+                } else {
+                    Gate::FailFast
+                }
+            }
+            Some(BreakerState::HalfOpen) => {
+                // A probe is already in flight; don't pile more traffic on
+                // a key that is still presumed broken.
+                if self.fallback.is_some() {
+                    Gate::Degrade
+                } else {
+                    Gate::FailFast
+                }
+            }
+        }
+    }
+
+    /// Record a governed job's *final* outcome (after retries) against its
+    /// key's breaker, applying close/open transitions. Opening (including
+    /// re-opening after a failed probe) quarantines the key: its compiled
+    /// artifact is evicted from the engine so the eventual probe — and any
+    /// later traffic — compiles fresh instead of replaying a poisoned
+    /// artifact.
+    fn breaker_record(&self, key: &(u64, u64, JitOptions), probe: bool, failed: bool) {
+        if self.breaker.failure_threshold == 0 {
+            return;
+        }
+        let mut breakers = self.breakers.lock().expect("breaker registry poisoned");
+        let clock = self.breaker_clock();
+        let until = clock.saturating_add(self.breaker.cooldown);
+        let state = breakers
+            .map
+            .entry(*key)
+            .or_insert(BreakerState::Closed { consecutive: 0 });
+        let mut probe_succeeded = false;
+        let open = match state {
+            BreakerState::Closed { consecutive } => {
+                if failed {
+                    *consecutive += 1;
+                    *consecutive >= self.breaker.failure_threshold
+                } else {
+                    *consecutive = 0;
+                    false
+                }
+            }
+            BreakerState::HalfOpen if probe => {
+                if failed {
+                    true
+                } else {
+                    *state = BreakerState::Closed { consecutive: 0 };
+                    probe_succeeded = true;
+                    false
+                }
+            }
+            // A non-probe record against a half-open or open key carries no
+            // new information (it was gated before this state was entered);
+            // leave the probe to decide.
+            _ => false,
+        };
+        if open {
+            *state = BreakerState::Open { until };
+            breakers.opened += 1;
+            drop(breakers);
+            self.quarantine(key);
+        } else if probe_succeeded {
+            breakers.closed += 1;
+        }
+    }
+
+    /// Evict `key`'s compiled artifact from its module's engine.
+    fn quarantine(&self, key: &(u64, u64, JitOptions)) {
+        let (module_fp, target_fp, options) = key;
+        let shard = &self.engines[(module_fp % ENGINE_SHARDS as u64) as usize];
+        let engine = shard
+            .lock()
+            .expect("engine registry shard poisoned")
+            .get(module_fp)
+            .map(|entry| Arc::clone(&entry.engine));
+        if let Some(engine) = engine {
+            engine.invalidate(*target_fp, options);
+        }
+    }
 }
 
 /// The serving front-end: sharded bounded intake with work stealing,
@@ -855,6 +1508,9 @@ impl Inner {
 pub struct Server {
     inner: Arc<Inner>,
     workers: Mutex<Vec<JoinHandle<()>>>,
+    /// The deadline watchdog thread; joined *after* the workers (see
+    /// [`Server::shutdown`] for why the order matters).
+    watchdog: Mutex<Option<JoinHandle<()>>>,
     worker_count: usize,
 }
 
@@ -892,10 +1548,23 @@ impl Server {
             completed: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
             rejected_shutdown: AtomicU64::new(0),
+            expired: AtomicU64::new(0),
+            cancelled: AtomicU64::new(0),
+            retried: AtomicU64::new(0),
+            degraded: AtomicU64::new(0),
+            failed_fast: AtomicU64::new(0),
+            faults_injected: AtomicU64::new(0),
             metrics: (0..worker_count)
                 .map(|_| Mutex::new(WorkerMetrics::default()))
                 .collect(),
             fault,
+            retry: config.retry,
+            breaker: config.breaker,
+            fallback: config.fallback,
+            faults: config.faults,
+            seed: config.seed,
+            breakers: Mutex::new(Breakers::default()),
+            deadlines: DeadlineWatch::new(),
         });
         let workers = (0..worker_count)
             .map(|worker| {
@@ -906,9 +1575,17 @@ impl Server {
                     .expect("cannot spawn serving worker")
             })
             .collect();
+        let watchdog = {
+            let inner = Arc::clone(&inner);
+            std::thread::Builder::new()
+                .name("serve-deadline".into())
+                .spawn(move || inner.deadlines.run())
+                .expect("cannot spawn deadline watchdog")
+        };
         Server {
             inner,
             workers: Mutex::new(workers),
+            watchdog: Mutex::new(Some(watchdog)),
             worker_count,
         }
     }
@@ -995,6 +1672,7 @@ impl Server {
         let mut queue_wait = Histogram::new();
         let mut execute = Histogram::new();
         let mut batch_sizes = Histogram::new();
+        let mut retry_attempts = Histogram::new();
         for metrics in &self.inner.metrics {
             let m = metrics.lock().expect("worker metrics poisoned");
             for (name, count) in m.per_target.iter() {
@@ -1003,20 +1681,40 @@ impl Server {
             queue_wait.merge(&m.queue_wait);
             execute.merge(&m.execute);
             batch_sizes.merge(&m.batch_sizes);
+            retry_attempts.merge(&m.retry_attempts);
         }
-        // `completed` is read *before* the queue snapshot: both only grow
-        // and a job is accepted (under its shard lock) before any worker can
-        // complete it, so this order guarantees `completed <= accepted` AND
-        // `completed + queue_depth <= accepted` in every snapshot — the
-        // queue's depth and accepted count come from one all-locks
+        let (breaker_opened, breaker_half_opened, breaker_closed) = {
+            let b = self
+                .inner
+                .breakers
+                .lock()
+                .expect("breaker registry poisoned");
+            (b.opened, b.half_opened, b.closed)
+        };
+        // `completed` and `expired` are read *before* the queue snapshot:
+        // all three only grow and a job is accepted (under its shard lock)
+        // before any worker can complete or expire it, so this order
+        // guarantees `completed + expired <= accepted` AND
+        // `completed + expired + queue_depth <= accepted` in every snapshot
+        // — the queue's depth and accepted count come from one all-locks
         // acquisition, never from separate racing reads.
         let completed = self.inner.completed.load(Ordering::SeqCst);
+        let expired = self.inner.expired.load(Ordering::SeqCst);
         let queue = self.inner.queue.snapshot();
         ServerStats {
             accepted: queue.accepted,
             completed,
             rejected: self.inner.rejected.load(Ordering::SeqCst),
             rejected_shutdown: self.inner.rejected_shutdown.load(Ordering::SeqCst),
+            expired,
+            cancelled: self.inner.cancelled.load(Ordering::SeqCst),
+            retried: self.inner.retried.load(Ordering::SeqCst),
+            degraded: self.inner.degraded.load(Ordering::SeqCst),
+            failed_fast: self.inner.failed_fast.load(Ordering::SeqCst),
+            faults_injected: self.inner.faults_injected.load(Ordering::SeqCst),
+            breaker_opened,
+            breaker_half_opened,
+            breaker_closed,
             queue_depth: queue.depth,
             queue_high_water: queue.high_water,
             engines,
@@ -1026,13 +1724,19 @@ impl Server {
             queue_wait,
             execute,
             batch_sizes,
+            retry_attempts,
         }
     }
 
     /// Gracefully shut down: refuse new submissions, drain every accepted
     /// request, join the workers and return the final counters
-    /// (`completed == accepted` on return). Idempotent — later calls just
-    /// return the final stats.
+    /// (`completed + expired == accepted` on return). Idempotent — later
+    /// calls just return the final stats.
+    ///
+    /// The deadline watchdog is closed *after* the workers are joined, never
+    /// before: an in-flight runaway kernel is only stoppable by the watchdog
+    /// flipping its cancellation token, so closing the watchdog first could
+    /// leave a worker spinning forever and deadlock the drain.
     ///
     /// # Panics
     ///
@@ -1049,6 +1753,15 @@ impl Server {
             worker.join().expect("serving worker panicked");
         }
         drop(workers);
+        self.inner.deadlines.close();
+        if let Some(watchdog) = self
+            .watchdog
+            .lock()
+            .expect("watchdog handle poisoned")
+            .take()
+        {
+            watchdog.join().expect("deadline watchdog panicked");
+        }
         self.stats()
     }
 }
@@ -1064,6 +1777,14 @@ impl Drop for Server {
         if let Ok(mut workers) = self.workers.lock() {
             for worker in workers.drain(..) {
                 let _ = worker.join();
+            }
+        }
+        // Same ordering as `shutdown()`: the watchdog outlives the workers
+        // so a runaway in-flight kernel can still be cancelled mid-drain.
+        self.inner.deadlines.close();
+        if let Ok(mut watchdog) = self.watchdog.lock() {
+            if let Some(handle) = watchdog.take() {
+                let _ = handle.join();
             }
         }
     }
@@ -1086,20 +1807,44 @@ fn worker_loop(inner: &Inner, worker: usize) {
     }
 }
 
+/// Everything one governed job run produces, alongside the outcome itself.
+struct JobResult {
+    outcome: Result<Execution, EngineError>,
+    mem: Vec<u8>,
+    execute_ns: u64,
+    /// Execution attempts made (0 = never executed, 1 = clean, 1+n =
+    /// retried n times).
+    attempts: u32,
+    /// The deadline cancelled the run mid-flight.
+    cancelled: bool,
+    /// The final outcome is breaker-tripping (panic / transient / JIT
+    /// failure) — as opposed to success or a semantic error that would
+    /// fail identically on a healthy artifact.
+    tripped: bool,
+}
+
 /// Serve one continuous batch (all jobs share a batch key): resolve the
 /// shared engine once, fetch the compiled program once, then run every job
 /// through exactly the execution path an unbatched run uses — so responses
 /// are bit-identical to unbatched serving; batching only amortizes lookups.
+///
+/// Each job first passes the deadline shed (already-expired requests are
+/// answered [`EngineError::DeadlineExceeded`] without executing, counted
+/// `expired`) and then its key's circuit breaker (open keys fail fast or
+/// reroute to the configured fallback target).
 fn serve_batch(inner: &Inner, worker: usize, pool: &mut FramePool, batch: &mut Vec<Job>) {
     let dequeued = Instant::now();
     let batch_len = batch.len();
+    let key = batch[0].batch_key();
     let engine = inner.engine_for(&batch[0].request.module);
     let target_name = batch[0].request.target.name.clone();
     // One program fetch covers the whole batch: the identical (target,
     // options) artifact every job would have looked up individually. A
     // batch whose every kernel is unknown skips the fetch entirely —
     // matching the unbatched precheck, where unknown kernels never touch
-    // the cache.
+    // the cache. A batch whose key's breaker is not closed also skips it:
+    // the artifact was quarantined, and warming it back in from the batch
+    // path would bypass the half-open probe.
     let any_known = batch.iter().any(|j| {
         j.request
             .module
@@ -1113,7 +1858,7 @@ fn serve_batch(inner: &Inner, worker: usize, pool: &mut FramePool, batch: &mut V
     // routes every job through the per-job fallback below — each retries the
     // lookup inside its own `catch_unwind`, so each client is answered (with
     // the real result if the panic doesn't reproduce) and the worker lives.
-    let program = if any_known {
+    let program = if any_known && inner.breaker_fetch_allowed(&key) {
         Some(
             catch_unwind(AssertUnwindSafe(|| {
                 engine.program_for(&batch[0].request.target, &batch[0].request.options)
@@ -1123,6 +1868,7 @@ fn serve_batch(inner: &Inner, worker: usize, pool: &mut FramePool, batch: &mut V
     } else {
         None
     };
+    let mut served = 0u64;
     for job in batch.drain(..) {
         let Job {
             request,
@@ -1131,8 +1877,55 @@ fn serve_batch(inner: &Inner, worker: usize, pool: &mut FramePool, batch: &mut V
             ..
         } = job;
         let queue_wait_ns = saturating_ns(dequeued.duration_since(accepted_at));
-        let (outcome, mem, execute_ns) = run_job(inner, &engine, program.as_ref(), request, pool);
+        // Deadline shed: a request whose deadline passed while it queued is
+        // answered without executing and counted `expired`, NOT `completed`
+        // — load that can no longer meet its deadline costs a counter bump,
+        // not a kernel run.
+        if request.deadline.is_some_and(|at| Instant::now() >= at) {
+            inner.expired.fetch_add(1, Ordering::SeqCst);
+            let _ = tx.send(Response {
+                outcome: Err(EngineError::DeadlineExceeded),
+                mem: request.mem,
+                worker,
+                queue_wait_ns,
+                execute_ns: 0,
+                batch: batch_len,
+                attempts: 0,
+                degraded: false,
+            });
+            continue;
+        }
+        let gate = inner.breaker_gate(&key);
+        let (result, degraded) = match gate {
+            Gate::FailFast => {
+                inner.failed_fast.fetch_add(1, Ordering::SeqCst);
+                let result = JobResult {
+                    outcome: Err(EngineError::CircuitOpen),
+                    mem: request.mem,
+                    execute_ns: 0,
+                    attempts: 0,
+                    cancelled: false,
+                    tripped: false,
+                };
+                (result, false)
+            }
+            Gate::Degrade => {
+                inner.degraded.fetch_add(1, Ordering::SeqCst);
+                // The fallback target has its own (module, target, options)
+                // key, so its runs never feed the broken key's breaker.
+                (run_job(inner, &engine, None, request, pool, true), true)
+            }
+            Gate::Run { probe } => {
+                let result = run_job(inner, &engine, program.as_ref(), request, pool, false);
+                inner.breaker_record(&key, probe, result.tripped);
+                (result, false)
+            }
+        };
+        if result.cancelled {
+            inner.cancelled.fetch_add(1, Ordering::SeqCst);
+        }
         inner.completed.fetch_add(1, Ordering::SeqCst);
+        served += 1;
         {
             // This worker's own metrics: uncontended in steady state (only
             // `stats()` ever takes the lock from another thread). The
@@ -1142,49 +1935,80 @@ fn serve_batch(inner: &Inner, worker: usize, pool: &mut FramePool, batch: &mut V
                 .lock()
                 .expect("worker metrics poisoned");
             m.queue_wait.record(queue_wait_ns);
-            m.execute.record(execute_ns);
-            if let Some(count) = m.per_target.get_mut(&target_name) {
+            m.execute.record(result.execute_ns);
+            m.retry_attempts.record(u64::from(result.attempts));
+            let name = if degraded {
+                inner
+                    .fallback
+                    .as_ref()
+                    .map(|t| t.name.as_str())
+                    .unwrap_or(target_name.as_str())
+            } else {
+                target_name.as_str()
+            };
+            if let Some(count) = m.per_target.get_mut(name) {
                 *count += 1;
             } else {
-                m.per_target.insert(target_name.clone(), 1);
+                m.per_target.insert(name.to_owned(), 1);
             }
         }
         // The client may have dropped its handle without waiting; a refused
         // send is not an error.
         let _ = tx.send(Response {
-            outcome,
-            mem,
+            outcome: result.outcome,
+            mem: result.mem,
             worker,
             queue_wait_ns,
-            execute_ns,
+            execute_ns: result.execute_ns,
             batch: batch_len,
+            attempts: result.attempts,
+            degraded,
         });
     }
-    inner.metrics[worker]
-        .lock()
-        .expect("worker metrics poisoned")
-        .batch_sizes
-        .record(batch_len as u64);
+    if served > 0 {
+        // One sample per batch, counting only the requests the worker
+        // actually answered itself (expired sheds are excluded) — this is
+        // what keeps `batch_sizes.sum() == completed`.
+        inner.metrics[worker]
+            .lock()
+            .expect("worker metrics poisoned")
+            .batch_sizes
+            .record(served);
+    }
 }
 
-/// Run one job of a batch. `program` is the batch-level compiled-program
-/// fetch: `Some(Ok(_))` drives the job through [`crate::engine::simulate`]
-/// directly (the same call `run_pooled` bottoms out in); `Some(Err(_))`
+/// Run one job of a batch under the full fault-tolerance stack: deadline
+/// token arming, configured fault injection, the panic guard, and bounded
+/// retries with jittered exponential backoff.
+///
+/// `program` is the batch-level compiled-program fetch: `Some(Ok(_))`
+/// drives the *first* attempt through [`crate::engine::simulate`] directly
+/// (the same call `run_pooled` bottoms out in); `Some(Err(_))` or a retry
 /// re-runs the per-job lookup so each client receives exactly the error an
-/// unbatched run would have produced (`EngineError` is not `Clone`); `None`
-/// means no job in the batch names a known kernel.
+/// unbatched run would have produced (`EngineError` is not `Clone`) and a
+/// retry after a quarantine compiles fresh; `None` means no job in the
+/// batch names a known kernel (or the breaker skipped the batch fetch).
+///
+/// With `degraded`, the request is rerouted to the configured fallback
+/// target (the caller has already checked it exists).
 ///
 /// Execution is wrapped in a panic guard: a panicking kernel answers with
-/// [`EngineError::Panicked`] and costs the worker its frame pool (recycled
-/// frames may have been mid-mutation when the unwind tore through), but
-/// never the worker itself.
+/// [`EngineError::Panicked`] (payload capped at [`PANIC_MESSAGE_CAP`]
+/// bytes) and costs the worker its frame pool (recycled frames may have
+/// been mid-mutation when the unwind tore through), but never the worker
+/// itself. Only infrastructure failures — [`EngineError::Panicked`] and
+/// [`EngineError::Transient`] — are retried; semantic errors (traps,
+/// unknown kernels, compile diagnostics) would fail identically again and
+/// are answered immediately. Memory is restored from a pre-run backup
+/// before every retry, so a retried request runs against pristine state.
 fn run_job(
     inner: &Inner,
     engine: &ExecutionEngine,
     program: Option<&Result<Arc<CompiledModule>, EngineError>>,
     request: Request,
     pool: &mut FramePool,
-) -> (Result<Execution, EngineError>, Vec<u8>, u64) {
+    degraded: bool,
+) -> JobResult {
     let inject = inner.fault.is_some_and(|hook| hook(&request));
     let Request {
         module,
@@ -1193,43 +2017,190 @@ fn run_job(
         options,
         args,
         mut mem,
+        deadline,
+        tag,
     } = request;
+    let target = if degraded {
+        inner
+            .fallback
+            .clone()
+            .expect("degraded run without a fallback target")
+    } else {
+        target
+    };
     if module.module().function(&kernel).is_none() {
         // Matches `run_pooled`'s precheck: unknown kernels fail before any
         // cache traffic and before the execute clock starts.
-        return (Err(EngineError::UnknownKernel(kernel)), mem, 0);
+        return JobResult {
+            outcome: Err(EngineError::UnknownKernel(kernel)),
+            mem,
+            execute_ns: 0,
+            attempts: 0,
+            cancelled: false,
+            tripped: false,
+        };
     }
+    // Arm the deadline: the watchdog flips this token when the deadline
+    // passes, and the interpreter's cooperative checks (function entry and
+    // loop back edges) turn the flip into `SimError::Cancelled` mid-kernel.
+    // Tokens are registered once per job and never unregistered — a stale
+    // fire after the job finished is harmless because the pool's token slot
+    // is cleared below.
+    let token = deadline.map(|at| {
+        let token = Arc::new(AtomicBool::new(false));
+        inner.deadlines.watch(at, Arc::clone(&token));
+        token
+    });
+    // Retries need pristine memory: back it up before the first attempt
+    // (`RetryPolicy::none()` skips the copy entirely).
+    let backup = (inner.retry.max_retries > 0).then(|| mem.clone());
     let started = Instant::now();
-    let ran = catch_unwind(AssertUnwindSafe(|| {
-        if inject {
-            panic!("injected serving fault in kernel `{kernel}`");
+    let mut attempt: u32 = 0;
+    let mut cancelled = false;
+    let outcome = loop {
+        if let Some(token) = &token {
+            // (Re-)arm the pool each attempt: a panic replaced the pool —
+            // and with it the token slot — wholesale.
+            pool.set_cancel_token(Arc::clone(token));
         }
-        match program {
-            Some(Ok(compiled)) => {
-                crate::engine::simulate(compiled, &target, &kernel, &args, &mut mem, pool)
+        let compile_fault = faults_at(inner, FaultSite::Compile, tag, attempt);
+        let execute_fault = faults_at(inner, FaultSite::Execute, tag, attempt);
+        attempt += 1;
+        // The batch-level artifact serves the first attempt only: a retry
+        // (or a half-open probe, which never gets a batch artifact) goes
+        // through the engine lookup so a quarantined key compiles fresh.
+        let batch_program = if attempt == 1 { program } else { None };
+        let ran = catch_unwind(AssertUnwindSafe(|| {
+            if inject {
+                panic!("injected serving fault in kernel `{kernel}`");
             }
-            _ => engine.run_pooled(&target, &options, &kernel, &args, &mut mem, pool),
+            if let Some(kind) = compile_fault {
+                match apply_fault(inner, kind, FaultSite::Compile, &kernel) {
+                    Ok(()) => {}
+                    Err(err) => return Err(err),
+                }
+            }
+            if let Some(kind) = execute_fault {
+                match apply_fault(inner, kind, FaultSite::Execute, &kernel) {
+                    Ok(()) => {}
+                    Err(err) => return Err(err),
+                }
+            }
+            match batch_program {
+                Some(Ok(compiled)) => {
+                    crate::engine::simulate(compiled, &target, &kernel, &args, &mut mem, pool)
+                }
+                _ => engine.run_pooled(&target, &options, &kernel, &args, &mut mem, pool),
+            }
+        }));
+        let outcome = match ran {
+            Ok(outcome) => outcome,
+            Err(payload) => {
+                *pool = FramePool::new();
+                Err(EngineError::Panicked(panic_message(payload.as_ref())))
+            }
+        };
+        // A cooperative cancellation surfaces to the client as the deadline
+        // error it is, never as a retryable failure.
+        if matches!(outcome, Err(EngineError::Sim(SimError::Cancelled))) {
+            cancelled = true;
+            break Err(EngineError::DeadlineExceeded);
         }
-    }));
-    let outcome = match ran {
-        Ok(outcome) => outcome,
-        Err(payload) => {
-            *pool = FramePool::new();
-            Err(EngineError::Panicked(panic_message(payload.as_ref())))
+        let retryable = matches!(
+            outcome,
+            Err(EngineError::Panicked(_)) | Err(EngineError::Transient(_))
+        );
+        let deadline_passed = token.as_ref().is_some_and(|t| t.load(Ordering::SeqCst))
+            || deadline.is_some_and(|at| Instant::now() >= at);
+        if !(retryable && attempt <= inner.retry.max_retries && !deadline_passed) {
+            break outcome;
+        }
+        if let Some(backup) = &backup {
+            mem.clone_from(backup);
+        }
+        inner.retried.fetch_add(1, Ordering::SeqCst);
+        let backoff = backoff_ns(&inner.retry, inner.seed, tag, attempt);
+        if backoff > 0 {
+            std::thread::sleep(Duration::from_nanos(backoff));
         }
     };
-    (outcome, mem, saturating_ns(started.elapsed()))
+    // Clear the slot so later jobs on this worker never see a stale token.
+    pool.clear_cancel_token();
+    let tripped = matches!(
+        outcome,
+        Err(EngineError::Panicked(_)) | Err(EngineError::Transient(_)) | Err(EngineError::Jit(_))
+    );
+    JobResult {
+        outcome,
+        mem,
+        execute_ns: saturating_ns(started.elapsed()),
+        attempts: attempt,
+        cancelled,
+        tripped,
+    }
 }
 
-/// Best-effort extraction of a panic payload's message.
-fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
-    if let Some(s) = payload.downcast_ref::<&'static str>() {
-        (*s).to_owned()
-    } else if let Some(s) = payload.downcast_ref::<String>() {
-        s.clone()
-    } else {
-        "non-string panic payload".to_owned()
+/// The configured [`FaultPlan`]'s verdict for `(site, tag, attempt)`.
+fn faults_at(inner: &Inner, site: FaultSite, tag: u64, attempt: u32) -> Option<FaultKind> {
+    inner
+        .faults
+        .as_ref()
+        .and_then(|plan| plan.at(site, tag, attempt))
+}
+
+/// Fire one injected fault. `Ok(())` means execution proceeds (latency
+/// faults); `Err` is returned to the client as-is (transient faults);
+/// panic faults unwind into the worker's panic guard.
+fn apply_fault(
+    inner: &Inner,
+    kind: FaultKind,
+    site: FaultSite,
+    kernel: &str,
+) -> Result<(), EngineError> {
+    inner.faults_injected.fetch_add(1, Ordering::SeqCst);
+    let site_name = match site {
+        FaultSite::Compile => "compile",
+        FaultSite::Execute => "execute",
+    };
+    match kind {
+        FaultKind::Panic => panic!("injected {site_name} fault in kernel `{kernel}`"),
+        FaultKind::Transient => Err(EngineError::Transient(format!(
+            "injected {site_name} fault in kernel `{kernel}`"
+        ))),
+        FaultKind::Latency(ns) => {
+            if ns > 0 {
+                std::thread::sleep(Duration::from_nanos(ns));
+            }
+            Ok(())
+        }
     }
+}
+
+/// Upper bound on the bytes of panic payload preserved in
+/// [`EngineError::Panicked`]. Panic messages can embed arbitrary runtime
+/// state (a formatted kernel argument, a huge assertion dump); responses
+/// are queued, cloned into stats paths and shipped across the bench JSON
+/// boundary, so an unbounded payload is a memory-amplification vector.
+pub const PANIC_MESSAGE_CAP: usize = 256;
+
+/// Best-effort extraction of a panic payload's message, truncated to
+/// [`PANIC_MESSAGE_CAP`] bytes (on a char boundary, with a marker).
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    let message = if let Some(s) = payload.downcast_ref::<&'static str>() {
+        *s
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.as_str()
+    } else {
+        "non-string panic payload"
+    };
+    if message.len() <= PANIC_MESSAGE_CAP {
+        return message.to_owned();
+    }
+    let mut cut = PANIC_MESSAGE_CAP;
+    while !message.is_char_boundary(cut) {
+        cut -= 1;
+    }
+    format!("{}… [truncated]", &message[..cut])
 }
 
 fn saturating_ns(d: std::time::Duration) -> u64 {
@@ -1253,6 +2224,8 @@ mod tests {
             options: JitOptions::split(),
             args: vec![MachineValue::Int(x)],
             mem: vec![0u8; 64],
+            deadline: None,
+            tag: 0,
         }
     }
 
@@ -1791,6 +2764,285 @@ mod tests {
             stats.cache.lookups(),
             stats.batch_sizes.count(),
             "one cache lookup per batch, not per request"
+        );
+    }
+
+    // --- Fault tolerance ---
+
+    #[test]
+    fn a_transient_fault_is_retried_and_the_attempt_count_stamped() {
+        let module = triple_module();
+        let plan = FaultPlan::seeded(7).with_rule(FaultRule {
+            site: FaultSite::Execute,
+            kind: FaultKind::Transient,
+            selector: FaultSelector::tag_range(5, 6),
+            persistent: false,
+        });
+        let server = Server::start(ServerConfig::default().with_workers(1).with_faults(plan));
+        let mut request = triple_request(&module, 4);
+        request.tag = 5;
+        let response = server.submit(request).unwrap().wait().unwrap();
+        assert_eq!(
+            response.outcome.unwrap().result,
+            Some(MachineValue::Int(12)),
+            "the retry ran clean: non-persistent faults clear on attempt 2"
+        );
+        assert_eq!(response.attempts, 2, "one failed attempt, one clean");
+        assert!(!response.degraded);
+        let clean = server.submit(triple_request(&module, 1)).unwrap();
+        assert_eq!(clean.wait().unwrap().attempts, 1, "untouched tags run once");
+        let stats = server.shutdown();
+        assert_eq!(stats.retried, 1);
+        assert_eq!(stats.faults_injected, 1);
+        assert_eq!(stats.retry_attempts.count(), stats.completed);
+        assert_eq!(stats.retry_attempts.max(), 2);
+        assert_eq!(
+            stats.breaker_opened, 0,
+            "one failure is below the threshold"
+        );
+    }
+
+    #[test]
+    fn a_persistent_fault_exhausts_retries_and_reports_every_attempt() {
+        let module = triple_module();
+        let plan = FaultPlan::seeded(7).with_rule(FaultRule {
+            site: FaultSite::Execute,
+            kind: FaultKind::Transient,
+            selector: FaultSelector::tag_range(0, 1),
+            persistent: true,
+        });
+        let server = Server::start(
+            ServerConfig::default()
+                .with_workers(1)
+                .with_faults(plan)
+                .with_retry(RetryPolicy {
+                    max_retries: 3,
+                    base_backoff_ns: 1_000,
+                    max_backoff_ns: 10_000,
+                })
+                // Keep the breaker out of this test's way.
+                .with_breaker(BreakerPolicy {
+                    failure_threshold: 0,
+                    cooldown: 0,
+                }),
+        );
+        let response = server
+            .submit(triple_request(&module, 2))
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert!(matches!(response.outcome, Err(EngineError::Transient(_))));
+        assert_eq!(response.attempts, 4, "first try plus three retries");
+        let stats = server.shutdown();
+        assert_eq!(stats.retried, 3);
+        assert_eq!(stats.faults_injected, 4);
+    }
+
+    #[test]
+    fn the_breaker_opens_fails_fast_then_recovers_through_a_probe() {
+        let module = triple_module();
+        // Tags 0 and 1 panic on every attempt — two consecutive failures,
+        // exactly the threshold. Retries are off so each failure is final.
+        let plan = FaultPlan::seeded(1).with_rule(FaultRule {
+            site: FaultSite::Execute,
+            kind: FaultKind::Panic,
+            selector: FaultSelector::tag_range(0, 2),
+            persistent: true,
+        });
+        let server = Server::start(
+            ServerConfig::default()
+                .with_workers(1)
+                .with_max_batch(1)
+                .with_faults(plan)
+                .with_retry(RetryPolicy::none())
+                .with_breaker(BreakerPolicy {
+                    failure_threshold: 2,
+                    cooldown: 3,
+                }),
+        );
+        let answer = |tag: u64| {
+            let mut request = triple_request(&module, 3);
+            request.tag = tag;
+            server.submit(request).unwrap().wait().unwrap()
+        };
+        // Two poisoned requests trip the breaker open (clock = 1 at the
+        // open, so the cooldown ends at completed == 4)…
+        assert!(matches!(answer(0).outcome, Err(EngineError::Panicked(_))));
+        assert!(matches!(answer(1).outcome, Err(EngineError::Panicked(_))));
+        // …the next two healthy-tag requests on the same key fail fast
+        // without executing…
+        for _ in 0..2 {
+            let response = answer(100);
+            assert!(matches!(response.outcome, Err(EngineError::CircuitOpen)));
+            assert_eq!(response.attempts, 0, "failed fast before execution");
+            assert_eq!(response.execute_ns, 0);
+        }
+        // …and once the cooldown elapses, a half-open probe runs for real
+        // (recompiling the quarantined artifact) and closes the breaker.
+        let probe = answer(101);
+        assert_eq!(probe.outcome.unwrap().result, Some(MachineValue::Int(9)));
+        assert_eq!(probe.attempts, 1);
+        let after = answer(102);
+        assert_eq!(after.outcome.unwrap().result, Some(MachineValue::Int(9)));
+        let stats = server.shutdown();
+        assert_eq!(stats.breaker_opened, 1);
+        assert_eq!(stats.breaker_half_opened, 1);
+        assert_eq!(stats.breaker_closed, 1);
+        assert_eq!(stats.failed_fast, 2);
+        assert_eq!(stats.completed, 6);
+        assert_eq!(
+            stats.cache.compiles, 2,
+            "opening quarantined the artifact; the probe compiled fresh"
+        );
+    }
+
+    #[test]
+    fn an_open_breaker_degrades_to_the_fallback_target_when_configured() {
+        let module = triple_module();
+        let plan = FaultPlan::seeded(1).with_rule(FaultRule {
+            site: FaultSite::Execute,
+            kind: FaultKind::Panic,
+            selector: FaultSelector::tag_range(0, 1),
+            persistent: true,
+        });
+        let server = Server::start(
+            ServerConfig::default()
+                .with_workers(1)
+                .with_max_batch(1)
+                .with_faults(plan)
+                .with_retry(RetryPolicy::none())
+                .with_breaker(BreakerPolicy {
+                    failure_threshold: 1,
+                    cooldown: 1_000_000,
+                })
+                .with_fallback(TargetDesc::powerpc()),
+        );
+        let answer = |tag: u64| {
+            let mut request = triple_request(&module, 5);
+            request.tag = tag;
+            server.submit(request).unwrap().wait().unwrap()
+        };
+        assert!(matches!(answer(0).outcome, Err(EngineError::Panicked(_))));
+        let rerouted = answer(50);
+        assert!(rerouted.degraded, "open breaker + fallback = degradation");
+        assert_eq!(
+            rerouted.outcome.unwrap().result,
+            Some(MachineValue::Int(15)),
+            "the fallback target still produces the right answer"
+        );
+        let stats = server.shutdown();
+        assert_eq!(stats.degraded, 1);
+        assert_eq!(stats.failed_fast, 0, "degradation replaces failing fast");
+        assert!(
+            stats
+                .per_target
+                .iter()
+                .any(|(t, c)| t == "powerpc" && *c == 1),
+            "degraded work is attributed to the target that served it: {:?}",
+            stats.per_target
+        );
+    }
+
+    #[test]
+    fn backoff_is_deterministic_jittered_and_capped() {
+        let policy = RetryPolicy {
+            max_retries: 10,
+            base_backoff_ns: 1_000,
+            max_backoff_ns: 8_000,
+        };
+        for attempt in 1..=10u32 {
+            let a = backoff_ns(&policy, 42, 7, attempt);
+            let b = backoff_ns(&policy, 42, 7, attempt);
+            assert_eq!(a, b, "same (seed, tag, attempt) → same backoff");
+            let band = (policy.base_backoff_ns << (attempt - 1).min(20)).min(policy.max_backoff_ns);
+            assert!(
+                a >= band / 2 && a <= band,
+                "attempt {attempt}: {a} ∉ [{}, {band}]",
+                band / 2
+            );
+        }
+        assert_ne!(
+            backoff_ns(&policy, 42, 7, 1),
+            backoff_ns(&policy, 43, 7, 1),
+            "different seeds jitter differently (for these inputs)"
+        );
+        assert!(
+            backoff_ns(&policy, 42, 7, 64) <= policy.max_backoff_ns,
+            "huge attempt counts must not overflow the shift"
+        );
+    }
+
+    #[test]
+    fn fault_plan_decisions_are_pure_and_seeded() {
+        let rule = FaultRule {
+            site: FaultSite::Execute,
+            kind: FaultKind::Transient,
+            selector: FaultSelector::Probability(0.5),
+            persistent: true,
+        };
+        let plan_a = FaultPlan::seeded(1).with_rule(rule);
+        let plan_b = FaultPlan::seeded(2).with_rule(rule);
+        let picks = |plan: &FaultPlan| -> Vec<bool> {
+            (0..256)
+                .map(|tag| plan.at(FaultSite::Execute, tag, 0).is_some())
+                .collect()
+        };
+        assert_eq!(picks(&plan_a), picks(&plan_a), "replay is identical");
+        assert_ne!(picks(&plan_a), picks(&plan_b), "the seed matters");
+        let hits = picks(&plan_a).iter().filter(|&&h| h).count();
+        assert!(
+            (64..192).contains(&hits),
+            "p=0.5 over 256 tags should hit roughly half, got {hits}"
+        );
+        // Slot selectors window precisely, and non-persistent rules clear
+        // on retry.
+        let slot = FaultPlan::seeded(0).with_rule(FaultRule {
+            site: FaultSite::Compile,
+            kind: FaultKind::Panic,
+            selector: FaultSelector::Slot {
+                modulo: 3,
+                remainder: 1,
+                lo: 10,
+                hi: 20,
+            },
+            persistent: false,
+        });
+        let selected: Vec<u64> = (0..30)
+            .filter(|&tag| slot.at(FaultSite::Compile, tag, 0).is_some())
+            .collect();
+        assert_eq!(selected, vec![10, 13, 16, 19]);
+        assert!(
+            slot.at(FaultSite::Compile, 10, 1).is_none(),
+            "non-persistent faults never fire on retries"
+        );
+        assert!(
+            slot.at(FaultSite::Execute, 10, 0).is_none(),
+            "rules are site-specific"
+        );
+    }
+
+    #[test]
+    fn panic_payloads_are_capped_at_a_fixed_size() {
+        let short = panic_message(&"boom".to_owned() as &(dyn std::any::Any + Send));
+        assert_eq!(short, "boom");
+        let huge = "x".repeat(PANIC_MESSAGE_CAP * 64);
+        let capped = panic_message(&huge as &(dyn std::any::Any + Send));
+        assert!(
+            capped.len() < PANIC_MESSAGE_CAP + 32,
+            "got {}",
+            capped.len()
+        );
+        assert!(capped.ends_with("… [truncated]"));
+        assert!(capped.starts_with(&"x".repeat(PANIC_MESSAGE_CAP)));
+        // A multibyte char straddling the cap must not split (that would
+        // panic inside the panic handler — the one place that must not).
+        let awkward = format!("{}é{}", "y".repeat(PANIC_MESSAGE_CAP - 1), "z".repeat(64));
+        let cut = panic_message(&awkward as &(dyn std::any::Any + Send));
+        assert!(cut.ends_with("… [truncated]"));
+        assert!(!cut.contains('\u{FFFD}'));
+        assert_eq!(
+            &cut[..PANIC_MESSAGE_CAP - 1],
+            &"y".repeat(PANIC_MESSAGE_CAP - 1)
         );
     }
 }

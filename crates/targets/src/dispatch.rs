@@ -400,6 +400,14 @@ pub(crate) fn costs_fit_u32(c: &CostModel) -> bool {
 #[inline(always)]
 fn enter(cx: &mut ExecCtx<'_>, tidx: u32) -> u64 {
     let t = &cx.f.targets[tidx as usize];
+    // Cooperative cancellation is polled here, at region entry, because it
+    // is the one boundary every loop iteration crosses. Deopt *uncharged*
+    // to the metered loop (whose entry check raises `Cancelled`): going
+    // through `FLOW_ERR` instead would trigger a fixup refund for a region
+    // that was never charged.
+    if cx.pool.cancel_requested() {
+        return FLOW_DEOPT | u64::from(t.enum_pc);
+    }
     let charge = u64::from(t.charge);
     if *cx.fuel >= charge {
         *cx.fuel -= charge;

@@ -82,6 +82,8 @@ use crate::simulator::{
 };
 use std::collections::HashMap;
 use std::fmt::Write as _;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 
 /// A value held in a spill slot of a prepared frame.
 #[derive(Debug, Clone, PartialEq)]
@@ -112,10 +114,18 @@ pub(crate) struct Frame {
 /// warm-up, running a kernel performs no allocation at all. Pools are
 /// target-agnostic (frames are resized on acquire, reusing capacity), so one
 /// pool can serve a whole sweep across many targets.
+///
+/// A pool can also carry an optional **cancellation token** for the runs it
+/// backs ([`FramePool::set_cancel_token`]): the executor polls it at region
+/// boundaries (region prepayment on the threaded path, back edges on the
+/// metered path) and aborts with [`SimError::Cancelled`] once it flips —
+/// the cooperative-cancellation hook the serving tier's deadlines use to
+/// stop a runaway kernel without killing the worker thread.
 #[derive(Debug, Default)]
 pub struct FramePool {
     frames: Vec<Frame>,
     argv: Vec<Vec<MachineValue>>,
+    cancel: Option<Arc<AtomicBool>>,
 }
 
 impl FramePool {
@@ -127,6 +137,30 @@ impl FramePool {
     /// Frames currently sitting in the free list (for tests/diagnostics).
     pub fn pooled_frames(&self) -> usize {
         self.frames.len()
+    }
+
+    /// Arm cooperative cancellation for subsequent runs drawn from this
+    /// pool: once `token` reads `true`, execution stops at the next region
+    /// boundary with [`SimError::Cancelled`]. The token stays armed until
+    /// [`FramePool::clear_cancel_token`]; callers that reuse one pool across
+    /// requests must re-arm (or clear) per run.
+    pub fn set_cancel_token(&mut self, token: Arc<AtomicBool>) {
+        self.cancel = Some(token);
+    }
+
+    /// Disarm cooperative cancellation (subsequent runs are uncancellable).
+    pub fn clear_cancel_token(&mut self) {
+        self.cancel = None;
+    }
+
+    /// `true` once the armed token (if any) has been flipped. Hot-path
+    /// polling site: a `None` token is a single branch.
+    #[inline(always)]
+    pub fn cancel_requested(&self) -> bool {
+        match &self.cancel {
+            Some(t) => t.load(Ordering::Relaxed),
+            None => false,
+        }
     }
 
     fn acquire(&mut self, int: usize, float: usize, vec_bytes: usize, slots: usize) -> Frame {
@@ -757,6 +791,12 @@ impl PreparedProgram {
         let vb = self.vector_bytes;
         let code = &f.code;
         let mut pc = start;
+        // Cooperative cancellation: poll at function entry (which is also
+        // every post-deopt resumption) and at branches below, so a hot loop
+        // cannot outrun a flipped token by more than one basic block.
+        if pool.cancel_requested() {
+            return Err(SimError::Cancelled);
+        }
         loop {
             if *fuel == 0 {
                 return Err(SimError::OutOfFuel);
@@ -1199,6 +1239,9 @@ impl PreparedProgram {
                     stats.spill_reloads += 1;
                 }
                 PInst::Jump { target } => {
+                    if pool.cancel_requested() {
+                        return Err(SimError::Cancelled);
+                    }
                     pc = *target as usize;
                     stats.cycles += cost.branch_taken;
                     stats.branches += 1;
@@ -1208,6 +1251,9 @@ impl PreparedProgram {
                     then_target,
                     else_target,
                 } => {
+                    if pool.cancel_requested() {
+                        return Err(SimError::Cancelled);
+                    }
                     let taken = frame.int[*cond as usize] != 0;
                     pc = if taken {
                         *then_target as usize

@@ -84,6 +84,12 @@ pub enum SimError {
     Trap(String),
     /// The instruction budget was exhausted.
     OutOfFuel,
+    /// Execution was cancelled cooperatively: the caller armed a
+    /// cancellation token on the run's `FramePool` and flipped it (the
+    /// serving tier does this when a request's deadline passes). Unlike a
+    /// trap this says nothing about the program — the same run without
+    /// cancellation may have completed normally.
+    Cancelled,
 }
 
 impl fmt::Display for SimError {
@@ -104,6 +110,7 @@ impl fmt::Display for SimError {
             }
             SimError::Trap(msg) => write!(f, "trap: {msg}"),
             SimError::OutOfFuel => write!(f, "instruction budget exhausted"),
+            SimError::Cancelled => write!(f, "execution cancelled"),
         }
     }
 }

@@ -654,6 +654,8 @@ fn check_program_served(server: &Server, source: &str, name: &str, seed: u64, fl
                     options: jit,
                     args: args.to_vec(),
                     mem: ws.bytes().to_vec(),
+                    deadline: None,
+                    tag: 0,
                 })
                 .expect("fuzz server is accepting");
             handles.push((target.clone(), mode, jit, handle));

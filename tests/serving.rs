@@ -11,14 +11,16 @@
 //! accepted request.
 
 use splitc::serve::{Request, ServeModule, Server, ServerConfig, SubmitError};
-use splitc::{checksum_bytes, prepare, run_on_target, Execution, Workspace};
+use splitc::splitc_minic::compile_source;
+use splitc::{checksum_bytes, prepare, run_on_target, EngineError, Execution, Workspace};
 use splitc_jit::JitOptions;
 use splitc_opt::{optimize_module, OptOptions};
-use splitc_targets::TargetDesc;
+use splitc_targets::{MachineValue, TargetDesc};
 use splitc_vbc::Module;
 use splitc_workloads::{kernel, module_for, table1_kernels, Kernel};
 use std::collections::HashMap;
 use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
 
 /// A reference outcome: what one request must reproduce, bit for bit.
 struct Expected {
@@ -80,6 +82,8 @@ fn request_for(
         options: JitOptions::split(),
         args: prepared.args.clone(),
         mem: ws.into_bytes(),
+        deadline: None,
+        tag: 0,
     }
 }
 
@@ -646,4 +650,184 @@ fn a_flood_racing_shutdown_accounts_for_every_attempt_exactly_once() {
     assert_eq!(stats.rejected_shutdown, rejected_shutdown);
     assert_eq!(stats.completed, accepted, "no accepted request was lost");
     assert_eq!(stats.queue_depth, 0);
+}
+
+/// A kernel that, left alone, spins through hundreds of millions of back
+/// edges — far past any reasonable deadline. The interpreter's fuel cap
+/// would stop it eventually, but only after tens of seconds; a cooperative
+/// cancellation must stop it within milliseconds of the deadline instead.
+fn runaway_module() -> ServeModule {
+    let mut module = compile_source(
+        "fn spin(n: i32, out: *i32) {
+             let acc: i32 = 0;
+             for (let i: i32 = 0; i < n; i = i + 1) { acc = acc + i; }
+             out[0] = acc;
+         }",
+        "runaway",
+    )
+    .expect("runaway kernel compiles");
+    optimize_module(&mut module, &OptOptions::full());
+    ServeModule::new(module)
+}
+
+fn runaway_request(module: &ServeModule, target: &TargetDesc, deadline: Instant) -> Request {
+    Request {
+        module: module.clone(),
+        kernel: "spin".to_owned(),
+        target: target.clone(),
+        options: JitOptions::split(),
+        args: vec![MachineValue::Int(200_000_000), MachineValue::Int(0)],
+        mem: vec![0u8; 64],
+        deadline: Some(deadline),
+        tag: 0,
+    }
+}
+
+#[test]
+fn a_deadline_cancels_a_runaway_kernel_mid_flight() {
+    const N: usize = 32;
+    let runaway = runaway_module();
+    let well_behaved = ServeModule::new(offline(&[kernel("vecadd_f32").unwrap()], "bystander"));
+    let target = TargetDesc::x86_sse();
+    let server = Server::start(
+        ServerConfig::default()
+            .with_workers(2)
+            .with_queue_capacity(8),
+    );
+
+    let started = Instant::now();
+    let doomed = server
+        .submit(runaway_request(
+            &runaway,
+            &target,
+            Instant::now() + Duration::from_millis(50),
+        ))
+        .expect("server is accepting");
+    // A concurrent, unrelated request on the other worker must be entirely
+    // unaffected by the cancellation next door.
+    let bystander = server
+        .submit(request_for(&well_behaved, "vecadd_f32", &target, N, 7))
+        .expect("server is accepting");
+
+    let response = doomed
+        .wait()
+        .expect("a cancelled request is still answered");
+    let elapsed = started.elapsed();
+    assert!(
+        matches!(response.outcome, Err(EngineError::DeadlineExceeded)),
+        "expected DeadlineExceeded, got {:?}",
+        response.outcome
+    );
+    assert!(
+        response.attempts >= 1,
+        "the kernel was genuinely executing when the deadline fired"
+    );
+    // The loop would ride the fuel cap for tens of seconds; the cooperative
+    // check at every back edge must stop it within moments of the 50 ms
+    // deadline. 10 s leaves room for arbitrarily slow debug-build CI while
+    // still being far below fuel exhaustion.
+    assert!(
+        elapsed < Duration::from_secs(10),
+        "cancellation did not interrupt the runaway loop (took {elapsed:?})"
+    );
+
+    let response = bystander.wait().expect("answered");
+    let want = reference(well_behaved.module(), "vecadd_f32", &target, N, 7);
+    assert_eq!(
+        response.outcome.expect("the bystander executes"),
+        want.execution
+    );
+    assert_eq!(response.mem, want.mem);
+
+    let stats = server.shutdown();
+    assert_eq!(stats.accepted, 2);
+    assert_eq!(
+        stats.completed, 2,
+        "a cancelled request still counts as completed"
+    );
+    assert_eq!(stats.cancelled, 1, "exactly the runaway run was cancelled");
+    assert_eq!(
+        stats.expired, 0,
+        "it was cancelled mid-flight, not shed from the queue"
+    );
+}
+
+#[test]
+fn shutdown_with_deadlines_answers_every_accepted_handle_exactly_once() {
+    const N: usize = 32;
+    const EXPIRED: usize = 4;
+    const FRESH: usize = 4;
+    let runaway = runaway_module();
+    let module = ServeModule::new(offline(&[kernel("vecadd_f32").unwrap()], "drain"));
+    let target = TargetDesc::x86_sse();
+    // One worker: the runaway occupies it while everything else queues, so
+    // the drop below races a live in-flight deadline and a queue holding
+    // both already-expired and still-fresh work.
+    let server = Server::start(
+        ServerConfig::default()
+            .with_workers(1)
+            .with_queue_capacity((EXPIRED + FRESH + 1) * 2),
+    );
+
+    let doomed = server
+        .submit(runaway_request(
+            &runaway,
+            &target,
+            Instant::now() + Duration::from_millis(100),
+        ))
+        .expect("server is accepting");
+    let mut expired = Vec::new();
+    for i in 0..EXPIRED {
+        // A deadline that has already passed at submission: the drain must
+        // shed it at dequeue, not run it.
+        let mut request = request_for(&module, "vecadd_f32", &target, N, i as u64);
+        request.deadline = Some(Instant::now());
+        expired.push(server.submit(request).expect("server is accepting"));
+    }
+    let mut fresh = Vec::new();
+    for i in 0..FRESH {
+        let seed = 100 + i as u64;
+        fresh.push((
+            seed,
+            server
+                .submit(request_for(&module, "vecadd_f32", &target, N, seed))
+                .expect("server is accepting"),
+        ));
+    }
+
+    // Pull the plug with the runaway still in flight. The drop must drain:
+    // the watchdog has to outlive the workers so the in-flight deadline can
+    // still cancel the runaway — otherwise this drop deadlocks.
+    drop(server);
+
+    let response = doomed.wait().expect("the in-flight request is answered");
+    assert!(
+        matches!(response.outcome, Err(EngineError::DeadlineExceeded)),
+        "expected the runaway to be cancelled, got {:?}",
+        response.outcome
+    );
+    assert!(response.attempts >= 1, "it was executing when cancelled");
+
+    for handle in expired {
+        let response = handle.wait().expect("an expired request is answered");
+        assert!(
+            matches!(response.outcome, Err(EngineError::DeadlineExceeded)),
+            "expected an expired-in-queue shed, got {:?}",
+            response.outcome
+        );
+        assert_eq!(
+            response.attempts, 0,
+            "a request shed at dequeue never reaches execution"
+        );
+    }
+    for (seed, handle) in fresh {
+        let response = handle.wait().expect("a fresh request is answered");
+        let run = response.outcome.expect("a fresh request executes");
+        let want = reference(module.module(), "vecadd_f32", &target, N, seed);
+        assert_eq!(run, want.execution, "drain changed a served measurement");
+        assert_eq!(
+            response.mem, want.mem,
+            "drain changed a served memory image"
+        );
+    }
 }
