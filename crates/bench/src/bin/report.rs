@@ -15,9 +15,13 @@
 //! `--json <path>` additionally runs the machine-readable perf trajectory
 //! and writes it to `path` — by convention `BENCH_sweep.json` at the repo
 //! root, so successive PRs accumulate comparable numbers. The trajectory has
-//! three sections: the sweep rows (table1 kernels × the full preset target
+//! four sections: the sweep rows (table1 kernels × the full preset target
 //! catalogue, sequential and parallel: ns/iter, per-cell simulated cycles,
-//! engine cache stats); the `serving` rows (the same mixed-module traffic
+//! engine cache stats); the `timing` rows (the same kernels × targets run
+//! under the flat cost tier and the in-order pipeline tier on one shared
+//! deployment: instructions, cycles and CPI per tier, plus the pipeline's
+//! stall/mispredict/predicted counters — checksums asserted bit-identical
+//! across tiers before a row is emitted); the `serving` rows (the same mixed-module traffic
 //! pushed through the sharded request queue at 1 and 4 workers, a
 //! 10⁵-request soak, and a chaos soak under the stock seeded fault plan:
 //! requests/s, queue high water, queue-wait and execute latency quantiles,
@@ -34,12 +38,14 @@ use splitc::serve::{
     default_chaos_plan, run_chaos, run_load, run_soak, Histogram, LoadConfig, LoadReport,
     ServerStats, EMPTY_QUANTILE,
 };
+use splitc::splitc_jit::JitOptions;
 use splitc::splitc_opt::{optimize_module, OptOptions};
 use splitc::splitc_runtime::Platform;
 use splitc::splitc_targets::TargetDesc;
+use splitc::splitc_targets::TimingKind;
 use splitc::splitc_workloads::{module_for, table1_kernels};
 use splitc::sweep::{sweep_engine, SweepConfig, SweepResult};
-use splitc::ExecutionEngine;
+use splitc::{checksum, prepare, ExecutionEngine, FramePool, Workspace};
 use splitc_bench::dispatch;
 use std::process::ExitCode;
 use std::time::Instant;
@@ -181,6 +187,70 @@ fn sweep_to_json(jobs: usize, result: &SweepResult, elapsed_ns: f64) -> String {
         result.online_work,
         detail,
     )
+}
+
+/// Per-(kernel, target) CPI rows comparing the flat cost tier against the
+/// in-order pipeline tier: one shared deployment (the engine compiles one
+/// variant per tier — the timing kind feeds the target fingerprint), the same
+/// seeded inputs on both sides, and the checksums asserted bit-identical
+/// before a row is emitted, so the rows can only ever differ in timing.
+fn timing_to_json(n: usize) -> Result<String, Box<dyn std::error::Error>> {
+    let kernels = table1_kernels();
+    let mut module = module_for(&kernels, "bench-timing")?;
+    optimize_module(&mut module, &OptOptions::full());
+    let engine = ExecutionEngine::new(module);
+    let options = JitOptions::split();
+    let mut pool = FramePool::new();
+    let mut ws = Workspace::sized_for(n);
+    let mut rows = Vec::new();
+    for kernel in &kernels {
+        for target in TargetDesc::presets() {
+            let pipe_target = target.clone().with_timing(TimingKind::InOrder);
+            ws.reset();
+            let inputs = prepare(kernel.name, n, 0, &mut ws);
+            let flat = engine.run_pooled(
+                &target,
+                &options,
+                kernel.name,
+                &inputs.args,
+                ws.bytes_mut(),
+                &mut pool,
+            )?;
+            let flat_sum = checksum(flat.result, &inputs, &ws);
+            ws.reset();
+            let inputs = prepare(kernel.name, n, 0, &mut ws);
+            let pipe = engine.run_pooled(
+                &pipe_target,
+                &options,
+                kernel.name,
+                &inputs.args,
+                ws.bytes_mut(),
+                &mut pool,
+            )?;
+            let pipe_sum = checksum(pipe.result, &inputs, &ws);
+            assert_eq!(
+                flat_sum, pipe_sum,
+                "{} on {}: timing tiers must be architecturally bit-identical",
+                kernel.name, target.name
+            );
+            let inst = flat.stats.instructions.max(1) as f64;
+            rows.push(format!(
+                "    {{\"kernel\": \"{}\", \"target\": \"{}\", \"instructions\": {}, \"checksum\": \"{:016x}\", \"flat\": {{\"cycles\": {}, \"cpi\": {:.3}}}, \"pipelined\": {{\"cycles\": {}, \"cpi\": {:.3}, \"stalls\": {}, \"mispredicts\": {}, \"predicted\": {}}}}}",
+                json_escape(kernel.name),
+                json_escape(&target.name),
+                flat.stats.instructions,
+                flat_sum,
+                flat.stats.cycles,
+                flat.stats.cycles as f64 / inst,
+                pipe.stats.cycles,
+                pipe.stats.cycles as f64 / inst,
+                pipe.stats.stalls,
+                pipe.stats.mispredicts,
+                pipe.stats.predicted,
+            ));
+        }
+    }
+    Ok(rows.join(",\n"))
 }
 
 /// Requests per serving row in the `--json` perf trajectory: one request per
@@ -356,10 +426,13 @@ fn write_sweep_json(path: &str, n: usize) -> Result<(), Box<dyn std::error::Erro
     // The dispatch trajectory: the tight-loop kernel three ways, the
     // headline of `benches/simulator.rs`.
     let dispatch_row = dispatch_to_json(&dispatch::measure(JSON_DISPATCH_RUNS));
+    // The timing trajectory: flat vs in-order pipeline CPI per cell.
+    let timing_rows = timing_to_json(n)?;
     let host_cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
     let json = format!(
-        "{{\n  \"schema\": \"splitc-bench-sweep/5\",\n  \"n\": {n},\n  \"repeats\": {JSON_SWEEP_REPEATS},\n  \"host_cores\": {host_cores},\n  \"sweeps\": [\n{}\n  ],\n  \"serving\": [\n{}\n  ],\n  \"dispatch\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"schema\": \"splitc-bench-sweep/6\",\n  \"n\": {n},\n  \"repeats\": {JSON_SWEEP_REPEATS},\n  \"host_cores\": {host_cores},\n  \"sweeps\": [\n{}\n  ],\n  \"timing\": [\n{}\n  ],\n  \"serving\": [\n{}\n  ],\n  \"dispatch\": [\n{}\n  ]\n}}\n",
         sweeps.join(",\n"),
+        timing_rows,
         serving.join(",\n"),
         dispatch_row,
     );

@@ -5,7 +5,7 @@
 //! splitc dis <module.svbc>
 //! splitc targets
 //! splitc run <module.svbc|kernels.mc> --kernel <fn> --target <name> [--arg i:<int>|f:<float>]...
-//! splitc disasm <catalogue-kernel|module.svbc|kernels.mc> [--target <name>] [--no-fuse]
+//! splitc disasm <catalogue-kernel|module.svbc|kernels.mc> [--target <name>] [--timing flat|in-order] [--no-fuse]
 //! splitc bench <catalogue-kernel> [--n <elems>] [--target <name>] [--jobs <N>] [--repeats <R>]
 //! splitc serve-bench [--n <elems>] [--requests <R>] [--workers <N>] [--queue <Q>] [--cache-cap <C>] [--max-batch <B>] [--seed <S>] [--soak | --chaos]
 //! ```
@@ -19,9 +19,13 @@
 //! * `disasm` runs the whole pipeline up to (but not including) execution and
 //!   prints the deploy-time artifact the executor actually dispatches: the
 //!   prepared instruction stream with resolved block offsets, per-instruction
-//!   cycle costs, per-region fuel charges, and — unless `--no-fuse` is given —
-//!   the fused macro-ops with their constituent spans. This is the debugging
-//!   surface for fusion decisions.
+//!   cycle costs, per-region fuel-and-prepaid-cycle charges, and — unless
+//!   `--no-fuse` is given — the fused macro-ops with their constituent spans.
+//!   `--timing in-order` prepares under the pipelined timing tier instead:
+//!   the stream drops to the metered loop (region prepayment is flat-only)
+//!   and every op is annotated with its latency class, so stall attribution
+//!   is inspectable. This is the debugging surface for fusion and cost
+//!   decisions.
 //! * `bench` prepares one of the workload-catalogue kernels (which take
 //!   pointer arguments) with generated data and reports simulated cycles on
 //!   the chosen target, or on all Table 1 targets when none is given. The
@@ -57,14 +61,14 @@
 use splitc::serve::{default_chaos_plan, run_chaos, run_load, run_soak, LoadConfig};
 use splitc::splitc_jit::JitOptions;
 use splitc::splitc_opt::OptOptions;
-use splitc::splitc_targets::{MachineValue, TargetDesc};
+use splitc::splitc_targets::{MachineValue, TargetDesc, TimingKind};
 use splitc::splitc_vbc::{decode_module, encode_module, Module};
 use splitc::sweep::{sweep_kernels, SweepConfig};
 use splitc::{fmt_cache_line, offline_compile, run_on_target, Workspace};
 use std::process::ExitCode;
 
 fn usage() -> &'static str {
-    "usage:\n  splitc build <kernels.mc> -o <module.svbc> [--no-vectorize] [--strip]\n  splitc dis <module.svbc>\n  splitc targets\n  splitc run <module.svbc|kernels.mc> --kernel <fn> --target <name> [--arg i:<int>|f:<float>]...\n  splitc disasm <catalogue-kernel|module.svbc|kernels.mc> [--target <name>] [--no-fuse]\n  splitc bench <kernel> [--n <elems>] [--target <name>] [--jobs <N>] [--repeats <R>]\n  splitc serve-bench [--n <elems>] [--requests <R>] [--workers <N>] [--queue <Q>] [--cache-cap <C>] [--max-batch <B>] [--seed <S>] [--soak | --chaos]"
+    "usage:\n  splitc build <kernels.mc> -o <module.svbc> [--no-vectorize] [--strip]\n  splitc dis <module.svbc>\n  splitc targets\n  splitc run <module.svbc|kernels.mc> --kernel <fn> --target <name> [--arg i:<int>|f:<float>]...\n  splitc disasm <catalogue-kernel|module.svbc|kernels.mc> [--target <name>] [--timing flat|in-order] [--no-fuse]\n  splitc bench <kernel> [--n <elems>] [--target <name>] [--jobs <N>] [--repeats <R>]\n  splitc serve-bench [--n <elems>] [--requests <R>] [--workers <N>] [--queue <Q>] [--cache-cap <C>] [--max-batch <B>] [--seed <S>] [--soak | --chaos]"
 }
 
 /// Parse one `--arg` value of the form `i:<integer>` or `f:<float>`.
@@ -80,6 +84,17 @@ fn parse_arg(text: &str) -> Result<MachineValue, String> {
             .map_err(|e| format!("bad float argument `{v}`: {e}")),
         _ => Err(format!(
             "argument `{text}` must look like i:<int> or f:<float>"
+        )),
+    }
+}
+
+/// Parse a `--timing` value into a timing tier.
+fn parse_timing(text: &str) -> Result<TimingKind, String> {
+    match text {
+        "flat" => Ok(TimingKind::Flat),
+        "in-order" | "inorder" | "pipelined" => Ok(TimingKind::InOrder),
+        other => Err(format!(
+            "unknown timing model `{other}` (expected flat or in-order)"
         )),
     }
 }
@@ -201,8 +216,13 @@ fn cmd_run(mut args: Vec<String>) -> Result<(), String> {
 
 fn cmd_disasm(mut args: Vec<String>) -> Result<(), String> {
     let target_name = take_flag(&mut args, "--target").unwrap_or_else(|| "x86-sse".to_owned());
+    let timing = take_flag(&mut args, "--timing")
+        .map(|s| parse_timing(&s))
+        .transpose()?
+        .unwrap_or_default();
     let target = TargetDesc::preset(&target_name)
-        .ok_or_else(|| format!("unknown target `{target_name}` (see `splitc targets`)"))?;
+        .ok_or_else(|| format!("unknown target `{target_name}` (see `splitc targets`)"))?
+        .with_timing(timing);
     let fuse = !take_switch(&mut args, "--no-fuse");
     let input = args
         .first()
@@ -262,8 +282,8 @@ fn cmd_bench(mut args: Vec<String>) -> Result<(), String> {
         sweep_kernels(&[kernel], &targets, &cfg).map_err(|e| format!("sweep failed: {e}"))?;
     for cell in result.cells.iter().filter(|c| c.repeat == 0) {
         println!(
-            "{:<12} n={n}  cycles={}  checksum={:016x}",
-            cell.target, cell.cycles, cell.checksum
+            "{:<12} n={n}  cycles={}  scaled={:.1}  checksum={:016x}",
+            cell.target, cell.cycles, cell.scaled_cycles, cell.checksum
         );
     }
     println!("{}", fmt_cache_line(&result.cache));
@@ -507,6 +527,20 @@ mod tests {
         assert!(cmd_disasm(vec!["saxpy_f32".into(), "--target".into(), "vax".into()]).is_err());
         assert!(cmd_disasm(vec!["no_such_kernel_or_file".into()]).is_err());
         assert!(cmd_disasm(vec![]).is_err());
+    }
+
+    #[test]
+    fn disasm_annotates_latency_classes_under_the_pipelined_tier() {
+        cmd_disasm(vec![
+            "saxpy_f32".into(),
+            "--timing".into(),
+            "in-order".into(),
+        ])
+        .expect("pipelined disasm succeeds");
+        assert!(parse_timing("flat").is_ok());
+        assert_eq!(parse_timing("in-order").unwrap(), TimingKind::InOrder);
+        assert!(parse_timing("ooo").is_err());
+        assert!(cmd_disasm(vec!["saxpy_f32".into(), "--timing".into(), "ooo".into()]).is_err());
     }
 
     #[test]

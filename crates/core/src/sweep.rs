@@ -324,6 +324,50 @@ mod tests {
     }
 
     #[test]
+    fn sweep_cells_apply_the_per_target_clock_factor() {
+        let kernels = &table1_kernels()[..2];
+        let targets = TargetDesc::presets();
+        let result = sweep_kernels(kernels, &targets, &SweepConfig::new(48)).unwrap();
+        for cell in &result.cells {
+            let target = targets.iter().find(|t| t.name == cell.target).unwrap();
+            let expect = target.scaled_time(cell.cycles);
+            assert!(
+                (cell.scaled_cycles - expect).abs() < 1e-9,
+                "{}/{}: scaled_cycles {} != scaled_time({}) = {}",
+                cell.kernel,
+                cell.target,
+                cell.scaled_cycles,
+                cell.cycles,
+                expect
+            );
+        }
+    }
+
+    #[test]
+    fn timing_tiers_agree_on_checksums_and_differ_only_in_timing_stats() {
+        use splitc_targets::TimingKind;
+        let kernels = &table1_kernels()[..2];
+        let flat = TargetDesc::table1_targets();
+        let pipe: Vec<TargetDesc> = flat
+            .iter()
+            .map(|t| t.clone().with_timing(TimingKind::InOrder))
+            .collect();
+        let a = sweep_kernels(kernels, &flat, &SweepConfig::new(64)).unwrap();
+        let b = sweep_kernels(kernels, &pipe, &SweepConfig::new(64)).unwrap();
+        // Architectural results are bit-identical across timing tiers. The
+        // cycle totals legitimately differ in either direction: the pipeline
+        // retires one op per cycle plus stalls, while flat sums per-op costs.
+        assert_eq!(a.checksums(), b.checksums());
+        assert!(
+            a.cells
+                .iter()
+                .zip(&b.cells)
+                .any(|(ca, cb)| ca.cycles != cb.cycles),
+            "the two tiers should not price every cell identically"
+        );
+    }
+
+    #[test]
     fn recorded_jobs_is_the_actual_pool_width() {
         let kernels = table1_kernels();
         let targets = TargetDesc::table1_targets();

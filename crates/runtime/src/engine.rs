@@ -816,7 +816,7 @@ pub(crate) fn simulate(
         result,
         stats,
         jit: compiled.jit,
-        scaled_cycles: stats.cycles as f64 * target.clock_scale,
+        scaled_cycles: target.scaled_time(stats.cycles),
     })
 }
 
@@ -843,6 +843,72 @@ mod tests {
     fn engine_is_send_and_sync() {
         fn assert_send_sync<T: Send + Sync>() {}
         assert_send_sync::<ExecutionEngine>();
+    }
+
+    #[test]
+    fn scaled_cycles_apply_the_per_target_clock_factor() {
+        let engine = deployed();
+        let options = JitOptions::split();
+        let mut mem = vec![0u8; 256];
+        for target in splitc_targets::TargetDesc::presets() {
+            let run = engine
+                .run(
+                    &target,
+                    &options,
+                    "triple",
+                    &[MachineValue::Int(7)],
+                    &mut mem,
+                )
+                .unwrap();
+            let expect = target.scaled_time(run.stats.cycles);
+            assert!(
+                (run.scaled_cycles - expect).abs() < 1e-9,
+                "{}: scaled_cycles {} != scaled_time {}",
+                target.name,
+                run.scaled_cycles,
+                expect
+            );
+            assert!(
+                (expect - run.stats.cycles as f64 * target.clock_scale).abs() < 1e-9,
+                "{}: scaled_time disagrees with the clock factor",
+                target.name
+            );
+        }
+    }
+
+    #[test]
+    fn timing_tiers_compile_separately_but_agree_architecturally() {
+        use splitc_targets::TimingKind;
+        let engine = deployed();
+        let options = JitOptions::split();
+        let flat = TargetDesc::x86_sse();
+        let pipe = TargetDesc::x86_sse().with_timing(TimingKind::InOrder);
+        let mut mem_a = vec![0u8; 256];
+        let mut mem_b = mem_a.clone();
+        let a = engine
+            .run(
+                &flat,
+                &options,
+                "triple",
+                &[MachineValue::Int(9)],
+                &mut mem_a,
+            )
+            .unwrap();
+        let b = engine
+            .run(
+                &pipe,
+                &options,
+                "triple",
+                &[MachineValue::Int(9)],
+                &mut mem_b,
+            )
+            .unwrap();
+        assert_eq!(a.result, b.result);
+        assert_eq!(mem_a, mem_b);
+        assert_eq!(a.stats.instructions, b.stats.instructions);
+        assert!(b.stats.cycles >= b.stats.instructions);
+        // Distinct fingerprints: the engine compiled one variant per tier.
+        assert_eq!(engine.stats().compiles, 2);
     }
 
     #[test]

@@ -12,9 +12,27 @@
 //! reproduction is the *relative* behaviour between targets and between
 //! scalar and vectorized code.
 
+use crate::timing::TimingKind;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::sync::OnceLock;
+
+/// Pipeline-depth-class cycles a GPU front end needs to refill after a taken
+/// scalar branch redirects fetch (the warp scheduler re-primes the issue
+/// stage from the instruction cache).
+const GPU_FRONTEND_REFILL: u64 = 8;
+
+/// Extra scheduler passes a diverged warp pays to execute both sides of a
+/// split and reconverge at the immediate post-dominator: two passes at the
+/// GPU's 2-cycle scalar issue rate.
+const GPU_RECONVERGE_PASSES: u64 = 2 * 2;
+
+/// Taken-branch (divergence) cost of the GPU-style core, derived from its
+/// timing parameters instead of hand-tuned: a taken scalar branch pays the
+/// front-end refill plus the warp-reconvergence passes. This is the value the
+/// in-order timing tier also derives its misprediction penalty from, so the
+/// flat cost table and the pipelined model price divergence consistently.
+pub const GPU_DIVERGENCE_PENALTY: u64 = GPU_FRONTEND_REFILL + GPU_RECONVERGE_PASSES;
 
 /// Description of a SIMD unit.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
@@ -112,8 +130,15 @@ pub struct TargetDesc {
     /// Per-operation costs.
     pub cost: CostModel,
     /// Relative clock-speed factor applied when converting cycles to time in
-    /// the heterogeneous runtime (1.0 = the x86 reference clock).
+    /// the heterogeneous runtime (1.0 = the x86 reference clock). Every
+    /// reporting path must convert through [`TargetDesc::scaled_time`] so the
+    /// factor is applied consistently.
     pub clock_scale: f64,
+    /// Which timing model the simulator charges cycles through (defaults to
+    /// [`TimingKind::Flat`], the differential reference). Feeds the
+    /// fingerprint: the same core with a different timing tier compiles and
+    /// caches separately.
+    pub timing: TimingKind,
 }
 
 impl TargetDesc {
@@ -124,7 +149,7 @@ impl TargetDesc {
 
     /// A stable fingerprint of everything that influences code generation and
     /// simulation for this target: name, register files, SIMD unit, cost
-    /// model and clock scale.
+    /// model, clock scale and timing tier.
     ///
     /// Two targets with equal fingerprints compile to interchangeable machine
     /// code, which is what lets an execution cache share compiled programs
@@ -171,7 +196,24 @@ impl TargetDesc {
             mix(&field.to_le_bytes());
         }
         mix(&self.clock_scale.to_bits().to_le_bytes());
+        mix(&[self.timing.tag()]);
         acc.finish()
+    }
+
+    /// Convert simulated `cycles` on this target into relative time units
+    /// (x86 reference cycles): the **single** cycles→time conversion every
+    /// reporting path (sweep cells, bench rows, CPI tables) must go through,
+    /// so the per-target clock factor cannot be applied inconsistently.
+    pub fn scaled_time(&self, cycles: u64) -> f64 {
+        cycles as f64 * self.clock_scale
+    }
+
+    /// This target with a different timing tier (same core otherwise). The
+    /// fingerprint changes, so engines compile and cache it separately.
+    #[must_use]
+    pub fn with_timing(mut self, timing: TimingKind) -> Self {
+        self.timing = timing;
+        self
     }
 
     /// Width in bytes of the vector registers the JIT may use (0 without SIMD).
@@ -189,6 +231,7 @@ impl TargetDesc {
             vector: Some(VectorUnit { bytes: 16, regs: 8 }),
             cost: CostModel::default(),
             clock_scale: 1.0,
+            timing: TimingKind::Flat,
         }
     }
 
@@ -224,6 +267,7 @@ impl TargetDesc {
                 spill_load: 6,
             },
             clock_scale: 2.4,
+            timing: TimingKind::Flat,
         }
     }
 
@@ -258,6 +302,7 @@ impl TargetDesc {
                 spill_load: 4,
             },
             clock_scale: 1.8,
+            timing: TimingKind::Flat,
         }
     }
 
@@ -294,6 +339,7 @@ impl TargetDesc {
                 spill_load: 4,
             },
             clock_scale: 2.0,
+            timing: TimingKind::Flat,
         }
     }
 
@@ -327,6 +373,7 @@ impl TargetDesc {
                 spill_load: 6,
             },
             clock_scale: 1.0,
+            timing: TimingKind::Flat,
         }
     }
 
@@ -364,6 +411,7 @@ impl TargetDesc {
                 spill_load: 2,
             },
             clock_scale: 1.0,
+            timing: TimingKind::Flat,
         }
     }
 
@@ -397,6 +445,7 @@ impl TargetDesc {
                 spill_load: 2,
             },
             clock_scale: 3.0,
+            timing: TimingKind::Flat,
         }
     }
 
@@ -435,6 +484,7 @@ impl TargetDesc {
                 spill_load: 5,
             },
             clock_scale: 2.2,
+            timing: TimingKind::Flat,
         }
     }
 
@@ -464,7 +514,7 @@ impl TargetDesc {
                 store: 4,
                 mov: 1,
                 convert: 2,
-                branch_taken: 12, // divergence penalty
+                branch_taken: GPU_DIVERGENCE_PENALTY, // derived above: refill + reconvergence
                 branch_not_taken: 2,
                 vec_op: 1,
                 vec_load: 2, // coalesced
@@ -475,6 +525,7 @@ impl TargetDesc {
                 spill_load: 6,
             },
             clock_scale: 1.4,
+            timing: TimingKind::Flat,
         }
     }
 
@@ -681,6 +732,52 @@ mod tests {
             t.cost.vec_load < t.cost.load,
             "coalesced vector access beats scalar global-memory access"
         );
+    }
+
+    #[test]
+    fn timing_tier_defaults_to_flat_and_feeds_the_fingerprint() {
+        for t in TargetDesc::presets() {
+            assert_eq!(t.timing, TimingKind::Flat, "{}", t.name);
+            let pipelined = t.clone().with_timing(TimingKind::InOrder);
+            assert_ne!(
+                t.fingerprint(),
+                pipelined.fingerprint(),
+                "{}: engine caches must distinguish timing tiers",
+                t.name
+            );
+            // Same core otherwise: only the tier selector differs.
+            assert_eq!(t.cost, pipelined.cost);
+            assert_eq!(t.name, pipelined.name);
+        }
+    }
+
+    #[test]
+    fn scaled_time_applies_the_clock_factor_consistently() {
+        // Pin the single cycles→time conversion every reporting path uses.
+        for t in TargetDesc::presets() {
+            assert!((t.scaled_time(1000) - 1000.0 * t.clock_scale).abs() < 1e-9);
+            assert_eq!(t.scaled_time(0), 0.0);
+        }
+        // x86 is the reference clock: scaled time == cycles.
+        let x86 = TargetDesc::x86_sse();
+        assert!((x86.scaled_time(12345) - 12345.0).abs() < 1e-9);
+        // A slower clock stretches time by exactly its factor.
+        let dsp = TargetDesc::dsp();
+        assert!((dsp.scaled_time(100) - 300.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn gpu_divergence_penalty_is_derived_not_hand_tuned() {
+        let gpu = TargetDesc::gpu_wide();
+        assert_eq!(gpu.cost.branch_taken, GPU_DIVERGENCE_PENALTY);
+        assert_eq!(
+            GPU_DIVERGENCE_PENALTY,
+            GPU_FRONTEND_REFILL + GPU_RECONVERGE_PASSES,
+            "front-end refill plus warp-reconvergence passes"
+        );
+        // The derivation preserves the historical flat value, so fingerprints
+        // and every pinned cycle count are unchanged.
+        assert_eq!(GPU_DIVERGENCE_PENALTY, 12);
     }
 
     #[test]

@@ -1069,6 +1069,8 @@ fn h_call(op: &OpRecord, cx: &mut ExecCtx<'_>, pc: u32) -> u64 {
         });
     }
     cx.stats.cycles += u64::from(op.f);
+    // The threaded stream is only built under flat timing (region prepayment
+    // sums static charges), so the nested call charges flat too.
     let out = tryh!(
         cx,
         pc,
@@ -1079,7 +1081,8 @@ fn h_call(op: &OpRecord, cx: &mut ExecCtx<'_>, pc: u32) -> u64 {
             cx.pool,
             cx.fuel,
             cx.depth + 1,
-            cx.stats
+            cx.stats,
+            &mut crate::timing::FlatCost,
         )
     );
     cx.pool.give_argv(argv);

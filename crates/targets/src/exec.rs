@@ -80,6 +80,7 @@ use crate::simulator::{
     write_lane_float, write_lane_int, write_mem, MachineValue, SimError, SimStats,
     DEFAULT_SIM_FUEL, MAX_CALL_DEPTH,
 };
+use crate::timing::{FlatCost, InOrderPipeline, LatClass, TimingKind, TimingModel, NO_REG};
 use std::collections::HashMap;
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -451,6 +452,19 @@ pub(crate) enum PInst {
 const _: () = assert!(std::mem::size_of::<PInst>() <= 32);
 const _: () = assert!(std::mem::size_of::<OpRecord>() <= 32);
 
+/// Scoreboard key of a flat *integer*-file register index for the timing
+/// model (see [`crate::timing::InOrderPipeline`]).
+#[inline(always)]
+fn ik(r: u32) -> u32 {
+    r << 1
+}
+
+/// Scoreboard key of a flat *float*-file register index for the timing model.
+#[inline(always)]
+fn fk(r: u32) -> u32 {
+    (r << 1) | 1
+}
+
 /// One function of a [`PreparedProgram`]: a flat, pre-validated instruction
 /// stream, the threaded dispatch stream lowered from it, and the frame layout
 /// it needs.
@@ -497,9 +511,14 @@ pub struct PreparedProgram {
     pub(crate) vec_bytes_total: usize,
     pub(crate) vector_bytes: usize,
     pub(crate) cost: CostModel,
+    /// Timing tier copied from the target at prepare time; selects which
+    /// [`TimingModel`] the run entries instantiate.
+    pub(crate) timing: TimingKind,
     /// `false` when the target's shape cannot be packed into 32-byte operand
-    /// records (oversized custom cost model or vector file); the metered
-    /// enum stream then runs everywhere, preserving exact semantics.
+    /// records (oversized custom cost model or vector file), **or** when the
+    /// target's timing tier is not flat: region prepayment sums static per-op
+    /// cycle charges, which is only sound when cycles are a pure per-op
+    /// accumulator. Pipelined timing always runs the metered enum stream.
     pub(crate) threaded: bool,
     fused: bool,
     fusion: FusionStats,
@@ -557,8 +576,9 @@ impl PreparedProgram {
         // The packed operand records hold register/byte offsets in 16 bits
         // and baked costs in 32; a (hand-built) target outside those bounds
         // falls back to the metered stream rather than mis-packing.
-        let threaded =
-            vec_bytes_total <= usize::from(u16::MAX) + 1 && dispatch::costs_fit_u32(&target.cost);
+        let threaded = vec_bytes_total <= usize::from(u16::MAX) + 1
+            && dispatch::costs_fit_u32(&target.cost)
+            && target.timing == TimingKind::Flat;
         let mut fusion = FusionStats::default();
         let mut functions = Vec::with_capacity(program.functions.len());
         for f in &program.functions {
@@ -577,6 +597,7 @@ impl PreparedProgram {
             vec_bytes_total,
             vector_bytes: layout.vector_bytes,
             cost: target.cost,
+            timing: target.timing,
             threaded,
             fused: fuse,
             fusion,
@@ -640,7 +661,20 @@ impl PreparedProgram {
             .function_index(func)
             .ok_or_else(|| SimError::UnknownFunction(func.to_owned()))?;
         let mut fuel = fuel;
-        self.exec(fi, args, mem, pool, &mut fuel, 0, stats)
+        match self.timing {
+            TimingKind::Flat => {
+                let mut tm = FlatCost;
+                let r = self.exec(fi, args, mem, pool, &mut fuel, 0, stats, &mut tm);
+                tm.finish(stats);
+                r
+            }
+            TimingKind::InOrder => {
+                let mut tm = InOrderPipeline::new(&self.cost);
+                let r = self.exec(fi, args, mem, pool, &mut fuel, 0, stats, &mut tm);
+                tm.finish(stats);
+                r
+            }
+        }
     }
 
     /// Execute `func` on the metered per-instruction enum stream — the
@@ -664,11 +698,24 @@ impl PreparedProgram {
             .function_index(func)
             .ok_or_else(|| SimError::UnknownFunction(func.to_owned()))?;
         let mut fuel = fuel;
-        self.exec_metered(fi, args, mem, pool, &mut fuel, 0, stats)
+        match self.timing {
+            TimingKind::Flat => {
+                let mut tm = FlatCost;
+                let r = self.exec_metered(fi, args, mem, pool, &mut fuel, 0, stats, &mut tm);
+                tm.finish(stats);
+                r
+            }
+            TimingKind::InOrder => {
+                let mut tm = InOrderPipeline::new(&self.cost);
+                let r = self.exec_metered(fi, args, mem, pool, &mut fuel, 0, stats, &mut tm);
+                tm.finish(stats);
+                r
+            }
+        }
     }
 
     #[allow(clippy::too_many_arguments)]
-    pub(crate) fn exec(
+    pub(crate) fn exec<T: TimingModel>(
         &self,
         fi: usize,
         args: &[MachineValue],
@@ -677,6 +724,7 @@ impl PreparedProgram {
         fuel: &mut u64,
         depth: usize,
         stats: &mut SimStats,
+        tm: &mut T,
     ) -> Result<Option<MachineValue>, SimError> {
         if depth > MAX_CALL_DEPTH {
             return Err(SimError::Trap("call depth exceeded".into()));
@@ -694,13 +742,13 @@ impl PreparedProgram {
             self.vec_bytes_total,
             f.num_slots,
         );
-        let result = self.exec_in_frame(f, &mut frame, args, mem, pool, fuel, depth, stats);
+        let result = self.exec_in_frame(f, &mut frame, args, mem, pool, fuel, depth, stats, tm);
         pool.release(frame);
         result
     }
 
     #[allow(clippy::too_many_arguments)]
-    fn exec_metered(
+    fn exec_metered<T: TimingModel>(
         &self,
         fi: usize,
         args: &[MachineValue],
@@ -709,6 +757,7 @@ impl PreparedProgram {
         fuel: &mut u64,
         depth: usize,
         stats: &mut SimStats,
+        tm: &mut T,
     ) -> Result<Option<MachineValue>, SimError> {
         if depth > MAX_CALL_DEPTH {
             return Err(SimError::Trap("call depth exceeded".into()));
@@ -727,7 +776,7 @@ impl PreparedProgram {
             f.num_slots,
         );
         let result = write_params(f, &mut frame, args)
-            .and_then(|()| self.run_enum(f, &mut frame, mem, pool, fuel, depth, stats, 0));
+            .and_then(|()| self.run_enum(f, &mut frame, mem, pool, fuel, depth, stats, 0, tm));
         pool.release(frame);
         result
     }
@@ -737,7 +786,7 @@ impl PreparedProgram {
     /// region's charge no longer fits the remaining fuel (the metered loop
     /// then reproduces exact legacy out-of-fuel timing).
     #[allow(clippy::too_many_arguments)]
-    fn exec_in_frame(
+    fn exec_in_frame<T: TimingModel>(
         &self,
         f: &PreparedFunction,
         frame: &mut Frame,
@@ -747,6 +796,7 @@ impl PreparedProgram {
         fuel: &mut u64,
         depth: usize,
         stats: &mut SimStats,
+        tm: &mut T,
     ) -> Result<Option<MachineValue>, SimError> {
         write_params(f, frame, args)?;
         if self.threaded {
@@ -761,13 +811,21 @@ impl PreparedProgram {
                     self, f, frame, mem, pool, fuel, depth, stats, entry_pc,
                 )? {
                     Threaded::Done(v) => Ok(v),
-                    Threaded::Deopt(enum_pc) => {
-                        self.run_enum(f, frame, mem, pool, fuel, depth, stats, enum_pc as usize)
-                    }
+                    Threaded::Deopt(enum_pc) => self.run_enum(
+                        f,
+                        frame,
+                        mem,
+                        pool,
+                        fuel,
+                        depth,
+                        stats,
+                        enum_pc as usize,
+                        tm,
+                    ),
                 };
             }
         }
-        self.run_enum(f, frame, mem, pool, fuel, depth, stats, 0)
+        self.run_enum(f, frame, mem, pool, fuel, depth, stats, 0, tm)
     }
 
     /// The metered per-instruction interpreter over the enum stream, charging
@@ -776,7 +834,7 @@ impl PreparedProgram {
     /// [`PreparedProgram::run_metered`]) and the post-deopt tail otherwise;
     /// calls made from metered code stay metered all the way down.
     #[allow(clippy::too_many_arguments, clippy::too_many_lines)]
-    fn run_enum(
+    fn run_enum<T: TimingModel>(
         &self,
         f: &PreparedFunction,
         frame: &mut Frame,
@@ -786,6 +844,7 @@ impl PreparedProgram {
         depth: usize,
         stats: &mut SimStats,
         start: usize,
+        tm: &mut T,
     ) -> Result<Option<MachineValue>, SimError> {
         let cost = &self.cost;
         let vb = self.vector_bytes;
@@ -809,24 +868,24 @@ impl PreparedProgram {
             match inst {
                 PInst::Imm { dst, value } => {
                     frame.int[*dst as usize] = *value;
-                    stats.cycles += cost.mov;
+                    tm.op(stats, LatClass::Mov, cost.mov, ik(*dst), NO_REG, NO_REG);
                 }
                 PInst::FImm { dst, value } => {
                     frame.float[*dst as usize] = *value;
-                    stats.cycles += cost.mov;
+                    tm.op(stats, LatClass::Mov, cost.mov, fk(*dst), NO_REG, NO_REG);
                 }
                 PInst::MovInt { dst, src } => {
                     frame.int[*dst as usize] = frame.int[*src as usize];
-                    stats.cycles += cost.mov;
+                    tm.op(stats, LatClass::Mov, cost.mov, ik(*dst), ik(*src), NO_REG);
                 }
                 PInst::MovFloat { dst, src } => {
                     frame.float[*dst as usize] = frame.float[*src as usize];
-                    stats.cycles += cost.mov;
+                    tm.op(stats, LatClass::Mov, cost.mov, fk(*dst), fk(*src), NO_REG);
                 }
                 PInst::MovVec { dst, src } => {
                     let (d, s) = (*dst as usize, *src as usize);
                     frame.vec.copy_within(s..s + vb, d);
-                    stats.cycles += cost.mov;
+                    tm.op(stats, LatClass::Mov, cost.mov, NO_REG, NO_REG, NO_REG);
                 }
                 PInst::IntOp {
                     op,
@@ -840,7 +899,12 @@ impl PreparedProgram {
                     let a = frame.int[*lhs as usize];
                     let b = frame.int[*rhs as usize];
                     frame.int[*dst as usize] = alu(*op, *width, *signed, a, b)?;
-                    stats.cycles += cost;
+                    let class = match op {
+                        AluOp::Mul => LatClass::Mul,
+                        AluOp::Div | AluOp::Rem => LatClass::Div,
+                        _ => LatClass::Alu,
+                    };
+                    tm.op(stats, class, *cost, ik(*dst), ik(*lhs), ik(*rhs));
                 }
                 PInst::FloatOp {
                     op,
@@ -853,22 +917,48 @@ impl PreparedProgram {
                     let a = frame.float[*lhs as usize];
                     let b = frame.float[*rhs as usize];
                     frame.float[*dst as usize] = fpu(*op, *double, a, b);
-                    stats.cycles += cost;
+                    let class = match op {
+                        FpuOp::Mul => LatClass::FpMul,
+                        FpuOp::Div => LatClass::FpDiv,
+                        _ => LatClass::FpAdd,
+                    };
+                    tm.op(stats, class, *cost, fk(*dst), fk(*lhs), fk(*rhs));
                 }
                 PInst::IntNeg { width, dst, src } => {
                     let v = frame.int[*src as usize];
                     frame.int[*dst as usize] = normalize(*width, true, v.wrapping_neg());
-                    stats.cycles += cost.int_op;
+                    tm.op(
+                        stats,
+                        LatClass::Alu,
+                        cost.int_op,
+                        ik(*dst),
+                        ik(*src),
+                        NO_REG,
+                    );
                 }
                 PInst::IntNot { width, dst, src } => {
                     let v = frame.int[*src as usize];
                     frame.int[*dst as usize] = normalize(*width, false, !v);
-                    stats.cycles += cost.int_op;
+                    tm.op(
+                        stats,
+                        LatClass::Alu,
+                        cost.int_op,
+                        ik(*dst),
+                        ik(*src),
+                        NO_REG,
+                    );
                 }
                 PInst::FloatNeg { double, dst, src } => {
                     let v = frame.float[*src as usize];
                     frame.float[*dst as usize] = if *double { -v } else { f64::from(-(v as f32)) };
-                    stats.cycles += cost.fp_add;
+                    tm.op(
+                        stats,
+                        LatClass::FpAdd,
+                        cost.fp_add,
+                        fk(*dst),
+                        fk(*src),
+                        NO_REG,
+                    );
                 }
                 PInst::IntCmp {
                     pred,
@@ -885,7 +975,14 @@ impl PreparedProgram {
                     } else {
                         compare(*pred, a as u64, b as u64)
                     };
-                    stats.cycles += cost.int_op;
+                    tm.op(
+                        stats,
+                        LatClass::Alu,
+                        cost.int_op,
+                        ik(*dst),
+                        ik(*lhs),
+                        ik(*rhs),
+                    );
                 }
                 PInst::FloatCmp {
                     pred,
@@ -906,7 +1003,14 @@ impl PreparedProgram {
                     } else {
                         compare(*pred, a, b)
                     };
-                    stats.cycles += cost.fp_add;
+                    tm.op(
+                        stats,
+                        LatClass::FpAdd,
+                        cost.fp_add,
+                        ik(*dst),
+                        fk(*lhs),
+                        fk(*rhs),
+                    );
                 }
                 PInst::SelectInt {
                     dst,
@@ -920,7 +1024,14 @@ impl PreparedProgram {
                         *if_false
                     };
                     frame.int[*dst as usize] = frame.int[chosen as usize];
-                    stats.cycles += cost.mov;
+                    tm.op(
+                        stats,
+                        LatClass::Mov,
+                        cost.mov,
+                        ik(*dst),
+                        ik(*cond),
+                        ik(chosen),
+                    );
                 }
                 PInst::SelectFloat {
                     dst,
@@ -934,7 +1045,14 @@ impl PreparedProgram {
                         *if_false
                     };
                     frame.float[*dst as usize] = frame.float[chosen as usize];
-                    stats.cycles += cost.mov;
+                    tm.op(
+                        stats,
+                        LatClass::Mov,
+                        cost.mov,
+                        fk(*dst),
+                        ik(*cond),
+                        fk(chosen),
+                    );
                 }
                 PInst::SelectVec {
                     dst,
@@ -948,7 +1066,7 @@ impl PreparedProgram {
                         *if_false as usize
                     };
                     frame.vec.copy_within(chosen..chosen + vb, *dst as usize);
-                    stats.cycles += cost.mov;
+                    tm.op(stats, LatClass::Mov, cost.mov, NO_REG, ik(*cond), NO_REG);
                 }
                 PInst::IntToFloat {
                     signed,
@@ -959,7 +1077,14 @@ impl PreparedProgram {
                     let v = frame.int[*src as usize];
                     let x = if *signed { v as f64 } else { v as u64 as f64 };
                     frame.float[*dst as usize] = if *double { x } else { f64::from(x as f32) };
-                    stats.cycles += cost.convert;
+                    tm.op(
+                        stats,
+                        LatClass::Convert,
+                        cost.convert,
+                        fk(*dst),
+                        ik(*src),
+                        NO_REG,
+                    );
                 }
                 PInst::FloatToInt {
                     width,
@@ -969,7 +1094,14 @@ impl PreparedProgram {
                 } => {
                     let v = frame.float[*src as usize];
                     frame.int[*dst as usize] = normalize(*width, *signed, v as i64);
-                    stats.cycles += cost.convert;
+                    tm.op(
+                        stats,
+                        LatClass::Convert,
+                        cost.convert,
+                        ik(*dst),
+                        fk(*src),
+                        NO_REG,
+                    );
                 }
                 PInst::FloatCvt {
                     to_double,
@@ -978,7 +1110,14 @@ impl PreparedProgram {
                 } => {
                     let v = frame.float[*src as usize];
                     frame.float[*dst as usize] = if *to_double { v } else { f64::from(v as f32) };
-                    stats.cycles += cost.convert;
+                    tm.op(
+                        stats,
+                        LatClass::Convert,
+                        cost.convert,
+                        fk(*dst),
+                        fk(*src),
+                        NO_REG,
+                    );
                 }
                 PInst::IntResize {
                     width,
@@ -988,7 +1127,14 @@ impl PreparedProgram {
                 } => {
                     let v = frame.int[*src as usize];
                     frame.int[*dst as usize] = normalize(*width, *signed, v);
-                    stats.cycles += cost.int_op;
+                    tm.op(
+                        stats,
+                        LatClass::Alu,
+                        cost.int_op,
+                        ik(*dst),
+                        ik(*src),
+                        NO_REG,
+                    );
                 }
                 PInst::LoadInt {
                     width,
@@ -1000,7 +1146,14 @@ impl PreparedProgram {
                     let addr = frame.int[*base as usize].wrapping_add(*offset);
                     let raw = read_mem(mem, addr, width.bytes())?;
                     frame.int[*dst as usize] = normalize(*width, *signed, raw as i64);
-                    stats.cycles += cost.load;
+                    tm.op(
+                        stats,
+                        LatClass::Load,
+                        cost.load,
+                        ik(*dst),
+                        ik(*base),
+                        NO_REG,
+                    );
                     stats.loads += 1;
                 }
                 PInst::LoadFloat {
@@ -1015,7 +1168,14 @@ impl PreparedProgram {
                         Width::W32 => f64::from(f32::from_bits(raw as u32)),
                         _ => f64::from_bits(raw),
                     };
-                    stats.cycles += cost.load;
+                    tm.op(
+                        stats,
+                        LatClass::Load,
+                        cost.load,
+                        fk(*dst),
+                        ik(*base),
+                        NO_REG,
+                    );
                     stats.loads += 1;
                 }
                 PInst::StoreInt {
@@ -1026,7 +1186,14 @@ impl PreparedProgram {
                 } => {
                     let addr = frame.int[*base as usize].wrapping_add(*offset);
                     write_mem(mem, addr, width.bytes(), frame.int[*src as usize] as u64)?;
-                    stats.cycles += cost.store;
+                    tm.op(
+                        stats,
+                        LatClass::Store,
+                        cost.store,
+                        NO_REG,
+                        ik(*base),
+                        ik(*src),
+                    );
                     stats.stores += 1;
                 }
                 PInst::StoreFloat {
@@ -1042,7 +1209,14 @@ impl PreparedProgram {
                         _ => v.to_bits(),
                     };
                     write_mem(mem, addr, width.bytes(), raw)?;
-                    stats.cycles += cost.store;
+                    tm.op(
+                        stats,
+                        LatClass::Store,
+                        cost.store,
+                        NO_REG,
+                        ik(*base),
+                        fk(*src),
+                    );
                     stats.stores += 1;
                 }
                 PInst::VecLoad { dst, base, offset } => {
@@ -1050,7 +1224,14 @@ impl PreparedProgram {
                     check_range(mem, addr, vb as u64)?;
                     let d = *dst as usize;
                     frame.vec[d..d + vb].copy_from_slice(&mem[addr as usize..addr as usize + vb]);
-                    stats.cycles += cost.vec_load;
+                    tm.op(
+                        stats,
+                        LatClass::VecLoad,
+                        cost.vec_load,
+                        NO_REG,
+                        ik(*base),
+                        NO_REG,
+                    );
                     stats.loads += 1;
                     stats.vector_ops += 1;
                 }
@@ -1059,7 +1240,14 @@ impl PreparedProgram {
                     check_range(mem, addr, vb as u64)?;
                     let s = *src as usize;
                     mem[addr as usize..addr as usize + vb].copy_from_slice(&frame.vec[s..s + vb]);
-                    stats.cycles += cost.vec_store;
+                    tm.op(
+                        stats,
+                        LatClass::VecStore,
+                        cost.vec_store,
+                        NO_REG,
+                        ik(*base),
+                        NO_REG,
+                    );
                     stats.stores += 1;
                     stats.vector_ops += 1;
                 }
@@ -1075,7 +1263,7 @@ impl PreparedProgram {
                     for lane in 0..*lanes as usize {
                         write_lane_int(reg, lane, *elem, v);
                     }
-                    stats.cycles += cost.vec_op;
+                    tm.op(stats, LatClass::Vec, cost.vec_op, NO_REG, ik(*src), NO_REG);
                     stats.vector_ops += 1;
                 }
                 PInst::VecSplatFloat {
@@ -1090,7 +1278,7 @@ impl PreparedProgram {
                     for lane in 0..*lanes as usize {
                         write_lane_float(reg, lane, *elem, v);
                     }
-                    stats.cycles += cost.vec_op;
+                    tm.op(stats, LatClass::Vec, cost.vec_op, NO_REG, fk(*src), NO_REG);
                     stats.vector_ops += 1;
                 }
                 PInst::VecIntOp {
@@ -1112,7 +1300,7 @@ impl PreparedProgram {
                         let v = alu(*op, *elem, *signed, x, y)?;
                         write_lane_int(&mut frame.vec[d..d + vb], lane, *elem, v);
                     }
-                    stats.cycles += cost.vec_op;
+                    tm.op(stats, LatClass::Vec, cost.vec_op, NO_REG, NO_REG, NO_REG);
                     stats.vector_ops += 1;
                 }
                 PInst::VecFloatOp {
@@ -1131,7 +1319,7 @@ impl PreparedProgram {
                         let v = fpu(*op, *double, x, y);
                         write_lane_float(&mut frame.vec[d..d + vb], lane, *elem, v);
                     }
-                    stats.cycles += cost.vec_op;
+                    tm.op(stats, LatClass::Vec, cost.vec_op, NO_REG, NO_REG, NO_REG);
                     stats.vector_ops += 1;
                 }
                 PInst::VecReduceInt {
@@ -1154,7 +1342,14 @@ impl PreparedProgram {
                         };
                     }
                     frame.int[*dst as usize] = acc;
-                    stats.cycles += cost.vec_reduce;
+                    tm.op(
+                        stats,
+                        LatClass::VecReduce,
+                        cost.vec_reduce,
+                        ik(*dst),
+                        NO_REG,
+                        NO_REG,
+                    );
                     stats.vector_ops += 1;
                 }
                 PInst::VecReduceFloat {
@@ -1177,7 +1372,14 @@ impl PreparedProgram {
                         };
                     }
                     frame.float[*dst as usize] = acc;
-                    stats.cycles += cost.vec_reduce;
+                    tm.op(
+                        stats,
+                        LatClass::VecReduce,
+                        cost.vec_reduce,
+                        fk(*dst),
+                        NO_REG,
+                        NO_REG,
+                    );
                     stats.vector_ops += 1;
                 }
                 PInst::SpillInt { slot, src } => {
@@ -1187,7 +1389,14 @@ impl PreparedProgram {
                         .get_mut(*slot as usize)
                         .ok_or_else(|| SimError::Trap(format!("spill to invalid slot {slot}")))? =
                         value;
-                    stats.cycles += cost.spill_store;
+                    tm.op(
+                        stats,
+                        LatClass::SpillStore,
+                        cost.spill_store,
+                        NO_REG,
+                        ik(*src),
+                        NO_REG,
+                    );
                     stats.spill_stores += 1;
                 }
                 PInst::SpillFloat { slot, src } => {
@@ -1197,7 +1406,14 @@ impl PreparedProgram {
                         .get_mut(*slot as usize)
                         .ok_or_else(|| SimError::Trap(format!("spill to invalid slot {slot}")))? =
                         value;
-                    stats.cycles += cost.spill_store;
+                    tm.op(
+                        stats,
+                        LatClass::SpillStore,
+                        cost.spill_store,
+                        NO_REG,
+                        fk(*src),
+                        NO_REG,
+                    );
                     stats.spill_stores += 1;
                 }
                 PInst::SpillVec { slot, src } => {
@@ -1208,7 +1424,14 @@ impl PreparedProgram {
                         .get_mut(*slot as usize)
                         .ok_or_else(|| SimError::Trap(format!("spill to invalid slot {slot}")))? =
                         value;
-                    stats.cycles += cost.spill_store;
+                    tm.op(
+                        stats,
+                        LatClass::SpillStore,
+                        cost.spill_store,
+                        NO_REG,
+                        NO_REG,
+                        NO_REG,
+                    );
                     stats.spill_stores += 1;
                 }
                 PInst::Reload { slot, class, dst } => {
@@ -1235,7 +1458,19 @@ impl PreparedProgram {
                             )));
                         }
                     }
-                    stats.cycles += cost.spill_load;
+                    let dkey = match class {
+                        RegClass::Int => ik(*dst),
+                        RegClass::Float => fk(*dst),
+                        RegClass::Vec => NO_REG,
+                    };
+                    tm.op(
+                        stats,
+                        LatClass::SpillReload,
+                        cost.spill_load,
+                        dkey,
+                        NO_REG,
+                        NO_REG,
+                    );
                     stats.spill_reloads += 1;
                 }
                 PInst::Jump { target } => {
@@ -1243,7 +1478,7 @@ impl PreparedProgram {
                         return Err(SimError::Cancelled);
                     }
                     pc = *target as usize;
-                    stats.cycles += cost.branch_taken;
+                    tm.jump(stats, cost.branch_taken);
                     stats.branches += 1;
                 }
                 PInst::BranchNz {
@@ -1255,16 +1490,21 @@ impl PreparedProgram {
                         return Err(SimError::Cancelled);
                     }
                     let taken = frame.int[*cond as usize] != 0;
+                    // Predictor site id: this branch's own enum-stream offset
+                    // (`pc` already advanced past the fetch), captured before
+                    // the redirect below.
+                    let site = (pc - 1) as u32;
                     pc = if taken {
                         *then_target as usize
                     } else {
                         *else_target as usize
                     };
-                    stats.cycles += if taken {
+                    let c = if taken {
                         cost.branch_taken
                     } else {
                         cost.branch_not_taken
                     };
+                    tm.branch(stats, site, taken, c, ik(*cond));
                     stats.branches += 1;
                 }
                 PInst::Call(call) => {
@@ -1280,12 +1520,20 @@ impl PreparedProgram {
                             }
                         });
                     }
-                    stats.cycles += cost.call;
+                    tm.call(stats, cost.call);
                     // Calls made from metered code stay metered: once fuel is
                     // too low for region prepayment, the whole remaining
                     // execution runs per-instruction like the legacy walk.
-                    let out =
-                        self.exec_metered(call.callee, &argv, mem, pool, fuel, depth + 1, stats)?;
+                    let out = self.exec_metered(
+                        call.callee,
+                        &argv,
+                        mem,
+                        pool,
+                        fuel,
+                        depth + 1,
+                        stats,
+                        tm,
+                    )?;
                     pool.give_argv(argv);
                     if let Some((class, idx)) = call.ret {
                         match (class, out) {
@@ -1306,7 +1554,12 @@ impl PreparedProgram {
                     return Err(SimError::UnknownFunction(name.to_string()));
                 }
                 PInst::Ret { value } => {
-                    stats.cycles += cost.mov;
+                    let src = match value {
+                        Some((RegClass::Int, idx)) => ik(*idx as u32),
+                        Some((RegClass::Float, idx)) => fk(*idx as u32),
+                        _ => NO_REG,
+                    };
+                    tm.op(stats, LatClass::Mov, cost.mov, NO_REG, src, NO_REG);
                     return Ok(match value {
                         Some((RegClass::Int, idx)) => Some(MachineValue::Int(frame.int[*idx])),
                         Some((RegClass::Float, idx)) => {
@@ -1358,6 +1611,7 @@ impl PreparedProgram {
             "; fused macro-ops: {} cmp+branch, {} load+op, {} indvar-step, {} paired, {} tripled",
             fs.cmp_branch, fs.load_op, fs.indvar, fs.pair, fs.triple
         );
+        let _ = writeln!(out, "; timing model: {}", self.timing.label());
         for (fi, f) in self.functions.iter().enumerate() {
             let _ = writeln!(
                 out,
@@ -1377,9 +1631,19 @@ impl PreparedProgram {
                         .position(|&o| o as usize == pc)
                         .map(|b| format!("b{b}:"))
                         .unwrap_or_default();
+                    // Under the pipelined model the baked charge doubles as
+                    // the op's result latency; name its latency class so the
+                    // stall attribution in `SimStats` can be traced per op.
+                    let lat = if self.timing == TimingKind::InOrder {
+                        pinst_lat_class(inst)
+                            .map(|c| format!(" ; lat {}", c.label()))
+                            .unwrap_or_default()
+                    } else {
+                        String::new()
+                    };
                     let _ = writeln!(
                         out,
-                        "  {block:>5} @{pc:<4} {:<60} ; cycles {}",
+                        "  {block:>5} @{pc:<4} {:<60} ; cycles {}{lat}",
                         pinst_text(inst),
                         pinst_cost_text(inst, &self.cost)
                     );
@@ -1390,15 +1654,23 @@ impl PreparedProgram {
                 let enum_pc = meta.enum_pc as usize;
                 // Block label + region charge when an op starts a region.
                 if let Some(b) = f.block_offsets.iter().position(|&o| o as usize == enum_pc) {
-                    let charge = f.targets[b].charge;
-                    let _ = writeln!(out, "  b{b}: (entry charge {charge})");
+                    let t = &f.targets[b];
+                    let _ = writeln!(
+                        out,
+                        "  b{b}: (entry charge {} inst, prepaid {} cycles)",
+                        t.charge, t.stat.cycles
+                    );
                 } else if let Some(t) = f
                     .targets
                     .iter()
                     .skip(f.block_offsets.len())
                     .find(|t| t.ops_pc as usize == pi)
                 {
-                    let _ = writeln!(out, "  .after-call: (entry charge {})", t.charge);
+                    let _ = writeln!(
+                        out,
+                        "  .after-call: (entry charge {} inst, prepaid {} cycles)",
+                        t.charge, t.stat.cycles
+                    );
                 }
                 let span = if meta.len > 1 {
                     format!("@{enum_pc}..{}", enum_pc + meta.len as usize)
@@ -1523,6 +1795,59 @@ fn pinst_cost_text(inst: &PInst, cost: &CostModel) -> String {
         PInst::Call(_) => cost.call.to_string(),
         PInst::CallUnknown { .. } | PInst::FellOff { .. } => "0 (trap)".to_string(),
     }
+}
+
+/// The latency class of one pre-decoded instruction under the pipelined
+/// timing model, or `None` for instructions priced by control-flow hooks
+/// (branches, jumps, calls) or synthetic traps.
+fn pinst_lat_class(inst: &PInst) -> Option<LatClass> {
+    Some(match inst {
+        PInst::Imm { .. }
+        | PInst::FImm { .. }
+        | PInst::MovInt { .. }
+        | PInst::MovFloat { .. }
+        | PInst::MovVec { .. }
+        | PInst::SelectInt { .. }
+        | PInst::SelectFloat { .. }
+        | PInst::SelectVec { .. }
+        | PInst::Ret { .. } => LatClass::Mov,
+        PInst::IntOp { op, .. } => match op {
+            AluOp::Mul => LatClass::Mul,
+            AluOp::Div | AluOp::Rem => LatClass::Div,
+            _ => LatClass::Alu,
+        },
+        PInst::FloatOp { op, .. } => match op {
+            FpuOp::Mul => LatClass::FpMul,
+            FpuOp::Div => LatClass::FpDiv,
+            _ => LatClass::FpAdd,
+        },
+        PInst::IntNeg { .. }
+        | PInst::IntNot { .. }
+        | PInst::IntCmp { .. }
+        | PInst::IntResize { .. } => LatClass::Alu,
+        PInst::FloatNeg { .. } | PInst::FloatCmp { .. } => LatClass::FpAdd,
+        PInst::IntToFloat { .. } | PInst::FloatToInt { .. } | PInst::FloatCvt { .. } => {
+            LatClass::Convert
+        }
+        PInst::LoadInt { .. } | PInst::LoadFloat { .. } => LatClass::Load,
+        PInst::StoreInt { .. } | PInst::StoreFloat { .. } => LatClass::Store,
+        PInst::VecLoad { .. } => LatClass::VecLoad,
+        PInst::VecStore { .. } => LatClass::VecStore,
+        PInst::VecSplatInt { .. }
+        | PInst::VecSplatFloat { .. }
+        | PInst::VecIntOp { .. }
+        | PInst::VecFloatOp { .. } => LatClass::Vec,
+        PInst::VecReduceInt { .. } | PInst::VecReduceFloat { .. } => LatClass::VecReduce,
+        PInst::SpillInt { .. } | PInst::SpillFloat { .. } | PInst::SpillVec { .. } => {
+            LatClass::SpillStore
+        }
+        PInst::Reload { .. } => LatClass::SpillReload,
+        PInst::Jump { .. }
+        | PInst::BranchNz { .. }
+        | PInst::Call(_)
+        | PInst::CallUnknown { .. }
+        | PInst::FellOff { .. } => return None,
+    })
 }
 
 /// Register-file shape of the target a program is being prepared for.

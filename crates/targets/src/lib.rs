@@ -63,8 +63,9 @@ mod exec;
 mod hash;
 mod mcode;
 mod simulator;
+mod timing;
 
-pub use desc::{CostModel, TargetDesc, VectorUnit};
+pub use desc::{CostModel, TargetDesc, VectorUnit, GPU_DIVERGENCE_PENALTY};
 pub use exec::{FramePool, FusionStats, PreparedProgram, PreparedSimulator};
 pub use hash::Fnv1a;
 pub use mcode::{
@@ -73,3 +74,4 @@ pub use mcode::{
 pub use simulator::{
     MachineValue, SimError, SimStats, Simulator, DEFAULT_SIM_FUEL, MAX_CALL_DEPTH,
 };
+pub use timing::{FlatCost, InOrderPipeline, LatClass, TimingKind, TimingModel};

@@ -12,6 +12,7 @@ use crate::desc::TargetDesc;
 use crate::mcode::{
     AluOp, CmpPred, FpuOp, MFunction, MInst, MProgram, PReg, RedOp, RegClass, Width,
 };
+use crate::timing::{FlatCost, InOrderPipeline, LatClass, TimingKind, TimingModel, NO_REG};
 use std::error::Error;
 use std::fmt;
 
@@ -136,6 +137,27 @@ pub struct SimStats {
     pub branches: u64,
     /// Vector instructions executed.
     pub vector_ops: u64,
+    /// Pipeline hazard stall cycles (RAW + structural). Timing-class: always
+    /// zero under the flat model, so whole-struct equality against flat
+    /// references still pins the historical accounting.
+    pub stalls: u64,
+    /// Mispredicted conditional branches (timing-class; zero under flat).
+    pub mispredicts: u64,
+    /// Correctly predicted branches, including statically-predicted
+    /// unconditional jumps (timing-class; zero under flat). Under the
+    /// in-order model `predicted + mispredicts == branches`.
+    pub predicted: u64,
+}
+
+/// Scoreboard key of a register for the timing model: `(index << 1) | float`.
+/// Vector registers are not scoreboarded (see
+/// [`InOrderPipeline`](crate::timing::InOrderPipeline)).
+fn tkey(r: PReg) -> u32 {
+    match r.class {
+        RegClass::Int => u32::from(r.index) << 1,
+        RegClass::Float => (u32::from(r.index) << 1) | 1,
+        RegClass::Vec => NO_REG,
+    }
 }
 
 #[derive(Debug, Clone, PartialEq)]
@@ -384,7 +406,20 @@ impl<'p> Simulator<'p> {
     ) -> Result<Option<MachineValue>, SimError> {
         self.stats = SimStats::default();
         let mut fuel = self.fuel;
-        self.call(func, args, mem, &mut fuel, 0)
+        match self.target.timing {
+            TimingKind::Flat => {
+                let mut tm = FlatCost;
+                let r = self.call(func, args, mem, &mut fuel, 0, &mut tm);
+                tm.finish(&mut self.stats);
+                r
+            }
+            TimingKind::InOrder => {
+                let mut tm = InOrderPipeline::new(&self.target.cost);
+                let r = self.call(func, args, mem, &mut fuel, 0, &mut tm);
+                tm.finish(&mut self.stats);
+                r
+            }
+        }
     }
 
     fn lanes(&self, elem: Width) -> usize {
@@ -425,13 +460,14 @@ impl<'p> Simulator<'p> {
     }
 
     #[allow(clippy::too_many_lines)]
-    fn call(
+    fn call<T: TimingModel>(
         &mut self,
         name: &str,
         args: &[MachineValue],
         mem: &mut [u8],
         fuel: &mut u64,
         depth: usize,
+        tm: &mut T,
     ) -> Result<Option<MachineValue>, SimError> {
         if depth > MAX_CALL_DEPTH {
             return Err(SimError::Trap("call depth exceeded".into()));
@@ -504,12 +540,26 @@ impl<'p> Simulator<'p> {
                 MInst::Imm { dst, value } => {
                     self.check_reg(&frame, dst, &f.name)?;
                     frame.int[usize::from(dst.index)] = value;
-                    self.stats.cycles += cost.mov;
+                    tm.op(
+                        &mut self.stats,
+                        LatClass::Mov,
+                        cost.mov,
+                        tkey(dst),
+                        NO_REG,
+                        NO_REG,
+                    );
                 }
                 MInst::FImm { dst, value } => {
                     self.check_reg(&frame, dst, &f.name)?;
                     frame.float[usize::from(dst.index)] = value;
-                    self.stats.cycles += cost.mov;
+                    tm.op(
+                        &mut self.stats,
+                        LatClass::Mov,
+                        cost.mov,
+                        tkey(dst),
+                        NO_REG,
+                        NO_REG,
+                    );
                 }
                 MInst::Mov { dst, src } => {
                     self.check_reg(&frame, dst, &f.name)?;
@@ -527,7 +577,14 @@ impl<'p> Simulator<'p> {
                             frame.vec[usize::from(dst.index)] = v;
                         }
                     }
-                    self.stats.cycles += cost.mov;
+                    tm.op(
+                        &mut self.stats,
+                        LatClass::Mov,
+                        cost.mov,
+                        tkey(dst),
+                        tkey(src),
+                        NO_REG,
+                    );
                 }
                 MInst::IntOp {
                     op,
@@ -541,11 +598,12 @@ impl<'p> Simulator<'p> {
                     let b = geti!(rhs);
                     self.check_reg(&frame, dst, &f.name)?;
                     frame.int[usize::from(dst.index)] = alu(op, width, signed, a, b)?;
-                    self.stats.cycles += match op {
-                        AluOp::Mul => cost.int_mul,
-                        AluOp::Div | AluOp::Rem => cost.int_div,
-                        _ => cost.int_op,
+                    let (class, c) = match op {
+                        AluOp::Mul => (LatClass::Mul, cost.int_mul),
+                        AluOp::Div | AluOp::Rem => (LatClass::Div, cost.int_div),
+                        _ => (LatClass::Alu, cost.int_op),
                     };
+                    tm.op(&mut self.stats, class, c, tkey(dst), tkey(lhs), tkey(rhs));
                 }
                 MInst::FloatOp {
                     op,
@@ -558,30 +616,52 @@ impl<'p> Simulator<'p> {
                     let b = getf!(rhs);
                     self.check_reg(&frame, dst, &f.name)?;
                     frame.float[usize::from(dst.index)] = fpu(op, double, a, b);
-                    self.stats.cycles += match op {
-                        FpuOp::Mul => cost.fp_mul,
-                        FpuOp::Div => cost.fp_div,
-                        _ => cost.fp_add,
+                    let (class, c) = match op {
+                        FpuOp::Mul => (LatClass::FpMul, cost.fp_mul),
+                        FpuOp::Div => (LatClass::FpDiv, cost.fp_div),
+                        _ => (LatClass::FpAdd, cost.fp_add),
                     };
+                    tm.op(&mut self.stats, class, c, tkey(dst), tkey(lhs), tkey(rhs));
                 }
                 MInst::IntNeg { width, dst, src } => {
                     let v = geti!(src);
                     self.check_reg(&frame, dst, &f.name)?;
                     frame.int[usize::from(dst.index)] = normalize(width, true, v.wrapping_neg());
-                    self.stats.cycles += cost.int_op;
+                    tm.op(
+                        &mut self.stats,
+                        LatClass::Alu,
+                        cost.int_op,
+                        tkey(dst),
+                        tkey(src),
+                        NO_REG,
+                    );
                 }
                 MInst::IntNot { width, dst, src } => {
                     let v = geti!(src);
                     self.check_reg(&frame, dst, &f.name)?;
                     frame.int[usize::from(dst.index)] = normalize(width, false, !v);
-                    self.stats.cycles += cost.int_op;
+                    tm.op(
+                        &mut self.stats,
+                        LatClass::Alu,
+                        cost.int_op,
+                        tkey(dst),
+                        tkey(src),
+                        NO_REG,
+                    );
                 }
                 MInst::FloatNeg { double, dst, src } => {
                     let v = getf!(src);
                     self.check_reg(&frame, dst, &f.name)?;
                     frame.float[usize::from(dst.index)] =
                         if double { -v } else { f64::from(-(v as f32)) };
-                    self.stats.cycles += cost.fp_add;
+                    tm.op(
+                        &mut self.stats,
+                        LatClass::FpAdd,
+                        cost.fp_add,
+                        tkey(dst),
+                        tkey(src),
+                        NO_REG,
+                    );
                 }
                 MInst::IntCmp {
                     pred,
@@ -599,7 +679,14 @@ impl<'p> Simulator<'p> {
                     } else {
                         compare(pred, a as u64, b as u64)
                     };
-                    self.stats.cycles += cost.int_op;
+                    tm.op(
+                        &mut self.stats,
+                        LatClass::Alu,
+                        cost.int_op,
+                        tkey(dst),
+                        tkey(lhs),
+                        tkey(rhs),
+                    );
                 }
                 MInst::FloatCmp {
                     pred,
@@ -621,7 +708,14 @@ impl<'p> Simulator<'p> {
                     } else {
                         compare(pred, a, b)
                     };
-                    self.stats.cycles += cost.fp_add;
+                    tm.op(
+                        &mut self.stats,
+                        LatClass::FpAdd,
+                        cost.fp_add,
+                        tkey(dst),
+                        tkey(lhs),
+                        tkey(rhs),
+                    );
                 }
                 MInst::Select {
                     dst,
@@ -648,7 +742,14 @@ impl<'p> Simulator<'p> {
                             frame.vec[usize::from(dst.index)] = v;
                         }
                     }
-                    self.stats.cycles += cost.mov;
+                    tm.op(
+                        &mut self.stats,
+                        LatClass::Mov,
+                        cost.mov,
+                        tkey(dst),
+                        tkey(cond),
+                        tkey(chosen),
+                    );
                 }
                 MInst::IntToFloat {
                     signed,
@@ -661,7 +762,14 @@ impl<'p> Simulator<'p> {
                     let x = if signed { v as f64 } else { v as u64 as f64 };
                     frame.float[usize::from(dst.index)] =
                         if double { x } else { f64::from(x as f32) };
-                    self.stats.cycles += cost.convert;
+                    tm.op(
+                        &mut self.stats,
+                        LatClass::Convert,
+                        cost.convert,
+                        tkey(dst),
+                        tkey(src),
+                        NO_REG,
+                    );
                 }
                 MInst::FloatToInt {
                     width,
@@ -672,7 +780,14 @@ impl<'p> Simulator<'p> {
                     let v = getf!(src);
                     self.check_reg(&frame, dst, &f.name)?;
                     frame.int[usize::from(dst.index)] = normalize(width, signed, v as i64);
-                    self.stats.cycles += cost.convert;
+                    tm.op(
+                        &mut self.stats,
+                        LatClass::Convert,
+                        cost.convert,
+                        tkey(dst),
+                        tkey(src),
+                        NO_REG,
+                    );
                 }
                 MInst::FloatCvt {
                     to_double,
@@ -683,7 +798,14 @@ impl<'p> Simulator<'p> {
                     self.check_reg(&frame, dst, &f.name)?;
                     frame.float[usize::from(dst.index)] =
                         if to_double { v } else { f64::from(v as f32) };
-                    self.stats.cycles += cost.convert;
+                    tm.op(
+                        &mut self.stats,
+                        LatClass::Convert,
+                        cost.convert,
+                        tkey(dst),
+                        tkey(src),
+                        NO_REG,
+                    );
                 }
                 MInst::IntResize {
                     width,
@@ -694,7 +816,14 @@ impl<'p> Simulator<'p> {
                     let v = geti!(src);
                     self.check_reg(&frame, dst, &f.name)?;
                     frame.int[usize::from(dst.index)] = normalize(width, signed, v);
-                    self.stats.cycles += cost.int_op;
+                    tm.op(
+                        &mut self.stats,
+                        LatClass::Alu,
+                        cost.int_op,
+                        tkey(dst),
+                        tkey(src),
+                        NO_REG,
+                    );
                 }
                 MInst::Load {
                     width,
@@ -716,7 +845,14 @@ impl<'p> Simulator<'p> {
                     } else {
                         frame.int[usize::from(dst.index)] = normalize(width, signed, raw as i64);
                     }
-                    self.stats.cycles += cost.load;
+                    tm.op(
+                        &mut self.stats,
+                        LatClass::Load,
+                        cost.load,
+                        tkey(dst),
+                        tkey(base),
+                        NO_REG,
+                    );
                     self.stats.loads += 1;
                 }
                 MInst::Store {
@@ -737,7 +873,14 @@ impl<'p> Simulator<'p> {
                         geti!(src) as u64
                     };
                     write_mem(mem, addr, width.bytes(), raw)?;
-                    self.stats.cycles += cost.store;
+                    tm.op(
+                        &mut self.stats,
+                        LatClass::Store,
+                        cost.store,
+                        NO_REG,
+                        tkey(base),
+                        tkey(src),
+                    );
                     self.stats.stores += 1;
                 }
                 MInst::VecLoad { dst, base, offset } => {
@@ -748,7 +891,14 @@ impl<'p> Simulator<'p> {
                     self.check_reg(&frame, dst, &f.name)?;
                     frame.vec[usize::from(dst.index)]
                         .copy_from_slice(&mem[addr as usize..(addr as usize + width as usize)]);
-                    self.stats.cycles += cost.vec_load;
+                    tm.op(
+                        &mut self.stats,
+                        LatClass::VecLoad,
+                        cost.vec_load,
+                        tkey(dst),
+                        tkey(base),
+                        NO_REG,
+                    );
                     self.stats.loads += 1;
                     self.stats.vector_ops += 1;
                 }
@@ -760,7 +910,14 @@ impl<'p> Simulator<'p> {
                     self.check_reg(&frame, src, &f.name)?;
                     let data = frame.vec[usize::from(src.index)].clone();
                     mem[addr as usize..(addr as usize + width as usize)].copy_from_slice(&data);
-                    self.stats.cycles += cost.vec_store;
+                    tm.op(
+                        &mut self.stats,
+                        LatClass::VecStore,
+                        cost.vec_store,
+                        NO_REG,
+                        tkey(base),
+                        tkey(src),
+                    );
                     self.stats.stores += 1;
                     self.stats.vector_ops += 1;
                 }
@@ -773,7 +930,14 @@ impl<'p> Simulator<'p> {
                     for lane in 0..lanes {
                         write_lane_int(reg, lane, elem, v);
                     }
-                    self.stats.cycles += cost.vec_op;
+                    tm.op(
+                        &mut self.stats,
+                        LatClass::Vec,
+                        cost.vec_op,
+                        tkey(dst),
+                        tkey(src),
+                        NO_REG,
+                    );
                     self.stats.vector_ops += 1;
                 }
                 MInst::VecSplatFloat { elem, dst, src } => {
@@ -785,7 +949,14 @@ impl<'p> Simulator<'p> {
                     for lane in 0..lanes {
                         write_lane_float(reg, lane, elem, v);
                     }
-                    self.stats.cycles += cost.vec_op;
+                    tm.op(
+                        &mut self.stats,
+                        LatClass::Vec,
+                        cost.vec_op,
+                        tkey(dst),
+                        tkey(src),
+                        NO_REG,
+                    );
                     self.stats.vector_ops += 1;
                 }
                 MInst::VecIntOp {
@@ -809,7 +980,14 @@ impl<'p> Simulator<'p> {
                         let y = read_lane_int(&b, lane, elem, signed);
                         write_lane_int(out, lane, elem, alu(op, elem, signed, x, y)?);
                     }
-                    self.stats.cycles += cost.vec_op;
+                    tm.op(
+                        &mut self.stats,
+                        LatClass::Vec,
+                        cost.vec_op,
+                        tkey(dst),
+                        tkey(lhs),
+                        tkey(rhs),
+                    );
                     self.stats.vector_ops += 1;
                 }
                 MInst::VecFloatOp {
@@ -832,7 +1010,14 @@ impl<'p> Simulator<'p> {
                         let y = read_lane_float(&b, lane, elem);
                         write_lane_float(out, lane, elem, fpu(op, elem == Width::W64, x, y));
                     }
-                    self.stats.cycles += cost.vec_op;
+                    tm.op(
+                        &mut self.stats,
+                        LatClass::Vec,
+                        cost.vec_op,
+                        tkey(dst),
+                        tkey(lhs),
+                        tkey(rhs),
+                    );
                     self.stats.vector_ops += 1;
                 }
                 MInst::VecReduceInt {
@@ -857,7 +1042,14 @@ impl<'p> Simulator<'p> {
                         };
                     }
                     frame.int[usize::from(dst.index)] = acc;
-                    self.stats.cycles += cost.vec_reduce;
+                    tm.op(
+                        &mut self.stats,
+                        LatClass::VecReduce,
+                        cost.vec_reduce,
+                        tkey(dst),
+                        tkey(src),
+                        NO_REG,
+                    );
                     self.stats.vector_ops += 1;
                 }
                 MInst::VecReduceFloat { op, elem, dst, src } => {
@@ -876,7 +1068,14 @@ impl<'p> Simulator<'p> {
                         };
                     }
                     frame.float[usize::from(dst.index)] = acc;
-                    self.stats.cycles += cost.vec_reduce;
+                    tm.op(
+                        &mut self.stats,
+                        LatClass::VecReduce,
+                        cost.vec_reduce,
+                        tkey(dst),
+                        tkey(src),
+                        NO_REG,
+                    );
                     self.stats.vector_ops += 1;
                 }
                 MInst::Spill { slot, src } => {
@@ -891,7 +1090,14 @@ impl<'p> Simulator<'p> {
                         .get_mut(slot as usize)
                         .ok_or_else(|| SimError::Trap(format!("spill to invalid slot {slot}")))? =
                         value;
-                    self.stats.cycles += cost.spill_store;
+                    tm.op(
+                        &mut self.stats,
+                        LatClass::SpillStore,
+                        cost.spill_store,
+                        NO_REG,
+                        tkey(src),
+                        NO_REG,
+                    );
                     self.stats.spill_stores += 1;
                 }
                 MInst::Reload { slot, dst } => {
@@ -916,13 +1122,20 @@ impl<'p> Simulator<'p> {
                             )));
                         }
                     }
-                    self.stats.cycles += cost.spill_load;
+                    tm.op(
+                        &mut self.stats,
+                        LatClass::SpillReload,
+                        cost.spill_load,
+                        tkey(dst),
+                        NO_REG,
+                        NO_REG,
+                    );
                     self.stats.spill_reloads += 1;
                 }
                 MInst::Jump { target } => {
                     block = target as usize;
                     index = 0;
-                    self.stats.cycles += cost.branch_taken;
+                    tm.jump(&mut self.stats, cost.branch_taken);
                     self.stats.branches += 1;
                 }
                 MInst::BranchNz {
@@ -931,17 +1144,22 @@ impl<'p> Simulator<'p> {
                     else_target,
                 } => {
                     let taken = geti!(cond) != 0;
+                    // Predictor site id: the branch's own (block, offset),
+                    // captured before the redirect below. Stable within the
+                    // legacy walk; predictor state never crosses paths.
+                    let site = ((block as u32 & 0xffff) << 16) | ((index as u32 - 1) & 0xffff);
                     block = if taken {
                         then_target as usize
                     } else {
                         else_target as usize
                     };
                     index = 0;
-                    self.stats.cycles += if taken {
+                    let c = if taken {
                         cost.branch_taken
                     } else {
                         cost.branch_not_taken
                     };
+                    tm.branch(&mut self.stats, site, taken, c, tkey(cond));
                     self.stats.branches += 1;
                 }
                 MInst::Call { callee, args, ret } => {
@@ -960,8 +1178,8 @@ impl<'p> Simulator<'p> {
                             }
                         });
                     }
-                    self.stats.cycles += cost.call;
-                    let out = self.call(&callee, &argv, mem, fuel, depth + 1)?;
+                    tm.call(&mut self.stats, cost.call);
+                    let out = self.call(&callee, &argv, mem, fuel, depth + 1, tm)?;
                     if let Some(r) = ret {
                         self.check_reg(&frame, r, &f.name)?;
                         match (r.class, out) {
@@ -980,7 +1198,15 @@ impl<'p> Simulator<'p> {
                     }
                 }
                 MInst::Ret { value } => {
-                    self.stats.cycles += cost.mov;
+                    let src = value.map_or(NO_REG, tkey);
+                    tm.op(
+                        &mut self.stats,
+                        LatClass::Mov,
+                        cost.mov,
+                        NO_REG,
+                        src,
+                        NO_REG,
+                    );
                     return Ok(match value {
                         Some(r) => {
                             self.check_reg(&frame, r, &f.name)?;

@@ -1,0 +1,484 @@
+//! Pluggable microarchitectural timing models.
+//!
+//! Historically every execution path charged cycles directly from the
+//! target's [`CostModel`]: each retired instruction added its flat per-opcode
+//! cost to [`SimStats::cycles`] and nothing else. That *flat-cost* accounting
+//! is now one implementation of the [`TimingModel`] trait — still the default
+//! and still the differential reference — and the same call sites can instead
+//! drive an [`InOrderPipeline`]: a scoreboard-style in-order core with RAW
+//! hazard stalls from per-op latencies (which makes load-use stalls emerge
+//! naturally), structural drains on unpipelined divide units, and a 2-bit
+//! branch-history-table predictor with a misprediction penalty derived from
+//! the target's branch cost.
+//!
+//! The contract every model must honour: **timing never changes
+//! architecture**. Models receive the resolved cycle charge and the operand
+//! registers of each retiring instruction but cannot observe or influence
+//! values, memory, traps or control flow — so results, memory images and all
+//! architectural counters (`instructions`, `loads`, `stores`, spills,
+//! `branches`, `vector_ops`) are bit-identical across models, and only the
+//! timing-class counters (`cycles`, `stalls`, `mispredicts`, `predicted`)
+//! may differ. [`FlatCost`] keeps the three timing-class extras at zero, so
+//! whole-struct [`SimStats`] equality against pre-refactor behaviour still
+//! holds under the default model.
+//!
+//! The model selector ([`TimingKind`]) lives on
+//! [`TargetDesc`](crate::TargetDesc) and feeds its fingerprint, so engine
+//! caches distinguish the same core with different timing tiers.
+
+use crate::desc::CostModel;
+use crate::simulator::SimStats;
+use serde::{Deserialize, Serialize};
+
+/// Sentinel operand meaning "no register tracked" (vector registers, stores,
+/// immediates): the scoreboard treats it as always ready and never writes it.
+pub(crate) const NO_REG: u32 = u32::MAX;
+
+/// Number of 2-bit counters in the branch history table. Sites index it by
+/// their low bits, so distinct static branches may alias — exactly like a
+/// real direct-mapped BHT.
+const BHT_SIZE: usize = 256;
+
+/// Which timing model a [`TargetDesc`](crate::TargetDesc) simulates with.
+///
+/// This is a property of the *modeled core* (like its register file or cost
+/// table), not of the JIT configuration: it lives on the target description,
+/// feeds [`TargetDesc::fingerprint`](crate::TargetDesc::fingerprint) so
+/// engine cache keys distinguish models, and is copied onto every
+/// [`PreparedProgram`](crate::PreparedProgram) at prepare time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum TimingKind {
+    /// Flat per-opcode costs ([`FlatCost`]): the historical accounting and
+    /// the differential reference.
+    #[default]
+    Flat,
+    /// Scoreboarded in-order pipeline with hazard stalls and a 2-bit branch
+    /// predictor ([`InOrderPipeline`]).
+    InOrder,
+}
+
+impl TimingKind {
+    /// Stable one-byte discriminant mixed into the target fingerprint.
+    pub(crate) fn tag(self) -> u8 {
+        match self {
+            TimingKind::Flat => 0,
+            TimingKind::InOrder => 1,
+        }
+    }
+
+    /// Human-readable name (CLI listings, disasm headers, bench rows).
+    pub fn label(self) -> &'static str {
+        match self {
+            TimingKind::Flat => "flat",
+            TimingKind::InOrder => "in-order",
+        }
+    }
+}
+
+/// Latency class of one retiring instruction: which functional unit it
+/// occupies. The flat model ignores it; the pipeline uses it for structural
+/// hazards (divides drain the pipe) and `disasm` prints it so cost
+/// attribution under the pipelined model is inspectable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LatClass {
+    /// Simple integer ALU op (add/sub/logic/shift/compare/resize).
+    Alu,
+    /// Integer multiply.
+    Mul,
+    /// Integer divide / remainder (unpipelined).
+    Div,
+    /// FP add/sub/compare/min/max.
+    FpAdd,
+    /// FP multiply.
+    FpMul,
+    /// FP divide (unpipelined).
+    FpDiv,
+    /// Scalar load.
+    Load,
+    /// Scalar store.
+    Store,
+    /// Register move / immediate / select / return.
+    Mov,
+    /// Int<->float conversion.
+    Convert,
+    /// Whole-vector arithmetic.
+    Vec,
+    /// Vector load.
+    VecLoad,
+    /// Vector store.
+    VecStore,
+    /// Cross-lane reduction.
+    VecReduce,
+    /// Spill store to a stack slot.
+    SpillStore,
+    /// Reload from a stack slot.
+    SpillReload,
+}
+
+impl LatClass {
+    /// Short unit label used by `splitc disasm` under the pipelined model.
+    pub fn label(self) -> &'static str {
+        match self {
+            LatClass::Alu => "alu",
+            LatClass::Mul => "mul",
+            LatClass::Div => "div",
+            LatClass::FpAdd => "fadd",
+            LatClass::FpMul => "fmul",
+            LatClass::FpDiv => "fdiv",
+            LatClass::Load => "load",
+            LatClass::Store => "store",
+            LatClass::Mov => "mov",
+            LatClass::Convert => "cvt",
+            LatClass::Vec => "vec",
+            LatClass::VecLoad => "vload",
+            LatClass::VecStore => "vstore",
+            LatClass::VecReduce => "vred",
+            LatClass::SpillStore => "spill",
+            LatClass::SpillReload => "reload",
+        }
+    }
+}
+
+/// One timing model: the sink for every cycle charge an execution path makes.
+///
+/// The executors call exactly one method per retiring instruction, at the
+/// same point they previously charged `stats.cycles` directly, passing the
+/// cost already resolved from the target's [`CostModel`] (or baked into the
+/// prepared stream). Register operands are passed as packed scoreboard keys —
+/// `(index << 1) | float_bit`, or [`NO_REG`] for untracked operands — so the
+/// flat model can ignore them at zero cost while the pipeline scoreboards
+/// them.
+///
+/// Models mutate only the timing-class counters of [`SimStats`] (`cycles`,
+/// `stalls`, `mispredicts`, `predicted`); all architectural counters stay
+/// charged at the call sites.
+pub trait TimingModel {
+    /// A non-branch instruction retires: `class`/`cost` describe its unit and
+    /// latency, `dst` its written register, `a`/`b` its read registers.
+    fn op(&mut self, stats: &mut SimStats, class: LatClass, cost: u64, dst: u32, a: u32, b: u32);
+
+    /// A conditional branch retires. `site` is a deterministic static id of
+    /// the branch (stable within one execution path; predictor state is
+    /// per-run, so ids need not agree *across* paths), `taken` the outcome,
+    /// `cost` the already-resolved taken/not-taken charge and `cond` the
+    /// condition register.
+    fn branch(&mut self, stats: &mut SimStats, site: u32, taken: bool, cost: u64, cond: u32);
+
+    /// An unconditional jump retires (statically-known target).
+    fn jump(&mut self, stats: &mut SimStats, cost: u64);
+
+    /// A call instruction retires (charged before the callee executes, like
+    /// the flat accounting always did).
+    fn call(&mut self, stats: &mut SimStats, cost: u64);
+
+    /// The top-level run finished: flush any in-flight state (outstanding
+    /// writebacks for the pipeline; a no-op for flat costs).
+    fn finish(&mut self, stats: &mut SimStats);
+}
+
+/// The historical flat-cost accounting: every charge is `cycles += cost`,
+/// nothing else. Zero-sized and fully inlined, so the monomorphized executors
+/// compile to exactly the pre-refactor code — [`SimStats`] is bit-identical,
+/// including `stalls == mispredicts == predicted == 0`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FlatCost;
+
+impl TimingModel for FlatCost {
+    #[inline(always)]
+    fn op(&mut self, stats: &mut SimStats, _class: LatClass, cost: u64, _d: u32, _a: u32, _b: u32) {
+        stats.cycles += cost;
+    }
+
+    #[inline(always)]
+    fn branch(&mut self, stats: &mut SimStats, _site: u32, _taken: bool, cost: u64, _cond: u32) {
+        stats.cycles += cost;
+    }
+
+    #[inline(always)]
+    fn jump(&mut self, stats: &mut SimStats, cost: u64) {
+        stats.cycles += cost;
+    }
+
+    #[inline(always)]
+    fn call(&mut self, stats: &mut SimStats, cost: u64) {
+        stats.cycles += cost;
+    }
+
+    #[inline(always)]
+    fn finish(&mut self, _stats: &mut SimStats) {}
+}
+
+/// A scoreboard-style in-order, single-issue pipeline.
+///
+/// Semantics (one instruction per call, program order):
+///
+/// * An instruction wants to issue the cycle after its predecessor
+///   (`now + 1`) but must wait until every source register's writeback —
+///   the wait is a RAW **hazard stall** (`stats.stalls`). Because a load's
+///   result is ready `load` cycles after issue, a dependent consumer in the
+///   next slot stalls `load - 1` cycles: the classic load-use stall.
+/// * The destination register becomes ready `cost` cycles after issue
+///   (`cost` doubles as the unit latency; single-cycle ops forward with no
+///   stall).
+/// * Divides ([`LatClass::Div`]/[`LatClass::FpDiv`]) occupy an unpipelined
+///   unit: issue blocks for the full latency (a **structural** stall).
+/// * Conditional branches consult a direct-mapped table of
+///   2-bit saturating counters indexed by the branch's static site id
+///   (predict taken when the counter is ≥ 2, then step the counter toward
+///   the outcome). A correct prediction costs one cycle
+///   (`stats.predicted`); a misprediction additionally pays a front-end
+///   refill penalty of `2 + branch_taken` cycles (`stats.mispredicts`).
+///   Unconditional jumps have statically-known targets and always predict.
+/// * Calls drain the pipeline (wait for every outstanding writeback, then
+///   pay the call overhead) and clear the scoreboard: caller and callee
+///   frames reuse scoreboard keys, so in-flight state must not leak across
+///   the boundary.
+/// * [`TimingModel::finish`] drains outstanding writebacks at the end of the
+///   run.
+///
+/// Every retiring instruction contributes at least one cycle, so
+/// `cycles >= instructions` always holds, and exactly one of
+/// `predicted`/`mispredicts` is counted per branch, so
+/// `predicted + mispredicts == branches`.
+///
+/// Deliberate simplifications, documented rather than modeled: vector
+/// registers are not scoreboarded (vector ops still occupy issue slots and
+/// charge latency, but cross-register vector dependencies do not stall), and
+/// memory is not disambiguated (no store-to-load forwarding stalls).
+#[derive(Debug, Clone)]
+pub struct InOrderPipeline {
+    /// Cycle at which the most recent instruction issued.
+    now: u64,
+    /// Latest outstanding writeback (drained by calls and `finish`).
+    horizon: u64,
+    /// Earliest issue cycle at which each scoreboard key's value is ready;
+    /// lazily grown, missing keys are ready immediately.
+    ready: Vec<u64>,
+    /// 2-bit saturating counters, initialized weakly-not-taken.
+    bht: [u8; BHT_SIZE],
+    /// Front-end refill cost of a mispredicted conditional branch.
+    mispredict_penalty: u64,
+}
+
+impl InOrderPipeline {
+    /// Build the pipeline for one run on a target with cost table `cost`.
+    pub fn new(cost: &CostModel) -> Self {
+        InOrderPipeline {
+            now: 0,
+            horizon: 0,
+            ready: Vec::new(),
+            bht: [1; BHT_SIZE],
+            // Redirect-and-refill after a wrong guess: the 2-cycle resolve
+            // bubble plus the same front-end refill a taken branch pays.
+            mispredict_penalty: 2 + cost.branch_taken,
+        }
+    }
+
+    fn ready_at(&self, r: u32) -> u64 {
+        if r == NO_REG {
+            0
+        } else {
+            self.ready.get(r as usize).copied().unwrap_or(0)
+        }
+    }
+
+    fn set_ready(&mut self, r: u32, at: u64) {
+        if r == NO_REG {
+            return;
+        }
+        let i = r as usize;
+        if i >= self.ready.len() {
+            self.ready.resize(i + 1, 0);
+        }
+        self.ready[i] = at;
+        if at > self.horizon {
+            self.horizon = at;
+        }
+    }
+}
+
+impl TimingModel for InOrderPipeline {
+    fn op(&mut self, stats: &mut SimStats, class: LatClass, cost: u64, dst: u32, a: u32, b: u32) {
+        let seq = self.now + 1;
+        let issue = seq.max(self.ready_at(a)).max(self.ready_at(b));
+        let stall = issue - seq;
+        stats.stalls += stall;
+        stats.cycles += 1 + stall;
+        self.now = issue;
+        let lat = cost.max(1);
+        self.set_ready(dst, issue + lat);
+        if matches!(class, LatClass::Div | LatClass::FpDiv) {
+            // Unpipelined unit: nothing can issue until the divide retires.
+            let drain = lat - 1;
+            stats.stalls += drain;
+            stats.cycles += drain;
+            self.now += drain;
+        }
+    }
+
+    fn branch(&mut self, stats: &mut SimStats, site: u32, taken: bool, _cost: u64, cond: u32) {
+        let seq = self.now + 1;
+        let issue = seq.max(self.ready_at(cond));
+        let stall = issue - seq;
+        stats.stalls += stall;
+        let ctr = &mut self.bht[site as usize & (BHT_SIZE - 1)];
+        let penalty = if (*ctr >= 2) == taken {
+            stats.predicted += 1;
+            0
+        } else {
+            stats.mispredicts += 1;
+            self.mispredict_penalty
+        };
+        if taken {
+            *ctr = (*ctr + 1).min(3);
+        } else {
+            *ctr = ctr.saturating_sub(1);
+        }
+        stats.cycles += 1 + stall + penalty;
+        self.now = issue + penalty;
+    }
+
+    fn jump(&mut self, stats: &mut SimStats, _cost: u64) {
+        // Statically-known target: the front end follows it for free.
+        stats.predicted += 1;
+        stats.cycles += 1;
+        self.now += 1;
+    }
+
+    fn call(&mut self, stats: &mut SimStats, cost: u64) {
+        let seq = self.now + 1;
+        // Drain: wait for every outstanding writeback before transferring.
+        let issue = seq.max(self.horizon);
+        let stall = issue - seq;
+        stats.stalls += stall;
+        let lat = cost.max(1);
+        stats.cycles += lat + stall;
+        self.now = issue + lat - 1;
+        // Caller and callee frames share scoreboard keys; start the callee
+        // (and, on return, the caller's continuation) with a clean board.
+        self.ready.clear();
+        self.horizon = self.now;
+    }
+
+    fn finish(&mut self, stats: &mut SimStats) {
+        let drain = self.horizon.saturating_sub(self.now);
+        stats.stalls += drain;
+        stats.cycles += drain;
+        self.now = self.horizon;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats() -> SimStats {
+        SimStats::default()
+    }
+
+    #[test]
+    fn flat_cost_is_a_plain_accumulator() {
+        let mut s = stats();
+        let mut tm = FlatCost;
+        tm.op(&mut s, LatClass::Load, 3, 0, 2, NO_REG);
+        tm.branch(&mut s, 7, true, 2, 0);
+        tm.jump(&mut s, 2);
+        tm.call(&mut s, 10);
+        tm.finish(&mut s);
+        assert_eq!(s.cycles, 17);
+        assert_eq!((s.stalls, s.mispredicts, s.predicted), (0, 0, 0));
+    }
+
+    #[test]
+    fn pipeline_charges_load_use_stalls() {
+        let cost = CostModel::default();
+        let mut s = stats();
+        let mut tm = InOrderPipeline::new(&cost);
+        // load r0 (latency 3) immediately consumed by an ALU op.
+        tm.op(&mut s, LatClass::Load, cost.load, 0, 2, NO_REG);
+        tm.op(&mut s, LatClass::Alu, cost.int_op, 4, 0, NO_REG);
+        // issue slots: load at 1, consumer wants 2 but r0 ready at 1+3=4.
+        assert_eq!(s.stalls, 2, "load-use must stall latency-1 cycles");
+        assert_eq!(s.cycles, 1 + 1 + 2);
+
+        // An independent op in the shadow of a load does not stall.
+        let mut s2 = stats();
+        let mut tm2 = InOrderPipeline::new(&cost);
+        tm2.op(&mut s2, LatClass::Load, cost.load, 0, 2, NO_REG);
+        tm2.op(&mut s2, LatClass::Alu, cost.int_op, 5, 6, NO_REG);
+        assert_eq!(s2.stalls, 0);
+    }
+
+    #[test]
+    fn divides_drain_the_unpipelined_unit() {
+        let cost = CostModel::default();
+        let mut s = stats();
+        let mut tm = InOrderPipeline::new(&cost);
+        tm.op(&mut s, LatClass::Div, cost.int_div, 0, 2, 4);
+        // One issue cycle plus (latency - 1) structural stall cycles.
+        assert_eq!(s.cycles, cost.int_div);
+        assert_eq!(s.stalls, cost.int_div - 1);
+    }
+
+    #[test]
+    fn bht_learns_a_biased_branch() {
+        let cost = CostModel::default();
+        let mut s = stats();
+        let mut tm = InOrderPipeline::new(&cost);
+        for _ in 0..50 {
+            tm.branch(&mut s, 9, true, cost.branch_taken, NO_REG);
+        }
+        // Initialized weakly-not-taken: one miss, then the counter saturates.
+        assert_eq!(s.mispredicts, 1);
+        assert_eq!(s.predicted, 49);
+        assert_eq!(s.mispredicts + s.predicted, 50);
+
+        // An alternating branch at a different site keeps missing.
+        let mut s2 = stats();
+        let mut tm2 = InOrderPipeline::new(&cost);
+        for i in 0..50 {
+            tm2.branch(&mut s2, 10, i % 2 == 0, cost.branch_taken, NO_REG);
+        }
+        assert!(s2.mispredicts > s2.predicted);
+    }
+
+    #[test]
+    fn calls_drain_and_finish_flushes() {
+        let cost = CostModel::default();
+        let mut s = stats();
+        let mut tm = InOrderPipeline::new(&cost);
+        tm.op(&mut s, LatClass::Load, cost.load, 0, NO_REG, NO_REG);
+        let before = s.cycles;
+        tm.call(&mut s, cost.call);
+        // The call waits for the load's writeback (issue 1, ready 4): the
+        // natural slot is 2, so it stalls 2 cycles, then pays the overhead.
+        assert_eq!(s.cycles, before + 2 + cost.call);
+        let drained = s.cycles;
+        tm.finish(&mut s);
+        assert_eq!(s.cycles, drained, "post-call board is clean");
+        // finish() after an in-flight load pays the outstanding writeback.
+        let mut s3 = stats();
+        let mut tm3 = InOrderPipeline::new(&cost);
+        tm3.op(&mut s3, LatClass::Load, cost.load, 0, NO_REG, NO_REG);
+        tm3.finish(&mut s3);
+        assert_eq!(s3.cycles, 1 + cost.load);
+    }
+
+    #[test]
+    fn every_instruction_costs_at_least_one_cycle() {
+        let cost = CostModel::default();
+        let mut s = stats();
+        let mut tm = InOrderPipeline::new(&cost);
+        let mut retired = 0u64;
+        for i in 0..200u32 {
+            tm.op(&mut s, LatClass::Alu, 1, i % 8, (i + 1) % 8, NO_REG);
+            retired += 1;
+            if i % 7 == 0 {
+                tm.branch(&mut s, i, i % 3 == 0, 2, i % 8);
+                retired += 1;
+            }
+        }
+        tm.finish(&mut s);
+        assert!(s.cycles >= retired);
+    }
+}

@@ -27,7 +27,9 @@ use splitc::splitc_minic::compile_source;
 use splitc::{run_on_target, Workspace};
 use splitc_jit::{compile_module, JitOptions, RegAllocMode};
 use splitc_opt::{optimize_module, OptOptions};
-use splitc_targets::{MachineValue, PreparedProgram, PreparedSimulator, Simulator, TargetDesc};
+use splitc_targets::{
+    MachineValue, PreparedProgram, PreparedSimulator, Simulator, TargetDesc, TimingKind,
+};
 use splitc_vbc::{Interpreter, Memory, Value};
 
 /// Elements per generated kernel; deliberately not a multiple of a lane count.
@@ -510,6 +512,79 @@ fn check_program(source: &str, name: &str, seed: u64, float: bool) {
                 unfused_sim.stats(),
                 legacy_sim.stats(),
                 "seed {seed}: {} with {mode:?}: unfused SimStats diverged from the legacy walk\n--- source ---\n{source}",
+                target.name
+            );
+
+            // Pipelined timing tier: architectural behaviour (returned value,
+            // the whole memory image, spill traffic) must be bit-identical to
+            // the flat reference; only the timing-class accounting may move.
+            let pipe_target = target.clone().with_timing(TimingKind::InOrder);
+            let pipelined =
+                PreparedProgram::prepare(&program, &pipe_target).unwrap_or_else(|e| {
+                    panic!(
+                        "seed {seed}: {} with {mode:?} failed to prepare pipelined: {e}\n--- source ---\n{source}",
+                        target.name
+                    )
+                });
+            let mut pipe_ws = ws.clone();
+            let mut pipe_sim = PreparedSimulator::new(&pipelined);
+            let pipe_result = pipe_sim
+                .run(name, &args, pipe_ws.bytes_mut())
+                .unwrap_or_else(|e| {
+                    panic!(
+                        "seed {seed}: {} with {mode:?} (pipelined) failed: {e}\n--- source ---\n{source}",
+                        target.name
+                    )
+                });
+            assert_eq!(
+                pipe_result, expected_result,
+                "seed {seed}: {} with {mode:?} (pipelined) returned a different value\n--- source ---\n{source}",
+                target.name
+            );
+            assert_eq!(
+                pipe_ws.bytes(),
+                legacy_ws.bytes(),
+                "seed {seed}: {} with {mode:?} (pipelined) memory image diverged\n--- source ---\n{source}",
+                target.name
+            );
+            let flat = legacy_sim.stats();
+            let pipe = pipe_sim.stats();
+            assert_eq!(
+                (pipe.instructions, pipe.loads, pipe.stores, pipe.branches, pipe.vector_ops),
+                (flat.instructions, flat.loads, flat.stores, flat.branches, flat.vector_ops),
+                "seed {seed}: {} with {mode:?}: architectural counters moved across timing tiers\n--- source ---\n{source}",
+                target.name
+            );
+            assert_eq!(
+                (pipe.spill_stores, pipe.spill_reloads),
+                (flat.spill_stores, flat.spill_reloads),
+                "seed {seed}: {} with {mode:?}: spill counts moved across timing tiers\n--- source ---\n{source}",
+                target.name
+            );
+            assert_eq!(
+                (flat.stalls, flat.mispredicts, flat.predicted),
+                (0, 0, 0),
+                "seed {seed}: {} with {mode:?}: flat timing must keep timing-class counters at zero",
+                target.name
+            );
+            assert!(
+                pipe.cycles >= pipe.instructions,
+                "seed {seed}: {} with {mode:?}: pipelined cycles {} < retired {}",
+                target.name,
+                pipe.cycles,
+                pipe.instructions
+            );
+            assert!(
+                pipe.mispredicts <= pipe.branches,
+                "seed {seed}: {} with {mode:?}: mispredicts {} > branches {}",
+                target.name,
+                pipe.mispredicts,
+                pipe.branches
+            );
+            assert_eq!(
+                pipe.predicted + pipe.mispredicts,
+                pipe.branches,
+                "seed {seed}: {} with {mode:?}: every branch must be predicted exactly once",
                 target.name
             );
         }

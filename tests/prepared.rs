@@ -13,7 +13,7 @@ use splitc::{checksum, prepare, PreparedProgram, PreparedSimulator, Workspace};
 use splitc_jit::{compile_module, JitOptions, RegAllocMode};
 use splitc_opt::{optimize_module, OptOptions};
 use splitc_runtime::{ExecutionEngine, FramePool};
-use splitc_targets::{Simulator, TargetDesc};
+use splitc_targets::{SimStats, Simulator, TargetDesc, TimingKind};
 use splitc_workloads::{all_kernels, module_for};
 
 const N: usize = 173; // deliberately not a multiple of any lane count
@@ -90,6 +90,156 @@ fn prepared_execution_is_bit_identical_to_the_legacy_walk_on_all_targets() {
             }
         }
     }
+}
+
+/// The architectural face of a stats record: everything except the
+/// timing-class counters (cycles, stalls, mispredicts, predicted).
+fn arch(s: &SimStats) -> [u64; 7] {
+    [
+        s.instructions,
+        s.loads,
+        s.stores,
+        s.spill_stores,
+        s.spill_reloads,
+        s.branches,
+        s.vector_ops,
+    ]
+}
+
+#[test]
+fn timing_tiers_are_architecturally_bit_identical_on_every_kernel_and_target() {
+    // Flat (the differential reference) vs the in-order pipeline on every
+    // catalogue kernel x every preset: identical results, memory images and
+    // spill counts; timing stats checked for internal consistency only. At
+    // least one branchy kernel must actually exercise the hazard and
+    // misprediction machinery, otherwise the pipelined tier proves nothing.
+    let mut saw_stalls = false;
+    let mut saw_mispredicts = false;
+    for kernel in all_kernels() {
+        let mut module =
+            module_for(std::slice::from_ref(&kernel), kernel.name).expect("kernel compiles");
+        optimize_module(&mut module, &OptOptions::full());
+        for base in TargetDesc::presets() {
+            let (program, _jit) = compile_module(&module, &base, &JitOptions::split())
+                .unwrap_or_else(|e| panic!("{} on {}: {e}", kernel.name, base.name));
+            let pipe_target = base.clone().with_timing(TimingKind::InOrder);
+
+            let flat = PreparedProgram::prepare(&program, &base).unwrap();
+            let pipe = PreparedProgram::prepare(&program, &pipe_target).unwrap();
+
+            let mut flat_ws = Workspace::new(1 << 16);
+            let flat_inputs = prepare(kernel.name, N, 42, &mut flat_ws);
+            let mut flat_sim = PreparedSimulator::new(&flat);
+            let flat_result = flat_sim
+                .run(kernel.name, &flat_inputs.args, flat_ws.bytes_mut())
+                .unwrap_or_else(|e| panic!("{} on {} (flat): {e}", kernel.name, base.name));
+
+            let mut pipe_ws = Workspace::new(1 << 16);
+            let pipe_inputs = prepare(kernel.name, N, 42, &mut pipe_ws);
+            let mut pipe_sim = PreparedSimulator::new(&pipe);
+            let pipe_result = pipe_sim
+                .run(kernel.name, &pipe_inputs.args, pipe_ws.bytes_mut())
+                .unwrap_or_else(|e| panic!("{} on {} (pipelined): {e}", kernel.name, base.name));
+
+            assert_eq!(
+                flat_result, pipe_result,
+                "{} on {}: result diverged across timing tiers",
+                kernel.name, base.name
+            );
+            assert_eq!(
+                flat_ws.bytes(),
+                pipe_ws.bytes(),
+                "{} on {}: memory image diverged across timing tiers",
+                kernel.name,
+                base.name
+            );
+            assert_eq!(
+                checksum(flat_result, &flat_inputs, &flat_ws),
+                checksum(pipe_result, &pipe_inputs, &pipe_ws),
+                "{} on {}",
+                kernel.name,
+                base.name
+            );
+            let fs = flat_sim.stats();
+            let ps = pipe_sim.stats();
+            assert_eq!(
+                arch(&fs),
+                arch(&ps),
+                "{} on {}: architectural counters moved across timing tiers",
+                kernel.name,
+                base.name
+            );
+            assert_eq!(
+                (fs.stalls, fs.mispredicts, fs.predicted),
+                (0, 0, 0),
+                "{} on {}: flat timing must keep timing-class counters at zero",
+                kernel.name,
+                base.name
+            );
+            assert!(
+                ps.cycles >= ps.instructions,
+                "{} on {}: pipelined cycles {} < retired {}",
+                kernel.name,
+                base.name,
+                ps.cycles,
+                ps.instructions
+            );
+            assert!(
+                ps.mispredicts <= ps.branches,
+                "{} on {}: mispredicts {} > branches {}",
+                kernel.name,
+                base.name,
+                ps.mispredicts,
+                ps.branches
+            );
+            assert_eq!(
+                ps.predicted + ps.mispredicts,
+                ps.branches,
+                "{} on {}: every branch must be predicted exactly once",
+                kernel.name,
+                base.name
+            );
+
+            // The legacy walk under pipelined timing: architecture must agree
+            // with the prepared run (predictor state is per-run, and site ids
+            // differ between paths, so timing-class stats are not compared).
+            let mut legacy_ws = Workspace::new(1 << 16);
+            let legacy_inputs = prepare(kernel.name, N, 42, &mut legacy_ws);
+            let mut legacy_sim = Simulator::new(&program, &pipe_target);
+            let legacy_result = legacy_sim
+                .run_legacy(kernel.name, &legacy_inputs.args, legacy_ws.bytes_mut())
+                .unwrap_or_else(|e| {
+                    panic!("{} on {} (legacy pipelined): {e}", kernel.name, base.name)
+                });
+            assert_eq!(
+                legacy_result, pipe_result,
+                "{} on {}",
+                kernel.name, base.name
+            );
+            assert_eq!(
+                legacy_ws.bytes(),
+                pipe_ws.bytes(),
+                "{} on {}",
+                kernel.name,
+                base.name
+            );
+            let ls = legacy_sim.stats();
+            assert_eq!(arch(&ls), arch(&ps), "{} on {}", kernel.name, base.name);
+            assert!(ls.cycles >= ls.instructions);
+            assert_eq!(ls.predicted + ls.mispredicts, ls.branches);
+
+            saw_stalls |= ps.stalls > 0;
+            saw_mispredicts |= ps.mispredicts > 0;
+        }
+    }
+    assert!(
+        saw_stalls,
+        "no kernel on any target accrued a single hazard stall"
+    );
+    assert!(
+        saw_mispredicts,
+        "no kernel on any target mispredicted a single branch"
+    );
 }
 
 #[test]
