@@ -27,7 +27,11 @@
 //! requests/s, queue high water, queue-wait and execute latency quantiles,
 //! batch-size distribution, fault-tolerance counters — deadline expiries,
 //! cancellations, retries, breaker lifecycle — and aggregated engine-cache
-//! counters); and the `dispatch` row
+//! counters); the `store` row (the catalogue load run twice against one
+//! persistent artifact-store directory — cold with the store emptied, then
+//! warm in a fresh server that loads every key from disk instead of
+//! compiling — recording the cold-vs-warm time-to-first-response delta,
+//! the split-compilation saving a process restart no longer pays); and the `dispatch` row
 //! (the tight-loop kernel of `benches/simulator.rs` timed on the legacy
 //! walk, the metered enum loop and the threaded handler table: ns/run,
 //! ns/instruction, the speedup of each step, and the macro-op fusion and
@@ -35,8 +39,8 @@
 
 use splitc::experiments::{codesize, hetero, kpn, regalloc, splitflow, table1};
 use splitc::serve::{
-    default_chaos_plan, run_chaos, run_load, run_soak, Histogram, LoadConfig, LoadReport,
-    ServerStats, EMPTY_QUANTILE,
+    default_chaos_plan, run_chaos, run_load, run_soak, run_store_bench, Histogram, LoadConfig,
+    LoadReport, ServerStats, StoreBenchReport, EMPTY_QUANTILE,
 };
 use splitc::splitc_jit::JitOptions;
 use splitc::splitc_opt::{optimize_module, OptOptions};
@@ -308,7 +312,7 @@ fn serving_to_json(
 ) -> String {
     let batches = &stats.batch_sizes;
     format!(
-        "    {{\n      \"mode\": \"{mode}\",\n      \"workers\": {workers},\n      \"requests\": {requests},\n      \"elapsed_ns\": {:.0},\n      \"requests_per_sec\": {:.1},\n      \"queue_high_water\": {},\n      \"rejected\": {},\n      \"rejected_shutdown\": {},\n      \"queue_wait\": {},\n      \"execute\": {},\n      \"batches\": {{\"served\": {}, \"mean_size\": {:.3}, \"max_size\": {}}},\n      \"faults\": {{\"expired\": {}, \"cancelled\": {}, \"retried\": {}, \"degraded\": {}, \"failed_fast\": {}, \"injected\": {}, \"breaker_opened\": {}, \"breaker_half_opened\": {}, \"breaker_closed\": {}}},\n      \"retry_attempts\": {},\n      \"engines\": {},\n      \"cache\": {{\"compiles\": {}, \"hits\": {}, \"evictions\": {}}},\n      \"online_work\": {}\n    }}",
+        "    {{\n      \"mode\": \"{mode}\",\n      \"workers\": {workers},\n      \"requests\": {requests},\n      \"elapsed_ns\": {:.0},\n      \"requests_per_sec\": {:.1},\n      \"queue_high_water\": {},\n      \"rejected\": {},\n      \"rejected_shutdown\": {},\n      \"queue_wait\": {},\n      \"execute\": {},\n      \"batches\": {{\"served\": {}, \"mean_size\": {:.3}, \"max_size\": {}}},\n      \"faults\": {{\"expired\": {}, \"cancelled\": {}, \"retried\": {}, \"degraded\": {}, \"failed_fast\": {}, \"injected\": {}, \"breaker_opened\": {}, \"breaker_half_opened\": {}, \"breaker_closed\": {}}},\n      \"retry_attempts\": {},\n      \"engines\": {},\n      \"cache\": {{\"compiles\": {}, \"hits\": {}, \"evictions\": {}, \"disk_hits\": {}, \"disk_misses\": {}, \"disk_rejects\": {}}},\n      \"online_work\": {}\n    }}",
         elapsed_ns as f64,
         requests_per_sec,
         stats.queue_high_water,
@@ -333,7 +337,37 @@ fn serving_to_json(
         stats.cache.compiles,
         stats.cache.hits,
         stats.cache.evictions,
+        stats.cache.disk_hits,
+        stats.cache.disk_misses,
+        stats.cache.disk_rejects,
         stats.online_work,
+    )
+}
+
+/// Render the cold-vs-warm artifact-store benchmark as a JSON object: one
+/// pass object per temperature (time-to-first-response, total wall clock,
+/// throughput, compile and disk counters) plus the entry count and the
+/// headline TTFR speedup a restart gains from the persistent store.
+fn store_to_json(report: &StoreBenchReport) -> String {
+    let pass = |r: &LoadReport| {
+        format!(
+            "{{\"requests\": {}, \"ttfr_ns\": {}, \"elapsed_ns\": {}, \"requests_per_sec\": {:.1}, \"compiles\": {}, \"disk_hits\": {}, \"disk_misses\": {}, \"disk_rejects\": {}}}",
+            r.requests,
+            r.ttfr_ns,
+            r.elapsed_ns,
+            r.requests_per_sec,
+            r.stats.cache.compiles,
+            r.stats.cache.disk_hits,
+            r.stats.cache.disk_misses,
+            r.stats.cache.disk_rejects,
+        )
+    };
+    format!(
+        "    {{\n      \"entries\": {},\n      \"cold\": {},\n      \"warm\": {},\n      \"ttfr_speedup\": {:.3}\n    }}",
+        report.entries,
+        pass(&report.cold),
+        pass(&report.warm),
+        report.ttfr_speedup(),
     )
 }
 
@@ -423,6 +457,18 @@ fn write_sweep_json(path: &str, n: usize) -> Result<(), Box<dyn std::error::Erro
         chaos.requests_per_sec,
         &chaos.stats,
     ));
+    // The store row: the same catalogue traffic against a persistent
+    // artifact store, cold then warm. The driver itself asserts the
+    // split-compilation contract (warm pass: zero compiles, one disk hit
+    // per key, bit-identical checksums); the row records what that is
+    // worth in time-to-first-response.
+    let store_dir = std::env::temp_dir().join(format!("splitc-bench-store-{}", std::process::id()));
+    let store_report = run_store_bench(
+        &LoadConfig::catalogue(n, requests).with_workers(4),
+        &store_dir,
+    )?;
+    let store_row = store_to_json(&store_report);
+    std::fs::remove_dir_all(&store_dir).ok();
     // The dispatch trajectory: the tight-loop kernel three ways, the
     // headline of `benches/simulator.rs`.
     let dispatch_row = dispatch_to_json(&dispatch::measure(JSON_DISPATCH_RUNS));
@@ -430,10 +476,11 @@ fn write_sweep_json(path: &str, n: usize) -> Result<(), Box<dyn std::error::Erro
     let timing_rows = timing_to_json(n)?;
     let host_cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
     let json = format!(
-        "{{\n  \"schema\": \"splitc-bench-sweep/6\",\n  \"n\": {n},\n  \"repeats\": {JSON_SWEEP_REPEATS},\n  \"host_cores\": {host_cores},\n  \"sweeps\": [\n{}\n  ],\n  \"timing\": [\n{}\n  ],\n  \"serving\": [\n{}\n  ],\n  \"dispatch\": [\n{}\n  ]\n}}\n",
+        "{{\n  \"schema\": \"splitc-bench-sweep/7\",\n  \"n\": {n},\n  \"repeats\": {JSON_SWEEP_REPEATS},\n  \"host_cores\": {host_cores},\n  \"sweeps\": [\n{}\n  ],\n  \"timing\": [\n{}\n  ],\n  \"serving\": [\n{}\n  ],\n  \"store\": [\n{}\n  ],\n  \"dispatch\": [\n{}\n  ]\n}}\n",
         sweeps.join(",\n"),
         timing_rows,
         serving.join(",\n"),
+        store_row,
         dispatch_row,
     );
     std::fs::write(path, json)?;

@@ -7,7 +7,7 @@
 //! splitc run <module.svbc|kernels.mc> --kernel <fn> --target <name> [--arg i:<int>|f:<float>]...
 //! splitc disasm <catalogue-kernel|module.svbc|kernels.mc> [--target <name>] [--timing flat|in-order] [--no-fuse]
 //! splitc bench <catalogue-kernel> [--n <elems>] [--target <name>] [--jobs <N>] [--repeats <R>]
-//! splitc serve-bench [--n <elems>] [--requests <R>] [--workers <N>] [--queue <Q>] [--cache-cap <C>] [--max-batch <B>] [--seed <S>] [--soak | --chaos]
+//! splitc serve-bench [--n <elems>] [--requests <R>] [--workers <N>] [--queue <Q>] [--cache-cap <C>] [--max-batch <B>] [--seed <S>] [--soak | --chaos | --store <dir> [--no-store]]
 //! ```
 //!
 //! * `build` runs the offline step (front end + optimizer) and writes the
@@ -56,9 +56,18 @@
 //!   books (`accepted == completed + expired`, response tallies equal the
 //!   server counters) and bit-identity of every successful response against
 //!   its single-threaded reference — and fails loudly if the breaker never
-//!   opened or never recovered.
+//!   opened or never recovered. `--store <dir>` switches to the persistent
+//!   artifact-store benchmark: the same load runs twice against the store
+//!   directory — once cold (store cleared, every key compiled and
+//!   published) and once warm in a fresh server (zero compilations, every
+//!   key loaded from disk) — and prints the cold-vs-warm time-to-first-
+//!   response delta, asserting bit-identity between the passes.
+//!   `--no-store` cancels a `--store` flag (handy when a wrapper script
+//!   always passes one).
 
-use splitc::serve::{default_chaos_plan, run_chaos, run_load, run_soak, LoadConfig};
+use splitc::serve::{
+    default_chaos_plan, run_chaos, run_load, run_soak, run_store_bench, LoadConfig,
+};
 use splitc::splitc_jit::JitOptions;
 use splitc::splitc_opt::OptOptions;
 use splitc::splitc_targets::{MachineValue, TargetDesc, TimingKind};
@@ -68,7 +77,7 @@ use splitc::{fmt_cache_line, offline_compile, run_on_target, Workspace};
 use std::process::ExitCode;
 
 fn usage() -> &'static str {
-    "usage:\n  splitc build <kernels.mc> -o <module.svbc> [--no-vectorize] [--strip]\n  splitc dis <module.svbc>\n  splitc targets\n  splitc run <module.svbc|kernels.mc> --kernel <fn> --target <name> [--arg i:<int>|f:<float>]...\n  splitc disasm <catalogue-kernel|module.svbc|kernels.mc> [--target <name>] [--timing flat|in-order] [--no-fuse]\n  splitc bench <kernel> [--n <elems>] [--target <name>] [--jobs <N>] [--repeats <R>]\n  splitc serve-bench [--n <elems>] [--requests <R>] [--workers <N>] [--queue <Q>] [--cache-cap <C>] [--max-batch <B>] [--seed <S>] [--soak | --chaos]"
+    "usage:\n  splitc build <kernels.mc> -o <module.svbc> [--no-vectorize] [--strip]\n  splitc dis <module.svbc>\n  splitc targets\n  splitc run <module.svbc|kernels.mc> --kernel <fn> --target <name> [--arg i:<int>|f:<float>]...\n  splitc disasm <catalogue-kernel|module.svbc|kernels.mc> [--target <name>] [--timing flat|in-order] [--no-fuse]\n  splitc bench <kernel> [--n <elems>] [--target <name>] [--jobs <N>] [--repeats <R>]\n  splitc serve-bench [--n <elems>] [--requests <R>] [--workers <N>] [--queue <Q>] [--cache-cap <C>] [--max-batch <B>] [--seed <S>] [--soak | --chaos | --store <dir> [--no-store]]"
 }
 
 /// Parse one `--arg` value of the form `i:<integer>` or `f:<float>`.
@@ -320,8 +329,15 @@ fn cmd_serve_bench(mut args: Vec<String>) -> Result<(), String> {
         .transpose()?;
     let soak = take_switch(&mut args, "--soak");
     let chaos = take_switch(&mut args, "--chaos");
+    let mut store_dir = take_flag(&mut args, "--store");
+    if take_switch(&mut args, "--no-store") {
+        store_dir = None;
+    }
     if soak && chaos {
         return Err("--soak and --chaos are mutually exclusive".to_owned());
+    }
+    if store_dir.is_some() && (soak || chaos) {
+        return Err("--store runs the cold-vs-warm load driver; drop --soak/--chaos".to_owned());
     }
     if let Some(extra) = args.first() {
         return Err(format!(
@@ -336,7 +352,11 @@ fn cmd_serve_bench(mut args: Vec<String>) -> Result<(), String> {
     if let Some(seed) = seed {
         cfg = cfg.with_seed(seed);
     }
-    if chaos {
+    if let Some(dir) = store_dir {
+        let report = run_store_bench(&cfg, std::path::Path::new(&dir))
+            .map_err(|e| format!("store benchmark failed: {e}"))?;
+        print!("{}", report.render());
+    } else if chaos {
         let plan = default_chaos_plan(cfg.kernels.len() * cfg.targets.len(), cfg.seed);
         let report = run_chaos(&cfg, &plan).map_err(|e| format!("chaos soak failed: {e}"))?;
         print!("{}", report.render());
@@ -494,6 +514,43 @@ mod tests {
             cmd_serve_bench(vec!["--soak".into(), "--chaos".into()]).is_err(),
             "the two soak modes are mutually exclusive"
         );
+    }
+
+    #[test]
+    fn serve_bench_store_runs_cold_then_warm() {
+        let dir = std::env::temp_dir().join(format!(
+            "splitc-cli-store-{}-serve_bench_store_runs_cold_then_warm",
+            std::process::id()
+        ));
+        cmd_serve_bench(vec![
+            "--n".into(),
+            "32".into(),
+            "--requests".into(),
+            "12".into(),
+            "--workers".into(),
+            "2".into(),
+            "--store".into(),
+            dir.to_string_lossy().into_owned(),
+        ])
+        .expect("store benchmark succeeds (cold pass compiles, warm pass loads)");
+        assert!(
+            cmd_serve_bench(vec!["--store".into(), "x".into(), "--soak".into()]).is_err(),
+            "--store and --soak are mutually exclusive"
+        );
+        // --no-store cancels --store: this runs the plain load driver.
+        cmd_serve_bench(vec![
+            "--n".into(),
+            "32".into(),
+            "--requests".into(),
+            "4".into(),
+            "--workers".into(),
+            "1".into(),
+            "--store".into(),
+            dir.to_string_lossy().into_owned(),
+            "--no-store".into(),
+        ])
+        .expect("--no-store falls back to the storeless load");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -80,8 +80,9 @@ pub use sweep::{SweepCell, SweepConfig, SweepResult};
 // engine instead of paying one compilation per `run_on_target` call, plus
 // the deploy-time preparation types (pre-decoded programs, frame pools).
 pub use splitc_runtime::{
-    CacheSnapshot, CacheStats, EngineError, Execution, ExecutionEngine, FramePool, PreparedProgram,
-    PreparedSimulator,
+    ArtifactStore, CacheSnapshot, CacheStats, EngineError, Execution, ExecutionEngine, FramePool,
+    PreparedProgram, PreparedSimulator, StoreKey, StoreLoad, StoredArtifact, STORE_FORMAT_VERSION,
+    STORE_MAGIC,
 };
 
 // Re-export the component crates so that downstream users (examples, tests,

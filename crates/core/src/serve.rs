@@ -35,8 +35,11 @@ use crate::report::fmt_cache_line;
 use crate::session::{run_on_target, PipelineError, Workspace};
 use splitc_jit::JitOptions;
 use splitc_opt::{optimize_module, OptOptions};
+use splitc_runtime::ArtifactStore;
 use splitc_targets::TargetDesc;
 use splitc_workloads::{module_for, table1_kernels, Kernel};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Shape of one serving load: traffic mix, volume and server sizing.
@@ -64,6 +67,9 @@ pub struct LoadConfig {
     /// Continuous-batching bound forwarded to [`ServerConfig::max_batch`]
     /// (1 disables batching).
     pub max_batch: usize,
+    /// Persistent artifact store the server's engines consult before
+    /// compiling (`None` = in-memory caching only, the historical behaviour).
+    pub store: Option<Arc<ArtifactStore>>,
 }
 
 impl LoadConfig {
@@ -81,6 +87,7 @@ impl LoadConfig {
             seed: 0xdac,
             options: JitOptions::split(),
             max_batch: 16,
+            store: None,
         }
     }
 
@@ -113,6 +120,15 @@ impl LoadConfig {
     /// it, so two runs with one seed are replays of each other.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Same load backed by a persistent artifact store: every engine the
+    /// server deduplicates probes `store` before compiling and publishes
+    /// what it compiles, so a second process (or a second [`run_load`])
+    /// pointed at the same directory starts warm.
+    pub fn with_store(mut self, store: Arc<ArtifactStore>) -> Self {
+        self.store = Some(store);
         self
     }
 }
@@ -148,6 +164,12 @@ pub struct LoadReport {
     /// Wall-clock duration from first submission to last response, in
     /// nanoseconds.
     pub elapsed_ns: u128,
+    /// Time to first response: wall-clock duration from first submission
+    /// until the *first submitted* request's response arrived, in
+    /// nanoseconds. On a cold start this is dominated by the first online
+    /// compilation; with a populated artifact store it collapses to a disk
+    /// read — the cold-vs-warm delta [`run_store_bench`] reports.
+    pub ttfr_ns: u128,
     /// Serving throughput over that window.
     pub requests_per_sec: f64,
     /// Per-request result checksums, in submission order — the bit-identity
@@ -161,11 +183,12 @@ impl LoadReport {
     /// Render the report the way `splitc serve-bench` prints it.
     pub fn render(&self) -> String {
         let mut out = format!(
-            "serve: {} requests over {} workers in {:.1} ms ({:.1} req/s)\n",
+            "serve: {} requests over {} workers in {:.1} ms ({:.1} req/s, first response {:.1} ms)\n",
             self.requests,
             self.workers,
             self.elapsed_ns as f64 / 1e6,
             self.requests_per_sec,
+            self.ttfr_ns as f64 / 1e6,
         );
         out.push_str(&format!(
             "queue: high water {} · accepted {} · completed {} · rejected {}\n",
@@ -265,6 +288,7 @@ pub fn run_load(cfg: &LoadConfig) -> Result<LoadReport, PipelineError> {
         cache_capacity: cfg.cache_capacity,
         max_batch: cfg.max_batch,
         seed: cfg.seed,
+        store: cfg.store.clone(),
         ..ServerConfig::default()
     });
 
@@ -306,9 +330,16 @@ pub fn run_load(cfg: &LoadConfig) -> Result<LoadReport, PipelineError> {
 
     // The clock stops at the last *response*; checksumming the returned
     // memory images is generator-side verification work, done after.
+    // Handles resolve in submission order, so the first wait that returns
+    // dates the first submitted request's response — the time-to-first-
+    // response a freshly started deployment makes its users feel.
     let mut responses = Vec::with_capacity(cfg.requests);
-    for handle in handles {
+    let mut ttfr_ns = 0u128;
+    for (i, handle) in handles.into_iter().enumerate() {
         responses.push(handle.wait().expect("serving worker died mid-load"));
+        if i == 0 {
+            ttfr_ns = start.elapsed().as_nanos();
+        }
     }
     let elapsed_ns = start.elapsed().as_nanos();
 
@@ -325,9 +356,113 @@ pub fn run_load(cfg: &LoadConfig) -> Result<LoadReport, PipelineError> {
         requests: cfg.requests,
         workers,
         elapsed_ns,
+        ttfr_ns,
         requests_per_sec: cfg.requests as f64 / secs,
         checksums,
         stats,
+    })
+}
+
+/// A completed cold-vs-warm artifact-store benchmark ([`run_store_bench`]):
+/// the same load run twice against one store directory — first with the
+/// store emptied (every engine compiles and publishes), then again in a
+/// fresh server sharing the now-populated store (every engine loads instead
+/// of compiling). The cold/warm time-to-first-response delta is the number
+/// the persistent store exists for: it is the compilation latency a restart
+/// no longer pays.
+#[derive(Debug, Clone)]
+pub struct StoreBenchReport {
+    /// Store directory both passes shared.
+    pub dir: PathBuf,
+    /// Entries on disk after the warm pass — one per distinct
+    /// `(module, target, options)` key the load exercised.
+    pub entries: usize,
+    /// The cold pass: empty store, every key compiled and published.
+    pub cold: LoadReport,
+    /// The warm pass: a fresh server, zero compilations, every key served
+    /// from disk — bit-identical checksums to the cold pass.
+    pub warm: LoadReport,
+}
+
+impl StoreBenchReport {
+    /// Cold TTFR over warm TTFR — how much faster a restarted deployment
+    /// answers its first request thanks to the store.
+    pub fn ttfr_speedup(&self) -> f64 {
+        self.cold.ttfr_ns as f64 / (self.warm.ttfr_ns as f64).max(1.0)
+    }
+
+    /// Render the report the way `splitc serve-bench --store` prints it.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "store: {} ({} entries after the cold pass)\n",
+            self.dir.display(),
+            self.entries,
+        );
+        out.push_str(&format!(
+            "cold: first response {:.2} ms · total {:.1} ms · {} compiles · {} disk misses\n",
+            self.cold.ttfr_ns as f64 / 1e6,
+            self.cold.elapsed_ns as f64 / 1e6,
+            self.cold.stats.cache.compiles,
+            self.cold.stats.cache.disk_misses,
+        ));
+        out.push_str(&format!(
+            "warm: first response {:.2} ms · total {:.1} ms · {} compiles · {} disk hits\n",
+            self.warm.ttfr_ns as f64 / 1e6,
+            self.warm.elapsed_ns as f64 / 1e6,
+            self.warm.stats.cache.compiles,
+            self.warm.stats.cache.disk_hits,
+        ));
+        out.push_str(&format!(
+            "time-to-first-response speedup: {}x\n",
+            crate::report::fmt_speedup(self.ttfr_speedup()),
+        ));
+        out
+    }
+}
+
+/// Run the cold-vs-warm artifact-store benchmark: clear the store at `dir`,
+/// run `cfg`'s load against it cold (compiling and publishing every key),
+/// then run the identical load again in a fresh server sharing the now-warm
+/// store, and assert the split-compilation contract on the way out:
+/// the warm pass compiles **nothing** (`compiles == 0`, one disk hit per
+/// key the cold pass compiled) and its responses are bit-identical,
+/// checksum-for-checksum, to the cold pass's.
+///
+/// # Errors
+///
+/// Returns the first [`PipelineError`] either pass produces.
+///
+/// # Panics
+///
+/// Panics if the store directory cannot be created, or if the warm pass
+/// violates the contract above (a store bug — staleness must fall back to
+/// recompilation, never to a wrong or slow-path answer).
+pub fn run_store_bench(cfg: &LoadConfig, dir: &Path) -> Result<StoreBenchReport, PipelineError> {
+    let store = Arc::new(
+        ArtifactStore::open(dir)
+            .unwrap_or_else(|e| panic!("cannot open artifact store at {}: {e}", dir.display())),
+    );
+    store.clear();
+    let cfg = cfg.clone().with_store(Arc::clone(&store));
+    let cold = run_load(&cfg)?;
+    let warm = run_load(&cfg)?;
+    assert_eq!(
+        cold.checksums, warm.checksums,
+        "store-loaded responses must be bit-identical to freshly compiled ones"
+    );
+    assert_eq!(
+        warm.stats.cache.compiles, 0,
+        "a warm store must satisfy every key without compiling"
+    );
+    assert_eq!(
+        warm.stats.cache.disk_hits, cold.stats.cache.compiles,
+        "the warm pass must hit the store once per key the cold pass compiled"
+    );
+    Ok(StoreBenchReport {
+        dir: dir.to_path_buf(),
+        entries: store.len(),
+        cold,
+        warm,
     })
 }
 
@@ -469,6 +604,7 @@ pub fn run_soak(cfg: &LoadConfig) -> Result<SoakReport, PipelineError> {
         cache_capacity: cfg.cache_capacity,
         max_batch: cfg.max_batch,
         seed: cfg.seed,
+        store: cfg.store.clone(),
         ..ServerConfig::default()
     });
     let window = (cfg.queue_capacity * 2).clamp(1, cfg.requests.max(1));
@@ -805,6 +941,7 @@ pub fn run_chaos(cfg: &LoadConfig, plan: &FaultPlan) -> Result<ChaosReport, Pipe
             cache_capacity: cfg.cache_capacity,
             max_batch: cfg.max_batch,
             seed: cfg.seed,
+            store: cfg.store.clone(),
             ..ServerConfig::default()
         }
         .with_faults(plan.clone())

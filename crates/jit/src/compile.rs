@@ -64,6 +64,29 @@ impl JitOptions {
             fuse: true,
         }
     }
+
+    /// Stable FNV-1a fingerprint of the option set.
+    ///
+    /// Unlike `Hash`, whose output is unspecified across Rust versions and
+    /// hasher seeds, this fingerprint is part of the persistent artifact
+    /// store's on-disk key — it must produce identical values in every
+    /// process that shares a store directory. Changing the encoding here
+    /// invalidates every stored entry (which is safe: key misses fall back
+    /// to a fresh compile), so keep it in sync with the fields of the
+    /// struct and give new fields new byte positions.
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = splitc_targets::Fnv1a::new();
+        h.write(&[
+            match self.regalloc {
+                RegAllocMode::SplitAnnotations => 0u8,
+                RegAllocMode::OnlineGreedy => 1,
+                RegAllocMode::OnlineAnalyze => 2,
+            },
+            self.allow_simd as u8,
+            self.fuse as u8,
+        ]);
+        h.finish()
+    }
 }
 
 /// Measured cost and outcome of one online compilation.

@@ -40,8 +40,8 @@
 //!   are mid-flight is therefore *consistent*: it never tears a single
 //!   lookup apart (each lookup bumps exactly one counter, atomically with
 //!   the map change it describes), successive snapshots are pointwise
-//!   non-decreasing, and `compiles - evictions` always equals the number of
-//!   resident compiled entries ([`CacheSnapshot::live`]). The serving layer
+//!   non-decreasing, and `compiles + disk_hits - evictions` always equals
+//!   the number of resident entries ([`CacheSnapshot::live`]). The serving layer
 //!   ([`crate::serve`]) relies on exactly these guarantees when it reports
 //!   cache counters from a live worker pool.
 //!
@@ -83,13 +83,14 @@
 //! # }
 //! ```
 
+use crate::store::{ArtifactStore, StoreKey, StoreLoad};
 use splitc_jit::{compile_module, JitError, JitOptions, JitStats};
 use splitc_minic::CompileError;
 use splitc_targets::{
-    FramePool, MProgram, MachineValue, PreparedProgram, SimError, SimStats, TargetDesc,
+    Fnv1a, FramePool, MProgram, MachineValue, PreparedProgram, SimError, SimStats, TargetDesc,
     DEFAULT_SIM_FUEL,
 };
-use splitc_vbc::Module;
+use splitc_vbc::{encode_module, Module};
 use std::collections::HashMap;
 use std::error::Error;
 use std::fmt;
@@ -227,20 +228,35 @@ impl Execution {
 
 /// Code-cache counters of an [`ExecutionEngine`].
 ///
-/// `compiles + hits` is the total number of program lookups; the difference
-/// between the two is the amortization story of the paper: after the first
-/// run per (target, options) pair, the online compiler never runs again —
-/// unless a cache bound evicted the entry, which `evictions` counts.
+/// `compiles + hits + disk_hits` is the total number of program lookups; the
+/// gap between compiles and the rest is the amortization story of the paper:
+/// after the first run per (target, options) pair, the online compiler never
+/// runs again — unless a cache bound evicted the entry, which `evictions`
+/// counts. With a persistent [`crate::ArtifactStore`] attached, even the
+/// *first* lookup of a process can skip the compiler: `disk_hits` counts
+/// programs loaded from a prior process's compilation, `disk_misses` cold
+/// keys that had no entry on disk, and `disk_rejects` entries that existed
+/// but failed validation (and were overwritten by the fresh compile). All
+/// three stay 0 when no store is attached.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
     /// Online compilations performed (cache misses, including recompiles of
     /// evicted entries).
     pub compiles: u64,
-    /// Lookups served from the cache without compiling (including lookups
-    /// that waited on a racing thread's in-flight compilation).
+    /// Lookups served from the in-memory cache without compiling (including
+    /// lookups that waited on a racing thread's in-flight compilation).
     pub hits: u64,
     /// Entries removed by the LRU bound (0 while the cache is unbounded).
     pub evictions: u64,
+    /// Lookups served by loading a validated artifact from the persistent
+    /// store instead of compiling.
+    pub disk_hits: u64,
+    /// Store probes that found no entry for the key (followed by a fresh
+    /// compile that then populated the store).
+    pub disk_misses: u64,
+    /// Store probes that found an entry but rejected it (corrupt, truncated,
+    /// or version-skewed; followed by a fresh compile that overwrote it).
+    pub disk_rejects: u64,
 }
 
 impl std::ops::AddAssign for CacheStats {
@@ -248,21 +264,25 @@ impl std::ops::AddAssign for CacheStats {
         self.compiles += other.compiles;
         self.hits += other.hits;
         self.evictions += other.evictions;
+        self.disk_hits += other.disk_hits;
+        self.disk_misses += other.disk_misses;
+        self.disk_rejects += other.disk_rejects;
     }
 }
 
 impl CacheStats {
-    /// Total lookups (compiles plus hits).
+    /// Total lookups (compiles plus in-memory hits plus disk hits).
     pub fn lookups(&self) -> u64 {
-        self.compiles + self.hits
+        self.compiles + self.hits + self.disk_hits
     }
 
-    /// Fraction of lookups served from the cache (0.0 when there were none).
+    /// Fraction of lookups served without compiling — from the in-memory
+    /// cache or the persistent store (0.0 when there were none).
     pub fn hit_rate(&self) -> f64 {
         if self.lookups() == 0 {
             0.0
         } else {
-            self.hits as f64 / self.lookups() as f64
+            (self.hits + self.disk_hits) as f64 / self.lookups() as f64
         }
     }
 }
@@ -308,9 +328,11 @@ struct Shard {
 /// the cache mutation it describes, any snapshot — even one taken while
 /// worker threads are mid-lookup — satisfies:
 ///
-/// * `stats.lookups() == stats.compiles + stats.hits` (definitional);
-/// * `live == stats.compiles - stats.evictions` — no lookup is ever half
-///   counted;
+/// * `stats.lookups() == stats.compiles + stats.hits + stats.disk_hits`
+///   (definitional);
+/// * `live == stats.compiles + stats.disk_hits - stats.evictions` — every
+///   resident entry got there by a compile or a validated disk load, and no
+///   lookup is ever half counted;
 /// * successive snapshots are pointwise non-decreasing.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CacheSnapshot {
@@ -319,7 +341,7 @@ pub struct CacheSnapshot {
     /// Total online-compilation work units spent at the snapshot instant.
     pub online_work: u64,
     /// Compiled entries resident at the snapshot instant; always exactly
-    /// `stats.compiles - stats.evictions`.
+    /// `stats.compiles + stats.disk_hits - stats.evictions`.
     pub live: usize,
 }
 
@@ -348,6 +370,28 @@ impl Drop for InFlightGuard<'_> {
     }
 }
 
+/// A persistent store attached to an engine, with the module fingerprint
+/// (over the canonical vbc encoding) that keys this deployment's entries.
+#[derive(Debug)]
+struct StoreHandle {
+    store: Arc<ArtifactStore>,
+    module_fp: u64,
+}
+
+/// What the compiling thread's pre-compile store probe found. Carried into
+/// the bookkeeping paths so the right disk counter moves under the shard
+/// lock, atomically with the cache mutation it explains.
+enum DiskProbe {
+    /// No store attached.
+    NoStore,
+    /// A validated artifact was loaded; no compilation needed.
+    Hit(Box<CompiledModule>),
+    /// No entry on disk for this key; compile and then populate it.
+    Miss(StoreKey),
+    /// An entry existed but failed validation; compile and overwrite it.
+    Reject(StoreKey),
+}
+
 /// What `program_for` decided to do after the (brief) shard-locked lookup.
 enum Role {
     /// Another thread is compiling this key; wait for its result.
@@ -374,6 +418,9 @@ pub struct ExecutionEngine {
     len: AtomicUsize,
     /// LRU bound on `len`; 0 means unbounded.
     capacity: AtomicUsize,
+    /// Optional persistent artifact store probed before any cold compile
+    /// (and populated after one). `None` keeps the historical behaviour.
+    store: Option<StoreHandle>,
 }
 
 impl ExecutionEngine {
@@ -390,7 +437,34 @@ impl ExecutionEngine {
             clock: AtomicU64::new(0),
             len: AtomicUsize::new(0),
             capacity: AtomicUsize::new(0),
+            store: None,
         }
+    }
+
+    /// Attach a persistent [`ArtifactStore`]: cold compiles first probe the
+    /// store (outside every shard lock, deduplicated by the same in-flight
+    /// rendezvous that dedups compiles) and populate it on miss or reject.
+    ///
+    /// The module fingerprint keying this deployment's entries is computed
+    /// here, once, over the canonical vbc encoding. Callers that already
+    /// hold that fingerprint (the serving tier does) should use
+    /// [`ExecutionEngine::with_store_keyed`] and skip the re-encode.
+    pub fn with_store(self, store: Arc<ArtifactStore>) -> Self {
+        let module_fp = Fnv1a::hash(&encode_module(&self.module));
+        self.with_store_keyed(store, module_fp)
+    }
+
+    /// Attach a persistent [`ArtifactStore`] using a caller-supplied module
+    /// fingerprint (which must be the FNV-1a hash of the module's canonical
+    /// vbc encoding — the value [`ExecutionEngine::with_store`] computes).
+    pub fn with_store_keyed(mut self, store: Arc<ArtifactStore>, module_fp: u64) -> Self {
+        self.store = Some(StoreHandle { store, module_fp });
+        self
+    }
+
+    /// The attached persistent store, if any.
+    pub fn store(&self) -> Option<&Arc<ArtifactStore>> {
+        self.store.as_ref().map(|h| &h.store)
     }
 
     /// The deployed bytecode module.
@@ -490,6 +564,37 @@ impl ExecutionEngine {
                     cell: &cell,
                     armed: true,
                 };
+                // Probe the persistent store before compiling, also outside
+                // every shard lock. The in-flight marker already dedups this
+                // path per cold key, so N threads (and, via the filesystem,
+                // N processes) racing on one cold key perform at most one
+                // disk read each — never a thundering herd of decodes.
+                let probe = self.probe_store(target, options, key.0);
+                if let DiskProbe::Hit(compiled) = probe {
+                    let compiled: Arc<CompiledModule> = Arc::from(compiled);
+                    {
+                        let mut locked = shard.lock().expect("engine cache shard poisoned");
+                        locked.entries.insert(
+                            key,
+                            ShardEntry::Ready(ReadyEntry {
+                                compiled: Arc::clone(&compiled),
+                                stamp: self.clock.fetch_add(1, Ordering::Relaxed),
+                            }),
+                        );
+                        // A disk hit is a resident entry that no compile
+                        // explains: it moves `disk_hits` (not `compiles`,
+                        // and no online work — none was done), under the
+                        // same lock as the insert, preserving the snapshot
+                        // invariant `live == compiles + disk_hits -
+                        // evictions`.
+                        locked.stats.disk_hits += 1;
+                        self.len.fetch_add(1, Ordering::Relaxed);
+                    }
+                    guard.armed = false;
+                    let _ = cell.set(Ok(Arc::clone(&compiled)));
+                    self.enforce_capacity();
+                    return Ok(compiled);
+                }
                 // The deploy-time step is compilation *plus* pre-decoding:
                 // the prepared form is built here, once, and cached with the
                 // program, so no run ever pays preparation again. A prepare
@@ -529,21 +634,41 @@ impl ExecutionEngine {
                             // under — so a concurrent snapshot can never see
                             // the entry without its compile (or vice versa),
                             // whatever order racing inserts and evictions
-                            // interleave in.
+                            // interleave in. The disk counter rides along:
+                            // the probe outcome is part of this lookup.
                             locked.stats.compiles += 1;
                             locked.online_work += jit.total_work();
+                            match &probe {
+                                DiskProbe::Miss(_) => locked.stats.disk_misses += 1,
+                                DiskProbe::Reject(_) => locked.stats.disk_rejects += 1,
+                                DiskProbe::NoStore | DiskProbe::Hit(_) => {}
+                            }
                             self.len.fetch_add(1, Ordering::Relaxed);
                         }
                         guard.armed = false;
                         let _ = cell.set(Ok(Arc::clone(&compiled)));
                         self.enforce_capacity();
+                        // Populate (or overwrite) the store entry —
+                        // best-effort, after the waiters were released, so
+                        // disk latency never extends the rendezvous.
+                        if let (Some(handle), DiskProbe::Miss(skey) | DiskProbe::Reject(skey)) =
+                            (&self.store, &probe)
+                        {
+                            handle.store.save(skey, &compiled.program, &compiled.jit);
+                        }
                         Ok(compiled)
                     }
                     Err(e) => {
                         // Drop the marker so a later request can retry, then
-                        // wake the waiters with the error.
+                        // wake the waiters with the error. The disk probe
+                        // still happened — count it with the removal.
                         let mut locked = shard.lock().expect("engine cache shard poisoned");
                         locked.entries.remove(&key);
+                        match &probe {
+                            DiskProbe::Miss(_) => locked.stats.disk_misses += 1,
+                            DiskProbe::Reject(_) => locked.stats.disk_rejects += 1,
+                            DiskProbe::NoStore | DiskProbe::Hit(_) => {}
+                        }
                         drop(locked);
                         guard.armed = false;
                         let _ = cell.set(Err(e.clone()));
@@ -551,6 +676,37 @@ impl ExecutionEngine {
                     }
                 }
             }
+        }
+    }
+
+    /// Probe the attached store (if any) for this deployment's artifact for
+    /// `(target, options)`. A hit re-runs deploy-time preparation on the
+    /// loaded program — preparation is deterministic and version-coupled to
+    /// the simulator, so it is recomputed rather than trusted from disk; an
+    /// artifact that decodes but fails to prepare is treated exactly like a
+    /// corrupt entry (reject → fresh compile → overwrite).
+    fn probe_store(&self, target: &TargetDesc, options: &JitOptions, target_fp: u64) -> DiskProbe {
+        let Some(handle) = &self.store else {
+            return DiskProbe::NoStore;
+        };
+        let skey = StoreKey {
+            module_fp: handle.module_fp,
+            target_fp,
+            options_fp: options.fingerprint(),
+        };
+        match handle.store.load(&skey) {
+            StoreLoad::Hit(artifact) => {
+                match PreparedProgram::prepare_with(&artifact.program, target, options.fuse) {
+                    Ok(prepared) => DiskProbe::Hit(Box::new(CompiledModule {
+                        program: artifact.program,
+                        jit: artifact.jit,
+                        prepared,
+                    })),
+                    Err(_) => DiskProbe::Reject(skey),
+                }
+            }
+            StoreLoad::Miss => DiskProbe::Miss(skey),
+            StoreLoad::Reject => DiskProbe::Reject(skey),
         }
     }
 
@@ -757,7 +913,8 @@ impl ExecutionEngine {
     /// All [`SHARD_COUNT`] shard locks are held simultaneously while the
     /// counters are summed, so the result reflects one instant: no lookup,
     /// compile or eviction is ever half-counted, and
-    /// `live == stats.compiles - stats.evictions` holds in every snapshot —
+    /// `live == stats.compiles + stats.disk_hits - stats.evictions` holds in
+    /// every snapshot —
     /// the guarantee the serving layer's live statistics rely on. Locks are
     /// acquired in shard order and every other engine path holds at most one
     /// shard lock at a time, so the sweep cannot deadlock.
@@ -1207,9 +1364,12 @@ mod tests {
             // The consistency invariant the serving layer reads stats under.
             assert_eq!(
                 snap.live,
-                (snap.stats.compiles - snap.stats.evictions) as usize
+                (snap.stats.compiles + snap.stats.disk_hits - snap.stats.evictions) as usize
             );
-            assert_eq!(snap.stats.lookups(), snap.stats.compiles + snap.stats.hits);
+            assert_eq!(
+                snap.stats.lookups(),
+                snap.stats.compiles + snap.stats.hits + snap.stats.disk_hits
+            );
             // Pointwise monotonic across successive snapshots.
             assert!(snap.stats.compiles >= prev.stats.compiles);
             assert!(snap.stats.hits >= prev.stats.hits);
@@ -1220,6 +1380,139 @@ mod tests {
         assert_eq!(prev.live, 2, "the LRU bound caps resident entries");
         assert_eq!(engine.stats(), prev.stats, "stats() is the snapshot view");
         assert_eq!(engine.online_work(), prev.online_work);
+    }
+
+    fn temp_store(name: &str) -> Arc<crate::ArtifactStore> {
+        let dir =
+            std::env::temp_dir().join(format!("splitc-engine-store-{}-{name}", std::process::id()));
+        let store = crate::ArtifactStore::open(dir).expect("temp store opens");
+        store.clear();
+        Arc::new(store)
+    }
+
+    #[test]
+    fn warm_engine_loads_from_disk_instead_of_compiling() {
+        let store = temp_store("warm");
+        let options = JitOptions::split();
+        let targets = TargetDesc::presets();
+        let mut mem = vec![0u8; 256];
+
+        // Cold process: everything compiles, the store gets populated.
+        let cold = deployed().with_store(Arc::clone(&store));
+        let mut cold_runs = Vec::new();
+        for target in &targets {
+            let run = cold
+                .run(
+                    target,
+                    &options,
+                    "triple",
+                    &[MachineValue::Int(7)],
+                    &mut mem,
+                )
+                .unwrap();
+            cold_runs.push(run);
+        }
+        let cold_stats = cold.stats();
+        assert_eq!(cold_stats.compiles, targets.len() as u64);
+        assert_eq!(cold_stats.disk_misses, targets.len() as u64);
+        assert_eq!(cold_stats.disk_hits, 0);
+        assert_eq!(store.len(), targets.len());
+
+        // Warm process (a fresh engine on the same module + store): zero
+        // compiles, every key a disk hit, every response bit-identical.
+        let warm = deployed().with_store(Arc::clone(&store));
+        for (target, cold_run) in targets.iter().zip(&cold_runs) {
+            let run = warm
+                .run(
+                    target,
+                    &options,
+                    "triple",
+                    &[MachineValue::Int(7)],
+                    &mut mem,
+                )
+                .unwrap();
+            assert_eq!(run.result, cold_run.result);
+            assert_eq!(run.stats, cold_run.stats);
+            assert_eq!(run.jit, cold_run.jit, "stored JitStats replay exactly");
+        }
+        let warm_stats = warm.stats();
+        assert_eq!(warm_stats.compiles, 0, "warm start never compiles");
+        assert_eq!(warm_stats.disk_hits, targets.len() as u64);
+        assert_eq!(warm_stats.disk_misses, 0);
+        let snap = warm.snapshot();
+        assert_eq!(
+            snap.live,
+            (snap.stats.compiles + snap.stats.disk_hits - snap.stats.evictions) as usize
+        );
+        store.clear();
+    }
+
+    #[test]
+    fn corrupted_store_entries_fall_back_to_recompilation() {
+        let store = temp_store("fallback");
+        let options = JitOptions::split();
+        let target = TargetDesc::x86_sse();
+        let mut mem = vec![0u8; 256];
+
+        let cold = deployed().with_store(Arc::clone(&store));
+        let reference = cold
+            .run(
+                &target,
+                &options,
+                "triple",
+                &[MachineValue::Int(5)],
+                &mut mem,
+            )
+            .unwrap();
+
+        // Corrupt the single entry on disk.
+        let entry = std::fs::read_dir(store.dir())
+            .unwrap()
+            .flatten()
+            .find(|e| e.file_name().to_string_lossy().ends_with(".svba"))
+            .expect("the cold run persisted an entry")
+            .path();
+        let mut bytes = std::fs::read(&entry).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xff;
+        std::fs::write(&entry, &bytes).unwrap();
+
+        // A fresh engine rejects the entry, recompiles bit-identically, and
+        // overwrites it so the *next* engine hits.
+        let engine = deployed().with_store(Arc::clone(&store));
+        let run = engine
+            .run(
+                &target,
+                &options,
+                "triple",
+                &[MachineValue::Int(5)],
+                &mut mem,
+            )
+            .unwrap();
+        assert_eq!(run.result, reference.result);
+        assert_eq!(run.stats, reference.stats);
+        let stats = engine.stats();
+        assert_eq!(stats.disk_rejects, 1);
+        assert_eq!(stats.compiles, 1);
+        assert_eq!(stats.disk_hits, 0);
+
+        let healed = deployed().with_store(Arc::clone(&store));
+        healed
+            .run(
+                &target,
+                &options,
+                "triple",
+                &[MachineValue::Int(5)],
+                &mut mem,
+            )
+            .unwrap();
+        assert_eq!(
+            healed.stats().disk_hits,
+            1,
+            "the overwrite healed the entry"
+        );
+        assert_eq!(healed.stats().compiles, 0);
+        store.clear();
     }
 
     #[test]

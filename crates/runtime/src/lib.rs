@@ -71,6 +71,7 @@ mod offload;
 mod platform;
 mod scheduler;
 pub mod serve;
+pub mod store;
 mod sweep;
 
 pub use engine::{
@@ -82,6 +83,9 @@ pub use kpn::{pipeline, profile_pipeline, ChannelId, KpnReport, Network, Process
 pub use offload::{DmaModel, OffloadCost};
 pub use platform::{Core, Platform};
 pub use scheduler::{affinity, choose_core, list_schedule, Placement, Schedule, TaskEstimate};
+pub use store::{
+    ArtifactStore, StoreKey, StoreLoad, StoredArtifact, STORE_FORMAT_VERSION, STORE_MAGIC,
+};
 // Re-exported so engine callers can hold a frame pool (for `run_pooled`) and
 // reach the prepared artifact without a direct `splitc-targets` dependency.
 pub use splitc_targets::{FramePool, PreparedProgram, PreparedSimulator};

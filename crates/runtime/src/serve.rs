@@ -630,6 +630,10 @@ pub struct ServerConfig {
     pub faults: Option<FaultPlan>,
     /// Server seed, the deterministic root of retry-backoff jitter.
     pub seed: u64,
+    /// Persistent artifact store shared by every engine this server creates
+    /// (keyed per module by its fingerprint, which the serving tier already
+    /// holds — no re-encoding). `None` keeps compilation process-local.
+    pub store: Option<Arc<crate::ArtifactStore>>,
 }
 
 impl Default for ServerConfig {
@@ -644,6 +648,7 @@ impl Default for ServerConfig {
             fallback: None,
             faults: None,
             seed: 0,
+            store: None,
         }
     }
 }
@@ -700,6 +705,12 @@ impl ServerConfig {
     /// Same configuration with this deterministic seed.
     pub fn with_seed(mut self, seed: u64) -> Self {
         self.seed = seed;
+        self
+    }
+
+    /// Same configuration with a persistent artifact store attached.
+    pub fn with_store(mut self, store: Arc<crate::ArtifactStore>) -> Self {
+        self.store = Some(store);
         self
     }
 }
@@ -1338,6 +1349,8 @@ struct Inner {
     seed: u64,
     breakers: Mutex<Breakers>,
     deadlines: DeadlineWatch,
+    /// Persistent artifact store attached to every engine at creation.
+    store: Option<Arc<crate::ArtifactStore>>,
 }
 
 impl Inner {
@@ -1357,7 +1370,13 @@ impl Inner {
         let shard = &self.engines[(module.fingerprint() % ENGINE_SHARDS as u64) as usize];
         let mut guard = shard.lock().expect("engine registry shard poisoned");
         let entry = guard.entry(module.fingerprint()).or_insert_with(|| {
-            let engine = ExecutionEngine::from_arc(module.module_arc());
+            let mut engine = ExecutionEngine::from_arc(module.module_arc());
+            if let Some(store) = &self.store {
+                // The serving tier computed the module fingerprint at
+                // deployment (over the canonical encoding it still holds),
+                // so the engine can key the store without re-encoding.
+                engine = engine.with_store_keyed(Arc::clone(store), module.fingerprint());
+            }
             if self.cache_capacity > 0 {
                 engine.set_cache_capacity(self.cache_capacity);
             }
@@ -1565,6 +1584,7 @@ impl Server {
             seed: config.seed,
             breakers: Mutex::new(Breakers::default()),
             deadlines: DeadlineWatch::new(),
+            store: config.store,
         });
         let workers = (0..worker_count)
             .map(|worker| {

@@ -5,6 +5,21 @@
 //! native binaries. This module provides the deployment format of the
 //! reproduction: a byte-oriented encoding with LEB128 variable-length
 //! integers, used by the code-size experiment (E5) and by round-trip tests.
+//!
+//! The decoder is a **trust boundary**: encoded modules travel across
+//! processes and now persist on disk in the runtime's artifact store, where
+//! they can be truncated, corrupted or version-skewed between the process
+//! that wrote them and the one that reads them. Every length is
+//! overflow-checked, every LEB128 terminator is validated for canonicality
+//! (non-canonical encodings would let two byte strings alias one value),
+//! and a decode only succeeds if it consumes the buffer *exactly* —
+//! trailing bytes are rejected, so a concatenated or padded entry can never
+//! decode silently. Hostile inputs must always produce a [`DecodeError`],
+//! never a panic and never a wrong module.
+//!
+//! The low-level primitives ([`Writer`], [`Reader`]) are public so sibling
+//! wire formats (the artifact store's compiled-program encoding) share one
+//! LEB128/string/float discipline instead of growing divergent copies.
 
 use crate::annotations::{AnnotationSet, AnnotationValue};
 use crate::function::{Block, Function};
@@ -38,6 +53,11 @@ pub enum DecodeError {
     },
     /// A string field is not valid UTF-8.
     BadString,
+    /// The buffer contains well-formed data followed by extra bytes. A
+    /// decode must consume its input exactly: accepting a padded or
+    /// concatenated buffer would let distinct byte strings decode to the
+    /// same module.
+    TrailingBytes,
 }
 
 impl fmt::Display for DecodeError {
@@ -50,101 +70,280 @@ impl fmt::Display for DecodeError {
                 write!(f, "invalid tag {tag} while decoding {what}")
             }
             DecodeError::BadString => write!(f, "invalid UTF-8 in string field"),
+            DecodeError::TrailingBytes => write!(f, "trailing bytes after a complete value"),
         }
     }
 }
 
 impl Error for DecodeError {}
 
-struct Writer {
-    buf: Vec<u8>,
+/// Byte destination of a [`Writer`]: an actual buffer, or a counter that
+/// only measures. The counter is what lets [`encoded_size`] report the
+/// exact encoded length without allocating the encoding.
+#[derive(Debug)]
+enum Sink {
+    Buffer(Vec<u8>),
+    Counter(usize),
+}
+
+/// Low-level encoder for the wire formats of this workspace: bytes, LEB128
+/// variable-length integers (unsigned, and signed via zigzag), raw IEEE-754
+/// doubles and length-prefixed UTF-8 strings.
+///
+/// Public so sibling wire formats (the runtime's persistent artifact store)
+/// encode with exactly the discipline [`encode_module`] uses, and decode
+/// with the matching hardened [`Reader`].
+#[derive(Debug)]
+pub struct Writer {
+    out: Sink,
+}
+
+impl Default for Writer {
+    fn default() -> Self {
+        Writer::new()
+    }
 }
 
 impl Writer {
-    fn new() -> Self {
-        Writer { buf: Vec::new() }
+    /// A writer that accumulates bytes into a buffer.
+    pub fn new() -> Self {
+        Writer {
+            out: Sink::Buffer(Vec::new()),
+        }
     }
-    fn u8(&mut self, v: u8) {
-        self.buf.push(v);
+    /// A writer that only counts bytes (for size measurement without
+    /// allocation — see [`encoded_size`]).
+    fn counting() -> Self {
+        Writer {
+            out: Sink::Counter(0),
+        }
     }
-    fn uleb(&mut self, mut v: u64) {
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        match &self.out {
+            Sink::Buffer(buf) => buf.len(),
+            Sink::Counter(n) => *n,
+        }
+    }
+    /// `true` if nothing has been written yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+    /// The accumulated bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a counting writer, which never materialized them.
+    pub fn into_bytes(self) -> Vec<u8> {
+        match self.out {
+            Sink::Buffer(buf) => buf,
+            Sink::Counter(_) => panic!("a counting Writer holds no bytes"),
+        }
+    }
+    fn push(&mut self, b: u8) {
+        match &mut self.out {
+            Sink::Buffer(buf) => buf.push(b),
+            Sink::Counter(n) => *n += 1,
+        }
+    }
+    /// Append raw bytes verbatim.
+    pub fn bytes(&mut self, bytes: &[u8]) {
+        match &mut self.out {
+            Sink::Buffer(buf) => buf.extend_from_slice(bytes),
+            Sink::Counter(n) => *n += bytes.len(),
+        }
+    }
+    /// Append one byte.
+    pub fn u8(&mut self, v: u8) {
+        self.push(v);
+    }
+    /// Append a fixed-width little-endian `u64` (used by headers whose
+    /// layout must not depend on the value, e.g. checksums).
+    pub fn u64_le(&mut self, v: u64) {
+        self.bytes(&v.to_le_bytes());
+    }
+    /// Append an unsigned LEB128 integer.
+    pub fn uleb(&mut self, mut v: u64) {
         loop {
             let byte = (v & 0x7f) as u8;
             v >>= 7;
             if v == 0 {
-                self.buf.push(byte);
+                self.push(byte);
                 break;
             }
-            self.buf.push(byte | 0x80);
+            self.push(byte | 0x80);
         }
     }
-    fn sleb(&mut self, v: i64) {
-        // zigzag encoding
+    /// Append a signed LEB128 integer (zigzag encoding).
+    pub fn sleb(&mut self, v: i64) {
         self.uleb(((v << 1) ^ (v >> 63)) as u64);
     }
-    fn f64(&mut self, v: f64) {
-        self.buf.extend_from_slice(&v.to_bits().to_le_bytes());
+    /// Append an `f64` as its raw little-endian bit pattern.
+    pub fn f64(&mut self, v: f64) {
+        self.bytes(&v.to_bits().to_le_bytes());
     }
-    fn str(&mut self, s: &str) {
+    /// Append a length-prefixed UTF-8 string.
+    pub fn str(&mut self, s: &str) {
         self.uleb(s.len() as u64);
-        self.buf.extend_from_slice(s.as_bytes());
+        self.bytes(s.as_bytes());
     }
 }
 
-struct Reader<'a> {
+/// Cap on speculative `Vec::with_capacity` hints while decoding.
+///
+/// A corrupted length field can claim up to 2⁶⁴ elements; passing that to
+/// `with_capacity` would turn one flipped bit into an allocation abort —
+/// a panic the decoder promises never to produce. Collections still grow
+/// to their true decoded size; this bounds only the pre-allocation hint,
+/// and truncated inputs fail with [`DecodeError::UnexpectedEof`] long
+/// before a hostile length is ever filled in.
+const MAX_PREALLOC: usize = 1 << 12;
+
+/// A pre-allocation hint that a hostile length cannot weaponize.
+fn cap_hint(n: usize) -> usize {
+    n.min(MAX_PREALLOC)
+}
+
+/// Hardened decoder over a byte slice, the counterpart of [`Writer`].
+///
+/// All reads are bounds-checked (no arithmetic overflow on hostile
+/// lengths), LEB128 terminators are validated for canonicality, and the
+/// caller can assert full consumption via [`Reader::finish`]. See the
+/// [module documentation](self) for the trust-boundary rationale.
+#[derive(Debug)]
+pub struct Reader<'a> {
     buf: &'a [u8],
     pos: usize,
 }
 
 impl<'a> Reader<'a> {
-    fn new(buf: &'a [u8]) -> Self {
+    /// A reader over `buf`, positioned at the start.
+    pub fn new(buf: &'a [u8]) -> Self {
         Reader { buf, pos: 0 }
     }
-    fn u8(&mut self) -> Result<u8, DecodeError> {
+    /// Bytes consumed so far.
+    pub fn pos(&self) -> usize {
+        self.pos
+    }
+    /// Bytes not yet consumed.
+    pub fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+    /// The unconsumed tail of the buffer.
+    pub fn rest(&self) -> &'a [u8] {
+        &self.buf[self.pos..]
+    }
+    /// Assert the buffer was consumed exactly.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError::TrailingBytes`] if unconsumed bytes remain.
+    pub fn finish(&self) -> Result<(), DecodeError> {
+        if self.remaining() != 0 {
+            return Err(DecodeError::TrailingBytes);
+        }
+        Ok(())
+    }
+    /// Read one byte.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError::UnexpectedEof`] at the end of the buffer.
+    pub fn u8(&mut self) -> Result<u8, DecodeError> {
         let b = *self.buf.get(self.pos).ok_or(DecodeError::UnexpectedEof)?;
         self.pos += 1;
         Ok(b)
     }
-    fn uleb(&mut self) -> Result<u64, DecodeError> {
-        let mut shift = 0u32;
-        let mut out = 0u64;
-        loop {
-            let b = self.u8()?;
-            out |= u64::from(b & 0x7f) << shift;
-            if b & 0x80 == 0 {
-                return Ok(out);
-            }
-            shift += 7;
-            if shift >= 64 {
-                return Err(DecodeError::BadTag {
-                    what: "uleb128",
-                    tag: b,
-                });
-            }
-        }
-    }
-    fn sleb(&mut self) -> Result<i64, DecodeError> {
-        let z = self.uleb()?;
-        Ok(((z >> 1) as i64) ^ -((z & 1) as i64))
-    }
-    fn f64(&mut self) -> Result<f64, DecodeError> {
-        if self.pos + 8 > self.buf.len() {
+    /// Read a fixed-width little-endian `u64`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError::UnexpectedEof`] if fewer than 8 bytes remain.
+    pub fn u64_le(&mut self) -> Result<u64, DecodeError> {
+        if self.remaining() < 8 {
             return Err(DecodeError::UnexpectedEof);
         }
         let mut bytes = [0u8; 8];
         bytes.copy_from_slice(&self.buf[self.pos..self.pos + 8]);
         self.pos += 8;
-        Ok(f64::from_bits(u64::from_le_bytes(bytes)))
+        Ok(u64::from_le_bytes(bytes))
     }
-    fn str(&mut self) -> Result<String, DecodeError> {
-        let len = self.uleb()? as usize;
-        if self.pos + len > self.buf.len() {
+    /// Read an unsigned LEB128 integer.
+    ///
+    /// Rejects non-canonical encodings: a final byte whose bits would be
+    /// shifted past bit 63 is an error, never silently truncated. (The
+    /// historical decoder kept only the low bit of a 10th byte, so e.g.
+    /// `ff…ff 03` aliased to the same value as `ff…ff 01` — two distinct
+    /// byte strings decoding to one integer, which breaks every consumer
+    /// that equates encodings with values, fingerprinting included.)
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError::UnexpectedEof`] on truncation, or
+    /// [`DecodeError::BadTag`] if the value overflows 64 bits or the final
+    /// byte carries discarded bits.
+    pub fn uleb(&mut self) -> Result<u64, DecodeError> {
+        let mut shift = 0u32;
+        let mut out = 0u64;
+        loop {
+            let b = self.u8()?;
+            let bits = u64::from(b & 0x7f);
+            // An 11th byte (shift 70) always overflows; a 10th byte
+            // (shift 63) may only contribute its lowest bit.
+            if shift >= 64 || (shift > 57 && bits >> (64 - shift) != 0) {
+                return Err(DecodeError::BadTag {
+                    what: "uleb128",
+                    tag: b,
+                });
+            }
+            out |= bits << shift;
+            if b & 0x80 == 0 {
+                return Ok(out);
+            }
+            shift += 7;
+        }
+    }
+    /// Read a signed LEB128 integer (zigzag encoding).
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`Reader::uleb`].
+    pub fn sleb(&mut self) -> Result<i64, DecodeError> {
+        let z = self.uleb()?;
+        Ok(((z >> 1) as i64) ^ -((z & 1) as i64))
+    }
+    /// Read an `f64` from its raw little-endian bit pattern.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError::UnexpectedEof`] if fewer than 8 bytes remain.
+    pub fn f64(&mut self) -> Result<f64, DecodeError> {
+        Ok(f64::from_bits(self.u64_le()?))
+    }
+    /// Read a length-prefixed UTF-8 string.
+    ///
+    /// The length is added to the cursor with `checked_add`: a hostile
+    /// LEB128 length near `u64::MAX` must fail cleanly as truncation, not
+    /// overflow `usize` (a panic in debug builds — or, worse, a wrapped
+    /// bounds check that reads the wrong bytes in release builds).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DecodeError::UnexpectedEof`] if the claimed length
+    /// overruns the buffer, or [`DecodeError::BadString`] on invalid UTF-8.
+    pub fn str(&mut self) -> Result<String, DecodeError> {
+        let len = usize::try_from(self.uleb()?).map_err(|_| DecodeError::UnexpectedEof)?;
+        let end = self
+            .pos
+            .checked_add(len)
+            .ok_or(DecodeError::UnexpectedEof)?;
+        if end > self.buf.len() {
             return Err(DecodeError::UnexpectedEof);
         }
-        let s = std::str::from_utf8(&self.buf[self.pos..self.pos + len])
+        let s = std::str::from_utf8(&self.buf[self.pos..end])
             .map_err(|_| DecodeError::BadString)?
             .to_owned();
-        self.pos += len;
+        self.pos = end;
         Ok(s)
     }
 }
@@ -270,7 +469,7 @@ fn read_value(r: &mut Reader<'_>) -> Result<AnnotationValue, DecodeError> {
         3 => AnnotationValue::Str(r.str()?),
         4 => {
             let n = r.uleb()? as usize;
-            let mut xs = Vec::with_capacity(n);
+            let mut xs = Vec::with_capacity(cap_hint(n));
             for _ in 0..n {
                 xs.push(read_value(r)?);
             }
@@ -611,7 +810,7 @@ fn read_inst(r: &mut Reader<'_>) -> Result<Inst, DecodeError> {
             };
             let callee = r.str()?;
             let n = r.uleb()? as usize;
-            let mut args = Vec::with_capacity(n);
+            let mut args = Vec::with_capacity(cap_hint(n));
             for _ in 0..n {
                 args.push(read_vreg(r)?);
             }
@@ -717,7 +916,7 @@ fn write_function(w: &mut Writer, f: &Function) {
 fn read_function(r: &mut Reader<'_>) -> Result<Function, DecodeError> {
     let name = r.str()?;
     let nparams = r.uleb()? as usize;
-    let mut params = Vec::with_capacity(nparams);
+    let mut params = Vec::with_capacity(cap_hint(nparams));
     for _ in 0..nparams {
         let reg = read_vreg(r)?;
         let ty = read_type(r)?;
@@ -729,16 +928,16 @@ fn read_function(r: &mut Reader<'_>) -> Result<Function, DecodeError> {
         None
     };
     let nvregs = r.uleb()? as usize;
-    let mut vreg_types = Vec::with_capacity(nvregs);
+    let mut vreg_types = Vec::with_capacity(cap_hint(nvregs));
     for _ in 0..nvregs {
         vreg_types.push(read_type(r)?);
     }
     let entry = BlockId(r.uleb()? as u32);
     let nblocks = r.uleb()? as usize;
-    let mut blocks = Vec::with_capacity(nblocks);
+    let mut blocks = Vec::with_capacity(cap_hint(nblocks));
     for id in 0..nblocks {
         let ninsts = r.uleb()? as usize;
-        let mut insts = Vec::with_capacity(ninsts);
+        let mut insts = Vec::with_capacity(cap_hint(ninsts));
         for _ in 0..ninsts {
             insts.push(read_inst(r)?);
         }
@@ -772,15 +971,19 @@ fn read_function(r: &mut Reader<'_>) -> Result<Function, DecodeError> {
 /// ```
 pub fn encode_module(m: &Module) -> Vec<u8> {
     let mut w = Writer::new();
-    w.buf.extend_from_slice(MAGIC);
+    write_module(&mut w, m);
+    w.into_bytes()
+}
+
+fn write_module(w: &mut Writer, m: &Module) {
+    w.bytes(MAGIC);
     w.u8(VERSION);
     w.str(&m.name);
     w.uleb(m.functions().len() as u64);
     for f in m.functions() {
-        write_function(&mut w, f);
+        write_function(w, f);
     }
-    write_annotations(&mut w, &m.annotations);
-    w.buf
+    write_annotations(w, &m.annotations);
 }
 
 /// Decode a module previously produced by [`encode_module`].
@@ -788,7 +991,8 @@ pub fn encode_module(m: &Module) -> Vec<u8> {
 /// # Errors
 ///
 /// Returns a [`DecodeError`] if the buffer is truncated, has the wrong magic
-/// or version, or contains invalid tags.
+/// or version, contains invalid tags, or carries trailing bytes after the
+/// module (a decode must consume its input exactly).
 pub fn decode_module(bytes: &[u8]) -> Result<Module, DecodeError> {
     let mut r = Reader::new(bytes);
     if bytes.len() < 4 || &bytes[..4] != MAGIC {
@@ -806,12 +1010,18 @@ pub fn decode_module(bytes: &[u8]) -> Result<Module, DecodeError> {
         m.add_function(read_function(&mut r)?);
     }
     m.annotations = read_annotations(&mut r)?;
+    r.finish()?;
     Ok(m)
 }
 
 /// Size in bytes of the compact encoding of `m`.
+///
+/// Runs the encoder against a counting sink, so measuring costs no
+/// allocation — the bytes are never materialized.
 pub fn encoded_size(m: &Module) -> usize {
-    encode_module(m).len()
+    let mut w = Writer::counting();
+    write_module(&mut w, m);
+    w.len()
 }
 
 #[cfg(test)]
@@ -896,12 +1106,128 @@ mod tests {
         for v in [0u64, 127, 128, 16_383, 16_384, u64::MAX] {
             w.uleb(v);
         }
-        let mut r = Reader::new(&w.buf);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
         for v in [0i64, 1, -1, 63, -64, i64::MAX, i64::MIN, 123_456_789] {
             assert_eq!(r.sleb().unwrap(), v);
         }
         for v in [0u64, 127, 128, 16_383, 16_384, u64::MAX] {
             assert_eq!(r.uleb().unwrap(), v);
+        }
+        r.finish().unwrap();
+    }
+
+    #[test]
+    fn uleb_rejects_non_canonical_final_bytes() {
+        // u64::MAX canonical: nine 0xff continuation bytes then 0x01 — the
+        // tenth byte may carry exactly one payload bit.
+        let max = [0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01];
+        assert_eq!(Reader::new(&max).uleb().unwrap(), u64::MAX);
+        // A tenth byte with any discarded bit set used to alias to the same
+        // value; it must be rejected now.
+        for tenth in [0x02u8, 0x03, 0x7f] {
+            let mut bytes = max;
+            bytes[9] = tenth;
+            assert!(
+                matches!(
+                    Reader::new(&bytes).uleb(),
+                    Err(DecodeError::BadTag {
+                        what: "uleb128",
+                        ..
+                    })
+                ),
+                "tenth byte {tenth:#04x} must be rejected"
+            );
+        }
+        // An eleventh byte always overflows 64 bits.
+        let eleven = [0xff; 11];
+        assert!(Reader::new(&eleven).uleb().is_err());
+        // Ten continuation bytes followed by a terminator likewise.
+        let mut cont = [0xffu8; 11];
+        cont[10] = 0x00;
+        assert!(Reader::new(&cont).uleb().is_err());
+        // A ninth-byte terminator may use all seven bits (shift 56).
+        let mut nine = [0xffu8; 9];
+        nine[8] = 0x7f;
+        assert_eq!(Reader::new(&nine).uleb().unwrap(), u64::MAX >> 1);
+    }
+
+    #[test]
+    fn hostile_string_length_fails_cleanly() {
+        // A length-prefixed string claiming nearly u64::MAX bytes: `pos +
+        // len` must not overflow, it must report truncation.
+        let mut w = Writer::new();
+        w.uleb(u64::MAX - 2);
+        let bytes = w.into_bytes();
+        assert_eq!(Reader::new(&bytes).str(), Err(DecodeError::UnexpectedEof));
+        // Same hostile length buried in a module name position.
+        let mut module = encode_module(&Module::new("m"));
+        module.truncate(5); // keep magic + version, replace the name
+        module.extend_from_slice(&bytes);
+        assert!(decode_module(&module).is_err());
+    }
+
+    #[test]
+    fn trailing_bytes_are_rejected() {
+        let m = sample_module();
+        let mut bytes = encode_module(&m);
+        assert!(decode_module(&bytes).is_ok());
+        bytes.push(0);
+        assert_eq!(decode_module(&bytes), Err(DecodeError::TrailingBytes));
+        // Two concatenated modules must not silently decode as the first.
+        let mut twice = encode_module(&m);
+        twice.extend_from_slice(&encode_module(&m));
+        assert_eq!(decode_module(&twice), Err(DecodeError::TrailingBytes));
+    }
+
+    #[test]
+    fn encoded_size_matches_encoding_without_allocating() {
+        let m = sample_module();
+        assert_eq!(encoded_size(&m), encode_module(&m).len());
+        let empty = Module::new("empty");
+        assert_eq!(encoded_size(&empty), encode_module(&empty).len());
+    }
+
+    /// Deterministic xorshift64* PRNG — no external crates, stable seeds.
+    fn xorshift(state: &mut u64) -> u64 {
+        let mut x = *state;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        *state = x;
+        x.wrapping_mul(0x2545_f491_4f6c_dd1d)
+    }
+
+    #[test]
+    fn corrupt_bytes_never_panic_or_alias() {
+        let reference = sample_module();
+        let bytes = encode_module(&reference);
+        let mut rng = 0x05ee_ddac_2010_u64;
+        for _ in 0..2_000 {
+            let mut mutated = bytes.clone();
+            // Flip 1–4 random bytes to random values.
+            let flips = (xorshift(&mut rng) % 4 + 1) as usize;
+            for _ in 0..flips {
+                let idx = (xorshift(&mut rng) as usize) % mutated.len();
+                mutated[idx] = xorshift(&mut rng) as u8;
+            }
+            if mutated == bytes {
+                continue;
+            }
+            // The decoder must never panic; if the mutation happens to
+            // still decode, the result must re-encode canonically (no two
+            // distinct canonical encodings may alias one module).
+            if let Ok(m) = decode_module(&mutated) {
+                let reencoded = encode_module(&m);
+                assert!(
+                    decode_module(&reencoded).as_ref() == Ok(&m),
+                    "mutated input decoded to a module that does not round-trip"
+                );
+            }
+        }
+        // Every strict prefix must fail; a decode consumes its input exactly.
+        for cut in 0..bytes.len() {
+            assert!(decode_module(&bytes[..cut]).is_err(), "prefix {cut}");
         }
     }
 

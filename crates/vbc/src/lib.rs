@@ -74,7 +74,9 @@ pub use annotations::{
     VectorizedLoop,
 };
 pub use builder::FunctionBuilder;
-pub use encode::{decode_module, encode_module, encoded_size, DecodeError, MAGIC, VERSION};
+pub use encode::{
+    decode_module, encode_module, encoded_size, DecodeError, Reader, Writer, MAGIC, VERSION,
+};
 pub use function::{Block, Function};
 pub use inst::{BinOp, BlockId, CmpOp, Immediate, Inst, ReduceOp, UnOp, VReg};
 pub use interp::{

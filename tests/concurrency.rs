@@ -272,10 +272,13 @@ fn stats_snapshots_stay_consistent_while_workers_churn_the_cache() {
         let snap = engine.snapshot();
         assert_eq!(
             snap.live,
-            (snap.stats.compiles - snap.stats.evictions) as usize,
+            (snap.stats.compiles + snap.stats.disk_hits - snap.stats.evictions) as usize,
             "a snapshot tore a compile apart from its insert/evict"
         );
-        assert_eq!(snap.stats.lookups(), snap.stats.compiles + snap.stats.hits);
+        assert_eq!(
+            snap.stats.lookups(),
+            snap.stats.compiles + snap.stats.hits + snap.stats.disk_hits
+        );
         assert!(
             snap.stats.compiles >= prev.stats.compiles,
             "compiles went backwards"
@@ -296,7 +299,7 @@ fn stats_snapshots_stay_consistent_while_workers_churn_the_cache() {
     let quiescent = engine.snapshot();
     assert_eq!(
         quiescent.live,
-        (quiescent.stats.compiles - quiescent.stats.evictions) as usize
+        (quiescent.stats.compiles + quiescent.stats.disk_hits - quiescent.stats.evictions) as usize
     );
     assert!(quiescent.live <= 2, "the LRU bound holds at rest");
     assert_eq!(
